@@ -1,0 +1,76 @@
+// Ablation — centralized push vs distributed pull (§3.5.1's trade-off).
+//
+// Centralized mode spends transmitter bandwidth continuously but answers
+// user requests from warm state; distributed mode is quiet between requests
+// but pays a pull round trip per request. This bench measures both sides of
+// that trade with the same 11-host cluster.
+#include "bench_util.h"
+#include "harness/cluster_harness.h"
+#include "util/counters.h"
+
+using namespace smartsock;
+
+namespace {
+
+struct ModeResult {
+  double transmitter_kbps = 0.0;
+  double mean_query_ms = 0.0;
+  int queries = 0;
+};
+
+ModeResult run_mode(transport::TransferMode mode) {
+  harness::HarnessOptions options;
+  options.mode = mode;
+  options.probe_interval = std::chrono::milliseconds(100);
+  options.transfer_interval = std::chrono::milliseconds(100);
+  harness::ClusterHarness cluster(options);
+  ModeResult result;
+  if (!cluster.start() || !cluster.wait_for_all_reports(std::chrono::seconds(5))) {
+    return result;
+  }
+  util::TrafficRegistry::instance().reset_all();
+
+  core::SmartClient client = cluster.make_client(3);
+  util::Stopwatch window(util::SteadyClock::instance());
+  double query_ms_total = 0;
+  const int kQueries = 12;
+  for (int i = 0; i < kQueries; ++i) {
+    util::Stopwatch per_query(util::SteadyClock::instance());
+    auto reply = client.query("host_cpu_free > 0.2", 11);
+    query_ms_total += util::to_millis(per_query.elapsed());
+    if (!reply.ok) return result;
+    util::SteadyClock::instance().sleep_for(std::chrono::milliseconds(150));
+  }
+  double elapsed = window.elapsed_seconds();
+
+  for (const auto& usage : util::TrafficRegistry::instance().snapshot(elapsed)) {
+    if (usage.component == "transmitter") result.transmitter_kbps = usage.send_rate_kbps;
+  }
+  result.mean_query_ms = query_ms_total / kQueries;
+  result.queries = kQueries;
+  cluster.stop();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_title("Ablation: centralized push vs distributed pull (11 hosts)");
+  bench::print_row({"mode", "transmitter KB/s", "mean query ms"}, {14, 18, 16});
+
+  ModeResult centralized = run_mode(transport::TransferMode::kCentralized);
+  bench::print_row({"centralized", bench::fmt(centralized.transmitter_kbps),
+                    bench::fmt(centralized.mean_query_ms)},
+                   {14, 18, 16});
+
+  ModeResult distributed = run_mode(transport::TransferMode::kDistributed);
+  bench::print_row({"distributed", bench::fmt(distributed.transmitter_kbps),
+                    bench::fmt(distributed.mean_query_ms)},
+                   {14, 18, 16});
+
+  bench::print_note("");
+  bench::print_note("expected: centralized burns steady transmitter bandwidth with fast");
+  bench::print_note("queries; distributed is near-silent between requests but each query");
+  bench::print_note("pays the pull round trip (§3.5.1).");
+  return (centralized.queries && distributed.queries) ? 0 : 1;
+}

@@ -1,0 +1,62 @@
+// Ablation — probe interval vs staleness and selection quality.
+//
+// §4.1 sets the probe interval at seconds and expires servers after 3 missed
+// intervals. A long interval saves bandwidth but leaves the wizard blind to
+// load changes for up to an interval: this bench flips a host to Super_PI
+// load and measures how long the wizard keeps recommending it.
+#include "bench_util.h"
+#include "harness/cluster_harness.h"
+#include "util/counters.h"
+
+using namespace smartsock;
+
+namespace {
+
+double stale_window_ms(util::Duration probe_interval) {
+  harness::HarnessOptions options;
+  options.hosts = {*sim::find_paper_host("dalmatian"), *sim::find_paper_host("telesto")};
+  options.probe_interval = probe_interval;
+  options.transfer_interval = std::chrono::milliseconds(30);
+  harness::ClusterHarness cluster(options);
+  if (!cluster.start() || !cluster.wait_for_all_reports(std::chrono::seconds(5))) return -1;
+
+  core::SmartClient client = cluster.make_client(9);
+  const char* requirement = "host_system_load1 < 0.5";
+
+  // Load dalmatian *without* forcing a refresh — the wizard only learns
+  // through the periodic pipeline.
+  cluster.set_workload("dalmatian", apps::WorkloadKind::kSuperPi);
+  util::Stopwatch stopwatch(util::SteadyClock::instance());
+  double detected_ms = -1;
+  while (stopwatch.elapsed_seconds() < 5.0) {
+    auto reply = client.query(requirement, 2);
+    bool still_listed = false;
+    for (const auto& server : reply.servers) {
+      if (server.host == "dalmatian") still_listed = true;
+    }
+    if (!still_listed) {
+      detected_ms = util::to_millis(stopwatch.elapsed());
+      break;
+    }
+    util::SteadyClock::instance().sleep_for(std::chrono::milliseconds(10));
+  }
+  cluster.stop();
+  return detected_ms;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_title("Ablation: probe interval vs workload-detection latency");
+  bench::print_row({"probe interval (ms)", "detection latency (ms)"}, {22, 24});
+  for (int interval_ms : {50, 150, 400, 1000}) {
+    double detected = stale_window_ms(std::chrono::milliseconds(interval_ms));
+    bench::print_row({std::to_string(interval_ms),
+                      detected >= 0 ? bench::fmt(detected, 0) : "not detected in 5 s"},
+                     {22, 24});
+  }
+  bench::print_note("");
+  bench::print_note("detection latency tracks the probe interval: the status pipeline");
+  bench::print_note("cannot react faster than a probing period (§4.1's trade-off).");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Figures 3.3 / 3.4 / 3.5 — RTT vs UDP payload size on the sagit→suna path
+// with MTU 1500 / 1000 / 500. One binary per figure (SMARTSOCK_BENCH_MTU).
+//
+// The paper's finding: the RTT-over-size slope breaks at the interface MTU,
+// because the first frame pays the interface-initialization stage
+// (Speed_init ≈ 25 Mbps). The series below prints the measured (noisy) RTT
+// and the deterministic model curve; the fitted slopes on either side of the
+// MTU quantify the break.
+#include "bench_util.h"
+#include "sim/testbed.h"
+
+#ifndef SMARTSOCK_BENCH_MTU
+#define SMARTSOCK_BENCH_MTU 1500
+#endif
+#ifndef SMARTSOCK_BENCH_FIG
+#define SMARTSOCK_BENCH_FIG 33
+#endif
+
+using namespace smartsock;
+
+int main() {
+  const int mtu = SMARTSOCK_BENCH_MTU;
+  sim::NetworkPath path(sim::sagit_to_suna(mtu));
+
+  bench::print_title("Figure 3." + std::to_string(SMARTSOCK_BENCH_FIG % 10) +
+                     ": RTT vs UDP payload, sagit->suna, MTU=" + std::to_string(mtu));
+  bench::print_row({"size(B)", "rtt_ms(measured)", "rtt_ms(model)", "fragments"},
+                   {10, 18, 16, 10});
+
+  // The thesis sweeps 1..6000 bytes step 10; print a step-60 summary series
+  // (the full resolution drives the slope fits below).
+  double sum_below_x = 0, sum_below_y = 0, sum_below_xx = 0, sum_below_xy = 0;
+  int n_below = 0;
+  double sum_above_x = 0, sum_above_y = 0, sum_above_xx = 0, sum_above_xy = 0;
+  int n_above = 0;
+
+  for (int size = 10; size <= 6000; size += 10) {
+    double measured = path.probe_rtt_ms(size);
+    double model = path.deterministic_rtt_ms(size);
+    if (size % 300 == 0 || size == 10) {
+      bench::print_row({std::to_string(size), bench::fmt(measured, 4),
+                        bench::fmt(model, 4),
+                        std::to_string(path.fragments_for_payload(size))},
+                       {10, 18, 16, 10});
+    }
+    double x = size;
+    if (size < mtu - 40) {
+      sum_below_x += x;
+      sum_below_y += measured;
+      sum_below_xx += x * x;
+      sum_below_xy += x * measured;
+      ++n_below;
+    } else if (size > mtu + 40) {
+      sum_above_x += x;
+      sum_above_y += measured;
+      sum_above_xx += x * x;
+      sum_above_xy += x * measured;
+      ++n_above;
+    }
+  }
+
+  auto fit_slope = [](double sx, double sy, double sxx, double sxy, int n) {
+    return (n * sxy - sx * sy) / (n * sxx - sx * sx);
+  };
+  double slope_below =
+      fit_slope(sum_below_x, sum_below_y, sum_below_xx, sum_below_xy, n_below) * 1000.0;
+  double slope_above =
+      fit_slope(sum_above_x, sum_above_y, sum_above_xx, sum_above_xy, n_above) * 1000.0;
+
+  bench::print_note("");
+  bench::print_note("slope below MTU: " + bench::fmt(slope_below, 4) +
+                    " us/byte   (model: 8/B + 8/Speed_init = " +
+                    bench::fmt(8.0 / path.available_bw_mbps() + 8.0 / 25.0, 4) + ")");
+  bench::print_note("slope above MTU: " + bench::fmt(slope_above, 4) +
+                    " us/byte   (model: 8/B = " +
+                    bench::fmt(8.0 / path.available_bw_mbps(), 4) + ")");
+  bench::print_note("slope ratio: " + bench::fmt(slope_below / slope_above, 2) +
+                    "x  — paper: clear threshold at the MTU (Figs 3.3-3.5)");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Microbenchmarks (google-benchmark) — requirement-language costs on the
+// wizard's hot path: the wizard compiles once per request and evaluates once
+// per server record, so both paths are measured, plus the probe-report parse
+// the system monitor performs per datagram.
+#include <benchmark/benchmark.h>
+
+#include "core/server_matcher.h"
+#include "lang/requirement.h"
+#include "probe/status_report.h"
+
+namespace {
+
+const char* kThesisRequirement =
+    "host_system_load1 < 1\n"
+    "host_memory_used <= 250*1024*1024\n"
+    "host_cpu_free >= 0.9\n"
+    "host_network_tbytesps < 1024*1024\n"
+    "user_denied_host1 = 137.132.90.182\n"
+    "user_preferred_host1 = sagit.ddns.comp.nus.edu.sg\n";
+
+void BM_CompileRequirement(benchmark::State& state) {
+  for (auto _ : state) {
+    auto requirement = smartsock::lang::Requirement::compile(kThesisRequirement);
+    benchmark::DoNotOptimize(requirement);
+  }
+}
+BENCHMARK(BM_CompileRequirement);
+
+void BM_EvaluateRequirement(benchmark::State& state) {
+  auto requirement = smartsock::lang::Requirement::compile(kThesisRequirement);
+  smartsock::lang::AttributeSet attrs{
+      {"host_system_load1", 0.3},      {"host_memory_used", 100.0 * 1024 * 1024},
+      {"host_cpu_free", 0.95},         {"host_network_tbytesps", 1000.0},
+  };
+  for (auto _ : state) {
+    auto outcome = requirement->evaluate(attrs);
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+BENCHMARK(BM_EvaluateRequirement);
+
+void BM_MatchSixtyServers(benchmark::State& state) {
+  auto requirement = smartsock::lang::Requirement::compile("host_cpu_free > 0.5");
+  smartsock::core::MatchInput input;
+  for (int i = 0; i < 60; ++i) {
+    smartsock::ipc::SysRecord record;
+    smartsock::ipc::copy_fixed(record.host, smartsock::ipc::kHostNameLen,
+                               "host" + std::to_string(i));
+    smartsock::ipc::copy_fixed(record.address, smartsock::ipc::kAddressLen,
+                               "10.0.0." + std::to_string(i) + ":1");
+    record.cpu_idle = (i % 2) ? 0.9 : 0.2;
+    input.sys.push_back(record);
+  }
+  smartsock::core::ServerMatcher matcher;
+  for (auto _ : state) {
+    auto result = matcher.match(*requirement, input, 60);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_MatchSixtyServers);
+
+void BM_ParseProbeReport(benchmark::State& state) {
+  smartsock::probe::StatusReport report;
+  report.host = "dalmatian";
+  report.address = "127.0.0.1:5001";
+  report.group = "seg1";
+  report.load1 = 0.25;
+  report.bogomips = 4771.02;
+  std::string wire = report.to_wire();
+  for (auto _ : state) {
+    auto parsed = smartsock::probe::StatusReport::from_wire(wire);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_ParseProbeReport);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Microbenchmarks — status-store implementations on the monitor's hot path
+// (one upsert per probe report, one full read per transmit/match). Compares
+// the in-process mutex store with the thesis's SysV shared-memory store
+// (skipped if the sandbox denies SysV IPC).
+#include <benchmark/benchmark.h>
+
+#include "ipc/in_memory_store.h"
+#include "ipc/sysv_store.h"
+
+namespace {
+
+using namespace smartsock;
+
+ipc::SysRecord record_for(int i) {
+  ipc::SysRecord record;
+  ipc::copy_fixed(record.host, ipc::kHostNameLen, "host" + std::to_string(i));
+  ipc::copy_fixed(record.address, ipc::kAddressLen, "10.0.0." + std::to_string(i) + ":1");
+  record.load1 = 0.1 * i;
+  record.updated_ns = static_cast<std::uint64_t>(i);
+  return record;
+}
+
+template <typename StoreT>
+void fill(StoreT& store, int n) {
+  for (int i = 0; i < n; ++i) store.put_sys(record_for(i));
+}
+
+void BM_InMemoryUpsert(benchmark::State& state) {
+  ipc::InMemoryStatusStore store;
+  fill(store, 32);
+  ipc::SysRecord record = record_for(7);
+  for (auto _ : state) {
+    record.updated_ns++;
+    store.put_sys(record);
+  }
+}
+BENCHMARK(BM_InMemoryUpsert);
+
+void BM_InMemoryReadAll(benchmark::State& state) {
+  ipc::InMemoryStatusStore store;
+  fill(store, 32);
+  for (auto _ : state) {
+    auto records = store.sys_records();
+    benchmark::DoNotOptimize(records);
+  }
+}
+BENCHMARK(BM_InMemoryReadAll);
+
+constexpr ipc::SysVKeys kBenchKeys{59231, 59232, 59233};
+
+void BM_SysVUpsert(benchmark::State& state) {
+  auto store = ipc::SysVStatusStore::create(kBenchKeys, 64, 64, 64);
+  if (!store) {
+    state.SkipWithError("SysV IPC unavailable");
+    return;
+  }
+  store->clear();
+  fill(*store, 32);
+  ipc::SysRecord record = record_for(7);
+  for (auto _ : state) {
+    record.updated_ns++;
+    store->put_sys(record);
+  }
+  store.reset();
+  ipc::SysVStatusStore::remove_system_objects(kBenchKeys);
+}
+BENCHMARK(BM_SysVUpsert);
+
+void BM_SysVReadAll(benchmark::State& state) {
+  auto store = ipc::SysVStatusStore::create(kBenchKeys, 64, 64, 64);
+  if (!store) {
+    state.SkipWithError("SysV IPC unavailable");
+    return;
+  }
+  store->clear();
+  fill(*store, 32);
+  for (auto _ : state) {
+    auto records = store->sys_records();
+    benchmark::DoNotOptimize(records);
+  }
+  store.reset();
+  ipc::SysVStatusStore::remove_system_objects(kBenchKeys);
+}
+BENCHMARK(BM_SysVReadAll);
+
+}  // namespace
+
+BENCHMARK_MAIN();

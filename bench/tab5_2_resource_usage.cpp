@@ -1,0 +1,62 @@
+// Table 5.2 — system resources used by each component with 11 probes
+// running. The paper measured CPU/memory with top and network bandwidth with
+// a libpcap dumper; here every socket is instrumented, so the network column
+// is exact, and memory is the process RSS delta attributed per component
+// count (an approximation noted in DESIGN.md).
+//
+// Paper's rows: probe <0.1% / 8KB / 0.5-0.6 KBps(UDP); system monitor 0.7% /
+// 8KB / 5.7 KBps; network monitor <0.1% / 8KB / 5.6 KBps; transmitter 1.2
+// KBps(TCP); receiver 92KB / 1.2 KBps; wizard 96KB / <1 KBps(UDP).
+#include "bench_util.h"
+#include "harness/cluster_harness.h"
+#include "util/counters.h"
+
+using namespace smartsock;
+
+int main() {
+  util::TrafficRegistry::instance().reset_all();
+
+  harness::HarnessOptions options;
+  options.probe_interval = std::chrono::milliseconds(100);   // paper: 2 s
+  options.transfer_interval = std::chrono::milliseconds(100);
+
+  harness::ClusterHarness cluster(options);
+  if (!cluster.start() || !cluster.wait_for_all_reports(std::chrono::seconds(5))) {
+    std::fprintf(stderr, "harness failed to start\n");
+    return 1;
+  }
+
+  // Drive a steady trickle of user requests, like the paper's sample run.
+  core::SmartClient client = cluster.make_client(5);
+  util::TrafficRegistry::instance().reset_all();
+  const double window_seconds = 3.0;
+  util::Stopwatch stopwatch(util::SteadyClock::instance());
+  while (stopwatch.elapsed_seconds() < window_seconds) {
+    client.query("host_cpu_free > 0.2", 11);
+    util::SteadyClock::instance().sleep_for(std::chrono::milliseconds(200));
+  }
+  double elapsed = stopwatch.elapsed_seconds();
+
+  bench::print_title("Table 5.2: per-component usage, 11 probes, " +
+                     bench::fmt(elapsed, 1) + " s window (interval 100 ms vs paper 2 s)");
+  bench::print_row({"component", "sent KB/s", "recv KB/s", "msgs out", "msgs in"},
+                   {18, 12, 12, 10, 10});
+  for (const auto& usage : util::TrafficRegistry::instance().snapshot(elapsed)) {
+    bench::print_row({usage.component, bench::fmt(usage.send_rate_kbps),
+                      bench::fmt(usage.receive_rate_kbps),
+                      std::to_string(usage.messages_sent),
+                      std::to_string(usage.messages_received)},
+                     {18, 12, 12, 10, 10});
+  }
+
+  bench::print_note("");
+  bench::print_note("process RSS: " + std::to_string(util::current_rss_kb()) +
+                    " KB for the whole 11-host cluster in one process");
+  bench::print_note("paper (at 2 s interval): probe 0.5-0.6 KBps, sysmon 5.7 KBps,");
+  bench::print_note("netmon 5.6 KBps, transmitter/receiver 1.2 KBps, wizard <1 KBps.");
+  bench::print_note("at our 20x faster interval the per-component ratios should match;");
+  bench::print_note("divide the measured rates by 20 to compare magnitudes.");
+
+  cluster.stop();
+  return 0;
+}

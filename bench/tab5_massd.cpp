@@ -1,0 +1,133 @@
+// Tables 5.7 / 5.8 / 5.9 (Figures 5.4-5.6) — massive download with 1, 2 and
+// 3 servers, random casts vs the wizard's bandwidth-driven pick. One binary
+// per table via SMARTSOCK_BENCH_SERVERS.
+//
+// The file-server groups are shaped to the paper's per-run bandwidths
+// (rshaper substitute); the network monitor publishes those bandwidths into
+// netdb; the smart cast answers "monitor_network_bw > X". The compared
+// metric is the thesis's: average per-server throughput in KB/s.
+#include "bench_util.h"
+#include "harness/experiment.h"
+
+#ifndef SMARTSOCK_BENCH_SERVERS
+#define SMARTSOCK_BENCH_SERVERS 1
+#endif
+
+using namespace smartsock;
+using harness::ExperimentRow;
+
+namespace {
+
+struct Cast {
+  const char* label;
+  std::vector<std::string> names;  // empty => wizard-selected
+  double paper_kbps;
+};
+
+struct TableSpec {
+  const char* title;
+  double group1_mbps;
+  double group2_mbps;
+  const char* requirement;
+  std::size_t servers;
+  std::vector<Cast> casts;
+};
+
+TableSpec spec_for(int servers) {
+  switch (servers) {
+    case 1:
+      return {"Table 5.7 / Fig 5.4: massd 1 vs 1",
+              6.72,
+              1.33,
+              "monitor_network_bw > 6",
+              1,
+              {{"random", {"pandora-x"}, 170.0}, {"smart", {}, 860.0}}};
+    case 2:
+      return {"Table 5.8 / Fig 5.5: massd 2 vs 2",
+              5.01,
+              7.67,
+              "monitor_network_bw > 7",
+              2,
+              {{"random1", {"mimas", "telesto"}, 660.0},
+               {"random2", {"telesto", "titan-x"}, 795.0},
+               {"smart", {}, 994.0}}};
+    default:
+      return {"Table 5.9 / Fig 5.6: massd 3 vs 3",
+              5.99,
+              2.92,
+              "monitor_network_bw > 5",
+              3,
+              {{"random1", {"dione", "titan-x", "pandora-x"}, 387.0},
+               {"random2", {"mimas", "titan-x", "dione"}, 520.0},
+               {"random3", {"telesto", "mimas", "dione"}, 634.0},
+               {"smart", {}, 796.0}}};
+  }
+}
+
+}  // namespace
+
+int main() {
+  TableSpec spec = spec_for(SMARTSOCK_BENCH_SERVERS);
+
+  harness::HarnessOptions options = harness::massd_harness_options();
+  // The six file servers of §5.3.2 (groups 1 and 2).
+  options.hosts.clear();
+  for (int group : {1, 2}) {
+    for (const std::string& name : sim::massd_group(group)) {
+      options.hosts.push_back(*sim::find_paper_host(name));
+    }
+  }
+  harness::ClusterHarness cluster(options);
+  if (!cluster.start() || !cluster.wait_for_all_reports(std::chrono::seconds(5))) {
+    std::fprintf(stderr, "harness failed to start\n");
+    return 1;
+  }
+
+  cluster.set_group_metrics("group-1", 0.5, spec.group1_mbps);
+  cluster.set_group_metrics("group-2", 0.5, spec.group2_mbps);
+  cluster.refresh_now();
+
+  harness::MassdExperiment experiment;
+  experiment.data_kb = 600 * static_cast<std::uint64_t>(spec.servers) + 400;
+  experiment.block_kb = 100;  // the thesis's blk
+
+  bench::print_title(spec.title + std::string("  (group-1 ") +
+                     bench::fmt(spec.group1_mbps) + " Mbps, group-2 " +
+                     bench::fmt(spec.group2_mbps) + " Mbps, blk=100 KB)");
+  bench::print_row({"set", "servers", "avg KB/s", "paper KB/s", "total KB/s"},
+                   {10, 32, 10, 12, 12});
+
+  auto pool = cluster.all_servers();
+  bool all_ok = true;
+  double smart_avg = 0.0, best_random_avg = 0.0;
+
+  for (const Cast& cast : spec.casts) {
+    std::vector<core::ServerEntry> servers;
+    std::string error;
+    if (cast.names.empty()) {
+      servers = harness::smart_selection(cluster, spec.requirement, spec.servers, &error);
+    } else {
+      servers = harness::pick_named(pool, cast.names);
+    }
+    ExperimentRow row = harness::run_massd(cluster, servers, experiment, cast.label);
+    if (!row.ok && row.error.empty()) row.error = error;
+    bench::print_row({cast.label, row.servers_joined(),
+                      row.ok ? bench::fmt(row.avg_per_server_kbps, 0) : row.error,
+                      bench::fmt(cast.paper_kbps, 0),
+                      row.ok ? bench::fmt(row.throughput_kbps, 0) : "-"},
+                     {10, 32, 10, 12, 12});
+    all_ok = all_ok && row.ok;
+    if (std::string(cast.label) == "smart") {
+      smart_avg = row.avg_per_server_kbps;
+    } else {
+      best_random_avg = std::max(best_random_avg, row.avg_per_server_kbps);
+    }
+  }
+
+  bench::print_note("");
+  bench::print_note(smart_avg > best_random_avg
+                        ? "shape holds: smart beats every random cast"
+                        : "SHAPE VIOLATION: a random cast beat the smart selection");
+  cluster.stop();
+  return all_ok && smart_avg > best_random_avg ? 0 : 1;
+}

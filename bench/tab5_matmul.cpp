@@ -1,0 +1,148 @@
+// Tables 5.3-5.6 — distributed matrix multiplication, random vs smart
+// selection. One binary per table via SMARTSOCK_BENCH_TABLE.
+//
+// The "random" casts are the paper's reported Server List rows (pinning the
+// baseline to the very comparison the paper printed); the smart cast is the
+// wizard's live answer to the paper's requirement string, resolved through
+// the full probe→monitor→transmitter→receiver→wizard pipeline.
+#include "bench_util.h"
+#include "harness/experiment.h"
+
+#ifndef SMARTSOCK_BENCH_TABLE
+#define SMARTSOCK_BENCH_TABLE 53
+#endif
+
+using namespace smartsock;
+using harness::ExperimentRow;
+
+namespace {
+
+struct TableSpec {
+  const char* title;
+  std::size_t servers;
+  std::size_t block;
+  const char* requirement;
+  std::vector<std::string> random_cast;
+  double paper_random_seconds;
+  double paper_smart_seconds;
+  bool superpi_load;  // Table 5.6 loads helene/telesto/mimas
+  std::vector<std::string> pool;  // empty = all 11 hosts
+};
+
+TableSpec spec_for(int table) {
+  switch (table) {
+    case 53:
+      return {"Table 5.3: 2 vs 2 under zero workload (1500x1500, blk=600)",
+              2,
+              600,
+              "(host_cpu_bogomips > 4000) && (host_cpu_free > 0.9) && "
+              "(host_memory_free > 5)",
+              {"lhost", "phoebe"},
+              100.16,
+              63.00,
+              false,
+              {}};
+    case 54:
+      return {"Table 5.4: 4 vs 4 under zero workload (1500x1500, blk=200)",
+              4,
+              200,
+              "((host_cpu_bogomips > 4000) || (host_cpu_bogomips < 2000)) && "
+              "(host_cpu_free > 0.9) && (host_memory_free > 5)",
+              {"phoebe", "pandora-x", "calypso", "telesto"},
+              62.61,
+              49.95,
+              false,
+              {}};
+    case 55:
+      return {"Table 5.5: 6 vs 6 with blacklist (1500x1500, blk=200)",
+              6,
+              200,
+              "(host_cpu_free > 0.9) && (host_memory_free > 5) && "
+              "(user_denied_host1 = telesto) && (user_denied_host2 = mimas) && "
+              "(user_denied_host3 = phoebe) && (user_denied_host4 = calypso) && "
+              "(user_denied_host5 = titan-x)",
+              {"phoebe", "pandora-x", "calypso", "telesto", "helene", "lhost"},
+              46.90,
+              43.02,
+              false,
+              {}};
+    default:
+      return {"Table 5.6: 4 vs 4 with Super_PI workload (1500x1500, blk=200)",
+              4,
+              200,
+              "(host_cpu_free > 0.9) && (host_memory_free > 5) && "
+              "(host_system_load1 < 0.5)",
+              {"mimas", "helene", "calypso", "telesto"},
+              90.93,
+              66.72,
+              true,
+              {"telesto", "mimas", "helene", "phoebe", "calypso", "titan-x",
+               "pandora-x"}};
+  }
+}
+
+void print_result(const char* label, const ExperimentRow& row, double paper_seconds) {
+  bench::print_row({label, row.servers_joined(),
+                    row.ok ? bench::fmt(row.matmul_virtual_seconds, 2) : row.error,
+                    bench::fmt(paper_seconds, 2)},
+                   {10, 44, 14, 12});
+}
+
+}  // namespace
+
+int main() {
+  TableSpec spec = spec_for(SMARTSOCK_BENCH_TABLE);
+
+  harness::HarnessOptions options = harness::matmul_harness_options(/*time_scale=*/0.004);
+  if (!spec.pool.empty()) {
+    options.hosts.clear();
+    for (const std::string& name : spec.pool) {
+      options.hosts.push_back(*sim::find_paper_host(name));
+    }
+  }
+  harness::ClusterHarness cluster(options);
+  if (!cluster.start() || !cluster.wait_for_all_reports(std::chrono::seconds(5))) {
+    std::fprintf(stderr, "harness failed to start\n");
+    return 1;
+  }
+
+  if (spec.superpi_load) {
+    for (const char* host : {"helene", "telesto", "mimas"}) {
+      cluster.set_workload(host, apps::WorkloadKind::kSuperPi);
+    }
+    cluster.refresh_now();
+  }
+
+  harness::MatmulExperiment experiment;
+  experiment.n = 1500;
+  experiment.block = spec.block;
+
+  auto pool = cluster.all_servers();
+  auto random_cast = harness::pick_named(pool, spec.random_cast);
+  std::string error;
+  auto smart_cast = harness::smart_selection(cluster, spec.requirement, spec.servers, &error);
+
+  bench::print_title(spec.title);
+  bench::print_row({"library", "server list", "time (v-s)", "paper (s)"}, {10, 44, 14, 12});
+
+  ExperimentRow random_row = harness::run_matmul(cluster, random_cast, experiment, "random");
+  print_result("random", random_row, spec.paper_random_seconds);
+
+  ExperimentRow smart_row = harness::run_matmul(cluster, smart_cast, experiment, "smart");
+  if (smart_cast.empty()) smart_row.error = "wizard: " + error;
+  print_result("smart", smart_row, spec.paper_smart_seconds);
+
+  if (random_row.ok && smart_row.ok && random_row.matmul_virtual_seconds > 0) {
+    double improvement = 100.0 * (random_row.matmul_virtual_seconds -
+                                  smart_row.matmul_virtual_seconds) /
+                         random_row.matmul_virtual_seconds;
+    double paper_improvement =
+        100.0 * (spec.paper_random_seconds - spec.paper_smart_seconds) /
+        spec.paper_random_seconds;
+    bench::print_note("");
+    bench::print_note("improvement: " + bench::fmt(improvement, 1) + "%  (paper: " +
+                      bench::fmt(paper_improvement, 1) + "%)");
+  }
+  cluster.stop();
+  return (random_row.ok && smart_row.ok) ? 0 : 1;
+}

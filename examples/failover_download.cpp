@@ -1,0 +1,93 @@
+// Server-failure recovery (§1.1's motivation: "A recovery mechanism must be
+// established ... to make use of alternative servers").
+//
+// Downloads from two servers; midway, one file server is killed. The client
+// asks the wizard for a replacement (excluding the dead host) and finishes
+// the download on the substitute — no restart, no manual server list.
+//
+//   $ ./failover_download
+#include <cstdio>
+
+#include "apps/massd/downloader.h"
+#include "apps/massd/file_server.h"
+#include "harness/cluster_harness.h"
+
+using namespace smartsock;
+
+int main() {
+  harness::HarnessOptions options;
+  options.start_file_servers = true;
+  options.hosts = {*sim::find_paper_host("lhost"), *sim::find_paper_host("mimas"),
+                   *sim::find_paper_host("dione")};
+  harness::ClusterHarness cluster(options);
+  if (!cluster.start() || !cluster.wait_for_all_reports(std::chrono::seconds(5))) {
+    std::fprintf(stderr, "cluster failed to start\n");
+    return 1;
+  }
+
+  const char* requirement = "host_cpu_free > 0.5\n";
+  core::SmartClient client = cluster.make_client();
+
+  auto connection = client.smart_connect(requirement, 2);
+  if (!connection.ok) {
+    std::fprintf(stderr, "initial connect failed: %s\n", connection.error.c_str());
+    cluster.stop();
+    return 1;
+  }
+  std::printf("downloading from: %s, %s\n", connection.sockets[0].server.host.c_str(),
+              connection.sockets[1].server.host.c_str());
+
+  // First half of the file on the initial pair.
+  apps::DownloadConfig first_half;
+  first_half.total_bytes = 512 * 1024;
+  first_half.block_bytes = 64 * 1024;
+  std::vector<net::TcpSocket> sockets;
+  std::string victim = connection.sockets[1].server.host;
+  std::string survivor = connection.sockets[0].server.host;
+  sockets.push_back(std::move(connection.sockets[0].socket));
+  sockets.push_back(std::move(connection.sockets[1].socket));
+  auto result = apps::mass_download(first_half, std::move(sockets));
+  if (!result.ok) {
+    std::fprintf(stderr, "first half failed: %s\n", result.error.c_str());
+    cluster.stop();
+    return 1;
+  }
+  std::printf("first half done (%.0f KB/s)\n", result.throughput_kbps());
+
+  // Disaster: one server dies.
+  std::printf("killing %s's file server mid-job...\n", victim.c_str());
+  cluster.host(victim)->file_server->stop();
+
+  // Recovery: a substitute satisfying the same requirement, avoiding both
+  // the dead host and the one we already use.
+  auto replacement = client.find_replacement(requirement, {victim, survivor});
+  if (!replacement) {
+    std::fprintf(stderr, "no replacement server available\n");
+    cluster.stop();
+    return 1;
+  }
+  std::printf("wizard substituted: %s\n", replacement->server.host.c_str());
+
+  // Second half on the survivor + substitute.
+  auto survivor_socket = net::TcpSocket::connect(
+      *net::Endpoint::parse(cluster.host(survivor)->file_server->endpoint().to_string()),
+      std::chrono::seconds(1));
+  if (!survivor_socket) {
+    std::fprintf(stderr, "survivor reconnect failed\n");
+    cluster.stop();
+    return 1;
+  }
+  std::vector<net::TcpSocket> second_sockets;
+  second_sockets.push_back(std::move(*survivor_socket));
+  second_sockets.push_back(std::move(replacement->socket));
+  auto second = apps::mass_download(first_half, std::move(second_sockets));
+  if (!second.ok) {
+    std::fprintf(stderr, "second half failed: %s\n", second.error.c_str());
+    cluster.stop();
+    return 1;
+  }
+  std::printf("second half done (%.0f KB/s) — download completed despite the failure\n",
+              second.throughput_kbps());
+  cluster.stop();
+  return 0;
+}

@@ -1,0 +1,89 @@
+// The thesis's worked example, Figure 1.4, end to end.
+//
+// "A user requests for 3 servers. Each server must have 100 MBytes free
+// memory and the CPU usage must be less than 10%. Also, the network delay to
+// each server should be less than 20 ms and the host named hacker.some.net
+// must not be selected. There are 12 available servers located in four
+// networks: A, B, C and D, with a network delay of 100 ms, 5 ms, 10 ms and
+// 15 ms each. [...] All servers in network A are eliminated due to the long
+// network delay. Host B2, C1 and D1 are qualified based on the requirements.
+// Host C2 is not chosen since it is blacklisted."
+//
+//   $ ./fig1_4_scenario
+#include <cstdio>
+
+#include "harness/cluster_harness.h"
+
+using namespace smartsock;
+
+int main() {
+  // Twelve servers across networks A-D (three per network). C2 doubles as
+  // the blacklisted "hacker.some.net" of the figure.
+  harness::HarnessOptions options;
+  options.hosts.clear();
+  const char* networks = "ABCD";
+  for (int n = 0; n < 4; ++n) {
+    for (int i = 1; i <= 3; ++i) {
+      sim::HostSpec spec;
+      spec.name = std::string(1, networks[n]) + std::to_string(i);
+      spec.cpu_model = "P4 2.0GHz";
+      spec.bogomips = 4000;
+      spec.ram_mb = 512;
+      spec.segment = n;
+      spec.matmul_mflops = 40;
+      options.hosts.push_back(spec);
+    }
+  }
+  options.group_fn = [&](const sim::HostSpec& spec) {
+    return "net" + std::string(1, spec.name[0]);
+  };
+
+  harness::ClusterHarness cluster(options);
+  if (!cluster.start() || !cluster.wait_for_all_reports(std::chrono::seconds(5))) {
+    std::fprintf(stderr, "cluster failed to start\n");
+    return 1;
+  }
+
+  // The figure's network delays: A=100 ms, B=5 ms, C=10 ms, D=15 ms.
+  cluster.set_group_metrics("netA", 100.0, 50.0);
+  cluster.set_group_metrics("netB", 5.0, 50.0);
+  cluster.set_group_metrics("netC", 10.0, 50.0);
+  cluster.set_group_metrics("netD", 15.0, 50.0);
+
+  // Load every host but one per network so exactly B2, C1, C2, D1 are idle —
+  // the figure's qualification pattern.
+  for (const char* busy : {"A1", "A2", "A3", "B1", "B3", "C3", "D2", "D3"}) {
+    cluster.set_workload(busy, apps::WorkloadKind::kSuperPi);
+  }
+  cluster.refresh_now();
+
+  const char* requirement =
+      "host_memory_free >= 100          # 100 MB free memory\n"
+      "host_cpu_free >= 0.9             # CPU usage < 10%\n"
+      "monitor_network_delay < 20       # eliminates all of network A\n"
+      "user_denied_host1 = C2           # the figure's hacker.some.net\n";
+
+  std::printf("requirement:\n%s\n", requirement);
+  core::SmartClient client = cluster.make_client();
+  core::WizardReply reply = client.query(requirement, 3);
+  if (!reply.ok) {
+    std::fprintf(stderr, "wizard error: %s\n", reply.error.c_str());
+    cluster.stop();
+    return 1;
+  }
+
+  std::printf("wizard selected %zu servers:\n", reply.servers.size());
+  for (const core::ServerEntry& server : reply.servers) {
+    std::printf("  %s (%s)\n", server.host.c_str(), server.address.c_str());
+  }
+  std::printf("expected per Fig 1.4: B2, C1, D1 (A* too slow, C2 blacklisted,\n");
+  std::printf("the rest busy)\n");
+  cluster.stop();
+
+  bool correct = reply.servers.size() == 3;
+  for (const auto& server : reply.servers) {
+    if (server.host != "B2" && server.host != "C1" && server.host != "D1") correct = false;
+  }
+  std::printf("%s\n", correct ? "MATCHES THE FIGURE" : "DIFFERS FROM THE FIGURE");
+  return correct ? 0 : 1;
+}

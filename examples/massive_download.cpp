@@ -1,0 +1,65 @@
+// Massive download over smart sockets (§5.3.2).
+//
+// Two server groups are shaped to different bandwidths (the rshaper
+// substitute); the network monitor publishes the per-group bandwidth; the
+// requirement "monitor_network_bw > X" steers the download to the fast
+// group. Compare against a deliberately bad pick to see the difference.
+//
+//   $ ./massive_download [data_kb]
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/experiment.h"
+
+using namespace smartsock;
+
+int main(int argc, char** argv) {
+  std::uint64_t data_kb = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 800;
+
+  harness::HarnessOptions options = harness::massd_harness_options();
+  options.hosts.clear();
+  for (int group : {1, 2}) {
+    for (const std::string& name : sim::massd_group(group)) {
+      options.hosts.push_back(*sim::find_paper_host(name));
+    }
+  }
+  harness::ClusterHarness cluster(options);
+  if (!cluster.start() || !cluster.wait_for_all_reports(std::chrono::seconds(5))) {
+    std::fprintf(stderr, "cluster failed to start\n");
+    return 1;
+  }
+
+  // Shape the groups: group-1 is the fast one today.
+  cluster.set_group_metrics("group-1", 0.5, 8.0);  // 8 Mbps ≈ 1 MB/s
+  cluster.set_group_metrics("group-2", 0.5, 1.6);  // 1.6 Mbps ≈ 200 KB/s
+  cluster.refresh_now();
+  std::printf("group-1 shaped to 8.0 Mbps, group-2 to 1.6 Mbps\n");
+
+  harness::MassdExperiment experiment;
+  experiment.data_kb = data_kb;
+  experiment.block_kb = 100;
+
+  auto smart = harness::smart_selection(cluster, "monitor_network_bw > 6", 2);
+  harness::ExperimentRow smart_row = harness::run_massd(cluster, smart, experiment, "smart");
+  if (!smart_row.ok) {
+    std::fprintf(stderr, "smart run failed: %s\n", smart_row.error.c_str());
+    cluster.stop();
+    return 1;
+  }
+  std::printf("smart  [%s]: %.0f KB/s aggregate (%.0f KB/s per server)\n",
+              smart_row.servers_joined().c_str(), smart_row.throughput_kbps,
+              smart_row.avg_per_server_kbps);
+
+  auto slow = harness::pick_named(cluster.all_servers(), sim::massd_group(2));
+  slow.resize(2);
+  harness::ExperimentRow slow_row = harness::run_massd(cluster, slow, experiment, "slow");
+  if (slow_row.ok) {
+    std::printf("slow   [%s]: %.0f KB/s aggregate (%.0f KB/s per server)\n",
+                slow_row.servers_joined().c_str(), slow_row.throughput_kbps,
+                slow_row.avg_per_server_kbps);
+    std::printf("smart/slow speedup: %.1fx\n",
+                smart_row.throughput_kbps / slow_row.throughput_kbps);
+  }
+  cluster.stop();
+  return 0;
+}

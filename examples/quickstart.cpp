@@ -1,0 +1,58 @@
+// Quickstart — the thesis's Fig 1.4 flow in one self-contained program.
+//
+// Boots the full smart-socket stack (11 simulated servers, probes, monitors,
+// transmitter/receiver, wizard) inside this process over loopback, then acts
+// as a user: writes a requirement, asks for 3 servers, and receives a list
+// of *connected TCP sockets* to the best machines.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "harness/cluster_harness.h"
+
+using namespace smartsock;
+
+int main() {
+  // 1. Bring up the cluster (in a real deployment these daemons run on the
+  //    servers / monitor machine / wizard machine; see README).
+  harness::HarnessOptions options;
+  options.start_workers = true;  // give each host a connectable service
+  harness::ClusterHarness cluster(options);
+  if (!cluster.start() || !cluster.wait_for_all_reports(std::chrono::seconds(5))) {
+    std::fprintf(stderr, "cluster failed to start\n");
+    return 1;
+  }
+  std::printf("cluster up: 11 servers reporting to wizard at %s\n",
+              cluster.wizard_endpoint().to_string().c_str());
+
+  // 2. The user's requirement, in the thesis's meta language.
+  const char* requirement =
+      "# want fast, idle machines with memory to spare\n"
+      "host_cpu_bogomips > 3000\n"
+      "host_cpu_free >= 0.9\n"
+      "host_memory_free > 64\n"
+      "host_system_load1 < 0.5\n"
+      "user_denied_host1 = telesto   # blacklisted, whatever its stats say\n";
+
+  // 3. One call: query the wizard and connect to the winners.
+  core::SmartClient client = cluster.make_client();
+  core::SmartConnectResult result = client.smart_connect(requirement, 3);
+  if (!result.ok) {
+    std::fprintf(stderr, "smart_connect failed: %s\n", result.error.c_str());
+    cluster.stop();
+    return 1;
+  }
+
+  std::printf("connected to %zu servers:\n", result.sockets.size());
+  for (const core::SmartSocket& smart_socket : result.sockets) {
+    std::printf("  %-12s %s (fd %d)\n", smart_socket.server.host.c_str(),
+                smart_socket.server.address.c_str(), smart_socket.socket.fd());
+  }
+
+  // 4. The sockets are ordinary TCP sockets — hand them to any protocol.
+  //    (Here they point at matmul workers; see distributed_matmul.cpp.)
+  result.sockets.clear();
+  cluster.stop();
+  std::printf("done\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Requirement-language REPL — explore the thesis's meta language (§4.3).
+//
+// Reads statements from stdin and evaluates them against a sample server's
+// attribute set (dalmatian under light load), printing per-statement values,
+// the logic flag, the final qualified verdict and any captured host slots.
+//
+//   $ echo 'host_cpu_free > 0.9 && host_memory_free > 100' | ./requirement_repl
+//   $ ./requirement_repl --attrs   # list the available variables first
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+
+#include "lang/requirement.h"
+
+using namespace smartsock;
+
+namespace {
+lang::AttributeSet sample_attributes() {
+  lang::AttributeSet attrs;
+  attrs["host_system_load1"] = 0.18;
+  attrs["host_system_load5"] = 0.22;
+  attrs["host_system_load15"] = 0.25;
+  attrs["host_cpu_user"] = 0.05;
+  attrs["host_cpu_nice"] = 0.0;
+  attrs["host_cpu_system"] = 0.02;
+  attrs["host_cpu_idle"] = 0.93;
+  attrs["host_cpu_free"] = 0.93;
+  attrs["host_cpu_bogomips"] = 4771.02;
+  attrs["host_memory_total"] = 512.0;
+  attrs["host_memory_used"] = 131.0;
+  attrs["host_memory_free"] = 381.0;
+  attrs["host_disk_allreq"] = 2.0;
+  attrs["host_disk_rreq"] = 1.0;
+  attrs["host_disk_rblocks"] = 8.0;
+  attrs["host_disk_wreq"] = 1.0;
+  attrs["host_disk_wblocks"] = 8.0;
+  attrs["host_network_rbytesps"] = 1500.0;
+  attrs["host_network_rpacketsps"] = 4.0;
+  attrs["host_network_tbytesps"] = 2100.0;
+  attrs["host_network_tpacketsps"] = 5.0;
+  attrs["host_security_level"] = 1.0;
+  attrs["monitor_network_bw"] = 94.2;
+  attrs["monitor_network_delay"] = 0.4;
+  return attrs;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  lang::AttributeSet attrs = sample_attributes();
+
+  if (argc > 1 && std::strcmp(argv[1], "--attrs") == 0) {
+    std::printf("sample server attributes (dalmatian, lightly loaded):\n");
+    for (const auto& [name, value] : attrs) {
+      std::printf("  %-28s = %g\n", name.c_str(), value);
+    }
+    return 0;
+  }
+
+  std::printf("smartsock requirement REPL — evaluating against a sample server\n");
+  std::printf("(run with --attrs to list variables; EOF/ctrl-d to finish)\n");
+
+  std::ostringstream buffer;
+  std::string line;
+  while (std::getline(std::cin, line)) buffer << line << "\n";
+  std::string source = buffer.str();
+  if (source.empty()) {
+    std::printf("no input\n");
+    return 0;
+  }
+
+  std::string error;
+  auto requirement = lang::Requirement::compile(source, &error);
+  if (!requirement) {
+    std::printf("syntax error: %s\n", error.c_str());
+    return 1;
+  }
+
+  lang::EvalOutcome outcome = requirement->evaluate(attrs);
+  for (const lang::StatementResult& statement : outcome.statements) {
+    if (statement.errored) {
+      std::printf("line %d: ERROR %s\n", statement.line, statement.error.c_str());
+    } else {
+      std::printf("line %d: value=%g  %s\n", statement.line, statement.value,
+                  statement.logical ? "(logical)" : "(non-logical)");
+    }
+  }
+  for (const std::string& host : outcome.params.preferred()) {
+    std::printf("preferred host: %s\n", host.c_str());
+  }
+  for (const std::string& host : outcome.params.denied()) {
+    std::printf("denied host:    %s\n", host.c_str());
+  }
+  std::printf("verdict: server %s\n", outcome.qualified ? "QUALIFIES" : "rejected");
+  return 0;
+}

@@ -1,0 +1,100 @@
+#include "apps/massd/downloader.h"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "apps/massd/file_server.h"
+
+namespace smartsock::apps {
+
+DownloadResult mass_download(const DownloadConfig& config,
+                             std::vector<net::TcpSocket> servers) {
+  DownloadResult result;
+  if (servers.empty()) {
+    result.error = "no servers";
+    return result;
+  }
+  if (config.total_bytes == 0 || config.block_bytes == 0) {
+    result.error = "data and block sizes must be positive";
+    return result;
+  }
+
+  const std::uint64_t blocks =
+      (config.total_bytes + config.block_bytes - 1) / config.block_bytes;
+
+  std::atomic<std::uint64_t> next_block{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mu;
+  std::string first_error;
+  result.bytes_per_server.assign(servers.size(), 0);
+  std::atomic<std::uint64_t> total_received{0};
+
+  util::Stopwatch stopwatch(util::SteadyClock::instance());
+
+  auto drive_server = [&](std::size_t index) {
+    net::TcpSocket& socket = servers[index];
+    socket.set_receive_timeout(config.io_timeout);
+    socket.set_no_delay(true);
+    std::uint64_t received_here = 0;
+    for (;;) {
+      std::uint64_t b = next_block.fetch_add(1, std::memory_order_relaxed);
+      if (b >= blocks || failed.load(std::memory_order_acquire)) break;
+      std::uint64_t offset = b * config.block_bytes;
+      std::uint64_t length =
+          std::min<std::uint64_t>(config.block_bytes, config.total_bytes - offset);
+
+      std::string request =
+          "BLK " + std::to_string(offset) + " " + std::to_string(length) + "\n";
+      if (!socket.send_all(request).ok()) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error.empty()) first_error = "request send failed";
+        failed.store(true, std::memory_order_release);
+        break;
+      }
+      std::string data;
+      auto io = socket.receive_exact(data, static_cast<std::size_t>(length));
+      if (!io.ok()) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error.empty()) first_error = "block receive failed";
+        failed.store(true, std::memory_order_release);
+        break;
+      }
+      if (config.verify_content) {
+        for (std::size_t i = 0; i < data.size(); ++i) {
+          if (data[i] != synthetic_file_byte(offset + i)) {
+            std::lock_guard<std::mutex> lock(error_mu);
+            if (first_error.empty()) {
+              first_error = "content mismatch at offset " + std::to_string(offset + i);
+            }
+            failed.store(true, std::memory_order_release);
+            break;
+          }
+        }
+        if (failed.load(std::memory_order_acquire)) break;
+      }
+      received_here += length;
+      total_received.fetch_add(length, std::memory_order_relaxed);
+    }
+    socket.send_all("BYE\n");
+    result.bytes_per_server[index] = received_here;
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(servers.size());
+  for (std::size_t s = 0; s < servers.size(); ++s) {
+    threads.emplace_back(drive_server, s);
+  }
+  for (std::thread& t : threads) t.join();
+
+  result.elapsed_seconds = stopwatch.elapsed_seconds();
+  result.bytes_received = total_received.load(std::memory_order_relaxed);
+  if (failed.load(std::memory_order_acquire)) {
+    result.error = first_error;
+    return result;
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace smartsock::apps

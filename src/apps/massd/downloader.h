@@ -1,0 +1,45 @@
+// massd downloader (§5.3.2).
+//
+// "The massd program can download data from multiple servers simultaneously"
+// using "the same algorithm as the matrix multiplication program": the file
+// is cut into fixed blocks and each server connection self-schedules the
+// next unclaimed block, so faster (higher-bandwidth) servers fetch more of
+// the file. The reported metric is average throughput = bytes / wall time,
+// the number Tables 5.7-5.9 compare.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/tcp_socket.h"
+#include "util/clock.h"
+
+namespace smartsock::apps {
+
+struct DownloadConfig {
+  std::uint64_t total_bytes = 0;   // thesis: data (50000 KB)
+  std::uint64_t block_bytes = 0;   // thesis: blk (100 KB)
+  bool verify_content = true;      // check the synthetic pattern
+  util::Duration io_timeout = std::chrono::seconds(30);
+};
+
+struct DownloadResult {
+  bool ok = false;
+  std::string error;
+  std::uint64_t bytes_received = 0;
+  double elapsed_seconds = 0.0;
+  std::vector<std::uint64_t> bytes_per_server;
+
+  /// Average throughput in KB/s — the thesis's reported metric.
+  double throughput_kbps() const {
+    if (elapsed_seconds <= 0.0) return 0.0;
+    return static_cast<double>(bytes_received) / 1024.0 / elapsed_seconds;
+  }
+};
+
+/// Downloads `config.total_bytes` over the given already-connected file
+/// server sockets (consumed; BYE sent when done).
+DownloadResult mass_download(const DownloadConfig& config,
+                             std::vector<net::TcpSocket> servers);
+
+}  // namespace smartsock::apps

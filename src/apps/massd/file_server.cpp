@@ -1,0 +1,99 @@
+#include "apps/massd/file_server.h"
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace smartsock::apps {
+
+char synthetic_file_byte(std::uint64_t offset) {
+  return static_cast<char>(offset % 251);
+}
+
+std::string synthetic_file_chunk(std::uint64_t offset, std::size_t length) {
+  std::string out(length, '\0');
+  for (std::size_t i = 0; i < length; ++i) {
+    out[i] = synthetic_file_byte(offset + i);
+  }
+  return out;
+}
+
+FileServer::FileServer(FileServerConfig config)
+    : config_(config), shaper_(config.rate_bytes_per_sec, config.burst_bytes) {
+  if (auto listener = net::TcpListener::listen(config_.bind)) {
+    listener_ = std::move(*listener);
+    endpoint_ = listener_.local_endpoint();
+  }
+}
+
+FileServer::~FileServer() { stop(); }
+
+bool FileServer::start() {
+  if (!listener_.valid() || accept_thread_.joinable()) return false;
+  stop_requested_.store(false, std::memory_order_release);
+  accept_thread_ = std::thread([this] { run_loop(); });
+  return true;
+}
+
+void FileServer::stop() {
+  stop_requested_.store(true, std::memory_order_release);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    workers.swap(connection_threads_);
+  }
+  for (std::thread& t : workers) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void FileServer::run_loop() {
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    auto client = listener_.accept(std::chrono::milliseconds(50));
+    if (!client) continue;
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    connection_threads_.emplace_back(
+        [this, sock = std::move(*client)]() mutable { serve_connection(std::move(sock)); });
+  }
+}
+
+void FileServer::serve_connection(net::TcpSocket socket) {
+  socket.set_receive_timeout(std::chrono::seconds(5));
+  socket.set_no_delay(true);
+  std::string line;
+  std::string ch;
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    line.clear();
+    bool got_line = false;
+    while (line.size() < 96) {
+      auto result = socket.receive_exact(ch, 1);
+      if (!result.ok()) return;
+      if (ch[0] == '\n') {
+        got_line = true;
+        break;
+      }
+      line += ch[0];
+    }
+    if (!got_line) return;
+    if (line == "BYE") return;
+
+    auto fields = util::split_whitespace(line);
+    if (fields.size() != 3 || fields[0] != "BLK") return;
+    auto offset = util::parse_uint(fields[1]);
+    auto length = util::parse_uint(fields[2]);
+    if (!offset || !length || *length > (64ull << 20)) return;
+
+    std::uint64_t sent = 0;
+    while (sent < *length && !stop_requested_.load(std::memory_order_acquire)) {
+      std::size_t chunk =
+          static_cast<std::size_t>(std::min<std::uint64_t>(config_.send_chunk, *length - sent));
+      shaper_.acquire(chunk);
+      std::string data = synthetic_file_chunk(*offset + sent, chunk);
+      if (!socket.send_all(data).ok()) return;
+      sent += chunk;
+      bytes_served_.fetch_add(chunk, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace smartsock::apps

@@ -1,0 +1,70 @@
+// massd file server (§5.3.2).
+//
+// Serves blocks of a deterministic synthetic file over TCP, with every send
+// passing through the server's token-bucket shaper (the rshaper substitute).
+// Protocol: the client sends "BLK <offset> <length>\n"; the server streams
+// exactly `length` bytes of file content, then waits for the next request.
+// "BYE\n" (or EOF) ends the connection.
+//
+// File content at offset i is byte (i % 251) — cheap to generate at any
+// offset and lets downloaders verify block integrity end to end.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "apps/massd/shaper.h"
+#include "net/tcp_listener.h"
+
+namespace smartsock::apps {
+
+/// File content generator shared by the server and downloader verification.
+char synthetic_file_byte(std::uint64_t offset);
+std::string synthetic_file_chunk(std::uint64_t offset, std::size_t length);
+
+struct FileServerConfig {
+  net::Endpoint bind = net::Endpoint::loopback(0);
+  double rate_bytes_per_sec = 0.0;  // 0 = unshaped
+  double burst_bytes = 64 * 1024;
+  std::size_t send_chunk = 8 * 1024;  // shaper granularity
+};
+
+class FileServer {
+ public:
+  explicit FileServer(FileServerConfig config);
+  ~FileServer();
+
+  FileServer(const FileServer&) = delete;
+  FileServer& operator=(const FileServer&) = delete;
+
+  net::Endpoint endpoint() const { return endpoint_; }
+
+  /// Re-shapes the server's bandwidth (rshaper re-run).
+  void set_rate(double rate_bytes_per_sec) { shaper_.set_rate(rate_bytes_per_sec); }
+  double rate() const { return shaper_.rate(); }
+
+  bool start();
+  void stop();
+
+  std::uint64_t bytes_served() const { return bytes_served_.load(std::memory_order_relaxed); }
+  bool valid() const { return listener_.valid(); }
+
+ private:
+  void run_loop();
+  void serve_connection(net::TcpSocket socket);
+
+  FileServerConfig config_;
+  TokenBucket shaper_;
+  net::TcpListener listener_;
+  net::Endpoint endpoint_;
+
+  std::thread accept_thread_;
+  std::vector<std::thread> connection_threads_;
+  std::mutex threads_mu_;
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<std::uint64_t> bytes_served_{0};
+};
+
+}  // namespace smartsock::apps

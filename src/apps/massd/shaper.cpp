@@ -1,0 +1,62 @@
+#include "apps/massd/shaper.h"
+
+#include <algorithm>
+
+namespace smartsock::apps {
+
+TokenBucket::TokenBucket(double rate_bytes_per_sec, double burst_bytes, util::Clock& clock)
+    : clock_(&clock),
+      rate_(rate_bytes_per_sec),
+      burst_(std::max(burst_bytes, 1.0)),
+      tokens_(std::min(burst_bytes, rate_bytes_per_sec)),  // start part-full
+      last_refill_(clock.now()) {}
+
+void TokenBucket::refill_locked(util::Duration now) {
+  double dt = util::to_seconds(now - last_refill_);
+  if (dt <= 0.0) return;
+  tokens_ = std::min(burst_, tokens_ + rate_ * dt);
+  last_refill_ = now;
+}
+
+void TokenBucket::acquire(std::uint64_t bytes) {
+  double remaining = static_cast<double>(bytes);
+  while (remaining > 0.0) {
+    // A request larger than the bucket drains in burst-sized installments —
+    // the bucket can never hold more than `burst_` tokens at once.
+    double chunk;
+    util::Duration wait{0};
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (rate_ <= 0.0) return;  // unshaped
+      refill_locked(clock_->now());
+      chunk = std::min(remaining, burst_);
+      // Sub-token float dust must not force another wait round: allow a
+      // microscopic overdraft and clamp back to zero.
+      if (tokens_ + 1e-6 >= chunk) {
+        tokens_ = std::max(0.0, tokens_ - chunk);
+        remaining -= chunk;
+        continue;
+      }
+      double deficit = chunk - tokens_;
+      wait = util::from_seconds(deficit / rate_);
+    }
+    // Floor the wait so it cannot truncate to a zero (non-advancing) sleep,
+    // and cap it so on-the-fly rate increases take effect promptly.
+    wait = std::clamp(wait, util::Duration(std::chrono::microseconds(1)),
+                      util::from_millis(50.0));
+    clock_->sleep_for(wait);
+  }
+}
+
+void TokenBucket::set_rate(double rate_bytes_per_sec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  refill_locked(clock_->now());
+  rate_ = rate_bytes_per_sec;
+}
+
+double TokenBucket::rate() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rate_;
+}
+
+}  // namespace smartsock::apps

@@ -1,0 +1,43 @@
+// Token-bucket bandwidth shaper — the rshaper substitute (§5.3.2, Fig 5.3).
+//
+// The thesis throttles each file server's interface with the rshaper kernel
+// module to emulate heterogeneous WAN bandwidth. A user-space token bucket
+// on the server's send path gives the same controlled ceiling: tokens refill
+// at `rate` bytes/sec up to `burst`, and a sender blocks until its chunk is
+// covered. Fig 5.3's calibration (shaped rate ≈ achieved massd throughput)
+// is reproduced by bench_fig5_3.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "util/clock.h"
+
+namespace smartsock::apps {
+
+class TokenBucket {
+ public:
+  /// rate == 0 disables shaping (acquire returns immediately).
+  TokenBucket(double rate_bytes_per_sec, double burst_bytes,
+              util::Clock& clock = util::SteadyClock::instance());
+
+  /// Blocks until `bytes` tokens are available, then consumes them.
+  void acquire(std::uint64_t bytes);
+
+  /// Changes the rate on the fly (the bench re-shapes between runs, like
+  /// re-invoking rshaper).
+  void set_rate(double rate_bytes_per_sec);
+  double rate() const;
+
+ private:
+  void refill_locked(util::Duration now);
+
+  mutable std::mutex mu_;
+  util::Clock* clock_;
+  double rate_;
+  double burst_;
+  double tokens_;
+  util::Duration last_refill_;
+};
+
+}  // namespace smartsock::apps

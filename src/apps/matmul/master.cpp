@@ -1,0 +1,113 @@
+#include "apps/matmul/master.h"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "util/logging.h"
+
+namespace smartsock::apps {
+
+namespace {
+struct Tile {
+  std::size_t i0, i1, j0, j1;
+};
+}  // namespace
+
+MatmulRunResult MatmulMaster::run(const Matrix& a, const Matrix& b,
+                                  std::vector<net::TcpSocket> workers) {
+  MatmulRunResult result;
+  if (a.cols() != b.rows()) {
+    result.error = "shape mismatch";
+    return result;
+  }
+  if (workers.empty()) {
+    result.error = "no workers";
+    return result;
+  }
+  if (block_ == 0) {
+    result.error = "block size must be positive";
+    return result;
+  }
+
+  const std::size_t m = a.rows();
+  const std::size_t n = b.cols();
+  const std::size_t k = a.cols();
+
+  // Build the tile list (ragged edges allowed: 1500 with blk 600 gives
+  // 600/600/300 strips, as in the thesis's 2-server experiment).
+  std::vector<Tile> tiles;
+  for (std::size_t i0 = 0; i0 < m; i0 += block_) {
+    for (std::size_t j0 = 0; j0 < n; j0 += block_) {
+      tiles.push_back(Tile{i0, std::min(i0 + block_, m), j0, std::min(j0 + block_, n)});
+    }
+  }
+
+  result.c = Matrix(m, n);
+  result.tiles_per_worker.assign(workers.size(), 0);
+
+  std::atomic<std::size_t> next_tile{0};
+  std::atomic<bool> failed{false};
+  std::mutex c_mu;
+  std::string first_error;
+  std::mutex error_mu;
+
+  util::Stopwatch stopwatch(util::SteadyClock::instance());
+
+  auto drive_worker = [&](std::size_t worker_index) {
+    net::TcpSocket& socket = workers[worker_index];
+    socket.set_receive_timeout(std::chrono::seconds(30));
+    socket.set_no_delay(true);
+    for (;;) {
+      std::size_t t = next_tile.fetch_add(1, std::memory_order_relaxed);
+      if (t >= tiles.size() || failed.load(std::memory_order_acquire)) break;
+      const Tile& tile = tiles[t];
+
+      TileTask task;
+      task.k = k;
+      task.i0 = tile.i0;
+      task.i1 = tile.i1;
+      task.j0 = tile.j0;
+      task.j1 = tile.j1;
+      task.a_slice = a.row_slice(tile.i0, tile.i1);
+      task.b_slice = b.col_slice(tile.j0, tile.j1);
+
+      if (!send_task(socket, task)) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error.empty()) first_error = "send to worker failed";
+        failed.store(true, std::memory_order_release);
+        break;
+      }
+      auto tile_result = receive_result(socket);
+      if (!tile_result) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error.empty()) first_error = "worker result missing";
+        failed.store(true, std::memory_order_release);
+        break;
+      }
+      {
+        std::lock_guard<std::mutex> lock(c_mu);
+        result.c.place_block(tile_result->i0, tile_result->j0, tile_result->c_tile);
+        ++result.tiles_per_worker[worker_index];
+      }
+    }
+    send_quit(socket);
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers.size());
+  for (std::size_t w = 0; w < workers.size(); ++w) {
+    threads.emplace_back(drive_worker, w);
+  }
+  for (std::thread& t : threads) t.join();
+
+  result.elapsed_seconds = stopwatch.elapsed_seconds();
+  if (failed.load(std::memory_order_acquire)) {
+    result.error = first_error;
+    return result;
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace smartsock::apps

@@ -1,0 +1,43 @@
+// Matmul master (Appendix C, Fig C.2).
+//
+// Tiles C into blk×blk blocks and self-schedules them over the worker
+// connections: each worker thread pulls the next tile off a shared queue as
+// soon as its previous result returns, so faster servers naturally absorb
+// more tiles — which is exactly why picking faster servers (the smart
+// library's job) shortens the makespan in Tables 5.3-5.6.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/matmul/protocol.h"
+#include "net/tcp_socket.h"
+#include "util/clock.h"
+
+namespace smartsock::apps {
+
+struct MatmulRunResult {
+  bool ok = false;
+  std::string error;
+  Matrix c;
+  double elapsed_seconds = 0.0;          // wall clock
+  std::vector<std::size_t> tiles_per_worker;  // scheduling fairness signal
+};
+
+class MatmulMaster {
+ public:
+  /// `block` is the C tile edge (the thesis's blk parameter: 200 or 600).
+  MatmulMaster(std::size_t block) : block_(block) {}
+
+  /// Multiplies a·b using the given already-connected worker sockets. The
+  /// sockets are consumed (quit frames sent, connections closed).
+  MatmulRunResult run(const Matrix& a, const Matrix& b,
+                      std::vector<net::TcpSocket> workers);
+
+  std::size_t block() const { return block_; }
+
+ private:
+  std::size_t block_;
+};
+
+}  // namespace smartsock::apps

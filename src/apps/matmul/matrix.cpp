@@ -1,0 +1,59 @@
+#include "apps/matmul/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace smartsock::apps {
+
+Matrix Matrix::random(std::size_t rows, std::size_t cols, util::Rng& rng, double lo, double hi) {
+  Matrix m(rows, cols);
+  for (double& x : m.data_) x = rng.uniform(lo, hi);
+  return m;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::row_slice(std::size_t r0, std::size_t r1) const {
+  Matrix out(r1 - r0, cols_);
+  std::copy(data_.begin() + static_cast<std::ptrdiff_t>(r0 * cols_),
+            data_.begin() + static_cast<std::ptrdiff_t>(r1 * cols_), out.data_.begin());
+  return out;
+}
+
+Matrix Matrix::col_slice(std::size_t c0, std::size_t c1) const {
+  Matrix out(rows_, c1 - c0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = c0; c < c1; ++c) {
+      out.at(r, c - c0) = at(r, c);
+    }
+  }
+  return out;
+}
+
+void Matrix::place_block(std::size_t r0, std::size_t c0, const Matrix& block) {
+  for (std::size_t r = 0; r < block.rows(); ++r) {
+    for (std::size_t c = 0; c < block.cols(); ++c) {
+      at(r0 + r, c0 + c) = block.at(r, c);
+    }
+  }
+}
+
+double Matrix::max_abs_diff(const Matrix& other) const {
+  if (!same_shape(other)) return std::numeric_limits<double>::infinity();
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    max_diff = std::max(max_diff, std::abs(data_[i] - other.data_[i]));
+  }
+  return max_diff;
+}
+
+double multiply_flops(std::size_t m, std::size_t n, std::size_t k) {
+  return 2.0 * static_cast<double>(m) * static_cast<double>(n) * static_cast<double>(k);
+}
+
+}  // namespace smartsock::apps

@@ -1,0 +1,61 @@
+// Dense row-major matrix for the distributed multiplication experiments
+// (§5.3.1, Appendix C).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace smartsock::apps {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols), data_(rows * cols) {}
+
+  static Matrix random(std::size_t rows, std::size_t cols, util::Rng& rng, double lo = -1.0,
+                       double hi = 1.0);
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  const double* data() const { return data_.data(); }
+  double* data() { return data_.data(); }
+  std::size_t size_bytes() const { return data_.size() * sizeof(double); }
+
+  /// Copies rows [r0, r1) into a new (r1-r0) x cols matrix.
+  Matrix row_slice(std::size_t r0, std::size_t r1) const;
+
+  /// Copies columns [c0, c1) into a new rows x (c1-c0) matrix.
+  Matrix col_slice(std::size_t c0, std::size_t c1) const;
+
+  /// Writes `block` into this matrix at (r0, c0).
+  void place_block(std::size_t r0, std::size_t c0, const Matrix& block);
+
+  /// Max absolute elementwise difference; infinity on shape mismatch.
+  double max_abs_diff(const Matrix& other) const;
+
+  bool same_shape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Serial ("local mode") multiplication — the baseline and ground truth.
+Matrix multiply_serial(const Matrix& a, const Matrix& b);
+
+/// FLOP count of a matrix product (2·M·N·K).
+double multiply_flops(std::size_t m, std::size_t n, std::size_t k);
+
+}  // namespace smartsock::apps

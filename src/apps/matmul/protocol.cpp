@@ -1,0 +1,114 @@
+#include "apps/matmul/protocol.h"
+
+#include <cstring>
+
+#include "util/strings.h"
+
+namespace smartsock::apps {
+
+namespace {
+
+// Reads one '\n'-terminated header line byte by byte (headers are tiny; the
+// doubles that follow must not be consumed here).
+std::optional<std::string> read_line(net::TcpSocket& socket, std::size_t max_len = 128) {
+  std::string line;
+  std::string ch;
+  while (line.size() < max_len) {
+    auto result = socket.receive_exact(ch, 1);
+    if (!result.ok()) return std::nullopt;
+    if (ch[0] == '\n') return line;
+    line += ch[0];
+  }
+  return std::nullopt;
+}
+
+bool send_doubles(net::TcpSocket& socket, const Matrix& m) {
+  return socket.send_all(std::string_view(reinterpret_cast<const char*>(m.data()),
+                                          m.size_bytes()))
+      .ok();
+}
+
+bool receive_doubles(net::TcpSocket& socket, Matrix& m) {
+  std::string bytes;
+  auto result = socket.receive_exact(bytes, m.size_bytes());
+  if (!result.ok()) return false;
+  std::memcpy(m.data(), bytes.data(), bytes.size());
+  return true;
+}
+
+}  // namespace
+
+bool send_task(net::TcpSocket& socket, const TileTask& task) {
+  std::string header = "MMT1 " + std::to_string(task.k) + " " + std::to_string(task.i0) + " " +
+                       std::to_string(task.i1) + " " + std::to_string(task.j0) + " " +
+                       std::to_string(task.j1) + "\n";
+  if (!socket.send_all(header).ok()) return false;
+  return send_doubles(socket, task.a_slice) && send_doubles(socket, task.b_slice);
+}
+
+bool send_quit(net::TcpSocket& socket) { return socket.send_all("MMQ1\n").ok(); }
+
+std::optional<TileTask> receive_task(net::TcpSocket& socket, bool& quit) {
+  quit = false;
+  auto line = read_line(socket);
+  if (!line) return std::nullopt;
+  if (*line == "MMQ1") {
+    quit = true;
+    return std::nullopt;
+  }
+  auto fields = util::split_whitespace(*line);
+  if (fields.size() != 6 || fields[0] != "MMT1") return std::nullopt;
+  auto k = util::parse_uint(fields[1]);
+  auto i0 = util::parse_uint(fields[2]);
+  auto i1 = util::parse_uint(fields[3]);
+  auto j0 = util::parse_uint(fields[4]);
+  auto j1 = util::parse_uint(fields[5]);
+  if (!k || !i0 || !i1 || !j0 || !j1 || *i1 <= *i0 || *j1 <= *j0 || *k == 0) {
+    return std::nullopt;
+  }
+  // Guard against absurd allocations from a corrupt header.
+  if ((*i1 - *i0) * *k > (1u << 26) || (*j1 - *j0) * *k > (1u << 26)) return std::nullopt;
+
+  TileTask task;
+  task.k = *k;
+  task.i0 = *i0;
+  task.i1 = *i1;
+  task.j0 = *j0;
+  task.j1 = *j1;
+  task.a_slice = Matrix(task.i1 - task.i0, task.k);
+  task.b_slice = Matrix(task.k, task.j1 - task.j0);
+  if (!receive_doubles(socket, task.a_slice)) return std::nullopt;
+  if (!receive_doubles(socket, task.b_slice)) return std::nullopt;
+  return task;
+}
+
+bool send_result(net::TcpSocket& socket, const TileResult& result) {
+  std::string header = "MMR1 " + std::to_string(result.i0) + " " + std::to_string(result.i1) +
+                       " " + std::to_string(result.j0) + " " + std::to_string(result.j1) + "\n";
+  if (!socket.send_all(header).ok()) return false;
+  return send_doubles(socket, result.c_tile);
+}
+
+std::optional<TileResult> receive_result(net::TcpSocket& socket) {
+  auto line = read_line(socket);
+  if (!line) return std::nullopt;
+  auto fields = util::split_whitespace(*line);
+  if (fields.size() != 5 || fields[0] != "MMR1") return std::nullopt;
+  auto i0 = util::parse_uint(fields[1]);
+  auto i1 = util::parse_uint(fields[2]);
+  auto j0 = util::parse_uint(fields[3]);
+  auto j1 = util::parse_uint(fields[4]);
+  if (!i0 || !i1 || !j0 || !j1 || *i1 <= *i0 || *j1 <= *j0) return std::nullopt;
+  if ((*i1 - *i0) * (*j1 - *j0) > (1u << 26)) return std::nullopt;
+
+  TileResult result;
+  result.i0 = *i0;
+  result.i1 = *i1;
+  result.j0 = *j0;
+  result.j1 = *j1;
+  result.c_tile = Matrix(result.i1 - result.i0, result.j1 - result.j0);
+  if (!receive_doubles(socket, result.c_tile)) return std::nullopt;
+  return result;
+}
+
+}  // namespace smartsock::apps

@@ -1,0 +1,53 @@
+// Master↔worker wire protocol for distributed matrix multiplication
+// (Appendix C: "the entries in the input matrices are transferred to the
+// available servers for computation. The result entries will be sent back").
+//
+// A task computes one C tile: C[i0:i1, j0:j1] = A[i0:i1, :] · B[:, j0:j1].
+// Frames are an ASCII header line followed by raw little-host doubles (the
+// sockets stay within one architecture, like the thesis's binary transfers):
+//
+//   task:   "MMT1 k i0 i1 j0 j1\n" + A-slice doubles + B-slice doubles
+//   result: "MMR1 i0 i1 j0 j1\n" + C-tile doubles
+//   bye:    "MMQ1\n"                      (master is done with this worker)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "apps/matmul/matrix.h"
+#include "net/tcp_socket.h"
+
+namespace smartsock::apps {
+
+struct TileTask {
+  std::size_t k = 0;   // inner dimension (A cols == B rows)
+  std::size_t i0 = 0, i1 = 0;  // C row range
+  std::size_t j0 = 0, j1 = 0;  // C col range
+  Matrix a_slice;  // (i1-i0) x k
+  Matrix b_slice;  // k x (j1-j0)
+};
+
+struct TileResult {
+  std::size_t i0 = 0, i1 = 0;
+  std::size_t j0 = 0, j1 = 0;
+  Matrix c_tile;  // (i1-i0) x (j1-j0)
+};
+
+/// Sends one task frame. Returns false on socket failure.
+bool send_task(net::TcpSocket& socket, const TileTask& task);
+
+/// Receives the next frame on the worker side: a task, or nullopt on the
+/// quit frame / connection close / protocol error (distinguish via `quit`).
+std::optional<TileTask> receive_task(net::TcpSocket& socket, bool& quit);
+
+/// Sends the quit frame.
+bool send_quit(net::TcpSocket& socket);
+
+/// Sends one result frame.
+bool send_result(net::TcpSocket& socket, const TileResult& result);
+
+/// Receives one result frame on the master side.
+std::optional<TileResult> receive_result(net::TcpSocket& socket);
+
+}  // namespace smartsock::apps

@@ -1,0 +1,25 @@
+#include "apps/matmul/matrix.h"
+
+namespace smartsock::apps {
+
+Matrix multiply_serial(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  if (a.cols() != b.rows()) return c;  // shape mismatch yields zeros
+  const std::size_t m = a.rows();
+  const std::size_t n = b.cols();
+  const std::size_t k = a.cols();
+  // i-k-j loop order: streams B rows, the cache-friendly form of the
+  // thesis's vector-multiplication inner loop.
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      double aik = a.at(i, kk);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        c.at(i, j) += aik * b.at(kk, j);
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace smartsock::apps

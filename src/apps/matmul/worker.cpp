@@ -1,0 +1,87 @@
+#include "apps/matmul/worker.h"
+
+#include <chrono>
+
+#include "util/clock.h"
+#include "util/logging.h"
+
+namespace smartsock::apps {
+
+MatmulWorker::MatmulWorker(WorkerConfig config) : config_(config) {
+  if (auto listener = net::TcpListener::listen(config_.bind)) {
+    listener_ = std::move(*listener);
+    endpoint_ = listener_.local_endpoint();
+  }
+}
+
+MatmulWorker::~MatmulWorker() { stop(); }
+
+TileResult MatmulWorker::compute(const TileTask& task) {
+  TileResult result;
+  result.i0 = task.i0;
+  result.i1 = task.i1;
+  result.j0 = task.j0;
+  result.j1 = task.j1;
+  result.c_tile = multiply_serial(task.a_slice, task.b_slice);
+
+  if (config_.mode == ComputeMode::kCostModel) {
+    double flops =
+        multiply_flops(task.i1 - task.i0, task.j1 - task.j0, task.k) * config_.flops_multiplier;
+    double effective_mflops =
+        config_.mflops * std::max(0.01, speed_factor_.load(std::memory_order_relaxed));
+    double virtual_seconds = flops / (effective_mflops * 1e6);
+    util::SteadyClock::instance().sleep_for(
+        util::from_seconds(virtual_seconds * config_.time_scale));
+  }
+  tasks_completed_.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+bool MatmulWorker::start() {
+  if (!listener_.valid() || accept_thread_.joinable()) return false;
+  stop_requested_.store(false, std::memory_order_release);
+  accept_thread_ = std::thread([this] { run_loop(); });
+  return true;
+}
+
+void MatmulWorker::stop() {
+  stop_requested_.store(true, std::memory_order_release);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    workers.swap(connection_threads_);
+  }
+  for (std::thread& t : workers) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void MatmulWorker::run_loop() {
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    auto client = listener_.accept(std::chrono::milliseconds(50));
+    if (!client) continue;
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    connection_threads_.emplace_back(
+        [this, sock = std::move(*client)]() mutable { serve_connection(std::move(sock)); });
+  }
+}
+
+void MatmulWorker::serve_connection(net::TcpSocket socket) {
+  socket.set_receive_timeout(std::chrono::seconds(10));
+  socket.set_no_delay(true);
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    bool quit = false;
+    auto task = receive_task(socket, quit);
+    if (!task) {
+      if (!quit) {
+        SMARTSOCK_LOG(kDebug, "matmul_worker") << "connection ended";
+      }
+      return;
+    }
+    TileResult result = compute(*task);
+    if (!send_result(socket, result)) return;
+  }
+}
+
+}  // namespace smartsock::apps

@@ -1,0 +1,81 @@
+// Matmul worker — the service each compute server runs (Appendix C, Fig C.2).
+//
+// Accepts master connections and answers tile tasks. Two compute modes:
+//  * kReal      — actually multiplies the slices (tests/examples; verified
+//                 against the serial baseline);
+//  * kCostModel — multiplies *and* pays a virtual-time cost of
+//                 flops / (mflops · 1e6) seconds, scaled by `time_scale`
+//                 into real sleeping. This is how an 11-machine speed
+//                 spread (Fig 5.2) is reproduced on a single-core box: the
+//                 per-host ratios live in the cost, not the silicon.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "apps/matmul/protocol.h"
+#include "net/tcp_listener.h"
+
+namespace smartsock::apps {
+
+enum class ComputeMode { kReal, kCostModel };
+
+struct WorkerConfig {
+  net::Endpoint bind = net::Endpoint::loopback(0);
+  ComputeMode mode = ComputeMode::kReal;
+  double mflops = 50.0;       // effective matmul throughput (cost model)
+  double time_scale = 0.01;   // real seconds charged per virtual second
+  /// Cost-model experiments ship dimension-reduced tiles to keep loopback
+  /// traffic small but charge virtual time as if the tiles were full size:
+  /// shrinking every dimension by f needs flops_multiplier = f^3.
+  double flops_multiplier = 1.0;
+};
+
+class MatmulWorker {
+ public:
+  explicit MatmulWorker(WorkerConfig config);
+  ~MatmulWorker();
+
+  MatmulWorker(const MatmulWorker&) = delete;
+  MatmulWorker& operator=(const MatmulWorker&) = delete;
+
+  net::Endpoint endpoint() const { return endpoint_; }
+
+  bool start();
+  void stop();
+
+  std::uint64_t tasks_completed() const {
+    return tasks_completed_.load(std::memory_order_relaxed);
+  }
+  bool valid() const { return listener_.valid(); }
+
+  /// Scales the effective compute speed at runtime: a competing workload
+  /// (e.g. Super_PI time-sharing the CPU, §5.3.1 experiment 4) halves it.
+  /// 1.0 = unloaded. Applies to cost-model timing only.
+  void set_speed_factor(double factor) {
+    speed_factor_.store(factor, std::memory_order_relaxed);
+  }
+  double speed_factor() const { return speed_factor_.load(std::memory_order_relaxed); }
+
+  /// Computes one tile under the configured mode (exposed for tests).
+  TileResult compute(const TileTask& task);
+
+ private:
+  void run_loop();
+  void serve_connection(net::TcpSocket socket);
+
+  WorkerConfig config_;
+  net::TcpListener listener_;
+  net::Endpoint endpoint_;
+
+  std::thread accept_thread_;
+  std::vector<std::thread> connection_threads_;
+  std::mutex threads_mu_;
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<std::uint64_t> tasks_completed_{0};
+  std::atomic<double> speed_factor_{1.0};
+};
+
+}  // namespace smartsock::apps

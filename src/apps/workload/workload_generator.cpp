@@ -1,0 +1,48 @@
+#include "apps/workload/workload_generator.h"
+
+namespace smartsock::apps {
+
+void apply_workload(sim::SimHost& host, WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kIdle:
+      host.set_idle();
+      return;
+    case WorkloadKind::kSuperPi:
+      host.set_idle();
+      host.set_superpi_workload();
+      return;
+    case WorkloadKind::kDiskHeavy: {
+      host.set_idle();
+      sim::HostActivity activity = host.procfs().activity();
+      activity.cpu_busy_fraction = 0.25;
+      activity.offered_load = 0.8;
+      activity.disk_read_reqps = 220.0;
+      activity.disk_write_reqps = 180.0;
+      activity.disk_blocks_per_req = 16.0;
+      host.procfs().set_activity(activity);
+      return;
+    }
+    case WorkloadKind::kNetHeavy: {
+      host.set_idle();
+      sim::HostActivity activity = host.procfs().activity();
+      activity.cpu_busy_fraction = 0.15;
+      activity.offered_load = 0.5;
+      activity.net_rx_bytesps = 6.0 * 1024 * 1024;
+      activity.net_tx_bytesps = 6.0 * 1024 * 1024;
+      host.procfs().set_activity(activity);
+      return;
+    }
+  }
+}
+
+void warm_up(sim::SimHost& host, double sim_seconds, double step_seconds) {
+  if (step_seconds <= 0.0) step_seconds = 5.0;
+  double remaining = sim_seconds;
+  while (remaining > 0.0) {
+    double step = remaining < step_seconds ? remaining : step_seconds;
+    host.procfs().tick(step);
+    remaining -= step;
+  }
+}
+
+}  // namespace smartsock::apps

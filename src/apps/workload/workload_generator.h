@@ -1,0 +1,30 @@
+// Workload generator — the Super_PI substitute (§4.1 Table 4.1, §5.3.1).
+//
+// The thesis loads servers with Super_PI (≈150 MB resident, CPU pinned,
+// load ≥ 1) to show the smart library steering around busy machines
+// (Table 5.6). Only the workload's *footprint in the status reports*
+// matters to server selection, so the generator drives a SimHost's activity
+// profile and fast-forwards its procfs until the load averages converge.
+#pragma once
+
+#include "sim/testbed.h"
+#include "util/clock.h"
+
+namespace smartsock::apps {
+
+enum class WorkloadKind {
+  kIdle,       // background OS noise only
+  kSuperPi,    // CPU + 150 MB memory (Table 4.1)
+  kDiskHeavy,  // IO-bound profile (data-intensive server, §1.1)
+  kNetHeavy,   // saturated NIC profile
+};
+
+/// Applies the activity profile for `kind` to the host.
+void apply_workload(sim::SimHost& host, WorkloadKind kind);
+
+/// Advances the host's procfs by `sim_seconds` in `step_seconds` ticks so
+/// load averages and counters reflect the active profile (the kernel needs
+/// ~1 minute of load-average history; the simulation fast-forwards it).
+void warm_up(sim::SimHost& host, double sim_seconds, double step_seconds = 5.0);
+
+}  // namespace smartsock::apps

@@ -1,0 +1,43 @@
+#include "bwest/estimate.h"
+
+#include <cstring>
+
+namespace smartsock::bwest {
+
+UdpEchoProber::UdpEchoProber(net::Endpoint target, util::Duration timeout)
+    : target_(std::move(target)), timeout_(timeout) {
+  if (auto sock = net::UdpSocket::create()) {
+    socket_ = std::move(*sock);
+    socket_.set_receive_timeout(timeout_);
+  }
+}
+
+std::optional<double> UdpEchoProber::probe_rtt_ms(int payload_bytes) {
+  if (!socket_.valid() || payload_bytes < 4) return std::nullopt;
+
+  std::string payload(static_cast<std::size_t>(payload_bytes), '\0');
+  std::uint32_t id = next_id_++;
+  std::memcpy(payload.data(), &id, sizeof(id));
+
+  util::Clock& clock = util::SteadyClock::instance();
+  util::Duration start = clock.now();
+  if (!socket_.send_to(payload, target_).ok()) return std::nullopt;
+
+  // Drain until our id comes back or the timeout expires (late echoes from a
+  // previous lost probe must not be matched to this one).
+  std::string reply;
+  net::Endpoint peer;
+  for (;;) {
+    auto result = socket_.receive_from(reply, peer);
+    if (!result.ok()) return std::nullopt;
+    if (reply.size() >= sizeof(id)) {
+      std::uint32_t reply_id = 0;
+      std::memcpy(&reply_id, reply.data(), sizeof(reply_id));
+      if (reply_id == id) break;
+    }
+    if (clock.now() - start > timeout_) return std::nullopt;
+  }
+  return util::to_millis(clock.now() - start);
+}
+
+}  // namespace smartsock::bwest

@@ -1,0 +1,67 @@
+// Bandwidth-estimation common types (§3.3).
+//
+// A Prober abstracts "send a probe of S bytes, get its RTT" so the same
+// estimator code measures simulated NetworkPaths (Chapter 3 figures) and
+// real UDP endpoints (the harness's echo responders on loopback).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "net/udp_socket.h"
+#include "sim/network_path.h"
+#include "util/clock.h"
+
+namespace smartsock::bwest {
+
+struct BwEstimate {
+  double bw_mbps = 0.0;      // available bandwidth estimate
+  double bw_min_mbps = 0.0;  // spread across repetitions
+  double bw_max_mbps = 0.0;
+  double delay_ms = 0.0;     // base network delay (min observed RTT)
+  int probes_sent = 0;
+  int probes_lost = 0;
+  std::string method;
+
+  bool valid() const { return bw_mbps > 0.0; }
+};
+
+/// One probe transaction: S bytes out, RTT back. nullopt == probe lost.
+class Prober {
+ public:
+  virtual ~Prober() = default;
+  virtual std::optional<double> probe_rtt_ms(int payload_bytes) = 0;
+};
+
+/// Probes a simulated path.
+class SimProber final : public Prober {
+ public:
+  explicit SimProber(sim::NetworkPath& path) : path_(&path) {}
+  std::optional<double> probe_rtt_ms(int payload_bytes) override {
+    return path_->probe_rtt_ms(payload_bytes);
+  }
+
+ private:
+  sim::NetworkPath* path_;
+};
+
+/// Probes a real UDP echo endpoint: sends a datagram of the requested size
+/// and measures the wall-clock round trip. The thesis's tool measures the
+/// ICMP port-unreachable bounce; an echo responder gives the identical
+/// timing semantics without raw sockets.
+class UdpEchoProber final : public Prober {
+ public:
+  UdpEchoProber(net::Endpoint target, util::Duration timeout = std::chrono::milliseconds(250));
+
+  std::optional<double> probe_rtt_ms(int payload_bytes) override;
+
+  bool valid() const { return socket_.valid(); }
+
+ private:
+  net::Endpoint target_;
+  util::Duration timeout_;
+  net::UdpSocket socket_;
+  std::uint32_t next_id_ = 1;
+};
+
+}  // namespace smartsock::bwest

@@ -1,0 +1,95 @@
+#include "bwest/one_way_udp_stream.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace smartsock::bwest {
+
+BwEstimate OneWayUdpStreamEstimator::estimate(Prober& prober) const {
+  BwEstimate out;
+  out.method = "one-way-udp-stream";
+
+  std::vector<double> t1;
+  std::vector<double> t2;
+  t1.reserve(config_.probes_per_size);
+  t2.reserve(config_.probes_per_size);
+  double min_rtt = std::numeric_limits<double>::infinity();
+
+  auto send_probe = [&](int size, std::vector<double>& sink) {
+    ++out.probes_sent;
+    auto rtt = prober.probe_rtt_ms(size);
+    if (!rtt) {
+      ++out.probes_lost;
+      return;
+    }
+    sink.push_back(*rtt);
+    min_rtt = std::min(min_rtt, *rtt);
+  };
+
+  if (config_.interleave) {
+    for (int i = 0; i < config_.probes_per_size; ++i) {
+      send_probe(config_.size1_bytes, t1);
+      send_probe(config_.size2_bytes, t2);
+    }
+  } else {
+    for (int i = 0; i < config_.probes_per_size; ++i) send_probe(config_.size1_bytes, t1);
+    for (int i = 0; i < config_.probes_per_size; ++i) send_probe(config_.size2_bytes, t2);
+  }
+
+  // Require at least half of each stream to have survived.
+  if (t1.size() < static_cast<std::size_t>(config_.probes_per_size) / 2 + 1 ||
+      t2.size() < static_cast<std::size_t>(config_.probes_per_size) / 2 + 1) {
+    return out;
+  }
+
+  auto mean = [](const std::vector<double>& v) {
+    double sum = 0.0;
+    for (double x : v) sum += x;
+    return sum / static_cast<double>(v.size());
+  };
+  double mean1 = mean(t1);
+  double mean2 = mean(t2);
+  double dt_ms = mean2 - mean1;
+  if (dt_ms <= 0.0) return out;  // jitter swamped the size difference
+
+  double dbits = (config_.size2_bytes - config_.size1_bytes) * 8.0;
+  out.bw_mbps = dbits / (dt_ms * 1000.0);
+  out.delay_ms = std::isfinite(min_rtt) ? min_rtt : 0.0;
+
+  // Spread: jackknife over trimmed halves gives a cheap min/max band.
+  auto half_mean = [&](const std::vector<double>& v, bool first_half) {
+    std::size_t half = v.size() / 2;
+    double sum = 0.0;
+    std::size_t begin = first_half ? 0 : half;
+    std::size_t end = first_half ? half : v.size();
+    for (std::size_t i = begin; i < end; ++i) sum += v[i];
+    return sum / static_cast<double>(end - begin);
+  };
+  double alt1 = dbits / ((half_mean(t2, true) - half_mean(t1, true)) * 1000.0);
+  double alt2 = dbits / ((half_mean(t2, false) - half_mean(t1, false)) * 1000.0);
+  if (alt1 > 0 && alt2 > 0) {
+    out.bw_min_mbps = std::min({out.bw_mbps, alt1, alt2});
+    out.bw_max_mbps = std::max({out.bw_mbps, alt1, alt2});
+  } else {
+    out.bw_min_mbps = out.bw_max_mbps = out.bw_mbps;
+  }
+  return out;
+}
+
+OneWayStreamConfig OneWayUdpStreamEstimator::optimal_sizes_for_mtu(int mtu_bytes) {
+  // Rules of §3.3.2: S > MTU; sizes small; equal fragment counts. Two
+  // fragments each: S1 just over one MTU of payload, S2 near the top of the
+  // two-fragment range (maximizing S2-S1 sharpens the delay difference).
+  OneWayStreamConfig config;
+  int per_fragment = mtu_bytes - 20;             // IP payload per fragment
+  int two_frag_max = 2 * per_fragment - 8;       // minus UDP header
+  config.size1_bytes = mtu_bytes + mtu_bytes / 15;  // comfortably past 1 MTU
+  config.size2_bytes = two_frag_max - mtu_bytes / 30;
+  if (config.size2_bytes <= config.size1_bytes) {
+    config.size2_bytes = config.size1_bytes + per_fragment / 2;
+  }
+  return config;
+}
+
+}  // namespace smartsock::bwest

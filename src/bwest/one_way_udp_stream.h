@@ -1,0 +1,44 @@
+// One-way UDP stream estimator — the thesis's own method (§3.3.2).
+//
+// Two probe streams of sizes S1 < S2 are sent; with mean delays T1, T2 the
+// available bandwidth follows Eq 3.5:  B = (S2 - S1) / (T2 - T1).
+// Differencing cancels the constant overheads of Eq 3.4; the probe-size
+// rules (both sizes above the MTU, as small as possible, equal fragment
+// counts) avoid the Speed_init bias of Eq 3.7 and fragmentation noise.
+// Defaults are the thesis's optimal pair for MTU 1500: S1=1600, S2=2900.
+#pragma once
+
+#include "bwest/estimate.h"
+
+namespace smartsock::bwest {
+
+struct OneWayStreamConfig {
+  int size1_bytes = 1600;
+  int size2_bytes = 2900;
+  int probes_per_size = 20;  // stream length per size
+  /// Probes are sent strictly sequentially (§3.3.3: concurrent probes
+  /// interfere); this interleaves sizes to decorrelate drift.
+  bool interleave = true;
+};
+
+class OneWayUdpStreamEstimator {
+ public:
+  explicit OneWayUdpStreamEstimator(OneWayStreamConfig config = {}) : config_(config) {}
+
+  /// Runs the measurement against `prober`. Invalid estimate if too many
+  /// probes were lost or the delay difference was non-positive (can happen
+  /// under extreme jitter — the failure mode the thesis reports for
+  /// sub-MTU/unequal-fragment probe choices).
+  BwEstimate estimate(Prober& prober) const;
+
+  /// Suggests a probe-size pair obeying the thesis's three rules for a given
+  /// MTU: both above MTU, small, equal fragment counts.
+  static OneWayStreamConfig optimal_sizes_for_mtu(int mtu_bytes);
+
+  const OneWayStreamConfig& config() const { return config_; }
+
+ private:
+  OneWayStreamConfig config_;
+};
+
+}  // namespace smartsock::bwest

@@ -1,0 +1,43 @@
+// Packet-pair estimator — the pipechar-style baseline (§2.1, §3.3.1).
+//
+// Two equal-size packets are sent back to back; the bottleneck link spreads
+// them by the second packet's serialization time, so
+//   capacity = packet_bits / dispersion.
+// Cross traffic slipping between the pair widens the gap (pushing the
+// estimate toward available bandwidth but adding variance), and RTT jitter
+// corrupts the tiny gap measurement outright — the thesis's stated reason
+// pipechar "reports wrong results" on paths with high delay variation.
+//
+// The dispersion signal only exists inside the simulated path model (a real
+// one-socket prober cannot observe inter-packet spacing at the far end), so
+// this baseline measures sim::NetworkPath directly.
+#pragma once
+
+#include "bwest/estimate.h"
+#include "util/rng.h"
+
+namespace smartsock::bwest {
+
+struct PacketPairConfig {
+  int packet_bytes = 1400;   // below MTU: exactly one fragment each
+  int pairs = 30;
+  std::uint64_t seed = 7;
+};
+
+class PacketPairEstimator {
+ public:
+  explicit PacketPairEstimator(PacketPairConfig config = {}) : config_(config) {}
+
+  BwEstimate estimate(sim::NetworkPath& path) const;
+
+ private:
+  PacketPairConfig config_;
+};
+
+/// The dispersion model itself (exposed for tests): serialization of one
+/// packet at the bottleneck, plus any cross-traffic frames that intervene,
+/// plus measurement noise from path jitter.
+double simulate_pair_dispersion_ms(const sim::PathConfig& config, int packet_bytes,
+                                   util::Rng& rng);
+
+}  // namespace smartsock::bwest

@@ -1,0 +1,65 @@
+#include "bwest/slops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smartsock::bwest {
+
+bool simulate_stream_self_loading(const sim::PathConfig& config, double rate_mbps,
+                                  int packets, int packet_bytes, util::Rng& rng) {
+  // Queue dynamics at the bottleneck: packets arrive every
+  // packet_bits/rate ms and drain at the available bandwidth. Track the
+  // queueing delay of each packet; the pairwise-comparison test (pathload's
+  // PCT metric) decides "increasing".
+  double available = config.available_bw_mbps();
+  double packet_bits = (packet_bytes + 28) * 8.0;
+  double interarrival_ms = packet_bits / (rate_mbps * 1000.0);
+  double service_ms = packet_bits / (available * 1000.0);
+
+  double backlog_ms = 0.0;
+  int increases = 0;
+  int comparisons = 0;
+  double previous_delay = -1.0;
+  for (int i = 0; i < packets; ++i) {
+    backlog_ms = std::max(0.0, backlog_ms + service_ms - interarrival_ms);
+    double delay = backlog_ms;
+    if (config.jitter_stddev_ms > 0.0) {
+      delay += std::abs(rng.gaussian(0.0, config.jitter_stddev_ms));
+    }
+    if (previous_delay >= 0.0) {
+      ++comparisons;
+      if (delay > previous_delay) ++increases;
+    }
+    previous_delay = delay;
+  }
+  if (comparisons == 0) return false;
+  // PCT threshold from the pathload paper: > 0.66 means increasing trend.
+  return static_cast<double>(increases) / comparisons > 0.66;
+}
+
+BwEstimate SlopsEstimator::estimate(sim::NetworkPath& path) const {
+  BwEstimate out;
+  out.method = "slops";
+  util::Rng rng(config_.seed);
+
+  double lo = config_.rate_low_mbps;
+  double hi = config_.rate_high_mbps;
+  while (hi - lo > config_.resolution_mbps) {
+    double mid = 0.5 * (lo + hi);
+    out.probes_sent += config_.stream_packets;
+    bool loading = simulate_stream_self_loading(path.config(), mid, config_.stream_packets,
+                                                config_.packet_bytes, rng);
+    if (loading) {
+      hi = mid;  // rate above available bandwidth
+    } else {
+      lo = mid;
+    }
+  }
+  out.bw_min_mbps = lo;
+  out.bw_max_mbps = hi;
+  out.bw_mbps = 0.5 * (lo + hi);
+  out.delay_ms = path.config().base_rtt_ms;
+  return out;
+}
+
+}  // namespace smartsock::bwest

@@ -1,0 +1,42 @@
+// SLoPS estimator — the pathload-style baseline (§2.1, §3.3.1).
+//
+// Self-Loading Periodic Streams: send a fixed-rate UDP stream; if the rate
+// exceeds the path's available bandwidth the bottleneck queue grows and the
+// per-packet one-way delays trend upward. Binary-search the rate until the
+// increasing/non-increasing boundary brackets the available bandwidth.
+// pathload reports that bracket as a range (the thesis quotes 96.1~101.3
+// Mbps for the sagit→suna path).
+#pragma once
+
+#include "bwest/estimate.h"
+#include "util/rng.h"
+
+namespace smartsock::bwest {
+
+struct SlopsConfig {
+  double rate_low_mbps = 1.0;
+  double rate_high_mbps = 1000.0;
+  double resolution_mbps = 2.0;  // stop when the bracket is this tight
+  int stream_packets = 50;
+  int packet_bytes = 1200;
+  std::uint64_t seed = 11;
+};
+
+class SlopsEstimator {
+ public:
+  explicit SlopsEstimator(SlopsConfig config = {}) : config_(config) {}
+
+  /// Runs the rate search against a simulated path. bw_min/bw_max carry the
+  /// final bracket, bw_mbps its midpoint.
+  BwEstimate estimate(sim::NetworkPath& path) const;
+
+ private:
+  SlopsConfig config_;
+};
+
+/// One stream at `rate_mbps`: true if the one-way delays showed an
+/// increasing trend (stream is self-loading). Exposed for tests.
+bool simulate_stream_self_loading(const sim::PathConfig& config, double rate_mbps,
+                                  int packets, int packet_bytes, util::Rng& rng);
+
+}  // namespace smartsock::bwest

@@ -1,0 +1,141 @@
+#include "core/server_matcher.h"
+
+#include <algorithm>
+
+namespace smartsock::core {
+
+lang::AttributeSet sys_record_attributes(const ipc::SysRecord& r) {
+  lang::AttributeSet attrs;
+  attrs["host_system_load1"] = r.load1;
+  attrs["host_system_load5"] = r.load5;
+  attrs["host_system_load15"] = r.load15;
+  attrs["host_cpu_user"] = r.cpu_user;
+  attrs["host_cpu_nice"] = r.cpu_nice;
+  attrs["host_cpu_system"] = r.cpu_system;
+  attrs["host_cpu_idle"] = r.cpu_idle;
+  attrs["host_cpu_free"] = r.cpu_idle;
+  attrs["host_cpu_bogomips"] = r.bogomips;
+  attrs["host_memory_total"] = r.mem_total_mb;
+  attrs["host_memory_used"] = r.mem_used_mb;
+  attrs["host_memory_free"] = r.mem_free_mb;
+  attrs["host_disk_allreq"] = r.disk_rreq_ps + r.disk_wreq_ps;
+  attrs["host_disk_rreq"] = r.disk_rreq_ps;
+  attrs["host_disk_rblocks"] = r.disk_rblocks_ps;
+  attrs["host_disk_wreq"] = r.disk_wreq_ps;
+  attrs["host_disk_wblocks"] = r.disk_wblocks_ps;
+  attrs["host_network_rbytesps"] = r.net_rbytes_ps;
+  attrs["host_network_rpacketsps"] = r.net_rpackets_ps;
+  attrs["host_network_tbytesps"] = r.net_tbytes_ps;
+  attrs["host_network_tpacketsps"] = r.net_tpackets_ps;
+  return attrs;
+}
+
+namespace {
+
+bool name_matches(const std::string& pattern, const std::string& host,
+                  const std::string& address) {
+  if (pattern == host || pattern == address) return true;
+  // Address without port ("1.2.3.4" vs "1.2.3.4:5000").
+  std::size_t colon = address.rfind(':');
+  if (colon != std::string::npos && pattern == address.substr(0, colon)) return true;
+  // Fully qualified vs short host name ("sagit.ddns.comp.nus.edu.sg" vs
+  // "sagit").
+  std::size_t dot = pattern.find('.');
+  if (dot != std::string::npos && pattern.substr(0, dot) == host) return true;
+  return false;
+}
+
+bool in_list(const std::vector<std::string>& patterns, const std::string& host,
+             const std::string& address) {
+  return std::any_of(patterns.begin(), patterns.end(), [&](const std::string& p) {
+    return name_matches(p, host, address);
+  });
+}
+
+}  // namespace
+
+MatchResult ServerMatcher::match(const lang::Requirement& requirement, const MatchInput& input,
+                                 std::size_t count) const {
+  MatchResult result;
+  count = std::min(count, kMaxServersPerReply);
+
+  const auto& preferred = requirement.preferred_hosts();
+  const auto& denied = requirement.denied_hosts();
+
+  struct Hit {
+    ServerEntry entry;
+    double rank;
+  };
+  std::vector<Hit> preferred_hits;
+  std::vector<Hit> other_hits;
+  bool ranked = false;
+
+  for (const ipc::SysRecord& record : input.sys) {
+    ++result.evaluated;
+    std::string host = record.host_str();
+    std::string address = record.address_str();
+
+    if (in_list(denied, host, address)) continue;  // blacklist is absolute
+
+    lang::AttributeSet attrs = sys_record_attributes(record);
+
+    // Security level from secdb (servers without a record default to 0 —
+    // unknown clearance).
+    attrs["host_security_level"] = 0.0;
+    for (const ipc::SecRecord& sec : input.sec) {
+      if (sec.host_str() == host) {
+        attrs["host_security_level"] = static_cast<double>(sec.level);
+        break;
+      }
+    }
+
+    // Network metrics for the path local_group -> server group. Left unbound
+    // when unmeasured: a requirement that mentions monitor_network_bw then
+    // fails for that server, which is the safe direction.
+    std::string server_group = record.group_str();
+    for (const ipc::NetRecord& net : input.net) {
+      if (net.from_str() == input.local_group && net.to_str() == server_group) {
+        attrs["monitor_network_bw"] = net.bw_mbps;
+        attrs["monitor_network_delay"] = net.delay_ms;
+        break;
+      }
+    }
+
+    lang::EvalOutcome outcome = requirement.evaluate(attrs);
+    for (const std::string& error : outcome.errors()) {
+      result.diagnostics.push_back(host + ": " + error);
+    }
+    if (!outcome.qualified) continue;
+
+    ++result.qualified;
+    Hit hit{ServerEntry{host, address}, outcome.rank.value_or(0.0)};
+    if (outcome.rank) ranked = true;
+    if (in_list(preferred, host, address)) {
+      preferred_hits.push_back(std::move(hit));
+    } else {
+      other_hits.push_back(std::move(hit));
+    }
+  }
+
+  // The `rank_by` extension (thesis Ch. 6: "3 servers with largest memory"):
+  // order candidates by their per-server rank value, highest first, stably —
+  // unranked requirements keep the thesis's report order. Preferred hosts
+  // still come first regardless of rank.
+  if (ranked) {
+    auto by_rank = [](const Hit& a, const Hit& b) { return a.rank > b.rank; };
+    std::stable_sort(preferred_hits.begin(), preferred_hits.end(), by_rank);
+    std::stable_sort(other_hits.begin(), other_hits.end(), by_rank);
+  }
+
+  for (Hit& hit : preferred_hits) {
+    result.selected.push_back(std::move(hit.entry));
+  }
+  for (Hit& hit : other_hits) {
+    if (result.selected.size() >= count) break;
+    result.selected.push_back(std::move(hit.entry));
+  }
+  if (result.selected.size() > count) result.selected.resize(count);
+  return result;
+}
+
+}  // namespace smartsock::core

@@ -1,0 +1,50 @@
+// Server matcher — the wizard's selection core (§3.6.1 step 3, Fig 1.4).
+//
+// For every sysdb record the matcher assembles the full attribute set
+// (system status + security level from secdb + network metrics from netdb
+// keyed by the server's group), evaluates the compiled requirement, and
+// builds the candidate list:
+//   * denied hosts (by name or address) are never selected;
+//   * preferred hosts that qualify are taken first (the thesis: "trusted
+//     servers will always be selected first when available");
+//   * remaining qualified servers follow in report order (the thesis's
+//     wizard scans the databases sequentially);
+//   * the list is truncated to the requested count, itself capped at the
+//     UDP reply limit of 60.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/wire.h"
+#include "ipc/status_record.h"
+#include "lang/requirement.h"
+
+namespace smartsock::core {
+
+struct MatchInput {
+  std::vector<ipc::SysRecord> sys;
+  std::vector<ipc::NetRecord> net;
+  std::vector<ipc::SecRecord> sec;
+  /// Group the requesting client sits in: netdb metrics are looked up for
+  /// paths local_group -> server group.
+  std::string local_group;
+};
+
+struct MatchResult {
+  std::vector<ServerEntry> selected;
+  std::size_t evaluated = 0;
+  std::size_t qualified = 0;
+  std::vector<std::string> diagnostics;  // per-server evaluation errors
+};
+
+/// Attribute set for one sysdb record (server-side variables only).
+lang::AttributeSet sys_record_attributes(const ipc::SysRecord& record);
+
+class ServerMatcher {
+ public:
+  MatchResult match(const lang::Requirement& requirement, const MatchInput& input,
+                    std::size_t count) const;
+};
+
+}  // namespace smartsock::core

@@ -1,0 +1,155 @@
+#include "core/smart_client.h"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+
+#include "util/counters.h"
+#include "util/logging.h"
+
+namespace smartsock::core {
+
+namespace {
+std::uint64_t default_seed() {
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+}  // namespace
+
+SmartClient::SmartClient(SmartClientConfig config)
+    : config_(std::move(config)), rng_(config_.seed ? config_.seed : default_seed()) {
+  if (auto sock = net::UdpSocket::create()) {
+    socket_ = std::move(*sock);
+    socket_.set_traffic_counter(
+        util::TrafficRegistry::instance().register_component("smart_client"));
+  }
+}
+
+WizardReply SmartClient::query(const std::string& requirement, std::size_t count,
+                               RequestOption option) {
+  WizardReply failed;
+  failed.ok = false;
+
+  if (!socket_.valid()) {
+    failed.error = "client socket unavailable";
+    return failed;
+  }
+  if (count == 0 || count > kMaxServersPerReply) {
+    failed.error = "server count must be in [1, 60]";
+    return failed;
+  }
+
+  UserRequest request;
+  request.sequence = static_cast<std::uint32_t>(rng_.uniform_int(1, 0x7fffffff));
+  request.server_num = static_cast<std::uint16_t>(count);
+  request.option = option;
+  request.detail = requirement;
+  std::string wire = request.to_wire();
+
+  for (int attempt = 0; attempt <= config_.retries; ++attempt) {
+    if (!socket_.send_to(wire, config_.wizard).ok()) {
+      failed.error = "cannot send request to wizard " + config_.wizard.to_string();
+      continue;
+    }
+    // Wait for the matching sequence number; late replies to earlier
+    // attempts are drained and discarded.
+    util::Clock& clock = util::SteadyClock::instance();
+    util::Duration deadline = clock.now() + config_.reply_timeout;
+    while (clock.now() < deadline) {
+      auto datagram = socket_.receive(deadline - clock.now());
+      if (!datagram) break;
+      auto reply = WizardReply::from_wire(datagram->payload);
+      if (!reply) continue;
+      if (reply->sequence != request.sequence) continue;  // stale reply
+      return *reply;
+    }
+  }
+  failed.sequence = request.sequence;
+  failed.error = "no reply from wizard " + config_.wizard.to_string();
+  return failed;
+}
+
+SmartConnectResult SmartClient::smart_connect(const std::string& requirement,
+                                              std::size_t count, RequestOption option) {
+  SmartConnectResult result;
+
+  WizardReply reply = query(requirement, count, option);
+  if (!reply.ok) {
+    result.error = reply.error;
+    return result;
+  }
+  if (reply.servers.empty()) {
+    result.error = "no servers qualified";
+    return result;
+  }
+
+  for (const ServerEntry& server : reply.servers) {
+    auto endpoint = net::Endpoint::parse(server.address);
+    if (!endpoint) {
+      SMARTSOCK_LOG(kWarn, "smart_client")
+          << server.host << ": bad service address '" << server.address << "'";
+      continue;
+    }
+    auto socket = net::TcpSocket::connect(*endpoint, config_.connect_timeout);
+    if (!socket) {
+      SMARTSOCK_LOG(kWarn, "smart_client")
+          << server.host << ": connection to " << server.address << " failed";
+      continue;
+    }
+    result.sockets.push_back(SmartSocket{server, std::move(*socket)});
+  }
+
+  if (result.sockets.empty()) {
+    result.error = "no candidate server accepted a connection";
+    return result;
+  }
+  if (option == RequestOption::kStrict && result.sockets.size() < count) {
+    result.error = "connected to " + std::to_string(result.sockets.size()) + " of " +
+                   std::to_string(count) + " required servers";
+    result.sockets.clear();
+    return result;
+  }
+  result.ok = true;
+  return result;
+}
+
+std::optional<SmartSocket> SmartClient::find_replacement(
+    const std::string& requirement, const std::vector<std::string>& exclude) {
+  // Ask for enough candidates that filtering the excluded hosts can still
+  // leave one, bounded by the reply cap.
+  std::size_t count = std::min(exclude.size() + 1, kMaxServersPerReply);
+  WizardReply reply = query(requirement, count, RequestOption::kBestEffort);
+  if (!reply.ok) return std::nullopt;
+
+  for (const ServerEntry& server : reply.servers) {
+    bool excluded = false;
+    for (const std::string& name : exclude) {
+      if (server.host == name || server.address == name) {
+        excluded = true;
+        break;
+      }
+    }
+    if (excluded) continue;
+    auto endpoint = net::Endpoint::parse(server.address);
+    if (!endpoint) continue;
+    auto socket = net::TcpSocket::connect(*endpoint, config_.connect_timeout);
+    if (!socket) continue;  // next candidate — recovery must not give up early
+    return SmartSocket{server, std::move(*socket)};
+  }
+  return std::nullopt;
+}
+
+SmartConnectResult SmartClient::smart_connect_file(const std::string& requirement_path,
+                                                   std::size_t count, RequestOption option) {
+  std::ifstream in(requirement_path);
+  if (!in) {
+    SmartConnectResult result;
+    result.error = "cannot open requirement file: " + requirement_path;
+    return result;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return smart_connect(buffer.str(), count, option);
+}
+
+}  // namespace smartsock::core

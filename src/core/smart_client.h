@@ -1,0 +1,81 @@
+// Smart client library — the user-facing API (§3.6.2, Fig 1.4).
+//
+// The four steps of the thesis's client procedure:
+//   1. read the requirement (file or string),
+//   2. attach a random sequence number + server count + option, send the
+//      UDP request to the wizard,
+//   3. wait for the reply, match the sequence number, apply the option when
+//      fewer servers came back than asked,
+//   4. TCP-connect to every candidate's service port and hand the connected
+//      socket list to the caller.
+//
+// smart_connect() is the thesis's headline wrapper: one call, a vector of
+// connected sockets to the best servers instead of a hand-rolled
+// gethostbyname/socket/connect loop per server (Fig 1.2's pain point).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/wire.h"
+#include "net/tcp_socket.h"
+#include "net/udp_socket.h"
+#include "util/rng.h"
+
+namespace smartsock::core {
+
+struct SmartClientConfig {
+  net::Endpoint wizard;
+  util::Duration reply_timeout = std::chrono::milliseconds(500);
+  int retries = 2;                       // request resends on timeout
+  util::Duration connect_timeout = std::chrono::milliseconds(500);
+  std::uint64_t seed = 0;                // 0: seed from the system clock
+};
+
+/// One connected server: identity plus the live socket.
+struct SmartSocket {
+  ServerEntry server;
+  net::TcpSocket socket;
+};
+
+struct SmartConnectResult {
+  bool ok = false;
+  std::string error;
+  std::vector<SmartSocket> sockets;
+};
+
+class SmartClient {
+ public:
+  explicit SmartClient(SmartClientConfig config);
+
+  /// Steps 1-3: ask the wizard for `count` servers. Returns the reply or an
+  /// error-carrying reply (ok == false).
+  WizardReply query(const std::string& requirement, std::size_t count,
+                    RequestOption option = RequestOption::kBestEffort);
+
+  /// Steps 1-4: query then connect. Servers that refuse the TCP connection
+  /// are dropped from the result (recovery per §1.1: alternates, not
+  /// failures). Under kStrict, missing any connection fails the call.
+  SmartConnectResult smart_connect(const std::string& requirement, std::size_t count,
+                                   RequestOption option = RequestOption::kBestEffort);
+
+  /// Loads the requirement from a file first (the thesis's usual flow).
+  SmartConnectResult smart_connect_file(const std::string& requirement_path, std::size_t count,
+                                        RequestOption option = RequestOption::kBestEffort);
+
+  /// §1.1's recovery mechanism: when a server fails mid-computation, fetch a
+  /// substitute satisfying the same requirement while avoiding every host in
+  /// `exclude` (the failed server plus any still-connected ones). Returns a
+  /// freshly connected socket, or nullopt if no alternative qualifies.
+  std::optional<SmartSocket> find_replacement(const std::string& requirement,
+                                              const std::vector<std::string>& exclude);
+
+  bool valid() const { return socket_.valid(); }
+
+ private:
+  SmartClientConfig config_;
+  net::UdpSocket socket_;
+  util::Rng rng_;
+};
+
+}  // namespace smartsock::core

@@ -1,0 +1,82 @@
+#include "core/wire.h"
+
+#include "util/strings.h"
+
+namespace smartsock::core {
+
+std::string UserRequest::to_wire() const {
+  std::string out = "SREQ " + std::to_string(sequence) + " " + std::to_string(server_num) +
+                    " " + std::to_string(static_cast<int>(option)) + "\n";
+  out += detail;
+  return out;
+}
+
+std::optional<UserRequest> UserRequest::from_wire(std::string_view wire) {
+  std::size_t newline = wire.find('\n');
+  std::string_view header = newline == std::string_view::npos ? wire : wire.substr(0, newline);
+  auto fields = util::split_whitespace(header);
+  if (fields.size() != 4 || fields[0] != "SREQ") return std::nullopt;
+  auto seq = util::parse_uint(fields[1]);
+  auto num = util::parse_uint(fields[2]);
+  auto opt = util::parse_uint(fields[3]);
+  if (!seq || !num || !opt.has_value()) return std::nullopt;
+  if (*num > 65535 || *opt > 1) return std::nullopt;
+
+  UserRequest request;
+  request.sequence = static_cast<std::uint32_t>(*seq);
+  request.server_num = static_cast<std::uint16_t>(*num);
+  request.option = static_cast<RequestOption>(*opt);
+  if (newline != std::string_view::npos) {
+    request.detail = std::string(wire.substr(newline + 1));
+  }
+  return request;
+}
+
+std::string WizardReply::to_wire() const {
+  std::string out = "SREP " + std::to_string(sequence) + " ";
+  if (!ok) {
+    out += "ERR " + error;
+    return out;
+  }
+  out += "OK " + std::to_string(servers.size()) + "\n";
+  for (const ServerEntry& server : servers) {
+    out += server.host + " " + server.address + "\n";
+  }
+  return out;
+}
+
+std::optional<WizardReply> WizardReply::from_wire(std::string_view wire) {
+  std::size_t newline = wire.find('\n');
+  std::string_view header = newline == std::string_view::npos ? wire : wire.substr(0, newline);
+  auto fields = util::split_whitespace(header);
+  if (fields.size() < 3 || fields[0] != "SREP") return std::nullopt;
+  auto seq = util::parse_uint(fields[1]);
+  if (!seq) return std::nullopt;
+
+  WizardReply reply;
+  reply.sequence = static_cast<std::uint32_t>(*seq);
+
+  if (fields[2] == "ERR") {
+    reply.ok = false;
+    std::size_t err_pos = wire.find("ERR");
+    reply.error = std::string(util::trim(wire.substr(err_pos + 3)));
+    return reply;
+  }
+  if (fields[2] != "OK" || fields.size() != 4) return std::nullopt;
+  auto count = util::parse_uint(fields[3]);
+  if (!count || *count > kMaxServersPerReply) return std::nullopt;
+
+  if (newline == std::string_view::npos) {
+    return *count == 0 ? std::optional<WizardReply>(reply) : std::nullopt;
+  }
+  std::string_view body = wire.substr(newline + 1);
+  for (std::string_view line : util::split(body, '\n')) {
+    auto parts = util::split_whitespace(line);
+    if (parts.size() != 2) return std::nullopt;
+    reply.servers.push_back(ServerEntry{std::string(parts[0]), std::string(parts[1])});
+  }
+  if (reply.servers.size() != *count) return std::nullopt;
+  return reply;
+}
+
+}  // namespace smartsock::core

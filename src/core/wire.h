@@ -1,0 +1,59 @@
+// Wizard request/reply wire format (§3.6.1, Tables 3.5/3.6).
+//
+// Table 3.5: [Sequence Num | Server Num | Option | Request Detail]
+// Table 3.6: [Sequence Num | Server Num | Server-1 ... Server-n]
+//
+// Both travel in single UDP datagrams; the reply is capped at 60 servers
+// because a longer UDP message "is not reliable" (the thesis's limit). The
+// header is ASCII for the same endianness-safety reason the probe reports
+// are — the thesis specifies the fields, not the byte layout.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace smartsock::core {
+
+/// Thesis Option field: what the client wants when fewer servers qualify
+/// than requested.
+enum class RequestOption : std::uint16_t {
+  kBestEffort = 0,  // accept a shorter list
+  kStrict = 1,      // treat a short list as failure
+};
+
+inline constexpr std::size_t kMaxServersPerReply = 60;
+
+struct UserRequest {
+  std::uint32_t sequence = 0;
+  std::uint16_t server_num = 0;
+  RequestOption option = RequestOption::kBestEffort;
+  std::string detail;  // requirement text
+
+  /// "SREQ <seq> <num> <opt>\n<detail>"
+  std::string to_wire() const;
+  static std::optional<UserRequest> from_wire(std::string_view wire);
+};
+
+struct ServerEntry {
+  std::string host;     // e.g. "dalmatian"
+  std::string address;  // service endpoint "ip:port"
+
+  friend bool operator==(const ServerEntry& a, const ServerEntry& b) {
+    return a.host == b.host && a.address == b.address;
+  }
+};
+
+struct WizardReply {
+  std::uint32_t sequence = 0;
+  bool ok = true;
+  std::string error;  // set when !ok
+  std::vector<ServerEntry> servers;
+
+  /// "SREP <seq> OK <count>\n<host> <addr>\n..."  or  "SREP <seq> ERR <msg>"
+  std::string to_wire() const;
+  static std::optional<WizardReply> from_wire(std::string_view wire);
+};
+
+}  // namespace smartsock::core

@@ -1,0 +1,96 @@
+#include "core/wizard.h"
+
+#include "util/counters.h"
+#include "util/logging.h"
+
+namespace smartsock::core {
+
+Wizard::Wizard(WizardConfig config, ipc::StatusStore& store, transport::Receiver* receiver)
+    : config_(std::move(config)), store_(&store), receiver_(receiver) {
+  if (auto sock = net::UdpSocket::bind(config_.bind)) {
+    socket_ = std::move(*sock);
+    socket_.set_traffic_counter(util::TrafficRegistry::instance().register_component("wizard"));
+    endpoint_ = socket_.local_endpoint();
+  }
+}
+
+Wizard::~Wizard() { stop(); }
+
+void Wizard::add_transmitter(const net::Endpoint& endpoint) {
+  transmitters_.push_back(endpoint);
+}
+
+WizardReply Wizard::handle(const UserRequest& request) {
+  WizardReply reply;
+  reply.sequence = request.sequence;
+
+  // Distributed mode: refresh the databases on demand (§3.5.1 — reports are
+  // sent back only when the wizard asks).
+  if (config_.mode == transport::TransferMode::kDistributed && receiver_ != nullptr) {
+    for (const net::Endpoint& transmitter : transmitters_) {
+      receiver_->pull_from(transmitter);
+    }
+  }
+
+  std::string compile_error;
+  auto requirement = lang::Requirement::compile(request.detail, &compile_error);
+  if (!requirement) {
+    reply.ok = false;
+    reply.error = "requirement: " + compile_error;
+    return reply;
+  }
+
+  MatchInput input;
+  input.sys = store_->sys_records();
+  input.net = store_->net_records();
+  input.sec = store_->sec_records();
+  input.local_group = config_.local_group;
+
+  MatchResult result = matcher_.match(*requirement, input, request.server_num);
+  if (request.option == RequestOption::kStrict &&
+      result.selected.size() < request.server_num) {
+    reply.ok = false;
+    reply.error = "only " + std::to_string(result.selected.size()) + " of " +
+                  std::to_string(request.server_num) + " servers qualified";
+    return reply;
+  }
+  reply.servers = std::move(result.selected);
+  return reply;
+}
+
+bool Wizard::poll_once(util::Duration timeout) {
+  if (!socket_.valid()) return false;
+  auto datagram = socket_.receive(timeout);
+  if (!datagram) return false;
+
+  auto request = UserRequest::from_wire(datagram->payload);
+  if (!request) {
+    SMARTSOCK_LOG(kWarn, "wizard") << "malformed request from "
+                                   << datagram->peer.to_string();
+    return false;
+  }
+  WizardReply reply = handle(*request);
+  socket_.send_to(reply.to_wire(), datagram->peer);
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool Wizard::start() {
+  if (!socket_.valid() || thread_.joinable()) return false;
+  stop_requested_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { run_loop(); });
+  return true;
+}
+
+void Wizard::stop() {
+  stop_requested_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+}
+
+void Wizard::run_loop() {
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    poll_once(std::chrono::milliseconds(50));
+  }
+}
+
+}  // namespace smartsock::core

@@ -1,0 +1,82 @@
+// Wizard daemon (§3.6.1).
+//
+// Listens for user requests on a UDP service port (UDP so a request burst
+// cannot exhaust descriptors with TIME_WAIT connections — the thesis's
+// reasoning) and processes them sequentially:
+//   1. parse the request (Table 3.5),
+//   2. refresh the local databases — a no-op in centralized mode where the
+//      receiver keeps them fresh; in distributed mode, pull from every
+//      registered transmitter,
+//   3. compile the requirement and run the matcher over sysdb/netdb/secdb,
+//   4. reply with the candidate list (Table 3.6) under the same sequence
+//      number.
+#pragma once
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/server_matcher.h"
+#include "ipc/status_store.h"
+#include "net/udp_socket.h"
+#include "transport/receiver.h"
+#include "transport/transmitter.h"
+
+namespace smartsock::core {
+
+struct WizardConfig {
+  net::Endpoint bind = net::Endpoint::loopback(0);
+  transport::TransferMode mode = transport::TransferMode::kCentralized;
+  std::string local_group = "local";
+};
+
+class Wizard {
+ public:
+  /// `store` is the wizard machine's status store. `receiver` may be null in
+  /// centralized deployments where someone else maintains the store; in
+  /// distributed mode it performs the pulls.
+  Wizard(WizardConfig config, ipc::StatusStore& store,
+         transport::Receiver* receiver = nullptr);
+  ~Wizard();
+
+  Wizard(const Wizard&) = delete;
+  Wizard& operator=(const Wizard&) = delete;
+
+  /// Registers a passive transmitter to pull from in distributed mode.
+  void add_transmitter(const net::Endpoint& endpoint);
+
+  /// The UDP endpoint clients send requests to.
+  net::Endpoint endpoint() const { return endpoint_; }
+
+  /// Handles one pending request if any (polling entry point).
+  bool poll_once(util::Duration timeout);
+
+  /// Builds the reply for a request (exposed for tests — no sockets).
+  WizardReply handle(const UserRequest& request);
+
+  bool start();
+  void stop();
+
+  std::uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+  bool valid() const { return socket_.valid(); }
+
+ private:
+  void run_loop();
+
+  WizardConfig config_;
+  ipc::StatusStore* store_;
+  transport::Receiver* receiver_;
+  std::vector<net::Endpoint> transmitters_;
+  ServerMatcher matcher_;
+
+  net::UdpSocket socket_;
+  net::Endpoint endpoint_;
+
+  std::thread thread_;
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<std::uint64_t> requests_served_{0};
+};
+
+}  // namespace smartsock::core

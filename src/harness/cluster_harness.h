@@ -1,0 +1,145 @@
+// Cluster harness — one-process reconstruction of the thesis's testbed.
+//
+// Boots, over real loopback sockets, everything Fig 3.1 shows:
+//   * one simulated host per Table 5.1 machine, each with a server probe
+//     reporting its (simulated) procfs over UDP,
+//   * optionally a matmul worker and/or a massd file server per host — the
+//     "service" whose endpoint the probe advertises,
+//   * system, network and security monitors filling the monitor-side store,
+//   * a transmitter shipping the databases to a receiver feeding the
+//     wizard-side store (centralized push or distributed pull),
+//   * the wizard answering client requests over UDP.
+//
+// A ticker thread advances every simulated procfs in real time so probe
+// rates are meaningful; workload changes are fast-forwarded so load
+// averages converge immediately (the kernel would need minutes).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "apps/massd/file_server.h"
+#include "apps/matmul/worker.h"
+#include "apps/workload/workload_generator.h"
+#include "core/smart_client.h"
+#include "core/wizard.h"
+#include "ipc/in_memory_store.h"
+#include "monitor/network_monitor.h"
+#include "monitor/security_monitor.h"
+#include "monitor/system_monitor.h"
+#include "probe/server_probe.h"
+#include "sim/testbed.h"
+#include "transport/receiver.h"
+#include "transport/transmitter.h"
+
+namespace smartsock::harness {
+
+struct HarnessOptions {
+  std::vector<sim::HostSpec> hosts = sim::paper_hosts();
+  transport::TransferMode mode = transport::TransferMode::kCentralized;
+  util::Duration probe_interval = std::chrono::milliseconds(150);
+  util::Duration transfer_interval = std::chrono::milliseconds(150);
+
+  bool start_workers = false;        // matmul service per host
+  bool start_file_servers = false;   // massd service per host
+  apps::ComputeMode worker_mode = apps::ComputeMode::kCostModel;
+  double matmul_time_scale = 0.01;   // real seconds per virtual second
+  double matmul_flops_multiplier = 1.0;  // see WorkerConfig::flops_multiplier
+
+  /// Group assignment per host; defaults to "seg<N>" from the testbed
+  /// topology. massd experiments override with group-1/group-2.
+  std::function<std::string(const sim::HostSpec&)> group_fn;
+
+  /// Group the wizard treats as the client's location (netdb lookups).
+  std::string local_group = "client";
+
+  /// Seeded randomness for the harness's random-selection baseline.
+  std::uint64_t seed = 42;
+};
+
+/// One booted host: simulation state + daemons.
+struct HarnessHost {
+  sim::SimHost sim;
+  std::string group;
+  std::unique_ptr<apps::MatmulWorker> worker;
+  std::unique_ptr<apps::FileServer> file_server;
+  std::unique_ptr<probe::ServerProbe> probe;
+  net::Endpoint service;  // what the probe advertises
+  /// Hosts with no requested service still need a unique, connectable
+  /// endpoint (sysdb is keyed by address); a bare listener provides one —
+  /// the kernel completes connects from its backlog without an accept loop.
+  net::TcpListener placeholder;
+
+  explicit HarnessHost(sim::HostSpec spec) : sim(std::move(spec)) {}
+};
+
+class ClusterHarness {
+ public:
+  explicit ClusterHarness(HarnessOptions options);
+  ~ClusterHarness();
+
+  ClusterHarness(const ClusterHarness&) = delete;
+  ClusterHarness& operator=(const ClusterHarness&) = delete;
+
+  /// Boots all components. False if any socket failed to come up.
+  bool start();
+  void stop();
+
+  /// Blocks until the wizard-side store sees every host (or timeout).
+  bool wait_for_all_reports(util::Duration timeout);
+
+  // --- access ------------------------------------------------------------
+  net::Endpoint wizard_endpoint() const;
+  HarnessHost* host(const std::string& name);
+  std::vector<core::ServerEntry> all_servers() const;
+  core::SmartClient make_client(std::uint64_t seed = 0) const;
+  ipc::StatusStore& wizard_store() { return wizard_store_; }
+  ipc::StatusStore& monitor_store() { return monitor_store_; }
+  core::Wizard* wizard() { return wizard_.get(); }
+  monitor::SystemMonitor* system_monitor() { return system_monitor_.get(); }
+  const HarnessOptions& options() const { return options_; }
+
+  // --- experiment knobs ---------------------------------------------------
+  /// Applies a workload profile and fast-forwards the host's procfs so the
+  /// next report reflects it.
+  void set_workload(const std::string& host, apps::WorkloadKind kind);
+
+  /// Sets the security clearance reported for a host.
+  void set_security_level(const std::string& host, int level);
+
+  /// Sets the (delay, bandwidth) the network monitor reports for a group,
+  /// and shapes the group's file servers to that bandwidth.
+  void set_group_metrics(const std::string& group, double delay_ms, double bw_mbps);
+
+  /// Nudges every probe/monitor/transmitter chain to publish fresh state
+  /// now and waits for it to land in the wizard store.
+  bool refresh_now(util::Duration timeout = std::chrono::seconds(2));
+
+ private:
+  void ticker_loop();
+
+  HarnessOptions options_;
+
+  std::vector<std::unique_ptr<HarnessHost>> hosts_;
+  ipc::InMemoryStatusStore monitor_store_;
+  ipc::InMemoryStatusStore wizard_store_;
+
+  std::unique_ptr<monitor::SystemMonitor> system_monitor_;
+  std::unique_ptr<monitor::NetworkMonitor> network_monitor_;
+  monitor::StaticSecuritySource* security_source_ = nullptr;  // owned by monitor
+  std::unique_ptr<monitor::SecurityMonitor> security_monitor_;
+  std::unique_ptr<transport::Transmitter> transmitter_;
+  std::unique_ptr<transport::Receiver> receiver_;
+  std::unique_ptr<core::Wizard> wizard_;
+
+  // group -> (delay, bw) served by the network monitor's measure functions
+  std::mutex metrics_mu_;
+  std::map<std::string, std::pair<double, double>> group_metrics_;
+
+  std::thread ticker_;
+  std::atomic<bool> stop_requested_{false};
+  bool started_ = false;
+};
+
+}  // namespace smartsock::harness

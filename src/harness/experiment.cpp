@@ -1,0 +1,143 @@
+#include "harness/experiment.h"
+
+#include "apps/massd/downloader.h"
+#include "apps/matmul/master.h"
+#include "util/strings.h"
+
+namespace smartsock::harness {
+
+std::string ExperimentRow::servers_joined() const {
+  return util::join(servers, ", ");
+}
+
+HarnessOptions matmul_harness_options(double time_scale, std::size_t wire_divisor) {
+  HarnessOptions options;
+  options.start_workers = true;
+  options.worker_mode = apps::ComputeMode::kCostModel;
+  options.matmul_time_scale = time_scale;
+  double f = static_cast<double>(wire_divisor);
+  options.matmul_flops_multiplier = f * f * f;
+  return options;
+}
+
+HarnessOptions massd_harness_options() {
+  HarnessOptions options;
+  options.start_file_servers = true;
+  options.group_fn = [](const sim::HostSpec& spec) -> std::string {
+    for (const std::string& name : sim::massd_group(1)) {
+      if (name == spec.name) return "group-1";
+    }
+    for (const std::string& name : sim::massd_group(2)) {
+      if (name == spec.name) return "group-2";
+    }
+    return "seg" + std::to_string(spec.segment);
+  };
+  return options;
+}
+
+ExperimentRow run_matmul(ClusterHarness& cluster,
+                         const std::vector<core::ServerEntry>& servers,
+                         const MatmulExperiment& experiment, const std::string& label) {
+  ExperimentRow row;
+  row.label = label;
+  row.servers = names_of(servers);
+
+  if (servers.empty()) {
+    row.error = "no servers selected";
+    return row;
+  }
+
+  // Connect to each selected host's matmul worker.
+  std::vector<net::TcpSocket> connections;
+  for (const core::ServerEntry& entry : servers) {
+    HarnessHost* host = cluster.host(entry.host);
+    if (!host || !host->worker) {
+      row.error = entry.host + ": no matmul worker";
+      return row;
+    }
+    auto socket = net::TcpSocket::connect(host->worker->endpoint(), std::chrono::seconds(1));
+    if (!socket) {
+      row.error = entry.host + ": worker connect failed";
+      return row;
+    }
+    connections.push_back(std::move(*socket));
+  }
+
+  std::size_t wire_n = experiment.n / experiment.wire_divisor;
+  std::size_t wire_block = experiment.block / experiment.wire_divisor;
+  if (wire_n == 0 || wire_block == 0) {
+    row.error = "wire divisor too large for this matrix";
+    return row;
+  }
+
+  util::Rng rng(experiment.seed);
+  apps::Matrix a = apps::Matrix::random(wire_n, wire_n, rng);
+  apps::Matrix b = apps::Matrix::random(wire_n, wire_n, rng);
+
+  apps::MatmulMaster master(wire_block);
+  apps::MatmulRunResult result = master.run(a, b, std::move(connections));
+  if (!result.ok) {
+    row.error = result.error;
+    return row;
+  }
+  row.ok = true;
+  row.matmul_virtual_seconds =
+      result.elapsed_seconds / cluster.options().matmul_time_scale;
+  return row;
+}
+
+ExperimentRow run_massd(ClusterHarness& cluster,
+                        const std::vector<core::ServerEntry>& servers,
+                        const MassdExperiment& experiment, const std::string& label) {
+  ExperimentRow row;
+  row.label = label;
+  row.servers = names_of(servers);
+
+  if (servers.empty()) {
+    row.error = "no servers selected";
+    return row;
+  }
+
+  std::vector<net::TcpSocket> connections;
+  for (const core::ServerEntry& entry : servers) {
+    HarnessHost* host = cluster.host(entry.host);
+    if (!host || !host->file_server) {
+      row.error = entry.host + ": no file server";
+      return row;
+    }
+    auto socket =
+        net::TcpSocket::connect(host->file_server->endpoint(), std::chrono::seconds(1));
+    if (!socket) {
+      row.error = entry.host + ": file server connect failed";
+      return row;
+    }
+    connections.push_back(std::move(*socket));
+  }
+
+  apps::DownloadConfig config;
+  config.total_bytes = experiment.data_kb * 1024;
+  config.block_bytes = experiment.block_kb * 1024;
+  apps::DownloadResult result = apps::mass_download(config, std::move(connections));
+  if (!result.ok) {
+    row.error = result.error;
+    return row;
+  }
+  row.ok = true;
+  row.throughput_kbps = result.throughput_kbps();
+  row.avg_per_server_kbps = result.throughput_kbps() / static_cast<double>(servers.size());
+  return row;
+}
+
+std::vector<core::ServerEntry> smart_selection(ClusterHarness& cluster,
+                                               const std::string& requirement,
+                                               std::size_t count, std::string* error) {
+  core::SmartClient client = cluster.make_client(/*seed=*/1);
+  core::WizardReply reply = client.query(requirement, count);
+  if (!reply.ok) {
+    if (error) *error = reply.error;
+    return {};
+  }
+  return reply.servers;
+}
+
+}  // namespace smartsock::harness

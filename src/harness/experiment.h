@@ -1,0 +1,73 @@
+// Experiment runners for the Chapter 5 evaluation.
+//
+// Each runner takes an explicit server cast (random baseline or the
+// wizard's answer), drives the real application over real sockets, and
+// returns one comparable row. The matmul runner reports *virtual* seconds —
+// wall time divided by the harness's time scale — so the numbers land in the
+// thesis's magnitude (tens of seconds) while the bench itself runs in
+// fractions of a second.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/cluster_harness.h"
+#include "harness/selection.h"
+
+namespace smartsock::harness {
+
+struct ExperimentRow {
+  std::string label;
+  std::vector<std::string> servers;
+  bool ok = false;
+  std::string error;
+  double matmul_virtual_seconds = 0.0;  // matmul runs
+  double throughput_kbps = 0.0;         // massd: aggregate KB/s
+  /// massd: mean per-server throughput — the thesis's reported metric
+  /// ("the average throughput of the massive download program"); equals the
+  /// arithmetic mean of the servers' shaped rates under self-scheduling.
+  double avg_per_server_kbps = 0.0;
+
+  std::string servers_joined() const;
+};
+
+struct MatmulExperiment {
+  std::size_t n = 1500;        // reported (thesis) dimension
+  std::size_t block = 200;     // reported block size
+  /// Wire tiles are shrunk by this factor; the workers' flops multiplier
+  /// (divisor^3) must have been configured at harness boot to compensate.
+  std::size_t wire_divisor = 5;
+  std::uint64_t seed = 7;
+};
+
+/// Harness options preconfigured for matmul experiments at the given time
+/// scale and wire divisor (sets worker mode/multiplier consistently).
+HarnessOptions matmul_harness_options(double time_scale = 0.01,
+                                      std::size_t wire_divisor = 5);
+
+/// Harness options preconfigured for massd experiments: file servers on,
+/// massd_group(1)/massd_group(2) host grouping.
+HarnessOptions massd_harness_options();
+
+/// Runs the distributed multiplication on the named servers' matmul workers.
+ExperimentRow run_matmul(ClusterHarness& cluster,
+                         const std::vector<core::ServerEntry>& servers,
+                         const MatmulExperiment& experiment, const std::string& label);
+
+struct MassdExperiment {
+  std::uint64_t data_kb = 2000;  // thesis: 50000 (scaled for bench runtime)
+  std::uint64_t block_kb = 100;  // thesis: 100
+};
+
+/// Runs the massive download against the named servers' file servers.
+ExperimentRow run_massd(ClusterHarness& cluster,
+                        const std::vector<core::ServerEntry>& servers,
+                        const MassdExperiment& experiment, const std::string& label);
+
+/// Asks the wizard for `count` servers under `requirement` via a real client
+/// round trip. Empty on failure (error captured in the row by callers).
+std::vector<core::ServerEntry> smart_selection(ClusterHarness& cluster,
+                                               const std::string& requirement,
+                                               std::size_t count, std::string* error = nullptr);
+
+}  // namespace smartsock::harness

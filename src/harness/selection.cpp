@@ -1,0 +1,35 @@
+#include "harness/selection.h"
+
+namespace smartsock::harness {
+
+std::vector<core::ServerEntry> random_selection(const std::vector<core::ServerEntry>& pool,
+                                                std::size_t k, util::Rng& rng) {
+  std::vector<core::ServerEntry> out;
+  for (std::size_t index : rng.sample_indices(pool.size(), k)) {
+    out.push_back(pool[index]);
+  }
+  return out;
+}
+
+std::vector<core::ServerEntry> pick_named(const std::vector<core::ServerEntry>& pool,
+                                          const std::vector<std::string>& names) {
+  std::vector<core::ServerEntry> out;
+  for (const std::string& name : names) {
+    for (const core::ServerEntry& entry : pool) {
+      if (entry.host == name) {
+        out.push_back(entry);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> names_of(const std::vector<core::ServerEntry>& servers) {
+  std::vector<std::string> out;
+  out.reserve(servers.size());
+  for (const core::ServerEntry& entry : servers) out.push_back(entry.host);
+  return out;
+}
+
+}  // namespace smartsock::harness

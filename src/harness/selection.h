@@ -1,0 +1,28 @@
+// Server-selection strategies compared in Chapter 5.
+//
+// The conventional-socket baseline "randomly selects servers, without the
+// help from third-party utilities"; the smart path asks the wizard. These
+// helpers build the baseline and fixed-cast selections the tables name.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/wire.h"
+#include "util/rng.h"
+
+namespace smartsock::harness {
+
+/// Uniform random pick of k distinct servers — the paper's baseline.
+std::vector<core::ServerEntry> random_selection(const std::vector<core::ServerEntry>& pool,
+                                                std::size_t k, util::Rng& rng);
+
+/// Picks servers by name, in the given order (reproducing the paper's
+/// reported "Server List" rows exactly). Missing names are skipped.
+std::vector<core::ServerEntry> pick_named(const std::vector<core::ServerEntry>& pool,
+                                          const std::vector<std::string>& names);
+
+/// Just the host names, for printing.
+std::vector<std::string> names_of(const std::vector<core::ServerEntry>& servers);
+
+}  // namespace smartsock::harness

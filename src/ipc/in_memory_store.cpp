@@ -1,0 +1,91 @@
+#include "ipc/in_memory_store.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace smartsock::ipc {
+
+bool InMemoryStatusStore::put_sys(const SysRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (SysRecord& existing : sys_) {
+    if (std::strncmp(existing.address, record.address, kAddressLen) == 0) {
+      existing = record;
+      return true;
+    }
+  }
+  sys_.push_back(record);
+  return true;
+}
+
+bool InMemoryStatusStore::put_net(const NetRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (NetRecord& existing : net_) {
+    if (std::strncmp(existing.from_group, record.from_group, kGroupLen) == 0 &&
+        std::strncmp(existing.to_group, record.to_group, kGroupLen) == 0) {
+      existing = record;
+      return true;
+    }
+  }
+  net_.push_back(record);
+  return true;
+}
+
+bool InMemoryStatusStore::put_sec(const SecRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (SecRecord& existing : sec_) {
+    if (std::strncmp(existing.host, record.host, kHostNameLen) == 0) {
+      existing = record;
+      return true;
+    }
+  }
+  sec_.push_back(record);
+  return true;
+}
+
+std::vector<SysRecord> InMemoryStatusStore::sys_records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sys_;
+}
+
+std::vector<NetRecord> InMemoryStatusStore::net_records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return net_;
+}
+
+std::vector<SecRecord> InMemoryStatusStore::sec_records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sec_;
+}
+
+void InMemoryStatusStore::replace_sys(const std::vector<SysRecord>& records) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sys_ = records;
+}
+
+void InMemoryStatusStore::replace_net(const std::vector<NetRecord>& records) {
+  std::lock_guard<std::mutex> lock(mu_);
+  net_ = records;
+}
+
+void InMemoryStatusStore::replace_sec(const std::vector<SecRecord>& records) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sec_ = records;
+}
+
+std::size_t InMemoryStatusStore::expire_sys_older_than(std::uint64_t cutoff_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t before = sys_.size();
+  sys_.erase(std::remove_if(sys_.begin(), sys_.end(),
+                            [&](const SysRecord& r) { return r.updated_ns < cutoff_ns; }),
+             sys_.end());
+  return before - sys_.size();
+}
+
+void InMemoryStatusStore::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sys_.clear();
+  net_.clear();
+  sec_.clear();
+}
+
+}  // namespace smartsock::ipc

@@ -1,0 +1,34 @@
+// Mutex-guarded in-process status store.
+#pragma once
+
+#include <mutex>
+
+#include "ipc/status_store.h"
+
+namespace smartsock::ipc {
+
+class InMemoryStatusStore final : public StatusStore {
+ public:
+  bool put_sys(const SysRecord& record) override;
+  bool put_net(const NetRecord& record) override;
+  bool put_sec(const SecRecord& record) override;
+
+  std::vector<SysRecord> sys_records() const override;
+  std::vector<NetRecord> net_records() const override;
+  std::vector<SecRecord> sec_records() const override;
+
+  void replace_sys(const std::vector<SysRecord>& records) override;
+  void replace_net(const std::vector<NetRecord>& records) override;
+  void replace_sec(const std::vector<SecRecord>& records) override;
+
+  std::size_t expire_sys_older_than(std::uint64_t cutoff_ns) override;
+  void clear() override;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<SysRecord> sys_;
+  std::vector<NetRecord> net_;
+  std::vector<SecRecord> sec_;
+};
+
+}  // namespace smartsock::ipc

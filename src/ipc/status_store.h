@@ -1,0 +1,49 @@
+// Shared status store interface (§3.2.2, §4.2).
+//
+// Three databases — sysdb, netdb, secdb — written by the monitors, shipped
+// by the transmitter, mirrored by the receiver and read by the wizard. The
+// thesis keeps them in SysV shared memory guarded by SysV semaphores; the
+// SysVStatusStore reproduces that, while InMemoryStatusStore provides the
+// same contract for single-process deployments and tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ipc/status_record.h"
+
+namespace smartsock::ipc {
+
+class StatusStore {
+ public:
+  virtual ~StatusStore() = default;
+
+  /// Upserts keyed by server address (the thesis updates in place when the
+  /// address exists, §3.2.2).
+  virtual bool put_sys(const SysRecord& record) = 0;
+  /// Upserts keyed by (from_group, to_group).
+  virtual bool put_net(const NetRecord& record) = 0;
+  /// Upserts keyed by host.
+  virtual bool put_sec(const SecRecord& record) = 0;
+
+  virtual std::vector<SysRecord> sys_records() const = 0;
+  virtual std::vector<NetRecord> net_records() const = 0;
+  virtual std::vector<SecRecord> sec_records() const = 0;
+
+  /// Bulk replacement — the receiver mirrors whole databases (§3.5.2).
+  virtual void replace_sys(const std::vector<SysRecord>& records) = 0;
+  virtual void replace_net(const std::vector<NetRecord>& records) = 0;
+  virtual void replace_sec(const std::vector<SecRecord>& records) = 0;
+
+  /// Removes sys records whose updated_ns is older than `cutoff_ns` — the
+  /// monitor's stale-server sweep ("3 consecutive intervals", §4.1).
+  /// Returns the number removed.
+  virtual std::size_t expire_sys_older_than(std::uint64_t cutoff_ns) = 0;
+
+  virtual void clear() = 0;
+};
+
+/// Monotonic timestamp in ns, the time base for record staleness.
+std::uint64_t steady_now_ns();
+
+}  // namespace smartsock::ipc

@@ -1,0 +1,271 @@
+#include "ipc/sysv_store.h"
+
+#include <sys/ipc.h>
+#include <sys/sem.h>
+#include <sys/shm.h>
+
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace smartsock::ipc {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x534d5231;  // "SMR1"
+
+struct SegmentHeader {
+  std::uint32_t magic;
+  std::uint32_t record_size;
+  std::uint32_t capacity;
+  std::uint32_t count;
+};
+
+// semop helpers: one counting semaphore used as a mutex, SEM_UNDO so a
+// crashed holder does not deadlock the segment.
+bool sem_lock(int sem_id) {
+  sembuf op{0, -1, SEM_UNDO};
+  return ::semop(sem_id, &op, 1) == 0;
+}
+bool sem_unlock(int sem_id) {
+  sembuf op{0, 1, SEM_UNDO};
+  return ::semop(sem_id, &op, 1) == 0;
+}
+
+}  // namespace
+
+struct SysVStatusStore::Region {
+  int shm_id = -1;
+  int sem_id = -1;
+  void* base = nullptr;
+  std::size_t record_size = 0;
+  std::size_t capacity = 0;
+  bool created = false;
+
+  ~Region() {
+    if (base) ::shmdt(base);
+  }
+
+  SegmentHeader* header() { return static_cast<SegmentHeader*>(base); }
+  const SegmentHeader* header() const { return static_cast<const SegmentHeader*>(base); }
+  char* records() { return static_cast<char*>(base) + sizeof(SegmentHeader); }
+  const char* records() const {
+    return static_cast<const char*>(base) + sizeof(SegmentHeader);
+  }
+
+  static std::unique_ptr<Region> open(int key, std::size_t record_size, std::size_t capacity) {
+    auto region = std::make_unique<Region>();
+    region->record_size = record_size;
+    region->capacity = capacity;
+    std::size_t bytes = sizeof(SegmentHeader) + record_size * capacity;
+
+    int shm_id = ::shmget(key, bytes, IPC_CREAT | IPC_EXCL | 0600);
+    bool fresh = shm_id >= 0;
+    if (shm_id < 0 && errno == EEXIST) {
+      shm_id = ::shmget(key, bytes, 0600);
+    }
+    if (shm_id < 0) return nullptr;
+    region->shm_id = shm_id;
+    region->created = fresh;
+
+    int sem_id = ::semget(key, 1, IPC_CREAT | IPC_EXCL | 0600);
+    if (sem_id >= 0) {
+      // Fresh semaphore: initialize to 1 (unlocked).
+      if (::semctl(sem_id, 0, SETVAL, 1) != 0) return nullptr;
+    } else if (errno == EEXIST) {
+      sem_id = ::semget(key, 1, 0600);
+      if (sem_id < 0) return nullptr;
+    } else {
+      return nullptr;
+    }
+    region->sem_id = sem_id;
+
+    void* base = ::shmat(shm_id, nullptr, 0);
+    if (base == reinterpret_cast<void*>(-1)) return nullptr;
+    region->base = base;
+
+    if (fresh) {
+      if (!sem_lock(sem_id)) return nullptr;
+      SegmentHeader* header = region->header();
+      header->magic = kMagic;
+      header->record_size = static_cast<std::uint32_t>(record_size);
+      header->capacity = static_cast<std::uint32_t>(capacity);
+      header->count = 0;
+      sem_unlock(sem_id);
+    } else {
+      const SegmentHeader* header = region->header();
+      if (header->magic != kMagic || header->record_size != record_size ||
+          header->capacity != capacity) {
+        SMARTSOCK_LOG(kError, "sysv_store")
+            << "segment layout mismatch for key " << key << " — stale segment?";
+        return nullptr;
+      }
+    }
+    return region;
+  }
+};
+
+namespace {
+
+// Generic keyed upsert over a locked region. `KeyEq` compares a stored
+// record with the incoming one.
+template <typename Record, typename KeyEq>
+bool region_put(SysVStatusStore::Region* region, const Record& record, KeyEq key_eq);
+
+template <typename Record>
+std::vector<Record> region_read(const SysVStatusStore::Region* region);
+
+template <typename Record>
+void region_replace(SysVStatusStore::Region* region, const std::vector<Record>& records);
+
+}  // namespace
+
+// Out-of-line template helpers need the full Region type.
+namespace {
+
+template <typename Record, typename KeyEq>
+bool region_put(SysVStatusStore::Region* region, const Record& record, KeyEq key_eq) {
+  if (!region || !region->base) return false;
+  if (!sem_lock(region->sem_id)) return false;
+  auto* header = region->header();
+  auto* slots = reinterpret_cast<Record*>(region->records());
+  bool stored = false;
+  for (std::uint32_t i = 0; i < header->count; ++i) {
+    if (key_eq(slots[i], record)) {
+      slots[i] = record;
+      stored = true;
+      break;
+    }
+  }
+  if (!stored && header->count < header->capacity) {
+    slots[header->count++] = record;
+    stored = true;
+  }
+  sem_unlock(region->sem_id);
+  return stored;
+}
+
+template <typename Record>
+std::vector<Record> region_read(const SysVStatusStore::Region* region) {
+  std::vector<Record> out;
+  if (!region || !region->base) return out;
+  if (!sem_lock(region->sem_id)) return out;
+  const auto* header = region->header();
+  const auto* slots = reinterpret_cast<const Record*>(region->records());
+  out.assign(slots, slots + header->count);
+  sem_unlock(region->sem_id);
+  return out;
+}
+
+template <typename Record>
+void region_replace(SysVStatusStore::Region* region, const std::vector<Record>& records) {
+  if (!region || !region->base) return;
+  if (!sem_lock(region->sem_id)) return;
+  auto* header = region->header();
+  auto* slots = reinterpret_cast<Record*>(region->records());
+  std::uint32_t n = static_cast<std::uint32_t>(
+      std::min<std::size_t>(records.size(), header->capacity));
+  for (std::uint32_t i = 0; i < n; ++i) slots[i] = records[i];
+  header->count = n;
+  sem_unlock(region->sem_id);
+}
+
+}  // namespace
+
+std::unique_ptr<SysVStatusStore> SysVStatusStore::create(const SysVKeys& keys,
+                                                         std::size_t sys_capacity,
+                                                         std::size_t net_capacity,
+                                                         std::size_t sec_capacity) {
+  auto store = std::unique_ptr<SysVStatusStore>(new SysVStatusStore());
+  store->sys_region_ = Region::open(keys.sys_key, sizeof(SysRecord), sys_capacity);
+  store->net_region_ = Region::open(keys.net_key, sizeof(NetRecord), net_capacity);
+  store->sec_region_ = Region::open(keys.sec_key, sizeof(SecRecord), sec_capacity);
+  if (!store->sys_region_ || !store->net_region_ || !store->sec_region_) {
+    return nullptr;
+  }
+  return store;
+}
+
+SysVStatusStore::~SysVStatusStore() = default;
+
+bool SysVStatusStore::put_sys(const SysRecord& record) {
+  return region_put(sys_region_.get(), record, [](const SysRecord& a, const SysRecord& b) {
+    return std::strncmp(a.address, b.address, kAddressLen) == 0;
+  });
+}
+
+bool SysVStatusStore::put_net(const NetRecord& record) {
+  return region_put(net_region_.get(), record, [](const NetRecord& a, const NetRecord& b) {
+    return std::strncmp(a.from_group, b.from_group, kGroupLen) == 0 &&
+           std::strncmp(a.to_group, b.to_group, kGroupLen) == 0;
+  });
+}
+
+bool SysVStatusStore::put_sec(const SecRecord& record) {
+  return region_put(sec_region_.get(), record, [](const SecRecord& a, const SecRecord& b) {
+    return std::strncmp(a.host, b.host, kHostNameLen) == 0;
+  });
+}
+
+std::vector<SysRecord> SysVStatusStore::sys_records() const {
+  return region_read<SysRecord>(sys_region_.get());
+}
+
+std::vector<NetRecord> SysVStatusStore::net_records() const {
+  return region_read<NetRecord>(net_region_.get());
+}
+
+std::vector<SecRecord> SysVStatusStore::sec_records() const {
+  return region_read<SecRecord>(sec_region_.get());
+}
+
+void SysVStatusStore::replace_sys(const std::vector<SysRecord>& records) {
+  region_replace(sys_region_.get(), records);
+}
+
+void SysVStatusStore::replace_net(const std::vector<NetRecord>& records) {
+  region_replace(net_region_.get(), records);
+}
+
+void SysVStatusStore::replace_sec(const std::vector<SecRecord>& records) {
+  region_replace(sec_region_.get(), records);
+}
+
+std::size_t SysVStatusStore::expire_sys_older_than(std::uint64_t cutoff_ns) {
+  Region* region = sys_region_.get();
+  if (!region || !region->base) return 0;
+  if (!sem_lock(region->sem_id)) return 0;
+  auto* header = region->header();
+  auto* slots = reinterpret_cast<SysRecord*>(region->records());
+  std::uint32_t kept = 0;
+  for (std::uint32_t i = 0; i < header->count; ++i) {
+    if (slots[i].updated_ns >= cutoff_ns) {
+      if (kept != i) slots[kept] = slots[i];
+      ++kept;
+    }
+  }
+  std::size_t removed = header->count - kept;
+  header->count = kept;
+  sem_unlock(region->sem_id);
+  return removed;
+}
+
+void SysVStatusStore::clear() {
+  for (Region* region : {sys_region_.get(), net_region_.get(), sec_region_.get()}) {
+    if (!region || !region->base) continue;
+    if (!sem_lock(region->sem_id)) continue;
+    region->header()->count = 0;
+    sem_unlock(region->sem_id);
+  }
+}
+
+void SysVStatusStore::remove_system_objects(const SysVKeys& keys) {
+  for (int key : {keys.sys_key, keys.net_key, keys.sec_key}) {
+    int shm_id = ::shmget(key, 0, 0600);
+    if (shm_id >= 0) ::shmctl(shm_id, IPC_RMID, nullptr);
+    int sem_id = ::semget(key, 1, 0600);
+    if (sem_id >= 0) ::semctl(sem_id, 0, IPC_RMID);
+  }
+}
+
+}  // namespace smartsock::ipc

@@ -1,0 +1,75 @@
+// System V shared-memory status store (§3.2.2, §4.2, Table 4.3).
+//
+// Faithful to the thesis: each database lives in its own SysV shared-memory
+// segment guarded by a SysV semaphore under the *same key* ("The keys we
+// assign for both semaphores and shared memories are the same for one type
+// of records"). The monitor-machine keys are 1234/1235/1236 and the
+// wizard-machine keys 4321/5321/6321; both key sets coexist on one box.
+//
+// Sandboxed environments may deny shmget/semget — create() then returns
+// nullptr and callers fall back to InMemoryStatusStore. The records are
+// trivially copyable, so segments hold them as flat arrays behind a small
+// header.
+#pragma once
+
+#include <memory>
+
+#include "ipc/status_store.h"
+
+namespace smartsock::ipc {
+
+/// The thesis's key assignments (Table 4.3).
+struct SysVKeys {
+  int sys_key = 0;
+  int net_key = 0;
+  int sec_key = 0;
+
+  static SysVKeys monitor_machine() { return {1234, 1235, 1236}; }
+  static SysVKeys wizard_machine() { return {4321, 5321, 6321}; }
+};
+
+class SysVStatusStore final : public StatusStore {
+ public:
+  /// Creates or attaches the three segments/semaphores. Returns nullptr if
+  /// the kernel refuses SysV IPC (common in sandboxes/containers).
+  static std::unique_ptr<SysVStatusStore> create(const SysVKeys& keys,
+                                                 std::size_t sys_capacity = 128,
+                                                 std::size_t net_capacity = 256,
+                                                 std::size_t sec_capacity = 128);
+
+  ~SysVStatusStore() override;
+
+  SysVStatusStore(const SysVStatusStore&) = delete;
+  SysVStatusStore& operator=(const SysVStatusStore&) = delete;
+
+  bool put_sys(const SysRecord& record) override;
+  bool put_net(const NetRecord& record) override;
+  bool put_sec(const SecRecord& record) override;
+
+  std::vector<SysRecord> sys_records() const override;
+  std::vector<NetRecord> net_records() const override;
+  std::vector<SecRecord> sec_records() const override;
+
+  void replace_sys(const std::vector<SysRecord>& records) override;
+  void replace_net(const std::vector<NetRecord>& records) override;
+  void replace_sec(const std::vector<SecRecord>& records) override;
+
+  std::size_t expire_sys_older_than(std::uint64_t cutoff_ns) override;
+  void clear() override;
+
+  /// Destroys the kernel objects (IPC_RMID). After this every attached
+  /// store is invalid; used by tests and administrative teardown.
+  static void remove_system_objects(const SysVKeys& keys);
+
+  struct Region;  // one segment + semaphore (implementation detail, exposed
+                  // only as an incomplete type for the .cpp's helpers)
+
+ private:
+  SysVStatusStore() = default;
+
+  std::unique_ptr<Region> sys_region_;
+  std::unique_ptr<Region> net_region_;
+  std::unique_ptr<Region> sec_region_;
+};
+
+}  // namespace smartsock::ipc

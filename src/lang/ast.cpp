@@ -1,0 +1,126 @@
+#include "lang/ast.h"
+
+#include "util/strings.h"
+
+namespace smartsock::lang {
+
+bool is_logical_op(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAnd:
+    case BinaryOp::kOr:
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string_view binary_op_name(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kPow: return "^";
+    case BinaryOp::kAnd: return "&&";
+    case BinaryOp::kOr: return "||";
+    case BinaryOp::kEq: return "==";
+    case BinaryOp::kNe: return "!=";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+std::unique_ptr<Expr> Expr::make_number(double value, int line) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kNumber;
+  e->number = value;
+  e->line = line;
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::make_netaddr(std::string text, int line) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kNetAddr;
+  e->name = std::move(text);
+  e->line = line;
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::make_var(std::string name, int line) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kVar;
+  e->name = std::move(name);
+  e->line = line;
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::make_assign(std::string target, std::unique_ptr<Expr> value,
+                                        int line) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kAssign;
+  e->name = std::move(target);
+  e->children.push_back(std::move(value));
+  e->line = line;
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::make_binary(BinaryOp op, std::unique_ptr<Expr> lhs,
+                                        std::unique_ptr<Expr> rhs, int line) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->op = op;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  e->line = line;
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::make_unary_minus(std::unique_ptr<Expr> operand, int line) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kUnaryMinus;
+  e->children.push_back(std::move(operand));
+  e->line = line;
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::make_call(std::string function, std::unique_ptr<Expr> argument,
+                                      int line) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kCall;
+  e->name = std::move(function);
+  e->children.push_back(std::move(argument));
+  e->line = line;
+  return e;
+}
+
+std::string Expr::to_string() const {
+  switch (kind) {
+    case ExprKind::kNumber:
+      return util::format_double(number);
+    case ExprKind::kNetAddr:
+      return name;
+    case ExprKind::kVar:
+      return name;
+    case ExprKind::kAssign:
+      return "(" + name + " = " + children[0]->to_string() + ")";
+    case ExprKind::kBinary:
+      return "(" + children[0]->to_string() + " " + std::string(binary_op_name(op)) + " " +
+             children[1]->to_string() + ")";
+    case ExprKind::kUnaryMinus:
+      return "(-" + children[0]->to_string() + ")";
+    case ExprKind::kCall:
+      return name + "(" + children[0]->to_string() + ")";
+  }
+  return "?";
+}
+
+}  // namespace smartsock::lang

@@ -1,0 +1,78 @@
+// AST for the requirement meta language (thesis Fig 4.2 grammar).
+//
+// One Program is a list of Statements, one per input line. Each statement is
+// an expression tree; whether a statement is *logical* (participates in the
+// qualified/not-qualified decision) is a property of the evaluated tree — the
+// thesis tracks a global `logic` flag set by the last operator executed,
+// which for a tree evaluation is exactly the root operator, with parentheses
+// explicitly transparent ("this op will not change logic value").
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace smartsock::lang {
+
+enum class ExprKind : std::uint8_t {
+  kNumber,    // literal
+  kNetAddr,   // dotted-quad or dotted/hyphenated host name
+  kVar,       // identifier reference (server var, constant, temp or UNDEF)
+  kAssign,    // ident '=' expr
+  kBinary,    // arithmetic / logical / relational
+  kUnaryMinus,
+  kCall,      // builtin '(' expr ')'
+};
+
+enum class BinaryOp : std::uint8_t {
+  kAdd, kSub, kMul, kDiv, kPow,             // non-logical
+  kAnd, kOr, kEq, kNe, kLt, kLe, kGt, kGe,  // logical
+};
+
+/// True for the operators the thesis classifies as logical (Fig 4.2 sets
+/// logic = 1 for these).
+bool is_logical_op(BinaryOp op);
+
+/// Operator spelling for diagnostics and pretty-printing.
+std::string_view binary_op_name(BinaryOp op);
+
+struct Expr {
+  ExprKind kind;
+  // kNumber
+  double number = 0.0;
+  // kNetAddr / kVar / kAssign (target) / kCall (function name)
+  std::string name;
+  // kBinary
+  BinaryOp op = BinaryOp::kAdd;
+  // children: kBinary uses [0]=lhs,[1]=rhs; kAssign/kUnaryMinus/kCall use [0]
+  std::vector<std::unique_ptr<Expr>> children;
+
+  int line = 0;
+
+  static std::unique_ptr<Expr> make_number(double value, int line);
+  static std::unique_ptr<Expr> make_netaddr(std::string text, int line);
+  static std::unique_ptr<Expr> make_var(std::string name, int line);
+  static std::unique_ptr<Expr> make_assign(std::string target, std::unique_ptr<Expr> value,
+                                           int line);
+  static std::unique_ptr<Expr> make_binary(BinaryOp op, std::unique_ptr<Expr> lhs,
+                                           std::unique_ptr<Expr> rhs, int line);
+  static std::unique_ptr<Expr> make_unary_minus(std::unique_ptr<Expr> operand, int line);
+  static std::unique_ptr<Expr> make_call(std::string function, std::unique_ptr<Expr> argument,
+                                         int line);
+
+  /// Source-like rendering (fully parenthesized) for diagnostics.
+  std::string to_string() const;
+};
+
+struct Statement {
+  std::unique_ptr<Expr> expr;
+  int line = 0;
+};
+
+struct Program {
+  std::vector<Statement> statements;
+
+  bool empty() const { return statements.empty(); }
+};
+
+}  // namespace smartsock::lang

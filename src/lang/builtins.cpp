@@ -1,0 +1,84 @@
+#include "lang/builtins.h"
+
+#include <cmath>
+#include <map>
+
+namespace smartsock::lang {
+
+namespace {
+
+using UnaryFn = double (*)(double);
+
+struct BuiltinSpec {
+  UnaryFn fn;
+  // Domain guard; returns an error message or empty string when fine.
+  const char* (*guard)(double);
+};
+
+const char* no_guard(double) { return ""; }
+const char* log_guard(double x) { return x <= 0.0 ? "argument must be positive" : ""; }
+const char* sqrt_guard(double x) { return x < 0.0 ? "argument must be non-negative" : ""; }
+const char* asin_guard(double x) {
+  return (x < -1.0 || x > 1.0) ? "argument must be in [-1, 1]" : "";
+}
+
+double integer_part(double x) { return std::trunc(x); }
+
+const std::map<std::string, BuiltinSpec, std::less<>>& table() {
+  static const std::map<std::string, BuiltinSpec, std::less<>> builtins = {
+      {"sin", {std::sin, no_guard}},
+      {"cos", {std::cos, no_guard}},
+      {"tan", {std::tan, no_guard}},
+      {"atan", {std::atan, no_guard}},
+      {"asin", {std::asin, asin_guard}},
+      {"acos", {std::acos, asin_guard}},
+      {"exp", {std::exp, no_guard}},
+      {"log", {std::log, log_guard}},
+      {"log10", {std::log10, log_guard}},
+      {"sqrt", {std::sqrt, sqrt_guard}},
+      {"abs", {std::fabs, no_guard}},
+      {"int", {integer_part, no_guard}},
+      {"floor", {std::floor, no_guard}},
+      {"ceil", {std::ceil, no_guard}},
+  };
+  return builtins;
+}
+
+}  // namespace
+
+bool is_builtin(std::string_view name) { return table().count(name) > 0; }
+
+const std::vector<std::string>& builtin_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const auto& [name, spec] : table()) out.push_back(name);
+    return out;
+  }();
+  return names;
+}
+
+BuiltinResult call_builtin(std::string_view name, double argument) {
+  auto it = table().find(name);
+  if (it == table().end()) {
+    return BuiltinResult::failure("unknown function '" + std::string(name) + "'");
+  }
+  const char* domain_error = it->second.guard(argument);
+  if (domain_error[0] != '\0') {
+    return BuiltinResult::failure(std::string(name) + ": " + domain_error);
+  }
+  double value = it->second.fn(argument);
+  if (!std::isfinite(value)) {
+    return BuiltinResult::failure(std::string(name) + ": result overflow");
+  }
+  return BuiltinResult::success(value);
+}
+
+BuiltinResult checked_pow(double base, double exponent) {
+  double value = std::pow(base, exponent);
+  if (!std::isfinite(value)) {
+    return BuiltinResult::failure("'^': result not finite");
+  }
+  return BuiltinResult::success(value);
+}
+
+}  // namespace smartsock::lang

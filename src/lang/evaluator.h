@@ -1,0 +1,101 @@
+// Evaluator for requirement programs (thesis Fig 4.2 semantics).
+//
+// Semantics reproduced from the thesis's yacc actions:
+//  * Every line is a statement; a statement is *logical* iff the operator at
+//    the root of its tree is logical (&&, ||, ==, !=, <, <=, >, >=);
+//    parentheses are transparent.
+//  * A server qualifies only if every logical statement evaluates non-zero
+//    ("server_ok *= $2").
+//  * '&&' / '||' evaluate both operands (yacc has no short-circuit).
+//  * Use of an undefined variable makes the containing statement an error;
+//    an errored statement disqualifies the server (conservative reading of
+//    "the whole statement will be considered as a false statement").
+//  * Assignments to the user-side host slots (user_preferred_hostN /
+//    user_denied_hostN) capture the *name* of the right-hand side when it is
+//    a bare host name or NETADDR — "user_denied_host1 = telesto" stores
+//    "telesto" (store_uparams in the thesis). The assignment's value is 1 so
+//    it can appear inside '&&' chains (Tables 5.5/5.6 do exactly this).
+//  * Division by zero and math domain errors are statement errors.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lang/ast.h"
+#include "lang/symtab.h"
+
+namespace smartsock::lang {
+
+/// Host slots captured from user-side assignments during one evaluation.
+class UserParams {
+ public:
+  void set_slot(const std::string& slot, const std::string& host);
+
+  /// Hosts from user_preferred_host1..5, in slot order, empty slots skipped.
+  std::vector<std::string> preferred() const;
+  /// Hosts from user_denied_host1..5.
+  std::vector<std::string> denied() const;
+
+  bool empty() const { return slots_.empty(); }
+
+ private:
+  std::map<std::string, std::string> slots_;
+};
+
+struct StatementResult {
+  int line = 0;
+  double value = 0.0;
+  bool logical = false;
+  bool errored = false;
+  std::string error;
+};
+
+struct EvalOutcome {
+  bool qualified = true;
+  std::vector<StatementResult> statements;
+  UserParams params;
+
+  /// Set when the requirement assigns the reserved temp variable `rank_by`:
+  /// its per-server value lets the wizard order candidates ("3 servers with
+  /// largest memory" — the thesis's Ch. 6 future-work item). Higher ranks
+  /// first.
+  std::optional<double> rank;
+
+  /// Convenience: all error messages with line numbers.
+  std::vector<std::string> errors() const;
+};
+
+class Evaluator {
+ public:
+  /// Evaluates `program` against one server's attributes. Temp variables are
+  /// fresh per call; user params are harvested into the outcome.
+  EvalOutcome evaluate(const Program& program, const AttributeSet& attrs);
+
+ private:
+  struct Value {
+    double number = 0.0;
+    std::string host;  // non-empty when the value is a host/net address
+    bool is_host = false;
+    bool logical = false;  // the thesis's `logic` flag for this subtree
+
+    static Value numeric(double v, bool logic = false) { return {v, {}, false, logic}; }
+    static Value address(std::string h) { return {1.0, std::move(h), true, false}; }
+  };
+
+  Value eval_expr(const Expr& expr);
+  Value eval_binary(const Expr& expr);
+  Value eval_assign(const Expr& expr);
+  Value eval_var(const Expr& expr);
+
+  void raise(const Expr& at, const std::string& message);
+
+  const AttributeSet* attrs_ = nullptr;
+  TempScope temps_;
+  UserParams params_;
+  bool errored_ = false;
+  std::string error_;
+};
+
+}  // namespace smartsock::lang

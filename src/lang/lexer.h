@@ -1,0 +1,44 @@
+// Lexer for the requirement meta language (thesis Fig 4.1).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lang/token.h"
+
+namespace smartsock::lang {
+
+struct LexError {
+  std::string message;
+  int line = 0;
+  int column = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : source_(source) {}
+
+  /// Tokenizes the whole input. On failure returns false and fills `error`.
+  /// On success the token stream always ends with kEnd, and every statement
+  /// is terminated by kNewline (one is synthesized for a missing trailing
+  /// newline, matching the thesis's line-per-statement rule).
+  bool tokenize(std::vector<Token>& out, LexError& error);
+
+ private:
+  bool at_end() const { return pos_ >= source_.size(); }
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < source_.size() ? source_[pos_ + ahead] : '\0';
+  }
+  char advance();
+  void push(std::vector<Token>& out, TokenType type, std::string text = {});
+
+  std::string_view source_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+  int token_line_ = 1;
+  int token_column_ = 1;
+};
+
+}  // namespace smartsock::lang

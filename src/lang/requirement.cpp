@@ -1,0 +1,44 @@
+#include "lang/requirement.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace smartsock::lang {
+
+std::optional<Requirement> Requirement::compile(std::string_view source, std::string* error) {
+  Requirement requirement;
+  requirement.source_ = std::string(source);
+
+  ParseError parse_error;
+  if (!Parser::parse_source(source, requirement.program_, parse_error)) {
+    if (error) *error = parse_error.to_string();
+    return std::nullopt;
+  }
+
+  // Harvest user-side host slots with an attribute-free pre-pass. Statements
+  // that touch server variables error out here; that is fine — only the
+  // captured params are kept.
+  Evaluator evaluator;
+  EvalOutcome outcome = evaluator.evaluate(requirement.program_, AttributeSet{});
+  requirement.preferred_ = outcome.params.preferred();
+  requirement.denied_ = outcome.params.denied();
+  return requirement;
+}
+
+std::optional<Requirement> Requirement::load_file(const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error) *error = "cannot open requirement file: " + path;
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return compile(buffer.str(), error);
+}
+
+EvalOutcome Requirement::evaluate(const AttributeSet& attrs) const {
+  Evaluator evaluator;
+  return evaluator.evaluate(program_, attrs);
+}
+
+}  // namespace smartsock::lang

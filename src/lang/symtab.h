@@ -1,0 +1,75 @@
+// Symbol classification for the requirement language.
+//
+// The thesis distinguishes (§3.6.1) three variable classes plus builtins:
+//  * server-side variables — 22 predefined names whose values come from the
+//    monitors' status reports (Appendix B.1 plus the monitor_* network
+//    metrics used in §5.3.2),
+//  * user-side variables  — 10 predefined names (preferred/denied host
+//    slots, Appendix B.2) whose values the user assigns,
+//  * temp variables       — anything else the user assigns inside the
+//    requirement text,
+// and the hoc-style constants/built-in math functions of Appendix B.3/B.4.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace smartsock::lang {
+
+enum class SymbolClass : std::uint8_t {
+  kServerVar,   // bound from status reports per candidate server
+  kUserParam,   // preferred/denied host slots
+  kConstant,    // PI, E, ...
+  kBuiltin,     // math function
+  kTemp,        // user-defined in the requirement text
+  kUndefined,   // never assigned, not predefined
+};
+
+/// Attribute values for one candidate server, keyed by server-side variable
+/// name. Built by the wizard from sysdb/netdb/secdb records.
+using AttributeSet = std::map<std::string, double>;
+
+/// The canonical 22 server-side variable names (Appendix B.1).
+const std::vector<std::string>& server_variable_names();
+
+/// The network-monitor variables (per server *group*, §3.3.3 / §5.3.2).
+const std::vector<std::string>& monitor_variable_names();
+
+/// The 10 user-side variable names (Appendix B.2):
+/// user_preferred_host1..5, user_denied_host1..5.
+const std::vector<std::string>& user_variable_names();
+
+bool is_server_variable(std::string_view name);
+bool is_monitor_variable(std::string_view name);
+bool is_user_variable(std::string_view name);
+
+/// True for user_preferred_hostN slots, false for user_denied_hostN.
+bool is_preferred_slot(std::string_view name);
+
+/// hoc-style constants (Appendix B.3): PI, E, GAMMA, DEG, PHI.
+std::optional<double> constant_value(std::string_view name);
+
+/// Per-evaluation mutable scope: temp variables created by assignments.
+class TempScope {
+ public:
+  void assign(const std::string& name, double value) { values_[name] = value; }
+  std::optional<double> lookup(const std::string& name) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+  void clear() { values_.clear(); }
+  std::size_t size() const { return values_.size(); }
+
+ private:
+  std::map<std::string, double> values_;
+};
+
+/// Classifies a name given the current evaluation state.
+SymbolClass classify_symbol(std::string_view name, const AttributeSet& attrs,
+                            const TempScope& temps);
+
+}  // namespace smartsock::lang

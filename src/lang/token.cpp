@@ -1,0 +1,42 @@
+#include "lang/token.h"
+
+namespace smartsock::lang {
+
+std::string_view token_type_name(TokenType type) {
+  switch (type) {
+    case TokenType::kNumber: return "NUMBER";
+    case TokenType::kNetAddr: return "NETADDR";
+    case TokenType::kIdentifier: return "IDENTIFIER";
+    case TokenType::kAnd: return "&&";
+    case TokenType::kOr: return "||";
+    case TokenType::kGt: return ">";
+    case TokenType::kGe: return ">=";
+    case TokenType::kLt: return "<";
+    case TokenType::kLe: return "<=";
+    case TokenType::kEq: return "==";
+    case TokenType::kNe: return "!=";
+    case TokenType::kAssign: return "=";
+    case TokenType::kPlus: return "+";
+    case TokenType::kMinus: return "-";
+    case TokenType::kStar: return "*";
+    case TokenType::kSlash: return "/";
+    case TokenType::kCaret: return "^";
+    case TokenType::kLParen: return "(";
+    case TokenType::kRParen: return ")";
+    case TokenType::kNewline: return "NEWLINE";
+    case TokenType::kEnd: return "END";
+  }
+  return "UNKNOWN";
+}
+
+std::string Token::describe() const {
+  std::string out(token_type_name(type));
+  if (type == TokenType::kNumber) {
+    out += "(" + std::to_string(number) + ")";
+  } else if (type == TokenType::kIdentifier || type == TokenType::kNetAddr) {
+    out += "(" + text + ")";
+  }
+  return out;
+}
+
+}  // namespace smartsock::lang

@@ -1,0 +1,59 @@
+// Token model for the server-requirement meta language (thesis Fig 4.1).
+//
+// The thesis implements the lexer with GNU flex; we reproduce the exact token
+// classes by hand:
+//   "#.*"                                      comments (ignored)
+//   " \t"                                      whitespace (ignored)
+//   [0-9]+(\.[0-9]+)?                          NUMBER
+//   [0-9]+\.[0-9]+\.[0-9]+\.[0-9]+             NETADDR (dotted quad)
+//   [a-zA-Z]+[a-zA-Z_0-9]*\.[\.a-zA-Z_0-9]*    NETADDR (dotted domain name)
+//   [a-zA-Z]+[a-zA-Z_0-9]*                     identifier (VAR/UNDEF/BLTIN
+//                                              resolved later by the parser)
+//   && || > >= < <= == !=                      logical operators
+//   + - * / ^ ( ) = '\n'                       single-char tokens
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace smartsock::lang {
+
+enum class TokenType : std::uint8_t {
+  kNumber,
+  kNetAddr,
+  kIdentifier,
+  kAnd,        // &&
+  kOr,         // ||
+  kGt,         // >
+  kGe,         // >=
+  kLt,         // <
+  kLe,         // <=
+  kEq,         // ==
+  kNe,         // !=
+  kAssign,     // =
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kCaret,      // ^ (power, as in hoc)
+  kLParen,
+  kRParen,
+  kNewline,    // statement terminator
+  kEnd,        // end of input
+};
+
+/// Human-readable token-type name for diagnostics.
+std::string_view token_type_name(TokenType type);
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  double number = 0.0;    // valid when type == kNumber
+  std::string text;       // lexeme for identifiers / netaddrs
+  int line = 0;           // 1-based
+  int column = 0;         // 1-based
+
+  std::string describe() const;
+};
+
+}  // namespace smartsock::lang

@@ -1,0 +1,139 @@
+#include "monitor/system_monitor.h"
+
+#include "util/counters.h"
+#include "util/logging.h"
+
+namespace smartsock::monitor {
+
+ipc::SysRecord to_sys_record(const probe::StatusReport& report, std::uint64_t now_ns) {
+  ipc::SysRecord record;
+  ipc::copy_fixed(record.host, ipc::kHostNameLen, report.host);
+  ipc::copy_fixed(record.address, ipc::kAddressLen, report.address);
+  ipc::copy_fixed(record.group, ipc::kGroupLen, report.group);
+  record.load1 = report.load1;
+  record.load5 = report.load5;
+  record.load15 = report.load15;
+  record.cpu_user = report.cpu_user;
+  record.cpu_nice = report.cpu_nice;
+  record.cpu_system = report.cpu_system;
+  record.cpu_idle = report.cpu_idle;
+  record.bogomips = report.bogomips;
+  record.mem_total_mb = report.mem_total_mb;
+  record.mem_used_mb = report.mem_used_mb;
+  record.mem_free_mb = report.mem_free_mb;
+  record.disk_rreq_ps = report.disk_rreq_ps;
+  record.disk_rblocks_ps = report.disk_rblocks_ps;
+  record.disk_wreq_ps = report.disk_wreq_ps;
+  record.disk_wblocks_ps = report.disk_wblocks_ps;
+  record.net_rbytes_ps = report.net_rbytes_ps;
+  record.net_rpackets_ps = report.net_rpackets_ps;
+  record.net_tbytes_ps = report.net_tbytes_ps;
+  record.net_tpackets_ps = report.net_tpackets_ps;
+  record.updated_ns = now_ns;
+  return record;
+}
+
+SystemMonitor::SystemMonitor(SystemMonitorConfig config, ipc::StatusStore& store)
+    : config_(std::move(config)), store_(&store) {
+  if (auto sock = net::UdpSocket::bind(config_.bind)) {
+    socket_ = std::move(*sock);
+    socket_.set_traffic_counter(
+        util::TrafficRegistry::instance().register_component("system_monitor"));
+    endpoint_ = socket_.local_endpoint();
+  }
+  if (config_.accept_tcp) {
+    // Bind the TCP side on the same port number as the UDP side when the
+    // bind requested a specific port, else take another ephemeral one.
+    net::Endpoint tcp_bind = endpoint_.valid() && config_.bind.port() != 0
+                                 ? config_.bind
+                                 : net::Endpoint(config_.bind.ip(), 0);
+    if (auto listener = net::TcpListener::listen(tcp_bind)) {
+      tcp_listener_ = std::move(*listener);
+      tcp_endpoint_ = tcp_listener_.local_endpoint();
+    }
+  }
+}
+
+SystemMonitor::~SystemMonitor() { stop(); }
+
+bool SystemMonitor::poll_once(util::Duration timeout) {
+  if (!socket_.valid()) return false;
+  auto datagram = socket_.receive(timeout);
+  if (!datagram) return false;
+  auto report = probe::StatusReport::from_wire(datagram->payload);
+  if (!report) {
+    reports_rejected_.fetch_add(1, std::memory_order_relaxed);
+    SMARTSOCK_LOG(kWarn, "system_monitor")
+        << "malformed report from " << datagram->peer.to_string();
+    return false;
+  }
+  store_->put_sys(to_sys_record(*report, ipc::steady_now_ns()));
+  reports_received_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool SystemMonitor::poll_tcp_once(util::Duration timeout) {
+  if (!tcp_listener_.valid()) return false;
+  auto connection = tcp_listener_.accept(timeout);
+  if (!connection) return false;
+  connection->set_receive_timeout(std::chrono::seconds(1));
+
+  std::string line;
+  std::string ch;
+  while (line.size() < 4096) {
+    auto io = connection->receive_exact(ch, 1);
+    if (!io.ok()) break;
+    if (ch[0] == '\n') break;
+    line += ch[0];
+  }
+  auto report = probe::StatusReport::from_wire(line);
+  if (!report) {
+    reports_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  store_->put_sys(to_sys_record(*report, ipc::steady_now_ns()));
+  reports_received_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::size_t SystemMonitor::sweep_stale() {
+  auto max_age = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     config_.probe_interval)
+                     .count() *
+                 config_.stale_factor;
+  std::uint64_t now = ipc::steady_now_ns();
+  std::uint64_t cutoff = now > static_cast<std::uint64_t>(max_age)
+                             ? now - static_cast<std::uint64_t>(max_age)
+                             : 0;
+  return store_->expire_sys_older_than(cutoff);
+}
+
+bool SystemMonitor::start() {
+  if (!socket_.valid() || thread_.joinable()) return false;
+  stop_requested_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { run_loop(); });
+  return true;
+}
+
+void SystemMonitor::stop() {
+  stop_requested_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+}
+
+void SystemMonitor::run_loop() {
+  util::Duration sweep_every = config_.probe_interval;
+  util::Duration last_sweep = util::SteadyClock::instance().now();
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    poll_once(std::chrono::milliseconds(40));
+    if (tcp_listener_.valid()) {
+      poll_tcp_once(std::chrono::milliseconds(5));
+    }
+    util::Duration now = util::SteadyClock::instance().now();
+    if (now - last_sweep >= sweep_every) {
+      sweep_stale();
+      last_sweep = now;
+    }
+  }
+}
+
+}  // namespace smartsock::monitor

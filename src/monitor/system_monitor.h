@@ -1,0 +1,84 @@
+// System status monitor (§3.2.2).
+//
+// Receives probe reports over UDP, upserts them into the shared sysdb keyed
+// by server address, and sweeps stale records: a server whose probe misses 3
+// consecutive reporting intervals (§4.1) is considered gone and removed, so
+// no further tasks land on it until its probe resumes.
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+#include "ipc/status_store.h"
+#include "net/tcp_listener.h"
+#include "net/udp_socket.h"
+#include "probe/status_report.h"
+#include "util/clock.h"
+
+namespace smartsock::monitor {
+
+struct SystemMonitorConfig {
+  net::Endpoint bind = net::Endpoint::loopback(0);  // port 0 = ephemeral
+  util::Duration probe_interval = std::chrono::seconds(2);
+  int stale_factor = 3;  // missed intervals before a server expires
+  /// Also accept TCP-delivered reports (Ch. 6 "UDP vs TCP"): one
+  /// newline-terminated report per connection.
+  bool accept_tcp = true;
+};
+
+/// Converts a parsed probe report into the binary sysdb record.
+ipc::SysRecord to_sys_record(const probe::StatusReport& report, std::uint64_t now_ns);
+
+class SystemMonitor {
+ public:
+  /// `store` is the monitor machine's sysdb (shared with the transmitter).
+  SystemMonitor(SystemMonitorConfig config, ipc::StatusStore& store);
+  ~SystemMonitor();
+
+  SystemMonitor(const SystemMonitor&) = delete;
+  SystemMonitor& operator=(const SystemMonitor&) = delete;
+
+  /// The UDP endpoint probes should report to (resolved after bind).
+  net::Endpoint endpoint() const { return endpoint_; }
+
+  /// The TCP endpoint for reliable reporting (invalid if accept_tcp off).
+  net::Endpoint tcp_endpoint() const { return tcp_endpoint_; }
+
+  /// Accepts and ingests at most one TCP-delivered report.
+  bool poll_tcp_once(util::Duration timeout);
+
+  bool start();
+  void stop();
+
+  /// Processes at most one pending datagram (test/polling entry point).
+  /// Returns true if a report was ingested.
+  bool poll_once(util::Duration timeout);
+
+  /// Runs the staleness sweep immediately; returns records removed.
+  std::size_t sweep_stale();
+
+  std::uint64_t reports_received() const {
+    return reports_received_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t reports_rejected() const {
+    return reports_rejected_.load(std::memory_order_relaxed);
+  }
+  bool valid() const { return socket_.valid(); }
+
+ private:
+  void run_loop();
+
+  SystemMonitorConfig config_;
+  ipc::StatusStore* store_;
+  net::UdpSocket socket_;
+  net::Endpoint endpoint_;
+  net::TcpListener tcp_listener_;
+  net::Endpoint tcp_endpoint_;
+
+  std::thread thread_;
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<std::uint64_t> reports_received_{0};
+  std::atomic<std::uint64_t> reports_rejected_{0};
+};
+
+}  // namespace smartsock::monitor

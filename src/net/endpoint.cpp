@@ -1,0 +1,40 @@
+#include "net/endpoint.h"
+
+#include <arpa/inet.h>
+
+#include <cstring>
+
+#include "util/strings.h"
+
+namespace smartsock::net {
+
+Endpoint::Endpoint(std::string_view ip, std::uint16_t port) : ip_(ip), port_(port) {}
+
+std::optional<Endpoint> Endpoint::parse(std::string_view text) {
+  std::size_t colon = text.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 || colon + 1 >= text.size()) {
+    return std::nullopt;
+  }
+  std::string_view ip = text.substr(0, colon);
+  auto port = util::parse_uint(text.substr(colon + 1));
+  if (!port || *port > 65535) return std::nullopt;
+  if (!util::looks_like_ipv4(ip)) return std::nullopt;
+  return Endpoint(ip, static_cast<std::uint16_t>(*port));
+}
+
+Endpoint Endpoint::from_sockaddr(const sockaddr_in& addr) {
+  char buf[INET_ADDRSTRLEN] = {};
+  ::inet_ntop(AF_INET, &addr.sin_addr, buf, sizeof(buf));
+  return Endpoint(buf, ntohs(addr.sin_port));
+}
+
+std::string Endpoint::to_string() const { return ip_ + ":" + std::to_string(port_); }
+
+bool Endpoint::to_sockaddr(sockaddr_in& out) const {
+  std::memset(&out, 0, sizeof(out));
+  out.sin_family = AF_INET;
+  out.sin_port = htons(port_);
+  return ::inet_pton(AF_INET, ip_.c_str(), &out.sin_addr) == 1;
+}
+
+}  // namespace smartsock::net

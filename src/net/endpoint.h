@@ -1,0 +1,57 @@
+// IPv4 endpoint value type.
+//
+// Server addresses flow through every wire format in the system (probe
+// reports, wizard replies, matmul/massd service addresses), always as
+// human-readable "a.b.c.d:port" strings per the thesis's ASCII-first design.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include <netinet/in.h>
+
+namespace smartsock::net {
+
+class Endpoint {
+ public:
+  Endpoint() = default;
+  Endpoint(std::string_view ip, std::uint16_t port);
+
+  /// Parses "a.b.c.d:port". Returns nullopt on malformed input.
+  static std::optional<Endpoint> parse(std::string_view text);
+
+  /// Builds from a kernel sockaddr (e.g. recvfrom peer address).
+  static Endpoint from_sockaddr(const sockaddr_in& addr);
+
+  /// Loopback shorthand.
+  static Endpoint loopback(std::uint16_t port) { return Endpoint("127.0.0.1", port); }
+
+  const std::string& ip() const { return ip_; }
+  std::uint16_t port() const { return port_; }
+
+  /// "a.b.c.d:port"
+  std::string to_string() const;
+
+  /// Kernel representation for bind/connect/sendto. Returns false if the IP
+  /// string does not parse as dotted-quad IPv4.
+  bool to_sockaddr(sockaddr_in& out) const;
+
+  bool valid() const { return !ip_.empty(); }
+
+  friend bool operator==(const Endpoint& a, const Endpoint& b) {
+    return a.port_ == b.port_ && a.ip_ == b.ip_;
+  }
+  friend bool operator!=(const Endpoint& a, const Endpoint& b) { return !(a == b); }
+  friend bool operator<(const Endpoint& a, const Endpoint& b) {
+    if (a.ip_ != b.ip_) return a.ip_ < b.ip_;
+    return a.port_ < b.port_;
+  }
+
+ private:
+  std::string ip_;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace smartsock::net

@@ -1,0 +1,28 @@
+#include "net/poller.h"
+
+#include <poll.h>
+
+namespace smartsock::net {
+
+int poll_sockets(std::vector<PollEntry>& entries, util::Duration timeout) {
+  std::vector<pollfd> fds;
+  fds.reserve(entries.size());
+  for (const PollEntry& entry : entries) {
+    short events = 0;
+    if (entry.want_read) events |= POLLIN;
+    if (entry.want_write) events |= POLLOUT;
+    fds.push_back(pollfd{entry.fd, events, 0});
+  }
+  int timeout_ms =
+      static_cast<int>(std::chrono::duration_cast<std::chrono::milliseconds>(timeout).count());
+  int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (ready < 0) return -1;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    entries[i].readable = (fds[i].revents & POLLIN) != 0;
+    entries[i].writable = (fds[i].revents & POLLOUT) != 0;
+    entries[i].hangup = (fds[i].revents & (POLLHUP | POLLERR)) != 0;
+  }
+  return ready;
+}
+
+}  // namespace smartsock::net

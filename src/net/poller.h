@@ -1,0 +1,27 @@
+// Readiness polling over multiple sockets.
+//
+// The massd downloader multiplexes several server connections in one thread,
+// exactly as the thesis's "large amount of read and write operations over
+// multiple sockets" motivates (Fig 1.2).
+#pragma once
+
+#include <vector>
+
+#include "net/socket.h"
+
+namespace smartsock::net {
+
+struct PollEntry {
+  int fd = -1;
+  bool want_read = false;
+  bool want_write = false;
+  bool readable = false;   // output
+  bool writable = false;   // output
+  bool hangup = false;     // output (POLLHUP/POLLERR)
+};
+
+/// poll(2) wrapper. Returns the number of ready entries, 0 on timeout,
+/// -1 on error.
+int poll_sockets(std::vector<PollEntry>& entries, util::Duration timeout);
+
+}  // namespace smartsock::net

@@ -1,0 +1,74 @@
+#include "net/socket.h"
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace smartsock::net {
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), counter_(std::exchange(other.counter_, nullptr)) {}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    counter_ = std::exchange(other.counter_, nullptr);
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+int Socket::release() {
+  int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+Endpoint Socket::local_endpoint() const {
+  if (fd_ < 0) return Endpoint();
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) return Endpoint();
+  return Endpoint::from_sockaddr(addr);
+}
+
+namespace {
+timeval to_timeval(util::Duration d) {
+  auto usec = std::chrono::duration_cast<std::chrono::microseconds>(d).count();
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(usec / 1000000);
+  tv.tv_usec = static_cast<suseconds_t>(usec % 1000000);
+  return tv;
+}
+}  // namespace
+
+bool Socket::set_receive_timeout(util::Duration timeout) {
+  if (fd_ < 0) return false;
+  timeval tv = to_timeval(timeout);
+  return ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) == 0;
+}
+
+bool Socket::set_send_timeout(util::Duration timeout) {
+  if (fd_ < 0) return false;
+  timeval tv = to_timeval(timeout);
+  return ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) == 0;
+}
+
+bool Socket::set_reuse_address(bool on) {
+  if (fd_ < 0) return false;
+  int value = on ? 1 : 0;
+  return ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &value, sizeof(value)) == 0;
+}
+
+}  // namespace smartsock::net

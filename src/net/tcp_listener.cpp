@@ -1,0 +1,35 @@
+#include "net/tcp_listener.h"
+
+#include <cerrno>
+
+#include <poll.h>
+#include <sys/socket.h>
+
+namespace smartsock::net {
+
+std::optional<TcpListener> TcpListener::listen(const Endpoint& endpoint, int backlog) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::nullopt;
+  TcpListener listener;
+  static_cast<Socket&>(listener) = Socket(fd);
+  listener.set_reuse_address(true);
+
+  sockaddr_in addr{};
+  if (!endpoint.to_sockaddr(addr)) return std::nullopt;
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) return std::nullopt;
+  if (::listen(fd, backlog) != 0) return std::nullopt;
+  return listener;
+}
+
+std::optional<TcpSocket> TcpListener::accept(util::Duration timeout) {
+  pollfd pfd{fd_, POLLIN, 0};
+  int timeout_ms =
+      static_cast<int>(std::chrono::duration_cast<std::chrono::milliseconds>(timeout).count());
+  int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready <= 0) return std::nullopt;
+  int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) return std::nullopt;
+  return TcpSocket(client);
+}
+
+}  // namespace smartsock::net

@@ -1,0 +1,26 @@
+// TCP listening socket.
+//
+// Each simulated server hosts its service ports (matmul worker, massd file
+// server, transmitter) through this listener; accept() honors SO_RCVTIMEO so
+// service loops can poll their shutdown flag.
+#pragma once
+
+#include <optional>
+
+#include "net/tcp_socket.h"
+
+namespace smartsock::net {
+
+class TcpListener : public Socket {
+ public:
+  TcpListener() = default;
+
+  /// Binds and listens; port 0 requests an ephemeral port.
+  static std::optional<TcpListener> listen(const Endpoint& endpoint, int backlog = 16);
+
+  /// Accepts one connection, waiting at most `timeout`. nullopt on timeout
+  /// or error.
+  std::optional<TcpSocket> accept(util::Duration timeout);
+};
+
+}  // namespace smartsock::net

@@ -1,0 +1,113 @@
+#include "net/tcp_socket.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+
+namespace smartsock::net {
+
+std::optional<TcpSocket> TcpSocket::connect(const Endpoint& peer, util::Duration timeout) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::nullopt;
+  TcpSocket sock(fd);
+
+  sockaddr_in addr{};
+  if (!peer.to_sockaddr(addr)) return std::nullopt;
+
+  // Non-blocking connect + poll gives us a bounded connection attempt; the
+  // client library must not hang on one dead server out of a candidate list.
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) return std::nullopt;
+  if (rc != 0) {
+    pollfd pfd{fd, POLLOUT, 0};
+    int timeout_ms = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(timeout).count());
+    int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready <= 0) return std::nullopt;
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      return std::nullopt;
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  return sock;
+}
+
+IoResult TcpSocket::send_all(std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult{IoStatus::kTimeout, sent, errno};
+      return IoResult{IoStatus::kError, sent, errno};
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  if (counter_) counter_->add_sent(sent);
+  return IoResult{IoStatus::kOk, sent, 0};
+}
+
+IoResult TcpSocket::receive_exact(std::string& out, std::size_t size) {
+  out.resize(size);
+  std::size_t received = 0;
+  while (received < size) {
+    ssize_t n = ::recv(fd_, out.data() + received, size - received, 0);
+    if (n == 0) {
+      out.resize(received);
+      return IoResult{IoStatus::kClosed, received, 0};
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      out.resize(received);
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return IoResult{IoStatus::kTimeout, received, errno};
+      }
+      return IoResult{IoStatus::kError, received, errno};
+    }
+    received += static_cast<std::size_t>(n);
+  }
+  if (counter_) counter_->add_received(received);
+  return IoResult{IoStatus::kOk, received, 0};
+}
+
+IoResult TcpSocket::receive_some(std::string& out, std::size_t max_size) {
+  out.resize(max_size);
+  ssize_t n = ::recv(fd_, out.data(), max_size, 0);
+  if (n == 0) {
+    out.clear();
+    return IoResult{IoStatus::kClosed, 0, 0};
+  }
+  if (n < 0) {
+    out.clear();
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult{IoStatus::kTimeout, 0, errno};
+    return IoResult{IoStatus::kError, 0, errno};
+  }
+  out.resize(static_cast<std::size_t>(n));
+  if (counter_) counter_->add_received(static_cast<std::uint64_t>(n));
+  return IoResult{IoStatus::kOk, static_cast<std::size_t>(n), 0};
+}
+
+bool TcpSocket::set_no_delay(bool on) {
+  int value = on ? 1 : 0;
+  return ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &value, sizeof(value)) == 0;
+}
+
+Endpoint TcpSocket::peer_endpoint() const {
+  if (fd_ < 0) return Endpoint();
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getpeername(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) return Endpoint();
+  return Endpoint::from_sockaddr(addr);
+}
+
+}  // namespace smartsock::net

@@ -1,0 +1,39 @@
+// TCP stream socket.
+//
+// TCP carries the reliable paths: transmitter→receiver status transfer
+// (§3.5) and the application data planes (matmul blocks, massd downloads).
+// send_all/receive_exact implement the length-prefixed framing both use.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "net/socket.h"
+
+namespace smartsock::net {
+
+class TcpSocket : public Socket {
+ public:
+  TcpSocket() = default;
+  explicit TcpSocket(int fd) { static_cast<Socket&>(*this) = Socket(fd); }
+
+  /// Blocking connect with timeout. Returns nullopt on failure/timeout.
+  static std::optional<TcpSocket> connect(const Endpoint& peer, util::Duration timeout);
+
+  /// Sends the entire buffer, looping over partial writes.
+  IoResult send_all(std::string_view data);
+
+  /// Receives exactly `size` bytes into `out` (resized), looping over partial
+  /// reads. kClosed if the peer shut down mid-message.
+  IoResult receive_exact(std::string& out, std::size_t size);
+
+  /// Receives up to `max_size` bytes (single read).
+  IoResult receive_some(std::string& out, std::size_t max_size);
+
+  /// Disables Nagle; latency-sensitive request/reply paths use this.
+  bool set_no_delay(bool on);
+
+  Endpoint peer_endpoint() const;
+};
+
+}  // namespace smartsock::net

@@ -1,0 +1,64 @@
+#include "net/udp_socket.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+
+namespace smartsock::net {
+
+std::optional<UdpSocket> UdpSocket::create() {
+  int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) return std::nullopt;
+  UdpSocket sock;
+  static_cast<Socket&>(sock) = Socket(fd);
+  return sock;
+}
+
+std::optional<UdpSocket> UdpSocket::bind(const Endpoint& endpoint) {
+  auto sock = create();
+  if (!sock) return std::nullopt;
+  sockaddr_in addr{};
+  if (!endpoint.to_sockaddr(addr)) return std::nullopt;
+  if (::bind(sock->fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return std::nullopt;
+  }
+  return sock;
+}
+
+IoResult UdpSocket::send_to(std::string_view payload, const Endpoint& peer) {
+  sockaddr_in addr{};
+  if (!peer.to_sockaddr(addr)) return IoResult{IoStatus::kError, 0, EINVAL};
+  ssize_t n = ::sendto(fd_, payload.data(), payload.size(), 0,
+                       reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (n < 0) return IoResult{IoStatus::kError, 0, errno};
+  if (counter_) counter_->add_sent(static_cast<std::uint64_t>(n));
+  return IoResult{IoStatus::kOk, static_cast<std::size_t>(n), 0};
+}
+
+IoResult UdpSocket::receive_from(std::string& payload, Endpoint& peer, std::size_t max_size) {
+  payload.resize(max_size);
+  sockaddr_in addr{};
+  socklen_t addr_len = sizeof(addr);
+  ssize_t n = ::recvfrom(fd_, payload.data(), payload.size(), 0,
+                         reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  if (n < 0) {
+    payload.clear();
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult{IoStatus::kTimeout, 0, errno};
+    return IoResult{IoStatus::kError, 0, errno};
+  }
+  payload.resize(static_cast<std::size_t>(n));
+  peer = Endpoint::from_sockaddr(addr);
+  if (counter_) counter_->add_received(static_cast<std::uint64_t>(n));
+  return IoResult{IoStatus::kOk, static_cast<std::size_t>(n), 0};
+}
+
+std::optional<Datagram> UdpSocket::receive(util::Duration timeout, std::size_t max_size) {
+  set_receive_timeout(timeout);
+  Datagram dg;
+  IoResult result = receive_from(dg.payload, dg.peer, max_size);
+  if (!result.ok()) return std::nullopt;
+  return dg;
+}
+
+}  // namespace smartsock::net

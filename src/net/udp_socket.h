@@ -1,0 +1,42 @@
+// UDP datagram socket.
+//
+// UDP carries the low-overhead paths of the system: probe status reports
+// (§3.2.1), wizard request/reply (§3.6.1) and the one-way bandwidth probes
+// (§3.3.2) — the thesis picks UDP precisely to keep probing overhead small.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/socket.h"
+
+namespace smartsock::net {
+
+struct Datagram {
+  std::string payload;
+  Endpoint peer;
+};
+
+class UdpSocket : public Socket {
+ public:
+  UdpSocket() = default;
+
+  /// Creates an unbound UDP socket.
+  static std::optional<UdpSocket> create();
+
+  /// Creates and binds; port 0 requests an ephemeral port (read back with
+  /// local_endpoint()).
+  static std::optional<UdpSocket> bind(const Endpoint& endpoint);
+
+  /// Sends one datagram; returns bytes sent, accounting to the counter.
+  IoResult send_to(std::string_view payload, const Endpoint& peer);
+
+  /// Receives one datagram of up to max_size bytes. Honors SO_RCVTIMEO.
+  IoResult receive_from(std::string& payload, Endpoint& peer, std::size_t max_size = 64 * 1024);
+
+  /// Convenience: receive with timeout applied for just this call.
+  std::optional<Datagram> receive(util::Duration timeout, std::size_t max_size = 64 * 1024);
+};
+
+}  // namespace smartsock::net

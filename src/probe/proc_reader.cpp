@@ -1,0 +1,181 @@
+#include "probe/proc_reader.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace smartsock::probe {
+
+using util::parse_double;
+using util::parse_uint;
+using util::split;
+using util::split_whitespace;
+using util::starts_with;
+using util::trim;
+
+bool parse_loadavg(std::string_view text, ProcSample& sample) {
+  auto fields = split_whitespace(text);
+  if (fields.size() < 3) return false;
+  auto l1 = parse_double(fields[0]);
+  auto l5 = parse_double(fields[1]);
+  auto l15 = parse_double(fields[2]);
+  if (!l1 || !l5 || !l15) return false;
+  sample.load1 = *l1;
+  sample.load5 = *l5;
+  sample.load15 = *l15;
+  return true;
+}
+
+bool parse_stat(std::string_view text, ProcSample& sample) {
+  bool saw_cpu = false;
+  for (std::string_view line : split(text, '\n')) {
+    if (starts_with(line, "cpu ")) {
+      auto fields = split_whitespace(line);
+      if (fields.size() < 5) return false;
+      auto user = parse_uint(fields[1]);
+      auto nice = parse_uint(fields[2]);
+      auto system = parse_uint(fields[3]);
+      auto idle = parse_uint(fields[4]);
+      if (!user || !nice || !system || !idle) return false;
+      sample.cpu_user = *user;
+      sample.cpu_nice = *nice;
+      sample.cpu_system = *system;
+      sample.cpu_idle = *idle;
+      saw_cpu = true;
+    } else if (starts_with(line, "disk_io:")) {
+      // "disk_io: (8,0):(allreq,rreq,rblocks,wreq,wblocks) (8,1):(...)"
+      // Sum across disks.
+      std::string_view rest = line.substr(8);
+      std::size_t pos = 0;
+      while ((pos = rest.find(":(", pos)) != std::string_view::npos) {
+        std::size_t end = rest.find(')', pos + 2);
+        if (end == std::string_view::npos) break;
+        auto nums = split(rest.substr(pos + 2, end - pos - 2), ',', true);
+        if (nums.size() == 5) {
+          auto rreq = parse_uint(nums[1]);
+          auto rblocks = parse_uint(nums[2]);
+          auto wreq = parse_uint(nums[3]);
+          auto wblocks = parse_uint(nums[4]);
+          if (rreq && rblocks && wreq && wblocks) {
+            sample.disk_rreq += *rreq;
+            sample.disk_rblocks += *rblocks;
+            sample.disk_wreq += *wreq;
+            sample.disk_wblocks += *wblocks;
+          }
+        }
+        pos = end + 1;
+      }
+    }
+  }
+  return saw_cpu;
+}
+
+bool parse_meminfo(std::string_view text, ProcSample& sample) {
+  bool saw_total = false;
+  bool saw_used_or_free = false;
+  for (std::string_view line : split(text, '\n')) {
+    if (starts_with(line, "Mem:")) {
+      // 2.4 byte table: "Mem: total used free shared buffers cached"
+      auto fields = split_whitespace(line.substr(4));
+      if (fields.size() >= 3) {
+        auto total = parse_uint(fields[0]);
+        auto used = parse_uint(fields[1]);
+        auto free = parse_uint(fields[2]);
+        if (total && used && free) {
+          sample.mem_total = *total;
+          sample.mem_used = *used;
+          sample.mem_free = *free;
+          return true;  // the richest source wins outright
+        }
+      }
+    } else if (starts_with(line, "MemTotal:")) {
+      auto fields = split_whitespace(line.substr(9));
+      if (!fields.empty()) {
+        if (auto kb = parse_uint(fields[0])) {
+          sample.mem_total = *kb * 1024;
+          saw_total = true;
+        }
+      }
+    } else if (starts_with(line, "MemFree:")) {
+      auto fields = split_whitespace(line.substr(8));
+      if (!fields.empty()) {
+        if (auto kb = parse_uint(fields[0])) {
+          sample.mem_free = *kb * 1024;
+          saw_used_or_free = true;
+        }
+      }
+    }
+  }
+  if (saw_total && saw_used_or_free) {
+    sample.mem_used = sample.mem_total - sample.mem_free;
+    return true;
+  }
+  return false;
+}
+
+bool parse_netdev(std::string_view text, ProcSample& sample) {
+  for (std::string_view raw : split(text, '\n')) {
+    std::string_view line = trim(raw);
+    std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) continue;  // header lines
+    std::string_view iface = trim(line.substr(0, colon));
+    if (iface == "lo" || iface.empty()) continue;
+    auto fields = split_whitespace(line.substr(colon + 1));
+    // Receive: bytes packets errs drop fifo frame compressed multicast (8)
+    // Transmit: bytes packets ... (8)
+    if (fields.size() < 10) continue;
+    auto rbytes = parse_uint(fields[0]);
+    auto rpackets = parse_uint(fields[1]);
+    auto tbytes = parse_uint(fields[8]);
+    auto tpackets = parse_uint(fields[9]);
+    if (!rbytes || !rpackets || !tbytes || !tpackets) continue;
+    sample.net_rbytes = *rbytes;
+    sample.net_rpackets = *rpackets;
+    sample.net_tbytes = *tbytes;
+    sample.net_tpackets = *tpackets;
+    return true;  // first physical interface
+  }
+  return false;
+}
+
+bool parse_cpuinfo(std::string_view text, ProcSample& sample) {
+  for (std::string_view line : split(text, '\n')) {
+    if (starts_with(line, "bogomips")) {
+      std::size_t colon = line.find(':');
+      if (colon == std::string_view::npos) continue;
+      if (auto value = parse_double(trim(line.substr(colon + 1)))) {
+        sample.bogomips = *value;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+namespace {
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+}  // namespace
+
+std::optional<ProcSample> FileProcSource::sample() {
+  ProcSample out;
+  auto loadavg = read_file(root_ + "/loadavg");
+  auto stat = read_file(root_ + "/stat");
+  auto meminfo = read_file(root_ + "/meminfo");
+  if (!loadavg || !stat || !meminfo) return std::nullopt;
+  if (!parse_loadavg(*loadavg, out)) return std::nullopt;
+  if (!parse_stat(*stat, out)) return std::nullopt;
+  if (!parse_meminfo(*meminfo, out)) return std::nullopt;
+  // net/dev and cpuinfo are best-effort: containers may hide them.
+  if (auto netdev = read_file(root_ + "/net/dev")) parse_netdev(*netdev, out);
+  if (auto cpuinfo = read_file(root_ + "/cpuinfo")) parse_cpuinfo(*cpuinfo, out);
+  return out;
+}
+
+}  // namespace smartsock::probe

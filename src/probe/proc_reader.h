@@ -1,0 +1,76 @@
+// procfs parsing (§4.1).
+//
+// The parsing functions are pure text → counters, shared between the real
+// /proc files of the machine we run on and the simulated procfs renderings
+// of SimProcFs — so one parser is exercised by both substrates.
+//
+// A ProcSample is one instantaneous snapshot of *cumulative* counters; the
+// probe turns two consecutive samples into the rate-based StatusReport.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace smartsock::probe {
+
+struct ProcSample {
+  // /proc/loadavg (instantaneous)
+  double load1 = 0.0;
+  double load5 = 0.0;
+  double load15 = 0.0;
+
+  // /proc/stat cpu line, cumulative jiffies
+  std::uint64_t cpu_user = 0;
+  std::uint64_t cpu_nice = 0;
+  std::uint64_t cpu_system = 0;
+  std::uint64_t cpu_idle = 0;
+
+  // /proc/meminfo (instantaneous, bytes)
+  std::uint64_t mem_total = 0;
+  std::uint64_t mem_used = 0;
+  std::uint64_t mem_free = 0;
+
+  // /proc/stat disk_io, cumulative
+  std::uint64_t disk_rreq = 0;
+  std::uint64_t disk_rblocks = 0;
+  std::uint64_t disk_wreq = 0;
+  std::uint64_t disk_wblocks = 0;
+
+  // /proc/net/dev (first physical interface), cumulative
+  std::uint64_t net_rbytes = 0;
+  std::uint64_t net_rpackets = 0;
+  std::uint64_t net_tbytes = 0;
+  std::uint64_t net_tpackets = 0;
+
+  // /proc/cpuinfo
+  double bogomips = 0.0;
+};
+
+// --- pure parsers (text in, fields out; false on malformed input) ---------
+bool parse_loadavg(std::string_view text, ProcSample& sample);
+bool parse_stat(std::string_view text, ProcSample& sample);     // cpu + disk_io
+bool parse_meminfo(std::string_view text, ProcSample& sample);  // 2.4 byte table or kB lines
+bool parse_netdev(std::string_view text, ProcSample& sample);   // first non-lo interface
+bool parse_cpuinfo(std::string_view text, ProcSample& sample);  // bogomips
+
+/// Source of procfs snapshots.
+class ProcSource {
+ public:
+  virtual ~ProcSource() = default;
+  virtual std::optional<ProcSample> sample() = 0;
+};
+
+/// Reads the real /proc of this machine (root overridable for tests that
+/// point it at a directory of canned files).
+class FileProcSource final : public ProcSource {
+ public:
+  explicit FileProcSource(std::string root = "/proc") : root_(std::move(root)) {}
+  std::optional<ProcSample> sample() override;
+
+ private:
+  std::string root_;
+};
+
+}  // namespace smartsock::probe

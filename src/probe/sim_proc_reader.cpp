@@ -1,0 +1,15 @@
+#include "probe/sim_proc_reader.h"
+
+namespace smartsock::probe {
+
+std::optional<ProcSample> SimProcSource::sample() {
+  ProcSample out;
+  if (!parse_loadavg(procfs_->render_loadavg(), out)) return std::nullopt;
+  if (!parse_stat(procfs_->render_stat(), out)) return std::nullopt;
+  if (!parse_meminfo(procfs_->render_meminfo(), out)) return std::nullopt;
+  if (!parse_netdev(procfs_->render_netdev(), out)) return std::nullopt;
+  if (!parse_cpuinfo(procfs_->render_cpuinfo(), out)) return std::nullopt;
+  return out;
+}
+
+}  // namespace smartsock::probe

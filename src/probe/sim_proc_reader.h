@@ -1,0 +1,24 @@
+// ProcSource backed by a simulated host.
+//
+// Renders SimProcFs state to genuine procfs text and runs it through the
+// same parsers as the real /proc — the probe code cannot tell simulated and
+// physical hosts apart.
+#pragma once
+
+#include "probe/proc_reader.h"
+#include "sim/sim_procfs.h"
+
+namespace smartsock::probe {
+
+class SimProcSource final : public ProcSource {
+ public:
+  /// Does not take ownership; `procfs` must outlive the source.
+  explicit SimProcSource(sim::SimProcFs* procfs) : procfs_(procfs) {}
+
+  std::optional<ProcSample> sample() override;
+
+ private:
+  sim::SimProcFs* procfs_;
+};
+
+}  // namespace smartsock::probe

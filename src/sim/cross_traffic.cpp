@@ -1,0 +1,28 @@
+#include "sim/cross_traffic.h"
+
+#include <algorithm>
+
+namespace smartsock::sim {
+
+CrossTraffic::CrossTraffic(double utilization, double capacity_mbps, int mtu_bytes)
+    : utilization_(std::clamp(utilization, 0.0, 0.99)) {
+  // Time to clock one MTU frame onto the wire, in ms.
+  mtu_transmission_ms_ = (mtu_bytes * 8.0) / (capacity_mbps * 1000.0);
+}
+
+double CrossTraffic::mean_delay_per_fragment_ms() const {
+  if (utilization_ <= 0.0) return 0.0;
+  return utilization_ / (1.0 - utilization_) * mtu_transmission_ms_;
+}
+
+double CrossTraffic::queueing_delay_ms(int fragments, util::Rng& rng) const {
+  double mean = mean_delay_per_fragment_ms();
+  if (mean <= 0.0 || fragments <= 0) return 0.0;
+  double total = 0.0;
+  for (int i = 0; i < fragments; ++i) {
+    total += rng.exponential(mean);
+  }
+  return total;
+}
+
+}  // namespace smartsock::sim

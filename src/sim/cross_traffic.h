@@ -1,0 +1,38 @@
+// Cross-traffic / queueing-delay model for simulated network paths.
+//
+// The thesis's delay decomposition (Eq 3.3) attributes the variable part of
+// RTT to queueing at the bottleneck. We model the queue as M/M/1-like: at
+// utilization rho, a fragment arriving at the bottleneck waits an
+// exponentially distributed time whose mean is rho/(1-rho) multiplied by one
+// MTU's transmission time. Each additional fragment of a probe is one more
+// independent chance for cross traffic to slip in between — exactly the
+// reason the thesis's probe-size rules (§3.3.2) want the two probe sizes to
+// fragment equally.
+#pragma once
+
+#include "util/rng.h"
+
+namespace smartsock::sim {
+
+class CrossTraffic {
+ public:
+  /// utilization in [0, 1): fraction of the bottleneck used by other flows.
+  /// capacity_mbps and mtu_bytes describe the bottleneck link.
+  CrossTraffic(double utilization, double capacity_mbps, int mtu_bytes);
+
+  /// Queueing delay (ms) experienced by one probe consisting of `fragments`
+  /// back-to-back link-layer frames.
+  double queueing_delay_ms(int fragments, util::Rng& rng) const;
+
+  /// Mean queueing delay per fragment (ms) — the deterministic component
+  /// used by analytic checks in tests.
+  double mean_delay_per_fragment_ms() const;
+
+  double utilization() const { return utilization_; }
+
+ private:
+  double utilization_;
+  double mtu_transmission_ms_;
+};
+
+}  // namespace smartsock::sim

@@ -1,0 +1,62 @@
+#include "sim/network_path.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smartsock::sim {
+
+namespace {
+constexpr int kIpHeaderBytes = 20;
+constexpr int kUdpHeaderBytes = 8;
+}  // namespace
+
+NetworkPath::NetworkPath(PathConfig config)
+    : config_(std::move(config)),
+      cross_(config_.utilization, config_.capacity_mbps, config_.mtu_bytes),
+      rng_(config_.seed) {}
+
+void NetworkPath::reseed(std::uint64_t seed) { rng_ = util::Rng(seed); }
+
+int NetworkPath::fragments_for_payload(int payload_bytes) const {
+  int datagram = payload_bytes + kUdpHeaderBytes;
+  int per_fragment = config_.mtu_bytes - kIpHeaderBytes;
+  if (per_fragment <= 0) return 1;
+  return std::max(1, (datagram + per_fragment - 1) / per_fragment);
+}
+
+double NetworkPath::deterministic_rtt_ms(int payload_bytes) const {
+  int fragments = fragments_for_payload(payload_bytes);
+  double wire_bits = (payload_bytes + kUdpHeaderBytes + fragments * kIpHeaderBytes) * 8.0;
+
+  // Serialization at the available bandwidth: Mbps == kbit/ms.
+  double transfer_ms = wire_bits / (config_.available_bw_mbps() * 1000.0);
+
+  // Interface initialization stage: first frame only (Formula 3.6).
+  double init_ms = 0.0;
+  if (config_.has_init_stage && config_.init_speed_mbps > 0.0) {
+    double first_frame_bytes =
+        std::min(payload_bytes + kUdpHeaderBytes + kIpHeaderBytes, config_.mtu_bytes);
+    init_ms = first_frame_bytes * 8.0 / (config_.init_speed_mbps * 1000.0);
+  }
+
+  return transfer_ms + init_ms + config_.sys_overhead_ms + config_.net_overhead_ms +
+         config_.base_rtt_ms;
+}
+
+double NetworkPath::probe_rtt_ms(int payload_bytes) {
+  int fragments = fragments_for_payload(payload_bytes);
+  double rtt = deterministic_rtt_ms(payload_bytes);
+  rtt += cross_.queueing_delay_ms(fragments, rng_);
+  if (config_.jitter_stddev_ms > 0.0) {
+    rtt += std::abs(rng_.gaussian(0.0, config_.jitter_stddev_ms));
+  }
+  return rtt;
+}
+
+double NetworkPath::bulk_transfer_ms(std::uint64_t bytes) const {
+  double bw = config_.available_bw_mbps();
+  if (bw <= 0.0) return 0.0;
+  return static_cast<double>(bytes) * 8.0 / (bw * 1000.0) + config_.base_rtt_ms;
+}
+
+}  // namespace smartsock::sim

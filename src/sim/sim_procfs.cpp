@@ -1,0 +1,147 @@
+#include "sim/sim_procfs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace smartsock::sim {
+
+namespace {
+constexpr double kUserHz = 100.0;  // jiffies per second
+
+// Kernel loadavg exponential-decay update toward the offered load.
+double relax(double current, double target, double dt_seconds, double tau_seconds) {
+  double alpha = 1.0 - std::exp(-dt_seconds / tau_seconds);
+  return current + (target - current) * alpha;
+}
+
+std::string format_line(const char* fmt, auto... args) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  return buf;
+}
+}  // namespace
+
+SimProcFs::SimProcFs(std::string hostname, double bogomips, std::uint64_t memory_total_bytes)
+    : hostname_(std::move(hostname)), bogomips_(bogomips), memory_total_(memory_total_bytes) {
+  // Start with a small idle history so rates are computable immediately.
+  cpu_idle_ = 100;
+}
+
+void SimProcFs::tick(double dt_seconds) {
+  if (dt_seconds <= 0.0) return;
+
+  load1_ = relax(load1_, activity_.offered_load, dt_seconds, 60.0);
+  load5_ = relax(load5_, activity_.offered_load, dt_seconds, 300.0);
+  load15_ = relax(load15_, activity_.offered_load, dt_seconds, 900.0);
+
+  double busy = std::clamp(activity_.cpu_busy_fraction, 0.0, 1.0);
+  double busy_jiffies = busy * kUserHz * dt_seconds + cpu_frac_busy_;
+  double idle_jiffies = (1.0 - busy) * kUserHz * dt_seconds + cpu_frac_idle_;
+  auto busy_whole = static_cast<std::uint64_t>(busy_jiffies);
+  auto idle_whole = static_cast<std::uint64_t>(idle_jiffies);
+  cpu_frac_busy_ = busy_jiffies - static_cast<double>(busy_whole);
+  cpu_frac_idle_ = idle_jiffies - static_cast<double>(idle_whole);
+
+  double system_share = std::clamp(activity_.cpu_system_share, 0.0, 1.0);
+  auto system_jiffies = static_cast<std::uint64_t>(static_cast<double>(busy_whole) * system_share);
+  cpu_system_ += system_jiffies;
+  cpu_user_ += busy_whole - system_jiffies;
+  cpu_idle_ += idle_whole;
+
+  double rreq = activity_.disk_read_reqps * dt_seconds + disk_frac_r_;
+  double wreq = activity_.disk_write_reqps * dt_seconds + disk_frac_w_;
+  auto rreq_whole = static_cast<std::uint64_t>(rreq);
+  auto wreq_whole = static_cast<std::uint64_t>(wreq);
+  disk_frac_r_ = rreq - static_cast<double>(rreq_whole);
+  disk_frac_w_ = wreq - static_cast<double>(wreq_whole);
+  disk_rreq_ += rreq_whole;
+  disk_wreq_ += wreq_whole;
+  disk_rblocks_ += static_cast<std::uint64_t>(static_cast<double>(rreq_whole) *
+                                              activity_.disk_blocks_per_req);
+  disk_wblocks_ += static_cast<std::uint64_t>(static_cast<double>(wreq_whole) *
+                                              activity_.disk_blocks_per_req);
+
+  net_rbytes_ += static_cast<std::uint64_t>(activity_.net_rx_bytesps * dt_seconds);
+  net_tbytes_ += static_cast<std::uint64_t>(activity_.net_tx_bytesps * dt_seconds);
+  double pkt = std::max(1.0, activity_.net_packet_bytes);
+  net_rpackets_ += static_cast<std::uint64_t>(activity_.net_rx_bytesps * dt_seconds / pkt);
+  net_tpackets_ += static_cast<std::uint64_t>(activity_.net_tx_bytesps * dt_seconds / pkt);
+}
+
+std::string SimProcFs::render_loadavg() const {
+  int running = 1 + static_cast<int>(load1_ + 0.5);
+  return format_line("%.2f %.2f %.2f %d/%d %d\n", load1_, load5_, load15_, running,
+                     80 + running, 4242);
+}
+
+std::string SimProcFs::render_stat() const {
+  std::string out;
+  out += format_line("cpu  %llu %llu %llu %llu\n",
+                     static_cast<unsigned long long>(cpu_user_),
+                     static_cast<unsigned long long>(cpu_nice_),
+                     static_cast<unsigned long long>(cpu_system_),
+                     static_cast<unsigned long long>(cpu_idle_));
+  out += format_line("cpu0 %llu %llu %llu %llu\n",
+                     static_cast<unsigned long long>(cpu_user_),
+                     static_cast<unsigned long long>(cpu_nice_),
+                     static_cast<unsigned long long>(cpu_system_),
+                     static_cast<unsigned long long>(cpu_idle_));
+  // Linux 2.4 disk_io format: (major,disk):(allreq,rreq,rblocks,wreq,wblocks)
+  unsigned long long allreq = static_cast<unsigned long long>(disk_rreq_ + disk_wreq_);
+  out += format_line("disk_io: (8,0):(%llu,%llu,%llu,%llu,%llu)\n", allreq,
+                     static_cast<unsigned long long>(disk_rreq_),
+                     static_cast<unsigned long long>(disk_rblocks_),
+                     static_cast<unsigned long long>(disk_wreq_),
+                     static_cast<unsigned long long>(disk_wblocks_));
+  out += "ctxt 123456\nbtime 1000000000\nprocesses 4242\n";
+  return out;
+}
+
+std::string SimProcFs::render_meminfo() const {
+  std::uint64_t used = std::min(activity_.memory_used_bytes, memory_total_);
+  std::uint64_t free = memory_total_ - used;
+  // The 2.4-era byte table the thesis reads (Table 4.1 shows this layout),
+  // followed by the kB summary lines newer parsers expect.
+  std::string out;
+  out += "        total:    used:    free:  shared: buffers:  cached:\n";
+  out += format_line("Mem:  %llu %llu %llu %llu %llu %llu\n",
+                     static_cast<unsigned long long>(memory_total_),
+                     static_cast<unsigned long long>(used),
+                     static_cast<unsigned long long>(free), 0ull, 0ull, 0ull);
+  out += format_line("Swap: %llu %llu %llu\n", 536870912ull, 0ull, 536870912ull);
+  out += format_line("MemTotal: %10llu kB\n",
+                     static_cast<unsigned long long>(memory_total_ / 1024));
+  out += format_line("MemFree:  %10llu kB\n", static_cast<unsigned long long>(free / 1024));
+  return out;
+}
+
+std::string SimProcFs::render_netdev() const {
+  std::string out;
+  out += "Inter-|   Receive                                                |  Transmit\n";
+  out +=
+      " face |bytes    packets errs drop fifo frame compressed multicast|bytes    packets errs "
+      "drop fifo colls carrier compressed\n";
+  out += format_line(
+      "    lo: %llu %llu    0    0    0     0          0         0 %llu %llu    0    0    0   "
+      "  0       0          0\n",
+      1234ull, 10ull, 1234ull, 10ull);
+  out += format_line(
+      "  eth0: %llu %llu    0    0    0     0          0         0 %llu %llu    0    0    0   "
+      "  0       0          0\n",
+      static_cast<unsigned long long>(net_rbytes_),
+      static_cast<unsigned long long>(net_rpackets_),
+      static_cast<unsigned long long>(net_tbytes_),
+      static_cast<unsigned long long>(net_tpackets_));
+  return out;
+}
+
+std::string SimProcFs::render_cpuinfo() const {
+  std::string out;
+  out += "processor\t: 0\n";
+  out += format_line("model name\t: Simulated CPU (%s)\n", hostname_.c_str());
+  out += format_line("bogomips\t: %.2f\n", bogomips_);
+  return out;
+}
+
+}  // namespace smartsock::sim

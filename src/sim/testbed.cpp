@@ -1,0 +1,135 @@
+#include "sim/testbed.h"
+
+#include <algorithm>
+
+namespace smartsock::sim {
+
+const std::vector<HostSpec>& paper_hosts() {
+  // Table 5.1, with matmul_mflops calibrated to Fig 5.2's ranking:
+  // P4-2.4 (dalmatian, dione) fastest, P3-866 (sagit, lhost) close behind,
+  // P4 1.6-1.8 GHz machines slowest for this workload.
+  static const std::vector<HostSpec> hosts = {
+      {"sagit", "P3 866MHz", 1730.15, 128, "Debian 3.0r2", 0, 48.0},
+      {"dalmatian", "P4 2.4GHz", 4771.02, 512, "Redhat 8.0", 1, 55.0},
+      {"mimas", "P4 1.7GHz", 3394.76, 192, "Redhat 9.0", 1, 36.0},
+      {"telesto", "P4 1.6GHz", 3185.04, 128, "Redhat 7.3", 2, 34.0},
+      {"lhost", "P3 866MHz", 1730.15, 128, "Redhat 9.0", 2, 47.0},
+      {"helene", "P4 1.7GHz", 3394.76, 256, "Redhat 9.0", 3, 37.0},
+      {"phoebe", "P4 1.7GHz", 3394.76, 256, "Redhat 9.0", 3, 37.0},
+      {"calypso", "P4 1.7GHz", 3394.76, 256, "Redhat 9.0", 4, 37.0},
+      {"dione", "P4 2.4GHz", 4771.02, 512, "Redhat 7.3", 4, 54.0},
+      {"titan-x", "P4 1.7GHz", 3394.76, 256, "Redhat 7.3", 5, 36.5},
+      {"pandora-x", "P4 1.8GHz", 3591.37, 256, "Redhat 9.0", 5, 39.0},
+  };
+  return hosts;
+}
+
+std::optional<HostSpec> find_paper_host(const std::string& name) {
+  const auto& hosts = paper_hosts();
+  auto it = std::find_if(hosts.begin(), hosts.end(),
+                         [&](const HostSpec& h) { return h.name == name; });
+  if (it == hosts.end()) return std::nullopt;
+  return *it;
+}
+
+const std::vector<std::string>& massd_group(int group) {
+  static const std::vector<std::string> group1 = {"mimas", "telesto", "lhost"};
+  static const std::vector<std::string> group2 = {"dione", "titan-x", "pandora-x"};
+  static const std::vector<std::string> empty;
+  if (group == 1) return group1;
+  if (group == 2) return group2;
+  return empty;
+}
+
+PathConfig sagit_to_suna(int mtu_bytes) {
+  PathConfig config;
+  config.name = "sagit->suna mtu=" + std::to_string(mtu_bytes);
+  config.capacity_mbps = 100.0;
+  config.utilization = 0.05;  // ~95 Mbps available, as pathload measured
+  config.base_rtt_ms = 0.25;
+  config.mtu_bytes = mtu_bytes;
+  config.init_speed_mbps = 25.0;  // the thesis's Speed_init estimate
+  config.has_init_stage = true;
+  config.sys_overhead_ms = 0.05;
+  config.net_overhead_ms = 0.05;
+  config.jitter_stddev_ms = 0.008;
+  config.seed = 20040615;
+  return config;
+}
+
+const std::vector<SamplePath>& sample_paths() {
+  static const std::vector<SamplePath> paths = [] {
+    std::vector<SamplePath> out;
+
+    auto make = [](char index, std::string description, double rtt_ms, double jitter_ms,
+                   double utilization, bool physical) {
+      PathConfig config;
+      config.name = description;
+      config.capacity_mbps = physical ? 100.0 : 1000.0;
+      config.utilization = utilization;
+      config.base_rtt_ms = rtt_ms;
+      config.mtu_bytes = 1500;
+      config.init_speed_mbps = 25.0;
+      config.has_init_stage = physical;  // observation 1: no threshold on lo/virtual
+      config.sys_overhead_ms = physical ? 0.05 : 0.005;
+      config.net_overhead_ms = physical ? 0.05 : 0.0;
+      config.jitter_stddev_ms = jitter_ms;
+      config.seed = 97 + static_cast<std::uint64_t>(index);
+      return SamplePath{index, std::move(description), config};
+    };
+
+    // Table 3.2: ping RTTs; WAN paths carry heavy jitter (observation 4 —
+    // the MTU threshold is shadowed), LAN paths are clean.
+    out.push_back(make('a', "sagit->tokxp (NUS to APAN Japan)", 126.0, 8.0, 0.35, true));
+    out.push_back(make('b', "sagit->cmui (NUS to CMU USA)", 238.0, 12.0, 0.40, true));
+    out.push_back(make('c', "sagit->ubin (local segment)", 0.262, 0.01, 0.05, true));
+    out.push_back(make('d', "tokxp->jpfreebsd (APAN to ftp.jp)", 0.552, 0.02, 0.08, true));
+    out.push_back(make('e', "helene->atlas (same switch)", 0.196, 0.005, 0.02, true));
+    out.push_back(make('f', "sagit->localhost (loopback)", 0.041, 0.002, 0.0, false));
+    return out;
+  }();
+  return paths;
+}
+
+SimHost::SimHost(HostSpec spec)
+    : spec_(spec),
+      procfs_(spec.name, spec.bogomips, static_cast<std::uint64_t>(spec.ram_mb) << 20) {
+  set_idle();
+}
+
+void SimHost::set_idle() {
+  HostActivity activity;
+  activity.cpu_busy_fraction = 0.02;
+  activity.cpu_system_share = 0.3;
+  activity.offered_load = 0.05;
+  activity.memory_used_bytes = 48ull << 20;  // resident OS + daemons
+  activity.disk_read_reqps = 0.5;
+  activity.disk_write_reqps = 0.5;
+  activity.net_rx_bytesps = 200.0;
+  activity.net_tx_bytesps = 200.0;
+  procfs_.set_activity(activity);
+}
+
+void SimHost::set_superpi_workload() {
+  // Table 4.1: Super_PI takes the machine from ~121 MB used to ~258 MB used;
+  // §5.3.1(4): CPU swings 0-100%, load stays above 1.
+  HostActivity activity = procfs_.activity();
+  activity.cpu_busy_fraction = 0.95;
+  activity.cpu_system_share = 0.05;
+  activity.offered_load = 1.3;
+  activity.memory_used_bytes += 150ull << 20;
+  activity.disk_read_reqps = 4.0;
+  activity.disk_write_reqps = 6.0;
+  procfs_.set_activity(activity);
+}
+
+std::vector<SimHost> build_paper_testbed() {
+  std::vector<SimHost> hosts;
+  hosts.reserve(paper_hosts().size());
+  for (const HostSpec& spec : paper_hosts()) {
+    hosts.emplace_back(spec);
+  }
+  return hosts;
+}
+
+}  // namespace smartsock::sim

@@ -1,0 +1,79 @@
+// The thesis's testbed, reconstructed (Table 5.1 / Fig 5.1 / Table 3.2).
+//
+// Eleven Linux machines in six network segments. Hardware identity (CPU,
+// bogomips, RAM) comes straight from Table 5.1. `matmul_mflops` is the one
+// calibrated quantity: Fig 5.2's benchmark shows the P3-866 (high cache/FSB
+// efficiency for the thesis's vector-multiply loop) and P4-2.4 machines
+// outperform the P4 1.6-1.8 GHz boxes, so the effective matmul throughput is
+// *not* monotone in clock rate — we encode the measured ranking, not the
+// spec sheet.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/network_path.h"
+#include "sim/sim_procfs.h"
+
+namespace smartsock::sim {
+
+struct HostSpec {
+  std::string name;
+  std::string cpu_model;
+  double bogomips = 0.0;
+  int ram_mb = 0;
+  std::string os;
+  int segment = 0;          // index into testbed segments (Fig 5.1)
+  double matmul_mflops = 0; // calibrated effective matmul throughput
+};
+
+/// The 11 machines of Table 5.1.
+const std::vector<HostSpec>& paper_hosts();
+
+/// Looks up a paper host by name.
+std::optional<HostSpec> find_paper_host(const std::string& name);
+
+/// massd server groups (§5.3.2): group-1 = {mimas, telesto, lhost},
+/// group-2 = {dione, titan-x, pandora-x}.
+const std::vector<std::string>& massd_group(int group);
+
+/// The 6 sample WAN/LAN paths of Table 3.2, with base RTT from the thesis's
+/// ping column and jitter chosen to reproduce Fig 3.6's visibility rule
+/// (threshold only visible when base RTT is sub-millisecond and stable).
+struct SamplePath {
+  char index;               // 'a'..'f'
+  std::string description;
+  PathConfig config;
+};
+const std::vector<SamplePath>& sample_paths();
+
+/// Path used throughout §3.3.2's packet-size experiments: the 100 Mbps
+/// campus path sagit→suna with ~95 Mbps available and Speed_init ≈ 25 Mbps.
+PathConfig sagit_to_suna(int mtu_bytes = 1500);
+
+/// A full simulated host: procfs state plus its spec.
+class SimHost {
+ public:
+  explicit SimHost(HostSpec spec);
+
+  const HostSpec& spec() const { return spec_; }
+  SimProcFs& procfs() { return procfs_; }
+  const SimProcFs& procfs() const { return procfs_; }
+
+  /// Idle activity profile with a light OS background noise level.
+  void set_idle();
+
+  /// Applies the SuperPI-like workload (Table 4.1 / §5.3.1 experiment 4):
+  /// ~150 MB resident, CPU pinned, load above 1.
+  void set_superpi_workload();
+
+ private:
+  HostSpec spec_;
+  SimProcFs procfs_;
+};
+
+/// Builds the 11 SimHosts in Table 5.1 order.
+std::vector<SimHost> build_paper_testbed();
+
+}  // namespace smartsock::sim

@@ -1,0 +1,28 @@
+#include "sim/virtual_clock.h"
+
+#include <thread>
+
+namespace smartsock::sim {
+
+util::Duration VirtualClock::now() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return now_;
+}
+
+void VirtualClock::advance(util::Duration d) {
+  if (d <= util::Duration::zero()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  now_ += d;
+}
+
+void VirtualClock::sleep_for(util::Duration d) {
+  if (d <= util::Duration::zero()) return;
+  advance(d);
+  if (scale_ > 0.0) {
+    auto real = std::chrono::duration_cast<util::Duration>(
+        std::chrono::duration<double>(util::to_seconds(d) * scale_));
+    std::this_thread::sleep_for(real);
+  }
+}
+
+}  // namespace smartsock::sim

@@ -1,0 +1,38 @@
+// Virtual (simulated) clock.
+//
+// The network-path model and the matmul cost model run on virtual time so an
+// 11-host experiment that took the thesis minutes of wall clock replays in
+// milliseconds. sleep_for() advances the clock instantly; advance() is the
+// explicit form. A scaled mode optionally maps virtual time onto real time
+// (virtual_second * scale of real sleeping) for components that must overlap
+// with real socket I/O.
+#pragma once
+
+#include <mutex>
+
+#include "util/clock.h"
+
+namespace smartsock::sim {
+
+class VirtualClock final : public util::Clock {
+ public:
+  /// scale == 0: pure virtual time, sleep_for returns immediately.
+  /// scale  > 0: each virtual second also burns `scale` real seconds, so
+  /// virtual delays stay ordered relative to concurrent real I/O.
+  explicit VirtualClock(double scale = 0.0) : scale_(scale) {}
+
+  util::Duration now() override;
+  void sleep_for(util::Duration d) override;
+
+  /// Advances virtual time without any real sleeping.
+  void advance(util::Duration d);
+
+  double scale() const { return scale_; }
+
+ private:
+  mutable std::mutex mu_;
+  util::Duration now_{0};
+  double scale_;
+};
+
+}  // namespace smartsock::sim

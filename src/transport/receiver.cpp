@@ -1,0 +1,89 @@
+#include "transport/receiver.h"
+
+#include "transport/record_codec.h"
+#include "util/counters.h"
+#include "util/logging.h"
+
+namespace smartsock::transport {
+
+Receiver::Receiver(ReceiverConfig config, ipc::StatusStore& store)
+    : config_(std::move(config)), store_(&store) {
+  if (auto listener = net::TcpListener::listen(config_.bind)) {
+    listener_ = std::move(*listener);
+    endpoint_ = listener_.local_endpoint();
+  }
+}
+
+Receiver::~Receiver() { stop(); }
+
+bool Receiver::ingest(net::TcpSocket& socket) {
+  socket.set_traffic_counter(
+      util::TrafficRegistry::instance().register_component("receiver"));
+  socket.set_receive_timeout(config_.io_timeout);
+  bool applied = false;
+  // One connection carries up to three database frames; EOF ends it.
+  while (auto frame = read_frame(socket)) {
+    switch (frame->type) {
+      case FrameType::kSysDb:
+        if (auto records = decode_records<ipc::SysRecord>(frame->payload)) {
+          store_->replace_sys(*records);
+          applied = true;
+        }
+        break;
+      case FrameType::kNetDb:
+        if (auto records = decode_records<ipc::NetRecord>(frame->payload)) {
+          store_->replace_net(*records);
+          applied = true;
+        }
+        break;
+      case FrameType::kSecDb:
+        if (auto records = decode_records<ipc::SecRecord>(frame->payload)) {
+          store_->replace_sec(*records);
+          applied = true;
+        }
+        break;
+      case FrameType::kUpdateRequest:
+        break;  // not meaningful on this side
+    }
+  }
+  if (applied) snapshots_received_.fetch_add(1, std::memory_order_relaxed);
+  return applied;
+}
+
+bool Receiver::accept_once(util::Duration timeout) {
+  if (!listener_.valid()) return false;
+  auto client = listener_.accept(timeout);
+  if (!client) return false;
+  return ingest(*client);
+}
+
+bool Receiver::pull_from(const net::Endpoint& transmitter) {
+  auto socket = net::TcpSocket::connect(transmitter, config_.io_timeout);
+  if (!socket) {
+    SMARTSOCK_LOG(kWarn, "receiver")
+        << "cannot reach transmitter " << transmitter.to_string();
+    return false;
+  }
+  if (!socket->send_all(encode_frame(FrameType::kUpdateRequest, "")).ok()) return false;
+  return ingest(*socket);
+}
+
+bool Receiver::start() {
+  if (!listener_.valid() || thread_.joinable()) return false;
+  stop_requested_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { run_loop(); });
+  return true;
+}
+
+void Receiver::stop() {
+  stop_requested_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+}
+
+void Receiver::run_loop() {
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    accept_once(std::chrono::milliseconds(50));
+  }
+}
+
+}  // namespace smartsock::transport

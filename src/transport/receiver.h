@@ -1,0 +1,67 @@
+// Receiver (§3.5.2).
+//
+// Runs on the wizard machine; mirrors the monitor machine's databases into
+// the wizard-side store so "the wizard can directly use the contents as if
+// they were generated locally". Centralized mode accepts pushes from one or
+// more transmitters; distributed mode pulls on demand when the wizard gets a
+// user request.
+#pragma once
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "ipc/status_store.h"
+#include "net/tcp_listener.h"
+#include "util/clock.h"
+
+namespace smartsock::transport {
+
+struct ReceiverConfig {
+  net::Endpoint bind = net::Endpoint::loopback(0);
+  util::Duration io_timeout = std::chrono::seconds(2);
+};
+
+class Receiver {
+ public:
+  Receiver(ReceiverConfig config, ipc::StatusStore& store);
+  ~Receiver();
+
+  Receiver(const Receiver&) = delete;
+  Receiver& operator=(const Receiver&) = delete;
+
+  /// The TCP endpoint transmitters push to (resolved after bind).
+  net::Endpoint endpoint() const { return endpoint_; }
+
+  /// Centralized mode: background accept loop.
+  bool start();
+  void stop();
+
+  /// Accepts and ingests at most one transmitter connection (polling entry
+  /// point). Returns true if a snapshot was applied.
+  bool accept_once(util::Duration timeout);
+
+  /// Distributed mode: connects to a passive transmitter, requests an
+  /// update and ingests the reply. Returns true on success.
+  bool pull_from(const net::Endpoint& transmitter);
+
+  std::uint64_t snapshots_received() const {
+    return snapshots_received_.load(std::memory_order_relaxed);
+  }
+  bool valid() const { return listener_.valid(); }
+
+ private:
+  void run_loop();
+  bool ingest(net::TcpSocket& socket);
+
+  ReceiverConfig config_;
+  ipc::StatusStore* store_;
+  net::TcpListener listener_;
+  net::Endpoint endpoint_;
+
+  std::thread thread_;
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<std::uint64_t> snapshots_received_{0};
+};
+
+}  // namespace smartsock::transport

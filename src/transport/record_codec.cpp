@@ -1,0 +1,48 @@
+#include "transport/record_codec.h"
+
+#include <arpa/inet.h>
+
+namespace smartsock::transport {
+
+namespace {
+constexpr std::size_t kMaxPayload = 16 * 1024 * 1024;
+}
+
+std::string encode_frame(FrameType type, std::string_view payload) {
+  std::string out(8 + payload.size(), '\0');
+  std::uint32_t type_be = htonl(static_cast<std::uint32_t>(type));
+  std::uint32_t size_be = htonl(static_cast<std::uint32_t>(payload.size()));
+  std::memcpy(out.data(), &type_be, 4);
+  std::memcpy(out.data() + 4, &size_be, 4);
+  std::memcpy(out.data() + 8, payload.data(), payload.size());
+  return out;
+}
+
+std::optional<Frame> read_frame(net::TcpSocket& socket) {
+  std::string header;
+  auto result = socket.receive_exact(header, 8);
+  if (!result.ok()) return std::nullopt;
+
+  std::uint32_t type_be = 0;
+  std::uint32_t size_be = 0;
+  std::memcpy(&type_be, header.data(), 4);
+  std::memcpy(&size_be, header.data() + 4, 4);
+  std::uint32_t type = ntohl(type_be);
+  std::uint32_t size = ntohl(size_be);
+
+  if (type < static_cast<std::uint32_t>(FrameType::kSysDb) ||
+      type > static_cast<std::uint32_t>(FrameType::kUpdateRequest)) {
+    return std::nullopt;
+  }
+  if (size > kMaxPayload) return std::nullopt;
+
+  Frame frame;
+  frame.type = static_cast<FrameType>(type);
+  if (size > 0) {
+    auto body = socket.receive_exact(frame.payload, size);
+    if (!body.ok()) return std::nullopt;
+  }
+  return frame;
+}
+
+}  // namespace smartsock::transport

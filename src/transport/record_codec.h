@@ -1,0 +1,63 @@
+// Binary framing for transmitter→receiver transfers (§3.5.1).
+//
+// Wire format per frame: [type u32][size u32][data], with type and size
+// first so the receiver can size its buffer before the data arrives —
+// exactly the thesis's description. Record payloads are raw memcpy'd arrays
+// of the POD record types; like the thesis, this assumes the transmitter and
+// receiver machines share architecture (endianness and type widths). The
+// framing integers travel in network byte order so a mismatch is at least
+// detected (the type check fails loudly instead of reading garbage sizes).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ipc/status_record.h"
+#include "net/tcp_socket.h"
+
+namespace smartsock::transport {
+
+enum class FrameType : std::uint32_t {
+  kSysDb = 1,
+  kNetDb = 2,
+  kSecDb = 3,
+  kUpdateRequest = 4,  // distributed mode: wizard asks for fresh reports
+};
+
+struct Frame {
+  FrameType type = FrameType::kSysDb;
+  std::string payload;
+};
+
+/// Serializes one frame (header + payload).
+std::string encode_frame(FrameType type, std::string_view payload);
+
+/// Reads one complete frame from a connected socket. nullopt on EOF before a
+/// header, malformed header, or oversized payload (sanity cap 16 MB).
+std::optional<Frame> read_frame(net::TcpSocket& socket);
+
+/// Record array <-> payload bytes.
+template <typename Record>
+std::string encode_records(const std::vector<Record>& records) {
+  static_assert(std::is_trivially_copyable_v<Record>);
+  std::string out(records.size() * sizeof(Record), '\0');
+  if (!records.empty()) {
+    std::memcpy(out.data(), records.data(), out.size());
+  }
+  return out;
+}
+
+template <typename Record>
+std::optional<std::vector<Record>> decode_records(std::string_view payload) {
+  static_assert(std::is_trivially_copyable_v<Record>);
+  if (payload.size() % sizeof(Record) != 0) return std::nullopt;
+  std::vector<Record> out(payload.size() / sizeof(Record));
+  if (!out.empty()) {
+    std::memcpy(out.data(), payload.data(), payload.size());
+  }
+  return out;
+}
+
+}  // namespace smartsock::transport

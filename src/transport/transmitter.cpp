@@ -1,0 +1,87 @@
+#include "transport/transmitter.h"
+
+#include "transport/record_codec.h"
+#include "util/counters.h"
+#include "util/logging.h"
+
+namespace smartsock::transport {
+
+Transmitter::Transmitter(TransmitterConfig config, const ipc::StatusStore& store)
+    : config_(std::move(config)), store_(&store) {
+  if (config_.mode == TransferMode::kDistributed) {
+    if (auto listener = net::TcpListener::listen(config_.bind)) {
+      listener_ = std::move(*listener);
+      endpoint_ = listener_.local_endpoint();
+    }
+  }
+}
+
+Transmitter::~Transmitter() { stop(); }
+
+bool Transmitter::send_snapshot(net::TcpSocket& socket) {
+  socket.set_traffic_counter(
+      util::TrafficRegistry::instance().register_component("transmitter"));
+  socket.set_send_timeout(config_.io_timeout);
+  std::string blob;
+  blob += encode_frame(FrameType::kSysDb, encode_records(store_->sys_records()));
+  blob += encode_frame(FrameType::kNetDb, encode_records(store_->net_records()));
+  blob += encode_frame(FrameType::kSecDb, encode_records(store_->sec_records()));
+  if (!socket.send_all(blob).ok()) return false;
+  snapshots_sent_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool Transmitter::transmit_once() {
+  auto socket = net::TcpSocket::connect(config_.receiver, config_.io_timeout);
+  if (!socket) {
+    SMARTSOCK_LOG(kWarn, "transmitter")
+        << "cannot reach receiver " << config_.receiver.to_string();
+    return false;
+  }
+  return send_snapshot(*socket);
+}
+
+bool Transmitter::start() {
+  if (thread_.joinable()) return false;
+  if (config_.mode == TransferMode::kDistributed && !listener_.valid()) return false;
+  stop_requested_.store(false, std::memory_order_release);
+  if (config_.mode == TransferMode::kCentralized) {
+    thread_ = std::thread([this] { run_push_loop(); });
+  } else {
+    thread_ = std::thread([this] { run_serve_loop(); });
+  }
+  return true;
+}
+
+void Transmitter::stop() {
+  stop_requested_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+}
+
+void Transmitter::run_push_loop() {
+  util::Clock& clock = util::SteadyClock::instance();
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    transmit_once();
+    util::Duration remaining = config_.interval;
+    const util::Duration slice = std::chrono::milliseconds(20);
+    while (remaining > util::Duration::zero() &&
+           !stop_requested_.load(std::memory_order_acquire)) {
+      util::Duration step = std::min(remaining, slice);
+      clock.sleep_for(step);
+      remaining -= step;
+    }
+  }
+}
+
+void Transmitter::run_serve_loop() {
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    auto client = listener_.accept(std::chrono::milliseconds(50));
+    if (!client) continue;
+    client->set_receive_timeout(config_.io_timeout);
+    auto frame = read_frame(*client);
+    if (!frame || frame->type != FrameType::kUpdateRequest) continue;
+    send_snapshot(*client);
+  }
+}
+
+}  // namespace smartsock::transport

@@ -1,0 +1,69 @@
+// Transmitter (§3.5.1).
+//
+// Runs on the monitor machine, reading the three status databases the
+// monitors maintain and shipping them to the receiver on the wizard machine
+// as binary frames over TCP. Two modes (§3.5.1):
+//  * centralized — actively pushes a snapshot every interval; status on the
+//    wizard machine is always fresh, right for a small tightly-coupled
+//    cluster;
+//  * distributed — listens passively and answers kUpdateRequest pulls, so
+//    sparse wide-area deployments pay network cost only when a user request
+//    actually arrives.
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+#include "ipc/status_store.h"
+#include "net/tcp_listener.h"
+#include "util/clock.h"
+
+namespace smartsock::transport {
+
+enum class TransferMode { kCentralized, kDistributed };
+
+struct TransmitterConfig {
+  TransferMode mode = TransferMode::kCentralized;
+  net::Endpoint receiver;                           // centralized: push target
+  net::Endpoint bind = net::Endpoint::loopback(0);  // distributed: listen here
+  util::Duration interval = std::chrono::seconds(2);
+  util::Duration io_timeout = std::chrono::seconds(2);
+};
+
+class Transmitter {
+ public:
+  Transmitter(TransmitterConfig config, const ipc::StatusStore& store);
+  ~Transmitter();
+
+  Transmitter(const Transmitter&) = delete;
+  Transmitter& operator=(const Transmitter&) = delete;
+
+  /// Centralized: one push to the receiver. Returns true on success.
+  bool transmit_once();
+
+  /// Distributed: the endpoint wizards pull from (resolved after bind).
+  net::Endpoint endpoint() const { return endpoint_; }
+
+  bool start();
+  void stop();
+
+  std::uint64_t snapshots_sent() const {
+    return snapshots_sent_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void run_push_loop();
+  void run_serve_loop();
+  bool send_snapshot(net::TcpSocket& socket);
+
+  TransmitterConfig config_;
+  const ipc::StatusStore* store_;
+  net::TcpListener listener_;  // distributed mode only
+  net::Endpoint endpoint_;
+
+  std::thread thread_;
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<std::uint64_t> snapshots_sent_{0};
+};
+
+}  // namespace smartsock::transport

@@ -1,0 +1,65 @@
+#include "util/args.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace smartsock::util {
+
+Args::Args(int argc, char** argv, const std::vector<std::string>& known_flags) {
+  auto is_known = [&](const std::string& flag) {
+    return std::find(known_flags.begin(), known_flags.end(), flag) != known_flags.end();
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string flag = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (std::size_t eq = flag.find('='); eq != std::string::npos) {
+      value = flag.substr(eq + 1);
+      flag = flag.substr(0, eq);
+      has_value = true;
+    }
+    if (!is_known(flag)) {
+      unknown_.push_back(flag);
+      continue;
+    }
+    if (!has_value && i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      value = argv[++i];
+      has_value = true;
+    }
+    values_[flag] = has_value ? value : "true";
+  }
+}
+
+std::optional<std::string> Args::get(const std::string& flag) const {
+  auto it = values_.find(flag);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Args::get_or(const std::string& flag, const std::string& fallback) const {
+  auto value = get(flag);
+  return value ? *value : fallback;
+}
+
+double Args::get_double_or(const std::string& flag, double fallback) const {
+  auto value = get(flag);
+  if (!value) return fallback;
+  auto parsed = parse_double(*value);
+  return parsed ? *parsed : fallback;
+}
+
+std::int64_t Args::get_int_or(const std::string& flag, std::int64_t fallback) const {
+  auto value = get(flag);
+  if (!value) return fallback;
+  auto parsed = parse_int(*value);
+  return parsed ? *parsed : fallback;
+}
+
+}  // namespace smartsock::util

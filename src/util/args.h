@@ -1,0 +1,35 @@
+// Tiny command-line flag parser for the deployment tools.
+//
+// Supports "--key value", "--key=value" and bare "--flag" booleans; anything
+// not starting with "--" is a positional argument. Unknown flags are
+// collected so tools can reject them with a usage message.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace smartsock::util {
+
+class Args {
+ public:
+  Args(int argc, char** argv, const std::vector<std::string>& known_flags);
+
+  bool has(const std::string& flag) const { return values_.count(flag) > 0; }
+  std::optional<std::string> get(const std::string& flag) const;
+  std::string get_or(const std::string& flag, const std::string& fallback) const;
+  double get_double_or(const std::string& flag, double fallback) const;
+  std::int64_t get_int_or(const std::string& flag, std::int64_t fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::vector<std::string>& unknown() const { return unknown_; }
+  bool ok() const { return unknown_.empty(); }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  std::vector<std::string> unknown_;
+};
+
+}  // namespace smartsock::util

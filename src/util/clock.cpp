@@ -1,0 +1,20 @@
+#include "util/clock.h"
+
+#include <thread>
+
+namespace smartsock::util {
+
+Duration SteadyClock::now() {
+  return std::chrono::steady_clock::now().time_since_epoch();
+}
+
+void SteadyClock::sleep_for(Duration d) {
+  if (d > Duration::zero()) std::this_thread::sleep_for(d);
+}
+
+SteadyClock& SteadyClock::instance() {
+  static SteadyClock clock;
+  return clock;
+}
+
+}  // namespace smartsock::util

@@ -1,0 +1,72 @@
+// Clock abstraction.
+//
+// Components that schedule work (probes, monitors, the wizard's staleness
+// sweep) take a `Clock&` so tests and the simulation substrate can drive them
+// on a virtual timeline, while production code uses the monotonic wall clock.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace smartsock::util {
+
+using Duration = std::chrono::nanoseconds;
+using TimePoint = std::chrono::steady_clock::time_point;
+
+/// Abstract monotonic clock. now() never decreases.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Nanoseconds since an arbitrary epoch fixed for this clock's lifetime.
+  virtual Duration now() = 0;
+
+  /// Blocks (or advances virtual time) for `d`.
+  virtual void sleep_for(Duration d) = 0;
+};
+
+/// The process monotonic clock (std::chrono::steady_clock).
+class SteadyClock final : public Clock {
+ public:
+  Duration now() override;
+  void sleep_for(Duration d) override;
+
+  /// Shared process-wide instance, convenient for default arguments.
+  static SteadyClock& instance();
+};
+
+/// Converts a duration to fractional seconds.
+inline double to_seconds(Duration d) {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(d).count();
+}
+
+/// Converts a duration to fractional milliseconds.
+inline double to_millis(Duration d) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(d).count();
+}
+
+/// Builds a Duration from fractional seconds.
+inline Duration from_seconds(double s) {
+  return std::chrono::duration_cast<Duration>(std::chrono::duration<double>(s));
+}
+
+/// Builds a Duration from fractional milliseconds.
+inline Duration from_millis(double ms) {
+  return std::chrono::duration_cast<Duration>(std::chrono::duration<double, std::milli>(ms));
+}
+
+/// Simple stopwatch over an arbitrary Clock.
+class Stopwatch {
+ public:
+  explicit Stopwatch(Clock& clock) : clock_(&clock), start_(clock.now()) {}
+
+  void reset() { start_ = clock_->now(); }
+  Duration elapsed() const { return clock_->now() - start_; }
+  double elapsed_seconds() const { return to_seconds(elapsed()); }
+
+ private:
+  Clock* clock_;
+  Duration start_;
+};
+
+}  // namespace smartsock::util

@@ -1,0 +1,83 @@
+#include "util/config.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace smartsock::util {
+
+bool Config::parse(std::string_view text) {
+  std::size_t line_no = 0;
+  for (std::string_view raw : split(text, '\n', /*keep_empty=*/true)) {
+    ++line_no;
+    std::string_view line = raw;
+    if (std::size_t hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+    std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      error_ = "line " + std::to_string(line_no) + ": expected key=value";
+      return false;
+    }
+    std::string key(trim(line.substr(0, eq)));
+    std::string value(trim(line.substr(eq + 1)));
+    if (key.empty()) {
+      error_ = "line " + std::to_string(line_no) + ": empty key";
+      return false;
+    }
+    values_[key] = value;
+  }
+  return true;
+}
+
+bool Config::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    error_ = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+void Config::set(const std::string& key, const std::string& value) { values_[key] = value; }
+
+std::optional<std::string> Config::get(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_or(const std::string& key, const std::string& fallback) const {
+  auto value = get(key);
+  return value ? *value : fallback;
+}
+
+double Config::get_double_or(const std::string& key, double fallback) const {
+  auto value = get(key);
+  if (!value) return fallback;
+  auto parsed = parse_double(*value);
+  return parsed ? *parsed : fallback;
+}
+
+std::int64_t Config::get_int_or(const std::string& key, std::int64_t fallback) const {
+  auto value = get(key);
+  if (!value) return fallback;
+  auto parsed = parse_int(*value);
+  return parsed ? *parsed : fallback;
+}
+
+bool Config::get_bool_or(const std::string& key, bool fallback) const {
+  auto value = get(key);
+  if (!value) return fallback;
+  std::string lower = to_lower(*value);
+  if (lower == "true" || lower == "1" || lower == "yes" || lower == "on") return true;
+  if (lower == "false" || lower == "0" || lower == "no" || lower == "off") return false;
+  return fallback;
+}
+
+}  // namespace smartsock::util

@@ -1,0 +1,48 @@
+// key=value configuration files.
+//
+// The paper's administrator-tunable knobs (probe interval, staleness factor,
+// ports, transmitter mode) live in small config files; this parser backs the
+// examples and the experiment harness. Lines starting with '#' are comments,
+// mirroring the requirement-file syntax.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace smartsock::util {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses "key = value" lines; '#' begins a comment; blank lines ignored.
+  /// Later keys override earlier ones. Returns false on malformed lines
+  /// (missing '=') and records the offending line in error().
+  bool parse(std::string_view text);
+
+  /// Loads and parses a file. Returns false if unreadable or malformed.
+  bool load_file(const std::string& path);
+
+  void set(const std::string& key, const std::string& value);
+
+  std::optional<std::string> get(const std::string& key) const;
+  std::string get_or(const std::string& key, const std::string& fallback) const;
+  double get_double_or(const std::string& key, double fallback) const;
+  std::int64_t get_int_or(const std::string& key, std::int64_t fallback) const;
+  bool get_bool_or(const std::string& key, bool fallback) const;
+
+  bool contains(const std::string& key) const { return values_.count(key) > 0; }
+  std::size_t size() const { return values_.size(); }
+  const std::string& error() const { return error_; }
+
+  const std::map<std::string, std::string>& values() const { return values_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::string error_;
+};
+
+}  // namespace smartsock::util

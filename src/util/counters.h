@@ -1,0 +1,92 @@
+// Traffic accounting.
+//
+// Table 5.2 of the paper reports per-component CPU / memory / network
+// bandwidth usage. The paper measured with `top` and a libpcap dumper; we
+// instrument the components directly: every socket wrapper owns a
+// TrafficCounter, and the resource-usage bench reads the registry.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace smartsock::util {
+
+/// Lock-free byte/message counters for one direction of one component.
+class TrafficCounter {
+ public:
+  void add_sent(std::uint64_t bytes) {
+    bytes_sent_.fetch_add(bytes, std::memory_order_relaxed);
+    msgs_sent_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void add_received(std::uint64_t bytes) {
+    bytes_received_.fetch_add(bytes, std::memory_order_relaxed);
+    msgs_received_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t bytes_sent() const { return bytes_sent_.load(std::memory_order_relaxed); }
+  std::uint64_t bytes_received() const { return bytes_received_.load(std::memory_order_relaxed); }
+  std::uint64_t messages_sent() const { return msgs_sent_.load(std::memory_order_relaxed); }
+  std::uint64_t messages_received() const { return msgs_received_.load(std::memory_order_relaxed); }
+
+  void reset() {
+    bytes_sent_.store(0, std::memory_order_relaxed);
+    bytes_received_.store(0, std::memory_order_relaxed);
+    msgs_sent_.store(0, std::memory_order_relaxed);
+    msgs_received_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> bytes_received_{0};
+  std::atomic<std::uint64_t> msgs_sent_{0};
+  std::atomic<std::uint64_t> msgs_received_{0};
+};
+
+struct ComponentUsage {
+  std::string component;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+  double send_rate_kbps = 0.0;     // KB per second over the sampled window
+  double receive_rate_kbps = 0.0;  // KB per second over the sampled window
+};
+
+/// Named registry of counters; components register themselves by name.
+/// Multiple components may share a name (e.g. 11 probes register as
+/// "system_probe"); their traffic is summed on read.
+class TrafficRegistry {
+ public:
+  static TrafficRegistry& instance();
+
+  /// Returns a counter bound to `component`. The registry owns the counter;
+  /// the pointer stays valid for the process lifetime.
+  TrafficCounter* register_component(const std::string& component);
+
+  /// Snapshot of all components, with rates computed over `window` seconds.
+  std::vector<ComponentUsage> snapshot(double window_seconds) const;
+
+  /// Zeroes every counter (used between bench phases).
+  void reset_all();
+
+ private:
+  struct Entry {
+    std::string component;
+    std::unique_ptr<TrafficCounter> counter;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+};
+
+/// Reads the resident set size of the current process in KB (Linux /proc).
+/// Returns 0 if unavailable.
+std::uint64_t current_rss_kb();
+
+}  // namespace smartsock::util

@@ -1,0 +1,68 @@
+#include "util/logging.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace smartsock::util {
+
+std::string_view log_level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF  ";
+  }
+  return "?????";
+}
+
+LogLevel parse_log_level(std::string_view text) {
+  std::string lower(text);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "trace") return LogLevel::kTrace;
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() : level_(static_cast<int>(LogLevel::kWarn)) {
+  if (const char* env = std::getenv("SMARTSOCK_LOG")) {
+    level_.store(static_cast<int>(parse_log_level(env)), std::memory_order_relaxed);
+  }
+}
+
+void Logger::set_level(LogLevel level) {
+  level_.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel Logger::level() const {
+  return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+}
+
+void Logger::log(LogLevel level, std::string_view component, std::string_view message) {
+  if (!enabled(level)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fprintf(stderr, "[%.*s] %.*s: %.*s\n",
+               static_cast<int>(log_level_tag(level).size()), log_level_tag(level).data(),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace smartsock::util

@@ -1,0 +1,84 @@
+// Minimal thread-safe leveled logger.
+//
+// The paper's daemons (probes, monitors, wizard) log diagnostic events; this
+// logger keeps that observable without pulling in an external dependency.
+// Levels can be silenced globally, which the test suite uses to keep output
+// clean while still exercising the logging paths.
+#pragma once
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace smartsock::util {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Returns the fixed 5-char tag used in log lines ("TRACE", "INFO ", ...).
+std::string_view log_level_tag(LogLevel level);
+
+/// Parses "trace"/"debug"/"info"/"warn"/"error"/"off" (case-insensitive).
+/// Returns kInfo for unknown strings.
+LogLevel parse_log_level(std::string_view text);
+
+/// Process-wide logger. Writes to stderr; level is adjustable at runtime.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level);
+  LogLevel level() const;
+
+  /// Emits one line: "[<tag>] <component>: <message>\n". Thread-safe.
+  void log(LogLevel level, std::string_view component, std::string_view message);
+
+  bool enabled(LogLevel level) const {
+    return static_cast<int>(level) >= level_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Logger();
+
+  mutable std::mutex mu_;
+  std::atomic<int> level_;
+};
+
+/// Stream-style helper: LOG_AS(kInfo, "wizard") << "served " << n;
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LogLine() {
+    if (Logger::instance().enabled(level_)) {
+      Logger::instance().log(level_, component_, stream_.str());
+    }
+  }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (Logger::instance().enabled(level_)) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace smartsock::util
+
+#define SMARTSOCK_LOG(level, component) \
+  ::smartsock::util::LogLine(::smartsock::util::LogLevel::level, (component))

@@ -1,0 +1,16 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace smartsock::util {
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  std::vector<std::size_t> all(n);
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  std::shuffle(all.begin(), all.end(), engine_);
+  if (k < n) all.resize(k);
+  return all;
+}
+
+}  // namespace smartsock::util

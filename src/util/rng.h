@@ -1,0 +1,59 @@
+// Deterministic random number generation.
+//
+// Every stochastic element of the simulation (cross traffic, jitter, random
+// server selection, rshaper bandwidth draws) pulls from an explicitly seeded
+// Rng so experiments are reproducible run-to-run — the paper's "random"
+// baseline must be a *fair* but repeatable comparator.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace smartsock::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Gaussian with the given mean and standard deviation.
+  double gaussian(double mean, double stddev) {
+    std::normal_distribution<double> dist(mean, stddev);
+    return dist(engine_);
+  }
+
+  /// Exponential with the given mean (used for cross-traffic interarrivals).
+  double exponential(double mean) {
+    std::exponential_distribution<double> dist(1.0 / mean);
+    return dist(engine_);
+  }
+
+  /// Bernoulli trial.
+  bool chance(double p) {
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+  }
+
+  /// Picks k distinct indices out of [0, n) — the "random server selection"
+  /// baseline the paper compares against.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace smartsock::util

@@ -1,0 +1,140 @@
+#include "util/strings.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace smartsock::util {
+
+std::vector<std::string_view> split(std::string_view text, char sep, bool keep_empty) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) pos = text.size();
+    std::string_view field = text.substr(start, pos - start);
+    if (!field.empty() || keep_empty) out.push_back(field);
+    if (pos == text.size()) break;
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::vector<std::string_view> split_whitespace(std::string_view text) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    std::size_t start = i;
+    while (i < text.size() && !std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    if (i > start) out.push_back(text.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view text) {
+  std::size_t begin = 0;
+  while (begin < text.size() && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+  std::size_t end = text.size();
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+  return text.substr(begin, end - begin);
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+std::optional<double> parse_double(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  double value = 0.0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+std::optional<std::int64_t> parse_int(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  std::int64_t value = 0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+std::optional<std::uint64_t> parse_uint(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+std::string format_double(double value) {
+  if (value == 0.0) return "0";
+  double magnitude = value < 0 ? -value : value;
+
+  // Prefer plain fixed notation in the humane range — the requirement
+  // language's lexer (thesis Fig 4.1) has no exponent syntax, so values
+  // printed back into requirement text must stay parseable.
+  if (magnitude >= 1e-4 && magnitude < 1e15) {
+    if (value == static_cast<double>(static_cast<long long>(value))) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+      return buf;
+    }
+    for (int precision = 1; precision <= 17; ++precision) {
+      char candidate[64];
+      std::snprintf(candidate, sizeof(candidate), "%.*f", precision, value);
+      double parsed = 0.0;
+      std::sscanf(candidate, "%lf", &parsed);
+      if (parsed == value) return candidate;
+    }
+  }
+
+  // Extreme magnitudes: shortest round-tripping %g (may use an exponent;
+  // fine for the ASCII wire formats, whose parser accepts it).
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  for (int precision = 1; precision < 17; ++precision) {
+    char candidate[64];
+    std::snprintf(candidate, sizeof(candidate), "%.*g", precision, value);
+    double parsed = 0.0;
+    std::sscanf(candidate, "%lf", &parsed);
+    if (parsed == value) return candidate;
+  }
+  return buf;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+bool looks_like_ipv4(std::string_view text) {
+  auto octets = split(text, '.', /*keep_empty=*/true);
+  if (octets.size() != 4) return false;
+  for (std::string_view octet : octets) {
+    auto value = parse_uint(octet);
+    if (!value || *value > 255) return false;
+  }
+  return true;
+}
+
+}  // namespace smartsock::util

@@ -1,0 +1,48 @@
+// String helpers shared by the ASCII wire formats.
+//
+// The thesis deliberately transmits probe reports as ASCII key=value strings
+// (endianness-safe across the heterogeneous testbed), so robust splitting and
+// number parsing sit on the hot path of every status report.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace smartsock::util {
+
+/// Splits on a single character; keeps empty fields when keep_empty is true.
+std::vector<std::string_view> split(std::string_view text, char sep, bool keep_empty = false);
+
+/// Splits on any run of whitespace; never yields empty fields.
+std::vector<std::string_view> split_whitespace(std::string_view text);
+
+/// Strips leading/trailing whitespace.
+std::string_view trim(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Strict parse of a decimal double; rejects trailing garbage.
+std::optional<double> parse_double(std::string_view text);
+
+/// Strict parse of a decimal signed 64-bit integer; rejects trailing garbage.
+std::optional<std::int64_t> parse_int(std::string_view text);
+
+/// Strict parse of an unsigned 64-bit integer.
+std::optional<std::uint64_t> parse_uint(std::string_view text);
+
+/// Formats a double with enough digits to round-trip, no trailing zeros noise.
+std::string format_double(double value);
+
+/// Joins strings with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Lower-cases ASCII.
+std::string to_lower(std::string_view text);
+
+/// True if the string looks like a dotted-quad IPv4 address (4 numeric octets).
+bool looks_like_ipv4(std::string_view text);
+
+}  // namespace smartsock::util

@@ -1,0 +1,65 @@
+// Tests for the deployment tools' flag parser.
+#include <gtest/gtest.h>
+
+#include "util/args.h"
+
+namespace smartsock::util {
+namespace {
+
+Args parse(std::vector<std::string> argv, std::vector<std::string> known) {
+  std::vector<char*> raw;
+  raw.push_back(const_cast<char*>("tool"));
+  for (auto& arg : argv) raw.push_back(arg.data());
+  return Args(static_cast<int>(raw.size()), raw.data(), known);
+}
+
+TEST(ArgsTest, SpaceSeparatedValue) {
+  auto args = parse({"--monitor", "1.2.3.4:1111"}, {"monitor"});
+  EXPECT_TRUE(args.ok());
+  EXPECT_EQ(args.get_or("monitor", ""), "1.2.3.4:1111");
+}
+
+TEST(ArgsTest, EqualsValue) {
+  auto args = parse({"--interval=2.5"}, {"interval"});
+  EXPECT_DOUBLE_EQ(args.get_double_or("interval", 0.0), 2.5);
+}
+
+TEST(ArgsTest, BareBooleanFlag) {
+  auto args = parse({"--sysv"}, {"sysv"});
+  EXPECT_TRUE(args.has("sysv"));
+}
+
+TEST(ArgsTest, BooleanFollowedByFlag) {
+  auto args = parse({"--strict", "--servers", "4"}, {"strict", "servers"});
+  EXPECT_TRUE(args.has("strict"));
+  EXPECT_EQ(args.get_int_or("servers", 0), 4);
+}
+
+TEST(ArgsTest, PositionalArguments) {
+  auto args = parse({"--wizard", "1.1.1.1:1", "requirement.req"}, {"wizard"});
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "requirement.req");
+}
+
+TEST(ArgsTest, UnknownFlagReported) {
+  auto args = parse({"--bogus", "x"}, {"monitor"});
+  EXPECT_FALSE(args.ok());
+  ASSERT_EQ(args.unknown().size(), 1u);
+  EXPECT_EQ(args.unknown()[0], "bogus");
+}
+
+TEST(ArgsTest, MissingFlagFallbacks) {
+  auto args = parse({}, {"monitor"});
+  EXPECT_FALSE(args.has("monitor"));
+  EXPECT_EQ(args.get_or("monitor", "fallback"), "fallback");
+  EXPECT_EQ(args.get_int_or("monitor", 7), 7);
+  EXPECT_DOUBLE_EQ(args.get_double_or("monitor", 1.5), 1.5);
+}
+
+TEST(ArgsTest, GarbageNumberFallsBack) {
+  auto args = parse({"--interval", "soon"}, {"interval"});
+  EXPECT_DOUBLE_EQ(args.get_double_or("interval", 9.0), 9.0);
+}
+
+}  // namespace
+}  // namespace smartsock::util

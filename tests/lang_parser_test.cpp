@@ -1,0 +1,180 @@
+// Parser tests against the grammar of thesis Fig 4.2.
+#include <gtest/gtest.h>
+
+#include "lang/parser.h"
+
+namespace smartsock::lang {
+namespace {
+
+Program parse_ok(std::string_view source) {
+  Program program;
+  ParseError error;
+  EXPECT_TRUE(Parser::parse_source(source, program, error)) << error.to_string();
+  return program;
+}
+
+ParseError parse_fail(std::string_view source) {
+  Program program;
+  ParseError error;
+  EXPECT_FALSE(Parser::parse_source(source, program, error));
+  return error;
+}
+
+TEST(Parser, EmptyProgram) {
+  Program program = parse_ok("");
+  EXPECT_TRUE(program.empty());
+}
+
+TEST(Parser, CommentOnlyProgram) {
+  Program program = parse_ok("# nothing here\n#more\n");
+  EXPECT_TRUE(program.empty());
+}
+
+TEST(Parser, OneStatementPerLine) {
+  Program program = parse_ok("1\n2\n3\n");
+  EXPECT_EQ(program.statements.size(), 3u);
+  EXPECT_EQ(program.statements[1].line, 2);
+}
+
+TEST(Parser, PrecedenceMulOverAdd) {
+  Program program = parse_ok("1 + 2 * 3");
+  EXPECT_EQ(program.statements[0].expr->to_string(), "(1 + (2 * 3))");
+}
+
+TEST(Parser, PrecedenceAddOverRelational) {
+  Program program = parse_ok("a + b <= c");
+  EXPECT_EQ(program.statements[0].expr->to_string(), "((a + b) <= c)");
+}
+
+TEST(Parser, PrecedenceRelationalOverAnd) {
+  Program program = parse_ok("a > 1 && b < 2");
+  EXPECT_EQ(program.statements[0].expr->to_string(), "((a > 1) && (b < 2))");
+}
+
+TEST(Parser, PrecedenceAndOverOr) {
+  Program program = parse_ok("a || b && c");
+  EXPECT_EQ(program.statements[0].expr->to_string(), "(a || (b && c))");
+}
+
+TEST(Parser, PowerRightAssociative) {
+  Program program = parse_ok("2 ^ 3 ^ 2");
+  EXPECT_EQ(program.statements[0].expr->to_string(), "(2 ^ (3 ^ 2))");
+}
+
+TEST(Parser, DivisionLeftAssociative) {
+  Program program = parse_ok("8 / 4 / 2");
+  EXPECT_EQ(program.statements[0].expr->to_string(), "((8 / 4) / 2)");
+}
+
+TEST(Parser, UnaryMinus) {
+  Program program = parse_ok("-a + 2");
+  EXPECT_EQ(program.statements[0].expr->to_string(), "((-a) + 2)");
+}
+
+TEST(Parser, DoubleUnaryMinus) {
+  Program program = parse_ok("--3");
+  EXPECT_EQ(program.statements[0].expr->to_string(), "(-(-3))");
+}
+
+TEST(Parser, ParensOverridePrecedence) {
+  Program program = parse_ok("(1 + 2) * 3");
+  EXPECT_EQ(program.statements[0].expr->to_string(), "((1 + 2) * 3)");
+}
+
+TEST(Parser, Assignment) {
+  Program program = parse_ok("x = 1 + 2");
+  const Expr& expr = *program.statements[0].expr;
+  EXPECT_EQ(expr.kind, ExprKind::kAssign);
+  EXPECT_EQ(expr.name, "x");
+}
+
+TEST(Parser, AssignmentRightAssociative) {
+  Program program = parse_ok("x = y = 3");
+  EXPECT_EQ(program.statements[0].expr->to_string(), "(x = (y = 3))");
+}
+
+TEST(Parser, AssignmentInsideParensComposesWithAnd) {
+  // Tables 5.5/5.6 use exactly this shape.
+  Program program = parse_ok("(host_cpu_free > 0.9) && (user_denied_host1 = telesto)");
+  EXPECT_EQ(program.statements[0].expr->to_string(),
+            "((host_cpu_free > 0.9) && (user_denied_host1 = telesto))");
+}
+
+TEST(Parser, NetAddrAssignment) {
+  Program program = parse_ok("user_denied_host1 = 137.132.90.182");
+  const Expr& expr = *program.statements[0].expr;
+  EXPECT_EQ(expr.kind, ExprKind::kAssign);
+  EXPECT_EQ(expr.children[0]->kind, ExprKind::kNetAddr);
+  EXPECT_EQ(expr.children[0]->name, "137.132.90.182");
+}
+
+TEST(Parser, FunctionCall) {
+  Program program = parse_ok("log10(x) + exp(1)");
+  EXPECT_EQ(program.statements[0].expr->to_string(), "(log10(x) + exp(1))");
+}
+
+TEST(Parser, NestedFunctionCalls) {
+  Program program = parse_ok("sqrt(abs(x - 1))");
+  EXPECT_EQ(program.statements[0].expr->to_string(), "sqrt(abs((x - 1)))");
+}
+
+TEST(Parser, RelationalChainsLeftAssociative) {
+  Program program = parse_ok("a < b < c");
+  EXPECT_EQ(program.statements[0].expr->to_string(), "((a < b) < c)");
+}
+
+TEST(Parser, ThesisSampleRequirementParses) {
+  const char* sample =
+      "host_system_load1 < 1\n"
+      "host_memory_used <= 250*1024*1024\n"
+      "host_cpu_free >= 0.9\n"
+      "host_network_tbytesps < 1024*1024  # for network IO\n"
+      "user_denied_host1 = 137.132.90.182\n"
+      "user_preferred_host1 = sagit.ddns.comp.nus.edu.sg\n";
+  Program program = parse_ok(sample);
+  EXPECT_EQ(program.statements.size(), 6u);
+}
+
+TEST(Parser, Table54RequirementParses) {
+  Program program = parse_ok(
+      "((host_cpu_bogomips > 4000) || (host_cpu_bogomips < 2000)) && "
+      "(host_cpu_free > 0.9) && (host_memory_free > 5)");
+  EXPECT_EQ(program.statements.size(), 1u);
+}
+
+// --- error cases ----------------------------------------------------------
+
+TEST(Parser, ErrorOnDanglingOperator) {
+  ParseError error = parse_fail("1 +\n");
+  EXPECT_EQ(error.line, 1);
+}
+
+TEST(Parser, ErrorOnUnbalancedParens) {
+  parse_fail("(1 + 2\n");
+  parse_fail("1 + 2)\n");
+}
+
+TEST(Parser, ErrorOnMissingCallParen) {
+  parse_fail("sqrt(4\n");
+}
+
+TEST(Parser, ErrorOnEmptyParens) {
+  parse_fail("()\n");
+}
+
+TEST(Parser, ErrorOnTwoExpressionsOneLine) {
+  parse_fail("1 2\n");
+}
+
+TEST(Parser, ErrorReportsLine) {
+  ParseError error = parse_fail("1\n2\n3 +\n");
+  EXPECT_EQ(error.line, 3);
+}
+
+TEST(Parser, LexErrorPropagates) {
+  ParseError error = parse_fail("a @ b\n");
+  EXPECT_NE(error.message.find("unexpected character"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smartsock::lang

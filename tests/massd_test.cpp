@@ -1,0 +1,202 @@
+// massd tests: token-bucket shaper, file server protocol, parallel
+// downloader, throughput under shaping (the Fig 5.3 calibration property).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "apps/massd/downloader.h"
+#include "apps/massd/file_server.h"
+#include "sim/virtual_clock.h"
+
+namespace smartsock::apps {
+namespace {
+
+using namespace std::chrono_literals;
+
+// --- synthetic file -----------------------------------------------------------
+
+TEST(SyntheticFile, DeterministicPattern) {
+  EXPECT_EQ(synthetic_file_byte(0), 0);
+  EXPECT_EQ(synthetic_file_byte(250), static_cast<char>(250));
+  EXPECT_EQ(synthetic_file_byte(251), 0);  // period 251
+  std::string chunk = synthetic_file_chunk(249, 4);
+  EXPECT_EQ(chunk[0], static_cast<char>(249));
+  EXPECT_EQ(chunk[2], 0);
+}
+
+// --- token bucket ----------------------------------------------------------------
+
+TEST(TokenBucketTest, UnshapedNeverBlocks) {
+  TokenBucket bucket(0.0, 1024);
+  util::Stopwatch stopwatch(util::SteadyClock::instance());
+  for (int i = 0; i < 100; ++i) bucket.acquire(1 << 20);
+  EXPECT_LT(stopwatch.elapsed_seconds(), 0.1);
+}
+
+TEST(TokenBucketTest, VirtualClockRateIsExact) {
+  sim::VirtualClock clock;
+  TokenBucket bucket(1000.0, 100.0, clock);  // 1000 B/s, tiny burst
+  bucket.acquire(5000);
+  // 5000 bytes at 1000 B/s from a ~100-token start: ~4.9 s of waiting.
+  EXPECT_NEAR(util::to_seconds(clock.now()), 4.9, 0.3);
+}
+
+TEST(TokenBucketTest, RealClockApproximatesRate) {
+  TokenBucket bucket(200 * 1024.0, 8 * 1024.0);  // 200 KB/s
+  util::Stopwatch stopwatch(util::SteadyClock::instance());
+  std::uint64_t total = 60 * 1024;
+  for (std::uint64_t sent = 0; sent < total; sent += 4096) bucket.acquire(4096);
+  double elapsed = stopwatch.elapsed_seconds();
+  double expected = (static_cast<double>(total) - 8 * 1024.0) / (200.0 * 1024.0);
+  EXPECT_NEAR(elapsed, expected, expected * 0.5);
+}
+
+TEST(TokenBucketTest, RateChangeTakesEffect) {
+  sim::VirtualClock clock;
+  TokenBucket bucket(100.0, 10.0, clock);
+  bucket.acquire(100);  // drains slowly at first
+  double t1 = util::to_seconds(clock.now());
+  bucket.set_rate(10000.0);
+  bucket.acquire(1000);
+  double t2 = util::to_seconds(clock.now());
+  EXPECT_LT(t2 - t1, t1);  // second acquire much faster despite 10x bytes
+}
+
+// --- file server protocol ----------------------------------------------------------
+
+TEST(FileServerTest, ServesRequestedBlocks) {
+  FileServerConfig config;
+  FileServer server(config);
+  ASSERT_TRUE(server.valid());
+  ASSERT_TRUE(server.start());
+
+  auto client = net::TcpSocket::connect(server.endpoint(), 1s);
+  ASSERT_TRUE(client);
+  client->set_receive_timeout(2s);
+  ASSERT_TRUE(client->send_all("BLK 1000 512\n").ok());
+  std::string data;
+  ASSERT_TRUE(client->receive_exact(data, 512).ok());
+  EXPECT_EQ(data, synthetic_file_chunk(1000, 512));
+  // Second request on the same connection.
+  ASSERT_TRUE(client->send_all("BLK 0 16\n").ok());
+  ASSERT_TRUE(client->receive_exact(data, 16).ok());
+  EXPECT_EQ(data, synthetic_file_chunk(0, 16));
+  ASSERT_TRUE(client->send_all("BYE\n").ok());
+  server.stop();
+  EXPECT_EQ(server.bytes_served(), 528u);
+}
+
+TEST(FileServerTest, DropsMalformedRequests) {
+  FileServer server(FileServerConfig{});
+  ASSERT_TRUE(server.start());
+  auto client = net::TcpSocket::connect(server.endpoint(), 1s);
+  ASSERT_TRUE(client);
+  client->set_receive_timeout(500ms);
+  ASSERT_TRUE(client->send_all("GIMME everything\n").ok());
+  std::string data;
+  auto result = client->receive_exact(data, 1);
+  EXPECT_NE(result.status, net::IoStatus::kOk);  // connection dropped
+  server.stop();
+}
+
+TEST(FileServerTest, RejectsOversizedBlock) {
+  FileServer server(FileServerConfig{});
+  ASSERT_TRUE(server.start());
+  auto client = net::TcpSocket::connect(server.endpoint(), 1s);
+  ASSERT_TRUE(client);
+  client->set_receive_timeout(500ms);
+  ASSERT_TRUE(client->send_all("BLK 0 999999999999\n").ok());
+  std::string data;
+  EXPECT_NE(client->receive_exact(data, 1).status, net::IoStatus::kOk);
+  server.stop();
+}
+
+// --- downloader ----------------------------------------------------------------------
+
+std::vector<net::TcpSocket> connect_servers(const std::vector<FileServer*>& servers) {
+  std::vector<net::TcpSocket> sockets;
+  for (FileServer* server : servers) {
+    auto socket = net::TcpSocket::connect(server->endpoint(), 1s);
+    EXPECT_TRUE(socket);
+    if (socket) sockets.push_back(std::move(*socket));
+  }
+  return sockets;
+}
+
+TEST(Downloader, FetchesAndVerifiesAllBytes) {
+  FileServer s1(FileServerConfig{}), s2(FileServerConfig{});
+  ASSERT_TRUE(s1.start());
+  ASSERT_TRUE(s2.start());
+
+  DownloadConfig config;
+  config.total_bytes = 300 * 1024 + 17;  // ragged tail block
+  config.block_bytes = 32 * 1024;
+  auto result = mass_download(config, connect_servers({&s1, &s2}));
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.bytes_received, config.total_bytes);
+  EXPECT_EQ(result.bytes_per_server.size(), 2u);
+  EXPECT_EQ(result.bytes_per_server[0] + result.bytes_per_server[1], config.total_bytes);
+  s1.stop();
+  s2.stop();
+}
+
+TEST(Downloader, RejectsZeroConfig) {
+  EXPECT_FALSE(mass_download(DownloadConfig{}, {}).ok);
+}
+
+TEST(Downloader, FasterServerCarriesMoreBytes) {
+  FileServerConfig fast_config;
+  fast_config.rate_bytes_per_sec = 2000.0 * 1024;
+  FileServerConfig slow_config;
+  slow_config.rate_bytes_per_sec = 200.0 * 1024;
+  FileServer fast(fast_config), slow(slow_config);
+  ASSERT_TRUE(fast.start());
+  ASSERT_TRUE(slow.start());
+
+  DownloadConfig config;
+  config.total_bytes = 600 * 1024;
+  config.block_bytes = 50 * 1024;
+  auto result = mass_download(config, connect_servers({&fast, &slow}));
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_GT(result.bytes_per_server[0], result.bytes_per_server[1]);
+  fast.stop();
+  slow.stop();
+}
+
+TEST(Downloader, ThroughputTracksShapedRate) {
+  // The Fig 5.3 property: achieved throughput ≈ rshaper setting.
+  FileServerConfig config;
+  config.rate_bytes_per_sec = 500.0 * 1024;  // 500 KB/s
+  FileServer server(config);
+  ASSERT_TRUE(server.start());
+
+  DownloadConfig download;
+  download.total_bytes = 400 * 1024;
+  download.block_bytes = 50 * 1024;
+  auto result = mass_download(download, connect_servers({&server}));
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_NEAR(result.throughput_kbps(), 500.0, 150.0);
+  server.stop();
+}
+
+TEST(Downloader, DeadServerFailsCleanly) {
+  auto listener = net::TcpListener::listen(net::Endpoint::loopback(0));
+  ASSERT_TRUE(listener);
+  auto socket = net::TcpSocket::connect(listener->local_endpoint(), 1s);
+  ASSERT_TRUE(socket);
+  auto accepted = listener->accept(1s);
+  ASSERT_TRUE(accepted);
+  accepted->close();
+
+  DownloadConfig config;
+  config.total_bytes = 1024;
+  config.block_bytes = 512;
+  config.io_timeout = 500ms;
+  std::vector<net::TcpSocket> sockets;
+  sockets.push_back(std::move(*socket));
+  auto result = mass_download(config, std::move(sockets));
+  EXPECT_FALSE(result.ok);
+}
+
+}  // namespace
+}  // namespace smartsock::apps

@@ -1,0 +1,344 @@
+// Distributed matrix multiplication tests: matrix ops, protocol, worker,
+// master self-scheduling, correctness against the serial baseline.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "apps/matmul/master.h"
+#include "apps/matmul/worker.h"
+
+namespace smartsock::apps {
+namespace {
+
+using namespace std::chrono_literals;
+
+// --- matrix basics --------------------------------------------------------------
+
+TEST(MatrixTest, IdentityMultiply) {
+  util::Rng rng(1);
+  Matrix a = Matrix::random(8, 8, rng);
+  Matrix c = multiply_serial(a, Matrix::identity(8));
+  EXPECT_LT(c.max_abs_diff(a), 1e-12);
+}
+
+TEST(MatrixTest, KnownProduct) {
+  Matrix a(2, 3);
+  Matrix b(3, 2);
+  // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12]
+  double av[] = {1, 2, 3, 4, 5, 6};
+  double bv[] = {7, 8, 9, 10, 11, 12};
+  std::copy(av, av + 6, a.data());
+  std::copy(bv, bv + 6, b.data());
+  Matrix c = multiply_serial(a, b);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 58);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 64);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 139);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 154);
+}
+
+TEST(MatrixTest, SlicesAndPlacement) {
+  util::Rng rng(2);
+  Matrix m = Matrix::random(6, 6, rng);
+  Matrix rows = m.row_slice(2, 4);
+  EXPECT_EQ(rows.rows(), 2u);
+  EXPECT_EQ(rows.cols(), 6u);
+  EXPECT_DOUBLE_EQ(rows.at(0, 3), m.at(2, 3));
+
+  Matrix cols = m.col_slice(1, 3);
+  EXPECT_EQ(cols.rows(), 6u);
+  EXPECT_EQ(cols.cols(), 2u);
+  EXPECT_DOUBLE_EQ(cols.at(5, 0), m.at(5, 1));
+
+  Matrix target(6, 6);
+  target.place_block(2, 1, cols.row_slice(0, 2));
+  EXPECT_DOUBLE_EQ(target.at(2, 1), cols.at(0, 0));
+}
+
+TEST(MatrixTest, MaxAbsDiffShapeMismatch) {
+  Matrix a(2, 2), b(3, 3);
+  EXPECT_TRUE(std::isinf(a.max_abs_diff(b)));
+}
+
+TEST(MatrixTest, FlopsFormula) {
+  EXPECT_DOUBLE_EQ(multiply_flops(10, 20, 30), 2.0 * 10 * 20 * 30);
+}
+
+// --- protocol -------------------------------------------------------------------
+
+TEST(Protocol, TaskRoundTripOverSocket) {
+  auto listener = net::TcpListener::listen(net::Endpoint::loopback(0));
+  ASSERT_TRUE(listener);
+  util::Rng rng(3);
+
+  TileTask task;
+  task.k = 5;
+  task.i0 = 0;
+  task.i1 = 2;
+  task.j0 = 1;
+  task.j1 = 4;
+  task.a_slice = Matrix::random(2, 5, rng);
+  task.b_slice = Matrix::random(5, 3, rng);
+
+  std::thread sender([&] {
+    auto conn = net::TcpSocket::connect(listener->local_endpoint(), 1s);
+    ASSERT_TRUE(conn);
+    ASSERT_TRUE(send_task(*conn, task));
+    ASSERT_TRUE(send_quit(*conn));
+  });
+
+  auto conn = listener->accept(1s);
+  ASSERT_TRUE(conn);
+  conn->set_receive_timeout(1s);
+  bool quit = false;
+  auto received = receive_task(*conn, quit);
+  ASSERT_TRUE(received);
+  EXPECT_FALSE(quit);
+  EXPECT_EQ(received->k, 5u);
+  EXPECT_LT(received->a_slice.max_abs_diff(task.a_slice), 1e-15);
+  EXPECT_LT(received->b_slice.max_abs_diff(task.b_slice), 1e-15);
+
+  auto second = receive_task(*conn, quit);
+  EXPECT_FALSE(second);
+  EXPECT_TRUE(quit);
+  sender.join();
+}
+
+TEST(Protocol, ResultRoundTrip) {
+  auto listener = net::TcpListener::listen(net::Endpoint::loopback(0));
+  ASSERT_TRUE(listener);
+  util::Rng rng(4);
+  TileResult result;
+  result.i0 = 2;
+  result.i1 = 4;
+  result.j0 = 0;
+  result.j1 = 3;
+  result.c_tile = Matrix::random(2, 3, rng);
+
+  std::thread sender([&] {
+    auto conn = net::TcpSocket::connect(listener->local_endpoint(), 1s);
+    ASSERT_TRUE(conn);
+    ASSERT_TRUE(send_result(*conn, result));
+  });
+  auto conn = listener->accept(1s);
+  ASSERT_TRUE(conn);
+  conn->set_receive_timeout(1s);
+  auto received = receive_result(*conn);
+  sender.join();
+  ASSERT_TRUE(received);
+  EXPECT_EQ(received->i0, 2u);
+  EXPECT_LT(received->c_tile.max_abs_diff(result.c_tile), 1e-15);
+}
+
+TEST(Protocol, RejectsCorruptHeader) {
+  auto listener = net::TcpListener::listen(net::Endpoint::loopback(0));
+  ASSERT_TRUE(listener);
+  std::thread sender([&] {
+    auto conn = net::TcpSocket::connect(listener->local_endpoint(), 1s);
+    ASSERT_TRUE(conn);
+    conn->send_all("MMT1 not numbers at all\n");
+  });
+  auto conn = listener->accept(1s);
+  ASSERT_TRUE(conn);
+  conn->set_receive_timeout(1s);
+  bool quit = false;
+  EXPECT_FALSE(receive_task(*conn, quit));
+  EXPECT_FALSE(quit);
+  sender.join();
+}
+
+// --- worker ---------------------------------------------------------------------
+
+TEST(Worker, ComputesCorrectTile) {
+  WorkerConfig config;
+  config.mode = ComputeMode::kReal;
+  MatmulWorker worker(config);
+  util::Rng rng(5);
+
+  TileTask task;
+  task.k = 16;
+  task.i0 = 0;
+  task.i1 = 4;
+  task.j0 = 0;
+  task.j1 = 4;
+  task.a_slice = Matrix::random(4, 16, rng);
+  task.b_slice = Matrix::random(16, 4, rng);
+
+  TileResult result = worker.compute(task);
+  Matrix expected = multiply_serial(task.a_slice, task.b_slice);
+  EXPECT_LT(result.c_tile.max_abs_diff(expected), 1e-12);
+}
+
+TEST(Worker, CostModelChargesTime) {
+  WorkerConfig config;
+  config.mode = ComputeMode::kCostModel;
+  config.mflops = 10.0;       // 10 MFLOP/s
+  config.time_scale = 0.05;   // 1 virtual second = 50 real ms
+  MatmulWorker worker(config);
+  util::Rng rng(6);
+
+  TileTask task;
+  task.k = 100;
+  task.i0 = 0;
+  task.i1 = 50;
+  task.j0 = 0;
+  task.j1 = 50;
+  task.a_slice = Matrix::random(50, 100, rng);
+  task.b_slice = Matrix::random(100, 50, rng);
+  // flops = 2*50*50*100 = 5e5 -> 0.05 virtual s -> 2.5 real ms... scale up:
+  config.flops_multiplier = 100.0;  // now 5 virtual s -> 250 real ms
+  MatmulWorker slow(config);
+
+  util::Stopwatch stopwatch(util::SteadyClock::instance());
+  slow.compute(task);
+  double elapsed = stopwatch.elapsed_seconds();
+  EXPECT_GT(elapsed, 0.2);
+  EXPECT_LT(elapsed, 1.0);
+}
+
+TEST(Worker, FasterMflopsFinishesSooner) {
+  util::Rng rng(7);
+  TileTask task;
+  task.k = 60;
+  task.i0 = 0;
+  task.i1 = 30;
+  task.j0 = 0;
+  task.j1 = 30;
+  task.a_slice = Matrix::random(30, 60, rng);
+  task.b_slice = Matrix::random(60, 30, rng);
+
+  auto time_with = [&](double mflops) {
+    WorkerConfig config;
+    config.mode = ComputeMode::kCostModel;
+    config.mflops = mflops;
+    config.time_scale = 0.5;
+    config.flops_multiplier = 50.0;
+    MatmulWorker worker(config);
+    util::Stopwatch stopwatch(util::SteadyClock::instance());
+    worker.compute(task);
+    return stopwatch.elapsed_seconds();
+  };
+  // virtual cost = 2*30*30*60*50 / (mflops*1e6)
+  double slow = time_with(30.0);
+  double fast = time_with(120.0);
+  EXPECT_GT(slow, fast * 2.0);
+}
+
+// --- master/worker end to end ------------------------------------------------------
+
+std::vector<net::TcpSocket> connect_workers(const std::vector<MatmulWorker*>& workers) {
+  std::vector<net::TcpSocket> sockets;
+  for (MatmulWorker* worker : workers) {
+    auto socket = net::TcpSocket::connect(worker->endpoint(), 1s);
+    EXPECT_TRUE(socket);
+    if (socket) sockets.push_back(std::move(*socket));
+  }
+  return sockets;
+}
+
+TEST(MasterWorker, DistributedMatchesSerial) {
+  WorkerConfig config;
+  config.mode = ComputeMode::kReal;
+  MatmulWorker w1(config), w2(config);
+  ASSERT_TRUE(w1.start());
+  ASSERT_TRUE(w2.start());
+
+  util::Rng rng(8);
+  Matrix a = Matrix::random(50, 50, rng);
+  Matrix b = Matrix::random(50, 50, rng);
+
+  MatmulMaster master(16);  // ragged tiles: 16,16,16,2
+  auto result = master.run(a, b, connect_workers({&w1, &w2}));
+  ASSERT_TRUE(result.ok) << result.error;
+
+  Matrix expected = multiply_serial(a, b);
+  EXPECT_LT(result.c.max_abs_diff(expected), 1e-10);
+  EXPECT_GT(result.elapsed_seconds, 0.0);
+  w1.stop();
+  w2.stop();
+}
+
+TEST(MasterWorker, SingleWorkerWholeMatrix) {
+  WorkerConfig config;
+  config.mode = ComputeMode::kReal;
+  MatmulWorker worker(config);
+  ASSERT_TRUE(worker.start());
+
+  util::Rng rng(9);
+  Matrix a = Matrix::random(30, 30, rng);
+  Matrix b = Matrix::random(30, 30, rng);
+  MatmulMaster master(30);  // one tile
+  auto result = master.run(a, b, connect_workers({&worker}));
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_LT(result.c.max_abs_diff(multiply_serial(a, b)), 1e-10);
+  EXPECT_EQ(result.tiles_per_worker[0], 1u);
+  worker.stop();
+}
+
+TEST(MasterWorker, SelfSchedulingFavorsFastWorker) {
+  // Per-tile costs must exceed the OS sleep granularity (~1 ms) for the
+  // speed ratio to show: slow ≈ 40 ms/tile, fast ≈ 4 ms/tile.
+  WorkerConfig fast_config;
+  fast_config.mode = ComputeMode::kCostModel;
+  fast_config.mflops = 500.0;
+  fast_config.time_scale = 0.5;
+  fast_config.flops_multiplier = 500.0;
+  WorkerConfig slow_config = fast_config;
+  slow_config.mflops = 50.0;  // 10x slower
+
+  MatmulWorker fast(fast_config), slow(slow_config);
+  ASSERT_TRUE(fast.start());
+  ASSERT_TRUE(slow.start());
+
+  util::Rng rng(10);
+  Matrix a = Matrix::random(64, 64, rng);
+  Matrix b = Matrix::random(64, 64, rng);
+  MatmulMaster master(8);  // 64 tiles
+  auto result = master.run(a, b, connect_workers({&fast, &slow}));
+  ASSERT_TRUE(result.ok) << result.error;
+  // Dynamic scheduling must give the fast worker clearly more tiles.
+  EXPECT_GT(result.tiles_per_worker[0], result.tiles_per_worker[1] * 2);
+  fast.stop();
+  slow.stop();
+}
+
+TEST(MasterWorker, ShapeMismatchRejected) {
+  MatmulMaster master(8);
+  util::Rng rng(11);
+  Matrix a = Matrix::random(4, 5, rng);
+  Matrix b = Matrix::random(6, 4, rng);
+  auto result = master.run(a, b, {});
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(MasterWorker, NoWorkersRejected) {
+  MatmulMaster master(8);
+  util::Rng rng(12);
+  Matrix a = Matrix::random(4, 4, rng);
+  Matrix b = Matrix::random(4, 4, rng);
+  auto result = master.run(a, b, {});
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.error, "no workers");
+}
+
+TEST(MasterWorker, DeadWorkerConnectionFailsCleanly) {
+  auto listener = net::TcpListener::listen(net::Endpoint::loopback(0));
+  ASSERT_TRUE(listener);
+  auto socket = net::TcpSocket::connect(listener->local_endpoint(), 1s);
+  ASSERT_TRUE(socket);
+  auto accepted = listener->accept(1s);
+  ASSERT_TRUE(accepted);
+  accepted->close();  // peer vanishes before serving anything
+
+  util::Rng rng(13);
+  Matrix a = Matrix::random(8, 8, rng);
+  Matrix b = Matrix::random(8, 8, rng);
+  MatmulMaster master(4);
+  std::vector<net::TcpSocket> sockets;
+  sockets.push_back(std::move(*socket));
+  auto result = master.run(a, b, std::move(sockets));
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.error.empty());
+}
+
+}  // namespace
+}  // namespace smartsock::apps

@@ -1,0 +1,238 @@
+// Unit tests for the socket substrate: endpoints, UDP, TCP, listener, poll.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/endpoint.h"
+#include "net/poller.h"
+#include "net/tcp_listener.h"
+#include "net/tcp_socket.h"
+#include "net/udp_socket.h"
+
+namespace smartsock::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+// --- endpoint ----------------------------------------------------------------
+
+TEST(EndpointTest, ParseValid) {
+  auto ep = Endpoint::parse("127.0.0.1:8080");
+  ASSERT_TRUE(ep);
+  EXPECT_EQ(ep->ip(), "127.0.0.1");
+  EXPECT_EQ(ep->port(), 8080);
+  EXPECT_EQ(ep->to_string(), "127.0.0.1:8080");
+}
+
+TEST(EndpointTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(Endpoint::parse("127.0.0.1"));        // no port
+  EXPECT_FALSE(Endpoint::parse("127.0.0.1:"));       // empty port
+  EXPECT_FALSE(Endpoint::parse(":80"));              // empty host
+  EXPECT_FALSE(Endpoint::parse("127.0.0.1:99999"));  // port overflow
+  EXPECT_FALSE(Endpoint::parse("hostname:80"));      // not dotted quad
+  EXPECT_FALSE(Endpoint::parse("300.0.0.1:80"));     // bad octet
+}
+
+TEST(EndpointTest, SockaddrRoundTrip) {
+  Endpoint ep("127.0.0.1", 1234);
+  sockaddr_in addr{};
+  ASSERT_TRUE(ep.to_sockaddr(addr));
+  Endpoint back = Endpoint::from_sockaddr(addr);
+  EXPECT_EQ(back, ep);
+}
+
+TEST(EndpointTest, Ordering) {
+  Endpoint a("127.0.0.1", 1);
+  Endpoint b("127.0.0.1", 2);
+  Endpoint c("127.0.0.2", 1);
+  EXPECT_LT(a, b);
+  EXPECT_LT(a, c);
+  EXPECT_NE(a, b);
+}
+
+// --- udp --------------------------------------------------------------------
+
+TEST(UdpTest, SendReceiveLoopback) {
+  auto server = UdpSocket::bind(Endpoint::loopback(0));
+  ASSERT_TRUE(server);
+  Endpoint server_ep = server->local_endpoint();
+  ASSERT_TRUE(server_ep.valid());
+  EXPECT_GT(server_ep.port(), 0);
+
+  auto client = UdpSocket::create();
+  ASSERT_TRUE(client);
+  ASSERT_TRUE(client->send_to("hello udp", server_ep).ok());
+
+  auto datagram = server->receive(500ms);
+  ASSERT_TRUE(datagram);
+  EXPECT_EQ(datagram->payload, "hello udp");
+  EXPECT_EQ(datagram->peer.ip(), "127.0.0.1");
+}
+
+TEST(UdpTest, ReceiveTimesOut) {
+  auto server = UdpSocket::bind(Endpoint::loopback(0));
+  ASSERT_TRUE(server);
+  auto datagram = server->receive(50ms);
+  EXPECT_FALSE(datagram);
+}
+
+TEST(UdpTest, ReplyToPeer) {
+  auto server = UdpSocket::bind(Endpoint::loopback(0));
+  auto client = UdpSocket::bind(Endpoint::loopback(0));
+  ASSERT_TRUE(server && client);
+  ASSERT_TRUE(client->send_to("ping", server->local_endpoint()).ok());
+  auto request = server->receive(500ms);
+  ASSERT_TRUE(request);
+  ASSERT_TRUE(server->send_to("pong", request->peer).ok());
+  auto reply = client->receive(500ms);
+  ASSERT_TRUE(reply);
+  EXPECT_EQ(reply->payload, "pong");
+}
+
+TEST(UdpTest, TrafficAccounting) {
+  util::TrafficCounter counter;
+  auto server = UdpSocket::bind(Endpoint::loopback(0));
+  auto client = UdpSocket::create();
+  ASSERT_TRUE(server && client);
+  client->set_traffic_counter(&counter);
+  client->send_to("12345", server->local_endpoint());
+  EXPECT_EQ(counter.bytes_sent(), 5u);
+  EXPECT_EQ(counter.messages_sent(), 1u);
+}
+
+// --- tcp -----------------------------------------------------------------------
+
+TEST(TcpTest, ConnectSendReceive) {
+  auto listener = TcpListener::listen(Endpoint::loopback(0));
+  ASSERT_TRUE(listener);
+  Endpoint ep = listener->local_endpoint();
+
+  std::thread server([&] {
+    auto conn = listener->accept(1s);
+    ASSERT_TRUE(conn);
+    std::string data;
+    ASSERT_TRUE(conn->receive_exact(data, 5).ok());
+    EXPECT_EQ(data, "hello");
+    ASSERT_TRUE(conn->send_all("world!").ok());
+  });
+
+  auto client = TcpSocket::connect(ep, 1s);
+  ASSERT_TRUE(client);
+  ASSERT_TRUE(client->send_all("hello").ok());
+  std::string reply;
+  ASSERT_TRUE(client->receive_exact(reply, 6).ok());
+  EXPECT_EQ(reply, "world!");
+  server.join();
+}
+
+TEST(TcpTest, ConnectRefusedFails) {
+  // Bind a listener then close it so the port is definitely refused.
+  auto listener = TcpListener::listen(Endpoint::loopback(0));
+  ASSERT_TRUE(listener);
+  Endpoint ep = listener->local_endpoint();
+  listener->close();
+  auto client = TcpSocket::connect(ep, 200ms);
+  EXPECT_FALSE(client);
+}
+
+TEST(TcpTest, ReceiveExactDetectsClose) {
+  auto listener = TcpListener::listen(Endpoint::loopback(0));
+  ASSERT_TRUE(listener);
+  std::thread server([&] {
+    auto conn = listener->accept(1s);
+    ASSERT_TRUE(conn);
+    conn->send_all("abc");
+    // close with fewer bytes than the client expects
+  });
+  auto client = TcpSocket::connect(listener->local_endpoint(), 1s);
+  ASSERT_TRUE(client);
+  std::string data;
+  auto result = client->receive_exact(data, 10);
+  EXPECT_EQ(result.status, IoStatus::kClosed);
+  EXPECT_EQ(data, "abc");
+  server.join();
+}
+
+TEST(TcpTest, LargeTransferLoopsPartialWrites) {
+  auto listener = TcpListener::listen(Endpoint::loopback(0));
+  ASSERT_TRUE(listener);
+  const std::size_t size = 8 * 1024 * 1024;
+  std::string blob(size, 'x');
+  for (std::size_t i = 0; i < size; i += 4096) blob[i] = static_cast<char>('a' + (i / 4096) % 26);
+
+  std::thread server([&] {
+    auto conn = listener->accept(1s);
+    ASSERT_TRUE(conn);
+    ASSERT_TRUE(conn->send_all(blob).ok());
+  });
+
+  auto client = TcpSocket::connect(listener->local_endpoint(), 1s);
+  ASSERT_TRUE(client);
+  client->set_receive_timeout(5s);
+  std::string received;
+  ASSERT_TRUE(client->receive_exact(received, size).ok());
+  EXPECT_EQ(received, blob);
+  server.join();
+}
+
+TEST(TcpTest, AcceptTimesOut) {
+  auto listener = TcpListener::listen(Endpoint::loopback(0));
+  ASSERT_TRUE(listener);
+  auto conn = listener->accept(50ms);
+  EXPECT_FALSE(conn);
+}
+
+TEST(TcpTest, PeerEndpoint) {
+  auto listener = TcpListener::listen(Endpoint::loopback(0));
+  ASSERT_TRUE(listener);
+  auto client = TcpSocket::connect(listener->local_endpoint(), 1s);
+  ASSERT_TRUE(client);
+  EXPECT_EQ(client->peer_endpoint().port(), listener->local_endpoint().port());
+}
+
+// --- move semantics -----------------------------------------------------------
+
+TEST(SocketTest, MoveTransfersOwnership) {
+  auto sock = UdpSocket::bind(Endpoint::loopback(0));
+  ASSERT_TRUE(sock);
+  int fd = sock->fd();
+  UdpSocket moved = std::move(*sock);
+  EXPECT_EQ(moved.fd(), fd);
+  EXPECT_FALSE(sock->valid());  // NOLINT(bugprone-use-after-move)
+}
+
+// --- poller ---------------------------------------------------------------------
+
+TEST(PollerTest, SignalsReadability) {
+  auto listener = TcpListener::listen(Endpoint::loopback(0));
+  ASSERT_TRUE(listener);
+  std::thread server([&] {
+    auto conn = listener->accept(1s);
+    ASSERT_TRUE(conn);
+    conn->send_all("x");
+    std::this_thread::sleep_for(100ms);
+  });
+  auto client = TcpSocket::connect(listener->local_endpoint(), 1s);
+  ASSERT_TRUE(client);
+
+  std::vector<PollEntry> entries(1);
+  entries[0].fd = client->fd();
+  entries[0].want_read = true;
+  int ready = poll_sockets(entries, 1s);
+  EXPECT_EQ(ready, 1);
+  EXPECT_TRUE(entries[0].readable);
+  server.join();
+}
+
+TEST(PollerTest, TimesOutWithNothingReady) {
+  auto a = UdpSocket::bind(Endpoint::loopback(0));
+  ASSERT_TRUE(a);
+  std::vector<PollEntry> entries(1);
+  entries[0].fd = a->fd();
+  entries[0].want_read = true;
+  EXPECT_EQ(poll_sockets(entries, 50ms), 0);
+  EXPECT_FALSE(entries[0].readable);
+}
+
+}  // namespace
+}  // namespace smartsock::net

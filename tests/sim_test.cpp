@@ -1,0 +1,299 @@
+// Simulation substrate tests: virtual clock, cross traffic, network path
+// (the Formula 3.6 model), simulated procfs and the testbed catalogue.
+#include <gtest/gtest.h>
+
+#include "probe/proc_reader.h"
+#include "sim/cross_traffic.h"
+#include "sim/network_path.h"
+#include "sim/sim_procfs.h"
+#include "sim/testbed.h"
+#include "sim/virtual_clock.h"
+
+namespace smartsock::sim {
+namespace {
+
+// --- virtual clock -----------------------------------------------------------
+
+TEST(VirtualClockTest, StartsAtZero) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.now().count(), 0);
+}
+
+TEST(VirtualClockTest, SleepAdvancesInstantly) {
+  VirtualClock clock;
+  util::Stopwatch real(util::SteadyClock::instance());
+  clock.sleep_for(std::chrono::seconds(100));
+  EXPECT_EQ(clock.now(), std::chrono::seconds(100));
+  EXPECT_LT(real.elapsed_seconds(), 0.5);  // no real sleeping
+}
+
+TEST(VirtualClockTest, AdvanceIgnoresNegative) {
+  VirtualClock clock;
+  clock.advance(std::chrono::seconds(-5));
+  EXPECT_EQ(clock.now().count(), 0);
+}
+
+// --- cross traffic ------------------------------------------------------------
+
+TEST(CrossTraffic, ZeroUtilizationZeroDelay) {
+  CrossTraffic cross(0.0, 100.0, 1500);
+  util::Rng rng(1);
+  EXPECT_DOUBLE_EQ(cross.queueing_delay_ms(5, rng), 0.0);
+  EXPECT_DOUBLE_EQ(cross.mean_delay_per_fragment_ms(), 0.0);
+}
+
+TEST(CrossTraffic, MeanGrowsWithUtilization) {
+  CrossTraffic low(0.1, 100.0, 1500);
+  CrossTraffic high(0.5, 100.0, 1500);
+  EXPECT_GT(high.mean_delay_per_fragment_ms(), low.mean_delay_per_fragment_ms());
+}
+
+TEST(CrossTraffic, DelayScalesWithFragments) {
+  CrossTraffic cross(0.3, 100.0, 1500);
+  util::Rng rng(2);
+  double one = 0, five = 0;
+  for (int i = 0; i < 2000; ++i) {
+    one += cross.queueing_delay_ms(1, rng);
+    five += cross.queueing_delay_ms(5, rng);
+  }
+  EXPECT_NEAR(five / one, 5.0, 0.5);
+}
+
+TEST(CrossTraffic, UtilizationClamped) {
+  CrossTraffic cross(1.5, 100.0, 1500);  // would divide by zero unclamped
+  EXPECT_LE(cross.utilization(), 0.99);
+  util::Rng rng(3);
+  EXPECT_TRUE(std::isfinite(cross.queueing_delay_ms(3, rng)));
+}
+
+// --- network path: fragmentation ------------------------------------------------
+
+TEST(NetworkPath, FragmentCounts) {
+  NetworkPath path(sagit_to_suna(1500));
+  EXPECT_EQ(path.fragments_for_payload(100), 1);    // 108 <= 1480
+  EXPECT_EQ(path.fragments_for_payload(1472), 1);   // exactly one fragment
+  EXPECT_EQ(path.fragments_for_payload(1473), 2);
+  EXPECT_EQ(path.fragments_for_payload(2900), 2);   // 2908 <= 2960
+  EXPECT_EQ(path.fragments_for_payload(2953), 3);
+  EXPECT_EQ(path.fragments_for_payload(6000), 5);
+}
+
+TEST(NetworkPath, FragmentCountsMtu500) {
+  NetworkPath path(sagit_to_suna(500));
+  EXPECT_EQ(path.fragments_for_payload(100), 1);
+  EXPECT_EQ(path.fragments_for_payload(472), 1);
+  EXPECT_EQ(path.fragments_for_payload(473), 2);
+}
+
+// --- network path: the MTU threshold (Figs 3.3-3.5) ----------------------------
+
+// Slope of the deterministic RTT curve over [s0, s1], in ms per byte.
+double slope(NetworkPath& path, int s0, int s1) {
+  return (path.deterministic_rtt_ms(s1) - path.deterministic_rtt_ms(s0)) /
+         static_cast<double>(s1 - s0);
+}
+
+TEST(NetworkPath, SlopeBreaksAtMtu1500) {
+  NetworkPath path(sagit_to_suna(1500));
+  double below = slope(path, 200, 1300);
+  double above = slope(path, 1600, 5800);
+  // Below MTU the slope includes 1/Speed_init; above it only 1/B.
+  EXPECT_GT(below, 2.5 * above);
+}
+
+TEST(NetworkPath, ThresholdFollowsMtu1000) {
+  NetworkPath path(sagit_to_suna(1000));
+  double below = slope(path, 100, 900);
+  double above = slope(path, 1100, 5800);
+  EXPECT_GT(below, 2.5 * above);
+}
+
+TEST(NetworkPath, ThresholdFollowsMtu500) {
+  NetworkPath path(sagit_to_suna(500));
+  double below = slope(path, 50, 400);
+  double above = slope(path, 600, 5800);
+  EXPECT_GT(below, 2.5 * above);
+}
+
+TEST(NetworkPath, LoopbackHasNoThreshold) {
+  // Observation 1: no init stage on loopback/virtual interfaces.
+  PathConfig config = sagit_to_suna(1500);
+  config.has_init_stage = false;
+  NetworkPath path(config);
+  double below = slope(path, 200, 1300);
+  double above = slope(path, 1600, 5800);
+  EXPECT_LT(below / above, 1.3);  // essentially one straight line
+}
+
+TEST(NetworkPath, SubMtuSlopeMatchesTheory) {
+  // Slope below MTU should be 8/B + 8/Speed_init (bits per byte over
+  // kbit/ms rates) within fragment-header wiggle.
+  PathConfig config = sagit_to_suna(1500);
+  NetworkPath path(config);
+  double expected_us_per_byte =
+      8.0 / (config.available_bw_mbps()) + 8.0 / config.init_speed_mbps;  // µs/byte
+  double measured_us_per_byte = slope(path, 200, 1300) * 1000.0;
+  EXPECT_NEAR(measured_us_per_byte, expected_us_per_byte, expected_us_per_byte * 0.1);
+}
+
+TEST(NetworkPath, RttMonotoneInSize) {
+  NetworkPath path(sagit_to_suna(1500));
+  double previous = 0.0;
+  for (int size = 100; size <= 6000; size += 100) {
+    double rtt = path.deterministic_rtt_ms(size);
+    EXPECT_GT(rtt, previous) << "at size " << size;
+    previous = rtt;
+  }
+}
+
+TEST(NetworkPath, ProbeRttAtLeastDeterministic) {
+  NetworkPath path(sagit_to_suna(1500));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_GE(path.probe_rtt_ms(1600), path.deterministic_rtt_ms(1600) - 1e-9);
+  }
+}
+
+TEST(NetworkPath, ReseedReplays) {
+  NetworkPath a(sagit_to_suna(1500));
+  NetworkPath b(sagit_to_suna(1500));
+  a.reseed(99);
+  b.reseed(99);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(a.probe_rtt_ms(2000), b.probe_rtt_ms(2000));
+  }
+}
+
+TEST(NetworkPath, BulkTransferTime) {
+  PathConfig config;
+  config.capacity_mbps = 8.0;  // 1 MB/s
+  config.utilization = 0.0;
+  config.base_rtt_ms = 0.0;
+  NetworkPath path(config);
+  EXPECT_NEAR(path.bulk_transfer_ms(1'000'000), 1000.0, 1.0);
+}
+
+// --- sim procfs -------------------------------------------------------------------
+
+TEST(SimProcFs, RendersParseableLoadavg) {
+  SimProcFs procfs("testhost", 1000.0, 256ull << 20);
+  HostActivity activity;
+  activity.offered_load = 2.0;
+  procfs.set_activity(activity);
+  for (int i = 0; i < 600; ++i) procfs.tick(1.0);
+
+  probe::ProcSample sample;
+  ASSERT_TRUE(probe::parse_loadavg(procfs.render_loadavg(), sample));
+  EXPECT_NEAR(sample.load1, 2.0, 0.05);
+  EXPECT_NEAR(sample.load5, 2.0, 0.3);
+}
+
+TEST(SimProcFs, LoadRelaxationRates) {
+  SimProcFs procfs("testhost", 1000.0, 256ull << 20);
+  HostActivity activity;
+  activity.offered_load = 1.0;
+  procfs.set_activity(activity);
+  procfs.tick(60.0);  // one minute at load 1
+  // load1 converges much faster than load15 (kernel time constants).
+  EXPECT_GT(procfs.load1(), 0.6);
+  EXPECT_LT(procfs.load15(), 0.1);
+}
+
+TEST(SimProcFs, CpuJiffiesMatchBusyFraction) {
+  SimProcFs procfs("testhost", 1000.0, 256ull << 20);
+  HostActivity activity;
+  activity.cpu_busy_fraction = 0.25;
+  procfs.set_activity(activity);
+  std::uint64_t user0 = procfs.cpu_user_jiffies();
+  std::uint64_t idle0 = procfs.cpu_idle_jiffies();
+  for (int i = 0; i < 100; ++i) procfs.tick(1.0);
+  double busy = static_cast<double>(procfs.cpu_user_jiffies() - user0);
+  double idle = static_cast<double>(procfs.cpu_idle_jiffies() - idle0);
+  // user gets busy*(1-system_share); idle gets the rest of the second.
+  EXPECT_NEAR(busy / (busy + idle), 0.25 * 0.9 / (0.25 * 0.9 + 0.75), 0.05);
+}
+
+TEST(SimProcFs, RendersParseableStatAndMeminfo) {
+  SimProcFs procfs("testhost", 2000.0, 512ull << 20);
+  procfs.tick(10.0);
+  probe::ProcSample sample;
+  ASSERT_TRUE(probe::parse_stat(procfs.render_stat(), sample));
+  ASSERT_TRUE(probe::parse_meminfo(procfs.render_meminfo(), sample));
+  EXPECT_EQ(sample.mem_total, 512ull << 20);
+  ASSERT_TRUE(probe::parse_netdev(procfs.render_netdev(), sample));
+  ASSERT_TRUE(probe::parse_cpuinfo(procfs.render_cpuinfo(), sample));
+  EXPECT_DOUBLE_EQ(sample.bogomips, 2000.0);
+}
+
+TEST(SimProcFs, CountersAreCumulative) {
+  SimProcFs procfs("testhost", 1000.0, 256ull << 20);
+  HostActivity activity;
+  activity.net_tx_bytesps = 1000.0;
+  activity.disk_read_reqps = 10.0;
+  procfs.set_activity(activity);
+
+  probe::ProcSample before, after;
+  procfs.tick(5.0);
+  ASSERT_TRUE(probe::parse_netdev(procfs.render_netdev(), before));
+  ASSERT_TRUE(probe::parse_stat(procfs.render_stat(), before));
+  procfs.tick(5.0);
+  ASSERT_TRUE(probe::parse_netdev(procfs.render_netdev(), after));
+  ASSERT_TRUE(probe::parse_stat(procfs.render_stat(), after));
+  EXPECT_NEAR(static_cast<double>(after.net_tbytes - before.net_tbytes), 5000.0, 100.0);
+  EXPECT_NEAR(static_cast<double>(after.disk_rreq - before.disk_rreq), 50.0, 5.0);
+}
+
+// --- testbed catalogue --------------------------------------------------------------
+
+TEST(Testbed, ElevenHosts) {
+  EXPECT_EQ(paper_hosts().size(), 11u);  // Table 5.1
+}
+
+TEST(Testbed, HostLookup) {
+  auto dalmatian = find_paper_host("dalmatian");
+  ASSERT_TRUE(dalmatian);
+  EXPECT_EQ(dalmatian->cpu_model, "P4 2.4GHz");
+  EXPECT_EQ(dalmatian->ram_mb, 512);
+  EXPECT_FALSE(find_paper_host("nonexistent"));
+}
+
+TEST(Testbed, Fig52SpeedRanking) {
+  // Fig 5.2: P4-2.4 and P3-866 machines beat the P4 1.6-1.8 GHz ones.
+  auto fast1 = find_paper_host("dalmatian");  // P4 2.4
+  auto fast2 = find_paper_host("sagit");      // P3 866
+  auto slow = find_paper_host("telesto");     // P4 1.6
+  ASSERT_TRUE(fast1 && fast2 && slow);
+  EXPECT_GT(fast1->matmul_mflops, slow->matmul_mflops);
+  EXPECT_GT(fast2->matmul_mflops, slow->matmul_mflops);
+  // ...even though bogomips says otherwise for the P3:
+  EXPECT_LT(fast2->bogomips, slow->bogomips);
+}
+
+TEST(Testbed, MassdGroups) {
+  EXPECT_EQ(massd_group(1), (std::vector<std::string>{"mimas", "telesto", "lhost"}));
+  EXPECT_EQ(massd_group(2), (std::vector<std::string>{"dione", "titan-x", "pandora-x"}));
+  EXPECT_TRUE(massd_group(0).empty());
+}
+
+TEST(Testbed, SamplePathsMatchTable32) {
+  const auto& paths = sample_paths();
+  ASSERT_EQ(paths.size(), 6u);
+  EXPECT_NEAR(paths[0].config.base_rtt_ms, 126.0, 1.0);   // a
+  EXPECT_NEAR(paths[1].config.base_rtt_ms, 238.0, 1.0);   // b
+  EXPECT_NEAR(paths[5].config.base_rtt_ms, 0.041, 0.01);  // f (loopback)
+  EXPECT_FALSE(paths[5].config.has_init_stage);            // observation 1
+  EXPECT_TRUE(paths[2].config.has_init_stage);
+}
+
+TEST(Testbed, SuperPiWorkloadFootprint) {
+  SimHost host(*find_paper_host("helene"));
+  std::uint64_t idle_mem = host.procfs().memory_used();
+  host.set_superpi_workload();
+  // Table 4.1: about 150 MB more memory; §5.3.1: load above 1.
+  EXPECT_NEAR(static_cast<double>(host.procfs().memory_used() - idle_mem),
+              150.0 * 1024 * 1024, 1024.0);
+  for (int i = 0; i < 300; ++i) host.procfs().tick(1.0);
+  EXPECT_GT(host.procfs().load1(), 1.0);
+}
+
+}  // namespace
+}  // namespace smartsock::sim

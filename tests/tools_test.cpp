@@ -1,0 +1,208 @@
+// Multi-process deployment test: spawns the real tool binaries — probe
+// (reading this machine's /proc), monitor, wizard — as separate processes,
+// exactly the thesis's deployment layout, and drives them with the client
+// library plus the smartsock-query CLI.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <limits.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "core/smart_client.h"
+#include "net/tcp_listener.h"
+#include "net/udp_socket.h"
+
+namespace smartsock {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::string tools_dir() {
+  char buf[PATH_MAX] = {};
+  ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  std::string exe(buf, n > 0 ? static_cast<std::size_t>(n) : 0);
+  std::size_t slash = exe.rfind('/');
+  return exe.substr(0, slash) + "/../tools";
+}
+
+/// Picks a currently free UDP port (small race window; fine for tests).
+std::uint16_t free_udp_port() {
+  auto sock = net::UdpSocket::bind(net::Endpoint::loopback(0));
+  EXPECT_TRUE(sock);
+  return sock->local_endpoint().port();
+}
+
+std::uint16_t free_tcp_port() {
+  auto listener = net::TcpListener::listen(net::Endpoint::loopback(0));
+  EXPECT_TRUE(listener);
+  return listener->local_endpoint().port();
+}
+
+class Child {
+ public:
+  Child() = default;
+  ~Child() { terminate(); }
+
+  bool spawn(const std::vector<std::string>& argv) {
+    std::vector<char*> raw;
+    for (const std::string& arg : argv) raw.push_back(const_cast<char*>(arg.c_str()));
+    raw.push_back(nullptr);
+    pid_ = ::fork();
+    if (pid_ == 0) {
+      // Quiet the child's stdout so test output stays readable.
+      std::freopen("/dev/null", "w", stdout);
+      ::execv(raw[0], raw.data());
+      std::perror("execv");
+      ::_exit(127);
+    }
+    return pid_ > 0;
+  }
+
+  void terminate() {
+    if (pid_ <= 0) return;
+    ::kill(pid_, SIGTERM);
+    int status = 0;
+    ::waitpid(pid_, &status, 0);
+    pid_ = -1;
+  }
+
+  bool running() const {
+    if (pid_ <= 0) return false;
+    return ::kill(pid_, 0) == 0;
+  }
+
+ private:
+  pid_t pid_ = -1;
+};
+
+class ToolsDeployment : public testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = tools_dir();
+    if (::access((dir_ + "/smartsock-monitor").c_str(), X_OK) != 0) {
+      GTEST_SKIP() << "tool binaries not found in " << dir_;
+    }
+
+    monitor_port_ = free_udp_port();
+    receiver_port_ = free_tcp_port();
+    wizard_port_ = free_udp_port();
+
+    security_log_ = testing::TempDir() + "/smartsock_tools_security.log";
+    {
+      std::ofstream out(security_log_);
+      out << "toolhost 3\n";
+    }
+
+    ASSERT_TRUE(wizard_.spawn(
+        {dir_ + "/smartsock-wizard", "--listen", loop(wizard_port_), "--receiver",
+         loop(receiver_port_)}));
+    ASSERT_TRUE(monitor_.spawn(
+        {dir_ + "/smartsock-monitor", "--listen", loop(monitor_port_), "--receiver",
+         loop(receiver_port_), "--security-log", security_log_, "--interval", "0.2"}));
+    ASSERT_TRUE(probe_.spawn(
+        {dir_ + "/smartsock-probe", "--monitor", loop(monitor_port_), "--host", "toolhost",
+         "--service", "127.0.0.1:65000", "--group", "toolgroup", "--interval", "0.2"}));
+  }
+
+  void TearDown() override {
+    probe_.terminate();
+    monitor_.terminate();
+    wizard_.terminate();
+    std::remove(security_log_.c_str());
+  }
+
+  static std::string loop(std::uint16_t port) {
+    return "127.0.0.1:" + std::to_string(port);
+  }
+
+  std::string dir_;
+  std::uint16_t monitor_port_ = 0, receiver_port_ = 0, wizard_port_ = 0;
+  std::string security_log_;
+  Child wizard_, monitor_, probe_;
+};
+
+TEST_F(ToolsDeployment, EndToEndAcrossProcesses) {
+  core::SmartClientConfig config;
+  config.wizard = net::Endpoint::loopback(wizard_port_);
+  config.reply_timeout = 300ms;
+  config.retries = 0;
+  config.seed = 11;
+  core::SmartClient client(config);
+
+  // The real /proc feeds the probe; loads on a build box can be anything, so
+  // the requirement only pins identity-grade facts.
+  core::WizardReply reply;
+  for (int attempt = 0; attempt < 40; ++attempt) {
+    reply = client.query("host_memory_total > 1\n", 1);
+    if (reply.ok && !reply.servers.empty()) break;
+    std::this_thread::sleep_for(100ms);
+  }
+  ASSERT_TRUE(reply.ok) << reply.error;
+  ASSERT_EQ(reply.servers.size(), 1u);
+  EXPECT_EQ(reply.servers[0].host, "toolhost");
+  EXPECT_EQ(reply.servers[0].address, "127.0.0.1:65000");
+
+  EXPECT_TRUE(wizard_.running());
+  EXPECT_TRUE(monitor_.running());
+  EXPECT_TRUE(probe_.running());
+}
+
+TEST_F(ToolsDeployment, SecurityLevelFromLogFile) {
+  core::SmartClientConfig config;
+  config.wizard = net::Endpoint::loopback(wizard_port_);
+  config.reply_timeout = 300ms;
+  config.retries = 0;
+  config.seed = 12;
+  core::SmartClient client(config);
+
+  core::WizardReply reply;
+  for (int attempt = 0; attempt < 40; ++attempt) {
+    reply = client.query("host_security_level >= 3\n", 1);
+    if (reply.ok && !reply.servers.empty()) break;
+    std::this_thread::sleep_for(100ms);
+  }
+  ASSERT_TRUE(reply.ok) << reply.error;
+  ASSERT_EQ(reply.servers.size(), 1u);
+
+  // And the inverse must reject it.
+  reply = client.query("host_security_level >= 9\n", 1);
+  ASSERT_TRUE(reply.ok);
+  EXPECT_TRUE(reply.servers.empty());
+}
+
+TEST_F(ToolsDeployment, QueryCliPrintsServers) {
+  // Give the pipeline time to converge first.
+  core::SmartClientConfig config;
+  config.wizard = net::Endpoint::loopback(wizard_port_);
+  config.reply_timeout = 300ms;
+  config.retries = 0;
+  config.seed = 13;
+  core::SmartClient client(config);
+  for (int attempt = 0; attempt < 40; ++attempt) {
+    auto reply = client.query("host_memory_total > 1\n", 1);
+    if (reply.ok && !reply.servers.empty()) break;
+    std::this_thread::sleep_for(100ms);
+  }
+
+  std::string command = "echo 'host_memory_total > 1' | " + dir_ +
+                        "/smartsock-query --wizard " + loop(wizard_port_) +
+                        " --servers 1 2>&1";
+  FILE* pipe = ::popen(command.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  char buf[256] = {};
+  std::string output;
+  while (std::fgets(buf, sizeof(buf), pipe)) output += buf;
+  int status = ::pclose(pipe);
+  EXPECT_EQ(status, 0) << output;
+  EXPECT_NE(output.find("toolhost"), std::string::npos) << output;
+}
+
+}  // namespace
+}  // namespace smartsock

@@ -1,0 +1,221 @@
+// Transport tests: frame codec, transmitter/receiver in both modes.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "ipc/in_memory_store.h"
+#include "transport/receiver.h"
+#include "transport/record_codec.h"
+#include "transport/transmitter.h"
+
+namespace smartsock::transport {
+namespace {
+
+using namespace std::chrono_literals;
+
+ipc::SysRecord make_sys(const std::string& host, double load) {
+  ipc::SysRecord record;
+  ipc::copy_fixed(record.host, ipc::kHostNameLen, host);
+  ipc::copy_fixed(record.address, ipc::kAddressLen, host + ":1");
+  record.load1 = load;
+  record.updated_ns = 1;
+  return record;
+}
+
+// --- codec ---------------------------------------------------------------------
+
+TEST(Codec, FrameRoundTripOverSocket) {
+  auto listener = net::TcpListener::listen(net::Endpoint::loopback(0));
+  ASSERT_TRUE(listener);
+
+  std::vector<ipc::SysRecord> records = {make_sys("a", 0.1), make_sys("b", 0.2)};
+  std::string frame = encode_frame(FrameType::kSysDb, encode_records(records));
+
+  std::thread sender([&] {
+    auto conn = net::TcpSocket::connect(listener->local_endpoint(), 1s);
+    ASSERT_TRUE(conn);
+    ASSERT_TRUE(conn->send_all(frame).ok());
+  });
+
+  auto conn = listener->accept(1s);
+  ASSERT_TRUE(conn);
+  conn->set_receive_timeout(1s);
+  auto received = read_frame(*conn);
+  sender.join();
+  ASSERT_TRUE(received);
+  EXPECT_EQ(received->type, FrameType::kSysDb);
+  auto decoded = decode_records<ipc::SysRecord>(received->payload);
+  ASSERT_TRUE(decoded);
+  ASSERT_EQ(decoded->size(), 2u);
+  EXPECT_EQ((*decoded)[0].host_str(), "a");
+  EXPECT_DOUBLE_EQ((*decoded)[1].load1, 0.2);
+}
+
+TEST(Codec, EmptyPayloadFrame) {
+  std::string frame = encode_frame(FrameType::kUpdateRequest, "");
+  EXPECT_EQ(frame.size(), 8u);
+}
+
+TEST(Codec, DecodeRejectsMisalignedPayload) {
+  std::string bad(sizeof(ipc::SysRecord) + 3, 'x');
+  EXPECT_FALSE(decode_records<ipc::SysRecord>(bad));
+}
+
+TEST(Codec, DecodeEmptyPayload) {
+  auto decoded = decode_records<ipc::NetRecord>("");
+  ASSERT_TRUE(decoded);
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(Codec, ReadFrameRejectsBadType) {
+  auto listener = net::TcpListener::listen(net::Endpoint::loopback(0));
+  ASSERT_TRUE(listener);
+  std::thread sender([&] {
+    auto conn = net::TcpSocket::connect(listener->local_endpoint(), 1s);
+    ASSERT_TRUE(conn);
+    std::string bogus(8, '\0');
+    bogus[3] = 99;  // type 99, big-endian
+    conn->send_all(bogus);
+  });
+  auto conn = listener->accept(1s);
+  ASSERT_TRUE(conn);
+  conn->set_receive_timeout(1s);
+  EXPECT_FALSE(read_frame(*conn));
+  sender.join();
+}
+
+// --- centralized push ---------------------------------------------------------
+
+TEST(Transport, CentralizedPushMirrorsDatabases) {
+  ipc::InMemoryStatusStore monitor_store;
+  ipc::InMemoryStatusStore wizard_store;
+  monitor_store.put_sys(make_sys("h1", 0.5));
+  ipc::NetRecord net;
+  ipc::copy_fixed(net.from_group, ipc::kGroupLen, "g1");
+  ipc::copy_fixed(net.to_group, ipc::kGroupLen, "g2");
+  net.bw_mbps = 33;
+  monitor_store.put_net(net);
+  ipc::SecRecord sec;
+  ipc::copy_fixed(sec.host, ipc::kHostNameLen, "h1");
+  sec.level = 4;
+  monitor_store.put_sec(sec);
+
+  Receiver receiver(ReceiverConfig{}, wizard_store);
+  ASSERT_TRUE(receiver.valid());
+
+  TransmitterConfig tx_config;
+  tx_config.mode = TransferMode::kCentralized;
+  tx_config.receiver = receiver.endpoint();
+  Transmitter transmitter(tx_config, monitor_store);
+
+  std::thread accepting([&] { EXPECT_TRUE(receiver.accept_once(2s)); });
+  EXPECT_TRUE(transmitter.transmit_once());
+  accepting.join();
+
+  ASSERT_EQ(wizard_store.sys_records().size(), 1u);
+  EXPECT_EQ(wizard_store.sys_records()[0].host_str(), "h1");
+  ASSERT_EQ(wizard_store.net_records().size(), 1u);
+  EXPECT_DOUBLE_EQ(wizard_store.net_records()[0].bw_mbps, 33.0);
+  ASSERT_EQ(wizard_store.sec_records().size(), 1u);
+  EXPECT_EQ(wizard_store.sec_records()[0].level, 4);
+}
+
+TEST(Transport, CentralizedReplaceRemovesGoneServers) {
+  ipc::InMemoryStatusStore monitor_store;
+  ipc::InMemoryStatusStore wizard_store;
+  wizard_store.put_sys(make_sys("stale", 0.1));  // pre-existing mirror state
+
+  Receiver receiver(ReceiverConfig{}, wizard_store);
+  TransmitterConfig tx_config;
+  tx_config.receiver = receiver.endpoint();
+  Transmitter transmitter(tx_config, monitor_store);
+
+  monitor_store.put_sys(make_sys("only", 0.7));
+  std::thread accepting([&] { EXPECT_TRUE(receiver.accept_once(2s)); });
+  EXPECT_TRUE(transmitter.transmit_once());
+  accepting.join();
+
+  auto records = wizard_store.sys_records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].host_str(), "only");  // mirror, not merge
+}
+
+TEST(Transport, CentralizedBackgroundLoop) {
+  ipc::InMemoryStatusStore monitor_store;
+  ipc::InMemoryStatusStore wizard_store;
+  monitor_store.put_sys(make_sys("bg", 0.2));
+
+  Receiver receiver(ReceiverConfig{}, wizard_store);
+  ASSERT_TRUE(receiver.start());
+
+  TransmitterConfig tx_config;
+  tx_config.receiver = receiver.endpoint();
+  tx_config.interval = 30ms;
+  Transmitter transmitter(tx_config, monitor_store);
+  ASSERT_TRUE(transmitter.start());
+
+  for (int i = 0; i < 100 && wizard_store.sys_records().empty(); ++i) {
+    std::this_thread::sleep_for(10ms);
+  }
+  transmitter.stop();
+  receiver.stop();
+  EXPECT_FALSE(wizard_store.sys_records().empty());
+  EXPECT_GE(receiver.snapshots_received(), 1u);
+}
+
+// --- distributed pull -----------------------------------------------------------
+
+TEST(Transport, DistributedPullOnDemand) {
+  ipc::InMemoryStatusStore monitor_store;
+  ipc::InMemoryStatusStore wizard_store;
+  monitor_store.put_sys(make_sys("pull", 0.8));
+
+  TransmitterConfig tx_config;
+  tx_config.mode = TransferMode::kDistributed;
+  Transmitter transmitter(tx_config, monitor_store);
+  ASSERT_TRUE(transmitter.start());  // passive listener
+
+  Receiver receiver(ReceiverConfig{}, wizard_store);
+  EXPECT_TRUE(receiver.pull_from(transmitter.endpoint()));
+  transmitter.stop();
+
+  ASSERT_EQ(wizard_store.sys_records().size(), 1u);
+  EXPECT_EQ(wizard_store.sys_records()[0].host_str(), "pull");
+}
+
+TEST(Transport, DistributedPullSeesLatestState) {
+  ipc::InMemoryStatusStore monitor_store;
+  ipc::InMemoryStatusStore wizard_store;
+
+  TransmitterConfig tx_config;
+  tx_config.mode = TransferMode::kDistributed;
+  Transmitter transmitter(tx_config, monitor_store);
+  ASSERT_TRUE(transmitter.start());
+  Receiver receiver(ReceiverConfig{}, wizard_store);
+
+  monitor_store.put_sys(make_sys("v1", 0.1));
+  ASSERT_TRUE(receiver.pull_from(transmitter.endpoint()));
+  EXPECT_EQ(wizard_store.sys_records()[0].host_str(), "v1");
+
+  monitor_store.clear();
+  monitor_store.put_sys(make_sys("v2", 0.2));
+  ASSERT_TRUE(receiver.pull_from(transmitter.endpoint()));
+  auto records = wizard_store.sys_records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].host_str(), "v2");
+  transmitter.stop();
+}
+
+TEST(Transport, PullFromDeadTransmitterFails) {
+  ipc::InMemoryStatusStore wizard_store;
+  Receiver receiver(ReceiverConfig{}, wizard_store);
+  // Grab a port that is definitely closed.
+  auto listener = net::TcpListener::listen(net::Endpoint::loopback(0));
+  ASSERT_TRUE(listener);
+  net::Endpoint dead = listener->local_endpoint();
+  listener->close();
+  EXPECT_FALSE(receiver.pull_from(dead));
+}
+
+}  // namespace
+}  // namespace smartsock::transport

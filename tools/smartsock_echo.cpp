@@ -1,0 +1,51 @@
+// smartsock_echo — UDP echo responder for network-monitor probing.
+//
+// The thesis's one-way probe measures the ICMP port-unreachable bounce; on
+// cooperative servers an explicit echo responder provides the same timing
+// without raw sockets. Run one per server group and point the monitor's
+// --target at it.
+//
+//   smartsock_echo --listen 0.0.0.0:7777
+#include <csignal>
+#include <cstdio>
+
+#include "net/udp_socket.h"
+#include "util/args.h"
+
+using namespace smartsock;
+
+namespace {
+volatile std::sig_atomic_t g_stop = 0;
+void handle_signal(int) { g_stop = 1; }
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Args args(argc, argv, {"listen", "help"});
+  if (!args.ok() || args.has("help")) {
+    std::fprintf(stderr, "usage: smartsock_echo --listen ip:port\n");
+    return args.has("help") ? 0 : 2;
+  }
+  auto listen = net::Endpoint::parse(args.get_or("listen", "127.0.0.1:7777"));
+  if (!listen) {
+    std::fprintf(stderr, "bad --listen endpoint\n");
+    return 2;
+  }
+  auto socket = net::UdpSocket::bind(*listen);
+  if (!socket) {
+    std::fprintf(stderr, "cannot bind %s\n", listen->to_string().c_str());
+    return 1;
+  }
+  std::printf("echo responder on %s\n", socket->local_endpoint().to_string().c_str());
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  std::uint64_t echoed = 0;
+  while (!g_stop) {
+    auto datagram = socket->receive(std::chrono::milliseconds(200));
+    if (!datagram) continue;
+    socket->send_to(datagram->payload, datagram->peer);
+    ++echoed;
+  }
+  std::printf("echoed %llu datagrams\n", static_cast<unsigned long long>(echoed));
+  return 0;
+}

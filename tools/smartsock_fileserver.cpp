@@ -1,0 +1,57 @@
+// smartsock_fileserver — massd file server with built-in shaping (§5.3.2).
+//
+// Serves the synthetic file over TCP; --rate applies the token-bucket
+// shaper (the rshaper substitute), changeable only by restart — like
+// re-running rshaper.
+//
+//   smartsock-fileserver --listen 0.0.0.0:5001 --rate-kbps 860
+#include <csignal>
+#include <cstdio>
+
+#include "apps/massd/file_server.h"
+#include "util/args.h"
+
+using namespace smartsock;
+
+namespace {
+volatile std::sig_atomic_t g_stop = 0;
+void handle_signal(int) { g_stop = 1; }
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Args args(argc, argv, {"listen", "rate-kbps", "help"});
+  if (!args.ok() || args.has("help")) {
+    std::fprintf(stderr,
+                 "usage: smartsock-fileserver --listen ip:port [--rate-kbps N]\n"
+                 "rate 0 (default) serves unshaped\n");
+    return args.has("help") ? 0 : 2;
+  }
+  auto listen = net::Endpoint::parse(args.get_or("listen", "127.0.0.1:5001"));
+  if (!listen) {
+    std::fprintf(stderr, "bad --listen endpoint\n");
+    return 2;
+  }
+
+  apps::FileServerConfig config;
+  config.bind = *listen;
+  config.rate_bytes_per_sec = args.get_double_or("rate-kbps", 0.0) * 1024.0;
+  apps::FileServer server(config);
+  if (!server.valid() || !server.start()) {
+    std::fprintf(stderr, "cannot bind %s\n", listen->to_string().c_str());
+    return 1;
+  }
+  std::printf("file server on %s", server.endpoint().to_string().c_str());
+  if (config.rate_bytes_per_sec > 0) {
+    std::printf(" shaped to %.0f KB/s", config.rate_bytes_per_sec / 1024.0);
+  }
+  std::printf("\n");
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  while (!g_stop) {
+    util::SteadyClock::instance().sleep_for(std::chrono::milliseconds(200));
+  }
+  server.stop();
+  std::printf("served %llu bytes\n", static_cast<unsigned long long>(server.bytes_served()));
+  return 0;
+}

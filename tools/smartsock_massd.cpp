@@ -1,0 +1,109 @@
+// smartsock_massd — the massive-download client (§5.3.2), smart-socket
+// edition: asks the wizard for the best file servers and downloads from
+// them in parallel, or takes an explicit server list for baselines.
+//
+//   smartsock-massd --wizard 10.0.0.9:1120 --servers 3 --data-kb 50000
+//                   --blk-kb 100 requirement.req
+//   smartsock-massd --direct 10.0.0.7:5001,10.0.0.8:5001 --data-kb 50000
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "apps/massd/downloader.h"
+#include "core/smart_client.h"
+#include "lang/requirement.h"
+#include "util/args.h"
+#include "util/strings.h"
+
+using namespace smartsock;
+
+int main(int argc, char** argv) {
+  util::Args args(argc, argv,
+                  {"wizard", "servers", "data-kb", "blk-kb", "direct", "help"});
+  if (!args.ok() || args.has("help") || (!args.has("wizard") && !args.has("direct"))) {
+    std::fprintf(stderr,
+                 "usage: smartsock-massd --wizard ip:port [--servers N] [requirement-file]\n"
+                 "       smartsock-massd --direct ip:port,ip:port,...\n"
+                 "       common: [--data-kb N] [--blk-kb N]\n");
+    return args.has("help") ? 0 : 2;
+  }
+
+  std::vector<net::TcpSocket> connections;
+  std::vector<std::string> names;
+
+  if (args.has("direct")) {
+    for (std::string_view spec : util::split(args.get_or("direct", ""), ',')) {
+      auto endpoint = net::Endpoint::parse(spec);
+      if (!endpoint) {
+        std::fprintf(stderr, "bad server '%.*s'\n", (int)spec.size(), spec.data());
+        return 2;
+      }
+      auto socket = net::TcpSocket::connect(*endpoint, std::chrono::seconds(2));
+      if (!socket) {
+        std::fprintf(stderr, "cannot connect %s\n", endpoint->to_string().c_str());
+        return 1;
+      }
+      connections.push_back(std::move(*socket));
+      names.push_back(endpoint->to_string());
+    }
+  } else {
+    auto wizard = net::Endpoint::parse(args.get_or("wizard", ""));
+    if (!wizard) {
+      std::fprintf(stderr, "bad --wizard endpoint\n");
+      return 2;
+    }
+    std::string requirement;
+    if (!args.positional().empty()) {
+      std::string error;
+      auto compiled = lang::Requirement::load_file(args.positional()[0], &error);
+      if (!compiled) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 1;
+      }
+      requirement = compiled->source();
+    } else {
+      std::ostringstream buffer;
+      buffer << std::cin.rdbuf();
+      requirement = buffer.str();
+    }
+
+    core::SmartClientConfig config;
+    config.wizard = *wizard;
+    core::SmartClient client(config);
+    auto result = client.smart_connect(
+        requirement, static_cast<std::size_t>(args.get_int_or("servers", 2)));
+    if (!result.ok) {
+      std::fprintf(stderr, "smart_connect failed: %s\n", result.error.c_str());
+      return 1;
+    }
+    for (core::SmartSocket& smart_socket : result.sockets) {
+      names.push_back(smart_socket.server.host);
+      connections.push_back(std::move(smart_socket.socket));
+    }
+  }
+
+  apps::DownloadConfig download;
+  download.total_bytes = static_cast<std::uint64_t>(args.get_int_or("data-kb", 50000)) * 1024;
+  download.block_bytes = static_cast<std::uint64_t>(args.get_int_or("blk-kb", 100)) * 1024;
+
+  std::printf("downloading %llu KB in %llu KB blocks from %zu servers:",
+              static_cast<unsigned long long>(download.total_bytes / 1024),
+              static_cast<unsigned long long>(download.block_bytes / 1024),
+              connections.size());
+  for (const std::string& name : names) std::printf(" %s", name.c_str());
+  std::printf("\n");
+
+  auto result = apps::mass_download(download, std::move(connections));
+  if (!result.ok) {
+    std::fprintf(stderr, "download failed: %s\n", result.error.c_str());
+    return 1;
+  }
+  std::printf("done in %.2f s — aggregate %.1f KB/s, avg per server %.1f KB/s\n",
+              result.elapsed_seconds, result.throughput_kbps(),
+              result.throughput_kbps() / static_cast<double>(names.size()));
+  for (std::size_t i = 0; i < result.bytes_per_server.size(); ++i) {
+    std::printf("  %-20s %llu KB\n", names[i].c_str(),
+                static_cast<unsigned long long>(result.bytes_per_server[i] / 1024));
+  }
+  return 0;
+}

@@ -1,0 +1,122 @@
+// smartsock_matmul — distributed matrix multiplication over smart sockets
+// (§5.3.1, Appendix C): worker mode runs the compute service on a server;
+// master mode selects workers through the wizard and runs the multiply.
+//
+//   # on each compute server
+//   smartsock-matmul --worker --listen 0.0.0.0:5002
+//   # on the client
+//   smartsock-matmul --wizard 10.0.0.9:1120 --servers 2 --n 1500 --block 600
+//                    requirement.req
+#include <csignal>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "apps/matmul/master.h"
+#include "apps/matmul/worker.h"
+#include "core/smart_client.h"
+#include "lang/requirement.h"
+#include "util/args.h"
+
+using namespace smartsock;
+
+namespace {
+volatile std::sig_atomic_t g_stop = 0;
+void handle_signal(int) { g_stop = 1; }
+
+int run_worker(const util::Args& args) {
+  auto listen = net::Endpoint::parse(args.get_or("listen", "127.0.0.1:5002"));
+  if (!listen) {
+    std::fprintf(stderr, "bad --listen endpoint\n");
+    return 2;
+  }
+  apps::WorkerConfig config;
+  config.bind = *listen;
+  config.mode = apps::ComputeMode::kReal;
+  apps::MatmulWorker worker(config);
+  if (!worker.valid() || !worker.start()) {
+    std::fprintf(stderr, "cannot bind %s\n", listen->to_string().c_str());
+    return 1;
+  }
+  std::printf("matmul worker on %s\n", worker.endpoint().to_string().c_str());
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  while (!g_stop) {
+    util::SteadyClock::instance().sleep_for(std::chrono::milliseconds(200));
+  }
+  worker.stop();
+  std::printf("completed %llu tasks\n",
+              static_cast<unsigned long long>(worker.tasks_completed()));
+  return 0;
+}
+
+int run_master(const util::Args& args) {
+  auto wizard = net::Endpoint::parse(args.get_or("wizard", ""));
+  if (!wizard) {
+    std::fprintf(stderr, "master mode requires --wizard ip:port\n");
+    return 2;
+  }
+  std::string requirement;
+  if (!args.positional().empty()) {
+    std::string error;
+    auto compiled = lang::Requirement::load_file(args.positional()[0], &error);
+    if (!compiled) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    requirement = compiled->source();
+  } else {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    requirement = buffer.str();
+  }
+
+  core::SmartClientConfig config;
+  config.wizard = *wizard;
+  core::SmartClient client(config);
+  auto connection = client.smart_connect(
+      requirement, static_cast<std::size_t>(args.get_int_or("servers", 2)));
+  if (!connection.ok) {
+    std::fprintf(stderr, "smart_connect failed: %s\n", connection.error.c_str());
+    return 1;
+  }
+
+  std::size_t n = static_cast<std::size_t>(args.get_int_or("n", 1500));
+  std::size_t block = static_cast<std::size_t>(args.get_int_or("block", 200));
+  std::printf("multiplying %zux%zu (block %zu) on:", n, n, block);
+  std::vector<net::TcpSocket> workers;
+  for (core::SmartSocket& smart_socket : connection.sockets) {
+    std::printf(" %s", smart_socket.server.host.c_str());
+    workers.push_back(std::move(smart_socket.socket));
+  }
+  std::printf("\n");
+
+  util::Rng rng(42);
+  apps::Matrix a = apps::Matrix::random(n, n, rng);
+  apps::Matrix b = apps::Matrix::random(n, n, rng);
+  apps::MatmulMaster master(block);
+  auto result = master.run(a, b, std::move(workers));
+  if (!result.ok) {
+    std::fprintf(stderr, "run failed: %s\n", result.error.c_str());
+    return 1;
+  }
+  std::printf("done in %.2f s; tiles per worker:", result.elapsed_seconds);
+  for (std::size_t tiles : result.tiles_per_worker) std::printf(" %zu", tiles);
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Args args(argc, argv,
+                  {"worker", "listen", "wizard", "servers", "n", "block", "help"});
+  if (!args.ok() || args.has("help")) {
+    std::fprintf(stderr,
+                 "usage: smartsock-matmul --worker --listen ip:port\n"
+                 "       smartsock-matmul --wizard ip:port [--servers N] [--n N] "
+                 "[--block N] [requirement-file]\n");
+    return args.has("help") ? 0 : 2;
+  }
+  return args.has("worker") ? run_worker(args) : run_master(args);
+}

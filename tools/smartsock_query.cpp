@@ -1,0 +1,80 @@
+// smartsock_query — command-line client (§3.6.2).
+//
+// Sends a requirement file to the wizard and prints the selected servers;
+// with --connect it also opens the TCP connections (then closes them),
+// proving end-to-end reachability.
+//
+//   smartsock_query --wizard 10.0.0.9:1120 --servers 3 requirement.req
+//   echo 'host_cpu_free > 0.9' | smartsock_query --wizard 10.0.0.9:1120
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "core/smart_client.h"
+#include "lang/requirement.h"
+#include "util/args.h"
+
+using namespace smartsock;
+
+int main(int argc, char** argv) {
+  util::Args args(argc, argv, {"wizard", "servers", "strict", "connect", "help"});
+  if (!args.ok() || args.has("help") || !args.has("wizard")) {
+    std::fprintf(stderr,
+                 "usage: smartsock_query --wizard ip:port [--servers N] [--strict] "
+                 "[--connect] [requirement-file]\n"
+                 "reads the requirement from the file or stdin\n");
+    return args.has("help") ? 0 : 2;
+  }
+  auto wizard = net::Endpoint::parse(args.get_or("wizard", ""));
+  if (!wizard) {
+    std::fprintf(stderr, "bad --wizard endpoint\n");
+    return 2;
+  }
+
+  std::string requirement;
+  if (!args.positional().empty()) {
+    std::string error;
+    auto compiled = lang::Requirement::load_file(args.positional()[0], &error);
+    if (!compiled) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    requirement = compiled->source();
+  } else {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    requirement = buffer.str();
+  }
+
+  core::SmartClientConfig config;
+  config.wizard = *wizard;
+  core::SmartClient client(config);
+
+  std::size_t count = static_cast<std::size_t>(args.get_int_or("servers", 3));
+  core::RequestOption option =
+      args.has("strict") ? core::RequestOption::kStrict : core::RequestOption::kBestEffort;
+
+  if (args.has("connect")) {
+    auto result = client.smart_connect(requirement, count, option);
+    if (!result.ok) {
+      std::fprintf(stderr, "smart_connect failed: %s\n", result.error.c_str());
+      return 1;
+    }
+    for (const core::SmartSocket& smart_socket : result.sockets) {
+      std::printf("%-16s %s connected\n", smart_socket.server.host.c_str(),
+                  smart_socket.server.address.c_str());
+    }
+    return 0;
+  }
+
+  core::WizardReply reply = client.query(requirement, count, option);
+  if (!reply.ok) {
+    std::fprintf(stderr, "wizard error: %s\n", reply.error.c_str());
+    return 1;
+  }
+  for (const core::ServerEntry& server : reply.servers) {
+    std::printf("%-16s %s\n", server.host.c_str(), server.address.c_str());
+  }
+  if (reply.servers.empty()) std::printf("(no servers qualified)\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// smartsock_wizard — the wizard-machine daemon (§3.5.2-3.6.1).
+//
+// Hosts the receiver (mirroring the monitor machine's databases) and the
+// wizard (answering user requests over UDP). In distributed mode the
+// receiver pulls from each --transmitter on demand.
+//
+//   smartsock_wizard --listen 0.0.0.0:1120 --receiver 0.0.0.0:1121
+//   smartsock_wizard --listen 0.0.0.0:1120 --mode distributed \
+//                    --transmitter 10.0.0.2:1110,10.0.5.2:1110
+#include <csignal>
+#include <cstdio>
+
+#include "core/wizard.h"
+#include "ipc/in_memory_store.h"
+#include "ipc/sysv_store.h"
+#include "util/args.h"
+#include "util/strings.h"
+
+using namespace smartsock;
+
+namespace {
+volatile std::sig_atomic_t g_stop = 0;
+void handle_signal(int) { g_stop = 1; }
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Args args(argc, argv,
+                  {"listen", "receiver", "mode", "transmitter", "local-group", "sysv",
+                   "help"});
+  if (!args.ok() || args.has("help")) {
+    std::fprintf(stderr,
+                 "usage: smartsock_wizard --listen ip:port [--receiver ip:port] "
+                 "[--mode centralized|distributed] [--transmitter ip:port,...] "
+                 "[--local-group name] [--sysv]\n");
+    return args.has("help") ? 0 : 2;
+  }
+
+  std::unique_ptr<ipc::StatusStore> store;
+  if (args.has("sysv")) {
+    store = ipc::SysVStatusStore::create(ipc::SysVKeys::wizard_machine());
+    if (!store) {
+      std::fprintf(stderr, "SysV IPC unavailable; falling back to in-memory store\n");
+    }
+  }
+  if (!store) store = std::make_unique<ipc::InMemoryStatusStore>();
+
+  transport::ReceiverConfig rx_config;
+  rx_config.bind = net::Endpoint::parse(args.get_or("receiver", "127.0.0.1:1121"))
+                       .value_or(net::Endpoint::loopback(1121));
+  transport::Receiver receiver(rx_config, *store);
+  if (!receiver.valid()) {
+    std::fprintf(stderr, "cannot bind receiver\n");
+    return 1;
+  }
+
+  core::WizardConfig wizard_config;
+  auto listen = net::Endpoint::parse(args.get_or("listen", "127.0.0.1:1120"));
+  if (!listen) {
+    std::fprintf(stderr, "bad --listen endpoint\n");
+    return 2;
+  }
+  wizard_config.bind = *listen;
+  wizard_config.local_group = args.get_or("local-group", "local");
+  std::string mode = args.get_or("mode", "centralized");
+  wizard_config.mode = mode == "distributed" ? transport::TransferMode::kDistributed
+                                             : transport::TransferMode::kCentralized;
+
+  core::Wizard wizard(wizard_config, *store, &receiver);
+  if (!wizard.valid()) {
+    std::fprintf(stderr, "cannot bind wizard to %s\n", listen->to_string().c_str());
+    return 1;
+  }
+
+  if (wizard_config.mode == transport::TransferMode::kCentralized) {
+    receiver.start();
+    std::printf("receiver accepting pushes on %s\n",
+                receiver.endpoint().to_string().c_str());
+  } else {
+    for (std::string_view spec : util::split(args.get_or("transmitter", ""), ',')) {
+      auto endpoint = net::Endpoint::parse(spec);
+      if (endpoint) {
+        wizard.add_transmitter(*endpoint);
+        std::printf("will pull from transmitter %s\n", endpoint->to_string().c_str());
+      }
+    }
+  }
+  wizard.start();
+  std::printf("wizard serving on %s (%s mode)\n", wizard.endpoint().to_string().c_str(),
+              mode.c_str());
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  while (!g_stop) {
+    util::SteadyClock::instance().sleep_for(std::chrono::milliseconds(200));
+  }
+  wizard.stop();
+  receiver.stop();
+  std::printf("wizard stopped after %llu requests\n",
+              static_cast<unsigned long long>(wizard.requests_served()));
+  return 0;
+}

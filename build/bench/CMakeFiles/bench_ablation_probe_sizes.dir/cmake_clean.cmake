@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_probe_sizes.dir/ablation_probe_sizes.cpp.o"
+  "CMakeFiles/bench_ablation_probe_sizes.dir/ablation_probe_sizes.cpp.o.d"
+  "bench_ablation_probe_sizes"
+  "bench_ablation_probe_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_probe_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_scalability.dir/ablation_scalability.cpp.o"
+  "CMakeFiles/bench_ablation_scalability.dir/ablation_scalability.cpp.o.d"
+  "bench_ablation_scalability"
+  "bench_ablation_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_4_rtt_mtu1000.dir/fig3_rtt_curves.cpp.o"
+  "CMakeFiles/bench_fig3_4_rtt_mtu1000.dir/fig3_rtt_curves.cpp.o.d"
+  "bench_fig3_4_rtt_mtu1000"
+  "bench_fig3_4_rtt_mtu1000.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_4_rtt_mtu1000.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

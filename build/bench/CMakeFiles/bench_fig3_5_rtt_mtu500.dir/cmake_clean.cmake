@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_5_rtt_mtu500.dir/fig3_rtt_curves.cpp.o"
+  "CMakeFiles/bench_fig3_5_rtt_mtu500.dir/fig3_rtt_curves.cpp.o.d"
+  "bench_fig3_5_rtt_mtu500"
+  "bench_fig3_5_rtt_mtu500.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_5_rtt_mtu500.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_language.dir/micro_language.cpp.o"
+  "CMakeFiles/bench_micro_language.dir/micro_language.cpp.o.d"
+  "bench_micro_language"
+  "bench_micro_language.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_language.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab3_3_bw_packet_sizes.dir/tab3_3_bw_packet_sizes.cpp.o"
+  "CMakeFiles/bench_tab3_3_bw_packet_sizes.dir/tab3_3_bw_packet_sizes.cpp.o.d"
+  "bench_tab3_3_bw_packet_sizes"
+  "bench_tab3_3_bw_packet_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab3_3_bw_packet_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_tab5_3_matmul_2v2.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab5_4_matmul_4v4.dir/tab5_matmul.cpp.o"
+  "CMakeFiles/bench_tab5_4_matmul_4v4.dir/tab5_matmul.cpp.o.d"
+  "bench_tab5_4_matmul_4v4"
+  "bench_tab5_4_matmul_4v4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab5_4_matmul_4v4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

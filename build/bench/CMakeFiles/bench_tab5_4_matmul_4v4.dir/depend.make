@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tab5_4_matmul_4v4.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_tab5_5_matmul_6v6.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab5_6_matmul_loaded.dir/tab5_matmul.cpp.o"
+  "CMakeFiles/bench_tab5_6_matmul_loaded.dir/tab5_matmul.cpp.o.d"
+  "bench_tab5_6_matmul_loaded"
+  "bench_tab5_6_matmul_loaded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab5_6_matmul_loaded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

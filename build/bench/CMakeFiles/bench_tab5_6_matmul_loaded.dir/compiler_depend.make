@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_tab5_6_matmul_loaded.
+# This may be replaced when dependencies are built.

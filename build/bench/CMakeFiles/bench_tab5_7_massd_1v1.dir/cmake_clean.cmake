@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab5_7_massd_1v1.dir/tab5_massd.cpp.o"
+  "CMakeFiles/bench_tab5_7_massd_1v1.dir/tab5_massd.cpp.o.d"
+  "bench_tab5_7_massd_1v1"
+  "bench_tab5_7_massd_1v1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab5_7_massd_1v1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

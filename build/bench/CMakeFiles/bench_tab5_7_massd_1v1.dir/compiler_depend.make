@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_tab5_7_massd_1v1.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab5_8_massd_2v2.dir/tab5_massd.cpp.o"
+  "CMakeFiles/bench_tab5_8_massd_2v2.dir/tab5_massd.cpp.o.d"
+  "bench_tab5_8_massd_2v2"
+  "bench_tab5_8_massd_2v2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab5_8_massd_2v2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

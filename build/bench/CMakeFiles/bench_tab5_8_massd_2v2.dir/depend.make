@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tab5_8_massd_2v2.
+# This may be replaced when dependencies are built.

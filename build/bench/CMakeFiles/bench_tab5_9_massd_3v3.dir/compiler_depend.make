@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_tab5_9_massd_3v3.
+# This may be replaced when dependencies are built.

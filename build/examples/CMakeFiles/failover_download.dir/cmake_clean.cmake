@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failover_download.dir/failover_download.cpp.o"
+  "CMakeFiles/failover_download.dir/failover_download.cpp.o.d"
+  "failover_download"
+  "failover_download.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failover_download.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

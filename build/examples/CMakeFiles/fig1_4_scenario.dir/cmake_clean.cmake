@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_4_scenario.dir/fig1_4_scenario.cpp.o"
+  "CMakeFiles/fig1_4_scenario.dir/fig1_4_scenario.cpp.o.d"
+  "fig1_4_scenario"
+  "fig1_4_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_4_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

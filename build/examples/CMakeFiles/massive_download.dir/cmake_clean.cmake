@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/massive_download.dir/massive_download.cpp.o"
+  "CMakeFiles/massive_download.dir/massive_download.cpp.o.d"
+  "massive_download"
+  "massive_download.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/massive_download.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/requirement_repl.dir/requirement_repl.cpp.o"
+  "CMakeFiles/requirement_repl.dir/requirement_repl.cpp.o.d"
+  "requirement_repl"
+  "requirement_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/requirement_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/massd/downloader.cpp" "src/CMakeFiles/smartsock_apps.dir/apps/massd/downloader.cpp.o" "gcc" "src/CMakeFiles/smartsock_apps.dir/apps/massd/downloader.cpp.o.d"
+  "/root/repo/src/apps/massd/file_server.cpp" "src/CMakeFiles/smartsock_apps.dir/apps/massd/file_server.cpp.o" "gcc" "src/CMakeFiles/smartsock_apps.dir/apps/massd/file_server.cpp.o.d"
+  "/root/repo/src/apps/massd/shaper.cpp" "src/CMakeFiles/smartsock_apps.dir/apps/massd/shaper.cpp.o" "gcc" "src/CMakeFiles/smartsock_apps.dir/apps/massd/shaper.cpp.o.d"
+  "/root/repo/src/apps/matmul/master.cpp" "src/CMakeFiles/smartsock_apps.dir/apps/matmul/master.cpp.o" "gcc" "src/CMakeFiles/smartsock_apps.dir/apps/matmul/master.cpp.o.d"
+  "/root/repo/src/apps/matmul/matrix.cpp" "src/CMakeFiles/smartsock_apps.dir/apps/matmul/matrix.cpp.o" "gcc" "src/CMakeFiles/smartsock_apps.dir/apps/matmul/matrix.cpp.o.d"
+  "/root/repo/src/apps/matmul/protocol.cpp" "src/CMakeFiles/smartsock_apps.dir/apps/matmul/protocol.cpp.o" "gcc" "src/CMakeFiles/smartsock_apps.dir/apps/matmul/protocol.cpp.o.d"
+  "/root/repo/src/apps/matmul/serial.cpp" "src/CMakeFiles/smartsock_apps.dir/apps/matmul/serial.cpp.o" "gcc" "src/CMakeFiles/smartsock_apps.dir/apps/matmul/serial.cpp.o.d"
+  "/root/repo/src/apps/matmul/worker.cpp" "src/CMakeFiles/smartsock_apps.dir/apps/matmul/worker.cpp.o" "gcc" "src/CMakeFiles/smartsock_apps.dir/apps/matmul/worker.cpp.o.d"
+  "/root/repo/src/apps/workload/workload_generator.cpp" "src/CMakeFiles/smartsock_apps.dir/apps/workload/workload_generator.cpp.o" "gcc" "src/CMakeFiles/smartsock_apps.dir/apps/workload/workload_generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/smartsock_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smartsock_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smartsock_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smartsock_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smartsock_probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smartsock_bwest.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smartsock_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smartsock_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smartsock_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smartsock_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartsock_apps.dir/apps/massd/downloader.cpp.o"
+  "CMakeFiles/smartsock_apps.dir/apps/massd/downloader.cpp.o.d"
+  "CMakeFiles/smartsock_apps.dir/apps/massd/file_server.cpp.o"
+  "CMakeFiles/smartsock_apps.dir/apps/massd/file_server.cpp.o.d"
+  "CMakeFiles/smartsock_apps.dir/apps/massd/shaper.cpp.o"
+  "CMakeFiles/smartsock_apps.dir/apps/massd/shaper.cpp.o.d"
+  "CMakeFiles/smartsock_apps.dir/apps/matmul/master.cpp.o"
+  "CMakeFiles/smartsock_apps.dir/apps/matmul/master.cpp.o.d"
+  "CMakeFiles/smartsock_apps.dir/apps/matmul/matrix.cpp.o"
+  "CMakeFiles/smartsock_apps.dir/apps/matmul/matrix.cpp.o.d"
+  "CMakeFiles/smartsock_apps.dir/apps/matmul/protocol.cpp.o"
+  "CMakeFiles/smartsock_apps.dir/apps/matmul/protocol.cpp.o.d"
+  "CMakeFiles/smartsock_apps.dir/apps/matmul/serial.cpp.o"
+  "CMakeFiles/smartsock_apps.dir/apps/matmul/serial.cpp.o.d"
+  "CMakeFiles/smartsock_apps.dir/apps/matmul/worker.cpp.o"
+  "CMakeFiles/smartsock_apps.dir/apps/matmul/worker.cpp.o.d"
+  "CMakeFiles/smartsock_apps.dir/apps/workload/workload_generator.cpp.o"
+  "CMakeFiles/smartsock_apps.dir/apps/workload/workload_generator.cpp.o.d"
+  "libsmartsock_apps.a"
+  "libsmartsock_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartsock_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

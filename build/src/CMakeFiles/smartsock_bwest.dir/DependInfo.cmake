@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bwest/estimate.cpp" "src/CMakeFiles/smartsock_bwest.dir/bwest/estimate.cpp.o" "gcc" "src/CMakeFiles/smartsock_bwest.dir/bwest/estimate.cpp.o.d"
+  "/root/repo/src/bwest/one_way_udp_stream.cpp" "src/CMakeFiles/smartsock_bwest.dir/bwest/one_way_udp_stream.cpp.o" "gcc" "src/CMakeFiles/smartsock_bwest.dir/bwest/one_way_udp_stream.cpp.o.d"
+  "/root/repo/src/bwest/packet_pair.cpp" "src/CMakeFiles/smartsock_bwest.dir/bwest/packet_pair.cpp.o" "gcc" "src/CMakeFiles/smartsock_bwest.dir/bwest/packet_pair.cpp.o.d"
+  "/root/repo/src/bwest/slops.cpp" "src/CMakeFiles/smartsock_bwest.dir/bwest/slops.cpp.o" "gcc" "src/CMakeFiles/smartsock_bwest.dir/bwest/slops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/smartsock_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smartsock_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smartsock_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartsock_bwest.dir/bwest/estimate.cpp.o"
+  "CMakeFiles/smartsock_bwest.dir/bwest/estimate.cpp.o.d"
+  "CMakeFiles/smartsock_bwest.dir/bwest/one_way_udp_stream.cpp.o"
+  "CMakeFiles/smartsock_bwest.dir/bwest/one_way_udp_stream.cpp.o.d"
+  "CMakeFiles/smartsock_bwest.dir/bwest/packet_pair.cpp.o"
+  "CMakeFiles/smartsock_bwest.dir/bwest/packet_pair.cpp.o.d"
+  "CMakeFiles/smartsock_bwest.dir/bwest/slops.cpp.o"
+  "CMakeFiles/smartsock_bwest.dir/bwest/slops.cpp.o.d"
+  "libsmartsock_bwest.a"
+  "libsmartsock_bwest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartsock_bwest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartsock_core.dir/core/server_matcher.cpp.o"
+  "CMakeFiles/smartsock_core.dir/core/server_matcher.cpp.o.d"
+  "CMakeFiles/smartsock_core.dir/core/smart_client.cpp.o"
+  "CMakeFiles/smartsock_core.dir/core/smart_client.cpp.o.d"
+  "CMakeFiles/smartsock_core.dir/core/wire.cpp.o"
+  "CMakeFiles/smartsock_core.dir/core/wire.cpp.o.d"
+  "CMakeFiles/smartsock_core.dir/core/wizard.cpp.o"
+  "CMakeFiles/smartsock_core.dir/core/wizard.cpp.o.d"
+  "libsmartsock_core.a"
+  "libsmartsock_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartsock_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartsock_harness.dir/harness/cluster_harness.cpp.o"
+  "CMakeFiles/smartsock_harness.dir/harness/cluster_harness.cpp.o.d"
+  "CMakeFiles/smartsock_harness.dir/harness/experiment.cpp.o"
+  "CMakeFiles/smartsock_harness.dir/harness/experiment.cpp.o.d"
+  "CMakeFiles/smartsock_harness.dir/harness/selection.cpp.o"
+  "CMakeFiles/smartsock_harness.dir/harness/selection.cpp.o.d"
+  "libsmartsock_harness.a"
+  "libsmartsock_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartsock_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ipc/in_memory_store.cpp" "src/CMakeFiles/smartsock_ipc.dir/ipc/in_memory_store.cpp.o" "gcc" "src/CMakeFiles/smartsock_ipc.dir/ipc/in_memory_store.cpp.o.d"
+  "/root/repo/src/ipc/status_record.cpp" "src/CMakeFiles/smartsock_ipc.dir/ipc/status_record.cpp.o" "gcc" "src/CMakeFiles/smartsock_ipc.dir/ipc/status_record.cpp.o.d"
+  "/root/repo/src/ipc/status_store.cpp" "src/CMakeFiles/smartsock_ipc.dir/ipc/status_store.cpp.o" "gcc" "src/CMakeFiles/smartsock_ipc.dir/ipc/status_store.cpp.o.d"
+  "/root/repo/src/ipc/sysv_store.cpp" "src/CMakeFiles/smartsock_ipc.dir/ipc/sysv_store.cpp.o" "gcc" "src/CMakeFiles/smartsock_ipc.dir/ipc/sysv_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/smartsock_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

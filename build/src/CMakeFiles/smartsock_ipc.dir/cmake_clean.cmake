@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartsock_ipc.dir/ipc/in_memory_store.cpp.o"
+  "CMakeFiles/smartsock_ipc.dir/ipc/in_memory_store.cpp.o.d"
+  "CMakeFiles/smartsock_ipc.dir/ipc/status_record.cpp.o"
+  "CMakeFiles/smartsock_ipc.dir/ipc/status_record.cpp.o.d"
+  "CMakeFiles/smartsock_ipc.dir/ipc/status_store.cpp.o"
+  "CMakeFiles/smartsock_ipc.dir/ipc/status_store.cpp.o.d"
+  "CMakeFiles/smartsock_ipc.dir/ipc/sysv_store.cpp.o"
+  "CMakeFiles/smartsock_ipc.dir/ipc/sysv_store.cpp.o.d"
+  "libsmartsock_ipc.a"
+  "libsmartsock_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartsock_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

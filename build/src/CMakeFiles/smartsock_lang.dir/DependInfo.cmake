@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lang/ast.cpp" "src/CMakeFiles/smartsock_lang.dir/lang/ast.cpp.o" "gcc" "src/CMakeFiles/smartsock_lang.dir/lang/ast.cpp.o.d"
+  "/root/repo/src/lang/builtins.cpp" "src/CMakeFiles/smartsock_lang.dir/lang/builtins.cpp.o" "gcc" "src/CMakeFiles/smartsock_lang.dir/lang/builtins.cpp.o.d"
+  "/root/repo/src/lang/evaluator.cpp" "src/CMakeFiles/smartsock_lang.dir/lang/evaluator.cpp.o" "gcc" "src/CMakeFiles/smartsock_lang.dir/lang/evaluator.cpp.o.d"
+  "/root/repo/src/lang/lexer.cpp" "src/CMakeFiles/smartsock_lang.dir/lang/lexer.cpp.o" "gcc" "src/CMakeFiles/smartsock_lang.dir/lang/lexer.cpp.o.d"
+  "/root/repo/src/lang/parser.cpp" "src/CMakeFiles/smartsock_lang.dir/lang/parser.cpp.o" "gcc" "src/CMakeFiles/smartsock_lang.dir/lang/parser.cpp.o.d"
+  "/root/repo/src/lang/requirement.cpp" "src/CMakeFiles/smartsock_lang.dir/lang/requirement.cpp.o" "gcc" "src/CMakeFiles/smartsock_lang.dir/lang/requirement.cpp.o.d"
+  "/root/repo/src/lang/symtab.cpp" "src/CMakeFiles/smartsock_lang.dir/lang/symtab.cpp.o" "gcc" "src/CMakeFiles/smartsock_lang.dir/lang/symtab.cpp.o.d"
+  "/root/repo/src/lang/token.cpp" "src/CMakeFiles/smartsock_lang.dir/lang/token.cpp.o" "gcc" "src/CMakeFiles/smartsock_lang.dir/lang/token.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/smartsock_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

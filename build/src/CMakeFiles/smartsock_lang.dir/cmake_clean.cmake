@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartsock_lang.dir/lang/ast.cpp.o"
+  "CMakeFiles/smartsock_lang.dir/lang/ast.cpp.o.d"
+  "CMakeFiles/smartsock_lang.dir/lang/builtins.cpp.o"
+  "CMakeFiles/smartsock_lang.dir/lang/builtins.cpp.o.d"
+  "CMakeFiles/smartsock_lang.dir/lang/evaluator.cpp.o"
+  "CMakeFiles/smartsock_lang.dir/lang/evaluator.cpp.o.d"
+  "CMakeFiles/smartsock_lang.dir/lang/lexer.cpp.o"
+  "CMakeFiles/smartsock_lang.dir/lang/lexer.cpp.o.d"
+  "CMakeFiles/smartsock_lang.dir/lang/parser.cpp.o"
+  "CMakeFiles/smartsock_lang.dir/lang/parser.cpp.o.d"
+  "CMakeFiles/smartsock_lang.dir/lang/requirement.cpp.o"
+  "CMakeFiles/smartsock_lang.dir/lang/requirement.cpp.o.d"
+  "CMakeFiles/smartsock_lang.dir/lang/symtab.cpp.o"
+  "CMakeFiles/smartsock_lang.dir/lang/symtab.cpp.o.d"
+  "CMakeFiles/smartsock_lang.dir/lang/token.cpp.o"
+  "CMakeFiles/smartsock_lang.dir/lang/token.cpp.o.d"
+  "libsmartsock_lang.a"
+  "libsmartsock_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartsock_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

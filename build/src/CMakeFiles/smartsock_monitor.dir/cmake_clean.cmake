@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartsock_monitor.dir/monitor/network_monitor.cpp.o"
+  "CMakeFiles/smartsock_monitor.dir/monitor/network_monitor.cpp.o.d"
+  "CMakeFiles/smartsock_monitor.dir/monitor/security_monitor.cpp.o"
+  "CMakeFiles/smartsock_monitor.dir/monitor/security_monitor.cpp.o.d"
+  "CMakeFiles/smartsock_monitor.dir/monitor/system_monitor.cpp.o"
+  "CMakeFiles/smartsock_monitor.dir/monitor/system_monitor.cpp.o.d"
+  "libsmartsock_monitor.a"
+  "libsmartsock_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartsock_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

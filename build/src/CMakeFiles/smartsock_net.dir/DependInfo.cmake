@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/endpoint.cpp" "src/CMakeFiles/smartsock_net.dir/net/endpoint.cpp.o" "gcc" "src/CMakeFiles/smartsock_net.dir/net/endpoint.cpp.o.d"
+  "/root/repo/src/net/poller.cpp" "src/CMakeFiles/smartsock_net.dir/net/poller.cpp.o" "gcc" "src/CMakeFiles/smartsock_net.dir/net/poller.cpp.o.d"
+  "/root/repo/src/net/socket.cpp" "src/CMakeFiles/smartsock_net.dir/net/socket.cpp.o" "gcc" "src/CMakeFiles/smartsock_net.dir/net/socket.cpp.o.d"
+  "/root/repo/src/net/tcp_listener.cpp" "src/CMakeFiles/smartsock_net.dir/net/tcp_listener.cpp.o" "gcc" "src/CMakeFiles/smartsock_net.dir/net/tcp_listener.cpp.o.d"
+  "/root/repo/src/net/tcp_socket.cpp" "src/CMakeFiles/smartsock_net.dir/net/tcp_socket.cpp.o" "gcc" "src/CMakeFiles/smartsock_net.dir/net/tcp_socket.cpp.o.d"
+  "/root/repo/src/net/udp_socket.cpp" "src/CMakeFiles/smartsock_net.dir/net/udp_socket.cpp.o" "gcc" "src/CMakeFiles/smartsock_net.dir/net/udp_socket.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/smartsock_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartsock_net.dir/net/endpoint.cpp.o"
+  "CMakeFiles/smartsock_net.dir/net/endpoint.cpp.o.d"
+  "CMakeFiles/smartsock_net.dir/net/poller.cpp.o"
+  "CMakeFiles/smartsock_net.dir/net/poller.cpp.o.d"
+  "CMakeFiles/smartsock_net.dir/net/socket.cpp.o"
+  "CMakeFiles/smartsock_net.dir/net/socket.cpp.o.d"
+  "CMakeFiles/smartsock_net.dir/net/tcp_listener.cpp.o"
+  "CMakeFiles/smartsock_net.dir/net/tcp_listener.cpp.o.d"
+  "CMakeFiles/smartsock_net.dir/net/tcp_socket.cpp.o"
+  "CMakeFiles/smartsock_net.dir/net/tcp_socket.cpp.o.d"
+  "CMakeFiles/smartsock_net.dir/net/udp_socket.cpp.o"
+  "CMakeFiles/smartsock_net.dir/net/udp_socket.cpp.o.d"
+  "libsmartsock_net.a"
+  "libsmartsock_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartsock_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsmartsock_net.a"
+)

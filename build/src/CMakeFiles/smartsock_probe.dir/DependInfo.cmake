@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/probe/proc_reader.cpp" "src/CMakeFiles/smartsock_probe.dir/probe/proc_reader.cpp.o" "gcc" "src/CMakeFiles/smartsock_probe.dir/probe/proc_reader.cpp.o.d"
+  "/root/repo/src/probe/server_probe.cpp" "src/CMakeFiles/smartsock_probe.dir/probe/server_probe.cpp.o" "gcc" "src/CMakeFiles/smartsock_probe.dir/probe/server_probe.cpp.o.d"
+  "/root/repo/src/probe/sim_proc_reader.cpp" "src/CMakeFiles/smartsock_probe.dir/probe/sim_proc_reader.cpp.o" "gcc" "src/CMakeFiles/smartsock_probe.dir/probe/sim_proc_reader.cpp.o.d"
+  "/root/repo/src/probe/status_report.cpp" "src/CMakeFiles/smartsock_probe.dir/probe/status_report.cpp.o" "gcc" "src/CMakeFiles/smartsock_probe.dir/probe/status_report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/smartsock_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smartsock_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smartsock_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

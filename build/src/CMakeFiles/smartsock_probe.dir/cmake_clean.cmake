@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartsock_probe.dir/probe/proc_reader.cpp.o"
+  "CMakeFiles/smartsock_probe.dir/probe/proc_reader.cpp.o.d"
+  "CMakeFiles/smartsock_probe.dir/probe/server_probe.cpp.o"
+  "CMakeFiles/smartsock_probe.dir/probe/server_probe.cpp.o.d"
+  "CMakeFiles/smartsock_probe.dir/probe/sim_proc_reader.cpp.o"
+  "CMakeFiles/smartsock_probe.dir/probe/sim_proc_reader.cpp.o.d"
+  "CMakeFiles/smartsock_probe.dir/probe/status_report.cpp.o"
+  "CMakeFiles/smartsock_probe.dir/probe/status_report.cpp.o.d"
+  "libsmartsock_probe.a"
+  "libsmartsock_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartsock_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cross_traffic.cpp" "src/CMakeFiles/smartsock_sim.dir/sim/cross_traffic.cpp.o" "gcc" "src/CMakeFiles/smartsock_sim.dir/sim/cross_traffic.cpp.o.d"
+  "/root/repo/src/sim/network_path.cpp" "src/CMakeFiles/smartsock_sim.dir/sim/network_path.cpp.o" "gcc" "src/CMakeFiles/smartsock_sim.dir/sim/network_path.cpp.o.d"
+  "/root/repo/src/sim/sim_procfs.cpp" "src/CMakeFiles/smartsock_sim.dir/sim/sim_procfs.cpp.o" "gcc" "src/CMakeFiles/smartsock_sim.dir/sim/sim_procfs.cpp.o.d"
+  "/root/repo/src/sim/testbed.cpp" "src/CMakeFiles/smartsock_sim.dir/sim/testbed.cpp.o" "gcc" "src/CMakeFiles/smartsock_sim.dir/sim/testbed.cpp.o.d"
+  "/root/repo/src/sim/virtual_clock.cpp" "src/CMakeFiles/smartsock_sim.dir/sim/virtual_clock.cpp.o" "gcc" "src/CMakeFiles/smartsock_sim.dir/sim/virtual_clock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/smartsock_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartsock_sim.dir/sim/cross_traffic.cpp.o"
+  "CMakeFiles/smartsock_sim.dir/sim/cross_traffic.cpp.o.d"
+  "CMakeFiles/smartsock_sim.dir/sim/network_path.cpp.o"
+  "CMakeFiles/smartsock_sim.dir/sim/network_path.cpp.o.d"
+  "CMakeFiles/smartsock_sim.dir/sim/sim_procfs.cpp.o"
+  "CMakeFiles/smartsock_sim.dir/sim/sim_procfs.cpp.o.d"
+  "CMakeFiles/smartsock_sim.dir/sim/testbed.cpp.o"
+  "CMakeFiles/smartsock_sim.dir/sim/testbed.cpp.o.d"
+  "CMakeFiles/smartsock_sim.dir/sim/virtual_clock.cpp.o"
+  "CMakeFiles/smartsock_sim.dir/sim/virtual_clock.cpp.o.d"
+  "libsmartsock_sim.a"
+  "libsmartsock_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartsock_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/receiver.cpp" "src/CMakeFiles/smartsock_transport.dir/transport/receiver.cpp.o" "gcc" "src/CMakeFiles/smartsock_transport.dir/transport/receiver.cpp.o.d"
+  "/root/repo/src/transport/record_codec.cpp" "src/CMakeFiles/smartsock_transport.dir/transport/record_codec.cpp.o" "gcc" "src/CMakeFiles/smartsock_transport.dir/transport/record_codec.cpp.o.d"
+  "/root/repo/src/transport/transmitter.cpp" "src/CMakeFiles/smartsock_transport.dir/transport/transmitter.cpp.o" "gcc" "src/CMakeFiles/smartsock_transport.dir/transport/transmitter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/smartsock_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smartsock_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smartsock_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

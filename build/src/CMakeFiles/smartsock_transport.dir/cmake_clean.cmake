@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartsock_transport.dir/transport/receiver.cpp.o"
+  "CMakeFiles/smartsock_transport.dir/transport/receiver.cpp.o.d"
+  "CMakeFiles/smartsock_transport.dir/transport/record_codec.cpp.o"
+  "CMakeFiles/smartsock_transport.dir/transport/record_codec.cpp.o.d"
+  "CMakeFiles/smartsock_transport.dir/transport/transmitter.cpp.o"
+  "CMakeFiles/smartsock_transport.dir/transport/transmitter.cpp.o.d"
+  "libsmartsock_transport.a"
+  "libsmartsock_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartsock_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/args.cpp" "src/CMakeFiles/smartsock_util.dir/util/args.cpp.o" "gcc" "src/CMakeFiles/smartsock_util.dir/util/args.cpp.o.d"
+  "/root/repo/src/util/clock.cpp" "src/CMakeFiles/smartsock_util.dir/util/clock.cpp.o" "gcc" "src/CMakeFiles/smartsock_util.dir/util/clock.cpp.o.d"
+  "/root/repo/src/util/config.cpp" "src/CMakeFiles/smartsock_util.dir/util/config.cpp.o" "gcc" "src/CMakeFiles/smartsock_util.dir/util/config.cpp.o.d"
+  "/root/repo/src/util/counters.cpp" "src/CMakeFiles/smartsock_util.dir/util/counters.cpp.o" "gcc" "src/CMakeFiles/smartsock_util.dir/util/counters.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/smartsock_util.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/smartsock_util.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/smartsock_util.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/smartsock_util.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "src/CMakeFiles/smartsock_util.dir/util/strings.cpp.o" "gcc" "src/CMakeFiles/smartsock_util.dir/util/strings.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartsock_util.dir/util/args.cpp.o"
+  "CMakeFiles/smartsock_util.dir/util/args.cpp.o.d"
+  "CMakeFiles/smartsock_util.dir/util/clock.cpp.o"
+  "CMakeFiles/smartsock_util.dir/util/clock.cpp.o.d"
+  "CMakeFiles/smartsock_util.dir/util/config.cpp.o"
+  "CMakeFiles/smartsock_util.dir/util/config.cpp.o.d"
+  "CMakeFiles/smartsock_util.dir/util/counters.cpp.o"
+  "CMakeFiles/smartsock_util.dir/util/counters.cpp.o.d"
+  "CMakeFiles/smartsock_util.dir/util/logging.cpp.o"
+  "CMakeFiles/smartsock_util.dir/util/logging.cpp.o.d"
+  "CMakeFiles/smartsock_util.dir/util/rng.cpp.o"
+  "CMakeFiles/smartsock_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/smartsock_util.dir/util/strings.cpp.o"
+  "CMakeFiles/smartsock_util.dir/util/strings.cpp.o.d"
+  "libsmartsock_util.a"
+  "libsmartsock_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartsock_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

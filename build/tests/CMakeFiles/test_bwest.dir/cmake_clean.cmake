@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bwest.dir/bwest_test.cpp.o"
+  "CMakeFiles/test_bwest.dir/bwest_test.cpp.o.d"
+  "test_bwest"
+  "test_bwest.pdb"
+  "test_bwest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bwest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lang_fuzz.dir/lang_fuzz_test.cpp.o"
+  "CMakeFiles/test_lang_fuzz.dir/lang_fuzz_test.cpp.o.d"
+  "test_lang_fuzz"
+  "test_lang_fuzz.pdb"
+  "test_lang_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lang_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lang_lexer.dir/lang_lexer_test.cpp.o"
+  "CMakeFiles/test_lang_lexer.dir/lang_lexer_test.cpp.o.d"
+  "test_lang_lexer"
+  "test_lang_lexer.pdb"
+  "test_lang_lexer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lang_lexer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lang_parser.dir/lang_parser_test.cpp.o"
+  "CMakeFiles/test_lang_parser.dir/lang_parser_test.cpp.o.d"
+  "test_lang_parser"
+  "test_lang_parser.pdb"
+  "test_lang_parser[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lang_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lang_requirement.dir/lang_requirement_test.cpp.o"
+  "CMakeFiles/test_lang_requirement.dir/lang_requirement_test.cpp.o.d"
+  "test_lang_requirement"
+  "test_lang_requirement.pdb"
+  "test_lang_requirement[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lang_requirement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

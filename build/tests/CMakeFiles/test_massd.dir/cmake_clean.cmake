@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_massd.dir/massd_test.cpp.o"
+  "CMakeFiles/test_massd.dir/massd_test.cpp.o.d"
+  "test_massd"
+  "test_massd.pdb"
+  "test_massd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_massd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartsock_echo_tool.dir/smartsock_echo.cpp.o"
+  "CMakeFiles/smartsock_echo_tool.dir/smartsock_echo.cpp.o.d"
+  "smartsock-echo"
+  "smartsock-echo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartsock_echo_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartsock_fileserver_tool.dir/smartsock_fileserver.cpp.o"
+  "CMakeFiles/smartsock_fileserver_tool.dir/smartsock_fileserver.cpp.o.d"
+  "smartsock-fileserver"
+  "smartsock-fileserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartsock_fileserver_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartsock_massd_tool.dir/smartsock_massd.cpp.o"
+  "CMakeFiles/smartsock_massd_tool.dir/smartsock_massd.cpp.o.d"
+  "smartsock-massd"
+  "smartsock-massd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartsock_massd_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartsock_matmul_tool.dir/smartsock_matmul.cpp.o"
+  "CMakeFiles/smartsock_matmul_tool.dir/smartsock_matmul.cpp.o.d"
+  "smartsock-matmul"
+  "smartsock-matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartsock_matmul_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

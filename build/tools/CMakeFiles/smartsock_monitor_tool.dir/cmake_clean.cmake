@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartsock_monitor_tool.dir/smartsock_monitor.cpp.o"
+  "CMakeFiles/smartsock_monitor_tool.dir/smartsock_monitor.cpp.o.d"
+  "smartsock-monitor"
+  "smartsock-monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartsock_monitor_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/smartsock_probe.cpp" "tools/CMakeFiles/smartsock_probe_tool.dir/smartsock_probe.cpp.o" "gcc" "tools/CMakeFiles/smartsock_probe_tool.dir/smartsock_probe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/smartsock_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smartsock_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smartsock_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smartsock_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smartsock_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smartsock_probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smartsock_bwest.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smartsock_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smartsock_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smartsock_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smartsock_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/smartsock_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartsock_probe_tool.dir/smartsock_probe.cpp.o"
+  "CMakeFiles/smartsock_probe_tool.dir/smartsock_probe.cpp.o.d"
+  "smartsock-probe"
+  "smartsock-probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartsock_probe_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

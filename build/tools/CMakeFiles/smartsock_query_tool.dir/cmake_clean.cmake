@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartsock_query_tool.dir/smartsock_query.cpp.o"
+  "CMakeFiles/smartsock_query_tool.dir/smartsock_query.cpp.o.d"
+  "smartsock-query"
+  "smartsock-query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartsock_query_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

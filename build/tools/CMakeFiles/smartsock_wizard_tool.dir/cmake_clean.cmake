@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartsock_wizard_tool.dir/smartsock_wizard.cpp.o"
+  "CMakeFiles/smartsock_wizard_tool.dir/smartsock_wizard.cpp.o.d"
+  "smartsock-wizard"
+  "smartsock-wizard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartsock_wizard_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,182 @@
+// Wizard query fast-path benchmark — the start of the repo's perf
+// trajectory toward the ROADMAP's "heavy traffic" north star.
+//
+// Measures end-to-end Wizard::handle() throughput and latency at 1 / 100 /
+// 10k synthetic server records, comparing
+//   * cold path: cache_size = 0, serial matcher — the seed behavior, every
+//     request re-lexes, re-parses and re-evaluates against every record;
+//   * warm path: requirement + reply caches on, matcher parallelized across
+//     the hardware threads — repeated queries over an unchanged store hit
+//     the store-version-validated reply cache (the MDS2 lever).
+//
+// Emits BENCH_wizard.json next to the binary's working directory so CI can
+// archive the trajectory. Percentiles are exact (computed from the full
+// per-query sample vector, not the wizard's bucketed recorder).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/wizard.h"
+#include "ipc/in_memory_store.h"
+
+namespace {
+
+using namespace smartsock;
+
+const char* kRequirement =
+    "host_system_load1 < 4\n"
+    "host_memory_free >= 100\n"
+    "host_cpu_free >= 0.25\n"
+    "host_security_level >= 0\n";
+
+void populate(ipc::InMemoryStatusStore& store, std::size_t servers) {
+  store.clear();
+  std::vector<ipc::SysRecord> sys(servers);
+  std::vector<ipc::SecRecord> sec(servers);
+  for (std::size_t i = 0; i < servers; ++i) {
+    std::string host = "host" + std::to_string(i);
+    ipc::SysRecord& record = sys[i];
+    ipc::copy_fixed(record.host, ipc::kHostNameLen, host);
+    ipc::copy_fixed(record.address, ipc::kAddressLen,
+                    "10.0." + std::to_string(i / 256) + "." + std::to_string(i % 256) + ":5000");
+    ipc::copy_fixed(record.group, ipc::kGroupLen, "g" + std::to_string(i % 4));
+    record.load1 = 0.1 + static_cast<double>(i % 40) / 10.0;
+    record.cpu_idle = 0.1 + static_cast<double>(i % 10) / 10.0;
+    record.mem_total_mb = 1024;
+    record.mem_free_mb = static_cast<double>(50 + (i * 37) % 900);
+    ipc::copy_fixed(sec[i].host, ipc::kHostNameLen, host);
+    sec[i].level = static_cast<std::int32_t>(i % 3);
+  }
+  store.replace_sys(sys);
+  store.replace_sec(sec);
+}
+
+struct Measurement {
+  double qps = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  std::size_t iterations = 0;
+};
+
+Measurement measure(core::Wizard& wizard, const core::UserRequest& request,
+                    double budget_seconds, std::size_t max_iters) {
+  std::vector<double> samples;
+  samples.reserve(max_iters);
+  auto start = std::chrono::steady_clock::now();
+  double elapsed = 0;
+  while (samples.size() < max_iters && (elapsed < budget_seconds || samples.size() < 10)) {
+    auto t0 = std::chrono::steady_clock::now();
+    core::WizardReply reply = wizard.handle(request);
+    auto t1 = std::chrono::steady_clock::now();
+    if (!reply.ok) {
+      std::fprintf(stderr, "unexpected query failure: %s\n", reply.error.c_str());
+      std::exit(1);
+    }
+    samples.push_back(std::chrono::duration<double, std::micro>(t1 - t0).count());
+    elapsed = std::chrono::duration<double>(t1 - start).count();
+  }
+
+  Measurement m;
+  m.iterations = samples.size();
+  double total_us = 0;
+  for (double s : samples) total_us += s;
+  m.qps = static_cast<double>(samples.size()) / (total_us / 1e6);
+  std::sort(samples.begin(), samples.end());
+  m.p50_us = samples[samples.size() / 2];
+  m.p99_us = samples[std::min(samples.size() - 1,
+                              static_cast<std::size_t>(samples.size() * 0.99))];
+  return m;
+}
+
+struct SizeResult {
+  std::size_t servers = 0;
+  Measurement cold;
+  Measurement warm;
+};
+
+}  // namespace
+
+int main() {
+  const std::size_t kSizes[] = {1, 100, 10000};
+  const double kBudget = 1.0;        // seconds per phase
+  const std::size_t kMaxIters = 20000;
+  std::size_t match_threads = std::max(1u, std::thread::hardware_concurrency());
+
+  std::vector<SizeResult> results;
+  ipc::InMemoryStatusStore store;
+
+  smartsock::bench::print_title("wizard query fast path: cold vs warm cache");
+  smartsock::bench::print_row({"servers", "path", "qps", "p50 us", "p99 us", "iters"},
+                              {9, 6, 12, 12, 12, 8});
+
+  for (std::size_t servers : kSizes) {
+    populate(store, servers);
+
+    core::UserRequest request;
+    request.sequence = 1;
+    request.server_num = 10;
+    request.detail = kRequirement;
+
+    SizeResult row;
+    row.servers = servers;
+
+    {
+      core::WizardConfig config;
+      config.cache_size = 0;  // compile + full match, every request
+      core::Wizard wizard(config, store);
+      row.cold = measure(wizard, request, kBudget, kMaxIters);
+    }
+    {
+      core::WizardConfig config;
+      config.cache_size = 128;
+      config.match_threads = match_threads;
+      core::Wizard wizard(config, store);
+      wizard.handle(request);  // populate both caches
+      row.warm = measure(wizard, request, kBudget, kMaxIters);
+    }
+
+    for (const char* path : {"cold", "warm"}) {
+      const Measurement& m = std::string(path) == "cold" ? row.cold : row.warm;
+      smartsock::bench::print_row({std::to_string(servers), path,
+                                   smartsock::bench::fmt(m.qps, 0),
+                                   smartsock::bench::fmt(m.p50_us),
+                                   smartsock::bench::fmt(m.p99_us),
+                                   std::to_string(m.iterations)},
+                                  {9, 6, 12, 12, 12, 8});
+    }
+    smartsock::bench::print_note("warm/cold speedup: " +
+                                 smartsock::bench::fmt(row.warm.qps / row.cold.qps, 1) + "x");
+    results.push_back(row);
+  }
+
+  std::FILE* json = std::fopen("BENCH_wizard.json", "w");
+  if (!json) {
+    std::fprintf(stderr, "cannot write BENCH_wizard.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"bench\": \"wizard_query\",\n  \"match_threads\": %zu,\n",
+               match_threads);
+  std::fprintf(json, "  \"sizes\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const SizeResult& row = results[i];
+    std::fprintf(json,
+                 "    {\"servers\": %zu,\n"
+                 "     \"cold\": {\"qps\": %.1f, \"p50_us\": %.2f, \"p99_us\": %.2f, "
+                 "\"iterations\": %zu},\n"
+                 "     \"warm\": {\"qps\": %.1f, \"p50_us\": %.2f, \"p99_us\": %.2f, "
+                 "\"iterations\": %zu},\n"
+                 "     \"warm_speedup\": %.2f}%s\n",
+                 row.servers, row.cold.qps, row.cold.p50_us, row.cold.p99_us,
+                 row.cold.iterations, row.warm.qps, row.warm.p50_us, row.warm.p99_us,
+                 row.warm.iterations, row.warm.qps / row.cold.qps,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("\nwrote BENCH_wizard.json\n");
+  return 0;
+}

@@ -1,6 +1,8 @@
 #include "core/server_matcher.h"
 
 #include <algorithm>
+#include <unordered_map>
+#include <utility>
 
 namespace smartsock::core {
 
@@ -52,7 +54,24 @@ bool in_list(const std::vector<std::string>& patterns, const std::string& host,
   });
 }
 
+/// Everything the merge stage needs about one sys record, produced by the
+/// (possibly parallel) evaluation stage. Index-addressed so chunk scheduling
+/// cannot reorder anything.
+struct RecordOutcome {
+  std::string host;
+  std::string address;
+  bool denied = false;
+  bool qualified = false;
+  bool preferred = false;
+  bool has_rank = false;
+  double rank = 0.0;
+  std::vector<std::string> diagnostics;
+};
+
 }  // namespace
+
+ServerMatcher::ServerMatcher(std::size_t threads)
+    : pool_(threads > 1 ? std::make_shared<util::ThreadPool>(threads - 1) : nullptr) {}
 
 MatchResult ServerMatcher::match(const lang::Requirement& requirement, const MatchInput& input,
                                  std::size_t count) const {
@@ -62,6 +81,74 @@ MatchResult ServerMatcher::match(const lang::Requirement& requirement, const Mat
   const auto& preferred = requirement.preferred_hosts();
   const auto& denied = requirement.denied_hosts();
 
+  // Index secdb by host and netdb by destination group once per query
+  // instead of scanning both per record (the seed's O(records²) behavior).
+  // emplace keeps the first occurrence, matching the serial scan's
+  // first-match-wins semantics.
+  std::unordered_map<std::string, double> sec_by_host;
+  sec_by_host.reserve(input.sec.size());
+  for (const ipc::SecRecord& sec : input.sec) {
+    sec_by_host.emplace(sec.host_str(), static_cast<double>(sec.level));
+  }
+  std::unordered_map<std::string, std::pair<double, double>> net_by_group;  // bw, delay
+  net_by_group.reserve(input.net.size());
+  for (const ipc::NetRecord& net : input.net) {
+    if (net.from_str() == input.local_group) {
+      net_by_group.emplace(net.to_str(), std::make_pair(net.bw_mbps, net.delay_ms));
+    }
+  }
+
+  // Stage 1 — per-record evaluation, data-parallel over contiguous index
+  // ranges when this matcher owns a pool.
+  std::vector<RecordOutcome> outcomes(input.sys.size());
+  auto evaluate_range = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const ipc::SysRecord& record = input.sys[i];
+      RecordOutcome& out = outcomes[i];
+      out.host = record.host_str();
+      out.address = record.address_str();
+
+      if (in_list(denied, out.host, out.address)) {  // blacklist is absolute
+        out.denied = true;
+        continue;
+      }
+
+      lang::AttributeSet attrs = sys_record_attributes(record);
+
+      // Security level from secdb (servers without a record default to 0 —
+      // unknown clearance).
+      auto sec = sec_by_host.find(out.host);
+      attrs["host_security_level"] = sec != sec_by_host.end() ? sec->second : 0.0;
+
+      // Network metrics for the path local_group -> server group. Left
+      // unbound when unmeasured: a requirement that mentions
+      // monitor_network_bw then fails for that server, which is the safe
+      // direction.
+      auto net = net_by_group.find(record.group_str());
+      if (net != net_by_group.end()) {
+        attrs["monitor_network_bw"] = net->second.first;
+        attrs["monitor_network_delay"] = net->second.second;
+      }
+
+      lang::EvalOutcome outcome = requirement.evaluate(attrs);
+      for (const std::string& error : outcome.errors()) {
+        out.diagnostics.push_back(out.host + ": " + error);
+      }
+      if (!outcome.qualified) continue;
+      out.qualified = true;
+      out.has_rank = outcome.rank.has_value();
+      out.rank = outcome.rank.value_or(0.0);
+      out.preferred = in_list(preferred, out.host, out.address);
+    }
+  };
+  if (pool_) {
+    pool_->parallel_for(input.sys.size(), evaluate_range);
+  } else {
+    evaluate_range(0, input.sys.size());
+  }
+
+  // Stage 2 — serial merge in record order: byte-identical to the thesis's
+  // sequential database scan regardless of how stage 1 was scheduled.
   struct Hit {
     ServerEntry entry;
     double rank;
@@ -70,47 +157,18 @@ MatchResult ServerMatcher::match(const lang::Requirement& requirement, const Mat
   std::vector<Hit> other_hits;
   bool ranked = false;
 
-  for (const ipc::SysRecord& record : input.sys) {
+  for (RecordOutcome& out : outcomes) {
     ++result.evaluated;
-    std::string host = record.host_str();
-    std::string address = record.address_str();
-
-    if (in_list(denied, host, address)) continue;  // blacklist is absolute
-
-    lang::AttributeSet attrs = sys_record_attributes(record);
-
-    // Security level from secdb (servers without a record default to 0 —
-    // unknown clearance).
-    attrs["host_security_level"] = 0.0;
-    for (const ipc::SecRecord& sec : input.sec) {
-      if (sec.host_str() == host) {
-        attrs["host_security_level"] = static_cast<double>(sec.level);
-        break;
-      }
+    if (out.denied) continue;
+    for (std::string& diagnostic : out.diagnostics) {
+      result.diagnostics.push_back(std::move(diagnostic));
     }
-
-    // Network metrics for the path local_group -> server group. Left unbound
-    // when unmeasured: a requirement that mentions monitor_network_bw then
-    // fails for that server, which is the safe direction.
-    std::string server_group = record.group_str();
-    for (const ipc::NetRecord& net : input.net) {
-      if (net.from_str() == input.local_group && net.to_str() == server_group) {
-        attrs["monitor_network_bw"] = net.bw_mbps;
-        attrs["monitor_network_delay"] = net.delay_ms;
-        break;
-      }
-    }
-
-    lang::EvalOutcome outcome = requirement.evaluate(attrs);
-    for (const std::string& error : outcome.errors()) {
-      result.diagnostics.push_back(host + ": " + error);
-    }
-    if (!outcome.qualified) continue;
+    if (!out.qualified) continue;
 
     ++result.qualified;
-    Hit hit{ServerEntry{host, address}, outcome.rank.value_or(0.0)};
-    if (outcome.rank) ranked = true;
-    if (in_list(preferred, host, address)) {
+    Hit hit{ServerEntry{std::move(out.host), std::move(out.address)}, out.rank};
+    if (out.has_rank) ranked = true;
+    if (out.preferred) {
       preferred_hits.push_back(std::move(hit));
     } else {
       other_hits.push_back(std::move(hit));

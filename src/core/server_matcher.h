@@ -13,12 +13,14 @@
 //     UDP reply limit of 60.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/wire.h"
 #include "ipc/status_record.h"
 #include "lang/requirement.h"
+#include "util/thread_pool.h"
 
 namespace smartsock::core {
 
@@ -43,8 +45,24 @@ lang::AttributeSet sys_record_attributes(const ipc::SysRecord& record);
 
 class ServerMatcher {
  public:
+  /// Serial matcher (the thesis's sequential database scan).
+  ServerMatcher() = default;
+
+  /// Matcher with `threads`-way parallel record evaluation. The sys-record
+  /// set is partitioned into contiguous index ranges evaluated concurrently;
+  /// the merge/rank stage runs serially in record order, so results are
+  /// byte-identical to the serial matcher. threads <= 1 means serial.
+  explicit ServerMatcher(std::size_t threads);
+
+  std::size_t threads() const { return pool_ ? pool_->size() + 1 : 1; }
+
   MatchResult match(const lang::Requirement& requirement, const MatchInput& input,
                     std::size_t count) const;
+
+ private:
+  // Workers beyond the calling thread; null selects the serial path. Shared
+  // so ServerMatcher stays copyable (copies share the pool).
+  std::shared_ptr<util::ThreadPool> pool_;
 };
 
 }  // namespace smartsock::core

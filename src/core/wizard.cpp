@@ -1,16 +1,45 @@
 #include "core/wizard.h"
 
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
 #include "util/counters.h"
 #include "util/logging.h"
 
 namespace smartsock::core {
 
+namespace {
+
+/// Reply-cache key: the full request identity minus the sequence number
+/// (which is echoed, not computed). '\x01' cannot appear in requirement
+/// text, so the key is unambiguous.
+std::string reply_key(const UserRequest& request) {
+  std::string key = request.detail;
+  key += '\x01';
+  key += std::to_string(request.server_num);
+  key += '\x01';
+  key += std::to_string(static_cast<int>(request.option));
+  return key;
+}
+
+}  // namespace
+
 Wizard::Wizard(WizardConfig config, ipc::StatusStore& store, transport::Receiver* receiver)
-    : config_(std::move(config)), store_(&store), receiver_(receiver) {
+    : config_(std::move(config)),
+      store_(&store),
+      receiver_(receiver),
+      matcher_(config_.match_threads),
+      requirement_cache_(config_.cache_size),
+      reply_cache_(config_.cache_size) {
   if (auto sock = net::UdpSocket::bind(config_.bind)) {
     socket_ = std::move(*sock);
     socket_.set_traffic_counter(util::TrafficRegistry::instance().register_component("wizard"));
     endpoint_ = socket_.local_endpoint();
+  } else {
+    bind_error_ = "cannot bind wizard UDP socket to " + config_.bind.to_string() +
+                  ": " + std::strerror(errno);
+    SMARTSOCK_LOG(kError, "wizard") << bind_error_;
   }
 }
 
@@ -21,22 +50,50 @@ void Wizard::add_transmitter(const net::Endpoint& endpoint) {
 }
 
 WizardReply Wizard::handle(const UserRequest& request) {
+  auto started = std::chrono::steady_clock::now();
   WizardReply reply;
   reply.sequence = request.sequence;
 
   // Distributed mode: refresh the databases on demand (§3.5.1 — reports are
-  // sent back only when the wizard asks).
+  // sent back only when the wizard asks). Serialized so concurrent handler
+  // threads do not interleave pulls from the same transmitter.
   if (config_.mode == transport::TransferMode::kDistributed && receiver_ != nullptr) {
+    std::lock_guard<std::mutex> lock(refresh_mu_);
     for (const net::Endpoint& transmitter : transmitters_) {
       receiver_->pull_from(transmitter);
     }
   }
 
-  std::string compile_error;
-  auto requirement = lang::Requirement::compile(request.detail, &compile_error);
-  if (!requirement) {
+  // Fast path 1: a cached reply computed from the store contents this
+  // version still describes. The version is read *before* the records so a
+  // concurrent store update can only make the entry look stale, never fresh.
+  std::uint64_t version = store_->version();
+  std::string key = reply_key(request);
+  {
+    std::lock_guard<std::mutex> lock(reply_mu_);
+    if (CachedReply* cached = reply_cache_.get(key)) {
+      if (cached->version == version) {
+        ++reply_hits_;
+        reply = cached->reply;
+        reply.sequence = request.sequence;
+        latency_.record_us(std::chrono::duration<double, std::micro>(
+                               std::chrono::steady_clock::now() - started)
+                               .count());
+        return reply;
+      }
+    }
+    ++reply_misses_;
+  }
+
+  // Fast path 2: skip the lexer/parser for known expressions (positive and
+  // negative alike).
+  lang::RequirementCache::Result compiled = requirement_cache_.get_or_compile(request.detail);
+  if (!compiled) {
     reply.ok = false;
-    reply.error = "requirement: " + compile_error;
+    reply.error = "requirement: " + compiled.error;
+    latency_.record_us(std::chrono::duration<double, std::micro>(
+                           std::chrono::steady_clock::now() - started)
+                           .count());
     return reply;
   }
 
@@ -46,16 +103,29 @@ WizardReply Wizard::handle(const UserRequest& request) {
   input.sec = store_->sec_records();
   input.local_group = config_.local_group;
 
-  MatchResult result = matcher_.match(*requirement, input, request.server_num);
+  MatchResult result = matcher_.match(*compiled.requirement, input, request.server_num);
   if (request.option == RequestOption::kStrict &&
       result.selected.size() < request.server_num) {
     reply.ok = false;
     reply.error = "only " + std::to_string(result.selected.size()) + " of " +
                   std::to_string(request.server_num) + " servers qualified";
-    return reply;
+  } else {
+    reply.servers = std::move(result.selected);
   }
-  reply.servers = std::move(result.selected);
+
+  {
+    std::lock_guard<std::mutex> lock(reply_mu_);
+    reply_cache_.put(key, CachedReply{version, reply});
+  }
+  latency_.record_us(std::chrono::duration<double, std::micro>(
+                         std::chrono::steady_clock::now() - started)
+                         .count());
   return reply;
+}
+
+lang::RequirementCache::Stats Wizard::reply_cache_stats() const {
+  std::lock_guard<std::mutex> lock(reply_mu_);
+  return {reply_hits_, reply_misses_, reply_cache_.evictions(), reply_cache_.size()};
 }
 
 bool Wizard::poll_once(util::Duration timeout) {
@@ -76,15 +146,22 @@ bool Wizard::poll_once(util::Duration timeout) {
 }
 
 bool Wizard::start() {
-  if (!socket_.valid() || thread_.joinable()) return false;
+  if (!socket_.valid() || !threads_.empty()) return false;
   stop_requested_.store(false, std::memory_order_release);
-  thread_ = std::thread([this] { run_loop(); });
+  std::size_t handlers = config_.handler_threads > 0 ? config_.handler_threads : 1;
+  threads_.reserve(handlers);
+  for (std::size_t i = 0; i < handlers; ++i) {
+    threads_.emplace_back([this] { run_loop(); });
+  }
   return true;
 }
 
 void Wizard::stop() {
   stop_requested_.store(true, std::memory_order_release);
-  if (thread_.joinable()) thread_.join();
+  for (std::thread& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  threads_.clear();
 }
 
 void Wizard::run_loop() {

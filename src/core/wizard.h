@@ -2,25 +2,34 @@
 //
 // Listens for user requests on a UDP service port (UDP so a request burst
 // cannot exhaust descriptors with TIME_WAIT connections — the thesis's
-// reasoning) and processes them sequentially:
+// reasoning) and processes them through the query fast path:
 //   1. parse the request (Table 3.5),
 //   2. refresh the local databases — a no-op in centralized mode where the
 //      receiver keeps them fresh; in distributed mode, pull from every
 //      registered transmitter,
-//   3. compile the requirement and run the matcher over sysdb/netdb/secdb,
+//   3. look the reply up in the store-version-validated reply cache (the
+//      MDS2 result-caching lever); on miss, fetch the compiled requirement
+//      from the LRU requirement cache (compiling only on a cold expression)
+//      and run the matcher over sysdb/netdb/secdb,
 //   4. reply with the candidate list (Table 3.6) under the same sequence
 //      number.
+// `handler_threads` loops drain the one UDP socket concurrently; the kernel
+// hands each datagram to exactly one of them.
 #pragma once
 
 #include <atomic>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "core/server_matcher.h"
 #include "ipc/status_store.h"
+#include "lang/requirement_cache.h"
 #include "net/udp_socket.h"
 #include "transport/receiver.h"
 #include "transport/transmitter.h"
+#include "util/counters.h"
+#include "util/lru.h"
 
 namespace smartsock::core {
 
@@ -28,6 +37,14 @@ struct WizardConfig {
   net::Endpoint bind = net::Endpoint::loopback(0);
   transport::TransferMode mode = transport::TransferMode::kCentralized;
   std::string local_group = "local";
+
+  /// Request-loop threads draining the UDP socket (start() spawns this many).
+  std::size_t handler_threads = 1;
+  /// Threads per matcher pass over the sys records (<= 1: serial scan).
+  std::size_t match_threads = 1;
+  /// Capacity of the compiled-requirement cache and of the reply cache;
+  /// 0 disables both (every request compiles and matches from scratch).
+  std::size_t cache_size = 128;
 };
 
 class Wizard {
@@ -48,7 +65,8 @@ class Wizard {
   /// The UDP endpoint clients send requests to.
   net::Endpoint endpoint() const { return endpoint_; }
 
-  /// Handles one pending request if any (polling entry point).
+  /// Handles one pending request if any (polling entry point). Thread-safe:
+  /// the handler threads all sit in this call.
   bool poll_once(util::Duration timeout);
 
   /// Builds the reply for a request (exposed for tests — no sockets).
@@ -61,6 +79,13 @@ class Wizard {
     return requests_served_.load(std::memory_order_relaxed);
   }
   bool valid() const { return socket_.valid(); }
+  /// Why the construction-time UDP bind failed; empty when valid().
+  const std::string& bind_error() const { return bind_error_; }
+
+  /// Fast-path observability.
+  const lang::RequirementCache& requirement_cache() const { return requirement_cache_; }
+  lang::RequirementCache::Stats reply_cache_stats() const;
+  const util::LatencyRecorder& latency() const { return latency_; }
 
  private:
   void run_loop();
@@ -73,8 +98,27 @@ class Wizard {
 
   net::UdpSocket socket_;
   net::Endpoint endpoint_;
+  std::string bind_error_;
 
-  std::thread thread_;
+  lang::RequirementCache requirement_cache_;
+
+  // Reply cache: complete selections keyed by (requirement text, count,
+  // option), valid only while the store version they were computed from is
+  // current. Compile-error replies are not cached here — the requirement
+  // cache's negative entries already make those cheap.
+  struct CachedReply {
+    std::uint64_t version = 0;
+    WizardReply reply;
+  };
+  mutable std::mutex reply_mu_;
+  util::LruMap<std::string, CachedReply> reply_cache_;
+  std::uint64_t reply_hits_ = 0;
+  std::uint64_t reply_misses_ = 0;
+
+  util::LatencyRecorder latency_;
+
+  std::mutex refresh_mu_;  // serializes distributed-mode pulls
+  std::vector<std::thread> threads_;
   std::atomic<bool> stop_requested_{false};
   std::atomic<std::uint64_t> requests_served_{0};
 };

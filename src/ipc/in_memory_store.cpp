@@ -7,6 +7,7 @@ namespace smartsock::ipc {
 
 bool InMemoryStatusStore::put_sys(const SysRecord& record) {
   std::lock_guard<std::mutex> lock(mu_);
+  version_.fetch_add(1, std::memory_order_acq_rel);
   for (SysRecord& existing : sys_) {
     if (std::strncmp(existing.address, record.address, kAddressLen) == 0) {
       existing = record;
@@ -19,6 +20,7 @@ bool InMemoryStatusStore::put_sys(const SysRecord& record) {
 
 bool InMemoryStatusStore::put_net(const NetRecord& record) {
   std::lock_guard<std::mutex> lock(mu_);
+  version_.fetch_add(1, std::memory_order_acq_rel);
   for (NetRecord& existing : net_) {
     if (std::strncmp(existing.from_group, record.from_group, kGroupLen) == 0 &&
         std::strncmp(existing.to_group, record.to_group, kGroupLen) == 0) {
@@ -32,6 +34,7 @@ bool InMemoryStatusStore::put_net(const NetRecord& record) {
 
 bool InMemoryStatusStore::put_sec(const SecRecord& record) {
   std::lock_guard<std::mutex> lock(mu_);
+  version_.fetch_add(1, std::memory_order_acq_rel);
   for (SecRecord& existing : sec_) {
     if (std::strncmp(existing.host, record.host, kHostNameLen) == 0) {
       existing = record;
@@ -59,16 +62,19 @@ std::vector<SecRecord> InMemoryStatusStore::sec_records() const {
 
 void InMemoryStatusStore::replace_sys(const std::vector<SysRecord>& records) {
   std::lock_guard<std::mutex> lock(mu_);
+  version_.fetch_add(1, std::memory_order_acq_rel);
   sys_ = records;
 }
 
 void InMemoryStatusStore::replace_net(const std::vector<NetRecord>& records) {
   std::lock_guard<std::mutex> lock(mu_);
+  version_.fetch_add(1, std::memory_order_acq_rel);
   net_ = records;
 }
 
 void InMemoryStatusStore::replace_sec(const std::vector<SecRecord>& records) {
   std::lock_guard<std::mutex> lock(mu_);
+  version_.fetch_add(1, std::memory_order_acq_rel);
   sec_ = records;
 }
 
@@ -78,11 +84,14 @@ std::size_t InMemoryStatusStore::expire_sys_older_than(std::uint64_t cutoff_ns) 
   sys_.erase(std::remove_if(sys_.begin(), sys_.end(),
                             [&](const SysRecord& r) { return r.updated_ns < cutoff_ns; }),
              sys_.end());
-  return before - sys_.size();
+  std::size_t removed = before - sys_.size();
+  if (removed > 0) version_.fetch_add(1, std::memory_order_acq_rel);
+  return removed;
 }
 
 void InMemoryStatusStore::clear() {
   std::lock_guard<std::mutex> lock(mu_);
+  version_.fetch_add(1, std::memory_order_acq_rel);
   sys_.clear();
   net_.clear();
   sec_.clear();

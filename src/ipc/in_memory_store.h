@@ -1,6 +1,7 @@
 // Mutex-guarded in-process status store.
 #pragma once
 
+#include <atomic>
 #include <mutex>
 
 #include "ipc/status_store.h"
@@ -23,8 +24,12 @@ class InMemoryStatusStore final : public StatusStore {
 
   std::size_t expire_sys_older_than(std::uint64_t cutoff_ns) override;
   void clear() override;
+  std::uint64_t version() const override {
+    return version_.load(std::memory_order_acquire);
+  }
 
  private:
+  std::atomic<std::uint64_t> version_{0};
   mutable std::mutex mu_;
   std::vector<SysRecord> sys_;
   std::vector<NetRecord> net_;

@@ -41,6 +41,13 @@ class StatusStore {
   virtual std::size_t expire_sys_older_than(std::uint64_t cutoff_ns) = 0;
 
   virtual void clear() = 0;
+
+  /// Data version: increases on every mutation of any of the three
+  /// databases. The wizard's reply cache compares versions to decide whether
+  /// a cached selection still reflects the current store contents; a version
+  /// may over-count (bump without an observable change) but must never miss
+  /// a change.
+  virtual std::uint64_t version() const = 0;
 };
 
 /// Monotonic timestamp in ns, the time base for record staleness.

@@ -12,14 +12,20 @@ namespace smartsock::ipc {
 
 namespace {
 
-constexpr std::uint32_t kMagic = 0x534d5231;  // "SMR1"
+constexpr std::uint32_t kMagic = 0x534d5232;  // "SMR2" — SMR1 + version field
 
 struct SegmentHeader {
   std::uint32_t magic;
   std::uint32_t record_size;
   std::uint32_t capacity;
   std::uint32_t count;
+  // Mutation counter backing StatusStore::version(); lives in the segment so
+  // every attached process observes other writers' updates. The trailing pad
+  // keeps the record array 8-byte aligned for the double-heavy records.
+  std::uint32_t version;
+  std::uint32_t pad;
 };
+static_assert(sizeof(SegmentHeader) % alignof(double) == 0);
 
 // semop helpers: one counting semaphore used as a mutex, SEM_UNDO so a
 // crashed holder does not deadlock the segment.
@@ -91,6 +97,8 @@ struct SysVStatusStore::Region {
       header->record_size = static_cast<std::uint32_t>(record_size);
       header->capacity = static_cast<std::uint32_t>(capacity);
       header->count = 0;
+      header->version = 0;
+      header->pad = 0;
       sem_unlock(sem_id);
     } else {
       const SegmentHeader* header = region->header();
@@ -141,6 +149,7 @@ bool region_put(SysVStatusStore::Region* region, const Record& record, KeyEq key
     slots[header->count++] = record;
     stored = true;
   }
+  if (stored) ++header->version;
   sem_unlock(region->sem_id);
   return stored;
 }
@@ -167,6 +176,7 @@ void region_replace(SysVStatusStore::Region* region, const std::vector<Record>& 
       std::min<std::size_t>(records.size(), header->capacity));
   for (std::uint32_t i = 0; i < n; ++i) slots[i] = records[i];
   header->count = n;
+  ++header->version;
   sem_unlock(region->sem_id);
 }
 
@@ -246,6 +256,7 @@ std::size_t SysVStatusStore::expire_sys_older_than(std::uint64_t cutoff_ns) {
   }
   std::size_t removed = header->count - kept;
   header->count = kept;
+  if (removed > 0) ++header->version;
   sem_unlock(region->sem_id);
   return removed;
 }
@@ -255,8 +266,24 @@ void SysVStatusStore::clear() {
     if (!region || !region->base) continue;
     if (!sem_lock(region->sem_id)) continue;
     region->header()->count = 0;
+    ++region->header()->version;
     sem_unlock(region->sem_id);
   }
+}
+
+std::uint64_t SysVStatusStore::version() const {
+  // Sum of the three per-segment counters: any single mutation changes the
+  // sum. Read under each segment's semaphore so a concurrent writer's bump
+  // is not torn.
+  std::uint64_t total = 0;
+  for (const Region* region :
+       {sys_region_.get(), net_region_.get(), sec_region_.get()}) {
+    if (!region || !region->base) continue;
+    if (!sem_lock(region->sem_id)) continue;
+    total += region->header()->version;
+    sem_unlock(region->sem_id);
+  }
+  return total;
 }
 
 void SysVStatusStore::remove_system_objects(const SysVKeys& keys) {

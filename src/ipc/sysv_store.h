@@ -57,6 +57,10 @@ class SysVStatusStore final : public StatusStore {
   std::size_t expire_sys_older_than(std::uint64_t cutoff_ns) override;
   void clear() override;
 
+  /// Sum of the three segments' shared-memory mutation counters, so writers
+  /// in other processes invalidate this process's cached replies too.
+  std::uint64_t version() const override;
+
   /// Destroys the kernel objects (IPC_RMID). After this every attached
   /// store is invalid; used by tests and administrative teardown.
   static void remove_system_objects(const SysVKeys& keys);

@@ -1,0 +1,44 @@
+#include "lang/requirement_cache.h"
+
+namespace smartsock::lang {
+
+RequirementCache::Result RequirementCache::get_or_compile(std::string_view source) {
+  std::string key(source);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (Entry* entry = entries_.get(key)) {
+      ++hits_;
+      return Result{entry->requirement, entry->error, true};
+    }
+    ++misses_;
+  }
+
+  // Compile outside the lock: a cold expression must not stall concurrent
+  // handler threads that are hitting. Two threads racing on the same cold
+  // key both compile; the second put is a harmless overwrite.
+  Result result;
+  std::string error;
+  if (auto compiled = Requirement::compile(source, &error)) {
+    result.requirement = std::make_shared<const Requirement>(std::move(*compiled));
+  } else {
+    result.error = std::move(error);
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.put(key, Entry{result.requirement, result.error});
+  return result;
+}
+
+RequirementCache::Stats RequirementCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Stats{hits_, misses_, entries_.evictions(), entries_.size()};
+}
+
+void RequirementCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace smartsock::lang

@@ -1,0 +1,66 @@
+// Thread-safe LRU cache of compiled requirements — stage 1 of the wizard's
+// query fast path.
+//
+// The wizard historically re-lexed and re-parsed the requirement text on
+// every UDP request (§3.6.1 step 3). Users overwhelmingly resend the same
+// requirement file, so the cache keys compiled programs by the exact
+// expression text and returns a shared handle on hit. Compile *failures*
+// are cached too (negative caching): a client retrying a malformed
+// expression in a tight loop costs one map lookup, not a parse.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "lang/requirement.h"
+#include "util/lru.h"
+
+namespace smartsock::lang {
+
+class RequirementCache {
+ public:
+  /// Snapshot of the hit/miss accounting, readable while queries run.
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t size = 0;
+  };
+
+  /// One lookup's outcome: on success `requirement` is set; on compile
+  /// failure it is null and `error` carries the diagnostic. `hit` tells
+  /// whether the compiler ran (false) or the cache answered (true).
+  struct Result {
+    std::shared_ptr<const Requirement> requirement;
+    std::string error;
+    bool hit = false;
+
+    explicit operator bool() const { return requirement != nullptr; }
+  };
+
+  /// `capacity` counts cached expressions (positive and negative entries
+  /// alike); 0 disables caching and every call compiles.
+  explicit RequirementCache(std::size_t capacity) : entries_(capacity) {}
+
+  /// Returns the cached compile result for `source`, compiling on miss.
+  Result get_or_compile(std::string_view source);
+
+  Stats stats() const;
+  std::size_t capacity() const { return entries_.capacity(); }
+  void clear();
+
+ private:
+  struct Entry {
+    std::shared_ptr<const Requirement> requirement;  // null => negative entry
+    std::string error;
+  };
+
+  mutable std::mutex mu_;
+  util::LruMap<std::string, Entry> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace smartsock::lang

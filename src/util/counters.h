@@ -85,6 +85,34 @@ class TrafficRegistry {
   std::vector<Entry> entries_;
 };
 
+/// Lock-free latency histogram for per-query accounting (wizard fast path).
+///
+/// Samples land in geometric buckets spanning 1 µs .. ~10 s at ~6.5%
+/// resolution; record() is wait-free so N handler threads can share one
+/// recorder. percentile() walks the buckets and returns the geometric
+/// midpoint of the one holding the requested rank — approximate, but
+/// bounded by the bucket width.
+class LatencyRecorder {
+ public:
+  static constexpr std::size_t kBuckets = 256;
+
+  void record_us(double micros);
+
+  std::uint64_t count() const { return total_count_.load(std::memory_order_relaxed); }
+  double mean_us() const;
+  /// pct in (0, 100]; returns 0 when no samples were recorded.
+  double percentile(double pct) const;
+  void reset();
+
+ private:
+  static std::size_t bucket_for(double micros);
+  static double bucket_mid_us(std::size_t bucket);
+
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> total_count_{0};
+  std::atomic<std::uint64_t> total_tenth_us_{0};  // sum in 0.1 µs units
+};
+
 /// Reads the resident set size of the current process in KB (Linux /proc).
 /// Returns 0 if unavailable.
 std::uint64_t current_rss_kb();

@@ -1,0 +1,81 @@
+// Generic LRU map — the building block of the wizard's query fast path.
+//
+// The MDS2 study (Zhang & Schopf) found result caching to be the dominant
+// lever on grid-information-service query throughput; both of our caches
+// (compiled requirements, wizard replies) are instances of this container.
+// Not thread-safe by itself: callers wrap it with their own lock so one
+// mutex covers the lookup *and* the stats they keep next to it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+namespace smartsock::util {
+
+/// Fixed-capacity map with least-recently-used eviction. Capacity 0 disables
+/// storage entirely — every get misses, every put is a no-op — which callers
+/// use as the cache's "off" switch.
+template <typename Key, typename Value>
+class LruMap {
+ public:
+  explicit LruMap(std::size_t capacity) : capacity_(capacity) {}
+
+  std::size_t size() const { return map_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t evictions() const { return evictions_; }
+
+  /// Returns the entry and marks it most-recently-used; nullptr on miss.
+  /// The pointer is valid until the next put/erase/clear.
+  Value* get(const Key& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) return nullptr;
+    order_.splice(order_.begin(), order_, it->second.pos);
+    return &it->second.value;
+  }
+
+  /// Inserts or overwrites; evicts the least-recently-used entry when full.
+  void put(const Key& key, Value value) {
+    if (capacity_ == 0) return;
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second.value = std::move(value);
+      order_.splice(order_.begin(), order_, it->second.pos);
+      return;
+    }
+    if (map_.size() >= capacity_) {
+      map_.erase(order_.back());
+      order_.pop_back();
+      ++evictions_;
+    }
+    order_.push_front(key);
+    map_.emplace(key, Entry{std::move(value), order_.begin()});
+  }
+
+  void erase(const Key& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) return;
+    order_.erase(it->second.pos);
+    map_.erase(it);
+  }
+
+  void clear() {
+    map_.clear();
+    order_.clear();
+  }
+
+ private:
+  struct Entry {
+    Value value;
+    typename std::list<Key>::iterator pos;
+  };
+
+  std::size_t capacity_;
+  std::uint64_t evictions_ = 0;
+  std::list<Key> order_;  // front = most recently used
+  std::unordered_map<Key, Entry> map_;
+};
+
+}  // namespace smartsock::util

@@ -283,6 +283,30 @@ TEST(Wizard, HandleBestEffortReturnsShortList) {
   EXPECT_EQ(reply.servers.size(), 1u);
 }
 
+TEST(Wizard, ReportsBindFailure) {
+  // Occupy a port, then ask the wizard to bind it: the constructor must not
+  // swallow the failure silently.
+  auto occupied = net::UdpSocket::bind(net::Endpoint::loopback(0));
+  ASSERT_TRUE(occupied);
+
+  ipc::InMemoryStatusStore store;
+  WizardConfig config;
+  config.bind = occupied->local_endpoint();
+  Wizard wizard(config, store);
+
+  EXPECT_FALSE(wizard.valid());
+  EXPECT_FALSE(wizard.bind_error().empty());
+  EXPECT_NE(wizard.bind_error().find(config.bind.to_string()), std::string::npos);
+  EXPECT_FALSE(wizard.start());  // cannot serve without a socket
+}
+
+TEST(Wizard, BindErrorEmptyOnSuccess) {
+  ipc::InMemoryStatusStore store;
+  Wizard wizard(WizardConfig{}, store);
+  EXPECT_TRUE(wizard.valid());
+  EXPECT_TRUE(wizard.bind_error().empty());
+}
+
 TEST(Wizard, HandleReportsCompileErrors) {
   ipc::InMemoryStatusStore store;
   Wizard wizard(WizardConfig{}, store);

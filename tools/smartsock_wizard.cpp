@@ -7,6 +7,7 @@
 //   smartsock_wizard --listen 0.0.0.0:1120 --receiver 0.0.0.0:1121
 //   smartsock_wizard --listen 0.0.0.0:1120 --mode distributed \
 //                    --transmitter 10.0.0.2:1110,10.0.5.2:1110
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
 
@@ -26,12 +27,13 @@ void handle_signal(int) { g_stop = 1; }
 int main(int argc, char** argv) {
   util::Args args(argc, argv,
                   {"listen", "receiver", "mode", "transmitter", "local-group", "sysv",
-                   "help"});
+                   "threads", "match-threads", "cache-size", "help"});
   if (!args.ok() || args.has("help")) {
     std::fprintf(stderr,
                  "usage: smartsock_wizard --listen ip:port [--receiver ip:port] "
                  "[--mode centralized|distributed] [--transmitter ip:port,...] "
-                 "[--local-group name] [--sysv]\n");
+                 "[--local-group name] [--sysv] [--threads n] [--match-threads n] "
+                 "[--cache-size n]\n");
     return args.has("help") ? 0 : 2;
   }
 
@@ -61,13 +63,19 @@ int main(int argc, char** argv) {
   }
   wizard_config.bind = *listen;
   wizard_config.local_group = args.get_or("local-group", "local");
+  wizard_config.handler_threads =
+      static_cast<std::size_t>(std::max<std::int64_t>(1, args.get_int_or("threads", 1)));
+  wizard_config.match_threads =
+      static_cast<std::size_t>(std::max<std::int64_t>(1, args.get_int_or("match-threads", 1)));
+  wizard_config.cache_size =
+      static_cast<std::size_t>(std::max<std::int64_t>(0, args.get_int_or("cache-size", 128)));
   std::string mode = args.get_or("mode", "centralized");
   wizard_config.mode = mode == "distributed" ? transport::TransferMode::kDistributed
                                              : transport::TransferMode::kCentralized;
 
   core::Wizard wizard(wizard_config, *store, &receiver);
   if (!wizard.valid()) {
-    std::fprintf(stderr, "cannot bind wizard to %s\n", listen->to_string().c_str());
+    std::fprintf(stderr, "%s\n", wizard.bind_error().c_str());
     return 1;
   }
 

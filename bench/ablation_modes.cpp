@@ -6,6 +6,7 @@
 // that trade with the same 11-host cluster.
 #include "bench_util.h"
 #include "harness/cluster_harness.h"
+#include "obs/metrics.h"
 #include "util/counters.h"
 
 using namespace smartsock;
@@ -28,7 +29,7 @@ ModeResult run_mode(transport::TransferMode mode) {
   if (!cluster.start() || !cluster.wait_for_all_reports(std::chrono::seconds(5))) {
     return result;
   }
-  util::TrafficRegistry::instance().reset_all();
+  obs::MetricsRegistry::instance().reset_all();
 
   core::SmartClient client = cluster.make_client(3);
   util::Stopwatch window(util::SteadyClock::instance());
@@ -43,7 +44,7 @@ ModeResult run_mode(transport::TransferMode mode) {
   }
   double elapsed = window.elapsed_seconds();
 
-  for (const auto& usage : util::TrafficRegistry::instance().snapshot(elapsed)) {
+  for (const auto& usage : obs::MetricsRegistry::instance().traffic_usage(elapsed)) {
     if (usage.component == "transmitter") result.transmitter_kbps = usage.send_rate_kbps;
   }
   result.mean_query_ms = query_ms_total / kQueries;

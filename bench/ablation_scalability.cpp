@@ -7,6 +7,7 @@
 // and the probe/monitor traffic, all on one machine over loopback.
 #include "bench_util.h"
 #include "harness/cluster_harness.h"
+#include "obs/metrics.h"
 #include "util/counters.h"
 
 using namespace smartsock;
@@ -42,7 +43,7 @@ int main() {
     options.transfer_interval = std::chrono::milliseconds(100);
     harness::ClusterHarness cluster(options);
 
-    util::TrafficRegistry::instance().reset_all();
+    obs::MetricsRegistry::instance().reset_all();
     util::Stopwatch convergence(util::SteadyClock::instance());
     if (!cluster.start() || !cluster.wait_for_all_reports(std::chrono::seconds(15))) {
       bench::print_row({std::to_string(n), "DID NOT CONVERGE", "-", "-", "-"},
@@ -63,10 +64,10 @@ int main() {
     }
 
     double window = 1.5;
-    util::TrafficRegistry::instance().reset_all();
+    obs::MetricsRegistry::instance().reset_all();
     util::SteadyClock::instance().sleep_for(util::from_seconds(window));
     double probe_kbps = 0;
-    for (const auto& usage : util::TrafficRegistry::instance().snapshot(window)) {
+    for (const auto& usage : obs::MetricsRegistry::instance().traffic_usage(window)) {
       if (usage.component == "system_probe") probe_kbps = usage.send_rate_kbps;
     }
     cluster.stop();

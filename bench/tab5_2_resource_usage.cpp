@@ -9,12 +9,13 @@
 // KBps(TCP); receiver 92KB / 1.2 KBps; wizard 96KB / <1 KBps(UDP).
 #include "bench_util.h"
 #include "harness/cluster_harness.h"
+#include "obs/metrics.h"
 #include "util/counters.h"
 
 using namespace smartsock;
 
 int main() {
-  util::TrafficRegistry::instance().reset_all();
+  obs::MetricsRegistry::instance().reset_all();
 
   harness::HarnessOptions options;
   options.probe_interval = std::chrono::milliseconds(100);   // paper: 2 s
@@ -28,7 +29,7 @@ int main() {
 
   // Drive a steady trickle of user requests, like the paper's sample run.
   core::SmartClient client = cluster.make_client(5);
-  util::TrafficRegistry::instance().reset_all();
+  obs::MetricsRegistry::instance().reset_all();
   const double window_seconds = 3.0;
   util::Stopwatch stopwatch(util::SteadyClock::instance());
   while (stopwatch.elapsed_seconds() < window_seconds) {
@@ -41,7 +42,7 @@ int main() {
                      bench::fmt(elapsed, 1) + " s window (interval 100 ms vs paper 2 s)");
   bench::print_row({"component", "sent KB/s", "recv KB/s", "msgs out", "msgs in"},
                    {18, 12, 12, 10, 10});
-  for (const auto& usage : util::TrafficRegistry::instance().snapshot(elapsed)) {
+  for (const auto& usage : obs::MetricsRegistry::instance().traffic_usage(elapsed)) {
     bench::print_row({usage.component, bench::fmt(usage.send_rate_kbps),
                       bench::fmt(usage.receive_rate_kbps),
                       std::to_string(usage.messages_sent),

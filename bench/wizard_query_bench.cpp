@@ -22,6 +22,7 @@
 #include "bench_util.h"
 #include "core/wizard.h"
 #include "ipc/in_memory_store.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -175,7 +176,13 @@ int main() {
                  row.warm.iterations, row.warm.qps / row.cold.qps,
                  i + 1 < results.size() ? "," : "");
   }
-  std::fprintf(json, "  ]\n}\n");
+  std::fprintf(json, "  ],\n");
+  // Internal view of the same run: the wizard's registry metrics (cache
+  // hit/miss counters, bucketed latency histogram) ride along so the bench
+  // trajectory carries what the external timers can't see.
+  std::fprintf(json, "  \"metrics\": %s\n",
+               obs::MetricsRegistry::instance().snapshot().to_json().c_str());
+  std::fprintf(json, "}\n");
   std::fclose(json);
   std::printf("\nwrote BENCH_wizard.json\n");
   return 0;

@@ -4,6 +4,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/counters.h"
 #include "util/logging.h"
 
@@ -21,7 +23,7 @@ SmartClient::SmartClient(SmartClientConfig config)
   if (auto sock = net::UdpSocket::create()) {
     socket_ = std::move(*sock);
     socket_.set_traffic_counter(
-        util::TrafficRegistry::instance().register_component("smart_client"));
+        obs::MetricsRegistry::instance().traffic("smart_client"));
   }
 }
 
@@ -43,6 +45,7 @@ WizardReply SmartClient::query(const std::string& requirement, std::size_t count
   request.sequence = static_cast<std::uint32_t>(rng_.uniform_int(1, 0x7fffffff));
   request.server_num = static_cast<std::uint16_t>(count);
   request.option = option;
+  request.trace_id = obs::mint_trace_id(rng_);
   request.detail = requirement;
   std::string wire = request.to_wire();
 
@@ -51,6 +54,11 @@ WizardReply SmartClient::query(const std::string& requirement, std::size_t count
       failed.error = "cannot send request to wizard " + config_.wizard.to_string();
       continue;
     }
+    obs::TraceEvent(util::LogLevel::kDebug, "smart_client", "query_send", request.trace_id)
+        .kv("seq", request.sequence)
+        .kv("wizard", config_.wizard.to_string())
+        .kv("requested", count)
+        .kv("attempt", attempt);
     // Wait for the matching sequence number; late replies to earlier
     // attempts are drained and discarded.
     util::Clock& clock = util::SteadyClock::instance();
@@ -61,9 +69,18 @@ WizardReply SmartClient::query(const std::string& requirement, std::size_t count
       auto reply = WizardReply::from_wire(datagram->payload);
       if (!reply) continue;
       if (reply->sequence != request.sequence) continue;  // stale reply
+      obs::TraceEvent(util::LogLevel::kDebug, "smart_client", "query_reply",
+                      request.trace_id)
+          .kv("seq", request.sequence)
+          .kv("ok", reply->ok)
+          .kv("servers", reply->servers.size());
       return *reply;
     }
   }
+  obs::TraceEvent(util::LogLevel::kDebug, "smart_client", "query_timeout", request.trace_id)
+      .kv("seq", request.sequence)
+      .kv("wizard", config_.wizard.to_string())
+      .kv("attempts", config_.retries + 1);
   failed.sequence = request.sequence;
   failed.error = "no reply from wizard " + config_.wizard.to_string();
   return failed;

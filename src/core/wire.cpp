@@ -6,7 +6,11 @@ namespace smartsock::core {
 
 std::string UserRequest::to_wire() const {
   std::string out = "SREQ " + std::to_string(sequence) + " " + std::to_string(server_num) +
-                    " " + std::to_string(static_cast<int>(option)) + "\n";
+                    " " + std::to_string(static_cast<int>(option));
+  if (!trace_id.empty()) {
+    out += " " + trace_id;
+  }
+  out += "\n";
   out += detail;
   return out;
 }
@@ -15,7 +19,8 @@ std::optional<UserRequest> UserRequest::from_wire(std::string_view wire) {
   std::size_t newline = wire.find('\n');
   std::string_view header = newline == std::string_view::npos ? wire : wire.substr(0, newline);
   auto fields = util::split_whitespace(header);
-  if (fields.size() != 4 || fields[0] != "SREQ") return std::nullopt;
+  // 4 fields: the pre-trace format; 5: with the optional trace id appended.
+  if ((fields.size() != 4 && fields.size() != 5) || fields[0] != "SREQ") return std::nullopt;
   auto seq = util::parse_uint(fields[1]);
   auto num = util::parse_uint(fields[2]);
   auto opt = util::parse_uint(fields[3]);
@@ -26,6 +31,9 @@ std::optional<UserRequest> UserRequest::from_wire(std::string_view wire) {
   request.sequence = static_cast<std::uint32_t>(*seq);
   request.server_num = static_cast<std::uint16_t>(*num);
   request.option = static_cast<RequestOption>(*opt);
+  if (fields.size() == 5) {
+    request.trace_id = std::string(fields[4]);
+  }
   if (newline != std::string_view::npos) {
     request.detail = std::string(wire.substr(newline + 1));
   }

@@ -29,9 +29,15 @@ struct UserRequest {
   std::uint32_t sequence = 0;
   std::uint16_t server_num = 0;
   RequestOption option = RequestOption::kBestEffort;
+  /// Observability: the client-minted query trace id, logged at every hop.
+  /// Optional on the wire — old clients omit it and old wizards ignore it;
+  /// empty means "untraced".
+  std::string trace_id;
   std::string detail;  // requirement text
 
-  /// "SREQ <seq> <num> <opt>\n<detail>"
+  /// "SREQ <seq> <num> <opt>[ <trace_id>]\n<detail>". The trace field is
+  /// only emitted when set, so a traceless request is byte-identical to the
+  /// pre-trace format.
   std::string to_wire() const;
   static std::optional<UserRequest> from_wire(std::string_view wire);
 };

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "obs/trace.h"
 #include "util/counters.h"
 #include "util/logging.h"
 
@@ -34,13 +35,23 @@ Wizard::Wizard(WizardConfig config, ipc::StatusStore& store, transport::Receiver
       reply_cache_(config_.cache_size) {
   if (auto sock = net::UdpSocket::bind(config_.bind)) {
     socket_ = std::move(*sock);
-    socket_.set_traffic_counter(util::TrafficRegistry::instance().register_component("wizard"));
+    socket_.set_traffic_counter(obs::MetricsRegistry::instance().traffic("wizard"));
     endpoint_ = socket_.local_endpoint();
   } else {
     bind_error_ = "cannot bind wizard UDP socket to " + config_.bind.to_string() +
                   ": " + std::strerror(errno);
     SMARTSOCK_LOG(kError, "wizard") << bind_error_;
   }
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::instance();
+  metrics_.requests = registry.counter("wizard_requests_total");
+  metrics_.malformed = registry.counter("wizard_malformed_requests_total");
+  metrics_.reply_hits = registry.counter("wizard_reply_cache_hits_total");
+  metrics_.reply_misses = registry.counter("wizard_reply_cache_misses_total");
+  metrics_.requirement_hits = registry.counter("wizard_requirement_cache_hits_total");
+  metrics_.requirement_misses = registry.counter("wizard_requirement_cache_misses_total");
+  metrics_.query_errors = registry.counter("wizard_query_errors_total");
+  metrics_.latency_us = registry.histogram("wizard_query_latency_us");
 }
 
 Wizard::~Wizard() { stop(); }
@@ -51,6 +62,14 @@ void Wizard::add_transmitter(const net::Endpoint& endpoint) {
 
 WizardReply Wizard::handle(const UserRequest& request) {
   auto started = std::chrono::steady_clock::now();
+  auto finish = [&](WizardReply& out) -> WizardReply& {
+    double micros = std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - started)
+                        .count();
+    latency_.record_us(micros);
+    metrics_.latency_us->record_us(micros);
+    return out;
+  };
   WizardReply reply;
   reply.sequence = request.sequence;
 
@@ -74,27 +93,32 @@ WizardReply Wizard::handle(const UserRequest& request) {
     if (CachedReply* cached = reply_cache_.get(key)) {
       if (cached->version == version) {
         ++reply_hits_;
+        metrics_.reply_hits->inc();
         reply = cached->reply;
         reply.sequence = request.sequence;
-        latency_.record_us(std::chrono::duration<double, std::micro>(
-                               std::chrono::steady_clock::now() - started)
-                               .count());
-        return reply;
+        obs::TraceEvent(util::LogLevel::kDebug, "wizard", "reply_cache_hit",
+                        request.trace_id)
+            .kv("seq", request.sequence)
+            .kv("servers", reply.servers.size());
+        return finish(reply);
       }
     }
     ++reply_misses_;
+    metrics_.reply_misses->inc();
   }
 
   // Fast path 2: skip the lexer/parser for known expressions (positive and
   // negative alike).
   lang::RequirementCache::Result compiled = requirement_cache_.get_or_compile(request.detail);
+  (compiled.hit ? metrics_.requirement_hits : metrics_.requirement_misses)->inc();
   if (!compiled) {
     reply.ok = false;
     reply.error = "requirement: " + compiled.error;
-    latency_.record_us(std::chrono::duration<double, std::micro>(
-                           std::chrono::steady_clock::now() - started)
-                           .count());
-    return reply;
+    metrics_.query_errors->inc();
+    obs::TraceEvent(util::LogLevel::kDebug, "wizard", "compile_error", request.trace_id)
+        .kv("seq", request.sequence)
+        .kv("error", compiled.error);
+    return finish(reply);
   }
 
   MatchInput input;
@@ -103,12 +127,24 @@ WizardReply Wizard::handle(const UserRequest& request) {
   input.sec = store_->sec_records();
   input.local_group = config_.local_group;
 
+  obs::TraceEvent(util::LogLevel::kDebug, "wizard", "match_start", request.trace_id)
+      .kv("seq", request.sequence)
+      .kv("candidates", input.sys.size())
+      .kv("requested", request.server_num);
+  auto match_started = std::chrono::steady_clock::now();
   MatchResult result = matcher_.match(*compiled.requirement, input, request.server_num);
+  obs::TraceEvent(util::LogLevel::kDebug, "wizard", "match_end", request.trace_id)
+      .kv("seq", request.sequence)
+      .kv("selected", result.selected.size())
+      .kv("match_us", std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - match_started)
+                          .count());
   if (request.option == RequestOption::kStrict &&
       result.selected.size() < request.server_num) {
     reply.ok = false;
     reply.error = "only " + std::to_string(result.selected.size()) + " of " +
                   std::to_string(request.server_num) + " servers qualified";
+    metrics_.query_errors->inc();
   } else {
     reply.servers = std::move(result.selected);
   }
@@ -117,10 +153,7 @@ WizardReply Wizard::handle(const UserRequest& request) {
     std::lock_guard<std::mutex> lock(reply_mu_);
     reply_cache_.put(key, CachedReply{version, reply});
   }
-  latency_.record_us(std::chrono::duration<double, std::micro>(
-                         std::chrono::steady_clock::now() - started)
-                         .count());
-  return reply;
+  return finish(reply);
 }
 
 lang::RequirementCache::Stats Wizard::reply_cache_stats() const {
@@ -135,13 +168,25 @@ bool Wizard::poll_once(util::Duration timeout) {
 
   auto request = UserRequest::from_wire(datagram->payload);
   if (!request) {
+    metrics_.malformed->inc();
     SMARTSOCK_LOG(kWarn, "wizard") << "malformed request from "
                                    << datagram->peer.to_string();
     return false;
   }
+  metrics_.requests->inc();
+  obs::TraceEvent(util::LogLevel::kDebug, "wizard", "request_dequeue", request->trace_id)
+      .kv("seq", request->sequence)
+      .kv("peer", datagram->peer.to_string())
+      .kv("requested", request->server_num);
   WizardReply reply = handle(*request);
-  socket_.send_to(reply.to_wire(), datagram->peer);
+  std::string wire = reply.to_wire();
+  socket_.send_to(wire, datagram->peer);
   requests_served_.fetch_add(1, std::memory_order_relaxed);
+  obs::TraceEvent(util::LogLevel::kDebug, "wizard", "reply_send", request->trace_id)
+      .kv("seq", request->sequence)
+      .kv("ok", reply.ok)
+      .kv("servers", reply.servers.size())
+      .kv("bytes", wire.size());
   return true;
 }
 

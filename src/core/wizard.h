@@ -26,6 +26,7 @@
 #include "ipc/status_store.h"
 #include "lang/requirement_cache.h"
 #include "net/udp_socket.h"
+#include "obs/metrics.h"
 #include "transport/receiver.h"
 #include "transport/transmitter.h"
 #include "util/counters.h"
@@ -116,6 +117,20 @@ class Wizard {
   std::uint64_t reply_misses_ = 0;
 
   util::LatencyRecorder latency_;
+
+  // Process-wide metrics (obs::MetricsRegistry). Shared across wizard
+  // instances by name; pointers are registry-owned and process-lifetime.
+  struct Metrics {
+    obs::Counter* requests = nullptr;
+    obs::Counter* malformed = nullptr;
+    obs::Counter* reply_hits = nullptr;
+    obs::Counter* reply_misses = nullptr;
+    obs::Counter* requirement_hits = nullptr;
+    obs::Counter* requirement_misses = nullptr;
+    obs::Counter* query_errors = nullptr;
+    obs::Histogram* latency_us = nullptr;
+  };
+  Metrics metrics_;
 
   std::mutex refresh_mu_;  // serializes distributed-mode pulls
   std::vector<std::thread> threads_;

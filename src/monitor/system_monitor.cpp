@@ -38,9 +38,31 @@ SystemMonitor::SystemMonitor(SystemMonitorConfig config, ipc::StatusStore& store
   if (auto sock = net::UdpSocket::bind(config_.bind)) {
     socket_ = std::move(*sock);
     socket_.set_traffic_counter(
-        util::TrafficRegistry::instance().register_component("system_monitor"));
+        obs::MetricsRegistry::instance().traffic("system_monitor"));
     endpoint_ = socket_.local_endpoint();
   }
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::instance();
+  reports_counter_ = registry.counter("sysmon_reports_total");
+  rejected_counter_ = registry.counter("sysmon_reports_rejected_total");
+  expired_counter_ = registry.counter("sysdb_records_expired_total");
+  // Per-server staleness: a gauge per sysdb record with the age of its last
+  // report, so an operator sees a silent probe *before* the expiry sweep
+  // drops the server. Unregistered in the destructor — the collector reads
+  // the store this monitor borrows.
+  ipc::StatusStore* store_ptr = store_;
+  collector_id_ = registry.add_collector([store_ptr](obs::Snapshot& snap) {
+    std::uint64_t now_ns = ipc::steady_now_ns();
+    std::vector<ipc::SysRecord> records = store_ptr->sys_records();
+    snap.gauges.emplace_back("sysdb_records", static_cast<double>(records.size()));
+    for (const ipc::SysRecord& record : records) {
+      double age_s = record.updated_ns <= now_ns
+                         ? static_cast<double>(now_ns - record.updated_ns) / 1e9
+                         : 0.0;
+      snap.gauges.emplace_back(
+          std::string("sysdb_record_age_seconds{host=\"") + record.host + "\"}", age_s);
+    }
+  });
   if (config_.accept_tcp) {
     // Bind the TCP side on the same port number as the UDP side when the
     // bind requested a specific port, else take another ephemeral one.
@@ -54,7 +76,10 @@ SystemMonitor::SystemMonitor(SystemMonitorConfig config, ipc::StatusStore& store
   }
 }
 
-SystemMonitor::~SystemMonitor() { stop(); }
+SystemMonitor::~SystemMonitor() {
+  obs::MetricsRegistry::instance().remove_collector(collector_id_);
+  stop();
+}
 
 bool SystemMonitor::poll_once(util::Duration timeout) {
   if (!socket_.valid()) return false;
@@ -63,12 +88,14 @@ bool SystemMonitor::poll_once(util::Duration timeout) {
   auto report = probe::StatusReport::from_wire(datagram->payload);
   if (!report) {
     reports_rejected_.fetch_add(1, std::memory_order_relaxed);
+    rejected_counter_->inc();
     SMARTSOCK_LOG(kWarn, "system_monitor")
         << "malformed report from " << datagram->peer.to_string();
     return false;
   }
   store_->put_sys(to_sys_record(*report, ipc::steady_now_ns()));
   reports_received_.fetch_add(1, std::memory_order_relaxed);
+  reports_counter_->inc();
   return true;
 }
 
@@ -89,10 +116,12 @@ bool SystemMonitor::poll_tcp_once(util::Duration timeout) {
   auto report = probe::StatusReport::from_wire(line);
   if (!report) {
     reports_rejected_.fetch_add(1, std::memory_order_relaxed);
+    rejected_counter_->inc();
     return false;
   }
   store_->put_sys(to_sys_record(*report, ipc::steady_now_ns()));
   reports_received_.fetch_add(1, std::memory_order_relaxed);
+  reports_counter_->inc();
   return true;
 }
 
@@ -105,7 +134,15 @@ std::size_t SystemMonitor::sweep_stale() {
   std::uint64_t cutoff = now > static_cast<std::uint64_t>(max_age)
                              ? now - static_cast<std::uint64_t>(max_age)
                              : 0;
-  return store_->expire_sys_older_than(cutoff);
+  std::size_t removed = store_->expire_sys_older_than(cutoff);
+  if (removed > 0) {
+    records_expired_.fetch_add(removed, std::memory_order_relaxed);
+    expired_counter_->inc(removed);
+    SMARTSOCK_LOG(kInfo, "system_monitor")
+        << "expired " << removed << " stale sysdb record(s) (cutoff "
+        << config_.stale_factor << " intervals)";
+  }
+  return removed;
 }
 
 bool SystemMonitor::start() {

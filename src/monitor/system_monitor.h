@@ -12,6 +12,7 @@
 #include "ipc/status_store.h"
 #include "net/tcp_listener.h"
 #include "net/udp_socket.h"
+#include "obs/metrics.h"
 #include "probe/status_report.h"
 #include "util/clock.h"
 
@@ -63,6 +64,11 @@ class SystemMonitor {
   std::uint64_t reports_rejected() const {
     return reports_rejected_.load(std::memory_order_relaxed);
   }
+  /// Records removed by staleness sweeps over this monitor's lifetime
+  /// (§3.2.2's 3-missed-interval expiry, previously silent).
+  std::uint64_t records_expired() const {
+    return records_expired_.load(std::memory_order_relaxed);
+  }
   bool valid() const { return socket_.valid(); }
 
  private:
@@ -79,6 +85,14 @@ class SystemMonitor {
   std::atomic<bool> stop_requested_{false};
   std::atomic<std::uint64_t> reports_received_{0};
   std::atomic<std::uint64_t> reports_rejected_{0};
+  std::atomic<std::uint64_t> records_expired_{0};
+
+  // Registry-owned counters mirroring the atomics above, plus a snapshot
+  // collector that publishes per-server last-report age gauges from sysdb.
+  obs::Counter* reports_counter_ = nullptr;
+  obs::Counter* rejected_counter_ = nullptr;
+  obs::Counter* expired_counter_ = nullptr;
+  std::uint64_t collector_id_ = 0;
 };
 
 }  // namespace smartsock::monitor

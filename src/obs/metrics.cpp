@@ -1,0 +1,314 @@
+#include "obs/metrics.h"
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+namespace smartsock::obs {
+
+namespace {
+
+std::uint64_t wall_now_us() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                        std::chrono::system_clock::now().time_since_epoch())
+                                        .count());
+}
+
+std::string fmt_double(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", v);
+  return buffer;
+}
+
+/// Splits "name{labels}" for Prometheus emission; exposition puts the
+/// sample's labels between the name and the value.
+std::pair<std::string_view, std::string_view> split_labels(std::string_view name) {
+  std::size_t brace = name.find('{');
+  if (brace == std::string_view::npos) return {name, {}};
+  return {name.substr(0, brace), name.substr(brace)};
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+util::TrafficCounter* MetricsRegistry::traffic(const std::string& component) {
+  std::lock_guard<std::mutex> lock(mu_);
+  traffic_.emplace_back(component, std::make_unique<util::TrafficCounter>());
+  return traffic_.back().second.get();
+}
+
+std::uint64_t MetricsRegistry::add_collector(Collector fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t id = next_collector_id_++;
+  collectors_[id] = std::move(fn);
+  return id;
+}
+
+void MetricsRegistry::remove_collector(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  collectors_.erase(id);
+}
+
+std::vector<util::ComponentUsage> MetricsRegistry::traffic_usage(double window_seconds) const {
+  std::map<std::string, util::ComponentUsage> merged;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [component, counter] : traffic_) {
+      util::ComponentUsage& usage = merged[component];
+      usage.component = component;
+      usage.bytes_sent += counter->bytes_sent();
+      usage.bytes_received += counter->bytes_received();
+      usage.messages_sent += counter->messages_sent();
+      usage.messages_received += counter->messages_received();
+    }
+  }
+  std::vector<util::ComponentUsage> out;
+  out.reserve(merged.size());
+  for (auto& [name, usage] : merged) {
+    if (window_seconds > 0) {
+      usage.send_rate_kbps = static_cast<double>(usage.bytes_sent) / 1024.0 / window_seconds;
+      usage.receive_rate_kbps =
+          static_cast<double>(usage.bytes_received) / 1024.0 / window_seconds;
+    }
+    out.push_back(std::move(usage));
+  }
+  return out;
+}
+
+Snapshot MetricsRegistry::snapshot() const {
+  Snapshot snap;
+  snap.wall_us = wall_now_us();
+  snap.rss_kb = util::current_rss_kb();
+
+  std::vector<Collector> collectors;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, counter] : counters_) {
+      snap.counters.emplace_back(name, counter->value());
+    }
+    for (const auto& [name, gauge] : gauges_) {
+      snap.gauges.emplace_back(name, gauge->value());
+    }
+    for (const auto& [name, histogram] : histograms_) {
+      HistogramStats stats;
+      stats.name = name;
+      stats.count = histogram->count();
+      stats.mean_us = histogram->mean_us();
+      stats.p50_us = histogram->percentile(50);
+      stats.p90_us = histogram->percentile(90);
+      stats.p99_us = histogram->percentile(99);
+      stats.buckets = histogram->nonzero_buckets();
+      snap.histograms.push_back(std::move(stats));
+    }
+    collectors.reserve(collectors_.size());
+    for (const auto& [id, fn] : collectors_) collectors.push_back(fn);
+  }
+  // Collectors and traffic merging run outside the lock: collectors may call
+  // back into the registry, and neither touches registry structures.
+  snap.traffic = traffic_usage(0.0);
+  for (const Collector& fn : collectors) fn(snap);
+  return snap;
+}
+
+void MetricsRegistry::reset_all() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
+  for (auto& [name, histogram] : histograms_) histogram->reset();
+  for (auto& [component, counter] : traffic_) counter->reset();
+}
+
+std::string Snapshot::to_json(bool pretty) const {
+  const char* nl = pretty ? "\n" : "";
+  const char* pad = pretty ? "  " : "";
+  std::ostringstream out;
+  out << "{" << nl;
+  out << pad << "\"ts_us\": " << wall_us << "," << nl;
+  out << pad << "\"rss_kb\": " << rss_kb << "," << nl;
+
+  out << pad << "\"counters\": {";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    if (i) out << ", ";
+    out << nl << pad << pad << "\"" << json_escape(counters[i].first)
+        << "\": " << counters[i].second;
+  }
+  if (!counters.empty()) out << nl << pad;
+  out << "}," << nl;
+
+  out << pad << "\"gauges\": {";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    if (i) out << ", ";
+    out << nl << pad << pad << "\"" << json_escape(gauges[i].first)
+        << "\": " << fmt_double(gauges[i].second);
+  }
+  if (!gauges.empty()) out << nl << pad;
+  out << "}," << nl;
+
+  out << pad << "\"histograms\": {";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramStats& h = histograms[i];
+    if (i) out << ", ";
+    out << nl << pad << pad << "\"" << json_escape(h.name) << "\": {\"count\": " << h.count
+        << ", \"mean_us\": " << fmt_double(h.mean_us)
+        << ", \"p50_us\": " << fmt_double(h.p50_us)
+        << ", \"p90_us\": " << fmt_double(h.p90_us)
+        << ", \"p99_us\": " << fmt_double(h.p99_us) << ", \"buckets\": [";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b) out << ", ";
+      out << "[" << fmt_double(h.buckets[b].first) << ", " << h.buckets[b].second << "]";
+    }
+    out << "]}";
+  }
+  if (!histograms.empty()) out << nl << pad;
+  out << "}," << nl;
+
+  out << pad << "\"traffic\": {";
+  for (std::size_t i = 0; i < traffic.size(); ++i) {
+    const util::ComponentUsage& usage = traffic[i];
+    if (i) out << ", ";
+    out << nl << pad << pad << "\"" << json_escape(usage.component)
+        << "\": {\"bytes_sent\": " << usage.bytes_sent
+        << ", \"bytes_received\": " << usage.bytes_received
+        << ", \"messages_sent\": " << usage.messages_sent
+        << ", \"messages_received\": " << usage.messages_received << "}";
+  }
+  if (!traffic.empty()) out << nl << pad;
+  out << "}" << nl;
+
+  out << "}" << nl;
+  return out.str();
+}
+
+std::string Snapshot::to_prometheus() const {
+  std::ostringstream out;
+  for (const auto& [name, value] : counters) {
+    auto [base, labels] = split_labels(name);
+    out << "# TYPE " << base << " counter\n";
+    out << base << labels << " " << value << "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    auto [base, labels] = split_labels(name);
+    out << "# TYPE " << base << " gauge\n";
+    out << base << labels << " " << fmt_double(value) << "\n";
+  }
+  for (const HistogramStats& h : histograms) {
+    auto [base, labels] = split_labels(h.name);
+    out << "# TYPE " << base << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (const auto& [upper, count] : h.buckets) {
+      cumulative += count;
+      out << base << "_bucket{le=\"" << fmt_double(upper) << "\"" << "} " << cumulative
+          << "\n";
+    }
+    out << base << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    out << base << "_sum " << fmt_double(h.mean_us * static_cast<double>(h.count)) << "\n";
+    out << base << "_count " << h.count << "\n";
+    (void)labels;  // histogram names carry no labels today
+  }
+  for (const util::ComponentUsage& usage : traffic) {
+    out << "smartsock_traffic_bytes_sent_total{component=\"" << usage.component << "\"} "
+        << usage.bytes_sent << "\n";
+    out << "smartsock_traffic_bytes_received_total{component=\"" << usage.component << "\"} "
+        << usage.bytes_received << "\n";
+    out << "smartsock_traffic_messages_sent_total{component=\"" << usage.component << "\"} "
+        << usage.messages_sent << "\n";
+    out << "smartsock_traffic_messages_received_total{component=\"" << usage.component
+        << "\"} " << usage.messages_received << "\n";
+  }
+  out << "smartsock_rss_kb " << rss_kb << "\n";
+  return out.str();
+}
+
+std::string Snapshot::to_text() const {
+  std::ostringstream out;
+  out << "snapshot ts_us=" << wall_us << " rss_kb=" << rss_kb << "\n";
+  if (!counters.empty()) {
+    out << "\ncounters:\n";
+    for (const auto& [name, value] : counters) {
+      out << "  " << name << " = " << value << "\n";
+    }
+  }
+  if (!gauges.empty()) {
+    out << "\ngauges:\n";
+    for (const auto& [name, value] : gauges) {
+      out << "  " << name << " = " << fmt_double(value) << "\n";
+    }
+  }
+  if (!histograms.empty()) {
+    out << "\nhistograms (us):\n";
+    for (const HistogramStats& h : histograms) {
+      out << "  " << h.name << ": count=" << h.count << " mean=" << fmt_double(h.mean_us)
+          << " p50=" << fmt_double(h.p50_us) << " p90=" << fmt_double(h.p90_us)
+          << " p99=" << fmt_double(h.p99_us) << "\n";
+    }
+  }
+  if (!traffic.empty()) {
+    out << "\ntraffic:\n";
+    for (const util::ComponentUsage& usage : traffic) {
+      out << "  " << usage.component << ": sent=" << usage.bytes_sent << "B/"
+          << usage.messages_sent << "msg recv=" << usage.bytes_received << "B/"
+          << usage.messages_received << "msg\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace smartsock::obs

@@ -1,0 +1,89 @@
+#include "obs/stats_server.h"
+
+#include <cstdio>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace smartsock::obs {
+
+StatsServer::StatsServer(StatsServerConfig config, MetricsRegistry& registry)
+    : config_(std::move(config)), registry_(&registry) {
+  if (auto listener = net::TcpListener::listen(config_.bind)) {
+    listener_ = std::move(*listener);
+    endpoint_ = listener_.local_endpoint();
+  } else {
+    SMARTSOCK_LOG(kError, "stats_server")
+        << "cannot bind stats endpoint to " << config_.bind.to_string();
+  }
+}
+
+StatsServer::~StatsServer() { stop(); }
+
+bool StatsServer::serve_once(util::Duration timeout) {
+  if (!listener_.valid()) return false;
+  auto connection = listener_.accept(timeout);
+  if (!connection) return false;
+  connection->set_receive_timeout(config_.command_timeout);
+
+  // One short command line; EOF or timeout before the newline means default.
+  std::string command;
+  std::string ch;
+  while (command.size() < 64) {
+    auto io = connection->receive_exact(ch, 1);
+    if (!io.ok() || ch[0] == '\n') break;
+    if (ch[0] != '\r') command += ch[0];
+  }
+
+  Snapshot snap = registry_->snapshot();
+  std::string body;
+  if (command == "prom") {
+    body = snap.to_prometheus();
+  } else if (command == "text") {
+    body = snap.to_text();
+  } else {
+    body = snap.to_json(/*pretty=*/true);
+  }
+  connection->send_all(body);
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool StatsServer::dump_now() {
+  if (config_.dump_path.empty()) return false;
+  std::FILE* file = std::fopen(config_.dump_path.c_str(), "a");
+  if (!file) return false;
+  std::string line = registry_->snapshot().to_json(/*pretty=*/false);
+  std::fprintf(file, "%s\n", line.c_str());
+  std::fclose(file);
+  return true;
+}
+
+bool StatsServer::start() {
+  if (!listener_.valid() || thread_.joinable()) return false;
+  stop_requested_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { run_loop(); });
+  return true;
+}
+
+void StatsServer::stop() {
+  stop_requested_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+}
+
+void StatsServer::run_loop() {
+  bool dumping = config_.dump_interval.count() > 0 && !config_.dump_path.empty();
+  util::Duration last_dump = util::SteadyClock::instance().now();
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    serve_once(std::chrono::milliseconds(50));
+    if (dumping) {
+      util::Duration now = util::SteadyClock::instance().now();
+      if (now - last_dump >= config_.dump_interval) {
+        dump_now();
+        last_dump = now;
+      }
+    }
+  }
+}
+
+}  // namespace smartsock::obs

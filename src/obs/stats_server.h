@@ -1,0 +1,74 @@
+// Live stats / introspection endpoint (ISSUE 2 tentpole, part 3).
+//
+// Every daemon can serve its MetricsRegistry snapshot over a TCP admin port
+// (the NEOS-style administrative status interface). Protocol: the client
+// connects, sends one command line — "json", "prom" or "text" (an empty
+// line or EOF defaults to json) — and the server writes the rendered
+// snapshot and closes. `smartsock_stats` is the matching CLI.
+//
+// Optionally the server also appends a compact JSON snapshot line to a file
+// every `dump_interval` (JSONL, one object per line) so the cluster harness
+// can post-mortem a run without having polled the port.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "net/tcp_listener.h"
+#include "obs/metrics.h"
+#include "util/clock.h"
+
+namespace smartsock::obs {
+
+struct StatsServerConfig {
+  net::Endpoint bind = net::Endpoint::loopback(0);  // port 0 = ephemeral
+  /// How long to wait for the client's command line before defaulting.
+  util::Duration command_timeout = std::chrono::milliseconds(500);
+  /// Periodic snapshot-to-file: both must be set to enable.
+  util::Duration dump_interval{0};
+  std::string dump_path;
+};
+
+class StatsServer {
+ public:
+  explicit StatsServer(StatsServerConfig config,
+                       MetricsRegistry& registry = MetricsRegistry::instance());
+  ~StatsServer();
+
+  StatsServer(const StatsServer&) = delete;
+  StatsServer& operator=(const StatsServer&) = delete;
+
+  /// The TCP endpoint clients fetch snapshots from (resolved after bind).
+  net::Endpoint endpoint() const { return endpoint_; }
+  bool valid() const { return listener_.valid(); }
+
+  bool start();
+  void stop();
+
+  /// Serves at most one connection (polling/test entry point).
+  bool serve_once(util::Duration timeout);
+
+  /// Appends one compact snapshot line to `dump_path` now. Returns false if
+  /// no dump path is configured or the file cannot be opened.
+  bool dump_now();
+
+  std::uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void run_loop();
+
+  StatsServerConfig config_;
+  MetricsRegistry* registry_;
+  net::TcpListener listener_;
+  net::Endpoint endpoint_;
+
+  std::thread thread_;
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<std::uint64_t> requests_served_{0};
+};
+
+}  // namespace smartsock::obs

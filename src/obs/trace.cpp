@@ -1,0 +1,116 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+namespace smartsock::obs {
+
+namespace {
+
+std::string to_hex16(std::uint64_t value) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx", static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+std::uint64_t wall_now_us() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                        std::chrono::system_clock::now().time_since_epoch())
+                                        .count());
+}
+
+}  // namespace
+
+std::string mint_trace_id(util::Rng& rng) {
+  // uniform_int is inclusive over int64; stitch two 32-bit draws so the full
+  // 64-bit space is reachable.
+  auto hi = static_cast<std::uint64_t>(rng.uniform_int(0, 0xffffffffll));
+  auto lo = static_cast<std::uint64_t>(rng.uniform_int(0, 0xffffffffll));
+  return to_hex16((hi << 32) | lo);
+}
+
+std::string mint_trace_id() {
+  static std::mutex mu;
+  static util::Rng rng(static_cast<std::uint64_t>(
+                           std::chrono::steady_clock::now().time_since_epoch().count()) ^
+                       (std::hash<std::thread::id>{}(std::this_thread::get_id()) << 1));
+  std::lock_guard<std::mutex> lock(mu);
+  return mint_trace_id(rng);
+}
+
+TraceEvent::TraceEvent(util::LogLevel level, std::string_view component,
+                       std::string_view event, std::string_view trace_id)
+    : enabled_(util::Logger::instance().enabled(level)),
+      level_(level),
+      component_(component) {
+  if (!enabled_) return;
+  line_ = "event=";
+  line_ += event;
+  if (!trace_id.empty()) {
+    line_ += " trace_id=";
+    line_ += trace_id;
+  }
+  kv("ts_us", wall_now_us());
+}
+
+TraceEvent::~TraceEvent() {
+  if (enabled_) util::Logger::instance().log(level_, component_, line_);
+}
+
+TraceEvent& TraceEvent::kv(std::string_view key, std::string_view value) {
+  if (!enabled_) return *this;
+  line_ += ' ';
+  line_.append(key);
+  line_ += '=';
+  bool quote = value.empty() ||
+               value.find_first_of(" \t\n\"") != std::string_view::npos;
+  if (!quote) {
+    line_.append(value);
+    return *this;
+  }
+  line_ += '"';
+  for (char c : value) {
+    if (c == '"') {
+      line_ += '\'';
+    } else if (c == '\n') {
+      line_ += ' ';
+    } else {
+      line_ += c;
+    }
+  }
+  line_ += '"';
+  return *this;
+}
+
+TraceEvent& TraceEvent::kv(std::string_view key, unsigned long long value) {
+  if (!enabled_) return *this;
+  line_ += ' ';
+  line_.append(key);
+  line_ += '=';
+  line_ += std::to_string(value);
+  return *this;
+}
+
+TraceEvent& TraceEvent::kv(std::string_view key, long long value) {
+  if (!enabled_) return *this;
+  line_ += ' ';
+  line_.append(key);
+  line_ += '=';
+  line_ += std::to_string(value);
+  return *this;
+}
+
+TraceEvent& TraceEvent::kv(std::string_view key, double value) {
+  if (!enabled_) return *this;
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  line_ += ' ';
+  line_.append(key);
+  line_ += '=';
+  line_ += buffer;
+  return *this;
+}
+
+}  // namespace smartsock::obs

@@ -1,0 +1,77 @@
+// Query tracing — structured key=value events with propagated trace IDs.
+//
+// SmartClient mints one trace_id per query; the id rides the wizard request
+// wire format (old peers simply omit it) and every hop logs a structured
+// event through util::Logger:
+//
+//   [DEBUG] smart_client: event=query_send trace_id=4be1a22c719d03f7 ts_us=... seq=12 ...
+//   [DEBUG] wizard: event=request_dequeue trace_id=4be1a22c719d03f7 ts_us=... ...
+//
+// One grep for the trace_id over client+wizard logs reconstructs the query's
+// life (client send → wizard dequeue → match start/end → reply send) with
+// per-stage wall-clock timestamps, the way the paper's Fig 5.x latency study
+// was hand-instrumented.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace smartsock::obs {
+
+/// 16 lowercase-hex chars from the caller's RNG (deterministic under a
+/// seeded client, which the trace tests rely on).
+std::string mint_trace_id(util::Rng& rng);
+
+/// Process-global variant for callers without their own RNG stream.
+std::string mint_trace_id();
+
+/// Builder for one structured event line. Collects key=value pairs and emits
+/// them through the process Logger on destruction:
+///   TraceEvent(kDebug, "wizard", "match_start", id).kv("seq", 12).kv("servers", n);
+/// A `ts_us` field (wall clock, µs since the Unix epoch) is always included
+/// so hops can be ordered and timed across processes. Values containing
+/// whitespace or '"' are double-quoted. When the level is disabled the
+/// builder does no formatting work.
+class TraceEvent {
+ public:
+  TraceEvent(util::LogLevel level, std::string_view component, std::string_view event,
+             std::string_view trace_id);
+  ~TraceEvent();
+  TraceEvent(const TraceEvent&) = delete;
+  TraceEvent& operator=(const TraceEvent&) = delete;
+
+  TraceEvent& kv(std::string_view key, std::string_view value);
+  TraceEvent& kv(std::string_view key, const char* value) {
+    return kv(key, std::string_view(value));
+  }
+  TraceEvent& kv(std::string_view key, unsigned long long value);
+  TraceEvent& kv(std::string_view key, long long value);
+  TraceEvent& kv(std::string_view key, unsigned long value) {
+    return kv(key, static_cast<unsigned long long>(value));
+  }
+  TraceEvent& kv(std::string_view key, long value) {
+    return kv(key, static_cast<long long>(value));
+  }
+  TraceEvent& kv(std::string_view key, unsigned value) {
+    return kv(key, static_cast<unsigned long long>(value));
+  }
+  TraceEvent& kv(std::string_view key, int value) {
+    return kv(key, static_cast<long long>(value));
+  }
+  TraceEvent& kv(std::string_view key, double value);
+  TraceEvent& kv(std::string_view key, bool value) {
+    return kv(key, std::string_view(value ? "true" : "false"));
+  }
+
+ private:
+  bool enabled_;
+  util::LogLevel level_;
+  std::string component_;
+  std::string line_;
+};
+
+}  // namespace smartsock::obs

@@ -4,6 +4,7 @@
 
 #include "net/tcp_socket.h"
 
+#include "obs/metrics.h"
 #include "util/counters.h"
 #include "util/logging.h"
 
@@ -62,8 +63,10 @@ ServerProbe::ServerProbe(ProbeConfig config, std::unique_ptr<ProcSource> source,
   if (auto sock = net::UdpSocket::create()) {
     socket_ = std::move(*sock);
     socket_.set_traffic_counter(
-        util::TrafficRegistry::instance().register_component("system_probe"));
+        obs::MetricsRegistry::instance().traffic("system_probe"));
   }
+  reports_counter_ = obs::MetricsRegistry::instance().counter("probe_reports_sent_total");
+  sample_failures_ = obs::MetricsRegistry::instance().counter("probe_sample_failures_total");
 }
 
 ServerProbe::~ServerProbe() { stop(); }
@@ -91,7 +94,10 @@ std::optional<StatusReport> ServerProbe::build_report() {
 
 bool ServerProbe::probe_once() {
   auto report = build_report();
-  if (!report) return false;
+  if (!report) {
+    sample_failures_->inc();
+    return false;
+  }
   std::string wire = report->to_wire_selected(config_.selected_keys);
 
   if (config_.use_tcp) {
@@ -100,12 +106,16 @@ bool ServerProbe::probe_once() {
     connection->set_traffic_counter(socket_.traffic_counter());
     if (!connection->send_all(wire + "\n").ok()) return false;
     reports_sent_.fetch_add(1, std::memory_order_relaxed);
+    reports_counter_->inc();
     return true;
   }
 
   if (!socket_.valid()) return false;
   auto result = socket_.send_to(wire, config_.monitor);
-  if (result.ok()) reports_sent_.fetch_add(1, std::memory_order_relaxed);
+  if (result.ok()) {
+    reports_sent_.fetch_add(1, std::memory_order_relaxed);
+    reports_counter_->inc();
+  }
   return result.ok();
 }
 

@@ -15,6 +15,7 @@
 #include <thread>
 
 #include "net/udp_socket.h"
+#include "obs/metrics.h"
 #include "probe/proc_reader.h"
 #include "probe/status_report.h"
 #include "util/clock.h"
@@ -80,6 +81,8 @@ class ServerProbe {
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
   std::atomic<std::uint64_t> reports_sent_{0};
+  obs::Counter* reports_counter_ = nullptr;  // registry mirror of the above
+  obs::Counter* sample_failures_ = nullptr;
 };
 
 /// Pure helper: turns two samples `dt_seconds` apart into a report (exposed

@@ -1,5 +1,6 @@
 #include "transport/receiver.h"
 
+#include "obs/metrics.h"
 #include "transport/record_codec.h"
 #include "util/counters.h"
 #include "util/logging.h"
@@ -7,7 +8,9 @@
 namespace smartsock::transport {
 
 Receiver::Receiver(ReceiverConfig config, ipc::StatusStore& store)
-    : config_(std::move(config)), store_(&store) {
+    : config_(std::move(config)),
+      store_(&store),
+      traffic_(obs::MetricsRegistry::instance().traffic("receiver")) {
   if (auto listener = net::TcpListener::listen(config_.bind)) {
     listener_ = std::move(*listener);
     endpoint_ = listener_.local_endpoint();
@@ -17,8 +20,7 @@ Receiver::Receiver(ReceiverConfig config, ipc::StatusStore& store)
 Receiver::~Receiver() { stop(); }
 
 bool Receiver::ingest(net::TcpSocket& socket) {
-  socket.set_traffic_counter(
-      util::TrafficRegistry::instance().register_component("receiver"));
+  socket.set_traffic_counter(traffic_);
   socket.set_receive_timeout(config_.io_timeout);
   bool applied = false;
   // One connection carries up to three database frames; EOF ends it.

@@ -58,6 +58,9 @@ class Receiver {
   ipc::StatusStore* store_;
   net::TcpListener listener_;
   net::Endpoint endpoint_;
+  // Registry-owned; shared by every ingest connection instead of
+  // registering a fresh counter per accept.
+  util::TrafficCounter* traffic_ = nullptr;
 
   std::thread thread_;
   std::atomic<bool> stop_requested_{false};

@@ -1,5 +1,6 @@
 #include "transport/transmitter.h"
 
+#include "obs/metrics.h"
 #include "transport/record_codec.h"
 #include "util/counters.h"
 #include "util/logging.h"
@@ -7,7 +8,9 @@
 namespace smartsock::transport {
 
 Transmitter::Transmitter(TransmitterConfig config, const ipc::StatusStore& store)
-    : config_(std::move(config)), store_(&store) {
+    : config_(std::move(config)),
+      store_(&store),
+      traffic_(obs::MetricsRegistry::instance().traffic("transmitter")) {
   if (config_.mode == TransferMode::kDistributed) {
     if (auto listener = net::TcpListener::listen(config_.bind)) {
       listener_ = std::move(*listener);
@@ -19,8 +22,7 @@ Transmitter::Transmitter(TransmitterConfig config, const ipc::StatusStore& store
 Transmitter::~Transmitter() { stop(); }
 
 bool Transmitter::send_snapshot(net::TcpSocket& socket) {
-  socket.set_traffic_counter(
-      util::TrafficRegistry::instance().register_component("transmitter"));
+  socket.set_traffic_counter(traffic_);
   socket.set_send_timeout(config_.io_timeout);
   std::string blob;
   blob += encode_frame(FrameType::kSysDb, encode_records(store_->sys_records()));

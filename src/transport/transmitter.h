@@ -60,6 +60,9 @@ class Transmitter {
   const ipc::StatusStore* store_;
   net::TcpListener listener_;  // distributed mode only
   net::Endpoint endpoint_;
+  // Registry-owned; shared by every snapshot connection instead of
+  // registering a fresh counter per push.
+  util::TrafficCounter* traffic_ = nullptr;
 
   std::thread thread_;
   std::atomic<bool> stop_requested_{false};

@@ -66,6 +66,19 @@ double LatencyRecorder::bucket_mid_us(std::size_t bucket) {
   return std::exp(kLogGrowth * (static_cast<double>(bucket) + 0.5));
 }
 
+double LatencyRecorder::bucket_upper_us(std::size_t bucket) {
+  return std::exp(kLogGrowth * (static_cast<double>(bucket) + 1.0));
+}
+
+std::vector<std::pair<double, std::uint64_t>> LatencyRecorder::nonzero_buckets() const {
+  std::vector<std::pair<double, std::uint64_t>> out;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    std::uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) out.emplace_back(bucket_upper_us(i), n);
+  }
+  return out;
+}
+
 void LatencyRecorder::record_us(double micros) {
   if (micros < 0) micros = 0;
   buckets_[bucket_for(micros)].fetch_add(1, std::memory_order_relaxed);

@@ -11,6 +11,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/clock.h"
@@ -103,6 +104,15 @@ class LatencyRecorder {
   /// pct in (0, 100]; returns 0 when no samples were recorded.
   double percentile(double pct) const;
   void reset();
+
+  /// Exclusive upper bound of bucket `i` in µs (exposition formats publish
+  /// the bucket boundaries, not just the percentiles).
+  static double bucket_upper_us(std::size_t bucket);
+
+  /// (upper_bound_us, count) for every non-empty bucket, in bucket order.
+  /// A concurrent record_us may or may not be included — each bucket is read
+  /// atomically, so the result never contains torn counts.
+  std::vector<std::pair<double, std::uint64_t>> nonzero_buckets() const;
 
  private:
   static std::size_t bucket_for(double micros);

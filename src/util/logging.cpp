@@ -56,9 +56,26 @@ LogLevel Logger::level() const {
   return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
 }
 
+void Logger::reset_from_env(LogLevel fallback) {
+  LogLevel level = fallback;
+  if (const char* env = std::getenv("SMARTSOCK_LOG")) {
+    level = parse_log_level(env);
+  }
+  set_level(level);
+}
+
+void Logger::set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = std::move(sink);
+}
+
 void Logger::log(LogLevel level, std::string_view component, std::string_view message) {
   if (!enabled(level)) return;
   std::lock_guard<std::mutex> lock(mu_);
+  if (sink_) {
+    sink_(level, component, message);
+    return;
+  }
   std::fprintf(stderr, "[%.*s] %.*s: %.*s\n",
                static_cast<int>(log_level_tag(level).size()), log_level_tag(level).data(),
                static_cast<int>(component.size()), component.data(),

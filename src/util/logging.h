@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <functional>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -31,15 +32,30 @@ std::string_view log_level_tag(LogLevel level);
 /// Returns kInfo for unknown strings.
 LogLevel parse_log_level(std::string_view text);
 
-/// Process-wide logger. Writes to stderr; level is adjustable at runtime.
+/// Process-wide logger. Writes to stderr by default; level and sink are
+/// adjustable at runtime (tests inject a capturing sink).
 class Logger {
  public:
+  /// Receives every emitted record. Called under the logger's mutex, so a
+  /// sink needs no synchronization of its own but must not log recursively.
+  using Sink = std::function<void(LogLevel, std::string_view component,
+                                  std::string_view message)>;
+
   static Logger& instance();
 
   void set_level(LogLevel level);
   LogLevel level() const;
 
-  /// Emits one line: "[<tag>] <component>: <message>\n". Thread-safe.
+  /// Re-reads SMARTSOCK_LOG; falls back to `fallback` when unset. The
+  /// constructor-time read happens at static init, before a test or an
+  /// embedding process could have set the variable — this makes the env
+  /// contract re-appliable.
+  void reset_from_env(LogLevel fallback = LogLevel::kWarn);
+
+  /// Replaces the output sink. A null sink restores the stderr default.
+  void set_sink(Sink sink);
+
+  /// Emits one record: "[<tag>] <component>: <message>\n". Thread-safe.
   void log(LogLevel level, std::string_view component, std::string_view message);
 
   bool enabled(LogLevel level) const {
@@ -51,6 +67,7 @@ class Logger {
 
   mutable std::mutex mu_;
   std::atomic<int> level_;
+  Sink sink_;  // null => stderr
 };
 
 /// Stream-style helper: LOG_AS(kInfo, "wizard") << "served " << n;

@@ -46,6 +46,40 @@ TEST(Wire, RequestRejectsGarbage) {
   EXPECT_FALSE(UserRequest::from_wire("SREQ 1 2 7\n"));      // bad option
 }
 
+TEST(Wire, RequestOldFormatWithoutTraceId) {
+  // Pre-trace clients send exactly four header fields; the wizard must keep
+  // accepting them verbatim, with an empty trace id.
+  auto parsed = UserRequest::from_wire("SREQ 42 3 1\nhost_cpu_free > 0.5\n");
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->sequence, 42u);
+  EXPECT_EQ(parsed->server_num, 3);
+  EXPECT_EQ(parsed->option, RequestOption::kStrict);
+  EXPECT_TRUE(parsed->trace_id.empty());
+}
+
+TEST(Wire, RequestTraceIdRoundTrip) {
+  UserRequest request;
+  request.sequence = 7;
+  request.server_num = 2;
+  request.trace_id = "deadbeef01234567";
+  request.detail = "host_system_load1 < 1\n";
+  std::string wire = request.to_wire();
+  auto parsed = UserRequest::from_wire(wire);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->trace_id, "deadbeef01234567");
+  EXPECT_EQ(parsed->detail, request.detail);
+}
+
+TEST(Wire, RequestWithoutTraceIdMatchesOldBytes) {
+  // An empty trace id must not change the bytes on the wire, so new clients
+  // talking to old wizards stay compatible byte-for-byte.
+  UserRequest request;
+  request.sequence = 10;
+  request.server_num = 5;
+  request.detail = "host_memory_free >= 100\n";
+  EXPECT_EQ(request.to_wire(), "SREQ 10 5 0\nhost_memory_free >= 100\n");
+}
+
 TEST(Wire, ReplyRoundTrip) {
   WizardReply reply;
   reply.sequence = 777;

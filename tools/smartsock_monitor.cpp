@@ -9,14 +9,17 @@
 //   smartsock_monitor --listen 0.0.0.0:1111 --receiver 10.0.0.9:1121 \
 //                     --security-log /etc/smartsock/security.log \
 //                     --target lab2=10.0.2.1:7 --interval 2
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
+#include <memory>
 
 #include "ipc/in_memory_store.h"
 #include "ipc/sysv_store.h"
 #include "monitor/network_monitor.h"
 #include "monitor/security_monitor.h"
 #include "monitor/system_monitor.h"
+#include "obs/stats_server.h"
 #include "transport/transmitter.h"
 #include "util/args.h"
 #include "util/strings.h"
@@ -31,13 +34,15 @@ void handle_signal(int) { g_stop = 1; }
 int main(int argc, char** argv) {
   util::Args args(argc, argv,
                   {"listen", "receiver", "security-log", "target", "interval", "mode",
-                   "local-group", "sysv", "help"});
+                   "local-group", "sysv", "stats-port", "stats-dump",
+                   "stats-dump-interval", "help"});
   if (!args.ok() || args.has("help")) {
     std::fprintf(stderr,
                  "usage: smartsock_monitor --listen ip:port [--receiver ip:port] "
                  "[--mode centralized|distributed] [--security-log file] "
                  "[--target group=ip:port]... [--local-group name] "
-                 "[--interval seconds] [--sysv]\n");
+                 "[--interval seconds] [--sysv] [--stats-port port] "
+                 "[--stats-dump file] [--stats-dump-interval seconds]\n");
     return args.has("help") ? 0 : 2;
   }
 
@@ -128,11 +133,31 @@ int main(int argc, char** argv) {
     std::printf("serving pulls on %s\n", transmitter.endpoint().to_string().c_str());
   }
 
+  // --- stats endpoint -----------------------------------------------------
+  std::unique_ptr<obs::StatsServer> stats;
+  if (args.has("stats-port") || args.has("stats-dump")) {
+    obs::StatsServerConfig stats_config;
+    auto stats_port = static_cast<std::uint16_t>(
+        std::clamp<std::int64_t>(args.get_int_or("stats-port", 0), 0, 65535));
+    stats_config.bind = net::Endpoint(listen->ip(), stats_port);
+    stats_config.dump_path = args.get_or("stats-dump", "");
+    stats_config.dump_interval =
+        util::from_seconds(args.get_double_or("stats-dump-interval", 10.0));
+    stats = std::make_unique<obs::StatsServer>(stats_config);
+    if (!stats->valid() || !stats->start()) {
+      std::fprintf(stderr, "cannot start stats endpoint on %s\n",
+                   stats_config.bind.to_string().c_str());
+      return 1;
+    }
+    std::printf("stats endpoint on %s\n", stats->endpoint().to_string().c_str());
+  }
+
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
   while (!g_stop) {
     util::SteadyClock::instance().sleep_for(std::chrono::milliseconds(200));
   }
+  if (stats) stats->stop();
   transmitter.stop();
   network_monitor.stop();
   security_monitor.stop();

@@ -5,10 +5,13 @@
 //
 //   smartsock_probe --monitor 10.0.0.2:1111 --host $(hostname) \
 //                   --service 10.0.0.7:5000 --group lab --interval 2
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
+#include <memory>
 
 #include "net/endpoint.h"
+#include "obs/stats_server.h"
 #include "probe/server_probe.h"
 #include "util/args.h"
 
@@ -21,12 +24,14 @@ void handle_signal(int) { g_stop = 1; }
 
 int main(int argc, char** argv) {
   util::Args args(argc, argv,
-                  {"monitor", "host", "service", "group", "interval", "proc-root", "help"});
+                  {"monitor", "host", "service", "group", "interval", "proc-root",
+                   "stats-port", "stats-dump", "stats-dump-interval", "help"});
   if (!args.ok() || args.has("help") || !args.has("monitor")) {
     std::fprintf(stderr,
                  "usage: smartsock_probe --monitor ip:port [--host name] "
                  "[--service ip:port] [--group name] [--interval seconds] "
-                 "[--proc-root /proc]\n");
+                 "[--proc-root /proc] [--stats-port port] [--stats-dump file] "
+                 "[--stats-dump-interval seconds]\n");
     return args.has("help") ? 0 : 2;
   }
   auto monitor = net::Endpoint::parse(args.get_or("monitor", ""));
@@ -52,11 +57,30 @@ int main(int argc, char** argv) {
               monitor->to_string().c_str(), util::to_seconds(config.interval),
               config.group.c_str());
 
+  std::unique_ptr<obs::StatsServer> stats;
+  if (args.has("stats-port") || args.has("stats-dump")) {
+    obs::StatsServerConfig stats_config;
+    auto stats_port = static_cast<std::uint16_t>(
+        std::clamp<std::int64_t>(args.get_int_or("stats-port", 0), 0, 65535));
+    stats_config.bind = net::Endpoint("127.0.0.1", stats_port);
+    stats_config.dump_path = args.get_or("stats-dump", "");
+    stats_config.dump_interval =
+        util::from_seconds(args.get_double_or("stats-dump-interval", 10.0));
+    stats = std::make_unique<obs::StatsServer>(stats_config);
+    if (!stats->valid() || !stats->start()) {
+      std::fprintf(stderr, "cannot start stats endpoint on %s\n",
+                   stats_config.bind.to_string().c_str());
+      return 1;
+    }
+    std::printf("stats endpoint on %s\n", stats->endpoint().to_string().c_str());
+  }
+
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
   while (!g_stop) {
     util::SteadyClock::instance().sleep_for(std::chrono::milliseconds(200));
   }
+  if (stats) stats->stop();
   probe.stop();
   std::printf("probe stopped after %llu reports\n",
               static_cast<unsigned long long>(probe.reports_sent()));

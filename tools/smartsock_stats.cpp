@@ -1,0 +1,60 @@
+// smartsock_stats — fetches a daemon's live metrics snapshot.
+//
+// Connects to the TCP stats endpoint any daemon exposes via --stats-port,
+// requests one rendering and prints it:
+//
+//   smartsock_stats --connect 10.0.0.9:1199          # human-readable table
+//   smartsock_stats --connect 10.0.0.9:1199 --json   # JSON for scripts
+//   smartsock_stats --connect 10.0.0.9:1199 --prom   # Prometheus exposition
+#include <cstdio>
+#include <string>
+
+#include "net/tcp_socket.h"
+#include "util/args.h"
+
+using namespace smartsock;
+
+int main(int argc, char** argv) {
+  util::Args args(argc, argv, {"connect", "json", "prom", "timeout", "help"});
+  if (!args.ok() || args.has("help") || !args.has("connect")) {
+    std::fprintf(stderr,
+                 "usage: smartsock_stats --connect ip:port [--json | --prom] "
+                 "[--timeout seconds]\n");
+    return args.has("help") ? 0 : 2;
+  }
+  auto endpoint = net::Endpoint::parse(args.get_or("connect", ""));
+  if (!endpoint) {
+    std::fprintf(stderr, "bad --connect endpoint\n");
+    return 2;
+  }
+  util::Duration timeout = util::from_seconds(args.get_double_or("timeout", 2.0));
+
+  auto socket = net::TcpSocket::connect(*endpoint, timeout);
+  if (!socket) {
+    std::fprintf(stderr, "cannot connect to stats endpoint %s\n",
+                 endpoint->to_string().c_str());
+    return 1;
+  }
+  socket->set_receive_timeout(timeout);
+
+  const char* command = args.has("json") ? "json\n" : args.has("prom") ? "prom\n" : "text\n";
+  if (!socket->send_all(command).ok()) {
+    std::fprintf(stderr, "cannot send command\n");
+    return 1;
+  }
+
+  std::string body;
+  std::string chunk;
+  while (true) {
+    auto io = socket->receive_some(chunk, 64 * 1024);
+    if (!io.ok()) break;  // kClosed = end of snapshot; timeout/error = give up
+    body += chunk;
+  }
+  if (body.empty()) {
+    std::fprintf(stderr, "no snapshot received from %s\n", endpoint->to_string().c_str());
+    return 1;
+  }
+  std::fputs(body.c_str(), stdout);
+  if (body.back() != '\n') std::fputc('\n', stdout);
+  return 0;
+}

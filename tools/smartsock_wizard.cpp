@@ -7,13 +7,19 @@
 //   smartsock_wizard --listen 0.0.0.0:1120 --receiver 0.0.0.0:1121
 //   smartsock_wizard --listen 0.0.0.0:1120 --mode distributed \
 //                    --transmitter 10.0.0.2:1110,10.0.5.2:1110
+//
+// Observability: --stats-port serves the metrics registry snapshot over TCP
+// (query with smartsock_stats); --stats-dump/--stats-dump-interval append
+// periodic JSONL snapshots to a file for post-mortem analysis.
 #include <algorithm>
 #include <csignal>
 #include <cstdio>
+#include <memory>
 
 #include "core/wizard.h"
 #include "ipc/in_memory_store.h"
 #include "ipc/sysv_store.h"
+#include "obs/stats_server.h"
 #include "util/args.h"
 #include "util/strings.h"
 
@@ -27,13 +33,15 @@ void handle_signal(int) { g_stop = 1; }
 int main(int argc, char** argv) {
   util::Args args(argc, argv,
                   {"listen", "receiver", "mode", "transmitter", "local-group", "sysv",
-                   "threads", "match-threads", "cache-size", "help"});
+                   "threads", "match-threads", "cache-size", "stats-port", "stats-dump",
+                   "stats-dump-interval", "help"});
   if (!args.ok() || args.has("help")) {
     std::fprintf(stderr,
                  "usage: smartsock_wizard --listen ip:port [--receiver ip:port] "
                  "[--mode centralized|distributed] [--transmitter ip:port,...] "
                  "[--local-group name] [--sysv] [--threads n] [--match-threads n] "
-                 "[--cache-size n]\n");
+                 "[--cache-size n] [--stats-port port] [--stats-dump file] "
+                 "[--stats-dump-interval seconds]\n");
     return args.has("help") ? 0 : 2;
   }
 
@@ -96,11 +104,30 @@ int main(int argc, char** argv) {
   std::printf("wizard serving on %s (%s mode)\n", wizard.endpoint().to_string().c_str(),
               mode.c_str());
 
+  std::unique_ptr<obs::StatsServer> stats;
+  if (args.has("stats-port") || args.has("stats-dump")) {
+    obs::StatsServerConfig stats_config;
+    auto stats_port = static_cast<std::uint16_t>(
+        std::clamp<std::int64_t>(args.get_int_or("stats-port", 0), 0, 65535));
+    stats_config.bind = net::Endpoint(listen->ip(), stats_port);
+    stats_config.dump_path = args.get_or("stats-dump", "");
+    stats_config.dump_interval =
+        util::from_seconds(args.get_double_or("stats-dump-interval", 10.0));
+    stats = std::make_unique<obs::StatsServer>(stats_config);
+    if (!stats->valid() || !stats->start()) {
+      std::fprintf(stderr, "cannot start stats endpoint on %s\n",
+                   stats_config.bind.to_string().c_str());
+      return 1;
+    }
+    std::printf("stats endpoint on %s\n", stats->endpoint().to_string().c_str());
+  }
+
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
   while (!g_stop) {
     util::SteadyClock::instance().sleep_for(std::chrono::milliseconds(200));
   }
+  if (stats) stats->stop();
   wizard.stop();
   receiver.stop();
   std::printf("wizard stopped after %llu requests\n",

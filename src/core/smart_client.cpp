@@ -41,17 +41,38 @@ WizardReply SmartClient::query(const std::string& requirement, std::size_t count
     return failed;
   }
 
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::instance();
+  obs::Counter* retries_counter = registry.counter("client_query_retries_total");
+  obs::Counter* failures_counter = registry.counter("client_query_failures_total");
+  obs::Counter* stale_counter = registry.counter("client_stale_replies_total");
+
   UserRequest request;
-  request.sequence = static_cast<std::uint32_t>(rng_.uniform_int(1, 0x7fffffff));
   request.server_num = static_cast<std::uint16_t>(count);
   request.option = option;
   request.trace_id = obs::mint_trace_id(rng_);
   request.detail = requirement;
-  std::string wire = request.to_wire();
 
-  for (int attempt = 0; attempt <= config_.retries; ++attempt) {
+  // Resends mint a fresh sequence number so a late duplicate reply to an
+  // earlier attempt is unambiguous: any sequence in `sent` answers this
+  // query (all attempts ask the same question), anything else is noise
+  // from a previous query and is discarded.
+  std::vector<std::uint32_t> sent;
+  util::Clock& clock = util::SteadyClock::instance();
+  // Backoff between resends: attempt count stays `retries + 1` (the
+  // pre-policy contract); the policy contributes delay shape and budget.
+  util::RetryPolicy policy = config_.retry;
+  policy.max_attempts = config_.retries + 1;
+  util::RetryState retry(policy, rng_, clock);
+
+  for (int attempt = 0; /* exit via retry.backoff() */; ++attempt) {
+    request.sequence = static_cast<std::uint32_t>(rng_.uniform_int(1, 0x7fffffff));
+    sent.push_back(request.sequence);
+    std::string wire = request.to_wire();
+
     if (!socket_.send_to(wire, config_.wizard).ok()) {
       failed.error = "cannot send request to wizard " + config_.wizard.to_string();
+      if (!retry.backoff()) break;
+      retries_counter->inc();
       continue;
     }
     obs::TraceEvent(util::LogLevel::kDebug, "smart_client", "query_send", request.trace_id)
@@ -59,30 +80,50 @@ WizardReply SmartClient::query(const std::string& requirement, std::size_t count
         .kv("wizard", config_.wizard.to_string())
         .kv("requested", count)
         .kv("attempt", attempt);
-    // Wait for the matching sequence number; late replies to earlier
-    // attempts are drained and discarded.
-    util::Clock& clock = util::SteadyClock::instance();
     util::Duration deadline = clock.now() + config_.reply_timeout;
     while (clock.now() < deadline) {
       auto datagram = socket_.receive(deadline - clock.now());
       if (!datagram) break;
       auto reply = WizardReply::from_wire(datagram->payload);
       if (!reply) continue;
-      if (reply->sequence != request.sequence) continue;  // stale reply
+      bool ours = false;
+      for (std::uint32_t seq : sent) {
+        if (reply->sequence == seq) {
+          ours = true;
+          break;
+        }
+      }
+      if (!ours) continue;  // reply to some previous query
       obs::TraceEvent(util::LogLevel::kDebug, "smart_client", "query_reply",
                       request.trace_id)
-          .kv("seq", request.sequence)
+          .kv("seq", reply->sequence)
           .kv("ok", reply->ok)
+          .kv("stale", reply->stale)
           .kv("servers", reply->servers.size());
+      if (reply->stale) {
+        stale_counter->inc();
+        if (config_.freshness == FreshnessMode::kStrictFresh) {
+          // The wizard is degraded; a later attempt may hit a recovered
+          // feed. Remember the stale answer as the would-be failure.
+          failed = *reply;
+          failed.ok = false;
+          failed.error = "wizard degraded: reply computed from stale status data";
+          break;  // out of the receive loop → retry path below
+        }
+      }
       return *reply;
     }
+    if (!retry.backoff()) break;
+    retries_counter->inc();
   }
   obs::TraceEvent(util::LogLevel::kDebug, "smart_client", "query_timeout", request.trace_id)
-      .kv("seq", request.sequence)
       .kv("wizard", config_.wizard.to_string())
-      .kv("attempts", config_.retries + 1);
-  failed.sequence = request.sequence;
-  failed.error = "no reply from wizard " + config_.wizard.to_string();
+      .kv("attempts", retry.attempts());
+  failures_counter->inc();
+  failed.sequence = sent.empty() ? 0 : sent.back();
+  if (failed.error.empty()) {
+    failed.error = "no reply from wizard " + config_.wizard.to_string();
+  }
   return failed;
 }
 
@@ -91,6 +132,7 @@ SmartConnectResult SmartClient::smart_connect(const std::string& requirement,
   SmartConnectResult result;
 
   WizardReply reply = query(requirement, count, option);
+  result.stale = reply.stale;
   if (!reply.ok) {
     result.error = reply.error;
     return result;

@@ -20,9 +20,17 @@
 #include "core/wire.h"
 #include "net/tcp_socket.h"
 #include "net/udp_socket.h"
+#include "util/retry.h"
 #include "util/rng.h"
 
 namespace smartsock::core {
+
+/// What the client accepts when the wizard is degraded (answering from a
+/// status snapshot older than its staleness bound).
+enum class FreshnessMode {
+  kBestEffort,   // accept stale-flagged replies; surfaced via reply.stale
+  kStrictFresh,  // treat a stale reply as a failed attempt (retry, then fail)
+};
 
 struct SmartClientConfig {
   net::Endpoint wizard;
@@ -30,6 +38,11 @@ struct SmartClientConfig {
   int retries = 2;                       // request resends on timeout
   util::Duration connect_timeout = std::chrono::milliseconds(500);
   std::uint64_t seed = 0;                // 0: seed from the system clock
+  /// Backoff between resends (attempt count comes from `retries` + 1; the
+  /// policy's own max_attempts is ignored so existing callers keep their
+  /// contract). budget, when set, caps the whole query wall-clock.
+  util::RetryPolicy retry{};
+  FreshnessMode freshness = FreshnessMode::kBestEffort;
 };
 
 /// One connected server: identity plus the live socket.
@@ -41,6 +54,9 @@ struct SmartSocket {
 struct SmartConnectResult {
   bool ok = false;
   std::string error;
+  /// True when the candidate list came from a degraded (stale) wizard
+  /// snapshot — the servers connected, but their status data was old.
+  bool stale = false;
   std::vector<SmartSocket> sockets;
 };
 

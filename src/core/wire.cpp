@@ -46,7 +46,9 @@ std::string WizardReply::to_wire() const {
     out += "ERR " + error;
     return out;
   }
-  out += "OK " + std::to_string(servers.size()) + "\n";
+  out += "OK " + std::to_string(servers.size());
+  if (stale) out += " stale";
+  out += "\n";
   for (const ServerEntry& server : servers) {
     out += server.host + " " + server.address + "\n";
   }
@@ -70,7 +72,12 @@ std::optional<WizardReply> WizardReply::from_wire(std::string_view wire) {
     reply.error = std::string(util::trim(wire.substr(err_pos + 3)));
     return reply;
   }
-  if (fields[2] != "OK" || fields.size() != 4) return std::nullopt;
+  // 4 fields: the original format; 5: with the optional staleness marker.
+  if (fields[2] != "OK" || (fields.size() != 4 && fields.size() != 5)) return std::nullopt;
+  if (fields.size() == 5) {
+    if (fields[4] != "stale") return std::nullopt;
+    reply.stale = true;
+  }
   auto count = util::parse_uint(fields[3]);
   if (!count || *count > kMaxServersPerReply) return std::nullopt;
 

@@ -55,9 +55,15 @@ struct WizardReply {
   std::uint32_t sequence = 0;
   bool ok = true;
   std::string error;  // set when !ok
+  /// Graceful degradation (ISSUE 3): the wizard answered from a status
+  /// snapshot older than its staleness bound. Optional on the wire — only
+  /// emitted when set, so a fresh reply is byte-identical to the old
+  /// format and old peers simply never see the token.
+  bool stale = false;
   std::vector<ServerEntry> servers;
 
-  /// "SREP <seq> OK <count>\n<host> <addr>\n..."  or  "SREP <seq> ERR <msg>"
+  /// "SREP <seq> OK <count>[ stale]\n<host> <addr>\n..."
+  /// or "SREP <seq> ERR <msg>"
   std::string to_wire() const;
   static std::optional<WizardReply> from_wire(std::string_view wire);
 };

@@ -51,6 +51,8 @@ Wizard::Wizard(WizardConfig config, ipc::StatusStore& store, transport::Receiver
   metrics_.requirement_hits = registry.counter("wizard_requirement_cache_hits_total");
   metrics_.requirement_misses = registry.counter("wizard_requirement_cache_misses_total");
   metrics_.query_errors = registry.counter("wizard_query_errors_total");
+  metrics_.stale_replies = registry.counter("wizard_stale_replies_total");
+  metrics_.degraded = registry.gauge("wizard_degraded");
   metrics_.latency_us = registry.histogram("wizard_query_latency_us");
 }
 
@@ -60,9 +62,25 @@ void Wizard::add_transmitter(const net::Endpoint& endpoint) {
   transmitters_.push_back(endpoint);
 }
 
+bool Wizard::degraded() const {
+  if (config_.staleness_bound <= util::Duration::zero()) return false;
+  std::uint64_t newest = store_->newest_sys_update_ns();
+  if (newest == 0) return false;  // empty sysdb: nothing to be stale about
+  std::uint64_t now = ipc::steady_now_ns();
+  auto bound_ns = static_cast<std::uint64_t>(config_.staleness_bound.count());
+  return now > newest && now - newest > bound_ns;
+}
+
 WizardReply Wizard::handle(const UserRequest& request) {
   auto started = std::chrono::steady_clock::now();
+  // Stale-data degradation: stamped on every serve path at reply time — a
+  // cached reply never pins the flag computed when it was stored, and the
+  // flag clears as soon as the feed recovers. Evaluated after the
+  // distributed-mode pull below, which may itself refresh the feed.
+  bool stale_serve = false;
   auto finish = [&](WizardReply& out) -> WizardReply& {
+    out.stale = stale_serve;
+    if (stale_serve) metrics_.stale_replies->inc();
     double micros = std::chrono::duration<double, std::micro>(
                         std::chrono::steady_clock::now() - started)
                         .count();
@@ -82,6 +100,9 @@ WizardReply Wizard::handle(const UserRequest& request) {
       receiver_->pull_from(transmitter);
     }
   }
+
+  stale_serve = degraded();
+  metrics_.degraded->set(stale_serve ? 1 : 0);
 
   // Fast path 1: a cached reply computed from the store contents this
   // version still describes. The version is read *before* the records so a

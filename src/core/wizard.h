@@ -46,6 +46,12 @@ struct WizardConfig {
   /// Capacity of the compiled-requirement cache and of the reply cache;
   /// 0 disables both (every request compiles and matches from scratch).
   std::size_t cache_size = 128;
+
+  /// Graceful degradation (ISSUE 3): when the newest sys record is older
+  /// than this bound, the wizard keeps answering from the stale databases
+  /// but marks replies with the `stale` wire flag and raises the
+  /// `wizard_degraded` gauge. Zero (the default) disables the check.
+  util::Duration staleness_bound{0};
 };
 
 class Wizard {
@@ -79,6 +85,9 @@ class Wizard {
   std::uint64_t requests_served() const {
     return requests_served_.load(std::memory_order_relaxed);
   }
+  /// Whether the status feed currently exceeds the staleness bound (always
+  /// false when the bound is disabled or the sysdb is empty).
+  bool degraded() const;
   bool valid() const { return socket_.valid(); }
   /// Why the construction-time UDP bind failed; empty when valid().
   const std::string& bind_error() const { return bind_error_; }
@@ -128,6 +137,8 @@ class Wizard {
     obs::Counter* requirement_hits = nullptr;
     obs::Counter* requirement_misses = nullptr;
     obs::Counter* query_errors = nullptr;
+    obs::Counter* stale_replies = nullptr;
+    obs::Gauge* degraded = nullptr;
     obs::Histogram* latency_us = nullptr;
   };
   Metrics metrics_;

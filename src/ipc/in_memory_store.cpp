@@ -89,6 +89,15 @@ std::size_t InMemoryStatusStore::expire_sys_older_than(std::uint64_t cutoff_ns) 
   return removed;
 }
 
+std::uint64_t InMemoryStatusStore::newest_sys_update_ns() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t newest = 0;
+  for (const SysRecord& record : sys_) {
+    if (record.updated_ns > newest) newest = record.updated_ns;
+  }
+  return newest;
+}
+
 void InMemoryStatusStore::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   version_.fetch_add(1, std::memory_order_acq_rel);

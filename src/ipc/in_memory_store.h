@@ -27,6 +27,7 @@ class InMemoryStatusStore final : public StatusStore {
   std::uint64_t version() const override {
     return version_.load(std::memory_order_acquire);
   }
+  std::uint64_t newest_sys_update_ns() const override;
 
  private:
   std::atomic<std::uint64_t> version_{0};

@@ -11,4 +11,12 @@ std::uint64_t steady_now_ns() {
           .count());
 }
 
+std::uint64_t StatusStore::newest_sys_update_ns() const {
+  std::uint64_t newest = 0;
+  for (const SysRecord& record : sys_records()) {
+    if (record.updated_ns > newest) newest = record.updated_ns;
+  }
+  return newest;
+}
+
 }  // namespace smartsock::ipc

@@ -48,6 +48,13 @@ class StatusStore {
   /// may over-count (bump without an observable change) but must never miss
   /// a change.
   virtual std::uint64_t version() const = 0;
+
+  /// The newest sys record's updated_ns — the age of the status feed, which
+  /// the wizard compares against its staleness bound to decide whether it is
+  /// serving degraded (stale) data. Zero when the sysdb is empty. The base
+  /// implementation scans sys_records(); stores may override with something
+  /// cheaper.
+  virtual std::uint64_t newest_sys_update_ns() const;
 };
 
 /// Monotonic timestamp in ns, the time base for record staleness.

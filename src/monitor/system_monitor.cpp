@@ -46,6 +46,10 @@ SystemMonitor::SystemMonitor(SystemMonitorConfig config, ipc::StatusStore& store
   reports_counter_ = registry.counter("sysmon_reports_total");
   rejected_counter_ = registry.counter("sysmon_reports_rejected_total");
   expired_counter_ = registry.counter("sysdb_records_expired_total");
+  quarantine_trips_counter_ = registry.counter("sysmon_quarantine_trips_total");
+  quarantine_dropped_counter_ =
+      registry.counter("sysmon_quarantined_reports_dropped_total");
+  quarantined_hosts_gauge_ = registry.gauge("sysmon_quarantined_hosts");
   // Per-server staleness: a gauge per sysdb record with the age of its last
   // report, so an operator sees a silent probe *before* the expiry sweep
   // drops the server. Unregistered in the destructor — the collector reads
@@ -81,6 +85,88 @@ SystemMonitor::~SystemMonitor() {
   stop();
 }
 
+bool SystemMonitor::is_quarantined(const std::string& address) const {
+  std::lock_guard<std::mutex> lock(flap_mu_);
+  auto it = flap_states_.find(address);
+  return it != flap_states_.end() &&
+         it->second.quarantined_until_ns > ipc::steady_now_ns();
+}
+
+bool SystemMonitor::admit_report(const std::string& address) {
+  if (config_.flap_threshold <= 0) return true;
+  std::uint64_t now = ipc::steady_now_ns();
+  auto window_ns =
+      static_cast<std::uint64_t>(config_.flap_window.count());
+
+  std::lock_guard<std::mutex> lock(flap_mu_);
+
+  // Prune hosts idle past the window so the map tracks only live reporters.
+  for (auto it = flap_states_.begin(); it != flap_states_.end();) {
+    const HostFlapState& state = it->second;
+    bool idle = state.last_seen_ns + window_ns < now &&
+                state.quarantined_until_ns < now && !state.expired;
+    it = idle ? flap_states_.erase(it) : std::next(it);
+  }
+
+  HostFlapState& state = flap_states_[address];
+  state.last_seen_ns = now;
+
+  if (state.quarantined_until_ns > now) {
+    quarantined_dropped_.fetch_add(1, std::memory_order_relaxed);
+    quarantine_dropped_counter_->inc();
+    return false;
+  }
+
+  if (!state.expired) {
+    // Steady reporter: once it has stayed up a full window past its last
+    // quarantine, its escalation history is forgiven.
+    if (state.quarantine_count > 0 && state.flaps_ns.empty() &&
+        state.quarantined_until_ns + window_ns < now) {
+      state.quarantine_count = 0;
+      state.quarantined_until_ns = 0;
+    }
+    return true;
+  }
+
+  // An expired host reporting again = one flap cycle.
+  state.expired = false;
+  state.flaps_ns.push_back(now);
+  while (!state.flaps_ns.empty() && state.flaps_ns.front() + window_ns < now) {
+    state.flaps_ns.pop_front();
+  }
+  if (state.flaps_ns.size() < static_cast<std::size_t>(config_.flap_threshold)) {
+    return true;
+  }
+
+  // Tripped: drop this report and everything from the host until the
+  // (escalating) quarantine elapses.
+  double scale = 1.0;
+  for (int i = 0; i < state.quarantine_count; ++i) {
+    scale *= config_.quarantine_multiplier;
+  }
+  auto hold = std::chrono::duration_cast<util::Duration>(
+      config_.quarantine_backoff * scale);
+  if (hold > config_.max_quarantine) hold = config_.max_quarantine;
+  state.quarantined_until_ns = now + static_cast<std::uint64_t>(hold.count());
+  state.quarantine_count += 1;
+  state.flaps_ns.clear();
+  quarantine_trips_.fetch_add(1, std::memory_order_relaxed);
+  quarantine_trips_counter_->inc();
+  quarantined_dropped_.fetch_add(1, std::memory_order_relaxed);
+  quarantine_dropped_counter_->inc();
+
+  std::size_t active = 0;
+  for (const auto& [host, hs] : flap_states_) {
+    if (hs.quarantined_until_ns > now) ++active;
+  }
+  quarantined_hosts_gauge_->set(static_cast<double>(active));
+  SMARTSOCK_LOG(kWarn, "system_monitor")
+      << "quarantined flapping host " << address << " for "
+      << util::to_millis(hold) << " ms (" << config_.flap_threshold
+      << " expire/rejoin cycles inside the window)";
+  return false;
+}
+
 bool SystemMonitor::poll_once(util::Duration timeout) {
   if (!socket_.valid()) return false;
   auto datagram = socket_.receive(timeout);
@@ -93,6 +179,7 @@ bool SystemMonitor::poll_once(util::Duration timeout) {
         << "malformed report from " << datagram->peer.to_string();
     return false;
   }
+  if (!admit_report(report->address)) return false;
   store_->put_sys(to_sys_record(*report, ipc::steady_now_ns()));
   reports_received_.fetch_add(1, std::memory_order_relaxed);
   reports_counter_->inc();
@@ -119,6 +206,7 @@ bool SystemMonitor::poll_tcp_once(util::Duration timeout) {
     rejected_counter_->inc();
     return false;
   }
+  if (!admit_report(report->address)) return false;
   store_->put_sys(to_sys_record(*report, ipc::steady_now_ns()));
   reports_received_.fetch_add(1, std::memory_order_relaxed);
   reports_counter_->inc();
@@ -134,6 +222,17 @@ std::size_t SystemMonitor::sweep_stale() {
   std::uint64_t cutoff = now > static_cast<std::uint64_t>(max_age)
                              ? now - static_cast<std::uint64_t>(max_age)
                              : 0;
+  // Mark the hosts this sweep is about to drop, so their next report is
+  // recognized as a rejoin (one flap cycle) by admit_report().
+  if (config_.flap_threshold > 0 && cutoff > 0) {
+    std::vector<ipc::SysRecord> records = store_->sys_records();
+    std::lock_guard<std::mutex> lock(flap_mu_);
+    for (const ipc::SysRecord& record : records) {
+      if (record.updated_ns < cutoff) {
+        flap_states_[record.address].expired = true;
+      }
+    }
+  }
   std::size_t removed = store_->expire_sys_older_than(cutoff);
   if (removed > 0) {
     records_expired_.fetch_add(removed, std::memory_order_relaxed);

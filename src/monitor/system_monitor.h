@@ -7,7 +7,11 @@
 #pragma once
 
 #include <atomic>
+#include <deque>
+#include <mutex>
+#include <string>
 #include <thread>
+#include <unordered_map>
 
 #include "ipc/status_store.h"
 #include "net/tcp_listener.h"
@@ -25,6 +29,18 @@ struct SystemMonitorConfig {
   /// Also accept TCP-delivered reports (Ch. 6 "UDP vs TCP"): one
   /// newline-terminated report per connection.
   bool accept_tcp = true;
+
+  /// Flap quarantine (ISSUE 3): a host that expires and rejoins
+  /// `flap_threshold` times within `flap_window` is quarantined — its
+  /// reports are dropped — for `quarantine_backoff`, doubling per
+  /// consecutive quarantine up to `max_quarantine`. A flapping probe
+  /// otherwise whipsaws the sysdb (and every wizard reply cache keyed on
+  /// its version) once per interval. 0 disables the feature.
+  int flap_threshold = 3;
+  util::Duration flap_window = std::chrono::seconds(60);
+  util::Duration quarantine_backoff = std::chrono::seconds(5);
+  double quarantine_multiplier = 2.0;
+  util::Duration max_quarantine = std::chrono::seconds(60);
 };
 
 /// Converts a parsed probe report into the binary sysdb record.
@@ -69,10 +85,21 @@ class SystemMonitor {
   std::uint64_t records_expired() const {
     return records_expired_.load(std::memory_order_relaxed);
   }
+  /// Quarantines imposed / reports dropped while quarantined.
+  std::uint64_t quarantine_trips() const {
+    return quarantine_trips_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t quarantined_reports_dropped() const {
+    return quarantined_dropped_.load(std::memory_order_relaxed);
+  }
+  /// Whether reports from `address` are currently being dropped.
+  bool is_quarantined(const std::string& address) const;
   bool valid() const { return socket_.valid(); }
 
  private:
   void run_loop();
+  /// Flap accounting on ingest; false = drop the report (quarantined).
+  bool admit_report(const std::string& address);
 
   SystemMonitorConfig config_;
   ipc::StatusStore* store_;
@@ -81,17 +108,35 @@ class SystemMonitor {
   net::TcpListener tcp_listener_;
   net::Endpoint tcp_endpoint_;
 
+  // Per-host flap bookkeeping, keyed by server address. `expired` is set by
+  // the sweep when the host drops out; the next admitted report turns it
+  // into one recorded flap. Entries idle past the flap window are pruned.
+  struct HostFlapState {
+    bool expired = false;
+    std::deque<std::uint64_t> flaps_ns;  // rejoin times inside the window
+    std::uint64_t quarantined_until_ns = 0;
+    int quarantine_count = 0;  // consecutive quarantines (backoff escalation)
+    std::uint64_t last_seen_ns = 0;
+  };
+  mutable std::mutex flap_mu_;
+  std::unordered_map<std::string, HostFlapState> flap_states_;
+
   std::thread thread_;
   std::atomic<bool> stop_requested_{false};
   std::atomic<std::uint64_t> reports_received_{0};
   std::atomic<std::uint64_t> reports_rejected_{0};
   std::atomic<std::uint64_t> records_expired_{0};
+  std::atomic<std::uint64_t> quarantine_trips_{0};
+  std::atomic<std::uint64_t> quarantined_dropped_{0};
 
   // Registry-owned counters mirroring the atomics above, plus a snapshot
   // collector that publishes per-server last-report age gauges from sysdb.
   obs::Counter* reports_counter_ = nullptr;
   obs::Counter* rejected_counter_ = nullptr;
   obs::Counter* expired_counter_ = nullptr;
+  obs::Counter* quarantine_trips_counter_ = nullptr;
+  obs::Counter* quarantine_dropped_counter_ = nullptr;
+  obs::Gauge* quarantined_hosts_gauge_ = nullptr;
   std::uint64_t collector_id_ = 0;
 };
 

@@ -1,0 +1,194 @@
+#include "net/fault.h"
+
+#include <cstdlib>
+
+#include "obs/metrics.h"
+#include "util/strings.h"
+
+namespace smartsock::net {
+
+namespace {
+
+double get_prob(const util::Config& config, const char* key) {
+  double v = config.get_double_or(key, 0.0);
+  if (v < 0.0) return 0.0;
+  if (v > 1.0) return 1.0;
+  return v;
+}
+
+}  // namespace
+
+FaultConfig FaultConfig::from_config(const util::Config& config) {
+  FaultConfig out;
+  out.seed = static_cast<std::uint64_t>(config.get_int_or("seed", 1));
+  out.udp_drop_send = get_prob(config, "udp_drop_send");
+  out.udp_drop_recv = get_prob(config, "udp_drop_recv");
+  out.udp_duplicate = get_prob(config, "udp_duplicate");
+  out.udp_truncate = get_prob(config, "udp_truncate");
+  out.udp_corrupt = get_prob(config, "udp_corrupt");
+  out.udp_delay_prob = get_prob(config, "udp_delay_prob");
+  out.udp_delay = util::from_millis(config.get_double_or("udp_delay_ms", 5.0));
+  out.tcp_connect_fail = get_prob(config, "tcp_connect_fail");
+  out.tcp_reset_send = get_prob(config, "tcp_reset_send");
+  out.tcp_reset_recv = get_prob(config, "tcp_reset_recv");
+  out.tcp_truncate_send = get_prob(config, "tcp_truncate_send");
+  return out;
+}
+
+std::optional<FaultConfig> FaultConfig::from_string(const std::string& text) {
+  // Normalize "k=v,k=v" / "k=v k=v" into the line-oriented Config syntax.
+  std::string lines;
+  lines.reserve(text.size());
+  for (char c : text) {
+    lines += (c == ',' || c == ' ' || c == ';') ? '\n' : c;
+  }
+  util::Config config;
+  if (!config.parse(lines)) return std::nullopt;
+  return FaultConfig::from_config(config);
+}
+
+bool FaultConfig::any() const {
+  return udp_drop_send > 0 || udp_drop_recv > 0 || udp_duplicate > 0 ||
+         udp_truncate > 0 || udp_corrupt > 0 || udp_delay_prob > 0 ||
+         tcp_connect_fail > 0 || tcp_reset_send > 0 || tcp_reset_recv > 0 ||
+         tcp_truncate_send > 0;
+}
+
+std::uint64_t FaultStats::total() const {
+  return udp_dropped_send + udp_dropped_recv + udp_duplicated + udp_truncated +
+         udp_corrupted + udp_delayed + tcp_connect_failed + tcp_reset_send +
+         tcp_reset_recv + tcp_truncated_send;
+}
+
+FaultInjector::FaultInjector(FaultConfig config, util::Clock* clock)
+    : config_(config), clock_(clock), rng_(config.seed ? config.seed : 1) {}
+
+bool FaultInjector::roll(double p, std::atomic<std::uint64_t>& counter,
+                         const char* metric) {
+  if (p <= 0.0) return false;
+  bool fire;
+  {
+    std::lock_guard<std::mutex> lock(rng_mu_);
+    fire = rng_.chance(p);
+  }
+  if (fire) {
+    counter.fetch_add(1, std::memory_order_relaxed);
+    obs::MetricsRegistry::instance().counter(metric)->inc();
+  }
+  return fire;
+}
+
+bool FaultInjector::drop_udp_send() {
+  return roll(config_.udp_drop_send, udp_dropped_send_,
+              "fault_udp_dropped_send_total");
+}
+
+bool FaultInjector::drop_udp_recv() {
+  return roll(config_.udp_drop_recv, udp_dropped_recv_,
+              "fault_udp_dropped_recv_total");
+}
+
+bool FaultInjector::duplicate_udp() {
+  return roll(config_.udp_duplicate, udp_duplicated_, "fault_udp_duplicated_total");
+}
+
+bool FaultInjector::mutate_udp(std::string& payload) {
+  if (payload.empty()) return false;
+  bool changed = false;
+  if (roll(config_.udp_truncate, udp_truncated_, "fault_udp_truncated_total")) {
+    std::size_t keep;
+    {
+      std::lock_guard<std::mutex> lock(rng_mu_);
+      keep = static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(payload.size()) - 1));
+    }
+    payload.resize(keep);
+    changed = true;
+  }
+  if (!payload.empty() &&
+      roll(config_.udp_corrupt, udp_corrupted_, "fault_udp_corrupted_total")) {
+    std::lock_guard<std::mutex> lock(rng_mu_);
+    // Flip 1-4 random bytes; enough to break any header or checksum.
+    int flips = static_cast<int>(rng_.uniform_int(1, 4));
+    for (int i = 0; i < flips; ++i) {
+      std::size_t at = static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(payload.size()) - 1));
+      payload[at] = static_cast<char>(payload[at] ^
+                                      static_cast<char>(rng_.uniform_int(1, 255)));
+    }
+    changed = true;
+  }
+  return changed;
+}
+
+void FaultInjector::maybe_delay_udp() {
+  if (roll(config_.udp_delay_prob, udp_delayed_, "fault_udp_delayed_total")) {
+    clock_->sleep_for(config_.udp_delay);
+  }
+}
+
+bool FaultInjector::fail_connect() {
+  return roll(config_.tcp_connect_fail, tcp_connect_failed_,
+              "fault_tcp_connect_failed_total");
+}
+
+bool FaultInjector::reset_send() {
+  return roll(config_.tcp_reset_send, tcp_reset_send_, "fault_tcp_reset_send_total");
+}
+
+bool FaultInjector::reset_recv() {
+  return roll(config_.tcp_reset_recv, tcp_reset_recv_, "fault_tcp_reset_recv_total");
+}
+
+std::size_t FaultInjector::truncate_send(std::size_t size) {
+  if (size == 0 ||
+      !roll(config_.tcp_truncate_send, tcp_truncated_send_,
+            "fault_tcp_truncated_send_total")) {
+    return size;
+  }
+  std::lock_guard<std::mutex> lock(rng_mu_);
+  return static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(size) - 1));
+}
+
+FaultStats FaultInjector::stats() const {
+  FaultStats s;
+  s.udp_dropped_send = udp_dropped_send_.load(std::memory_order_relaxed);
+  s.udp_dropped_recv = udp_dropped_recv_.load(std::memory_order_relaxed);
+  s.udp_duplicated = udp_duplicated_.load(std::memory_order_relaxed);
+  s.udp_truncated = udp_truncated_.load(std::memory_order_relaxed);
+  s.udp_corrupted = udp_corrupted_.load(std::memory_order_relaxed);
+  s.udp_delayed = udp_delayed_.load(std::memory_order_relaxed);
+  s.tcp_connect_failed = tcp_connect_failed_.load(std::memory_order_relaxed);
+  s.tcp_reset_send = tcp_reset_send_.load(std::memory_order_relaxed);
+  s.tcp_reset_recv = tcp_reset_recv_.load(std::memory_order_relaxed);
+  s.tcp_truncated_send = tcp_truncated_send_.load(std::memory_order_relaxed);
+  return s;
+}
+
+namespace {
+std::atomic<FaultInjector*> g_global{nullptr};
+std::once_flag g_env_once;
+}  // namespace
+
+FaultInjector* FaultInjector::global() {
+  std::call_once(g_env_once, [] {
+    const char* env = std::getenv("SMARTSOCK_FAULTS");
+    if (env == nullptr || *env == '\0') return;
+    auto config = FaultConfig::from_string(env);
+    if (config && config->any()) {
+      // Intentionally leaked: process-lifetime, like the metrics registry.
+      g_global.store(new FaultInjector(*config), std::memory_order_release);
+    }
+  });
+  return g_global.load(std::memory_order_acquire);
+}
+
+FaultInjector* FaultInjector::install_global(FaultInjector* injector) {
+  // Make sure the env fallback cannot race in later and clobber an
+  // explicitly installed injector.
+  std::call_once(g_env_once, [] {});
+  return g_global.exchange(injector, std::memory_order_acq_rel);
+}
+
+}  // namespace smartsock::net

@@ -6,20 +6,29 @@
 
 #include <utility>
 
+#include "net/fault.h"
+
 namespace smartsock::net {
 
 Socket::~Socket() { close(); }
 
 Socket::Socket(Socket&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)), counter_(std::exchange(other.counter_, nullptr)) {}
+    : fd_(std::exchange(other.fd_, -1)),
+      counter_(std::exchange(other.counter_, nullptr)),
+      fault_(std::exchange(other.fault_, nullptr)) {}
 
 Socket& Socket::operator=(Socket&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = std::exchange(other.fd_, -1);
     counter_ = std::exchange(other.counter_, nullptr);
+    fault_ = std::exchange(other.fault_, nullptr);
   }
   return *this;
+}
+
+FaultInjector* Socket::active_fault_injector() const {
+  return fault_ != nullptr ? fault_ : FaultInjector::global();
 }
 
 void Socket::close() {

@@ -15,6 +15,8 @@
 
 namespace smartsock::net {
 
+class FaultInjector;
+
 /// Owning wrapper for a socket descriptor. Move-only.
 class Socket {
  public:
@@ -53,9 +55,17 @@ class Socket {
   void set_traffic_counter(util::TrafficCounter* counter) { counter_ = counter; }
   util::TrafficCounter* traffic_counter() const { return counter_; }
 
+  /// Attaches a fault injector to *this socket only* (tests). When unset,
+  /// the process-global injector (FaultInjector::global()) applies.
+  void set_fault_injector(FaultInjector* injector) { fault_ = injector; }
+
+  /// The injector governing this socket's I/O, or nullptr when chaos is off.
+  FaultInjector* active_fault_injector() const;
+
  protected:
   int fd_ = -1;
   util::TrafficCounter* counter_ = nullptr;
+  FaultInjector* fault_ = nullptr;
 };
 
 /// Classifies recoverable receive outcomes so callers can loop cleanly.

@@ -9,9 +9,14 @@
 #include <poll.h>
 #include <sys/socket.h>
 
+#include "net/fault.h"
+
 namespace smartsock::net {
 
 std::optional<TcpSocket> TcpSocket::connect(const Endpoint& peer, util::Duration timeout) {
+  if (FaultInjector* fault = FaultInjector::global()) {
+    if (fault->fail_connect()) return std::nullopt;
+  }
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return std::nullopt;
   TcpSocket sock(fd);
@@ -43,9 +48,17 @@ std::optional<TcpSocket> TcpSocket::connect(const Endpoint& peer, util::Duration
 }
 
 IoResult TcpSocket::send_all(std::string_view data) {
+  std::size_t limit = data.size();
+  if (FaultInjector* fault = active_fault_injector()) {
+    if (fault->reset_send()) {
+      close();
+      return IoResult{IoStatus::kError, 0, ECONNRESET};
+    }
+    limit = fault->truncate_send(data.size());
+  }
   std::size_t sent = 0;
-  while (sent < data.size()) {
-    ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+  while (sent < limit) {
+    ssize_t n = ::send(fd_, data.data() + sent, limit - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult{IoStatus::kTimeout, sent, errno};
@@ -53,11 +66,23 @@ IoResult TcpSocket::send_all(std::string_view data) {
     }
     sent += static_cast<std::size_t>(n);
   }
+  if (limit < data.size()) {
+    // Injected partial write: the peer sees a half-written frame then RST.
+    close();
+    return IoResult{IoStatus::kError, sent, EPIPE};
+  }
   if (counter_) counter_->add_sent(sent);
   return IoResult{IoStatus::kOk, sent, 0};
 }
 
 IoResult TcpSocket::receive_exact(std::string& out, std::size_t size) {
+  if (FaultInjector* fault = active_fault_injector()) {
+    if (fault->reset_recv()) {
+      close();
+      out.clear();
+      return IoResult{IoStatus::kError, 0, ECONNRESET};
+    }
+  }
   out.resize(size);
   std::size_t received = 0;
   while (received < size) {

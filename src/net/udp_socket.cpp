@@ -5,6 +5,8 @@
 
 #include <sys/socket.h>
 
+#include "net/fault.h"
+
 namespace smartsock::net {
 
 std::optional<UdpSocket> UdpSocket::create() {
@@ -29,9 +31,27 @@ std::optional<UdpSocket> UdpSocket::bind(const Endpoint& endpoint) {
 IoResult UdpSocket::send_to(std::string_view payload, const Endpoint& peer) {
   sockaddr_in addr{};
   if (!peer.to_sockaddr(addr)) return IoResult{IoStatus::kError, 0, EINVAL};
+
+  bool duplicate = false;
+  std::string mutated;  // storage when the injector rewrites the payload
+  if (FaultInjector* fault = active_fault_injector()) {
+    if (fault->drop_udp_send()) {
+      // Swallowed by the "network": the caller sees a normal send.
+      return IoResult{IoStatus::kOk, payload.size(), 0};
+    }
+    fault->maybe_delay_udp();
+    mutated.assign(payload);
+    if (fault->mutate_udp(mutated)) payload = mutated;
+    duplicate = fault->duplicate_udp();
+  }
+
   ssize_t n = ::sendto(fd_, payload.data(), payload.size(), 0,
                        reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
   if (n < 0) return IoResult{IoStatus::kError, 0, errno};
+  if (duplicate) {
+    ::sendto(fd_, payload.data(), payload.size(), 0,
+             reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  }
   if (counter_) counter_->add_sent(static_cast<std::uint64_t>(n));
   return IoResult{IoStatus::kOk, static_cast<std::size_t>(n), 0};
 }
@@ -49,6 +69,13 @@ IoResult UdpSocket::receive_from(std::string& payload, Endpoint& peer, std::size
   }
   payload.resize(static_cast<std::size_t>(n));
   peer = Endpoint::from_sockaddr(addr);
+  if (FaultInjector* fault = active_fault_injector()) {
+    if (fault->drop_udp_recv()) {
+      // Lost on the wire as far as the caller can tell.
+      payload.clear();
+      return IoResult{IoStatus::kTimeout, 0, EAGAIN};
+    }
+  }
   if (counter_) counter_->add_received(static_cast<std::uint64_t>(n));
   return IoResult{IoStatus::kOk, static_cast<std::size_t>(n), 0};
 }

@@ -25,14 +25,19 @@ bool StatsServer::serve_once(util::Duration timeout) {
   auto connection = listener_.accept(timeout);
   if (!connection) return false;
   connection->set_receive_timeout(config_.command_timeout);
+  connection->set_send_timeout(config_.io_timeout);
 
   // One short command line; EOF or timeout before the newline means default.
+  // The per-byte receive timeout bounds each read, and the overall deadline
+  // bounds the whole line, so a slow-drip client cannot wedge this thread.
+  util::Stopwatch watch(util::SteadyClock::instance());
   std::string command;
   std::string ch;
   while (command.size() < 64) {
     auto io = connection->receive_exact(ch, 1);
     if (!io.ok() || ch[0] == '\n') break;
     if (ch[0] != '\r') command += ch[0];
+    if (watch.elapsed() > config_.command_timeout) break;
   }
 
   Snapshot snap = registry_->snapshot();

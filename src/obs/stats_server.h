@@ -25,7 +25,12 @@ namespace smartsock::obs {
 struct StatsServerConfig {
   net::Endpoint bind = net::Endpoint::loopback(0);  // port 0 = ephemeral
   /// How long to wait for the client's command line before defaulting.
+  /// Also the overall deadline for reading it: a client dripping one byte
+  /// per timeout window cannot hold the stats thread past ~2x this value.
   util::Duration command_timeout = std::chrono::milliseconds(500);
+  /// Send timeout for writing the snapshot, so a client that connects and
+  /// never reads cannot wedge the stats thread behind a full socket buffer.
+  util::Duration io_timeout = std::chrono::seconds(2);
   /// Periodic snapshot-to-file: both must be set to enable.
   util::Duration dump_interval{0};
   std::string dump_path;

@@ -10,7 +10,8 @@ namespace smartsock::transport {
 Receiver::Receiver(ReceiverConfig config, ipc::StatusStore& store)
     : config_(std::move(config)),
       store_(&store),
-      traffic_(obs::MetricsRegistry::instance().traffic("receiver")) {
+      traffic_(obs::MetricsRegistry::instance().traffic("receiver")),
+      rng_(config_.retry_seed) {
   if (auto listener = net::TcpListener::listen(config_.bind)) {
     listener_ = std::move(*listener);
     endpoint_ = listener_.local_endpoint();
@@ -23,30 +24,57 @@ bool Receiver::ingest(net::TcpSocket& socket) {
   socket.set_traffic_counter(traffic_);
   socket.set_receive_timeout(config_.io_timeout);
   bool applied = false;
-  // One connection carries up to three database frames; EOF ends it.
-  while (auto frame = read_frame(socket)) {
+  // One connection carries up to three database frames; a clean EOF on a
+  // frame boundary ends it. A damaged stream — truncated frame, unknown
+  // type, oversized or undecodable payload — aborts the connection instead
+  // of masquerading as end-of-snapshot (the pre-ISSUE-3 behaviour silently
+  // dropped the rest of the transfer).
+  const char* damage = nullptr;
+  FrameReadError why = FrameReadError::kNone;
+  while (damage == nullptr) {
+    auto frame = read_frame(socket, &why);
+    if (!frame) {
+      if (why != FrameReadError::kEof) damage = to_string(why);
+      break;
+    }
     switch (frame->type) {
       case FrameType::kSysDb:
         if (auto records = decode_records<ipc::SysRecord>(frame->payload)) {
           store_->replace_sys(*records);
           applied = true;
+        } else {
+          damage = "undecodable sys records";
         }
         break;
       case FrameType::kNetDb:
         if (auto records = decode_records<ipc::NetRecord>(frame->payload)) {
           store_->replace_net(*records);
           applied = true;
+        } else {
+          damage = "undecodable net records";
         }
         break;
       case FrameType::kSecDb:
         if (auto records = decode_records<ipc::SecRecord>(frame->payload)) {
           store_->replace_sec(*records);
           applied = true;
+        } else {
+          damage = "undecodable sec records";
         }
         break;
       case FrameType::kUpdateRequest:
         break;  // not meaningful on this side
     }
+  }
+  if (damage != nullptr) {
+    malformed_frames_.fetch_add(1, std::memory_order_relaxed);
+    obs::MetricsRegistry::instance()
+        .counter("receiver_malformed_frames_total")
+        ->inc();
+    SMARTSOCK_LOG(kWarn, "receiver")
+        << "aborting ingest connection on damaged frame stream: " << damage;
+    socket.close();
+    return false;
   }
   if (applied) snapshots_received_.fetch_add(1, std::memory_order_relaxed);
   return applied;
@@ -59,7 +87,7 @@ bool Receiver::accept_once(util::Duration timeout) {
   return ingest(*client);
 }
 
-bool Receiver::pull_from(const net::Endpoint& transmitter) {
+bool Receiver::pull_once(const net::Endpoint& transmitter) {
   auto socket = net::TcpSocket::connect(transmitter, config_.io_timeout);
   if (!socket) {
     SMARTSOCK_LOG(kWarn, "receiver")
@@ -68,6 +96,18 @@ bool Receiver::pull_from(const net::Endpoint& transmitter) {
   }
   if (!socket->send_all(encode_frame(FrameType::kUpdateRequest, "")).ok()) return false;
   return ingest(*socket);
+}
+
+bool Receiver::pull_from(const net::Endpoint& transmitter) {
+  std::lock_guard<std::mutex> lock(pull_mu_);
+  util::RetryState retry(config_.pull_retry, rng_, util::SteadyClock::instance());
+  obs::Counter* retries =
+      obs::MetricsRegistry::instance().counter("receiver_pull_retries_total");
+  while (true) {
+    if (pull_once(transmitter)) return true;
+    if (!retry.backoff()) return false;
+    retries->inc();
+  }
 }
 
 bool Receiver::start() {

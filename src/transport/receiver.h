@@ -8,18 +8,26 @@
 #pragma once
 
 #include <atomic>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "ipc/status_store.h"
 #include "net/tcp_listener.h"
 #include "util/clock.h"
+#include "util/retry.h"
+#include "util/rng.h"
 
 namespace smartsock::transport {
 
 struct ReceiverConfig {
   net::Endpoint bind = net::Endpoint::loopback(0);
   util::Duration io_timeout = std::chrono::seconds(2);
+  /// Distributed-mode pulls retry through this policy (connect refused,
+  /// damaged stream). max_attempts = 1 disables retrying.
+  util::RetryPolicy pull_retry{};
+  /// Seed for the retry jitter (deterministic in tests).
+  std::uint64_t retry_seed = 0x5ec04dca45ull;
 };
 
 class Receiver {
@@ -48,11 +56,18 @@ class Receiver {
   std::uint64_t snapshots_received() const {
     return snapshots_received_.load(std::memory_order_relaxed);
   }
+  /// Connections aborted because of a damaged frame stream (truncated,
+  /// bad type, oversized, or undecodable records). Mirrors the
+  /// `receiver_malformed_frames_total` registry counter.
+  std::uint64_t malformed_frames() const {
+    return malformed_frames_.load(std::memory_order_relaxed);
+  }
   bool valid() const { return listener_.valid(); }
 
  private:
   void run_loop();
   bool ingest(net::TcpSocket& socket);
+  bool pull_once(const net::Endpoint& transmitter);
 
   ReceiverConfig config_;
   ipc::StatusStore* store_;
@@ -62,9 +77,13 @@ class Receiver {
   // registering a fresh counter per accept.
   util::TrafficCounter* traffic_ = nullptr;
 
+  std::mutex pull_mu_;  // serializes pull retries (shares rng_)
+  util::Rng rng_;
+
   std::thread thread_;
   std::atomic<bool> stop_requested_{false};
   std::atomic<std::uint64_t> snapshots_received_{0};
+  std::atomic<std::uint64_t> malformed_frames_{0};
 };
 
 }  // namespace smartsock::transport

@@ -18,10 +18,32 @@ std::string encode_frame(FrameType type, std::string_view payload) {
   return out;
 }
 
-std::optional<Frame> read_frame(net::TcpSocket& socket) {
+const char* to_string(FrameReadError error) {
+  switch (error) {
+    case FrameReadError::kNone: return "none";
+    case FrameReadError::kEof: return "eof";
+    case FrameReadError::kTruncated: return "truncated";
+    case FrameReadError::kBadType: return "bad_type";
+    case FrameReadError::kOversized: return "oversized";
+  }
+  return "unknown";
+}
+
+std::optional<Frame> read_frame(net::TcpSocket& socket, FrameReadError* error) {
+  FrameReadError scratch = FrameReadError::kNone;
+  FrameReadError& why = error ? *error : scratch;
+  why = FrameReadError::kNone;
+
   std::string header;
   auto result = socket.receive_exact(header, 8);
-  if (!result.ok()) return std::nullopt;
+  if (!result.ok()) {
+    // A clean close on a frame boundary is the normal end of a snapshot;
+    // anything else (partial header, timeout, reset) is a damaged stream.
+    why = (result.status == net::IoStatus::kClosed && result.bytes == 0)
+              ? FrameReadError::kEof
+              : FrameReadError::kTruncated;
+    return std::nullopt;
+  }
 
   std::uint32_t type_be = 0;
   std::uint32_t size_be = 0;
@@ -32,15 +54,22 @@ std::optional<Frame> read_frame(net::TcpSocket& socket) {
 
   if (type < static_cast<std::uint32_t>(FrameType::kSysDb) ||
       type > static_cast<std::uint32_t>(FrameType::kUpdateRequest)) {
+    why = FrameReadError::kBadType;
     return std::nullopt;
   }
-  if (size > kMaxPayload) return std::nullopt;
+  if (size > kMaxPayload) {
+    why = FrameReadError::kOversized;
+    return std::nullopt;
+  }
 
   Frame frame;
   frame.type = static_cast<FrameType>(type);
   if (size > 0) {
     auto body = socket.receive_exact(frame.payload, size);
-    if (!body.ok()) return std::nullopt;
+    if (!body.ok()) {
+      why = FrameReadError::kTruncated;
+      return std::nullopt;
+    }
   }
   return frame;
 }

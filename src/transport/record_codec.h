@@ -31,12 +31,29 @@ struct Frame {
   std::string payload;
 };
 
+/// Why read_frame returned nullopt. Clean EOF (the peer finished its
+/// snapshot and closed) is the only benign outcome; everything else means
+/// the stream is unusable from this point on and the connection should be
+/// aborted, not quietly treated as end-of-snapshot.
+enum class FrameReadError {
+  kNone,       // a frame was returned
+  kEof,        // orderly close before any header byte
+  kTruncated,  // connection ended, timed out or failed mid-frame
+  kBadType,    // header type outside the known range (desynced stream)
+  kOversized,  // payload length above the sanity cap
+};
+
+/// Human-readable name for log lines.
+const char* to_string(FrameReadError error);
+
 /// Serializes one frame (header + payload).
 std::string encode_frame(FrameType type, std::string_view payload);
 
 /// Reads one complete frame from a connected socket. nullopt on EOF before a
-/// header, malformed header, or oversized payload (sanity cap 16 MB).
-std::optional<Frame> read_frame(net::TcpSocket& socket);
+/// header, malformed header, or oversized payload (sanity cap 16 MB); when
+/// `error` is non-null it reports which of those happened.
+std::optional<Frame> read_frame(net::TcpSocket& socket,
+                                FrameReadError* error = nullptr);
 
 /// Record array <-> payload bytes.
 template <typename Record>

@@ -10,7 +10,9 @@ namespace smartsock::transport {
 Transmitter::Transmitter(TransmitterConfig config, const ipc::StatusStore& store)
     : config_(std::move(config)),
       store_(&store),
-      traffic_(obs::MetricsRegistry::instance().traffic("transmitter")) {
+      traffic_(obs::MetricsRegistry::instance().traffic("transmitter")),
+      rng_(config_.retry_seed),
+      breaker_(config_.breaker) {
   if (config_.mode == TransferMode::kDistributed) {
     if (auto listener = net::TcpListener::listen(config_.bind)) {
       listener_ = std::move(*listener);
@@ -33,14 +35,39 @@ bool Transmitter::send_snapshot(net::TcpSocket& socket) {
   return true;
 }
 
+void Transmitter::record_push_outcome(bool ok) {
+  if (ok) {
+    breaker_.record_success();
+  } else {
+    breaker_.record_failure();
+  }
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::instance();
+  registry.gauge("transmitter_breaker_state")
+      ->set(static_cast<double>(static_cast<int>(breaker_.state())));
+  std::uint64_t trips = breaker_.trips();
+  std::uint64_t seen = breaker_trips_seen_.load(std::memory_order_relaxed);
+  while (seen < trips && !breaker_trips_seen_.compare_exchange_weak(
+                             seen, trips, std::memory_order_relaxed)) {
+  }
+  if (seen < trips) {
+    registry.counter("transmitter_breaker_trips_total")->inc(trips - seen);
+    SMARTSOCK_LOG(kWarn, "transmitter")
+        << "circuit breaker opened after " << breaker_.consecutive_failures()
+        << " consecutive push failures to " << config_.receiver.to_string();
+  }
+}
+
 bool Transmitter::transmit_once() {
   auto socket = net::TcpSocket::connect(config_.receiver, config_.io_timeout);
+  bool ok = false;
   if (!socket) {
     SMARTSOCK_LOG(kWarn, "transmitter")
         << "cannot reach receiver " << config_.receiver.to_string();
-    return false;
+  } else {
+    ok = send_snapshot(*socket);
   }
-  return send_snapshot(*socket);
+  record_push_outcome(ok);
+  return ok;
 }
 
 bool Transmitter::start() {
@@ -62,8 +89,23 @@ void Transmitter::stop() {
 
 void Transmitter::run_push_loop() {
   util::Clock& clock = util::SteadyClock::instance();
+  obs::Counter* retries =
+      obs::MetricsRegistry::instance().counter("transmitter_push_retries_total");
   while (!stop_requested_.load(std::memory_order_acquire)) {
-    transmit_once();
+    // The breaker gates the whole cycle: while open, the push is skipped
+    // entirely until the cooldown elapses, at which point allow() lets one
+    // probe through (half-open).
+    if (breaker_.allow()) {
+      util::RetryState retry(config_.push_retry, rng_, clock);
+      while (!transmit_once() &&
+             !stop_requested_.load(std::memory_order_acquire)) {
+        // A trip mid-cycle ends the retry loop early — the breaker has
+        // decided the receiver is down; hammering on defeats its purpose.
+        if (breaker_.state() == util::CircuitBreaker::State::kOpen) break;
+        if (!retry.backoff()) break;
+        retries->inc();
+      }
+    }
     util::Duration remaining = config_.interval;
     const util::Duration slice = std::chrono::milliseconds(20);
     while (remaining > util::Duration::zero() &&

@@ -17,6 +17,8 @@
 #include "ipc/status_store.h"
 #include "net/tcp_listener.h"
 #include "util/clock.h"
+#include "util/retry.h"
+#include "util/rng.h"
 
 namespace smartsock::transport {
 
@@ -28,6 +30,15 @@ struct TransmitterConfig {
   net::Endpoint bind = net::Endpoint::loopback(0);  // distributed: listen here
   util::Duration interval = std::chrono::seconds(2);
   util::Duration io_timeout = std::chrono::seconds(2);
+
+  /// Centralized push loop: a failed push retries through this policy
+  /// within the cycle (max_attempts = 1 disables retrying), and a receiver
+  /// that keeps failing trips the breaker, which then pays one probe per
+  /// cooldown instead of a retry burst per interval.
+  util::RetryPolicy push_retry{};
+  util::CircuitBreakerConfig breaker{};
+  /// Seed for the retry jitter (deterministic in tests).
+  std::uint64_t retry_seed = 0x7a4351173eull;
 };
 
 class Transmitter {
@@ -51,10 +62,16 @@ class Transmitter {
     return snapshots_sent_.load(std::memory_order_relaxed);
   }
 
+  /// The push-path circuit breaker (centralized mode). transmit_once()
+  /// bypasses its gate — a forced push is an explicit probe — but records
+  /// its outcome, so manual pushes participate in opening/closing it.
+  const util::CircuitBreaker& breaker() const { return breaker_; }
+
  private:
   void run_push_loop();
   void run_serve_loop();
   bool send_snapshot(net::TcpSocket& socket);
+  void record_push_outcome(bool ok);
 
   TransmitterConfig config_;
   const ipc::StatusStore* store_;
@@ -63,6 +80,12 @@ class Transmitter {
   // Registry-owned; shared by every snapshot connection instead of
   // registering a fresh counter per push.
   util::TrafficCounter* traffic_ = nullptr;
+
+  util::Rng rng_;
+  util::CircuitBreaker breaker_;
+  /// Trips already exported to the registry counter (monotonic CAS-max, so
+  /// the push loop and manual transmit_once() callers never double-count).
+  std::atomic<std::uint64_t> breaker_trips_seen_{0};
 
   std::thread thread_;
   std::atomic<bool> stop_requested_{false};

@@ -1,0 +1,118 @@
+#include "util/retry.h"
+
+#include <algorithm>
+
+namespace smartsock::util {
+
+RetryState::RetryState(const RetryPolicy& policy, Rng& rng, Clock& clock)
+    : policy_(policy),
+      rng_(&rng),
+      clock_(&clock),
+      start_(clock.now()),
+      next_delay_(policy.initial_backoff) {}
+
+bool RetryState::can_retry() const {
+  if (attempts_ >= policy_.max_attempts) return false;
+  if (policy_.budget > Duration::zero() &&
+      clock_->now() - start_ + next_delay_ > policy_.budget) {
+    return false;
+  }
+  return true;
+}
+
+bool RetryState::backoff() {
+  if (!can_retry()) return false;
+  Duration delay = next_delay_;
+  if (policy_.jitter > 0.0) {
+    double factor = 1.0 + rng_->uniform(-policy_.jitter, policy_.jitter);
+    delay = std::chrono::duration_cast<Duration>(delay * std::max(0.0, factor));
+  }
+  clock_->sleep_for(delay);
+  ++attempts_;
+  auto widened = std::chrono::duration_cast<Duration>(next_delay_ * policy_.multiplier);
+  next_delay_ = std::min(widened, policy_.max_backoff);
+  return true;
+}
+
+void RetryState::reset() {
+  attempts_ = 1;
+  next_delay_ = policy_.initial_backoff;
+  start_ = clock_->now();
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerConfig config, Clock& clock)
+    : config_(config), clock_(&clock), cooldown_(config.cooldown) {}
+
+bool CircuitBreaker::allow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (clock_->now() - opened_at_ >= cooldown_) {
+        state_ = State::kHalfOpen;
+        probe_in_flight_ = true;
+        return true;
+      }
+      return false;
+    case State::kHalfOpen:
+      if (!probe_in_flight_) {
+        probe_in_flight_ = true;
+        return true;
+      }
+      return false;
+  }
+  return true;  // unreachable
+}
+
+void CircuitBreaker::record_success() {
+  std::lock_guard<std::mutex> lock(mu_);
+  state_ = State::kClosed;
+  failures_ = 0;
+  reopen_count_ = 0;
+  probe_in_flight_ = false;
+  cooldown_ = config_.cooldown;
+}
+
+void CircuitBreaker::trip_locked() {
+  state_ = State::kOpen;
+  opened_at_ = clock_->now();
+  probe_in_flight_ = false;
+  ++trips_;
+  // Escalate the cooldown for back-to-back open cycles.
+  if (reopen_count_ > 0) {
+    auto stretched =
+        std::chrono::duration_cast<Duration>(cooldown_ * config_.cooldown_multiplier);
+    cooldown_ = std::min(stretched, config_.max_cooldown);
+  }
+  ++reopen_count_;
+}
+
+void CircuitBreaker::record_failure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++failures_;
+  if (state_ == State::kHalfOpen) {
+    trip_locked();  // the probe failed — straight back to open
+    return;
+  }
+  if (state_ == State::kClosed && failures_ >= config_.failures_to_open) {
+    trip_locked();
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+std::uint64_t CircuitBreaker::trips() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trips_;
+}
+
+int CircuitBreaker::consecutive_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failures_;
+}
+
+}  // namespace smartsock::util

@@ -1,0 +1,123 @@
+// Retry/backoff policy and circuit breaker — the shared resilience
+// primitives (ISSUE 3 tentpole, part 2).
+//
+// The thesis's recovery story (§1.1) picks alternate *servers*; this file
+// hardens the control plane itself. Every fragile hop (client→wizard query,
+// transmitter→receiver push, receiver→transmitter pull) retries through the
+// same policy: exponential backoff with jitter so a burst of failures does
+// not resynchronize into a thundering herd, capped by an attempt count and
+// an optional wall-clock budget. Components that talk to one *specific* peer
+// repeatedly (the centralized transmitter) additionally run a circuit
+// breaker so a long receiver outage costs one probe per cooldown instead of
+// a full retry storm per interval — the MDS2 lesson that a monitoring
+// service under load must shed work against dead components.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "util/clock.h"
+#include "util/rng.h"
+
+namespace smartsock::util {
+
+/// Tunables for one retry loop. The defaults suit sub-second RPCs over
+/// loopback/LAN; wide-area callers should raise initial_backoff.
+struct RetryPolicy {
+  /// Total tries including the first (1 = no retry).
+  int max_attempts = 3;
+  Duration initial_backoff = std::chrono::milliseconds(50);
+  double multiplier = 2.0;
+  Duration max_backoff = std::chrono::seconds(2);
+  /// Uniform +-fraction applied to each delay (0.2 = +-20%).
+  double jitter = 0.2;
+  /// Wall-clock cap across all attempts; zero = attempts-only.
+  Duration budget{0};
+};
+
+/// Per-call state for one retry loop over a RetryPolicy. Not thread-safe;
+/// each in-flight operation owns its own state.
+///
+///   RetryState retry(policy, rng, clock);
+///   do { if (try_once()) return true; } while (retry.backoff());
+///   return false;
+class RetryState {
+ public:
+  RetryState(const RetryPolicy& policy, Rng& rng, Clock& clock);
+
+  /// True if another attempt is allowed; when it is, sleeps the backoff
+  /// delay on the clock before returning. Counts the attempt.
+  bool backoff();
+
+  /// Whether another attempt is allowed, without sleeping or counting.
+  bool can_retry() const;
+
+  /// The delay the next backoff() would sleep (pre-jitter bounds applied,
+  /// jitter drawn fresh per call).
+  Duration next_delay() const { return next_delay_; }
+
+  /// Attempts consumed so far (first try counts once backoff() is asked).
+  int attempts() const { return attempts_; }
+
+  /// Forgets all history — the operation succeeded and the loop restarts.
+  void reset();
+
+ private:
+  RetryPolicy policy_;
+  Rng* rng_;
+  Clock* clock_;
+  Duration start_;
+  Duration next_delay_;
+  int attempts_ = 1;  // the caller has made the first attempt already
+};
+
+/// Circuit breaker state machine: closed (normal) → open after
+/// `failures_to_open` consecutive failures → half-open after `cooldown`,
+/// where exactly one probe is allowed; its outcome closes or re-opens the
+/// circuit. Thread-safe.
+struct CircuitBreakerConfig {
+  int failures_to_open = 4;
+  Duration cooldown = std::chrono::milliseconds(250);
+  /// Each consecutive re-open stretches the cooldown by this factor, capped
+  /// at max_cooldown — a receiver that stays dead is probed ever less often.
+  double cooldown_multiplier = 2.0;
+  Duration max_cooldown = std::chrono::seconds(5);
+};
+
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(CircuitBreakerConfig config,
+                          Clock& clock = SteadyClock::instance());
+
+  /// Whether the caller may attempt the protected operation now. In the
+  /// open state this flips to half-open (and returns true) once the
+  /// cooldown has elapsed; in half-open only the first caller per probe
+  /// window gets through.
+  bool allow();
+
+  void record_success();
+  void record_failure();
+
+  State state() const;
+  /// Closed→open transitions over this breaker's lifetime.
+  std::uint64_t trips() const;
+  int consecutive_failures() const;
+
+ private:
+  void trip_locked();
+
+  CircuitBreakerConfig config_;
+  Clock* clock_;
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  int failures_ = 0;
+  int reopen_count_ = 0;       // consecutive open cycles without a success
+  bool probe_in_flight_ = false;
+  Duration opened_at_{0};
+  Duration cooldown_{0};
+  std::uint64_t trips_ = 0;
+};
+
+}  // namespace smartsock::util

@@ -4,6 +4,8 @@
 //  * receiver restart, transmitter outage, wizard under concurrent clients.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <memory>
 #include <thread>
 
 #include "core/smart_client.h"
@@ -11,6 +13,9 @@
 #include "harness/cluster_harness.h"
 #include "ipc/in_memory_store.h"
 #include "monitor/system_monitor.h"
+#include "net/fault.h"
+#include "net/tcp_listener.h"
+#include "obs/metrics.h"
 #include "probe/sim_proc_reader.h"
 #include "transport/receiver.h"
 #include "transport/transmitter.h"
@@ -315,6 +320,135 @@ TEST(Failure, ClientRetriesThroughLossyWizardPath) {
   relay_thread.join();
   ASSERT_TRUE(reply.ok) << reply.error;
   EXPECT_EQ(reply.servers.size(), 1u);
+}
+
+// --- chaos: the full pipeline under injected faults ------------------------------
+
+TEST(Failure, ChaosEndToEndSurvivesLossAndTransmitterOutage) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::instance();
+  auto counter_value = [&](const char* name) {
+    return registry.counter(name)->value();
+  };
+  // The registry is process-global and other tests in this binary touch the
+  // same counters, so every assertion below is on deltas from here.
+  std::uint64_t retries_before = counter_value("client_query_retries_total");
+  std::uint64_t stale_before = counter_value("wizard_stale_replies_total");
+
+  // The "service" the selected servers expose: a real listener that accepts
+  // and holds smart_connect's sockets.
+  auto service = net::TcpListener::listen(net::Endpoint::loopback(0));
+  ASSERT_TRUE(service);
+  std::atomic<bool> stop_service{false};
+  std::thread service_thread([&] {
+    std::vector<net::TcpSocket> held;
+    while (!stop_service.load()) {
+      if (auto conn = service->accept(20ms)) held.push_back(std::move(*conn));
+    }
+  });
+  std::string service_address = service->local_endpoint().to_string();
+
+  ipc::InMemoryStatusStore monitor_store;
+  ipc::InMemoryStatusStore wizard_store;
+
+  // Feeder: stands in for probe+monitor, refreshing one healthy record's
+  // timestamp continuously so feed age is governed purely by the transport.
+  std::atomic<bool> stop_feeder{false};
+  std::thread feeder([&] {
+    while (!stop_feeder.load()) {
+      ipc::SysRecord record;
+      ipc::copy_fixed(record.host, ipc::kHostNameLen, "chaos1");
+      ipc::copy_fixed(record.address, ipc::kAddressLen, service_address);
+      record.cpu_idle = 0.9;
+      record.updated_ns = ipc::steady_now_ns();
+      monitor_store.put_sys(record);
+      std::this_thread::sleep_for(25ms);
+    }
+  });
+
+  transport::Receiver receiver(transport::ReceiverConfig{}, wizard_store);
+  ASSERT_TRUE(receiver.start());
+
+  transport::TransmitterConfig tx_config;
+  tx_config.receiver = receiver.endpoint();
+  tx_config.interval = 40ms;
+  tx_config.push_retry.max_attempts = 3;
+  tx_config.push_retry.initial_backoff = 10ms;
+  auto transmitter =
+      std::make_unique<transport::Transmitter>(tx_config, monitor_store);
+  ASSERT_TRUE(transmitter->start());
+
+  core::WizardConfig wizard_config;
+  wizard_config.staleness_bound = 250ms;
+  core::Wizard wizard(wizard_config, wizard_store);
+  ASSERT_TRUE(wizard.start());
+
+  // 20% loss on every UDP datagram — requests and replies alike.
+  net::FaultConfig faults;
+  faults.seed = 20250806;
+  faults.udp_drop_send = 0.2;
+  net::FaultInjector injector(faults);
+  net::ScopedGlobalFaults scoped(injector);
+
+  core::SmartClientConfig client_config;
+  client_config.wizard = wizard.endpoint();
+  client_config.seed = 1234;
+  client_config.reply_timeout = 150ms;
+  client_config.retries = 5;
+  client_config.retry.initial_backoff = 20ms;
+  core::SmartClient client(client_config);
+
+  // Phase 1: healthy pipeline end to end, through the lossy sockets.
+  for (int i = 0; i < 200 && wizard_store.sys_records().empty(); ++i) {
+    std::this_thread::sleep_for(10ms);
+  }
+  ASSERT_FALSE(wizard_store.sys_records().empty());
+  auto healthy = client.smart_connect("host_cpu_free > 0.5", 1);
+  ASSERT_TRUE(healthy.ok) << healthy.error;
+  ASSERT_EQ(healthy.sockets.size(), 1u);
+  EXPECT_FALSE(healthy.stale);
+
+  // Phase 2: kill the transmitter mid-run. The wizard-side mirror ages past
+  // the staleness bound; the wizard keeps answering but flags replies.
+  transmitter.reset();
+  std::this_thread::sleep_for(400ms);
+  auto degraded = client.smart_connect("host_cpu_free > 0.5", 1);
+  ASSERT_TRUE(degraded.ok) << degraded.error;
+  ASSERT_EQ(degraded.sockets.size(), 1u);
+  EXPECT_TRUE(degraded.stale);
+  EXPECT_TRUE(wizard.degraded());
+  EXPECT_EQ(registry.gauge("wizard_degraded")->value(), 1.0);
+  EXPECT_GT(counter_value("wizard_stale_replies_total"), stale_before);
+
+  // Phase 3: transmitter restarts; the next snapshot clears the flag.
+  transmitter =
+      std::make_unique<transport::Transmitter>(tx_config, monitor_store);
+  ASSERT_TRUE(transmitter->start());
+  for (int i = 0; i < 300 && wizard.degraded(); ++i) {
+    std::this_thread::sleep_for(10ms);
+  }
+  EXPECT_FALSE(wizard.degraded());
+  auto recovered = client.query("host_cpu_free > 0.5", 1);
+  ASSERT_TRUE(recovered.ok) << recovered.error;
+  EXPECT_FALSE(recovered.stale);
+  EXPECT_EQ(registry.gauge("wizard_degraded")->value(), 0.0);
+
+  // With 20% loss the client's resend path must fire; loop until the retry
+  // counter shows it (bounded — each query is at most ~1s of attempts).
+  for (int i = 0;
+       i < 50 && counter_value("client_query_retries_total") == retries_before;
+       ++i) {
+    client.query("host_cpu_free > 0.5", 1);
+  }
+  EXPECT_GT(counter_value("client_query_retries_total"), retries_before);
+  EXPECT_GT(injector.stats().udp_dropped_send, 0u);
+
+  transmitter->stop();
+  wizard.stop();
+  receiver.stop();
+  stop_feeder.store(true);
+  feeder.join();
+  stop_service.store(true);
+  service_thread.join();
 }
 
 }  // namespace

@@ -1,9 +1,11 @@
-// Transport tests: frame codec, transmitter/receiver in both modes.
+// Transport tests: frame codec, transmitter/receiver in both modes, and the
+// damaged-stream paths (truncated frames, partial writes, resets).
 #include <gtest/gtest.h>
 
 #include <thread>
 
 #include "ipc/in_memory_store.h"
+#include "net/fault.h"
 #include "transport/receiver.h"
 #include "transport/record_codec.h"
 #include "transport/transmitter.h"
@@ -80,8 +82,154 @@ TEST(Codec, ReadFrameRejectsBadType) {
   auto conn = listener->accept(1s);
   ASSERT_TRUE(conn);
   conn->set_receive_timeout(1s);
-  EXPECT_FALSE(read_frame(*conn));
+  FrameReadError why = FrameReadError::kNone;
+  EXPECT_FALSE(read_frame(*conn, &why));
+  EXPECT_EQ(why, FrameReadError::kBadType);
   sender.join();
+}
+
+// --- damaged streams (ISSUE 3) -------------------------------------------------
+
+// One accepted connection fed exactly `bytes`, then closed by the peer.
+std::pair<std::optional<Frame>, FrameReadError> read_after_sending(
+    const std::string& bytes) {
+  auto listener = net::TcpListener::listen(net::Endpoint::loopback(0));
+  EXPECT_TRUE(listener);
+  std::thread sender([&] {
+    auto conn = net::TcpSocket::connect(listener->local_endpoint(), 1s);
+    ASSERT_TRUE(conn);
+    if (!bytes.empty()) conn->send_all(bytes);
+  });
+  auto conn = listener->accept(1s);
+  EXPECT_TRUE(conn);
+  conn->set_receive_timeout(1s);
+  FrameReadError why = FrameReadError::kNone;
+  auto frame = read_frame(*conn, &why);
+  sender.join();
+  return {std::move(frame), why};
+}
+
+TEST(Codec, ReadFrameDistinguishesCleanEofFromTruncation) {
+  auto [eof_frame, eof_why] = read_after_sending("");
+  EXPECT_FALSE(eof_frame);
+  EXPECT_EQ(eof_why, FrameReadError::kEof);
+
+  // Half a header, then close.
+  auto [cut_frame, cut_why] = read_after_sending(std::string(4, '\0'));
+  EXPECT_FALSE(cut_frame);
+  EXPECT_EQ(cut_why, FrameReadError::kTruncated);
+
+  // Full header promising 100 bytes, only 10 delivered.
+  std::string frame = encode_frame(FrameType::kSysDb, std::string(100, 'x'));
+  auto [short_frame, short_why] = read_after_sending(frame.substr(0, 18));
+  EXPECT_FALSE(short_frame);
+  EXPECT_EQ(short_why, FrameReadError::kTruncated);
+}
+
+TEST(Codec, ReadFrameRejectsOversizedPayload) {
+  std::string header(8, '\0');
+  header[3] = 1;  // kSysDb
+  header[4] = 0x7f;  // ~2 GB size, big-endian
+  auto [frame, why] = read_after_sending(header);
+  EXPECT_FALSE(frame);
+  EXPECT_EQ(why, FrameReadError::kOversized);
+}
+
+TEST(Transport, ReceiverAbortsOnTruncatedFrameMidStream) {
+  ipc::InMemoryStatusStore store;
+  Receiver receiver(ReceiverConfig{}, store);
+  ASSERT_TRUE(receiver.valid());
+
+  std::vector<ipc::SysRecord> records = {make_sys("whole", 0.3)};
+  std::string good = encode_frame(FrameType::kSysDb, encode_records(records));
+  std::string bad = encode_frame(FrameType::kNetDb, std::string(64, 'y'));
+  bad.resize(bad.size() - 32);  // promised 64 payload bytes, delivers 32
+
+  std::thread sender([&] {
+    auto conn = net::TcpSocket::connect(receiver.endpoint(), 1s);
+    ASSERT_TRUE(conn);
+    conn->send_all(good + bad);
+  });
+  EXPECT_FALSE(receiver.accept_once(2s));  // damaged stream != snapshot
+  sender.join();
+  EXPECT_EQ(receiver.malformed_frames(), 1u);
+  EXPECT_EQ(receiver.snapshots_received(), 0u);
+}
+
+TEST(Transport, ReceiverAbortsOnUndecodableRecords) {
+  ipc::InMemoryStatusStore store;
+  Receiver receiver(ReceiverConfig{}, store);
+  ASSERT_TRUE(receiver.valid());
+
+  // Misaligned sysdb payload: parses as a frame, fails record decoding.
+  std::string junk = encode_frame(FrameType::kSysDb, std::string(13, 'z'));
+  std::thread sender([&] {
+    auto conn = net::TcpSocket::connect(receiver.endpoint(), 1s);
+    ASSERT_TRUE(conn);
+    conn->send_all(junk);
+  });
+  EXPECT_FALSE(receiver.accept_once(2s));
+  sender.join();
+  EXPECT_EQ(receiver.malformed_frames(), 1u);
+  EXPECT_TRUE(store.sys_records().empty());
+}
+
+TEST(Transport, PartialWriteFaultAbortsPushAndReceiverCountsIt) {
+  ipc::InMemoryStatusStore monitor_store;
+  ipc::InMemoryStatusStore wizard_store;
+  monitor_store.put_sys(make_sys("cutoff", 0.4));
+
+  Receiver receiver(ReceiverConfig{}, wizard_store);
+  ASSERT_TRUE(receiver.valid());
+  TransmitterConfig tx_config;
+  tx_config.receiver = receiver.endpoint();
+  Transmitter transmitter(tx_config, monitor_store);
+
+  net::FaultConfig faults;
+  faults.seed = 5;
+  faults.tcp_truncate_send = 1.0;  // every send writes a prefix, then closes
+  net::FaultInjector injector(faults);
+
+  bool accepted = false;
+  std::thread accepting([&] { accepted = receiver.accept_once(2s); });
+  bool pushed;
+  {
+    net::ScopedGlobalFaults scoped(injector);
+    pushed = transmitter.transmit_once();
+  }
+  accepting.join();
+  EXPECT_FALSE(pushed);
+  EXPECT_FALSE(accepted);
+  EXPECT_GE(injector.stats().tcp_truncated_send, 1u);
+  EXPECT_EQ(receiver.snapshots_received(), 0u);
+}
+
+TEST(Transport, ConnectionResetFaultFailsPushCleanly) {
+  ipc::InMemoryStatusStore monitor_store;
+  ipc::InMemoryStatusStore wizard_store;
+  monitor_store.put_sys(make_sys("reset", 0.4));
+
+  Receiver receiver(ReceiverConfig{}, wizard_store);
+  ASSERT_TRUE(receiver.valid());
+  TransmitterConfig tx_config;
+  tx_config.receiver = receiver.endpoint();
+  Transmitter transmitter(tx_config, monitor_store);
+
+  net::FaultConfig faults;
+  faults.seed = 6;
+  faults.tcp_reset_send = 1.0;
+  net::FaultInjector injector(faults);
+
+  std::thread accepting([&] { receiver.accept_once(2s); });
+  bool pushed;
+  {
+    net::ScopedGlobalFaults scoped(injector);
+    pushed = transmitter.transmit_once();
+  }
+  accepting.join();
+  EXPECT_FALSE(pushed);
+  EXPECT_GE(injector.stats().tcp_reset_send, 1u);
+  EXPECT_TRUE(wizard_store.sys_records().empty());
 }
 
 // --- centralized push ---------------------------------------------------------

@@ -33,15 +33,15 @@ void handle_signal(int) { g_stop = 1; }
 int main(int argc, char** argv) {
   util::Args args(argc, argv,
                   {"listen", "receiver", "mode", "transmitter", "local-group", "sysv",
-                   "threads", "match-threads", "cache-size", "stats-port", "stats-dump",
-                   "stats-dump-interval", "help"});
+                   "threads", "match-threads", "cache-size", "staleness-bound-ms",
+                   "stats-port", "stats-dump", "stats-dump-interval", "help"});
   if (!args.ok() || args.has("help")) {
     std::fprintf(stderr,
                  "usage: smartsock_wizard --listen ip:port [--receiver ip:port] "
                  "[--mode centralized|distributed] [--transmitter ip:port,...] "
                  "[--local-group name] [--sysv] [--threads n] [--match-threads n] "
-                 "[--cache-size n] [--stats-port port] [--stats-dump file] "
-                 "[--stats-dump-interval seconds]\n");
+                 "[--cache-size n] [--staleness-bound-ms n] [--stats-port port] "
+                 "[--stats-dump file] [--stats-dump-interval seconds]\n");
     return args.has("help") ? 0 : 2;
   }
 
@@ -77,6 +77,9 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(std::max<std::int64_t>(1, args.get_int_or("match-threads", 1)));
   wizard_config.cache_size =
       static_cast<std::size_t>(std::max<std::int64_t>(0, args.get_int_or("cache-size", 128)));
+  // 0 (the default) disables degraded-mode stale flagging entirely.
+  wizard_config.staleness_bound = util::from_millis(static_cast<double>(
+      std::max<std::int64_t>(0, args.get_int_or("staleness-bound-ms", 0))));
   std::string mode = args.get_or("mode", "centralized");
   wizard_config.mode = mode == "distributed" ? transport::TransferMode::kDistributed
                                              : transport::TransferMode::kCentralized;

@@ -11,9 +11,14 @@
 //
 // Emits BENCH_wizard.json next to the binary's working directory so CI can
 // archive the trajectory. Percentiles are exact (computed from the full
-// per-query sample vector, not the wizard's bucketed recorder).
+// per-query sample vector); each phase also feeds the same samples through
+// a util::QuantileSketch (the P² estimator behind every histogram's
+// p50/p90/p99 since ISSUE 4) and reports the sketch's error against the
+// exact values, so the accuracy of the production tail numbers is itself
+// benchmarked.
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -23,6 +28,7 @@
 #include "core/wizard.h"
 #include "ipc/in_memory_store.h"
 #include "obs/metrics.h"
+#include "util/quantile.h"
 
 namespace {
 
@@ -60,7 +66,14 @@ struct Measurement {
   double qps = 0;
   double p50_us = 0;
   double p99_us = 0;
+  double sketch_p50_us = 0;  // P² estimate over the same samples
+  double sketch_p99_us = 0;
   std::size_t iterations = 0;
+
+  /// Relative sketch error vs the exact percentile, in percent.
+  double sketch_p99_err_pct() const {
+    return p99_us > 0 ? std::fabs(sketch_p99_us - p99_us) / p99_us * 100.0 : 0;
+  }
 };
 
 Measurement measure(core::Wizard& wizard, const core::UserRequest& request,
@@ -86,6 +99,11 @@ Measurement measure(core::Wizard& wizard, const core::UserRequest& request,
   double total_us = 0;
   for (double s : samples) total_us += s;
   m.qps = static_cast<double>(samples.size()) / (total_us / 1e6);
+  util::QuantileSketch sketch;
+  for (double s : samples) sketch.add(s);
+  util::QuantileSketch::Values estimates = sketch.snapshot();
+  m.sketch_p50_us = estimates.p50;
+  m.sketch_p99_us = estimates.p99;
   std::sort(samples.begin(), samples.end());
   m.p50_us = samples[samples.size() / 2];
   m.p99_us = samples[std::min(samples.size() - 1,
@@ -151,6 +169,10 @@ int main() {
     }
     smartsock::bench::print_note("warm/cold speedup: " +
                                  smartsock::bench::fmt(row.warm.qps / row.cold.qps, 1) + "x");
+    smartsock::bench::print_note(
+        "P2 sketch p99 (cold): " + smartsock::bench::fmt(row.cold.sketch_p99_us) +
+        "us vs exact " + smartsock::bench::fmt(row.cold.p99_us) + "us (err " +
+        smartsock::bench::fmt(row.cold.sketch_p99_err_pct(), 1) + "%)");
     results.push_back(row);
   }
 
@@ -167,12 +189,17 @@ int main() {
     std::fprintf(json,
                  "    {\"servers\": %zu,\n"
                  "     \"cold\": {\"qps\": %.1f, \"p50_us\": %.2f, \"p99_us\": %.2f, "
-                 "\"iterations\": %zu},\n"
+                 "\"sketch_p50_us\": %.2f, \"sketch_p99_us\": %.2f, "
+                 "\"sketch_p99_err_pct\": %.2f, \"iterations\": %zu},\n"
                  "     \"warm\": {\"qps\": %.1f, \"p50_us\": %.2f, \"p99_us\": %.2f, "
-                 "\"iterations\": %zu},\n"
+                 "\"sketch_p50_us\": %.2f, \"sketch_p99_us\": %.2f, "
+                 "\"sketch_p99_err_pct\": %.2f, \"iterations\": %zu},\n"
                  "     \"warm_speedup\": %.2f}%s\n",
                  row.servers, row.cold.qps, row.cold.p50_us, row.cold.p99_us,
-                 row.cold.iterations, row.warm.qps, row.warm.p50_us, row.warm.p99_us,
+                 row.cold.sketch_p50_us, row.cold.sketch_p99_us,
+                 row.cold.sketch_p99_err_pct(), row.cold.iterations, row.warm.qps,
+                 row.warm.p50_us, row.warm.p99_us, row.warm.sketch_p50_us,
+                 row.warm.sketch_p99_us, row.warm.sketch_p99_err_pct(),
                  row.warm.iterations, row.warm.qps / row.cold.qps,
                  i + 1 < results.size() ? "," : "");
   }

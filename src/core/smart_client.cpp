@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "util/counters.h"
 #include "util/logging.h"
@@ -51,6 +52,11 @@ WizardReply SmartClient::query(const std::string& requirement, std::size_t count
   request.option = option;
   request.trace_id = obs::mint_trace_id(rng_);
   request.detail = requirement;
+
+  // Flight-recorder span covering the whole query including resends; the
+  // wizard records its half under the same trace_id.
+  obs::Span span("smart_client", "query", request.trace_id);
+  span.tag("wizard", config_.wizard.to_string()).tag("requested", count);
 
   // Resends mint a fresh sequence number so a late duplicate reply to an
   // earlier attempt is unambiguous: any sequence in `sent` answers this
@@ -100,6 +106,10 @@ WizardReply SmartClient::query(const std::string& requirement, std::size_t count
           .kv("ok", reply->ok)
           .kv("stale", reply->stale)
           .kv("servers", reply->servers.size());
+      span.tag("ok", reply->ok)
+          .tag("stale", reply->stale)
+          .tag("servers", reply->servers.size())
+          .tag("attempts", attempt + 1);
       if (reply->stale) {
         stale_counter->inc();
         if (config_.freshness == FreshnessMode::kStrictFresh) {
@@ -119,6 +129,7 @@ WizardReply SmartClient::query(const std::string& requirement, std::size_t count
   obs::TraceEvent(util::LogLevel::kDebug, "smart_client", "query_timeout", request.trace_id)
       .kv("wizard", config_.wizard.to_string())
       .kv("attempts", retry.attempts());
+  span.tag("ok", false).tag("attempts", retry.attempts());
   failures_counter->inc();
   failed.sequence = sent.empty() ? 0 : sent.back();
   if (failed.error.empty()) {

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "util/counters.h"
 #include "util/logging.h"
@@ -71,7 +72,7 @@ bool Wizard::degraded() const {
   return now > newest && now - newest > bound_ns;
 }
 
-WizardReply Wizard::handle(const UserRequest& request) {
+WizardReply Wizard::handle(const UserRequest& request, std::uint64_t parent_span) {
   auto started = std::chrono::steady_clock::now();
   // Stale-data degradation: stamped on every serve path at reply time — a
   // cached reply never pins the flag computed when it was stored, and the
@@ -88,6 +89,12 @@ WizardReply Wizard::handle(const UserRequest& request) {
     metrics_.latency_us->record_us(micros);
     return out;
   };
+  // Flight-recorder span for the serve path; the match phase nests a child
+  // span below so the cache fast paths and the matcher separate on the
+  // timeline.
+  obs::Span handle_span("wizard", "handle", request.trace_id, parent_span);
+  handle_span.tag("seq", request.sequence).tag("requested", request.server_num);
+
   WizardReply reply;
   reply.sequence = request.sequence;
 
@@ -121,6 +128,7 @@ WizardReply Wizard::handle(const UserRequest& request) {
                         request.trace_id)
             .kv("seq", request.sequence)
             .kv("servers", reply.servers.size());
+        handle_span.tag("cache", "hit").tag("servers", reply.servers.size());
         return finish(reply);
       }
     }
@@ -139,6 +147,7 @@ WizardReply Wizard::handle(const UserRequest& request) {
     obs::TraceEvent(util::LogLevel::kDebug, "wizard", "compile_error", request.trace_id)
         .kv("seq", request.sequence)
         .kv("error", compiled.error);
+    handle_span.tag("error", "compile");
     return finish(reply);
   }
 
@@ -153,7 +162,13 @@ WizardReply Wizard::handle(const UserRequest& request) {
       .kv("candidates", input.sys.size())
       .kv("requested", request.server_num);
   auto match_started = std::chrono::steady_clock::now();
-  MatchResult result = matcher_.match(*compiled.requirement, input, request.server_num);
+  MatchResult result;
+  {
+    obs::Span match_span("wizard", "match", request.trace_id, handle_span.id());
+    match_span.tag("candidates", input.sys.size()).tag("requested", request.server_num);
+    result = matcher_.match(*compiled.requirement, input, request.server_num);
+    match_span.tag("selected", result.selected.size());
+  }
   obs::TraceEvent(util::LogLevel::kDebug, "wizard", "match_end", request.trace_id)
       .kv("seq", request.sequence)
       .kv("selected", result.selected.size())
@@ -170,6 +185,7 @@ WizardReply Wizard::handle(const UserRequest& request) {
     reply.servers = std::move(result.selected);
   }
 
+  handle_span.tag("ok", reply.ok).tag("servers", reply.servers.size());
   {
     std::lock_guard<std::mutex> lock(reply_mu_);
     reply_cache_.put(key, CachedReply{version, reply});
@@ -199,7 +215,9 @@ bool Wizard::poll_once(util::Duration timeout) {
       .kv("seq", request->sequence)
       .kv("peer", datagram->peer.to_string())
       .kv("requested", request->server_num);
-  WizardReply reply = handle(*request);
+  obs::Span request_span("wizard", "request", request->trace_id);
+  request_span.tag("seq", request->sequence).tag("peer", datagram->peer.to_string());
+  WizardReply reply = handle(*request, request_span.id());
   std::string wire = reply.to_wire();
   socket_.send_to(wire, datagram->peer);
   requests_served_.fetch_add(1, std::memory_order_relaxed);
@@ -208,6 +226,7 @@ bool Wizard::poll_once(util::Duration timeout) {
       .kv("ok", reply.ok)
       .kv("servers", reply.servers.size())
       .kv("bytes", wire.size());
+  request_span.tag("ok", reply.ok).tag("bytes", wire.size());
   return true;
 }
 

@@ -77,7 +77,9 @@ class Wizard {
   bool poll_once(util::Duration timeout);
 
   /// Builds the reply for a request (exposed for tests — no sockets).
-  WizardReply handle(const UserRequest& request);
+  /// `parent_span` links the handle span under the caller's flight-recorder
+  /// span (0 = root).
+  WizardReply handle(const UserRequest& request, std::uint64_t parent_span = 0);
 
   bool start();
   void stop();

@@ -1,0 +1,105 @@
+// Health / SLO engine (ISSUE 4 tentpole, part 3).
+//
+// The NEOS-style operator question: "is this fleet member healthy, and if
+// not, why?" — answered from the inside. The engine evaluates rule-based
+// checks over a MetricsRegistry snapshot and rolls them up into
+// per-subsystem ok|degraded|critical verdicts with human-readable reasons;
+// the StatsServer's `health` command renders the report.
+//
+// Built-in rules cover the SLOs this repo already measures: status-feed
+// staleness (wizard_degraded, sysdb record ages), the transmitter's push
+// circuit breaker, monitor quarantine counts, fault/drop/malformed-frame
+// rates (counter deltas between evaluations) and the wizard's reply-latency
+// p99 from the P² sketch. Checks whose metric is absent from the snapshot
+// are "not applicable" and silent — one engine works in any daemon.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace smartsock::obs {
+
+enum class HealthLevel { kOk = 0, kDegraded = 1, kCritical = 2 };
+
+const char* to_string(HealthLevel level);
+
+struct HealthReport {
+  std::uint64_t ts_us = 0;
+  HealthLevel overall = HealthLevel::kOk;
+
+  struct Subsystem {
+    std::string name;
+    HealthLevel level = HealthLevel::kOk;
+    std::vector<std::string> reasons;  // non-ok findings only
+  };
+  std::vector<Subsystem> subsystems;  // every subsystem with an applicable rule
+
+  std::string to_json() const;
+  std::string to_text() const;
+};
+
+/// Tunable SLO bounds for the built-in checks.
+struct HealthThresholds {
+  double latency_p99_degraded_us = 100e3;  // wizard reply p99 over 100 ms
+  double latency_p99_critical_us = 1e6;    // ... over 1 s
+  double record_age_degraded_s = 30;       // oldest sysdb record
+  double record_age_critical_s = 120;
+};
+
+class HealthEngine {
+ public:
+  struct Finding {
+    HealthLevel level = HealthLevel::kOk;
+    std::string reason;       // required when level != kOk
+    bool applicable = true;   // false: metric absent, check is silent
+  };
+  using CheckFn = std::function<Finding(const Snapshot&)>;
+
+  explicit HealthEngine(MetricsRegistry& registry = MetricsRegistry::instance(),
+                        HealthThresholds thresholds = {});
+
+  HealthEngine(const HealthEngine&) = delete;
+  HealthEngine& operator=(const HealthEngine&) = delete;
+
+  /// Registers a custom check under `subsystem`. Built-in checks are
+  /// installed by the constructor.
+  void add_check(std::string subsystem, std::string name, CheckFn fn);
+
+  /// Snapshots the registry and runs every check. Rate-based checks compare
+  /// against the counters seen by the previous evaluate(), so the first
+  /// call establishes the baseline.
+  HealthReport evaluate();
+
+  /// Lookup helpers for rule authors; null when the metric is not in the
+  /// snapshot. Pointers are into the snapshot's own vectors.
+  static const std::uint64_t* find_counter(const Snapshot& snap, std::string_view name);
+  static const double* find_gauge(const Snapshot& snap, std::string_view name);
+  static const HistogramStats* find_histogram(const Snapshot& snap, std::string_view name);
+
+ private:
+  struct Check {
+    std::string subsystem;
+    std::string name;
+    CheckFn fn;
+  };
+
+  void install_default_checks();
+  /// Counter delta since the previous evaluate(); 0 on the baseline pass.
+  std::uint64_t counter_delta(const Snapshot& snap, const std::string& name);
+
+  MetricsRegistry* registry_;
+  HealthThresholds thresholds_;
+
+  mutable std::mutex mu_;
+  std::vector<Check> checks_;
+  std::map<std::string, std::uint64_t> last_counters_;  // evaluate()-local state
+};
+
+}  // namespace smartsock::obs

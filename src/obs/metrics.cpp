@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <set>
 #include <sstream>
 
 namespace smartsock::obs {
@@ -62,6 +63,96 @@ std::string json_escape(std::string_view text) {
   }
   return out;
 }
+
+std::string prom_sanitize_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    bool valid = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                 (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += valid ? c : '_';
+  }
+  if (out.empty()) return "_";
+  if (out[0] >= '0' && out[0] <= '9') out.insert(out.begin(), '_');
+  return out;
+}
+
+std::string prom_escape_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Re-emits a "{key="value",...}" label block with sanitized keys and
+/// escaped values. Producers write raw values, so a '"' only terminates a
+/// value when ',' or '}' follows it.
+std::string prom_rewrite_labels(std::string_view labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  std::size_t i = 1;  // past '{'
+  bool first = true;
+  while (i < labels.size() && labels[i] != '}') {
+    if (labels[i] == ',') {
+      ++i;
+      continue;
+    }
+    std::size_t eq = labels.find('=', i);
+    if (eq == std::string_view::npos) break;
+    std::string key = prom_sanitize_name(labels.substr(i, eq - i));
+    i = eq + 1;
+    std::string value;
+    if (i < labels.size() && labels[i] == '"') {
+      ++i;
+      while (i < labels.size()) {
+        if (labels[i] == '"' &&
+            (i + 1 >= labels.size() || labels[i + 1] == ',' || labels[i + 1] == '}')) {
+          ++i;
+          break;
+        }
+        value += labels[i++];
+      }
+    } else {
+      // Unquoted (malformed producer) — take up to the next ',' or '}'.
+      while (i < labels.size() && labels[i] != ',' && labels[i] != '}') value += labels[i++];
+    }
+    if (!first) out += ",";
+    first = false;
+    out += key;
+    out += "=\"";
+    out += prom_escape_label_value(value);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+/// Emits the # HELP / # TYPE preamble once per metric family.
+class FamilyHeader {
+ public:
+  explicit FamilyHeader(std::ostringstream& out) : out_(&out) {}
+
+  void emit(const std::string& family, const char* type, const char* help) {
+    if (!seen_.insert(family).second) return;
+    *out_ << "# HELP " << family << " " << help << "\n";
+    *out_ << "# TYPE " << family << " " << type << "\n";
+  }
+
+ private:
+  std::ostringstream* out_;
+  std::set<std::string> seen_;
+};
+
+}  // namespace
 
 MetricsRegistry& MetricsRegistry::instance() {
   static MetricsRegistry registry;
@@ -152,9 +243,12 @@ Snapshot MetricsRegistry::snapshot() const {
       stats.name = name;
       stats.count = histogram->count();
       stats.mean_us = histogram->mean_us();
-      stats.p50_us = histogram->percentile(50);
-      stats.p90_us = histogram->percentile(90);
-      stats.p99_us = histogram->percentile(99);
+      // Tail reporting comes from the P² sketch (ISSUE 4); the bucket-walk
+      // percentile() stays available on the recorder itself.
+      util::QuantileSketch::Values sketch = histogram->sketch_values();
+      stats.p50_us = sketch.p50;
+      stats.p90_us = sketch.p90;
+      stats.p99_us = sketch.p99;
       stats.buckets = histogram->nonzero_buckets();
       snap.histograms.push_back(std::move(stats));
     }
@@ -239,19 +333,23 @@ std::string Snapshot::to_json(bool pretty) const {
 
 std::string Snapshot::to_prometheus() const {
   std::ostringstream out;
+  FamilyHeader header(out);
   for (const auto& [name, value] : counters) {
-    auto [base, labels] = split_labels(name);
-    out << "# TYPE " << base << " counter\n";
-    out << base << labels << " " << value << "\n";
+    auto [raw_base, labels] = split_labels(name);
+    std::string base = prom_sanitize_name(raw_base);
+    header.emit(base, "counter", "Monotonic event counter.");
+    out << base << prom_rewrite_labels(labels) << " " << value << "\n";
   }
   for (const auto& [name, value] : gauges) {
-    auto [base, labels] = split_labels(name);
-    out << "# TYPE " << base << " gauge\n";
-    out << base << labels << " " << fmt_double(value) << "\n";
+    auto [raw_base, labels] = split_labels(name);
+    std::string base = prom_sanitize_name(raw_base);
+    header.emit(base, "gauge", "Instantaneous value.");
+    out << base << prom_rewrite_labels(labels) << " " << fmt_double(value) << "\n";
   }
   for (const HistogramStats& h : histograms) {
-    auto [base, labels] = split_labels(h.name);
-    out << "# TYPE " << base << " histogram\n";
+    auto [raw_base, labels] = split_labels(h.name);
+    std::string base = prom_sanitize_name(raw_base);
+    header.emit(base, "histogram", "Latency histogram (microseconds).");
     std::uint64_t cumulative = 0;
     for (const auto& [upper, count] : h.buckets) {
       cumulative += count;
@@ -261,18 +359,37 @@ std::string Snapshot::to_prometheus() const {
     out << base << "_bucket{le=\"+Inf\"} " << h.count << "\n";
     out << base << "_sum " << fmt_double(h.mean_us * static_cast<double>(h.count)) << "\n";
     out << base << "_count " << h.count << "\n";
+    // The P² sketch tails ride along as sibling gauge families so scrapers
+    // get p50/p90/p99 without bucket math.
+    struct Tail { const char* suffix; double value; };
+    for (const Tail& tail : {Tail{"_p50", h.p50_us}, Tail{"_p90", h.p90_us},
+                             Tail{"_p99", h.p99_us}}) {
+      std::string family = base + tail.suffix;
+      header.emit(family, "gauge", "Incremental P2 quantile estimate (microseconds).");
+      out << family << " " << fmt_double(tail.value) << "\n";
+    }
     (void)labels;  // histogram names carry no labels today
   }
+  if (!traffic.empty()) {
+    for (const char* family :
+         {"smartsock_traffic_bytes_sent_total", "smartsock_traffic_bytes_received_total",
+          "smartsock_traffic_messages_sent_total",
+          "smartsock_traffic_messages_received_total"}) {
+      header.emit(family, "counter", "Per-component traffic accounting.");
+    }
+  }
   for (const util::ComponentUsage& usage : traffic) {
-    out << "smartsock_traffic_bytes_sent_total{component=\"" << usage.component << "\"} "
+    std::string component = prom_escape_label_value(usage.component);
+    out << "smartsock_traffic_bytes_sent_total{component=\"" << component << "\"} "
         << usage.bytes_sent << "\n";
-    out << "smartsock_traffic_bytes_received_total{component=\"" << usage.component << "\"} "
+    out << "smartsock_traffic_bytes_received_total{component=\"" << component << "\"} "
         << usage.bytes_received << "\n";
-    out << "smartsock_traffic_messages_sent_total{component=\"" << usage.component << "\"} "
+    out << "smartsock_traffic_messages_sent_total{component=\"" << component << "\"} "
         << usage.messages_sent << "\n";
-    out << "smartsock_traffic_messages_received_total{component=\"" << usage.component
+    out << "smartsock_traffic_messages_received_total{component=\"" << component
         << "\"} " << usage.messages_received << "\n";
   }
+  header.emit("smartsock_rss_kb", "gauge", "Resident set size of this process (KB).");
   out << "smartsock_rss_kb " << rss_kb << "\n";
   return out.str();
 }

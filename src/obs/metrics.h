@@ -59,6 +59,8 @@ struct HistogramStats {
   std::string name;
   std::uint64_t count = 0;
   double mean_us = 0;
+  /// Tail estimates from the recorder's incremental P² sketch (ISSUE 4) —
+  /// O(1) memory, sharper than the ~6.5%-wide geometric buckets.
   double p50_us = 0;
   double p90_us = 0;
   double p99_us = 0;
@@ -80,9 +82,11 @@ struct Snapshot {
   ///  "traffic":{component:{bytes_sent,..}}}
   std::string to_json(bool pretty = false) const;
 
-  /// Prometheus text exposition (counters as *_total pass through, gauges,
-  /// histogram summaries as <name>_count/_mean/_p50/_p99, traffic expanded
-  /// to smartsock_traffic_*_total{component="..."}).
+  /// Prometheus text exposition: one # HELP/# TYPE pair per metric family,
+  /// names sanitized to [a-zA-Z_:][a-zA-Z0-9_:]*, label values escaped.
+  /// Counters/gauges pass through; histograms expand to cumulative
+  /// _bucket/_sum/_count plus _p50/_p90/_p99 sketch gauges; traffic expands
+  /// to smartsock_traffic_*_total{component="..."}.
   std::string to_prometheus() const;
 
   /// Human-readable table for the stats CLI.
@@ -141,5 +145,14 @@ class MetricsRegistry {
 
 /// Escapes a string for embedding in a JSON string literal.
 std::string json_escape(std::string_view text);
+
+/// Rewrites `name` into a valid Prometheus metric/label name
+/// ([a-zA-Z_:][a-zA-Z0-9_:]*): every invalid char becomes '_', and a
+/// leading digit gets a '_' prefix. Empty input becomes "_".
+std::string prom_sanitize_name(std::string_view name);
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote and newline get backslash-escaped.
+std::string prom_escape_label_value(std::string_view value);
 
 }  // namespace smartsock::obs

@@ -1,0 +1,162 @@
+#include "obs/span.h"
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "obs/metrics.h"
+
+namespace smartsock::obs {
+
+namespace {
+
+std::uint64_t wall_now_us() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                        std::chrono::system_clock::now().time_since_epoch())
+                                        .count());
+}
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+}  // namespace
+
+SpanStore::SpanStore(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity), slots_(capacity_) {}
+
+SpanStore& SpanStore::instance() {
+  static SpanStore store;
+  return store;
+}
+
+void SpanStore::record(SpanRecord span) {
+  std::uint64_t claim = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[claim % capacity_];
+  if (!slot.mu.try_lock()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  slot.claim = claim + 1;
+  slot.span = std::move(span);
+  slot.mu.unlock();
+}
+
+std::vector<SpanRecord> SpanStore::snapshot() const {
+  std::uint64_t total = head_.load(std::memory_order_acquire);
+  std::uint64_t start = total > capacity_ ? total - capacity_ : 0;
+  std::vector<SpanRecord> out;
+  out.reserve(static_cast<std::size_t>(total - start));
+  for (std::uint64_t i = start; i < total; ++i) {
+    const Slot& slot = slots_[i % capacity_];
+    if (!slot.mu.try_lock()) continue;  // a writer owns it right now
+    // The slot only counts if it still holds claim i's content — it may be
+    // unwritten (dropped span) or already lapped by a newer claim.
+    if (slot.claim == i + 1) out.push_back(slot.span);
+    slot.mu.unlock();
+  }
+  return out;
+}
+
+std::vector<SpanRecord> SpanStore::find_trace(std::string_view trace_id) const {
+  std::vector<SpanRecord> out;
+  for (SpanRecord& span : snapshot()) {
+    if (span.trace_id == trace_id) out.push_back(std::move(span));
+  }
+  return out;
+}
+
+void SpanStore::clear() {
+  std::uint64_t total = head_.load(std::memory_order_acquire);
+  for (Slot& slot : slots_) {
+    std::lock_guard<std::mutex> lock(slot.mu);
+    slot.claim = 0;
+    slot.span = SpanRecord{};
+  }
+  (void)total;
+}
+
+std::string SpanStore::to_chrome_trace(const std::vector<SpanRecord>& spans) {
+  // Stable tid per component so chrome://tracing renders one row per hop
+  // owner (client, wizard, transmitter, receiver, ...).
+  std::map<std::string, int> tids;
+  for (const SpanRecord& span : spans) {
+    tids.emplace(span.component, static_cast<int>(tids.size()) + 1);
+  }
+  long pid = static_cast<long>(::getpid());
+
+  std::ostringstream out;
+  out << "{\"traceEvents\": [";
+  bool first = true;
+  for (const auto& [component, tid] : tids) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": " << pid
+        << ", \"tid\": " << tid << ", \"args\": {\"name\": \""
+        << json_escape(component) << "\"}}";
+  }
+  for (const SpanRecord& span : spans) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n{\"ph\": \"X\", \"name\": \"" << json_escape(span.name)
+        << "\", \"cat\": \"" << json_escape(span.component) << "\", \"ts\": " << span.start_us
+        << ", \"dur\": " << span.duration_us << ", \"pid\": " << pid
+        << ", \"tid\": " << tids[span.component] << ", \"args\": {";
+    out << "\"trace_id\": \"" << json_escape(span.trace_id) << "\", \"span_id\": \""
+        << span.span_id << "\", \"parent_id\": \"" << span.parent_id << "\"";
+    for (const auto& [key, value] : span.tags) {
+      out << ", \"" << json_escape(key) << "\": \"" << json_escape(value) << "\"";
+    }
+    out << "}}";
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
+Span::Span(std::string_view component, std::string_view name, std::string_view trace_id,
+           std::uint64_t parent_id, SpanStore& store)
+    : store_(&store), start_ns_(steady_now_ns()) {
+  record_.trace_id = trace_id;
+  record_.span_id = store.next_span_id();
+  record_.parent_id = parent_id;
+  record_.component = component;
+  record_.name = name;
+  record_.start_us = wall_now_us();
+}
+
+Span& Span::set_trace_id(std::string_view trace_id) {
+  if (!done_) record_.trace_id = trace_id;
+  return *this;
+}
+
+Span& Span::tag(std::string_view key, std::string_view value) {
+  if (!done_) record_.tags.emplace_back(key, value);
+  return *this;
+}
+
+Span& Span::tag(std::string_view key, std::uint64_t value) {
+  return tag(key, std::string_view(std::to_string(value)));
+}
+
+Span& Span::tag(std::string_view key, std::int64_t value) {
+  return tag(key, std::string_view(std::to_string(value)));
+}
+
+Span& Span::tag(std::string_view key, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  return tag(key, std::string_view(buffer));
+}
+
+void Span::end() {
+  if (done_) return;
+  done_ = true;
+  record_.duration_us = (steady_now_ns() - start_ns_) / 1000;
+  store_->record(std::move(record_));
+}
+
+}  // namespace smartsock::obs

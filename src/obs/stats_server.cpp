@@ -1,6 +1,7 @@
 #include "obs/stats_server.h"
 
 #include <cstdio>
+#include <sstream>
 
 #include "util/logging.h"
 #include "util/strings.h"
@@ -40,18 +41,76 @@ bool StatsServer::serve_once(util::Duration timeout) {
     if (watch.elapsed() > config_.command_timeout) break;
   }
 
-  Snapshot snap = registry_->snapshot();
-  std::string body;
-  if (command == "prom") {
-    body = snap.to_prometheus();
-  } else if (command == "text") {
-    body = snap.to_text();
-  } else {
-    body = snap.to_json(/*pretty=*/true);
-  }
-  connection->send_all(body);
+  connection->send_all(render(command));
   requests_served_.fetch_add(1, std::memory_order_relaxed);
   return true;
+}
+
+namespace {
+
+std::string error_body(std::string_view message) {
+  return "{\"error\": \"" + json_escape(message) + "\"}\n";
+}
+
+std::string spans_text(const SpanStore& store) {
+  std::vector<SpanRecord> spans = store.snapshot();
+  std::ostringstream out;
+  out << "spans retained=" << spans.size() << " capacity=" << store.capacity()
+      << " recorded=" << store.recorded() << " dropped=" << store.dropped() << "\n";
+  for (const SpanRecord& span : spans) {
+    out << "  " << (span.trace_id.empty() ? "-" : span.trace_id) << " #" << span.span_id;
+    if (span.parent_id != 0) out << "<-#" << span.parent_id;
+    out << " " << span.component << "/" << span.name << " start=" << span.start_us
+        << "us dur=" << span.duration_us << "us";
+    for (const auto& [key, value] : span.tags) out << " " << key << "=" << value;
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace
+
+std::string StatsServer::render(std::string_view command_line) {
+  std::vector<std::string_view> words = util::split_whitespace(command_line);
+  std::string_view verb = words.empty() ? std::string_view{} : words[0];
+
+  if (verb == "prom") return registry_->snapshot().to_prometheus();
+  if (verb == "text") return registry_->snapshot().to_text();
+
+  if (verb == "health") {
+    if (config_.health == nullptr) return error_body("no health engine on this endpoint");
+    HealthReport report = config_.health->evaluate();
+    bool text = words.size() > 1 && words[1] == "text";
+    return text ? report.to_text() : report.to_json();
+  }
+
+  if (verb == "history") {
+    if (config_.history == nullptr) return error_body("no time-series recorder on this endpoint");
+    if (words.size() < 2) return error_body("usage: history <metric> [window_seconds]");
+    util::Duration window = std::chrono::seconds(10);
+    if (words.size() > 2) {
+      auto seconds = util::parse_double(words[2]);
+      if (!seconds || *seconds <= 0) return error_body("bad window: expected seconds > 0");
+      window = std::chrono::duration_cast<util::Duration>(std::chrono::duration<double>(*seconds));
+    }
+    return config_.history->history(std::string(words[1]), window).to_json();
+  }
+
+  if (verb == "spans") {
+    if (config_.spans == nullptr) return error_body("no span store on this endpoint");
+    return spans_text(*config_.spans);
+  }
+
+  if (verb == "trace") {
+    if (config_.spans == nullptr) return error_body("no span store on this endpoint");
+    std::vector<SpanRecord> spans = words.size() > 1 ? config_.spans->find_trace(words[1])
+                                                     : config_.spans->snapshot();
+    return SpanStore::to_chrome_trace(spans);
+  }
+
+  // "json", empty line, EOF and anything unrecognized keep the historical
+  // default so old clients never break.
+  return registry_->snapshot().to_json(/*pretty=*/true);
 }
 
 bool StatsServer::dump_now() {

@@ -1,10 +1,18 @@
-// Live stats / introspection endpoint (ISSUE 2 tentpole, part 3).
+// Live stats / introspection endpoint (ISSUE 2 tentpole, part 3; flight
+// recorder commands added by ISSUE 4).
 //
 // Every daemon can serve its MetricsRegistry snapshot over a TCP admin port
 // (the NEOS-style administrative status interface). Protocol: the client
-// connects, sends one command line — "json", "prom" or "text" (an empty
-// line or EOF defaults to json) — and the server writes the rendered
-// snapshot and closes. `smartsock_stats` is the matching CLI.
+// connects, sends one command line, and the server writes the rendered
+// answer and closes. Commands:
+//
+//   json | prom | text          metrics snapshot (empty line/EOF = json)
+//   health [text]               HealthEngine report (needs config.health)
+//   history <metric> [seconds]  windowed time series (needs config.history)
+//   spans                       span-ring summary, newest last
+//   trace [id]                  Chrome trace_event JSON, whole ring or one trace
+//
+// `smartsock_stats` is the matching CLI.
 //
 // Optionally the server also appends a compact JSON snapshot line to a file
 // every `dump_interval` (JSONL, one object per line) so the cluster harness
@@ -17,7 +25,10 @@
 #include <thread>
 
 #include "net/tcp_listener.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/timeseries.h"
 #include "util/clock.h"
 
 namespace smartsock::obs {
@@ -34,6 +45,12 @@ struct StatsServerConfig {
   /// Periodic snapshot-to-file: both must be set to enable.
   util::Duration dump_interval{0};
   std::string dump_path;
+  /// Flight-recorder surfaces (ISSUE 4). `spans` defaults to the process
+  /// ring; `history`/`health` are opt-in because they carry their own
+  /// threads/state — a null pointer turns the command into a JSON error.
+  SpanStore* spans = &SpanStore::instance();
+  TimeSeriesRecorder* history = nullptr;
+  HealthEngine* health = nullptr;
 };
 
 class StatsServer {
@@ -58,6 +75,10 @@ class StatsServer {
   /// Appends one compact snapshot line to `dump_path` now. Returns false if
   /// no dump path is configured or the file cannot be opened.
   bool dump_now();
+
+  /// Renders the reply body for one command line (what serve_once writes).
+  /// Exposed so tests can exercise the protocol without a socket.
+  std::string render(std::string_view command_line);
 
   std::uint64_t requests_served() const {
     return requests_served_.load(std::memory_order_relaxed);

@@ -1,6 +1,8 @@
 #include "transport/receiver.h"
 
 #include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/trace.h"
 #include "transport/record_codec.h"
 #include "util/counters.h"
 #include "util/logging.h"
@@ -20,9 +22,13 @@ Receiver::Receiver(ReceiverConfig config, ipc::StatusStore& store)
 
 Receiver::~Receiver() { stop(); }
 
-bool Receiver::ingest(net::TcpSocket& socket) {
+bool Receiver::ingest(net::TcpSocket& socket) { return ingest(socket, {}); }
+
+bool Receiver::ingest(net::TcpSocket& socket, std::string trace_id) {
   socket.set_traffic_counter(traffic_);
   socket.set_receive_timeout(config_.io_timeout);
+  obs::Span span("receiver", "ingest", trace_id);
+  std::size_t frames = 0;
   bool applied = false;
   // One connection carries up to three database frames; a clean EOF on a
   // frame boundary ends it. A damaged stream — truncated frame, unknown
@@ -37,7 +43,16 @@ bool Receiver::ingest(net::TcpSocket& socket) {
       if (why != FrameReadError::kEof) damage = to_string(why);
       break;
     }
+    ++frames;
     switch (frame->type) {
+      case FrameType::kTraceContext:
+        // The transmitter's trace id for this snapshot — adopt it so both
+        // halves of the transfer reconstruct as one trace.
+        trace_id = frame->payload;
+        span.set_trace_id(trace_id);
+        obs::TraceEvent(util::LogLevel::kDebug, "receiver", "snapshot_recv", trace_id)
+            .kv("peer", socket.peer_endpoint().to_string());
+        break;
       case FrameType::kSysDb:
         if (auto records = decode_records<ipc::SysRecord>(frame->payload)) {
           store_->replace_sys(*records);
@@ -66,6 +81,7 @@ bool Receiver::ingest(net::TcpSocket& socket) {
         break;  // not meaningful on this side
     }
   }
+  span.tag("frames", frames).tag("applied", applied).tag("damaged", damage != nullptr);
   if (damage != nullptr) {
     malformed_frames_.fetch_add(1, std::memory_order_relaxed);
     obs::MetricsRegistry::instance()
@@ -94,8 +110,16 @@ bool Receiver::pull_once(const net::Endpoint& transmitter) {
         << "cannot reach transmitter " << transmitter.to_string();
     return false;
   }
-  if (!socket->send_all(encode_frame(FrameType::kUpdateRequest, "")).ok()) return false;
-  return ingest(*socket);
+  // The pull's trace id travels as the request payload; the transmitter
+  // echoes it in its kTraceContext frame, so either side's ring shows the
+  // same id for this transfer.
+  std::string trace_id = obs::mint_trace_id(rng_);
+  obs::TraceEvent(util::LogLevel::kDebug, "receiver", "pull_request", trace_id)
+      .kv("transmitter", transmitter.to_string());
+  if (!socket->send_all(encode_frame(FrameType::kUpdateRequest, trace_id)).ok()) {
+    return false;
+  }
+  return ingest(*socket, std::move(trace_id));
 }
 
 bool Receiver::pull_from(const net::Endpoint& transmitter) {

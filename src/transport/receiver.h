@@ -67,6 +67,9 @@ class Receiver {
  private:
   void run_loop();
   bool ingest(net::TcpSocket& socket);
+  /// `trace_id` seeds the ingest span for the pull path; the push path
+  /// starts untraced and adopts the id from the kTraceContext frame.
+  bool ingest(net::TcpSocket& socket, std::string trace_id);
   bool pull_once(const net::Endpoint& transmitter);
 
   ReceiverConfig config_;

@@ -53,7 +53,7 @@ std::optional<Frame> read_frame(net::TcpSocket& socket, FrameReadError* error) {
   std::uint32_t size = ntohl(size_be);
 
   if (type < static_cast<std::uint32_t>(FrameType::kSysDb) ||
-      type > static_cast<std::uint32_t>(FrameType::kUpdateRequest)) {
+      type > static_cast<std::uint32_t>(FrameType::kTraceContext)) {
     why = FrameReadError::kBadType;
     return std::nullopt;
   }

@@ -23,7 +23,8 @@ enum class FrameType : std::uint32_t {
   kSysDb = 1,
   kNetDb = 2,
   kSecDb = 3,
-  kUpdateRequest = 4,  // distributed mode: wizard asks for fresh reports
+  kUpdateRequest = 4,   // distributed mode: wizard asks for fresh reports
+  kTraceContext = 5,    // flight recorder: trace id for the following frames
 };
 
 struct Frame {

@@ -1,6 +1,8 @@
 #include "transport/transmitter.h"
 
 #include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/trace.h"
 #include "transport/record_codec.h"
 #include "util/counters.h"
 #include "util/logging.h"
@@ -23,14 +25,27 @@ Transmitter::Transmitter(TransmitterConfig config, const ipc::StatusStore& store
 
 Transmitter::~Transmitter() { stop(); }
 
-bool Transmitter::send_snapshot(net::TcpSocket& socket) {
+bool Transmitter::send_snapshot(net::TcpSocket& socket, std::string trace_id) {
   socket.set_traffic_counter(traffic_);
   socket.set_send_timeout(config_.io_timeout);
+  if (trace_id.empty()) trace_id = obs::mint_trace_id(rng_);
+  obs::Span span("transmitter", "push", trace_id);
   std::string blob;
+  // Trace context travels first so the receiver can stamp every database
+  // frame of this snapshot with the same id (flight-recorder propagation).
+  blob += encode_frame(FrameType::kTraceContext, trace_id);
   blob += encode_frame(FrameType::kSysDb, encode_records(store_->sys_records()));
   blob += encode_frame(FrameType::kNetDb, encode_records(store_->net_records()));
   blob += encode_frame(FrameType::kSecDb, encode_records(store_->sec_records()));
-  if (!socket.send_all(blob).ok()) return false;
+  span.tag("bytes", blob.size()).tag("sys_records", store_->sys_records().size());
+  obs::TraceEvent(util::LogLevel::kDebug, "transmitter", "snapshot_send", trace_id)
+      .kv("bytes", blob.size())
+      .kv("peer", socket.peer_endpoint().to_string());
+  if (!socket.send_all(blob).ok()) {
+    span.tag("ok", false);
+    return false;
+  }
+  span.tag("ok", true);
   snapshots_sent_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
@@ -124,7 +139,9 @@ void Transmitter::run_serve_loop() {
     client->set_receive_timeout(config_.io_timeout);
     auto frame = read_frame(*client);
     if (!frame || frame->type != FrameType::kUpdateRequest) continue;
-    send_snapshot(*client);
+    // The wizard's pull carries its trace id as the request payload; echo
+    // it so both sides of the transfer land in the same trace.
+    send_snapshot(*client, frame->payload);
   }
 }
 

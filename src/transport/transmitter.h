@@ -70,7 +70,10 @@ class Transmitter {
  private:
   void run_push_loop();
   void run_serve_loop();
-  bool send_snapshot(net::TcpSocket& socket);
+  /// Sends a kTraceContext frame carrying `trace_id` (minted from rng_ when
+  /// empty — the pull path passes the wizard's id through) and then the
+  /// three database frames.
+  bool send_snapshot(net::TcpSocket& socket, std::string trace_id = {});
   void record_push_outcome(bool ok);
 
   TransmitterConfig config_;

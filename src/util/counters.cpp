@@ -85,6 +85,7 @@ void LatencyRecorder::record_us(double micros) {
   total_count_.fetch_add(1, std::memory_order_relaxed);
   total_tenth_us_.fetch_add(static_cast<std::uint64_t>(micros * 10.0),
                             std::memory_order_relaxed);
+  sketch_.add(micros);
 }
 
 double LatencyRecorder::mean_us() const {
@@ -115,6 +116,7 @@ void LatencyRecorder::reset() {
   for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
   total_count_.store(0, std::memory_order_relaxed);
   total_tenth_us_.store(0, std::memory_order_relaxed);
+  sketch_.reset();
 }
 
 std::uint64_t current_rss_kb() {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "util/clock.h"
+#include "util/quantile.h"
 
 namespace smartsock::util {
 
@@ -101,8 +102,15 @@ class LatencyRecorder {
 
   std::uint64_t count() const { return total_count_.load(std::memory_order_relaxed); }
   double mean_us() const;
-  /// pct in (0, 100]; returns 0 when no samples were recorded.
+  /// pct in (0, 100]; returns 0 when no samples were recorded. Bucket-walk
+  /// estimate (geometric midpoint of the bucket holding the rank), bounded
+  /// by the ~6.5% bucket width.
   double percentile(double pct) const;
+  /// P² incremental estimate for pct in {50, 90, 99} — the tail values the
+  /// snapshot formats report (ISSUE 4). Sharper than the bucket walk on
+  /// heavy-tailed streams and O(1) memory.
+  double sketch_percentile(double pct) const { return sketch_.percentile(pct); }
+  QuantileSketch::Values sketch_values() const { return sketch_.snapshot(); }
   void reset();
 
   /// Exclusive upper bound of bucket `i` in µs (exposition formats publish
@@ -121,6 +129,7 @@ class LatencyRecorder {
   std::atomic<std::uint64_t> buckets_[kBuckets] = {};
   std::atomic<std::uint64_t> total_count_{0};
   std::atomic<std::uint64_t> total_tenth_us_{0};  // sum in 0.1 µs units
+  QuantileSketch sketch_;
 };
 
 /// Reads the resident set size of the current process in KB (Linux /proc).

@@ -1,0 +1,143 @@
+#include "util/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smartsock::util {
+
+P2Quantile::P2Quantile(double p) : p_(p) { reset(); }
+
+void P2Quantile::reset() {
+  count_ = 0;
+  for (int i = 0; i < 5; ++i) {
+    heights_[i] = 0;
+    positions_[i] = static_cast<double>(i + 1);
+    desired_[i] = 0;
+    increments_[i] = 0;
+  }
+  desired_[0] = 1;
+  desired_[1] = 1 + 2 * p_;
+  desired_[2] = 1 + 4 * p_;
+  desired_[3] = 3 + 2 * p_;
+  desired_[4] = 5;
+  increments_[0] = 0;
+  increments_[1] = p_ / 2;
+  increments_[2] = p_;
+  increments_[3] = (1 + p_) / 2;
+  increments_[4] = 1;
+}
+
+double P2Quantile::parabolic(int i, double d) const {
+  return heights_[i] +
+         d / (positions_[i + 1] - positions_[i - 1]) *
+             ((positions_[i] - positions_[i - 1] + d) *
+                  (heights_[i + 1] - heights_[i]) /
+                  (positions_[i + 1] - positions_[i]) +
+              (positions_[i + 1] - positions_[i] - d) *
+                  (heights_[i] - heights_[i - 1]) /
+                  (positions_[i] - positions_[i - 1]));
+}
+
+double P2Quantile::linear(int i, double d) const {
+  int j = i + static_cast<int>(d);
+  return heights_[i] + d * (heights_[j] - heights_[i]) /
+                           (positions_[j] - positions_[i]);
+}
+
+void P2Quantile::add(double x) {
+  if (count_ < 5) {
+    heights_[count_++] = x;
+    if (count_ == 5) std::sort(heights_, heights_ + 5);
+    return;
+  }
+
+  int k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1;
+  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+
+  for (int i = 1; i <= 3; ++i) {
+    double d = desired_[i] - positions_[i];
+    if ((d >= 1 && positions_[i + 1] - positions_[i] > 1) ||
+        (d <= -1 && positions_[i - 1] - positions_[i] < -1)) {
+      double step = d < 0 ? -1 : 1;
+      double candidate = parabolic(i, step);
+      if (heights_[i - 1] < candidate && candidate < heights_[i + 1]) {
+        heights_[i] = candidate;
+      } else {
+        heights_[i] = linear(i, step);
+      }
+      positions_[i] += step;
+    }
+  }
+  ++count_;
+}
+
+double P2Quantile::value() const {
+  if (count_ == 0) return 0;
+  if (count_ >= 5) return heights_[2];
+  // Exact small-sample quantile over the (unsorted until 5) buffer.
+  double sorted[5];
+  std::copy(heights_, heights_ + count_, sorted);
+  std::sort(sorted, sorted + count_);
+  auto rank = static_cast<std::size_t>(
+      std::ceil(p_ * static_cast<double>(count_)));
+  if (rank == 0) rank = 1;
+  if (rank > count_) rank = count_;
+  return sorted[rank - 1];
+}
+
+QuantileSketch::QuantileSketch() = default;
+
+void QuantileSketch::add(double x) {
+  lock();
+  p50_.add(x);
+  p90_.add(x);
+  p99_.add(x);
+  unlock();
+}
+
+QuantileSketch::Values QuantileSketch::snapshot() const {
+  lock();
+  Values out;
+  out.count = p50_.count();
+  out.p50 = p50_.value();
+  out.p90 = p90_.value();
+  out.p99 = p99_.value();
+  unlock();
+  return out;
+}
+
+double QuantileSketch::percentile(double pct) const {
+  lock();
+  double out;
+  if (pct <= 70) {
+    out = p50_.value();
+  } else if (pct <= 94.5) {
+    out = p90_.value();
+  } else {
+    out = p99_.value();
+  }
+  unlock();
+  return out;
+}
+
+void QuantileSketch::reset() {
+  lock();
+  p50_.reset();
+  p90_.reset();
+  p99_.reset();
+  unlock();
+}
+
+}  // namespace smartsock::util

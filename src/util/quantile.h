@@ -1,0 +1,85 @@
+// Incremental quantile estimation (ISSUE 4).
+//
+// Chambers et al., "Monitoring Networked Applications With Incremental
+// Quantile Estimation", motivates keeping running p50/p95/p99 on a hot path
+// without buffering samples. This is the classic P² algorithm (Jain &
+// Chlamtac, CACM 1985): five markers per tracked quantile, updated with a
+// handful of comparisons and one parabolic interpolation per observation —
+// O(1) memory and O(1) time regardless of stream length.
+//
+// A P2Quantile is single-threaded; QuantileSketch bundles the p50/p90/p99
+// trio behind a tiny spinlock so a LatencyRecorder shared by N handler
+// threads can update it on every sample (the critical section is ~30
+// arithmetic ops; contention is cheaper than the allocation-free alternative
+// of per-thread sketches plus merge).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace smartsock::util {
+
+/// One P² estimator tracking the `p`-quantile (p in (0,1)) of a stream.
+class P2Quantile {
+ public:
+  explicit P2Quantile(double p = 0.5);
+
+  void add(double x);
+
+  /// Current estimate. Exact while fewer than 5 observations have arrived
+  /// (computed from the sorted initial buffer); 0 when empty.
+  double value() const;
+
+  std::uint64_t count() const { return count_; }
+  double quantile() const { return p_; }
+  void reset();
+
+ private:
+  double parabolic(int i, double d) const;
+  double linear(int i, double d) const;
+
+  double p_;
+  std::uint64_t count_ = 0;
+  double heights_[5] = {};     // marker heights q_i (ascending)
+  double positions_[5] = {};   // actual marker positions n_i (1-based)
+  double desired_[5] = {};     // desired positions n'_i
+  double increments_[5] = {};  // dn'_i per observation
+};
+
+/// The p50/p90/p99 trio every latency surface in this repo reports, updated
+/// together under one spinlock. Copyable reads via snapshot().
+class QuantileSketch {
+ public:
+  QuantileSketch();
+
+  void add(double x);
+
+  struct Values {
+    std::uint64_t count = 0;
+    double p50 = 0;
+    double p90 = 0;
+    double p99 = 0;
+  };
+  Values snapshot() const;
+
+  /// Estimate for pct in {50, 90, 99}; any other pct returns the nearest of
+  /// the three (callers wanting arbitrary quantiles keep their own sketch).
+  double percentile(double pct) const;
+
+  void reset();
+
+ private:
+  void lock() const {
+    while (spin_.test_and_set(std::memory_order_acquire)) {
+    }
+  }
+  void unlock() const { spin_.clear(std::memory_order_release); }
+
+  mutable std::atomic_flag spin_ = ATOMIC_FLAG_INIT;
+  P2Quantile p50_{0.50};
+  P2Quantile p90_{0.90};
+  P2Quantile p99_{0.99};
+};
+
+}  // namespace smartsock::util

@@ -5,8 +5,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <cstdlib>
+#include <map>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -189,6 +192,93 @@ TEST(Snapshot, PrometheusExposition) {
 TEST(Snapshot, JsonEscape) {
   EXPECT_EQ(obs::json_escape("plain"), "plain");
   EXPECT_EQ(obs::json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+TEST(Snapshot, PrometheusNameAndLabelHelpers) {
+  EXPECT_EQ(obs::prom_sanitize_name("wizard_requests_total"), "wizard_requests_total");
+  EXPECT_EQ(obs::prom_sanitize_name("weird-name.total"), "weird_name_total");
+  EXPECT_EQ(obs::prom_sanitize_name("9lives"), "_9lives");
+  EXPECT_EQ(obs::prom_sanitize_name(""), "_");
+  EXPECT_EQ(obs::prom_sanitize_name("ns:metric"), "ns:metric");  // colons are legal
+  EXPECT_EQ(obs::prom_escape_label_value("plain"), "plain");
+  EXPECT_EQ(obs::prom_escape_label_value("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+}
+
+TEST(Snapshot, PrometheusExpositionIsFormatValid) {
+  // Hostile inputs: invalid name characters, a leading digit, a labelled
+  // gauge family with two members, label values holding spaces and
+  // backslashes, a traffic component with a space.
+  obs::MetricsRegistry registry;
+  registry.counter("weird-name.total")->inc(1);
+  registry.counter("9starts_with_digit_total")->inc(2);
+  registry.gauge("sysdb_record_age_seconds{host=\"al pha\"}")->set(3);
+  registry.gauge("sysdb_record_age_seconds{host=\"be\\ta\"}")->set(4);
+  registry.histogram("wizard_query_latency_us")->record_us(42.0);
+  registry.traffic("net probe")->add_sent(9);
+
+  std::string prom = registry.snapshot().to_prometheus();
+
+  auto valid_name = [](const std::string& token) {
+    if (token.empty()) return false;
+    char head = token[0];
+    if (!(std::isalpha(static_cast<unsigned char>(head)) || head == '_' || head == ':')) {
+      return false;
+    }
+    for (char c : token) {
+      if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':')) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  // Walk every line of the exposition: comments must be # HELP/# TYPE with a
+  // valid family name; samples must be `name[{labels}] value` with a valid
+  // name, an even number of unescaped quotes and a numeric value.
+  std::map<std::string, int> type_lines;
+  std::istringstream stream(prom);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream header(line);
+      std::string hash, kind, family;
+      header >> hash >> kind >> family;
+      EXPECT_TRUE(kind == "HELP" || kind == "TYPE") << line;
+      EXPECT_TRUE(valid_name(family)) << line;
+      if (kind == "TYPE") ++type_lines[family];
+      continue;
+    }
+    std::string name = line.substr(0, line.find_first_of("{ "));
+    EXPECT_TRUE(valid_name(name)) << line;
+    std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    std::string value = line.substr(space + 1);
+    char* end = nullptr;
+    std::strtod(value.c_str(), &end);
+    EXPECT_TRUE(end != nullptr && *end == '\0') << line;
+    int quotes = 0;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (line[i] == '"' && (i == 0 || line[i - 1] != '\\')) ++quotes;
+    }
+    EXPECT_EQ(quotes % 2, 0) << line;
+  }
+  for (const auto& [family, count] : type_lines) {
+    EXPECT_EQ(count, 1) << "duplicate # TYPE for " << family;
+  }
+
+  // Name sanitization, family merging and label escaping all visible.
+  EXPECT_NE(prom.find("weird_name_total 1"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("_9starts_with_digit_total 2"), std::string::npos) << prom;
+  EXPECT_EQ(type_lines["sysdb_record_age_seconds"], 1);  // one TYPE, two samples
+  EXPECT_NE(prom.find("host=\"al pha\"} 3"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("host=\"be\\\\ta\"} 4"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("component=\"net probe\""), std::string::npos) << prom;
+  // The histogram's sketch tails ride along as sibling gauge families.
+  for (const char* family : {"wizard_query_latency_us_p50", "wizard_query_latency_us_p90",
+                             "wizard_query_latency_us_p99"}) {
+    EXPECT_EQ(type_lines[family], 1) << family;
+  }
 }
 
 // --- tracing -----------------------------------------------------------------

@@ -4,6 +4,7 @@
 // library plus the smartsock-query CLI.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
 #include <fstream>
@@ -82,6 +83,18 @@ class Child {
   pid_t pid_ = -1;
 };
 
+/// Runs a shell command, captures its combined output, returns the exit code
+/// (-1 if the process did not exit normally).
+int run_command(const std::string& command, std::string& output) {
+  FILE* pipe = ::popen(command.c_str(), "r");
+  if (!pipe) return -1;
+  char buf[256] = {};
+  output.clear();
+  while (std::fgets(buf, sizeof(buf), pipe)) output += buf;
+  int status = ::pclose(pipe);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
 class ToolsDeployment : public testing::Test {
  protected:
   void SetUp() override {
@@ -93,6 +106,7 @@ class ToolsDeployment : public testing::Test {
     monitor_port_ = free_udp_port();
     receiver_port_ = free_tcp_port();
     wizard_port_ = free_udp_port();
+    stats_port_ = free_tcp_port();
 
     security_log_ = testing::TempDir() + "/smartsock_tools_security.log";
     {
@@ -102,7 +116,7 @@ class ToolsDeployment : public testing::Test {
 
     ASSERT_TRUE(wizard_.spawn(
         {dir_ + "/smartsock-wizard", "--listen", loop(wizard_port_), "--receiver",
-         loop(receiver_port_)}));
+         loop(receiver_port_), "--stats-port", std::to_string(stats_port_)}));
     ASSERT_TRUE(monitor_.spawn(
         {dir_ + "/smartsock-monitor", "--listen", loop(monitor_port_), "--receiver",
          loop(receiver_port_), "--security-log", security_log_, "--interval", "0.2"}));
@@ -124,6 +138,7 @@ class ToolsDeployment : public testing::Test {
 
   std::string dir_;
   std::uint16_t monitor_port_ = 0, receiver_port_ = 0, wizard_port_ = 0;
+  std::uint16_t stats_port_ = 0;
   std::string security_log_;
   Child wizard_, monitor_, probe_;
 };
@@ -202,6 +217,81 @@ TEST_F(ToolsDeployment, QueryCliPrintsServers) {
   int status = ::pclose(pipe);
   EXPECT_EQ(status, 0) << output;
   EXPECT_NE(output.find("toolhost"), std::string::npos) << output;
+}
+
+TEST_F(ToolsDeployment, StatsCliServesFlightRecorderSurfaces) {
+  // Drive one query through the wizard so its span ring and latency
+  // histogram have content, then read every flight-recorder surface back
+  // through the real CLI against the real daemon.
+  core::SmartClientConfig config;
+  config.wizard = net::Endpoint::loopback(wizard_port_);
+  config.reply_timeout = 300ms;
+  config.retries = 0;
+  config.seed = 14;
+  core::SmartClient client(config);
+  for (int attempt = 0; attempt < 40; ++attempt) {
+    auto reply = client.query("host_memory_total > 1\n", 1);
+    if (reply.ok && !reply.servers.empty()) break;
+    std::this_thread::sleep_for(100ms);
+  }
+
+  std::string cli = dir_ + "/smartsock-stats --connect " + loop(stats_port_);
+  std::string output;
+  ASSERT_EQ(run_command(cli + " --health 2>&1", output), 0) << output;
+  EXPECT_NE(output.find("health:"), std::string::npos) << output;
+
+  ASSERT_EQ(run_command(cli + " --spans 2>&1", output), 0) << output;
+  EXPECT_NE(output.find("spans retained="), std::string::npos) << output;
+  EXPECT_NE(output.find("wizard/handle"), std::string::npos) << output;
+
+  ASSERT_EQ(run_command(cli + " --history wizard_query_latency_us 2>&1", output), 0)
+      << output;
+  EXPECT_NE(output.find("\"found\": true"), std::string::npos) << output;
+  EXPECT_NE(output.find("\"p99_us\""), std::string::npos) << output;
+
+  ASSERT_EQ(run_command(cli + " --trace-dump - 2>/dev/null", output), 0) << output;
+  EXPECT_NE(output.find("\"traceEvents\""), std::string::npos) << output;
+  EXPECT_NE(output.find("\"ph\": \"X\""), std::string::npos) << output;
+
+  // Watch mode with a fixed round count terminates on its own.
+  ASSERT_EQ(run_command(cli + " --health --watch 0.1 --count 2 2>&1", output), 0)
+      << output;
+  EXPECT_NE(output.find("health:"), std::string::npos) << output;
+}
+
+TEST(StatsCliErrors, ClosedPortExitsNonzeroWithOneLine) {
+  std::string dir = tools_dir();
+  if (::access((dir + "/smartsock-stats").c_str(), X_OK) != 0) {
+    GTEST_SKIP() << "tool binaries not found in " << dir;
+  }
+  // The listener that picked the port is closed again, so nothing is there.
+  std::uint16_t port = free_tcp_port();
+  std::string output;
+  int status = run_command(dir + "/smartsock-stats --connect 127.0.0.1:" +
+                               std::to_string(port) + " --timeout 0.5 2>&1 >/dev/null",
+                           output);
+  EXPECT_EQ(status, 1) << output;
+  EXPECT_NE(output.find("cannot connect"), std::string::npos) << output;
+  EXPECT_EQ(std::count(output.begin(), output.end(), '\n'), 1) << output;
+}
+
+TEST(StatsCliErrors, UsageErrorsExitTwo) {
+  std::string dir = tools_dir();
+  if (::access((dir + "/smartsock-stats").c_str(), X_OK) != 0) {
+    GTEST_SKIP() << "tool binaries not found in " << dir;
+  }
+  std::string output;
+  EXPECT_EQ(run_command(dir + "/smartsock-stats 2>&1", output), 2) << output;
+  EXPECT_NE(output.find("usage:"), std::string::npos) << output;
+  EXPECT_EQ(run_command(dir + "/smartsock-stats --connect not-an-endpoint 2>&1", output), 2)
+      << output;
+  // A failed watch run must also exit 1, not loop forever.
+  std::uint16_t port = free_tcp_port();
+  EXPECT_EQ(run_command(dir + "/smartsock-stats --connect 127.0.0.1:" +
+                            std::to_string(port) + " --timeout 0.5 --watch 0.1 --count 3 2>&1",
+                        output),
+            1)
+      << output;
 }
 
 }  // namespace

@@ -134,6 +134,10 @@ int main(int argc, char** argv) {
   }
 
   // --- stats endpoint -----------------------------------------------------
+  // Declared before `stats` so the server (whose config points at them)
+  // destructs first.
+  std::unique_ptr<obs::TimeSeriesRecorder> history;
+  std::unique_ptr<obs::HealthEngine> health;
   std::unique_ptr<obs::StatsServer> stats;
   if (args.has("stats-port") || args.has("stats-dump")) {
     obs::StatsServerConfig stats_config;
@@ -143,6 +147,11 @@ int main(int argc, char** argv) {
     stats_config.dump_path = args.get_or("stats-dump", "");
     stats_config.dump_interval =
         util::from_seconds(args.get_double_or("stats-dump-interval", 10.0));
+    history = std::make_unique<obs::TimeSeriesRecorder>();
+    history->start();
+    health = std::make_unique<obs::HealthEngine>();
+    stats_config.history = history.get();
+    stats_config.health = health.get();
     stats = std::make_unique<obs::StatsServer>(stats_config);
     if (!stats->valid() || !stats->start()) {
       std::fprintf(stderr, "cannot start stats endpoint on %s\n",
@@ -158,6 +167,7 @@ int main(int argc, char** argv) {
     util::SteadyClock::instance().sleep_for(std::chrono::milliseconds(200));
   }
   if (stats) stats->stop();
+  if (history) history->stop();
   transmitter.stop();
   network_monitor.stop();
   security_monitor.stop();

@@ -57,6 +57,10 @@ int main(int argc, char** argv) {
               monitor->to_string().c_str(), util::to_seconds(config.interval),
               config.group.c_str());
 
+  // Declared before `stats` so the server (whose config points at them)
+  // destructs first.
+  std::unique_ptr<obs::TimeSeriesRecorder> history;
+  std::unique_ptr<obs::HealthEngine> health;
   std::unique_ptr<obs::StatsServer> stats;
   if (args.has("stats-port") || args.has("stats-dump")) {
     obs::StatsServerConfig stats_config;
@@ -66,6 +70,11 @@ int main(int argc, char** argv) {
     stats_config.dump_path = args.get_or("stats-dump", "");
     stats_config.dump_interval =
         util::from_seconds(args.get_double_or("stats-dump-interval", 10.0));
+    history = std::make_unique<obs::TimeSeriesRecorder>();
+    history->start();
+    health = std::make_unique<obs::HealthEngine>();
+    stats_config.history = history.get();
+    stats_config.health = health.get();
     stats = std::make_unique<obs::StatsServer>(stats_config);
     if (!stats->valid() || !stats->start()) {
       std::fprintf(stderr, "cannot start stats endpoint on %s\n",
@@ -81,6 +90,7 @@ int main(int argc, char** argv) {
     util::SteadyClock::instance().sleep_for(std::chrono::milliseconds(200));
   }
   if (stats) stats->stop();
+  if (history) history->stop();
   probe.stop();
   std::printf("probe stopped after %llu reports\n",
               static_cast<unsigned long long>(probe.reports_sent()));

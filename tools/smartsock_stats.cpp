@@ -1,60 +1,179 @@
-// smartsock_stats — fetches a daemon's live metrics snapshot.
+// smartsock_stats — fetches a daemon's live metrics and flight-recorder
+// surfaces over the TCP stats endpoint any daemon exposes via --stats-port.
 //
-// Connects to the TCP stats endpoint any daemon exposes via --stats-port,
-// requests one rendering and prints it:
+//   smartsock_stats --connect 10.0.0.9:1199            # human-readable table
+//   smartsock_stats --connect 10.0.0.9:1199 --json     # JSON for scripts
+//   smartsock_stats --connect 10.0.0.9:1199 --prom     # Prometheus exposition
+//   smartsock_stats --connect 10.0.0.9:1199 --health   # SLO verdicts
+//   smartsock_stats --connect 10.0.0.9:1199 --history wizard_query_latency_us \
+//                   --window 5                          # windowed time series
+//   smartsock_stats --connect 10.0.0.9:1199 --spans    # span-ring listing
+//   smartsock_stats --connect 10.0.0.9:1199 --trace-dump trace.json
+//                   # Chrome trace_event JSON (open in chrome://tracing);
+//                   # "-" writes to stdout
+//   smartsock_stats --connect 10.0.0.9:1199 --health --watch 2
+//                   # live dashboard: redraw every 2 s (--count N to stop)
 //
-//   smartsock_stats --connect 10.0.0.9:1199          # human-readable table
-//   smartsock_stats --connect 10.0.0.9:1199 --json   # JSON for scripts
-//   smartsock_stats --connect 10.0.0.9:1199 --prom   # Prometheus exposition
+// Exit codes: 0 success, 1 endpoint unreachable / no reply, 2 usage error.
 #include <cstdio>
 #include <string>
+#include <thread>
 
 #include "net/tcp_socket.h"
 #include "util/args.h"
+#include "util/clock.h"
 
 using namespace smartsock;
 
-int main(int argc, char** argv) {
-  util::Args args(argc, argv, {"connect", "json", "prom", "timeout", "help"});
-  if (!args.ok() || args.has("help") || !args.has("connect")) {
+namespace {
+
+/// One request/response exchange with the stats endpoint. Returns false and
+/// prints a one-line diagnostic to stderr on any failure.
+bool fetch(const net::Endpoint& endpoint, const std::string& command,
+           util::Duration timeout, std::string& body) {
+  auto socket = net::TcpSocket::connect(endpoint, timeout);
+  if (!socket) {
     std::fprintf(stderr,
-                 "usage: smartsock_stats --connect ip:port [--json | --prom] "
-                 "[--timeout seconds]\n");
+                 "smartsock_stats: cannot connect to stats endpoint %s "
+                 "(refused or timed out)\n",
+                 endpoint.to_string().c_str());
+    return false;
+  }
+  socket->set_send_timeout(timeout);
+  socket->set_receive_timeout(timeout);
+  if (!socket->send_all(command + "\n").ok()) {
+    std::fprintf(stderr, "smartsock_stats: cannot send command to %s\n",
+                 endpoint.to_string().c_str());
+    return false;
+  }
+  body.clear();
+  std::string chunk;
+  while (true) {
+    auto io = socket->receive_some(chunk, 64 * 1024);
+    if (!io.ok()) break;  // kClosed = end of reply; timeout/error = give up
+    body += chunk;
+  }
+  if (body.empty()) {
+    std::fprintf(stderr, "smartsock_stats: no reply from %s (is --stats-port up?)\n",
+                 endpoint.to_string().c_str());
+    return false;
+  }
+  return true;
+}
+
+void print_body(const std::string& body) {
+  std::fputs(body.c_str(), stdout);
+  if (body.back() != '\n') std::fputc('\n', stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Args args(argc, argv,
+                  {"connect", "json", "prom", "health", "history", "window", "spans",
+                   "trace-dump", "trace", "watch", "count", "timeout", "help"});
+  if (!args.ok() || args.has("help") || !args.has("connect")) {
+    for (const std::string& flag : args.unknown()) {
+      std::fprintf(stderr, "smartsock_stats: unknown flag --%s\n", flag.c_str());
+    }
+    std::fprintf(stderr,
+                 "usage: smartsock_stats --connect ip:port\n"
+                 "  [--json | --prom | --health | --history metric [--window s] |"
+                 " --spans |\n"
+                 "   --trace-dump file | --trace id]\n"
+                 "  [--watch [seconds]] [--count n] [--timeout seconds]\n");
     return args.has("help") ? 0 : 2;
   }
   auto endpoint = net::Endpoint::parse(args.get_or("connect", ""));
   if (!endpoint) {
-    std::fprintf(stderr, "bad --connect endpoint\n");
+    std::fprintf(stderr, "smartsock_stats: bad --connect endpoint '%s'\n",
+                 args.get_or("connect", "").c_str());
     return 2;
   }
   util::Duration timeout = util::from_seconds(args.get_double_or("timeout", 2.0));
 
-  auto socket = net::TcpSocket::connect(*endpoint, timeout);
-  if (!socket) {
-    std::fprintf(stderr, "cannot connect to stats endpoint %s\n",
-                 endpoint->to_string().c_str());
-    return 1;
+  // Which command line the server sees.
+  std::string command = "text";
+  bool dump_to_file = false;
+  std::string dump_path;
+  if (args.has("json")) {
+    command = "json";
+  } else if (args.has("prom")) {
+    command = "prom";
+  } else if (args.has("health")) {
+    command = "health text";
+  } else if (args.has("history")) {
+    std::string metric = args.get_or("history", "");
+    if (metric.empty() || metric == "true") {
+      std::fprintf(stderr, "smartsock_stats: --history needs a metric name\n");
+      return 2;
+    }
+    command = "history " + metric;
+    if (args.has("window")) {
+      command += " " + args.get_or("window", "10");
+    }
+  } else if (args.has("spans")) {
+    command = "spans";
+  } else if (args.has("trace-dump")) {
+    dump_path = args.get_or("trace-dump", "");
+    if (dump_path.empty() || dump_path == "true") {
+      std::fprintf(stderr, "smartsock_stats: --trace-dump needs a file path (or -)\n");
+      return 2;
+    }
+    dump_to_file = true;
+    command = "trace";
+    if (args.has("trace")) command += " " + args.get_or("trace", "");
+  } else if (args.has("trace")) {
+    command = "trace";
+    std::string id = args.get_or("trace", "");
+    if (!id.empty() && id != "true") command += " " + id;
   }
-  socket->set_receive_timeout(timeout);
 
-  const char* command = args.has("json") ? "json\n" : args.has("prom") ? "prom\n" : "text\n";
-  if (!socket->send_all(command).ok()) {
-    std::fprintf(stderr, "cannot send command\n");
-    return 1;
+  if (dump_to_file) {
+    std::string body;
+    if (!fetch(*endpoint, command, timeout, body)) return 1;
+    if (dump_path == "-") {
+      print_body(body);
+      return 0;
+    }
+    std::FILE* file = std::fopen(dump_path.c_str(), "w");
+    if (!file) {
+      std::fprintf(stderr, "smartsock_stats: cannot write %s\n", dump_path.c_str());
+      return 1;
+    }
+    std::fwrite(body.data(), 1, body.size(), file);
+    std::fclose(file);
+    std::fprintf(stderr, "smartsock_stats: wrote %zu bytes to %s\n", body.size(),
+                 dump_path.c_str());
+    return 0;
   }
 
-  std::string body;
-  std::string chunk;
-  while (true) {
-    auto io = socket->receive_some(chunk, 64 * 1024);
-    if (!io.ok()) break;  // kClosed = end of snapshot; timeout/error = give up
-    body += chunk;
+  if (!args.has("watch")) {
+    std::string body;
+    if (!fetch(*endpoint, command, timeout, body)) return 1;
+    print_body(body);
+    return 0;
   }
-  if (body.empty()) {
-    std::fprintf(stderr, "no snapshot received from %s\n", endpoint->to_string().c_str());
-    return 1;
+
+  // Watch mode: redraw on an interval until interrupted (or --count rounds,
+  // for scripting). A failed fetch ends the watch with exit 1 so a daemon
+  // dying mid-watch is visible to the caller.
+  double interval_s = args.get_double_or("watch", 2.0);
+  if (interval_s <= 0) interval_s = 2.0;
+  std::int64_t rounds = args.get_int_or("count", 0);  // 0 = forever
+  for (std::int64_t i = 0; rounds == 0 || i < rounds; ++i) {
+    std::string body;
+    if (!fetch(*endpoint, command, timeout, body)) return 1;
+    // ANSI home+clear keeps the redraw flicker-free on real terminals and is
+    // harmless noise in a pipe.
+    std::fputs("\x1b[H\x1b[2J", stdout);
+    std::fprintf(stdout, "-- %s @ %s (every %.1fs, ctrl-c to stop) --\n",
+                 command.c_str(), endpoint->to_string().c_str(), interval_s);
+    print_body(body);
+    std::fflush(stdout);
+    if (rounds == 0 || i + 1 < rounds) {
+      std::this_thread::sleep_for(util::from_seconds(interval_s));
+    }
   }
-  std::fputs(body.c_str(), stdout);
-  if (body.back() != '\n') std::fputc('\n', stdout);
   return 0;
 }

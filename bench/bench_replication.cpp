@@ -1,0 +1,283 @@
+// Incremental-replication benchmark (ISSUE 5) — measures what the delta
+// protocol and the copy-on-write snapshot hot path buy over the seed's
+// full-copy wire at the ROADMAP's 10k-record scale.
+//
+// Three measurements, each at 1% and 100% churn per push cycle:
+//   * bytes/push — full-snapshot wire (delta disabled, the pre-delta
+//     transmitter) vs delta wire, over a real loopback receiver;
+//   * push latency — wall time of transmit_once() for the same two wires;
+//   * wizard match throughput — handle() qps while the store churns, to show
+//     the snapshot-pointer read path survives write pressure (low churn
+//     reuses the cached snapshot; 100% churn rebuilds it every query).
+//
+// Emits BENCH_replication.json for the CI artifact trail. Flags:
+//   --smoke       small run (2k records, fewer rounds) for CI
+//   --self-check  exit nonzero unless delta bytes/push at 1% churn is at
+//                 least 10x smaller than the full-snapshot wire's
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/wizard.h"
+#include "ipc/in_memory_store.h"
+#include "obs/metrics.h"
+#include "transport/receiver.h"
+#include "transport/transmitter.h"
+
+namespace {
+
+using namespace smartsock;
+
+const char* kRequirement =
+    "host_system_load1 < 4\n"
+    "host_memory_free >= 100\n";
+
+ipc::SysRecord make_record(std::size_t i, double load) {
+  ipc::SysRecord record;
+  std::string host = "host" + std::to_string(i);
+  ipc::copy_fixed(record.host, ipc::kHostNameLen, host);
+  ipc::copy_fixed(record.address, ipc::kAddressLen,
+                  "10.0." + std::to_string(i / 256) + "." + std::to_string(i % 256) +
+                      ":5000");
+  ipc::copy_fixed(record.group, ipc::kGroupLen, "g" + std::to_string(i % 4));
+  record.load1 = load;
+  record.cpu_idle = 0.5;
+  record.mem_total_mb = 1024;
+  record.mem_free_mb = 512;
+  record.updated_ns = 1;
+  return record;
+}
+
+void populate(ipc::InMemoryStatusStore& store, std::size_t servers) {
+  std::vector<ipc::SysRecord> sys(servers);
+  for (std::size_t i = 0; i < servers; ++i) sys[i] = make_record(i, 0.5);
+  store.replace_sys(sys);
+}
+
+/// Rewrites `count` records (round-robin over the keyspace) with a fresh
+/// load value — the churn generator between push cycles.
+void churn_records(ipc::InMemoryStatusStore& store, std::size_t servers,
+                   std::size_t count, std::size_t& cursor, double load) {
+  for (std::size_t i = 0; i < count; ++i) {
+    store.put_sys(make_record(cursor % servers, load));
+    ++cursor;
+  }
+}
+
+struct WireResult {
+  double bytes_per_push = 0;
+  double push_p50_us = 0;
+  double push_p99_us = 0;
+  std::uint64_t delta_pushes = 0;
+  std::uint64_t full_pushes = 0;
+};
+
+/// Runs `rounds` push cycles over loopback, churning `churn_count` records
+/// before each one, and reports bytes/push and push latency percentiles.
+/// `delta` selects the wire: false reproduces the pre-delta transmitter.
+WireResult measure_wire(std::size_t servers, std::size_t churn_count,
+                        std::size_t rounds, bool delta) {
+  ipc::InMemoryStatusStore tx_store;
+  ipc::InMemoryStatusStore rx_store;
+  populate(tx_store, servers);
+
+  transport::Receiver receiver(transport::ReceiverConfig{}, rx_store);
+  if (!receiver.start()) {
+    std::fprintf(stderr, "cannot start loopback receiver\n");
+    std::exit(1);
+  }
+  transport::TransmitterConfig tx_config;
+  tx_config.receiver = receiver.endpoint();
+  tx_config.delta_enabled = delta;
+  transport::Transmitter transmitter(tx_config, tx_store);
+
+  // Anchor push: lets the delta wire establish replica state so the measured
+  // rounds are steady-state; the full wire ships everything regardless.
+  if (!transmitter.transmit_once()) {
+    std::fprintf(stderr, "anchor push failed\n");
+    std::exit(1);
+  }
+  std::uint64_t bytes_before = transmitter.bytes_sent();
+  std::uint64_t pushes_before = transmitter.delta_pushes() + transmitter.full_pushes();
+
+  std::size_t cursor = 0;
+  std::vector<double> latencies_us;
+  latencies_us.reserve(rounds);
+  for (std::size_t round = 0; round < rounds; ++round) {
+    churn_records(tx_store, servers, churn_count, cursor,
+                  0.1 + static_cast<double>(round % 10) / 10.0);
+    auto t0 = std::chrono::steady_clock::now();
+    if (!transmitter.transmit_once()) {
+      std::fprintf(stderr, "push %zu failed\n", round);
+      std::exit(1);
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    latencies_us.push_back(std::chrono::duration<double, std::micro>(t1 - t0).count());
+  }
+  receiver.stop();
+
+  if (rx_store.sys_records().size() != tx_store.sys_records().size()) {
+    std::fprintf(stderr, "replica diverged: %zu vs %zu records\n",
+                 rx_store.sys_records().size(), tx_store.sys_records().size());
+    std::exit(1);
+  }
+
+  WireResult result;
+  std::uint64_t pushes = transmitter.delta_pushes() + transmitter.full_pushes() -
+                         pushes_before;
+  result.bytes_per_push =
+      static_cast<double>(transmitter.bytes_sent() - bytes_before) /
+      static_cast<double>(pushes ? pushes : 1);
+  std::sort(latencies_us.begin(), latencies_us.end());
+  result.push_p50_us = latencies_us[latencies_us.size() / 2];
+  result.push_p99_us = latencies_us[std::min(
+      latencies_us.size() - 1, static_cast<std::size_t>(latencies_us.size() * 0.99))];
+  result.delta_pushes = transmitter.delta_pushes();
+  result.full_pushes = transmitter.full_pushes();
+  return result;
+}
+
+/// Wizard handle() throughput while the store churns between queries: the
+/// copy-free read path takes one SnapshotPtr per query, so low churn keeps
+/// reusing the cached snapshot object and high churn rebuilds it per write.
+double measure_match_qps(std::size_t servers, std::size_t churn_count,
+                         double budget_seconds) {
+  ipc::InMemoryStatusStore store;
+  populate(store, servers);
+
+  core::WizardConfig config;
+  config.cache_size = 0;  // force a real match per query — no reply cache
+  core::Wizard wizard(config, store);
+
+  core::UserRequest request;
+  request.sequence = 1;
+  request.server_num = 10;
+  request.detail = kRequirement;
+
+  std::size_t cursor = 0;
+  std::size_t queries = 0;
+  auto start = std::chrono::steady_clock::now();
+  double elapsed = 0;
+  while (elapsed < budget_seconds || queries < 10) {
+    churn_records(store, servers, churn_count, cursor, 0.3);
+    core::WizardReply reply = wizard.handle(request);
+    if (!reply.ok) {
+      std::fprintf(stderr, "query failed: %s\n", reply.error.c_str());
+      std::exit(1);
+    }
+    ++queries;
+    elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                  .count();
+  }
+  return static_cast<double>(queries) / elapsed;
+}
+
+struct ChurnRow {
+  double churn_pct = 0;
+  std::size_t churn_count = 0;
+  WireResult full;
+  WireResult delta;
+  double match_qps = 0;
+
+  double byte_ratio() const {
+    return delta.bytes_per_push > 0 ? full.bytes_per_push / delta.bytes_per_push : 0;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool self_check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--self-check") == 0) self_check = true;
+  }
+
+  const std::size_t servers = smoke ? 2000 : 10000;
+  const std::size_t rounds = smoke ? 20 : 50;
+  const double match_budget = smoke ? 0.5 : 1.5;
+  const double churns[] = {1.0, 100.0};
+
+  smartsock::bench::print_title(
+      "incremental replication: delta vs full-snapshot wire, " +
+      std::to_string(servers) + " records");
+  smartsock::bench::print_row(
+      {"churn", "wire", "bytes/push", "p50 us", "p99 us", "pushes"},
+      {8, 7, 14, 12, 12, 8});
+
+  std::vector<ChurnRow> table;
+  for (double churn_pct : churns) {
+    ChurnRow row;
+    row.churn_pct = churn_pct;
+    row.churn_count = std::max<std::size_t>(
+        1, static_cast<std::size_t>(static_cast<double>(servers) * churn_pct / 100.0));
+    row.full = measure_wire(servers, row.churn_count, rounds, /*delta=*/false);
+    row.delta = measure_wire(servers, row.churn_count, rounds, /*delta=*/true);
+    row.match_qps = measure_match_qps(servers, row.churn_count, match_budget);
+
+    for (const char* wire : {"full", "delta"}) {
+      const WireResult& r = std::strcmp(wire, "full") == 0 ? row.full : row.delta;
+      smartsock::bench::print_row(
+          {smartsock::bench::fmt(churn_pct, 0) + "%", wire,
+           smartsock::bench::fmt(r.bytes_per_push, 0),
+           smartsock::bench::fmt(r.push_p50_us), smartsock::bench::fmt(r.push_p99_us),
+           std::to_string(r.delta_pushes + r.full_pushes)},
+          {8, 7, 14, 12, 12, 8});
+    }
+    smartsock::bench::print_note(
+        "full/delta byte ratio: " + smartsock::bench::fmt(row.byte_ratio(), 1) +
+        "x; match throughput under churn: " +
+        smartsock::bench::fmt(row.match_qps, 0) + " qps");
+    table.push_back(row);
+  }
+
+  std::FILE* json = std::fopen("BENCH_replication.json", "w");
+  if (!json) {
+    std::fprintf(stderr, "cannot write BENCH_replication.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"bench\": \"replication\",\n  \"records\": %zu,\n", servers);
+  std::fprintf(json, "  \"rounds\": %zu,\n  \"smoke\": %s,\n  \"churns\": [\n", rounds,
+               smoke ? "true" : "false");
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const ChurnRow& row = table[i];
+    std::fprintf(
+        json,
+        "    {\"churn_pct\": %.1f, \"churn_records\": %zu,\n"
+        "     \"full\":  {\"bytes_per_push\": %.1f, \"push_p50_us\": %.2f, "
+        "\"push_p99_us\": %.2f},\n"
+        "     \"delta\": {\"bytes_per_push\": %.1f, \"push_p50_us\": %.2f, "
+        "\"push_p99_us\": %.2f},\n"
+        "     \"full_delta_byte_ratio\": %.2f,\n"
+        "     \"match_qps_under_churn\": %.1f}%s\n",
+        row.churn_pct, row.churn_count, row.full.bytes_per_push, row.full.push_p50_us,
+        row.full.push_p99_us, row.delta.bytes_per_push, row.delta.push_p50_us,
+        row.delta.push_p99_us, row.byte_ratio(), row.match_qps,
+        i + 1 < table.size() ? "," : "");
+  }
+  std::fprintf(json, "  ],\n");
+  std::fprintf(json, "  \"metrics\": %s\n",
+               obs::MetricsRegistry::instance().snapshot().to_json().c_str());
+  std::fprintf(json, "}\n");
+  std::fclose(json);
+  std::printf("\nwrote BENCH_replication.json\n");
+
+  if (self_check) {
+    // The acceptance gate: at 1% churn the delta wire must ship at least 10x
+    // fewer bytes per push than the full-snapshot wire.
+    const ChurnRow& low = table.front();
+    if (low.byte_ratio() < 10.0) {
+      std::fprintf(stderr, "SELF-CHECK FAILED: byte ratio %.2fx < 10x at %.0f%% churn\n",
+                   low.byte_ratio(), low.churn_pct);
+      return 1;
+    }
+    std::printf("self-check ok: %.1fx byte reduction at %.0f%% churn\n",
+                low.byte_ratio(), low.churn_pct);
+  }
+  return 0;
+}

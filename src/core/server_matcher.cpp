@@ -73,7 +73,7 @@ struct RecordOutcome {
 ServerMatcher::ServerMatcher(std::size_t threads)
     : pool_(threads > 1 ? std::make_shared<util::ThreadPool>(threads - 1) : nullptr) {}
 
-MatchResult ServerMatcher::match(const lang::Requirement& requirement, const MatchInput& input,
+MatchResult ServerMatcher::match(const lang::Requirement& requirement, const MatchView& input,
                                  std::size_t count) const {
   MatchResult result;
   count = std::min(count, kMaxServersPerReply);

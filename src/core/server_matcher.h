@@ -14,7 +14,9 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/wire.h"
@@ -31,6 +33,22 @@ struct MatchInput {
   /// Group the requesting client sits in: netdb metrics are looked up for
   /// paths local_group -> server group.
   std::string local_group;
+};
+
+/// Non-owning view over the three databases. The wizard's hot path points
+/// this at an immutable ipc::Snapshot so a query never copies a record
+/// vector; owning MatchInput converts implicitly for callers (tests,
+/// benchmarks) that assemble their own inputs. The viewed storage must
+/// outlive the match() call.
+struct MatchView {
+  std::span<const ipc::SysRecord> sys;
+  std::span<const ipc::NetRecord> net;
+  std::span<const ipc::SecRecord> sec;
+  std::string_view local_group;
+
+  MatchView() = default;
+  MatchView(const MatchInput& input)  // NOLINT(google-explicit-constructor)
+      : sys(input.sys), net(input.net), sec(input.sec), local_group(input.local_group) {}
 };
 
 struct MatchResult {
@@ -56,7 +74,7 @@ class ServerMatcher {
 
   std::size_t threads() const { return pool_ ? pool_->size() + 1 : 1; }
 
-  MatchResult match(const lang::Requirement& requirement, const MatchInput& input,
+  MatchResult match(const lang::Requirement& requirement, const MatchView& input,
                     std::size_t count) const;
 
  private:

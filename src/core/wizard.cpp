@@ -151,10 +151,17 @@ WizardReply Wizard::handle(const UserRequest& request, std::uint64_t parent_span
     return finish(reply);
   }
 
-  MatchInput input;
-  input.sys = store_->sys_records();
-  input.net = store_->net_records();
-  input.sec = store_->sec_records();
+  // Copy-free hot path (ISSUE 5): one immutable snapshot pointer serves the
+  // whole match — no per-query record-vector copies. Between writes every
+  // query shares the same cached Snapshot object. The snapshot's version may
+  // be newer than the one read above for the cache check; the reply is
+  // cached under the snapshot's own version, which is what it was computed
+  // from.
+  ipc::SnapshotPtr snap = store_->snapshot();
+  MatchView input;
+  input.sys = snap->sys;
+  input.net = snap->net;
+  input.sec = snap->sec;
   input.local_group = config_.local_group;
 
   obs::TraceEvent(util::LogLevel::kDebug, "wizard", "match_start", request.trace_id)
@@ -188,7 +195,7 @@ WizardReply Wizard::handle(const UserRequest& request, std::uint64_t parent_span
   handle_span.tag("ok", reply.ok).tag("servers", reply.servers.size());
   {
     std::lock_guard<std::mutex> lock(reply_mu_);
-    reply_cache_.put(key, CachedReply{version, reply});
+    reply_cache_.put(key, CachedReply{snap->version, reply});
   }
   return finish(reply);
 }

@@ -5,43 +5,98 @@
 
 namespace smartsock::ipc {
 
+InMemoryStatusStore::InMemoryStatusStore(std::size_t tombstone_cap)
+    : tombstone_cap_(tombstone_cap),
+      // Seeded from the clock so two store instances never share an epoch:
+      // a transmitter restarted onto a fresh store can't alias a receiver's
+      // replica state from the previous store.
+      epoch_(steady_now_ns()) {}
+
+std::uint64_t InMemoryStatusStore::next_version() {
+  cached_snapshot_.reset();
+  return version_.fetch_add(1, std::memory_order_acq_rel) + 1;
+}
+
+void InMemoryStatusStore::bump_epoch(std::uint64_t at_version) {
+  ++epoch_;
+  sys_tombstones_.clear();
+  net_tombstones_.clear();
+  sec_tombstones_.clear();
+  delta_floor_ = at_version;
+}
+
+void InMemoryStatusStore::trim_tombstones() {
+  auto trim = [&](auto& log) {
+    while (log.size() > tombstone_cap_) {
+      delta_floor_ = std::max(delta_floor_, log.front().first);
+      log.pop_front();
+    }
+  };
+  trim(sys_tombstones_);
+  trim(net_tombstones_);
+  trim(sec_tombstones_);
+}
+
+std::uint64_t InMemoryStatusStore::recompute_newest_sys() const {
+  std::uint64_t newest = 0;
+  for (const SysRecord& record : sys_) {
+    if (record.updated_ns > newest) newest = record.updated_ns;
+  }
+  return newest;
+}
+
 bool InMemoryStatusStore::put_sys(const SysRecord& record) {
   std::lock_guard<std::mutex> lock(mu_);
-  version_.fetch_add(1, std::memory_order_acq_rel);
-  for (SysRecord& existing : sys_) {
-    if (std::strncmp(existing.address, record.address, kAddressLen) == 0) {
-      existing = record;
+  std::uint64_t v = next_version();
+  for (std::size_t i = 0; i < sys_.size(); ++i) {
+    if (std::strncmp(sys_[i].address, record.address, kAddressLen) == 0) {
+      // Overwriting the record that held the max with an older timestamp
+      // must lower the tracked max — same answer as the scanning default.
+      bool was_newest = sys_[i].updated_ns == newest_sys_;
+      sys_[i] = record;
+      sys_versions_[i] = v;
+      if (record.updated_ns >= newest_sys_) {
+        newest_sys_ = record.updated_ns;
+      } else if (was_newest) {
+        newest_sys_ = recompute_newest_sys();
+      }
       return true;
     }
   }
+  if (record.updated_ns > newest_sys_) newest_sys_ = record.updated_ns;
   sys_.push_back(record);
+  sys_versions_.push_back(v);
   return true;
 }
 
 bool InMemoryStatusStore::put_net(const NetRecord& record) {
   std::lock_guard<std::mutex> lock(mu_);
-  version_.fetch_add(1, std::memory_order_acq_rel);
-  for (NetRecord& existing : net_) {
-    if (std::strncmp(existing.from_group, record.from_group, kGroupLen) == 0 &&
-        std::strncmp(existing.to_group, record.to_group, kGroupLen) == 0) {
-      existing = record;
+  std::uint64_t v = next_version();
+  for (std::size_t i = 0; i < net_.size(); ++i) {
+    if (std::strncmp(net_[i].from_group, record.from_group, kGroupLen) == 0 &&
+        std::strncmp(net_[i].to_group, record.to_group, kGroupLen) == 0) {
+      net_[i] = record;
+      net_versions_[i] = v;
       return true;
     }
   }
   net_.push_back(record);
+  net_versions_.push_back(v);
   return true;
 }
 
 bool InMemoryStatusStore::put_sec(const SecRecord& record) {
   std::lock_guard<std::mutex> lock(mu_);
-  version_.fetch_add(1, std::memory_order_acq_rel);
-  for (SecRecord& existing : sec_) {
-    if (std::strncmp(existing.host, record.host, kHostNameLen) == 0) {
-      existing = record;
+  std::uint64_t v = next_version();
+  for (std::size_t i = 0; i < sec_.size(); ++i) {
+    if (std::strncmp(sec_[i].host, record.host, kHostNameLen) == 0) {
+      sec_[i] = record;
+      sec_versions_[i] = v;
       return true;
     }
   }
   sec_.push_back(record);
+  sec_versions_.push_back(v);
   return true;
 }
 
@@ -62,48 +117,143 @@ std::vector<SecRecord> InMemoryStatusStore::sec_records() const {
 
 void InMemoryStatusStore::replace_sys(const std::vector<SysRecord>& records) {
   std::lock_guard<std::mutex> lock(mu_);
-  version_.fetch_add(1, std::memory_order_acq_rel);
+  std::uint64_t v = next_version();
+  bump_epoch(v);
   sys_ = records;
+  sys_versions_.assign(sys_.size(), v);
+  newest_sys_ = recompute_newest_sys();
 }
 
 void InMemoryStatusStore::replace_net(const std::vector<NetRecord>& records) {
   std::lock_guard<std::mutex> lock(mu_);
-  version_.fetch_add(1, std::memory_order_acq_rel);
+  std::uint64_t v = next_version();
+  bump_epoch(v);
   net_ = records;
+  net_versions_.assign(net_.size(), v);
 }
 
 void InMemoryStatusStore::replace_sec(const std::vector<SecRecord>& records) {
   std::lock_guard<std::mutex> lock(mu_);
-  version_.fetch_add(1, std::memory_order_acq_rel);
+  std::uint64_t v = next_version();
+  bump_epoch(v);
   sec_ = records;
+  sec_versions_.assign(sec_.size(), v);
+}
+
+bool InMemoryStatusStore::erase_sys(const SysKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < sys_.size(); ++i) {
+    if (std::strncmp(sys_[i].address, key.address, kAddressLen) != 0) continue;
+    std::uint64_t v = next_version();
+    bool was_newest = sys_[i].updated_ns == newest_sys_;
+    sys_.erase(sys_.begin() + static_cast<std::ptrdiff_t>(i));
+    sys_versions_.erase(sys_versions_.begin() + static_cast<std::ptrdiff_t>(i));
+    sys_tombstones_.emplace_back(v, key);
+    trim_tombstones();
+    if (was_newest) newest_sys_ = recompute_newest_sys();
+    return true;
+  }
+  return false;
+}
+
+bool InMemoryStatusStore::erase_net(const NetKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < net_.size(); ++i) {
+    if (std::strncmp(net_[i].from_group, key.from_group, kGroupLen) != 0 ||
+        std::strncmp(net_[i].to_group, key.to_group, kGroupLen) != 0) {
+      continue;
+    }
+    std::uint64_t v = next_version();
+    net_.erase(net_.begin() + static_cast<std::ptrdiff_t>(i));
+    net_versions_.erase(net_versions_.begin() + static_cast<std::ptrdiff_t>(i));
+    net_tombstones_.emplace_back(v, key);
+    trim_tombstones();
+    return true;
+  }
+  return false;
+}
+
+bool InMemoryStatusStore::erase_sec(const SecKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < sec_.size(); ++i) {
+    if (std::strncmp(sec_[i].host, key.host, kHostNameLen) != 0) continue;
+    std::uint64_t v = next_version();
+    sec_.erase(sec_.begin() + static_cast<std::ptrdiff_t>(i));
+    sec_versions_.erase(sec_versions_.begin() + static_cast<std::ptrdiff_t>(i));
+    sec_tombstones_.emplace_back(v, key);
+    trim_tombstones();
+    return true;
+  }
+  return false;
 }
 
 std::size_t InMemoryStatusStore::expire_sys_older_than(std::uint64_t cutoff_ns) {
   std::lock_guard<std::mutex> lock(mu_);
-  std::size_t before = sys_.size();
-  sys_.erase(std::remove_if(sys_.begin(), sys_.end(),
-                            [&](const SysRecord& r) { return r.updated_ns < cutoff_ns; }),
-             sys_.end());
-  std::size_t removed = before - sys_.size();
-  if (removed > 0) version_.fetch_add(1, std::memory_order_acq_rel);
-  return removed;
-}
-
-std::uint64_t InMemoryStatusStore::newest_sys_update_ns() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  std::uint64_t newest = 0;
-  for (const SysRecord& record : sys_) {
-    if (record.updated_ns > newest) newest = record.updated_ns;
+  std::size_t kept = 0;
+  std::vector<SysKey> removed_keys;
+  for (std::size_t i = 0; i < sys_.size(); ++i) {
+    if (sys_[i].updated_ns < cutoff_ns) {
+      removed_keys.push_back(sys_key_of(sys_[i]));
+      continue;
+    }
+    if (kept != i) {
+      sys_[kept] = sys_[i];
+      sys_versions_[kept] = sys_versions_[i];
+    }
+    ++kept;
   }
-  return newest;
+  std::size_t removed = sys_.size() - kept;
+  if (removed == 0) return 0;
+  sys_.resize(kept);
+  sys_versions_.resize(kept);
+  std::uint64_t v = next_version();
+  for (const SysKey& key : removed_keys) {
+    sys_tombstones_.emplace_back(v, key);
+  }
+  trim_tombstones();
+  newest_sys_ = recompute_newest_sys();
+  return removed;
 }
 
 void InMemoryStatusStore::clear() {
   std::lock_guard<std::mutex> lock(mu_);
-  version_.fetch_add(1, std::memory_order_acq_rel);
+  std::uint64_t v = next_version();
+  bump_epoch(v);
   sys_.clear();
   net_.clear();
   sec_.clear();
+  sys_versions_.clear();
+  net_versions_.clear();
+  sec_versions_.clear();
+  newest_sys_ = 0;
+}
+
+SnapshotPtr InMemoryStatusStore::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!cached_snapshot_) {
+    auto snap = std::make_shared<Snapshot>();
+    snap->version = version_.load(std::memory_order_acquire);
+    snap->epoch = epoch_;
+    snap->delta_capable = true;
+    snap->delta_floor = delta_floor_;
+    snap->newest_sys_update_ns = newest_sys_;
+    snap->sys = sys_;
+    snap->net = net_;
+    snap->sec = sec_;
+    snap->sys_versions = sys_versions_;
+    snap->net_versions = net_versions_;
+    snap->sec_versions = sec_versions_;
+    snap->sys_tombstones.assign(sys_tombstones_.begin(), sys_tombstones_.end());
+    snap->net_tombstones.assign(net_tombstones_.begin(), net_tombstones_.end());
+    snap->sec_tombstones.assign(sec_tombstones_.begin(), sec_tombstones_.end());
+    cached_snapshot_ = std::move(snap);
+  }
+  return cached_snapshot_;
+}
+
+std::uint64_t InMemoryStatusStore::newest_sys_update_ns() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return newest_sys_;
 }
 
 }  // namespace smartsock::ipc

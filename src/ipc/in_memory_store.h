@@ -1,7 +1,14 @@
 // Mutex-guarded in-process status store.
+//
+// Full delta/snapshot support (ISSUE 5): every mutation stamps the written
+// record with the new store version, deletions land in a bounded tombstone
+// log, and snapshot() returns a cached immutable view that is only rebuilt
+// after a mutation — readers between writes share one pointer and copy
+// nothing.
 #pragma once
 
 #include <atomic>
+#include <deque>
 #include <mutex>
 
 #include "ipc/status_store.h"
@@ -10,6 +17,11 @@ namespace smartsock::ipc {
 
 class InMemoryStatusStore final : public StatusStore {
  public:
+  /// `tombstone_cap` bounds the per-database deletion log; a receiver whose
+  /// acked version predates the oldest retained tombstone is resynced with a
+  /// full snapshot (Snapshot::delta_floor). Tests shrink it to force gaps.
+  explicit InMemoryStatusStore(std::size_t tombstone_cap = 4096);
+
   bool put_sys(const SysRecord& record) override;
   bool put_net(const NetRecord& record) override;
   bool put_sec(const SecRecord& record) override;
@@ -22,19 +34,46 @@ class InMemoryStatusStore final : public StatusStore {
   void replace_net(const std::vector<NetRecord>& records) override;
   void replace_sec(const std::vector<SecRecord>& records) override;
 
+  bool erase_sys(const SysKey& key) override;
+  bool erase_net(const NetKey& key) override;
+  bool erase_sec(const SecKey& key) override;
+
   std::size_t expire_sys_older_than(std::uint64_t cutoff_ns) override;
   void clear() override;
   std::uint64_t version() const override {
     return version_.load(std::memory_order_acquire);
   }
+  SnapshotPtr snapshot() const override;
+  /// O(1): the max is tracked on write instead of the base class's scan.
   std::uint64_t newest_sys_update_ns() const override;
 
  private:
+  /// Bumps the version under mu_ and invalidates the cached snapshot.
+  std::uint64_t next_version();
+  /// Non-incremental mutation: new epoch, tombstone logs void.
+  void bump_epoch(std::uint64_t at_version);
+  void trim_tombstones();
+  std::uint64_t recompute_newest_sys() const;
+
+  const std::size_t tombstone_cap_;
   std::atomic<std::uint64_t> version_{0};
   mutable std::mutex mu_;
   std::vector<SysRecord> sys_;
   std::vector<NetRecord> net_;
   std::vector<SecRecord> sec_;
+  // Store version at which each record was last written (parallel vectors).
+  std::vector<std::uint64_t> sys_versions_;
+  std::vector<std::uint64_t> net_versions_;
+  std::vector<std::uint64_t> sec_versions_;
+  // Deletions since delta_floor_, oldest first.
+  std::deque<std::pair<std::uint64_t, SysKey>> sys_tombstones_;
+  std::deque<std::pair<std::uint64_t, NetKey>> net_tombstones_;
+  std::deque<std::pair<std::uint64_t, SecKey>> sec_tombstones_;
+  std::uint64_t epoch_;
+  std::uint64_t delta_floor_ = 0;
+  std::uint64_t newest_sys_ = 0;
+  // Copy-on-write: rebuilt lazily on the first snapshot() after a mutation.
+  mutable SnapshotPtr cached_snapshot_;
 };
 
 }  // namespace smartsock::ipc

@@ -1,6 +1,8 @@
 #include "ipc/status_store.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cstring>
 
 namespace smartsock::ipc {
 
@@ -9,6 +11,82 @@ std::uint64_t steady_now_ns() {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
+}
+
+SysKey sys_key_of(const SysRecord& record) {
+  SysKey key;
+  std::memcpy(key.address, record.address, kAddressLen);
+  return key;
+}
+
+NetKey net_key_of(const NetRecord& record) {
+  NetKey key;
+  std::memcpy(key.from_group, record.from_group, kGroupLen);
+  std::memcpy(key.to_group, record.to_group, kGroupLen);
+  return key;
+}
+
+SecKey sec_key_of(const SecRecord& record) {
+  SecKey key;
+  std::memcpy(key.host, record.host, kHostNameLen);
+  return key;
+}
+
+bool StatusStore::erase_sys(const SysKey& key) {
+  std::vector<SysRecord> records = sys_records();
+  auto drop = [&](const SysRecord& r) {
+    return std::strncmp(r.address, key.address, kAddressLen) == 0;
+  };
+  auto end = std::remove_if(records.begin(), records.end(), drop);
+  if (end == records.end()) return false;
+  records.erase(end, records.end());
+  replace_sys(records);
+  return true;
+}
+
+bool StatusStore::erase_net(const NetKey& key) {
+  std::vector<NetRecord> records = net_records();
+  auto drop = [&](const NetRecord& r) {
+    return std::strncmp(r.from_group, key.from_group, kGroupLen) == 0 &&
+           std::strncmp(r.to_group, key.to_group, kGroupLen) == 0;
+  };
+  auto end = std::remove_if(records.begin(), records.end(), drop);
+  if (end == records.end()) return false;
+  records.erase(end, records.end());
+  replace_net(records);
+  return true;
+}
+
+bool StatusStore::erase_sec(const SecKey& key) {
+  std::vector<SecRecord> records = sec_records();
+  auto drop = [&](const SecRecord& r) {
+    return std::strncmp(r.host, key.host, kHostNameLen) == 0;
+  };
+  auto end = std::remove_if(records.begin(), records.end(), drop);
+  if (end == records.end()) return false;
+  records.erase(end, records.end());
+  replace_sec(records);
+  return true;
+}
+
+SnapshotPtr StatusStore::snapshot() const {
+  auto snap = std::make_shared<Snapshot>();
+  // Version first: a concurrent mutation can only make this snapshot look
+  // older than it is, never newer (the same direction the wizard's reply
+  // cache relies on).
+  snap->version = version();
+  snap->epoch = snap->version;  // every snapshot its own epoch: no deltas
+  snap->delta_capable = false;
+  snap->delta_floor = snap->version;
+  snap->sys = sys_records();
+  snap->net = net_records();
+  snap->sec = sec_records();
+  for (const SysRecord& record : snap->sys) {
+    if (record.updated_ns > snap->newest_sys_update_ns) {
+      snap->newest_sys_update_ns = record.updated_ns;
+    }
+  }
+  return snap;
 }
 
 std::uint64_t StatusStore::newest_sys_update_ns() const {

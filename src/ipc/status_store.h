@@ -5,14 +5,91 @@
 // thesis keeps them in SysV shared memory guarded by SysV semaphores; the
 // SysVStatusStore reproduces that, while InMemoryStatusStore provides the
 // same contract for single-process deployments and tests.
+//
+// ISSUE 5 adds two scaling levers on top of the thesis design:
+//  * snapshot() — an immutable copy-on-write view readers share by pointer,
+//    so hot read paths (wizard matcher, transmitter) stop paying O(records)
+//    vector copies per call;
+//  * per-record versions + a tombstone log inside the snapshot, so the
+//    transmitter can ship only what changed since a receiver's last acked
+//    version instead of mirroring whole databases every interval.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "ipc/status_record.h"
 
 namespace smartsock::ipc {
+
+/// Tombstone keys — the identity of a deleted record, fixed-layout so delta
+/// frames can memcpy arrays of them exactly like the record payloads.
+struct SysKey {
+  char address[kAddressLen] = {};
+};
+struct NetKey {
+  char from_group[kGroupLen] = {};
+  char to_group[kGroupLen] = {};
+};
+struct SecKey {
+  char host[kHostNameLen] = {};
+};
+static_assert(std::is_trivially_copyable_v<SysKey>);
+static_assert(std::is_trivially_copyable_v<NetKey>);
+static_assert(std::is_trivially_copyable_v<SecKey>);
+
+SysKey sys_key_of(const SysRecord& record);
+NetKey net_key_of(const NetRecord& record);
+SecKey sec_key_of(const SecRecord& record);
+
+/// Immutable point-in-time view of the three databases. Produced by
+/// StatusStore::snapshot() as a shared_ptr; readers hold the pointer for the
+/// duration of their scan and never copy the record vectors. Stores with
+/// delta support also expose per-record versions and the recent tombstone
+/// history so the transmitter can compute incremental updates.
+struct Snapshot {
+  /// Store version at capture time (same counter as StatusStore::version()).
+  std::uint64_t version = 0;
+  /// Bulk-operation generation: changes on replace_*/clear (and on every
+  /// snapshot for stores without delta support). Two snapshots with
+  /// different epochs cannot be related by a delta.
+  std::uint64_t epoch = 0;
+  /// Whether per-record versions and the tombstone log below are maintained.
+  /// False for stores (e.g. SysV shared memory) that only support full
+  /// snapshots — the transmitter then always ships complete databases.
+  bool delta_capable = false;
+  /// Oldest base version (inclusive) a delta can be computed from: the
+  /// bounded tombstone log covers (delta_floor, version]. A receiver whose
+  /// acked version is below this floor must resync with a full snapshot.
+  std::uint64_t delta_floor = 0;
+  /// Max updated_ns across sys records (0 when empty) — carried so feed-age
+  /// checks need no extra scan.
+  std::uint64_t newest_sys_update_ns = 0;
+
+  std::vector<SysRecord> sys;
+  std::vector<NetRecord> net;
+  std::vector<SecRecord> sec;
+
+  /// Parallel to the record vectors: the store version at which each record
+  /// was last written. Empty when !delta_capable.
+  std::vector<std::uint64_t> sys_versions;
+  std::vector<std::uint64_t> net_versions;
+  std::vector<std::uint64_t> sec_versions;
+
+  /// Deletions since delta_floor, oldest first: (version removed at, key).
+  std::vector<std::pair<std::uint64_t, SysKey>> sys_tombstones;
+  std::vector<std::pair<std::uint64_t, NetKey>> net_tombstones;
+  std::vector<std::pair<std::uint64_t, SecKey>> sec_tombstones;
+
+  /// Whether a delta from `base_version` (a peer's acked state with matching
+  /// epoch) can be served from this snapshot.
+  bool can_delta_from(std::uint64_t base_version) const {
+    return delta_capable && base_version >= delta_floor && base_version <= version;
+  }
+};
+
+using SnapshotPtr = std::shared_ptr<const Snapshot>;
 
 class StatusStore {
  public:
@@ -31,9 +108,18 @@ class StatusStore {
   virtual std::vector<SecRecord> sec_records() const = 0;
 
   /// Bulk replacement — the receiver mirrors whole databases (§3.5.2).
+  /// Non-incremental: bumps the epoch, so deltas never span a replace.
   virtual void replace_sys(const std::vector<SysRecord>& records) = 0;
   virtual void replace_net(const std::vector<NetRecord>& records) = 0;
   virtual void replace_sec(const std::vector<SecRecord>& records) = 0;
+
+  /// Keyed deletion — the receiver applies delta tombstones through these.
+  /// Returns true when a record was removed. The base implementations
+  /// filter-and-replace (O(records)); stores override with something
+  /// cheaper where it matters.
+  virtual bool erase_sys(const SysKey& key);
+  virtual bool erase_net(const NetKey& key);
+  virtual bool erase_sec(const SecKey& key);
 
   /// Removes sys records whose updated_ns is older than `cutoff_ns` — the
   /// monitor's stale-server sweep ("3 consecutive intervals", §4.1).
@@ -48,6 +134,12 @@ class StatusStore {
   /// may over-count (bump without an observable change) but must never miss
   /// a change.
   virtual std::uint64_t version() const = 0;
+
+  /// Immutable view of the current contents. The base implementation builds
+  /// a fresh copy on every call (delta_capable = false, epoch = version);
+  /// stores with copy-on-write support return a cached pointer that is only
+  /// rebuilt after a mutation, making repeated reads between writes free.
+  virtual SnapshotPtr snapshot() const;
 
   /// The newest sys record's updated_ns — the age of the status feed, which
   /// the wizard compares against its staleness bound to decide whether it is

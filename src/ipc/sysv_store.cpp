@@ -12,7 +12,7 @@ namespace smartsock::ipc {
 
 namespace {
 
-constexpr std::uint32_t kMagic = 0x534d5232;  // "SMR2" — SMR1 + version field
+constexpr std::uint32_t kMagic = 0x534d5233;  // "SMR3" — SMR2 + newest_updated_ns
 
 struct SegmentHeader {
   std::uint32_t magic;
@@ -24,6 +24,10 @@ struct SegmentHeader {
   // keeps the record array 8-byte aligned for the double-heavy records.
   std::uint32_t version;
   std::uint32_t pad;
+  // Max updated_ns across stored records, maintained on every write so
+  // newest_sys_update_ns() is a header read instead of a full scan. Only
+  // meaningful for the sys segment (0 elsewhere).
+  std::uint64_t newest_updated_ns;
 };
 static_assert(sizeof(SegmentHeader) % alignof(double) == 0);
 
@@ -99,6 +103,7 @@ struct SysVStatusStore::Region {
       header->count = 0;
       header->version = 0;
       header->pad = 0;
+      header->newest_updated_ns = 0;
       sem_unlock(sem_id);
     } else {
       const SegmentHeader* header = region->header();
@@ -131,6 +136,17 @@ void region_replace(SysVStatusStore::Region* region, const std::vector<Record>& 
 // Out-of-line template helpers need the full Region type.
 namespace {
 
+// Recomputes the sys segment's newest_updated_ns from its slots (caller
+// holds the semaphore). Capacity is small (~128), so the rescan on the rare
+// backwards-timestamp path costs less than one region_read.
+void refresh_newest(SegmentHeader* header, const SysRecord* slots) {
+  std::uint64_t newest = 0;
+  for (std::uint32_t i = 0; i < header->count; ++i) {
+    if (slots[i].updated_ns > newest) newest = slots[i].updated_ns;
+  }
+  header->newest_updated_ns = newest;
+}
+
 template <typename Record, typename KeyEq>
 bool region_put(SysVStatusStore::Region* region, const Record& record, KeyEq key_eq) {
   if (!region || !region->base) return false;
@@ -150,6 +166,16 @@ bool region_put(SysVStatusStore::Region* region, const Record& record, KeyEq key
     stored = true;
   }
   if (stored) ++header->version;
+  if constexpr (std::is_same_v<Record, SysRecord>) {
+    if (stored) {
+      if (record.updated_ns >= header->newest_updated_ns) {
+        header->newest_updated_ns = record.updated_ns;
+      } else {
+        // The overwritten slot may have held the max; rescan to shrink it.
+        refresh_newest(header, slots);
+      }
+    }
+  }
   sem_unlock(region->sem_id);
   return stored;
 }
@@ -177,6 +203,9 @@ void region_replace(SysVStatusStore::Region* region, const std::vector<Record>& 
   for (std::uint32_t i = 0; i < n; ++i) slots[i] = records[i];
   header->count = n;
   ++header->version;
+  if constexpr (std::is_same_v<Record, SysRecord>) {
+    refresh_newest(header, slots);
+  }
   sem_unlock(region->sem_id);
 }
 
@@ -256,7 +285,10 @@ std::size_t SysVStatusStore::expire_sys_older_than(std::uint64_t cutoff_ns) {
   }
   std::size_t removed = header->count - kept;
   header->count = kept;
-  if (removed > 0) ++header->version;
+  if (removed > 0) {
+    ++header->version;
+    refresh_newest(header, slots);
+  }
   sem_unlock(region->sem_id);
   return removed;
 }
@@ -267,6 +299,7 @@ void SysVStatusStore::clear() {
     if (!sem_lock(region->sem_id)) continue;
     region->header()->count = 0;
     ++region->header()->version;
+    region->header()->newest_updated_ns = 0;
     sem_unlock(region->sem_id);
   }
 }
@@ -284,6 +317,15 @@ std::uint64_t SysVStatusStore::version() const {
     sem_unlock(region->sem_id);
   }
   return total;
+}
+
+std::uint64_t SysVStatusStore::newest_sys_update_ns() const {
+  const Region* region = sys_region_.get();
+  if (!region || !region->base) return 0;
+  if (!sem_lock(region->sem_id)) return 0;
+  std::uint64_t newest = region->header()->newest_updated_ns;
+  sem_unlock(region->sem_id);
+  return newest;
 }
 
 void SysVStatusStore::remove_system_objects(const SysVKeys& keys) {

@@ -61,6 +61,10 @@ class SysVStatusStore final : public StatusStore {
   /// in other processes invalidate this process's cached replies too.
   std::uint64_t version() const override;
 
+  /// Header read (the max is maintained on every sys write) instead of the
+  /// base class's copy-out-and-scan.
+  std::uint64_t newest_sys_update_ns() const override;
+
   /// Destroys the kernel objects (IPC_RMID). After this every attached
   /// store is invalid; used by tests and administrative teardown.
   static void remove_system_objects(const SysVKeys& keys);

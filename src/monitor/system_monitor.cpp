@@ -49,7 +49,9 @@ SystemMonitor::SystemMonitor(SystemMonitorConfig config, ipc::StatusStore& store
   quarantine_trips_counter_ = registry.counter("sysmon_quarantine_trips_total");
   quarantine_dropped_counter_ =
       registry.counter("sysmon_quarantined_reports_dropped_total");
+  batches_counter_ = registry.counter("sysmon_report_batches_total");
   quarantined_hosts_gauge_ = registry.gauge("sysmon_quarantined_hosts");
+  last_batch_gauge_ = registry.gauge("sysmon_last_batch_size");
   // Per-server staleness: a gauge per sysdb record with the age of its last
   // report, so an operator sees a silent probe *before* the expiry sweep
   // drops the server. Unregistered in the destructor — the collector reads
@@ -167,16 +169,13 @@ bool SystemMonitor::admit_report(const std::string& address) {
   return false;
 }
 
-bool SystemMonitor::poll_once(util::Duration timeout) {
-  if (!socket_.valid()) return false;
-  auto datagram = socket_.receive(timeout);
-  if (!datagram) return false;
-  auto report = probe::StatusReport::from_wire(datagram->payload);
+bool SystemMonitor::ingest_payload(std::string_view payload, const net::Endpoint& peer) {
+  auto report = probe::StatusReport::from_wire(payload);
   if (!report) {
     reports_rejected_.fetch_add(1, std::memory_order_relaxed);
     rejected_counter_->inc();
     SMARTSOCK_LOG(kWarn, "system_monitor")
-        << "malformed report from " << datagram->peer.to_string();
+        << "malformed report from " << peer.to_string();
     return false;
   }
   if (!admit_report(report->address)) return false;
@@ -184,6 +183,34 @@ bool SystemMonitor::poll_once(util::Duration timeout) {
   reports_received_.fetch_add(1, std::memory_order_relaxed);
   reports_counter_->inc();
   return true;
+}
+
+bool SystemMonitor::poll_once(util::Duration timeout) {
+  if (!socket_.valid()) return false;
+  auto datagram = socket_.receive(timeout);
+  if (!datagram) return false;
+  return ingest_payload(datagram->payload, datagram->peer);
+}
+
+std::size_t SystemMonitor::poll_batch(util::Duration timeout) {
+  if (!socket_.valid()) return 0;
+  std::size_t ingested = 0;
+  std::size_t received = 0;
+  net::Endpoint peer;
+  // First datagram waits (SO_RCVTIMEO); the rest of the batch is whatever
+  // the kernel already queued, drained without further blocking.
+  socket_.set_receive_timeout(timeout);
+  if (!socket_.receive_from(batch_buffer_, peer).ok()) return 0;
+  std::size_t cap = config_.max_batch > 0 ? config_.max_batch : 1;
+  while (true) {
+    ++received;
+    if (ingest_payload(batch_buffer_, peer)) ++ingested;
+    if (received >= cap) break;
+    if (!socket_.try_receive_from(batch_buffer_, peer).ok()) break;
+  }
+  batches_counter_->inc();
+  last_batch_gauge_->set(static_cast<double>(received));
+  return ingested;
 }
 
 bool SystemMonitor::poll_tcp_once(util::Duration timeout) {
@@ -260,7 +287,7 @@ void SystemMonitor::run_loop() {
   util::Duration sweep_every = config_.probe_interval;
   util::Duration last_sweep = util::SteadyClock::instance().now();
   while (!stop_requested_.load(std::memory_order_acquire)) {
-    poll_once(std::chrono::milliseconds(40));
+    poll_batch(std::chrono::milliseconds(40));
     if (tcp_listener_.valid()) {
       poll_tcp_once(std::chrono::milliseconds(5));
     }

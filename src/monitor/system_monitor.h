@@ -30,6 +30,13 @@ struct SystemMonitorConfig {
   /// newline-terminated report per connection.
   bool accept_tcp = true;
 
+  /// Max probe reports ingested per loop wakeup (ISSUE 5): after the first
+  /// (blocking) datagram, the socket is drained non-blocking up to this many
+  /// reports, so a fleet-wide report burst costs one wakeup instead of one
+  /// per datagram. Bounded so the TCP side and the staleness sweep still run
+  /// under sustained load.
+  std::size_t max_batch = 256;
+
   /// Flap quarantine (ISSUE 3): a host that expires and rejoins
   /// `flap_threshold` times within `flap_window` is quarantined — its
   /// reports are dropped — for `quarantine_backoff`, doubling per
@@ -71,6 +78,11 @@ class SystemMonitor {
   /// Returns true if a report was ingested.
   bool poll_once(util::Duration timeout);
 
+  /// Blocks up to `timeout` for the first datagram, then drains everything
+  /// already queued on the socket (bounded by config.max_batch) with a
+  /// reused receive buffer. Returns the number of reports ingested.
+  std::size_t poll_batch(util::Duration timeout);
+
   /// Runs the staleness sweep immediately; returns records removed.
   std::size_t sweep_stale();
 
@@ -100,6 +112,8 @@ class SystemMonitor {
   void run_loop();
   /// Flap accounting on ingest; false = drop the report (quarantined).
   bool admit_report(const std::string& address);
+  /// Parse + admit + store one received report payload.
+  bool ingest_payload(std::string_view payload, const net::Endpoint& peer);
 
   SystemMonitorConfig config_;
   ipc::StatusStore* store_;
@@ -136,8 +150,13 @@ class SystemMonitor {
   obs::Counter* expired_counter_ = nullptr;
   obs::Counter* quarantine_trips_counter_ = nullptr;
   obs::Counter* quarantine_dropped_counter_ = nullptr;
+  obs::Counter* batches_counter_ = nullptr;
   obs::Gauge* quarantined_hosts_gauge_ = nullptr;
+  obs::Gauge* last_batch_gauge_ = nullptr;
   std::uint64_t collector_id_ = 0;
+  // Reused across poll_batch() iterations so draining a burst does not
+  // allocate a fresh 64 KB buffer per datagram.
+  std::string batch_buffer_;
 };
 
 }  // namespace smartsock::monitor

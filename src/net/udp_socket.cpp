@@ -56,11 +56,12 @@ IoResult UdpSocket::send_to(std::string_view payload, const Endpoint& peer) {
   return IoResult{IoStatus::kOk, static_cast<std::size_t>(n), 0};
 }
 
-IoResult UdpSocket::receive_from(std::string& payload, Endpoint& peer, std::size_t max_size) {
+IoResult UdpSocket::receive_impl(int flags, std::string& payload, Endpoint& peer,
+                                 std::size_t max_size) {
   payload.resize(max_size);
   sockaddr_in addr{};
   socklen_t addr_len = sizeof(addr);
-  ssize_t n = ::recvfrom(fd_, payload.data(), payload.size(), 0,
+  ssize_t n = ::recvfrom(fd_, payload.data(), payload.size(), flags,
                          reinterpret_cast<sockaddr*>(&addr), &addr_len);
   if (n < 0) {
     payload.clear();
@@ -78,6 +79,15 @@ IoResult UdpSocket::receive_from(std::string& payload, Endpoint& peer, std::size
   }
   if (counter_) counter_->add_received(static_cast<std::uint64_t>(n));
   return IoResult{IoStatus::kOk, static_cast<std::size_t>(n), 0};
+}
+
+IoResult UdpSocket::receive_from(std::string& payload, Endpoint& peer, std::size_t max_size) {
+  return receive_impl(0, payload, peer, max_size);
+}
+
+IoResult UdpSocket::try_receive_from(std::string& payload, Endpoint& peer,
+                                     std::size_t max_size) {
+  return receive_impl(MSG_DONTWAIT, payload, peer, max_size);
 }
 
 std::optional<Datagram> UdpSocket::receive(util::Duration timeout, std::size_t max_size) {

@@ -35,8 +35,19 @@ class UdpSocket : public Socket {
   /// Receives one datagram of up to max_size bytes. Honors SO_RCVTIMEO.
   IoResult receive_from(std::string& payload, Endpoint& peer, std::size_t max_size = 64 * 1024);
 
+  /// Non-blocking receive (MSG_DONTWAIT): returns kTimeout immediately when
+  /// the socket buffer is empty, regardless of SO_RCVTIMEO. Lets an ingest
+  /// loop drain a burst of datagrams in one wakeup, resizing `payload` in
+  /// place so a reused string stops allocating after the first call.
+  IoResult try_receive_from(std::string& payload, Endpoint& peer,
+                            std::size_t max_size = 64 * 1024);
+
   /// Convenience: receive with timeout applied for just this call.
   std::optional<Datagram> receive(util::Duration timeout, std::size_t max_size = 64 * 1024);
+
+ private:
+  IoResult receive_impl(int flags, std::string& payload, Endpoint& peer,
+                        std::size_t max_size);
 };
 
 }  // namespace smartsock::net

@@ -131,6 +131,25 @@ void HealthEngine::install_default_checks() {
     return Finding{};
   });
 
+  add_check("transport", "full-snapshot-fallback", [this](const Snapshot& snap) -> Finding {
+    // A delta-enabled transmitter should converge to incremental pushes
+    // after at most one full snapshot per receiver (re)start. Repeated full
+    // pushes with no delta progress mean the fast path is dead — a legacy
+    // receiver, a store that cannot delta, or a receiver losing its replica
+    // state every cycle — and every push pays full-copy bandwidth.
+    if (find_counter(snap, "transmitter_delta_pushes_total") == nullptr) {
+      return Finding{HealthLevel::kOk, "", false};
+    }
+    std::uint64_t full = counter_delta(snap, "transmitter_full_pushes_total");
+    std::uint64_t delta = counter_delta(snap, "transmitter_delta_pushes_total");
+    if (full >= 2 && delta == 0) {
+      return Finding{HealthLevel::kDegraded,
+                     std::to_string(full) +
+                         " full-snapshot push(es) with no delta progress since last check"};
+    }
+    return Finding{};
+  });
+
   add_check("sysmon", "quarantine", [](const Snapshot& snap) -> Finding {
     const double* hosts = find_gauge(snap, "sysmon_quarantined_hosts");
     if (hosts == nullptr) return Finding{HealthLevel::kOk, "", false};

@@ -3,16 +3,41 @@
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "obs/trace.h"
-#include "transport/record_codec.h"
 #include "util/counters.h"
 #include "util/logging.h"
 
 namespace smartsock::transport {
 
+namespace {
+
+/// Applies one tombstone frame: decode the key array and erase each key.
+/// Erasing a key that was already recreated locally is prevented by frame
+/// order — the transmitter sends tombstones before the delta records that
+/// may recreate them.
+template <typename Key, typename Erase>
+bool apply_tombstones(std::string_view payload, Erase erase) {
+  auto keys = decode_records<Key>(payload);
+  if (!keys) return false;
+  for (const Key& key : *keys) erase(key);
+  return true;
+}
+
+template <typename Record, typename Put>
+bool apply_upserts(std::string_view payload, Put put) {
+  auto records = decode_records<Record>(payload);
+  if (!records) return false;
+  for (const Record& record : *records) put(record);
+  return true;
+}
+
+}  // namespace
+
 Receiver::Receiver(ReceiverConfig config, ipc::StatusStore& store)
     : config_(std::move(config)),
       store_(&store),
       traffic_(obs::MetricsRegistry::instance().traffic("receiver")),
+      deltas_applied_counter_(
+          obs::MetricsRegistry::instance().counter("receiver_delta_applied_total")),
       rng_(config_.retry_seed) {
   if (auto listener = net::TcpListener::listen(config_.bind)) {
     listener_ = std::move(*listener);
@@ -27,9 +52,17 @@ bool Receiver::ingest(net::TcpSocket& socket) { return ingest(socket, {}); }
 bool Receiver::ingest(net::TcpSocket& socket, std::string trace_id) {
   socket.set_traffic_counter(traffic_);
   socket.set_receive_timeout(config_.io_timeout);
+  socket.set_send_timeout(config_.io_timeout);
   obs::Span span("receiver", "ingest", trace_id);
   std::size_t frames = 0;
   bool applied = false;
+  // Delta-transfer state for this connection. An offer names the source;
+  // the commit at the end is what advances replica_states_ for it.
+  bool saw_offer = false;
+  bool saw_full_db = false;
+  bool saw_delta_frames = false;
+  bool committed = false;
+  std::uint64_t source_id = 0;
   // One connection carries up to three database frames; a clean EOF on a
   // frame boundary ends it. A damaged stream — truncated frame, unknown
   // type, oversized or undecodable payload — aborts the connection instead
@@ -41,6 +74,13 @@ bool Receiver::ingest(net::TcpSocket& socket, std::string trace_id) {
     auto frame = read_frame(socket, &why);
     if (!frame) {
       if (why != FrameReadError::kEof) damage = to_string(why);
+      break;
+    }
+    if (!config_.delta_enabled && frame->type > FrameType::kTraceContext) {
+      // Pre-delta behaviour: replication frames are outside the known range
+      // and desync the stream. Keeps this build usable as an "old receiver"
+      // in compatibility tests.
+      damage = to_string(FrameReadError::kBadType);
       break;
     }
     ++frames;
@@ -57,6 +97,7 @@ bool Receiver::ingest(net::TcpSocket& socket, std::string trace_id) {
         if (auto records = decode_records<ipc::SysRecord>(frame->payload)) {
           store_->replace_sys(*records);
           applied = true;
+          saw_full_db = true;
         } else {
           damage = "undecodable sys records";
         }
@@ -65,6 +106,7 @@ bool Receiver::ingest(net::TcpSocket& socket, std::string trace_id) {
         if (auto records = decode_records<ipc::NetRecord>(frame->payload)) {
           store_->replace_net(*records);
           applied = true;
+          saw_full_db = true;
         } else {
           damage = "undecodable net records";
         }
@@ -73,15 +115,104 @@ bool Receiver::ingest(net::TcpSocket& socket, std::string trace_id) {
         if (auto records = decode_records<ipc::SecRecord>(frame->payload)) {
           store_->replace_sec(*records);
           applied = true;
+          saw_full_db = true;
         } else {
           damage = "undecodable sec records";
         }
+        break;
+      case FrameType::kDeltaOffer: {
+        auto offer = decode_delta_offer(frame->payload);
+        if (!offer) {
+          damage = "undecodable delta offer";
+          break;
+        }
+        saw_offer = true;
+        source_id = offer->source_id;
+        DeltaState acked{};
+        {
+          std::lock_guard<std::mutex> lock(replica_mu_);
+          auto it = replica_states_.find(source_id);
+          if (it != replica_states_.end()) acked = it->second;
+        }
+        if (!socket.send_all(encode_frame(FrameType::kDeltaAccept,
+                                          encode_delta_state(acked)))
+                 .ok()) {
+          damage = "delta accept send failed";
+        }
+        break;
+      }
+      case FrameType::kSysTombstone:
+        saw_delta_frames = true;
+        if (!apply_tombstones<ipc::SysKey>(
+                frame->payload, [this](const ipc::SysKey& k) { store_->erase_sys(k); })) {
+          damage = "undecodable sys tombstones";
+        }
+        break;
+      case FrameType::kNetTombstone:
+        saw_delta_frames = true;
+        if (!apply_tombstones<ipc::NetKey>(
+                frame->payload, [this](const ipc::NetKey& k) { store_->erase_net(k); })) {
+          damage = "undecodable net tombstones";
+        }
+        break;
+      case FrameType::kSecTombstone:
+        saw_delta_frames = true;
+        if (!apply_tombstones<ipc::SecKey>(
+                frame->payload, [this](const ipc::SecKey& k) { store_->erase_sec(k); })) {
+          damage = "undecodable sec tombstones";
+        }
+        break;
+      case FrameType::kSysDelta:
+        saw_delta_frames = true;
+        if (!apply_upserts<ipc::SysRecord>(
+                frame->payload, [this](const ipc::SysRecord& r) { store_->put_sys(r); })) {
+          damage = "undecodable sys delta";
+        }
+        break;
+      case FrameType::kNetDelta:
+        saw_delta_frames = true;
+        if (!apply_upserts<ipc::NetRecord>(
+                frame->payload, [this](const ipc::NetRecord& r) { store_->put_net(r); })) {
+          damage = "undecodable net delta";
+        }
+        break;
+      case FrameType::kSecDelta:
+        saw_delta_frames = true;
+        if (!apply_upserts<ipc::SecRecord>(
+                frame->payload, [this](const ipc::SecRecord& r) { store_->put_sec(r); })) {
+          damage = "undecodable sec delta";
+        }
+        break;
+      case FrameType::kDeltaCommit: {
+        auto state = decode_delta_state(frame->payload);
+        if (!state || !saw_offer) {
+          damage = !state ? "undecodable delta commit" : "commit without offer";
+          break;
+        }
+        {
+          std::lock_guard<std::mutex> lock(replica_mu_);
+          replica_states_[source_id] = *state;
+        }
+        committed = true;
+        applied = true;
+        break;
+      }
+      case FrameType::kDeltaAccept:
+        damage = "unexpected delta accept";  // receiver-to-transmitter only
         break;
       case FrameType::kUpdateRequest:
         break;  // not meaningful on this side
     }
   }
-  span.tag("frames", frames).tag("applied", applied).tag("damaged", damage != nullptr);
+  // An incremental transfer counts only once sealed by its commit; an empty
+  // delta (heartbeat with no changes) still counts — the replica provably
+  // caught up to the transmitter's version.
+  bool delta_applied = committed && !saw_full_db;
+  span.tag("frames", frames)
+      .tag("applied", applied)
+      .tag("delta", delta_applied)
+      .tag("delta_frames", saw_delta_frames)
+      .tag("damaged", damage != nullptr);
   if (damage != nullptr) {
     malformed_frames_.fetch_add(1, std::memory_order_relaxed);
     obs::MetricsRegistry::instance()
@@ -91,6 +222,10 @@ bool Receiver::ingest(net::TcpSocket& socket, std::string trace_id) {
         << "aborting ingest connection on damaged frame stream: " << damage;
     socket.close();
     return false;
+  }
+  if (delta_applied) {
+    deltas_applied_.fetch_add(1, std::memory_order_relaxed);
+    deltas_applied_counter_->inc();
   }
   if (applied) snapshots_received_.fetch_add(1, std::memory_order_relaxed);
   return applied;

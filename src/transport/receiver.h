@@ -5,15 +5,25 @@
 // they were generated locally". Centralized mode accepts pushes from one or
 // more transmitters; distributed mode pulls on demand when the wizard gets a
 // user request.
+//
+// ISSUE 5: a delta-capable transmitter opens its push with kDeltaOffer; the
+// receiver answers with the (epoch, version) it last committed for that
+// source and then applies the incoming record/tombstone frames in place.
+// Replica state advances only on kDeltaCommit, so a transfer cut short by
+// the network is simply re-covered by the next push (upserts and tombstone
+// deletes are idempotent).
 #pragma once
 
 #include <atomic>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "ipc/status_store.h"
 #include "net/tcp_listener.h"
+#include "obs/metrics.h"
+#include "transport/record_codec.h"
 #include "util/clock.h"
 #include "util/retry.h"
 #include "util/rng.h"
@@ -28,6 +38,11 @@ struct ReceiverConfig {
   util::RetryPolicy pull_retry{};
   /// Seed for the retry jitter (deterministic in tests).
   std::uint64_t retry_seed = 0x5ec04dca45ull;
+
+  /// Answer delta offers and apply incremental pushes. Off = behave exactly
+  /// like a pre-ISSUE-5 receiver: any replication frame beyond the original
+  /// five types aborts the connection as a damaged stream.
+  bool delta_enabled = true;
 };
 
 class Receiver {
@@ -56,6 +71,10 @@ class Receiver {
   std::uint64_t snapshots_received() const {
     return snapshots_received_.load(std::memory_order_relaxed);
   }
+  /// Committed incremental transfers (subset of snapshots_received).
+  std::uint64_t deltas_applied() const {
+    return deltas_applied_.load(std::memory_order_relaxed);
+  }
   /// Connections aborted because of a damaged frame stream (truncated,
   /// bad type, oversized, or undecodable records). Mirrors the
   /// `receiver_malformed_frames_total` registry counter.
@@ -79,13 +98,21 @@ class Receiver {
   // Registry-owned; shared by every ingest connection instead of
   // registering a fresh counter per accept.
   util::TrafficCounter* traffic_ = nullptr;
+  obs::Counter* deltas_applied_counter_ = nullptr;
 
   std::mutex pull_mu_;  // serializes pull retries (shares rng_)
   util::Rng rng_;
 
+  /// Last committed (epoch, version) per transmitter source_id. Only a
+  /// kDeltaCommit advances an entry, so half-applied transfers never narrow
+  /// the version range the next push must cover.
+  std::mutex replica_mu_;
+  std::unordered_map<std::uint64_t, DeltaState> replica_states_;
+
   std::thread thread_;
   std::atomic<bool> stop_requested_{false};
   std::atomic<std::uint64_t> snapshots_received_{0};
+  std::atomic<std::uint64_t> deltas_applied_{0};
   std::atomic<std::uint64_t> malformed_frames_{0};
 };
 

@@ -18,6 +18,58 @@ std::string encode_frame(FrameType type, std::string_view payload) {
   return out;
 }
 
+namespace {
+
+void put_u64_be(std::string& out, std::uint64_t value) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<char>((value >> shift) & 0xff));
+  }
+}
+
+std::uint64_t get_u64_be(const char* data) {
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value = (value << 8) | static_cast<std::uint8_t>(data[i]);
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string encode_delta_offer(const DeltaOffer& offer) {
+  std::string out;
+  out.reserve(24);
+  put_u64_be(out, offer.source_id);
+  put_u64_be(out, offer.epoch);
+  put_u64_be(out, offer.version);
+  return out;
+}
+
+std::optional<DeltaOffer> decode_delta_offer(std::string_view payload) {
+  if (payload.size() != 24) return std::nullopt;
+  DeltaOffer offer;
+  offer.source_id = get_u64_be(payload.data());
+  offer.epoch = get_u64_be(payload.data() + 8);
+  offer.version = get_u64_be(payload.data() + 16);
+  return offer;
+}
+
+std::string encode_delta_state(const DeltaState& state) {
+  std::string out;
+  out.reserve(16);
+  put_u64_be(out, state.epoch);
+  put_u64_be(out, state.version);
+  return out;
+}
+
+std::optional<DeltaState> decode_delta_state(std::string_view payload) {
+  if (payload.size() != 16) return std::nullopt;
+  DeltaState state;
+  state.epoch = get_u64_be(payload.data());
+  state.version = get_u64_be(payload.data() + 8);
+  return state;
+}
+
 const char* to_string(FrameReadError error) {
   switch (error) {
     case FrameReadError::kNone: return "none";
@@ -53,7 +105,7 @@ std::optional<Frame> read_frame(net::TcpSocket& socket, FrameReadError* error) {
   std::uint32_t size = ntohl(size_be);
 
   if (type < static_cast<std::uint32_t>(FrameType::kSysDb) ||
-      type > static_cast<std::uint32_t>(FrameType::kTraceContext)) {
+      type > static_cast<std::uint32_t>(FrameType::kDeltaCommit)) {
     why = FrameReadError::kBadType;
     return std::nullopt;
   }

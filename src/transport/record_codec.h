@@ -25,6 +25,24 @@ enum class FrameType : std::uint32_t {
   kSecDb = 3,
   kUpdateRequest = 4,   // distributed mode: wizard asks for fresh reports
   kTraceContext = 5,    // flight recorder: trace id for the following frames
+
+  // Incremental replication (ISSUE 5). A delta-capable transmitter opens a
+  // push with kDeltaOffer and waits for the receiver's kDeltaAccept carrying
+  // the replica state it holds for that source; the transmitter then ships
+  // either changed records + tombstones or full databases, and seals the
+  // transfer with kDeltaCommit so the receiver advances its acked state
+  // atomically. A pre-ISSUE-5 receiver aborts on the unknown offer frame —
+  // the transmitter detects the dead connection and falls back to the plain
+  // byte-compatible full-snapshot stream above.
+  kDeltaOffer = 6,      // transmitter → receiver: source_id, epoch, version
+  kDeltaAccept = 7,     // receiver → transmitter: acked epoch, version
+  kSysDelta = 8,        // changed SysRecords (upserts)
+  kNetDelta = 9,        // changed NetRecords
+  kSecDelta = 10,       // changed SecRecords
+  kSysTombstone = 11,   // deleted sys keys (ipc::SysKey array)
+  kNetTombstone = 12,   // deleted net keys (ipc::NetKey array)
+  kSecTombstone = 13,   // deleted sec keys (ipc::SecKey array)
+  kDeltaCommit = 14,    // end of transfer: epoch, version now fully applied
 };
 
 struct Frame {
@@ -55,6 +73,24 @@ std::string encode_frame(FrameType type, std::string_view payload);
 /// `error` is non-null it reports which of those happened.
 std::optional<Frame> read_frame(net::TcpSocket& socket,
                                 FrameReadError* error = nullptr);
+
+/// Handshake payloads travel as network-byte-order u64 fields, so they stay
+/// architecture-independent even though record payloads are not.
+struct DeltaOffer {
+  std::uint64_t source_id = 0;  // stable identity of the pushing transmitter
+  std::uint64_t epoch = 0;      // store epoch at the offered snapshot
+  std::uint64_t version = 0;    // store version at the offered snapshot
+};
+
+struct DeltaState {
+  std::uint64_t epoch = 0;
+  std::uint64_t version = 0;
+};
+
+std::string encode_delta_offer(const DeltaOffer& offer);
+std::optional<DeltaOffer> decode_delta_offer(std::string_view payload);
+std::string encode_delta_state(const DeltaState& state);
+std::optional<DeltaState> decode_delta_state(std::string_view payload);
 
 /// Record array <-> payload bytes.
 template <typename Record>

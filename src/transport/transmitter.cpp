@@ -1,13 +1,40 @@
 #include "transport/transmitter.h"
 
-#include "obs/metrics.h"
 #include "obs/span.h"
 #include "obs/trace.h"
-#include "transport/record_codec.h"
 #include "util/counters.h"
 #include "util/logging.h"
 
 namespace smartsock::transport {
+
+namespace {
+
+/// Changed records / deleted keys since `base`, framed tombstones-first so a
+/// delete-then-recreate sequence replays in version order on the receiver.
+template <typename Record, typename Key>
+void append_db_delta(std::string& blob, FrameType record_type, FrameType tombstone_type,
+                     const std::vector<Record>& records,
+                     const std::vector<std::uint64_t>& versions,
+                     const std::vector<std::pair<std::uint64_t, Key>>& tombstones,
+                     std::uint64_t base, std::size_t* changed_out) {
+  std::vector<Key> dead;
+  for (const auto& [version, key] : tombstones) {
+    if (version > base) dead.push_back(key);
+  }
+  if (!dead.empty()) {
+    blob += encode_frame(tombstone_type, encode_records(dead));
+  }
+  std::vector<Record> changed;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (versions[i] > base) changed.push_back(records[i]);
+  }
+  if (!changed.empty()) {
+    blob += encode_frame(record_type, encode_records(changed));
+  }
+  if (changed_out) *changed_out += changed.size() + dead.size();
+}
+
+}  // namespace
 
 Transmitter::Transmitter(TransmitterConfig config, const ipc::StatusStore& store)
     : config_(std::move(config)),
@@ -15,6 +42,11 @@ Transmitter::Transmitter(TransmitterConfig config, const ipc::StatusStore& store
       traffic_(obs::MetricsRegistry::instance().traffic("transmitter")),
       rng_(config_.retry_seed),
       breaker_(config_.breaker) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::instance();
+  delta_pushes_counter_ = registry.counter("transmitter_delta_pushes_total");
+  full_pushes_counter_ = registry.counter("transmitter_full_pushes_total");
+  bytes_sent_counter_ = registry.counter("transmitter_bytes_sent_total");
+  source_id_ = config_.source_id != 0 ? config_.source_id : rng_.engine()();
   if (config_.mode == TransferMode::kDistributed) {
     if (auto listener = net::TcpListener::listen(config_.bind)) {
       listener_ = std::move(*listener);
@@ -25,19 +57,36 @@ Transmitter::Transmitter(TransmitterConfig config, const ipc::StatusStore& store
 
 Transmitter::~Transmitter() { stop(); }
 
+void Transmitter::account_push(bool delta, std::size_t bytes) {
+  if (delta) {
+    delta_pushes_.fetch_add(1, std::memory_order_relaxed);
+    delta_pushes_counter_->inc();
+  } else {
+    full_pushes_.fetch_add(1, std::memory_order_relaxed);
+    full_pushes_counter_->inc();
+  }
+  bytes_sent_counter_->inc(bytes);
+  bytes_sent_.fetch_add(bytes, std::memory_order_relaxed);
+  snapshots_sent_.fetch_add(1, std::memory_order_relaxed);
+}
+
 bool Transmitter::send_snapshot(net::TcpSocket& socket, std::string trace_id) {
   socket.set_traffic_counter(traffic_);
   socket.set_send_timeout(config_.io_timeout);
   if (trace_id.empty()) trace_id = obs::mint_trace_id(rng_);
   obs::Span span("transmitter", "push", trace_id);
+  // One snapshot pointer serves both the encoding and the span tags — no
+  // second store copy for observability.
+  ipc::SnapshotPtr snap = store_->snapshot();
   std::string blob;
   // Trace context travels first so the receiver can stamp every database
   // frame of this snapshot with the same id (flight-recorder propagation).
   blob += encode_frame(FrameType::kTraceContext, trace_id);
-  blob += encode_frame(FrameType::kSysDb, encode_records(store_->sys_records()));
-  blob += encode_frame(FrameType::kNetDb, encode_records(store_->net_records()));
-  blob += encode_frame(FrameType::kSecDb, encode_records(store_->sec_records()));
-  span.tag("bytes", blob.size()).tag("sys_records", store_->sys_records().size());
+  blob += encode_frame(FrameType::kSysDb, encode_records(snap->sys));
+  blob += encode_frame(FrameType::kNetDb, encode_records(snap->net));
+  blob += encode_frame(FrameType::kSecDb, encode_records(snap->sec));
+  span.tag("bytes", blob.size()).tag("sys_records", snap->sys.size());
+  span.tag("mode", "full");
   obs::TraceEvent(util::LogLevel::kDebug, "transmitter", "snapshot_send", trace_id)
       .kv("bytes", blob.size())
       .kv("peer", socket.peer_endpoint().to_string());
@@ -46,8 +95,94 @@ bool Transmitter::send_snapshot(net::TcpSocket& socket, std::string trace_id) {
     return false;
   }
   span.tag("ok", true);
-  snapshots_sent_.fetch_add(1, std::memory_order_relaxed);
+  account_push(/*delta=*/false, blob.size());
   return true;
+}
+
+Transmitter::Negotiated Transmitter::push_negotiated(net::TcpSocket& socket,
+                                                     const ipc::Snapshot& snap) {
+  socket.set_traffic_counter(traffic_);
+  socket.set_send_timeout(config_.io_timeout);
+  socket.set_receive_timeout(config_.io_timeout);
+
+  DeltaOffer offer{source_id_, snap.epoch, snap.version};
+  if (!socket.send_all(encode_frame(FrameType::kDeltaOffer, encode_delta_offer(offer)))
+           .ok()) {
+    // The offer is a handful of bytes; a failed send means the peer reset us
+    // immediately — possibly a legacy receiver aborting on the unknown type.
+    return Negotiated::kNoAccept;
+  }
+  FrameReadError why = FrameReadError::kNone;
+  auto reply = read_frame(socket, &why);
+  if (!reply || reply->type != FrameType::kDeltaAccept) {
+    // A legacy receiver closes the connection on the unknown offer frame;
+    // either way the peer cannot speak the delta protocol right now.
+    return Negotiated::kNoAccept;
+  }
+  auto acked = decode_delta_state(reply->payload);
+  if (!acked) return Negotiated::kNoAccept;
+  last_acked_ = *acked;
+
+  bool delta = acked->epoch == snap.epoch && snap.can_delta_from(acked->version);
+  if (delta) {
+    // Density cutover: when most of a large database changed since the ack,
+    // the delta encoding ships the same bytes as the full frames but pays a
+    // per-record copy for each — take the straight full-vector path instead.
+    // The commit frame still advances the peer's replica state either way.
+    // Small databases always delta: the copies are trivial there, and a
+    // one-host deployment rewriting its whole sysdb every probe interval
+    // must not read as a permanent full-snapshot fallback.
+    constexpr std::size_t kCutoverMinRecords = 64;
+    auto dirty = [&](const std::vector<std::uint64_t>& versions) {
+      std::size_t n = 0;
+      for (std::uint64_t v : versions) {
+        if (v > acked->version) ++n;
+      }
+      return n;
+    };
+    std::size_t total = snap.sys.size() + snap.net.size() + snap.sec.size();
+    if (total >= kCutoverMinRecords) {
+      std::size_t changed_estimate =
+          dirty(snap.sys_versions) + dirty(snap.net_versions) + dirty(snap.sec_versions);
+      if (changed_estimate * 2 > total) delta = false;
+    }
+  }
+  std::string trace_id = obs::mint_trace_id(rng_);
+  obs::Span span("transmitter", "push", trace_id);
+  std::string blob = encode_frame(FrameType::kTraceContext, trace_id);
+  std::size_t changed = 0;
+  if (delta) {
+    append_db_delta(blob, FrameType::kSysDelta, FrameType::kSysTombstone, snap.sys,
+                    snap.sys_versions, snap.sys_tombstones, acked->version, &changed);
+    append_db_delta(blob, FrameType::kNetDelta, FrameType::kNetTombstone, snap.net,
+                    snap.net_versions, snap.net_tombstones, acked->version, &changed);
+    append_db_delta(blob, FrameType::kSecDelta, FrameType::kSecTombstone, snap.sec,
+                    snap.sec_versions, snap.sec_tombstones, acked->version, &changed);
+  } else {
+    blob += encode_frame(FrameType::kSysDb, encode_records(snap.sys));
+    blob += encode_frame(FrameType::kNetDb, encode_records(snap.net));
+    blob += encode_frame(FrameType::kSecDb, encode_records(snap.sec));
+    changed = snap.sys.size() + snap.net.size() + snap.sec.size();
+  }
+  blob += encode_frame(FrameType::kDeltaCommit,
+                       encode_delta_state(DeltaState{snap.epoch, snap.version}));
+  span.tag("mode", delta ? "delta" : "full")
+      .tag("bytes", blob.size())
+      .tag("records", changed)
+      .tag("sys_records", snap.sys.size());
+  obs::TraceEvent(util::LogLevel::kDebug, "transmitter",
+                  delta ? "delta_send" : "snapshot_send", trace_id)
+      .kv("bytes", blob.size())
+      .kv("records", changed)
+      .kv("base_version", acked->version)
+      .kv("peer", socket.peer_endpoint().to_string());
+  if (!socket.send_all(blob).ok()) {
+    span.tag("ok", false);
+    return Negotiated::kIoError;
+  }
+  span.tag("ok", true);
+  account_push(delta, blob.size());
+  return Negotiated::kOk;
 }
 
 void Transmitter::record_push_outcome(bool ok) {
@@ -72,15 +207,44 @@ void Transmitter::record_push_outcome(bool ok) {
   }
 }
 
-bool Transmitter::transmit_once() {
+bool Transmitter::push_cycle() {
+  ipc::SnapshotPtr snap = store_->snapshot();
+  bool try_delta = config_.delta_enabled && snap->delta_capable;
+  if (try_delta && peer_legacy_.load(std::memory_order_relaxed)) {
+    if (++pushes_since_reprobe_ >= config_.legacy_reprobe_pushes) {
+      pushes_since_reprobe_ = 0;
+      peer_legacy_.store(false, std::memory_order_relaxed);
+    } else {
+      try_delta = false;
+    }
+  }
+
   auto socket = net::TcpSocket::connect(config_.receiver, config_.io_timeout);
-  bool ok = false;
   if (!socket) {
     SMARTSOCK_LOG(kWarn, "transmitter")
         << "cannot reach receiver " << config_.receiver.to_string();
-  } else {
-    ok = send_snapshot(*socket);
+    return false;
   }
+  if (try_delta) {
+    Negotiated outcome = push_negotiated(*socket, *snap);
+    if (outcome == Negotiated::kOk) return true;
+    if (outcome == Negotiated::kIoError) return false;
+    // No answer to the offer: assume a pre-delta receiver and retry this
+    // cycle with the byte-compatible full-snapshot stream.
+    peer_legacy_.store(true, std::memory_order_relaxed);
+    pushes_since_reprobe_ = 0;
+    SMARTSOCK_LOG(kInfo, "transmitter")
+        << "receiver " << config_.receiver.to_string()
+        << " did not answer delta offer — falling back to full snapshots";
+    socket = net::TcpSocket::connect(config_.receiver, config_.io_timeout);
+    if (!socket) return false;
+  }
+  return send_snapshot(*socket);
+}
+
+bool Transmitter::transmit_once() {
+  std::lock_guard<std::mutex> lock(push_mu_);
+  bool ok = push_cycle();
   record_push_outcome(ok);
   return ok;
 }
@@ -140,7 +304,9 @@ void Transmitter::run_serve_loop() {
     auto frame = read_frame(*client);
     if (!frame || frame->type != FrameType::kUpdateRequest) continue;
     // The wizard's pull carries its trace id as the request payload; echo
-    // it so both sides of the transfer land in the same trace.
+    // it so both sides of the transfer land in the same trace. Pulls are
+    // request/response with no standing replica state, so they stay full
+    // snapshots.
     send_snapshot(*client, frame->payload);
   }
 }

@@ -9,13 +9,25 @@
 //  * distributed — listens passively and answers kUpdateRequest pulls, so
 //    sparse wide-area deployments pay network cost only when a user request
 //    actually arrives.
+//
+// ISSUE 5: centralized pushes are delta-based when the store supports it.
+// Each push opens with a kDeltaOffer handshake; the receiver answers with
+// the (epoch, version) it last committed for this transmitter, and the
+// transmitter ships only records written after that version plus tombstones
+// for deletions — or a full snapshot when the receiver is fresh, behind an
+// epoch change, or past the tombstone log's horizon. A receiver that never
+// answers the offer (pre-delta build) is remembered as legacy and served
+// byte-compatible full snapshots.
 #pragma once
 
 #include <atomic>
+#include <mutex>
 #include <thread>
 
 #include "ipc/status_store.h"
 #include "net/tcp_listener.h"
+#include "obs/metrics.h"
+#include "transport/record_codec.h"
 #include "util/clock.h"
 #include "util/retry.h"
 #include "util/rng.h"
@@ -39,6 +51,17 @@ struct TransmitterConfig {
   util::CircuitBreakerConfig breaker{};
   /// Seed for the retry jitter (deterministic in tests).
   std::uint64_t retry_seed = 0x7a4351173eull;
+
+  /// Incremental replication: offer deltas to the receiver (falls back to
+  /// full snapshots automatically). Off = always push plain full snapshots,
+  /// exactly the pre-ISSUE-5 wire.
+  bool delta_enabled = true;
+  /// Stable identity sent in the delta handshake; 0 mints a random one at
+  /// construction. Two transmitters feeding one receiver must differ.
+  std::uint64_t source_id = 0;
+  /// After a peer is marked legacy, retry the delta handshake once every
+  /// this many pushes so a receiver upgrade is eventually picked up.
+  int legacy_reprobe_pushes = 64;
 };
 
 class Transmitter {
@@ -61,6 +84,22 @@ class Transmitter {
   std::uint64_t snapshots_sent() const {
     return snapshots_sent_.load(std::memory_order_relaxed);
   }
+  /// Pushes that shipped only changed records (incl. no-change heartbeats).
+  std::uint64_t delta_pushes() const {
+    return delta_pushes_.load(std::memory_order_relaxed);
+  }
+  /// Pushes that shipped complete databases (fresh/legacy receiver, epoch
+  /// change, tombstone-log gap, or delta disabled).
+  std::uint64_t full_pushes() const {
+    return full_pushes_.load(std::memory_order_relaxed);
+  }
+  /// Whether the peer is currently believed to predate the delta protocol.
+  bool peer_legacy() const { return peer_legacy_.load(std::memory_order_relaxed); }
+  /// Total payload bytes shipped by pushes/pulls (mirrors the
+  /// `transmitter_bytes_sent_total` registry counter per instance).
+  std::uint64_t bytes_sent() const {
+    return bytes_sent_.load(std::memory_order_relaxed);
+  }
 
   /// The push-path circuit breaker (centralized mode). transmit_once()
   /// bypasses its gate — a forced push is an explicit probe — but records
@@ -68,13 +107,22 @@ class Transmitter {
   const util::CircuitBreaker& breaker() const { return breaker_; }
 
  private:
+  enum class Negotiated { kOk, kIoError, kNoAccept };
+
   void run_push_loop();
   void run_serve_loop();
+  /// One centralized push: handshake + delta when possible, full-snapshot
+  /// fallback otherwise. Takes push_mu_.
+  bool push_cycle();
+  /// Delta handshake + negotiated transfer on a connected socket.
+  /// kNoAccept = the peer never answered the offer (legacy receiver).
+  Negotiated push_negotiated(net::TcpSocket& socket, const ipc::Snapshot& snap);
   /// Sends a kTraceContext frame carrying `trace_id` (minted from rng_ when
   /// empty — the pull path passes the wizard's id through) and then the
-  /// three database frames.
+  /// three full database frames. Byte-compatible with pre-delta receivers.
   bool send_snapshot(net::TcpSocket& socket, std::string trace_id = {});
   void record_push_outcome(bool ok);
+  void account_push(bool delta, std::size_t bytes);
 
   TransmitterConfig config_;
   const ipc::StatusStore* store_;
@@ -83,16 +131,31 @@ class Transmitter {
   // Registry-owned; shared by every snapshot connection instead of
   // registering a fresh counter per push.
   util::TrafficCounter* traffic_ = nullptr;
+  obs::Counter* delta_pushes_counter_ = nullptr;
+  obs::Counter* full_pushes_counter_ = nullptr;
+  obs::Counter* bytes_sent_counter_ = nullptr;
 
   util::Rng rng_;
+  std::uint64_t source_id_ = 0;
   util::CircuitBreaker breaker_;
   /// Trips already exported to the registry counter (monotonic CAS-max, so
   /// the push loop and manual transmit_once() callers never double-count).
   std::atomic<std::uint64_t> breaker_trips_seen_{0};
 
+  // Per-receiver replication state (centralized mode pushes to exactly one
+  // peer). Guarded by push_mu_ with peer_legacy_ mirrored in an atomic for
+  // the lock-free accessor.
+  std::mutex push_mu_;
+  std::atomic<bool> peer_legacy_{false};
+  int pushes_since_reprobe_ = 0;
+  DeltaState last_acked_{};
+
   std::thread thread_;
   std::atomic<bool> stop_requested_{false};
   std::atomic<std::uint64_t> snapshots_sent_{0};
+  std::atomic<std::uint64_t> delta_pushes_{0};
+  std::atomic<std::uint64_t> full_pushes_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
 };
 
 }  // namespace smartsock::transport

@@ -1,0 +1,516 @@
+// Incremental replication tests (ISSUE 5): copy-on-write snapshots and the
+// version/tombstone machinery in the store, the delta handshake between
+// transmitter and receiver, wire compatibility with pre-delta peers in both
+// directions, version-gap resync, and delta recovery under injected faults.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <thread>
+
+#include "ipc/in_memory_store.h"
+#include "net/fault.h"
+#include "transport/receiver.h"
+#include "transport/record_codec.h"
+#include "transport/transmitter.h"
+
+namespace smartsock::transport {
+namespace {
+
+using namespace std::chrono_literals;
+
+ipc::SysRecord make_sys(const std::string& host, double load,
+                        std::uint64_t updated_ns = 1) {
+  ipc::SysRecord record;
+  ipc::copy_fixed(record.host, ipc::kHostNameLen, host);
+  ipc::copy_fixed(record.address, ipc::kAddressLen, host + ":1");
+  ipc::copy_fixed(record.group, ipc::kGroupLen, "g1");
+  record.load1 = load;
+  record.updated_ns = updated_ns;
+  return record;
+}
+
+std::vector<std::string> sys_hosts(const ipc::StatusStore& store) {
+  std::vector<std::string> hosts;
+  for (const ipc::SysRecord& record : store.sys_records()) {
+    hosts.push_back(record.host_str());
+  }
+  std::sort(hosts.begin(), hosts.end());
+  return hosts;
+}
+
+bool wait_until(const std::function<bool()>& done, util::Duration budget = 2s) {
+  auto deadline = std::chrono::steady_clock::now() + budget;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (done()) return true;
+    std::this_thread::sleep_for(5ms);
+  }
+  return done();
+}
+
+// --- store: copy-on-write snapshots -----------------------------------------
+
+TEST(Snapshot, PointerStableBetweenWrites) {
+  ipc::InMemoryStatusStore store;
+  store.put_sys(make_sys("a", 0.1));
+
+  ipc::SnapshotPtr first = store.snapshot();
+  ipc::SnapshotPtr second = store.snapshot();
+  // The copy-free hot path: repeated reads between writes share one object.
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(first->version, store.version());
+  EXPECT_TRUE(first->delta_capable);
+  ASSERT_EQ(first->sys.size(), 1u);
+
+  store.put_sys(make_sys("b", 0.2));
+  ipc::SnapshotPtr third = store.snapshot();
+  EXPECT_NE(first.get(), third.get());
+  EXPECT_EQ(third->sys.size(), 2u);
+  // The old pointer still describes the old state (immutability).
+  EXPECT_EQ(first->sys.size(), 1u);
+  EXPECT_GT(third->version, first->version);
+}
+
+TEST(Snapshot, PerRecordVersionsTrackWrites) {
+  ipc::InMemoryStatusStore store;
+  store.put_sys(make_sys("a", 0.1));
+  std::uint64_t after_a = store.version();
+  store.put_sys(make_sys("b", 0.2));
+
+  ipc::SnapshotPtr snap = store.snapshot();
+  ASSERT_EQ(snap->sys_versions.size(), 2u);
+  // "b" was written after "a": only it is newer than after_a.
+  std::size_t newer = 0;
+  for (std::uint64_t v : snap->sys_versions) {
+    if (v > after_a) ++newer;
+  }
+  EXPECT_EQ(newer, 1u);
+
+  // Rewriting "a" restamps it; a delta from after_a now includes both.
+  store.put_sys(make_sys("a", 0.9));
+  snap = store.snapshot();
+  for (std::uint64_t v : snap->sys_versions) {
+    EXPECT_GT(v, after_a);
+  }
+}
+
+TEST(Snapshot, TombstonesRecordedAndFloorRisesWhenTrimmed) {
+  ipc::InMemoryStatusStore store(/*tombstone_cap=*/2);
+  for (int i = 0; i < 4; ++i) {
+    store.put_sys(make_sys("h" + std::to_string(i), 0.1));
+  }
+  std::uint64_t base = store.version();
+
+  ipc::SnapshotPtr before = store.snapshot();
+  EXPECT_TRUE(before->can_delta_from(base));
+  EXPECT_TRUE(before->sys_tombstones.empty());
+
+  store.erase_sys(ipc::sys_key_of(make_sys("h0", 0)));
+  ipc::SnapshotPtr one = store.snapshot();
+  ASSERT_EQ(one->sys_tombstones.size(), 1u);
+  EXPECT_EQ(ipc::read_fixed(one->sys_tombstones[0].second.address,
+                            ipc::kAddressLen),
+            "h0:1");
+  EXPECT_TRUE(one->can_delta_from(base));
+
+  // Two more deletions overflow the cap-2 log; the oldest tombstone is
+  // dropped and the floor rises past `base`, forcing a full resync for any
+  // peer still anchored there.
+  store.erase_sys(ipc::sys_key_of(make_sys("h1", 0)));
+  store.erase_sys(ipc::sys_key_of(make_sys("h2", 0)));
+  ipc::SnapshotPtr trimmed = store.snapshot();
+  EXPECT_EQ(trimmed->sys_tombstones.size(), 2u);
+  EXPECT_FALSE(trimmed->can_delta_from(base));
+  EXPECT_TRUE(trimmed->can_delta_from(trimmed->version));
+}
+
+TEST(Snapshot, EpochChangesOnReplaceAndClear) {
+  ipc::InMemoryStatusStore store;
+  store.put_sys(make_sys("a", 0.1));
+  std::uint64_t epoch0 = store.snapshot()->epoch;
+
+  store.put_sys(make_sys("b", 0.2));
+  EXPECT_EQ(store.snapshot()->epoch, epoch0);  // incremental ops keep it
+
+  store.replace_sys({make_sys("c", 0.3)});
+  std::uint64_t epoch1 = store.snapshot()->epoch;
+  EXPECT_NE(epoch1, epoch0);
+
+  store.clear();
+  EXPECT_NE(store.snapshot()->epoch, epoch1);
+}
+
+TEST(Snapshot, EraseRemovesRecordAndReturnsWhetherFound) {
+  ipc::InMemoryStatusStore store;
+  store.put_sys(make_sys("a", 0.1));
+  EXPECT_FALSE(store.erase_sys(ipc::sys_key_of(make_sys("missing", 0))));
+  EXPECT_TRUE(store.erase_sys(ipc::sys_key_of(make_sys("a", 0))));
+  EXPECT_TRUE(store.sys_records().empty());
+
+  ipc::NetRecord net{};
+  ipc::copy_fixed(net.from_group, ipc::kGroupLen, "g1");
+  ipc::copy_fixed(net.to_group, ipc::kGroupLen, "g2");
+  store.put_net(net);
+  EXPECT_TRUE(store.erase_net(ipc::net_key_of(net)));
+  EXPECT_TRUE(store.net_records().empty());
+
+  ipc::SecRecord sec{};
+  ipc::copy_fixed(sec.host, ipc::kHostNameLen, "a");
+  store.put_sec(sec);
+  EXPECT_TRUE(store.erase_sec(ipc::sec_key_of(sec)));
+  EXPECT_TRUE(store.sec_records().empty());
+}
+
+TEST(Snapshot, NewestSysUpdateMatchesScanUnderMixedWrites) {
+  // The O(1) tracked maximum must agree with a scan of the records at every
+  // step — including the awkward case where the record holding the maximum
+  // is overwritten with an older timestamp or deleted.
+  ipc::InMemoryStatusStore store;
+  auto scan = [&] {
+    std::uint64_t newest = 0;
+    for (const ipc::SysRecord& record : store.sys_records()) {
+      newest = std::max(newest, record.updated_ns);
+    }
+    return newest;
+  };
+  auto check = [&] {
+    EXPECT_EQ(store.newest_sys_update_ns(), scan());
+    EXPECT_EQ(store.snapshot()->newest_sys_update_ns, scan());
+  };
+
+  check();  // empty = 0
+  store.put_sys(make_sys("a", 0.1, 100));
+  store.put_sys(make_sys("b", 0.1, 500));
+  store.put_sys(make_sys("c", 0.1, 300));
+  check();
+  store.put_sys(make_sys("b", 0.1, 200));  // max holder rewritten older
+  check();
+  store.erase_sys(ipc::sys_key_of(make_sys("c", 0)));  // new max deleted
+  check();
+  store.expire_sys_older_than(150);
+  check();
+  store.replace_sys({make_sys("x", 0.1, 42)});
+  check();
+  store.clear();
+  check();
+}
+
+// --- transmitter <-> receiver: delta pushes ---------------------------------
+
+TEST(Replication, FirstPushFullThenDeltas) {
+  ipc::InMemoryStatusStore tx_store;
+  ipc::InMemoryStatusStore rx_store;
+  tx_store.put_sys(make_sys("a", 0.1));
+  tx_store.put_sys(make_sys("b", 0.2));
+
+  Receiver receiver(ReceiverConfig{}, rx_store);
+  ASSERT_TRUE(receiver.start());
+  TransmitterConfig tx_config;
+  tx_config.receiver = receiver.endpoint();
+  Transmitter transmitter(tx_config, tx_store);
+
+  // Fresh receiver: nothing acked, so the first push is a full snapshot.
+  ASSERT_TRUE(transmitter.transmit_once());
+  EXPECT_EQ(transmitter.full_pushes(), 1u);
+  EXPECT_EQ(transmitter.delta_pushes(), 0u);
+  ASSERT_TRUE(wait_until([&] { return rx_store.sys_records().size() == 2; }));
+
+  // One changed record: the second push ships a delta.
+  tx_store.put_sys(make_sys("c", 0.3));
+  ASSERT_TRUE(transmitter.transmit_once());
+  EXPECT_EQ(transmitter.delta_pushes(), 1u);
+  EXPECT_EQ(transmitter.full_pushes(), 1u);
+  ASSERT_TRUE(wait_until([&] { return rx_store.sys_records().size() == 3; }));
+  EXPECT_TRUE(wait_until([&] { return receiver.deltas_applied() == 1; }));
+  EXPECT_EQ(sys_hosts(rx_store), sys_hosts(tx_store));
+
+  // No changes at all: the push degenerates to a heartbeat-sized delta.
+  ASSERT_TRUE(transmitter.transmit_once());
+  EXPECT_EQ(transmitter.delta_pushes(), 2u);
+  EXPECT_TRUE(wait_until([&] { return receiver.deltas_applied() == 2; }));
+  EXPECT_EQ(sys_hosts(rx_store), sys_hosts(tx_store));
+  receiver.stop();
+}
+
+TEST(Replication, DeltaCarriesDeletionsAndUpdates) {
+  ipc::InMemoryStatusStore tx_store;
+  ipc::InMemoryStatusStore rx_store;
+  for (int i = 0; i < 5; ++i) {
+    tx_store.put_sys(make_sys("h" + std::to_string(i), 0.1));
+  }
+
+  Receiver receiver(ReceiverConfig{}, rx_store);
+  ASSERT_TRUE(receiver.start());
+  TransmitterConfig tx_config;
+  tx_config.receiver = receiver.endpoint();
+  Transmitter transmitter(tx_config, tx_store);
+
+  ASSERT_TRUE(transmitter.transmit_once());
+  ASSERT_TRUE(wait_until([&] { return rx_store.sys_records().size() == 5; }));
+
+  // Delete two, update one, add one — all in a single delta push.
+  tx_store.erase_sys(ipc::sys_key_of(make_sys("h1", 0)));
+  tx_store.erase_sys(ipc::sys_key_of(make_sys("h3", 0)));
+  tx_store.put_sys(make_sys("h2", 0.9));
+  tx_store.put_sys(make_sys("h5", 0.5));
+  ASSERT_TRUE(transmitter.transmit_once());
+  EXPECT_EQ(transmitter.delta_pushes(), 1u);
+  ASSERT_TRUE(wait_until([&] { return rx_store.sys_records().size() == 4; }));
+  EXPECT_EQ(sys_hosts(rx_store), sys_hosts(tx_store));
+  for (const ipc::SysRecord& record : rx_store.sys_records()) {
+    if (record.host_str() == "h2") EXPECT_DOUBLE_EQ(record.load1, 0.9);
+  }
+  receiver.stop();
+}
+
+TEST(Replication, VersionGapForcesFullResync) {
+  ipc::InMemoryStatusStore tx_store(/*tombstone_cap=*/2);
+  ipc::InMemoryStatusStore rx_store;
+  for (int i = 0; i < 6; ++i) {
+    tx_store.put_sys(make_sys("h" + std::to_string(i), 0.1));
+  }
+
+  Receiver receiver(ReceiverConfig{}, rx_store);
+  ASSERT_TRUE(receiver.start());
+  TransmitterConfig tx_config;
+  tx_config.receiver = receiver.endpoint();
+  Transmitter transmitter(tx_config, tx_store);
+
+  ASSERT_TRUE(transmitter.transmit_once());  // full (fresh receiver)
+  ASSERT_TRUE(wait_until([&] { return rx_store.sys_records().size() == 6; }));
+
+  // More deletions than the tombstone log retains: the receiver's acked
+  // version falls below the delta floor, so the next push must be full —
+  // yet it still converges to the right contents.
+  for (int i = 0; i < 3; ++i) {
+    tx_store.erase_sys(ipc::sys_key_of(make_sys("h" + std::to_string(i), 0)));
+  }
+  ASSERT_TRUE(transmitter.transmit_once());
+  EXPECT_EQ(transmitter.full_pushes(), 2u);
+  EXPECT_EQ(transmitter.delta_pushes(), 0u);
+  ASSERT_TRUE(wait_until([&] { return rx_store.sys_records().size() == 3; }));
+  EXPECT_EQ(sys_hosts(rx_store), sys_hosts(tx_store));
+
+  // The resync re-anchors the receiver; deltas resume.
+  tx_store.put_sys(make_sys("new", 0.4));
+  ASSERT_TRUE(transmitter.transmit_once());
+  EXPECT_EQ(transmitter.delta_pushes(), 1u);
+  ASSERT_TRUE(wait_until([&] { return rx_store.sys_records().size() == 4; }));
+  receiver.stop();
+}
+
+TEST(Replication, EpochChangeOnTransmitterForcesFullResync) {
+  ipc::InMemoryStatusStore tx_store;
+  ipc::InMemoryStatusStore rx_store;
+  tx_store.put_sys(make_sys("a", 0.1));
+
+  Receiver receiver(ReceiverConfig{}, rx_store);
+  ASSERT_TRUE(receiver.start());
+  TransmitterConfig tx_config;
+  tx_config.receiver = receiver.endpoint();
+  Transmitter transmitter(tx_config, tx_store);
+
+  ASSERT_TRUE(transmitter.transmit_once());
+  ASSERT_TRUE(wait_until([&] { return rx_store.sys_records().size() == 1; }));
+
+  // clear() is non-incremental: it bumps the epoch, so no delta can span it.
+  tx_store.clear();
+  tx_store.put_sys(make_sys("b", 0.2));
+  ASSERT_TRUE(transmitter.transmit_once());
+  EXPECT_EQ(transmitter.full_pushes(), 2u);
+  ASSERT_TRUE(wait_until([&] {
+    auto hosts = sys_hosts(rx_store);
+    return hosts.size() == 1 && hosts[0] == "b";
+  }));
+  receiver.stop();
+}
+
+// --- wire compatibility with pre-delta peers --------------------------------
+
+TEST(Replication, LegacyReceiverGetsByteCompatibleFullSnapshots) {
+  ipc::InMemoryStatusStore tx_store;
+  ipc::InMemoryStatusStore rx_store;
+  tx_store.put_sys(make_sys("a", 0.1));
+
+  // delta_enabled=false reproduces the pre-delta receiver exactly: any
+  // replication frame is an unknown type that aborts the connection.
+  ReceiverConfig rx_config;
+  rx_config.delta_enabled = false;
+  Receiver receiver(rx_config, rx_store);
+  ASSERT_TRUE(receiver.start());
+
+  TransmitterConfig tx_config;
+  tx_config.receiver = receiver.endpoint();
+  Transmitter transmitter(tx_config, tx_store);
+
+  // The offer dies, the transmitter reconnects and replays the legacy
+  // full-snapshot stream — one transmit_once() call, no data loss.
+  ASSERT_TRUE(transmitter.transmit_once());
+  EXPECT_TRUE(transmitter.peer_legacy());
+  EXPECT_EQ(transmitter.full_pushes(), 1u);
+  EXPECT_EQ(transmitter.delta_pushes(), 0u);
+  ASSERT_TRUE(wait_until([&] { return rx_store.sys_records().size() == 1; }));
+  EXPECT_GE(receiver.malformed_frames(), 1u);  // the aborted offer connection
+
+  // Subsequent pushes skip the handshake entirely (no reconnect churn).
+  std::uint64_t malformed_before = receiver.malformed_frames();
+  tx_store.put_sys(make_sys("b", 0.2));
+  ASSERT_TRUE(transmitter.transmit_once());
+  ASSERT_TRUE(wait_until([&] { return rx_store.sys_records().size() == 2; }));
+  EXPECT_EQ(receiver.malformed_frames(), malformed_before);
+  EXPECT_EQ(transmitter.full_pushes(), 2u);
+  receiver.stop();
+}
+
+TEST(Replication, NewReceiverAcceptsOldTransmitterSnapshots) {
+  ipc::InMemoryStatusStore tx_store;
+  ipc::InMemoryStatusStore rx_store;
+  tx_store.put_sys(make_sys("old", 0.1));
+
+  Receiver receiver(ReceiverConfig{}, rx_store);  // delta-capable
+  ASSERT_TRUE(receiver.start());
+
+  // delta_enabled=false reproduces the pre-delta transmitter: plain
+  // trace + three database frames, no handshake, no commit.
+  TransmitterConfig tx_config;
+  tx_config.receiver = receiver.endpoint();
+  tx_config.delta_enabled = false;
+  Transmitter transmitter(tx_config, tx_store);
+
+  ASSERT_TRUE(transmitter.transmit_once());
+  ASSERT_TRUE(wait_until([&] { return rx_store.sys_records().size() == 1; }));
+  EXPECT_EQ(rx_store.sys_records()[0].host_str(), "old");
+  EXPECT_EQ(receiver.deltas_applied(), 0u);
+  EXPECT_EQ(receiver.malformed_frames(), 0u);
+  receiver.stop();
+}
+
+TEST(Replication, LegacyPeerIsReprobedAndUpgrades) {
+  ipc::InMemoryStatusStore tx_store;
+  ipc::InMemoryStatusStore rx_store;
+  tx_store.put_sys(make_sys("a", 0.1));
+
+  Receiver receiver(ReceiverConfig{}, rx_store);
+  ASSERT_TRUE(receiver.start());
+  TransmitterConfig tx_config;
+  tx_config.receiver = receiver.endpoint();
+  tx_config.legacy_reprobe_pushes = 1;  // reprobe on the very next push
+  Transmitter transmitter(tx_config, tx_store);
+
+  // Force the legacy mark (as if the peer had been old at first contact).
+  ASSERT_TRUE(transmitter.transmit_once());
+  ASSERT_TRUE(wait_until([&] { return rx_store.sys_records().size() == 1; }));
+
+  // The receiver actually speaks delta, so the reprobe upgrades the link.
+  tx_store.put_sys(make_sys("b", 0.2));
+  ASSERT_TRUE(transmitter.transmit_once());
+  EXPECT_FALSE(transmitter.peer_legacy());
+  EXPECT_GE(transmitter.delta_pushes(), 1u);
+  ASSERT_TRUE(wait_until([&] { return rx_store.sys_records().size() == 2; }));
+  receiver.stop();
+}
+
+// --- faults during delta pushes ---------------------------------------------
+
+TEST(Replication, TruncatedDeltaPushIsRecoveredByNextPush) {
+  ipc::InMemoryStatusStore tx_store;
+  ipc::InMemoryStatusStore rx_store;
+  tx_store.put_sys(make_sys("a", 0.1));
+
+  Receiver receiver(ReceiverConfig{}, rx_store);
+  ASSERT_TRUE(receiver.start());
+  TransmitterConfig tx_config;
+  tx_config.receiver = receiver.endpoint();
+  tx_config.legacy_reprobe_pushes = 1;  // recover the delta path immediately
+  Transmitter transmitter(tx_config, tx_store);
+
+  ASSERT_TRUE(transmitter.transmit_once());  // clean full push
+  ASSERT_TRUE(wait_until([&] { return rx_store.sys_records().size() == 1; }));
+
+  // Every TCP send now writes a prefix and closes: the push dies mid-flight.
+  // Because the commit never arrives, the receiver's acked state must not
+  // advance past the version range this push covered.
+  tx_store.put_sys(make_sys("b", 0.2));
+  net::FaultConfig faults;
+  faults.seed = 11;
+  faults.tcp_truncate_send = 1.0;
+  net::FaultInjector injector(faults);
+  {
+    net::ScopedGlobalFaults scoped(injector);
+    EXPECT_FALSE(transmitter.transmit_once());
+  }
+  EXPECT_GE(injector.stats().tcp_truncated_send, 1u);
+
+  // Next clean push re-covers the same changes; the replica converges and
+  // incremental replication resumes (upserts are idempotent, so re-applying
+  // "b" is harmless even if part of the faulted blob got through).
+  ASSERT_TRUE(transmitter.transmit_once());
+  ASSERT_TRUE(wait_until([&] { return rx_store.sys_records().size() == 2; }));
+  EXPECT_EQ(sys_hosts(rx_store), sys_hosts(tx_store));
+
+  tx_store.put_sys(make_sys("c", 0.3));
+  ASSERT_TRUE(transmitter.transmit_once());
+  EXPECT_GE(transmitter.delta_pushes(), 1u);
+  ASSERT_TRUE(wait_until([&] { return rx_store.sys_records().size() == 3; }));
+  EXPECT_EQ(sys_hosts(rx_store), sys_hosts(tx_store));
+  receiver.stop();
+}
+
+TEST(Replication, DroppedConnectionDuringDeltaLeavesStoresConsistent) {
+  ipc::InMemoryStatusStore tx_store;
+  ipc::InMemoryStatusStore rx_store;
+  tx_store.put_sys(make_sys("a", 0.1));
+
+  Receiver receiver(ReceiverConfig{}, rx_store);
+  ASSERT_TRUE(receiver.start());
+  TransmitterConfig tx_config;
+  tx_config.receiver = receiver.endpoint();
+  tx_config.legacy_reprobe_pushes = 1;
+  Transmitter transmitter(tx_config, tx_store);
+
+  ASSERT_TRUE(transmitter.transmit_once());
+  ASSERT_TRUE(wait_until([&] { return rx_store.sys_records().size() == 1; }));
+
+  tx_store.erase_sys(ipc::sys_key_of(make_sys("a", 0)));
+  tx_store.put_sys(make_sys("z", 0.9));
+  net::FaultConfig faults;
+  faults.seed = 12;
+  faults.tcp_reset_send = 1.0;
+  net::FaultInjector injector(faults);
+  {
+    net::ScopedGlobalFaults scoped(injector);
+    EXPECT_FALSE(transmitter.transmit_once());
+  }
+
+  ASSERT_TRUE(transmitter.transmit_once());
+  ASSERT_TRUE(wait_until([&] { return sys_hosts(rx_store) == sys_hosts(tx_store); }));
+  auto hosts = sys_hosts(rx_store);
+  ASSERT_EQ(hosts.size(), 1u);
+  EXPECT_EQ(hosts[0], "z");
+  receiver.stop();
+}
+
+// --- distributed pulls stay on the full-snapshot wire ------------------------
+
+TEST(Replication, DistributedPullsRemainFullSnapshots) {
+  ipc::InMemoryStatusStore tx_store;
+  ipc::InMemoryStatusStore rx_store;
+  tx_store.put_sys(make_sys("pull", 0.8));
+
+  TransmitterConfig tx_config;
+  tx_config.mode = TransferMode::kDistributed;
+  Transmitter transmitter(tx_config, tx_store);
+  ASSERT_TRUE(transmitter.start());
+
+  Receiver receiver(ReceiverConfig{}, rx_store);
+  ASSERT_TRUE(receiver.pull_from(transmitter.endpoint()));
+  ASSERT_TRUE(receiver.pull_from(transmitter.endpoint()));
+  transmitter.stop();
+
+  EXPECT_EQ(rx_store.sys_records().size(), 1u);
+  EXPECT_EQ(receiver.deltas_applied(), 0u);  // pulls carry no replica state
+  EXPECT_EQ(transmitter.full_pushes(), 2u);
+}
+
+}  // namespace
+}  // namespace smartsock::transport

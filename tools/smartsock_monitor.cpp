@@ -34,14 +34,14 @@ void handle_signal(int) { g_stop = 1; }
 int main(int argc, char** argv) {
   util::Args args(argc, argv,
                   {"listen", "receiver", "security-log", "target", "interval", "mode",
-                   "local-group", "sysv", "stats-port", "stats-dump",
+                   "local-group", "sysv", "no-delta", "stats-port", "stats-dump",
                    "stats-dump-interval", "help"});
   if (!args.ok() || args.has("help")) {
     std::fprintf(stderr,
                  "usage: smartsock_monitor --listen ip:port [--receiver ip:port] "
                  "[--mode centralized|distributed] [--security-log file] "
                  "[--target group=ip:port]... [--local-group name] "
-                 "[--interval seconds] [--sysv] [--stats-port port] "
+                 "[--interval seconds] [--sysv] [--no-delta] [--stats-port port] "
                  "[--stats-dump file] [--stats-dump-interval seconds]\n");
     return args.has("help") ? 0 : 2;
   }
@@ -112,6 +112,9 @@ int main(int argc, char** argv) {
   tx_config.mode = mode == "distributed" ? transport::TransferMode::kDistributed
                                          : transport::TransferMode::kCentralized;
   tx_config.interval = util::from_seconds(interval_s);
+  // --no-delta forces plain full-snapshot pushes (the pre-delta wire),
+  // useful against old receivers or for measuring the delta win.
+  tx_config.delta_enabled = !args.has("no-delta");
   if (tx_config.mode == transport::TransferMode::kCentralized) {
     auto receiver = net::Endpoint::parse(args.get_or("receiver", ""));
     if (!receiver) {

@@ -33,13 +33,15 @@ void handle_signal(int) { g_stop = 1; }
 int main(int argc, char** argv) {
   util::Args args(argc, argv,
                   {"listen", "receiver", "mode", "transmitter", "local-group", "sysv",
-                   "threads", "match-threads", "cache-size", "staleness-bound-ms",
-                   "stats-port", "stats-dump", "stats-dump-interval", "help"});
+                   "no-delta", "threads", "match-threads", "cache-size",
+                   "staleness-bound-ms", "stats-port", "stats-dump",
+                   "stats-dump-interval", "help"});
   if (!args.ok() || args.has("help")) {
     std::fprintf(stderr,
                  "usage: smartsock_wizard --listen ip:port [--receiver ip:port] "
                  "[--mode centralized|distributed] [--transmitter ip:port,...] "
-                 "[--local-group name] [--sysv] [--threads n] [--match-threads n] "
+                 "[--local-group name] [--sysv] [--no-delta] [--threads n] "
+                 "[--match-threads n] "
                  "[--cache-size n] [--staleness-bound-ms n] [--stats-port port] "
                  "[--stats-dump file] [--stats-dump-interval seconds]\n");
     return args.has("help") ? 0 : 2;
@@ -57,6 +59,9 @@ int main(int argc, char** argv) {
   transport::ReceiverConfig rx_config;
   rx_config.bind = net::Endpoint::parse(args.get_or("receiver", "127.0.0.1:1121"))
                        .value_or(net::Endpoint::loopback(1121));
+  // --no-delta refuses delta offers (pre-delta receiver behaviour);
+  // transmitters then fall back to full snapshots.
+  rx_config.delta_enabled = !args.has("no-delta");
   transport::Receiver receiver(rx_config, *store);
   if (!receiver.valid()) {
     std::fprintf(stderr, "cannot bind receiver\n");

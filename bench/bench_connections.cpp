@@ -1,0 +1,404 @@
+// Connection-scaling benchmark (ISSUE 6) — the reactor's reason to exist.
+//
+// Two servers speak the same 32-byte-request / 128-byte-reply protocol over
+// loopback:
+//   * thread  — the seed's model: one blocking std::thread per accepted
+//     connection;
+//   * reactor — one net::Reactor event loop multiplexing every connection.
+//
+// A client fleet holds N concurrent connections open and sweeps request/
+// response round trips across them from a fixed pool of driver threads,
+// recording per-op latency. The interesting rows: the reactor must hold
+// >=1000 concurrent connections (where thread-per-conn burns a kernel thread
+// each) with a p99 no worse than thread-per-conn enjoys at its comfortable
+// 64-connection scale.
+//
+// Emits BENCH_connections.json for the CI artifact trail. Flags:
+//   --smoke       small run (fewer connections/ops) for CI
+//   --self-check  exit nonzero on any op error or if the reactor's p99 at
+//                 max scale regresses past thread-per-conn at base scale
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "net/reactor.h"
+#include "net/tcp_listener.h"
+#include "net/tcp_socket.h"
+#include "obs/metrics.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace smartsock;
+using namespace std::chrono_literals;
+
+constexpr std::size_t kRequestSize = 32;
+constexpr std::size_t kReplySize = 128;
+
+std::string make_request() { return std::string(kRequestSize, 'q'); }
+std::string make_reply() { return std::string(kReplySize, 'r'); }
+
+/// Lifts RLIMIT_NOFILE toward its hard cap so the 1000-connection row (two
+/// fds per connection: client + server side) does not die on EMFILE.
+void raise_fd_limit(std::size_t wanted) {
+  rlimit limit{};
+  if (::getrlimit(RLIMIT_NOFILE, &limit) != 0) return;
+  if (limit.rlim_cur >= wanted) return;
+  limit.rlim_cur = std::min<rlim_t>(limit.rlim_max, std::max<rlim_t>(wanted, 4096));
+  ::setrlimit(RLIMIT_NOFILE, &limit);
+}
+
+/// Kernel threads currently in this process, from /proc/self/status — the
+/// resource half of the thread-per-conn story.
+int process_thread_count() {
+  std::FILE* status = std::fopen("/proc/self/status", "r");
+  if (!status) return -1;
+  char line[256];
+  int threads = -1;
+  while (std::fgets(line, sizeof(line), status)) {
+    if (std::sscanf(line, "Threads: %d", &threads) == 1) break;
+  }
+  std::fclose(status);
+  return threads;
+}
+
+// --- the two servers ----------------------------------------------------------
+
+/// The seed's serving model: accept loop + one blocking thread per connection.
+class ThreadPerConnServer {
+ public:
+  bool start() {
+    // Deep backlog: the fleet dials hundreds of connections back to back and
+    // the default 16-slot queue would drop SYNs.
+    auto listener = net::TcpListener::listen(net::Endpoint::loopback(0), 1024);
+    if (!listener) return false;
+    listener_ = std::make_unique<net::TcpListener>(std::move(*listener));
+    acceptor_ = std::thread([this] { accept_loop(); });
+    return true;
+  }
+
+  net::Endpoint endpoint() const { return listener_->local_endpoint(); }
+  int peak_workers() const { return peak_workers_.load(); }
+
+  void stop() {
+    stop_.store(true);
+    listener_->close();
+    if (acceptor_.joinable()) acceptor_.join();
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    for (auto& worker : workers_) {
+      if (worker.joinable()) worker.join();
+    }
+    workers_.clear();
+  }
+
+ private:
+  void accept_loop() {
+    while (!stop_.load()) {
+      auto socket = listener_->accept(100ms);
+      if (!socket) continue;
+      std::lock_guard<std::mutex> lock(workers_mu_);
+      workers_.emplace_back(
+          [this, sock = std::move(*socket)]() mutable { serve(std::move(sock)); });
+      int size = static_cast<int>(workers_.size());
+      if (size > peak_workers_.load()) peak_workers_.store(size);
+    }
+  }
+
+  void serve(net::TcpSocket socket) {
+    socket.set_no_delay(true);
+    socket.set_receive_timeout(500ms);
+    const std::string reply = make_reply();
+    std::string request;
+    while (!stop_.load()) {
+      auto in = socket.receive_exact(request, kRequestSize);
+      if (!in.ok()) break;  // peer closed, timed out, or reset: worker exits
+      if (!socket.send_all(reply).ok()) break;
+    }
+  }
+
+  std::unique_ptr<net::TcpListener> listener_;
+  std::thread acceptor_;
+  std::mutex workers_mu_;
+  std::vector<std::thread> workers_;
+  std::atomic<int> peak_workers_{0};
+  std::atomic<bool> stop_{false};
+};
+
+/// The reactor model: every connection multiplexed on one event loop.
+class ReactorServer {
+ public:
+  bool start() {
+    auto listener = net::TcpListener::listen(net::Endpoint::loopback(0), 1024);
+    if (!listener) return false;
+    listener_ = std::make_unique<net::TcpListener>(std::move(*listener));
+    if (!reactor_.start()) return false;
+    listener_->set_nonblocking(true);
+    const std::string reply = make_reply();
+    listener_id_ = reactor_.add_listener(listener_.get(), [this, reply](net::TcpSocket socket) {
+      socket.set_no_delay(true);
+      net::ConnectionHandler handler;
+      handler.on_data = [reply](net::Connection& connection) {
+        while (connection.input().size() >= kRequestSize) {
+          connection.consume(kRequestSize);
+          connection.send(reply);
+        }
+      };
+      reactor_.add_connection(std::move(socket), std::move(handler));
+    });
+    return listener_id_ != 0;
+  }
+
+  net::Endpoint endpoint() const { return listener_->local_endpoint(); }
+
+  void stop() {
+    reactor_.run_on_loop([this] {
+      reactor_.remove_listener(listener_id_);
+      reactor_.close_all_connections();
+    });
+    reactor_.stop();
+  }
+
+ private:
+  net::Reactor reactor_;
+  std::unique_ptr<net::TcpListener> listener_;
+  net::ListenerId listener_id_ = 0;
+};
+
+// --- the client fleet ---------------------------------------------------------
+
+struct RunResult {
+  std::string mode;
+  std::size_t connections = 0;
+  std::size_t ops = 0;
+  std::size_t errors = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  double throughput_rps = 0;
+  int server_threads = 0;  // kernel threads the serving model added
+};
+
+/// Opens `connections` sockets against `endpoint`, then `kDriverThreads`
+/// workers sweep round trips across disjoint stripes of the fleet. Every
+/// connection stays open for the whole run — the point is concurrent open
+/// connections, not connection churn.
+RunResult drive_fleet(const std::string& mode, net::Endpoint endpoint,
+                      std::size_t connections, std::size_t sweeps) {
+  constexpr std::size_t kDriverThreads = 8;
+  RunResult result;
+  result.mode = mode;
+  result.connections = connections;
+
+  std::vector<std::unique_ptr<net::TcpSocket>> fleet;
+  fleet.reserve(connections);
+  for (std::size_t i = 0; i < connections; ++i) {
+    std::optional<net::TcpSocket> socket;
+    for (int attempt = 0; attempt < 3 && !socket; ++attempt) {
+      if (attempt > 0) std::this_thread::sleep_for(10ms);
+      socket = net::TcpSocket::connect(endpoint, 2s);
+    }
+    if (!socket) {
+      ++result.errors;
+      continue;
+    }
+    socket->set_no_delay(true);
+    socket->set_receive_timeout(2s);
+    fleet.push_back(std::make_unique<net::TcpSocket>(std::move(*socket)));
+  }
+
+  const std::string request = make_request();
+  std::vector<std::vector<double>> latencies(kDriverThreads);
+  std::vector<std::size_t> errors(kDriverThreads, 0);
+
+  auto sweep_once = [&](std::size_t worker, bool record) {
+    for (std::size_t i = worker; i < fleet.size(); i += kDriverThreads) {
+      net::TcpSocket& socket = *fleet[i];
+      if (!socket.valid()) continue;
+      std::string reply;
+      auto t0 = std::chrono::steady_clock::now();
+      bool ok = socket.send_all(request).ok() &&
+                socket.receive_exact(reply, kReplySize).ok();
+      auto t1 = std::chrono::steady_clock::now();
+      if (!ok) {
+        ++errors[worker];
+        socket.close();
+        continue;
+      }
+      if (record) {
+        latencies[worker].push_back(
+            std::chrono::duration<double, std::micro>(t1 - t0).count());
+      }
+    }
+  };
+
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> drivers;
+  drivers.reserve(kDriverThreads);
+  for (std::size_t worker = 0; worker < kDriverThreads; ++worker) {
+    drivers.emplace_back([&, worker] {
+      sweep_once(worker, /*record=*/false);  // warmup: touch every connection
+      for (std::size_t sweep = 0; sweep < sweeps; ++sweep) sweep_once(worker, true);
+    });
+  }
+  for (auto& driver : drivers) driver.join();
+  double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  std::vector<double> all;
+  for (auto& bucket : latencies) all.insert(all.end(), bucket.begin(), bucket.end());
+  for (std::size_t count : errors) result.errors += count;
+  result.ops = all.size();
+  if (!all.empty()) {
+    std::sort(all.begin(), all.end());
+    result.p50_us = all[all.size() / 2];
+    result.p99_us = all[std::min(all.size() - 1,
+                                 static_cast<std::size_t>(all.size() * 0.99))];
+    result.throughput_rps = static_cast<double>(all.size()) / elapsed;
+  }
+  return result;
+}
+
+RunResult run_config(const std::string& mode, std::size_t connections,
+                     std::size_t sweeps) {
+  int threads_before = process_thread_count();
+  RunResult result;
+  if (mode == "thread") {
+    ThreadPerConnServer server;
+    if (!server.start()) {
+      std::fprintf(stderr, "cannot start thread-per-conn server\n");
+      std::exit(1);
+    }
+    result = drive_fleet(mode, server.endpoint(), connections, sweeps);
+    result.server_threads = server.peak_workers();
+    server.stop();
+  } else {
+    ReactorServer server;
+    if (!server.start()) {
+      std::fprintf(stderr, "cannot start reactor server\n");
+      std::exit(1);
+    }
+    result = drive_fleet(mode, server.endpoint(), connections, sweeps);
+    result.server_threads = std::max(1, process_thread_count() - threads_before);
+    server.stop();
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool self_check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--self-check") == 0) self_check = true;
+  }
+
+  const std::vector<std::size_t> counts =
+      smoke ? std::vector<std::size_t>{16, 128} : std::vector<std::size_t>{64, 256, 1000};
+  const std::size_t base_count = counts.front();
+  const std::size_t max_count = counts.back();
+  raise_fd_limit(2 * max_count + 256);
+
+  smartsock::bench::print_title(
+      "connection scaling: thread-per-conn vs reactor, " +
+      std::to_string(kRequestSize) + "B request / " + std::to_string(kReplySize) +
+      "B reply over loopback");
+  smartsock::bench::print_row(
+      {"mode", "conns", "ops", "errors", "p50 us", "p99 us", "req/s", "threads"},
+      {9, 7, 9, 8, 10, 10, 11, 8});
+
+  std::vector<RunResult> table;
+  for (std::size_t count : counts) {
+    // Ops budget scales down as the fleet grows so every row finishes fast.
+    std::size_t sweeps = std::max<std::size_t>(smoke ? 4 : 8, (smoke ? 2000 : 20000) / count);
+    for (const char* mode : {"thread", "reactor"}) {
+      RunResult row = run_config(mode, count, sweeps);
+      table.push_back(row);
+      smartsock::bench::print_row(
+          {row.mode, std::to_string(row.connections), std::to_string(row.ops),
+           std::to_string(row.errors), smartsock::bench::fmt(row.p50_us),
+           smartsock::bench::fmt(row.p99_us),
+           smartsock::bench::fmt(row.throughput_rps, 0),
+           std::to_string(row.server_threads)},
+          {9, 7, 9, 8, 10, 10, 11, 8});
+    }
+  }
+
+  auto find_row = [&](const std::string& mode, std::size_t count) -> const RunResult& {
+    for (const RunResult& row : table) {
+      if (row.mode == mode && row.connections == count) return row;
+    }
+    std::fprintf(stderr, "missing row %s/%zu\n", mode.c_str(), count);
+    std::exit(1);
+  };
+  const RunResult& thread_base = find_row("thread", base_count);
+  const RunResult& reactor_max = find_row("reactor", max_count);
+  smartsock::bench::print_note(
+      "reactor holds " + std::to_string(reactor_max.connections) +
+      " concurrent connections on " + std::to_string(reactor_max.server_threads) +
+      " thread(s); thread-per-conn needed " +
+      std::to_string(find_row("thread", max_count).server_threads) + " at the same scale");
+
+  std::FILE* json = std::fopen("BENCH_connections.json", "w");
+  if (!json) {
+    std::fprintf(stderr, "cannot write BENCH_connections.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"bench\": \"connections\",\n  \"smoke\": %s,\n",
+               smoke ? "true" : "false");
+  std::fprintf(json, "  \"request_bytes\": %zu,\n  \"reply_bytes\": %zu,\n  \"rows\": [\n",
+               kRequestSize, kReplySize);
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const RunResult& row = table[i];
+    std::fprintf(json,
+                 "    {\"mode\": \"%s\", \"connections\": %zu, \"ops\": %zu, "
+                 "\"errors\": %zu, \"p50_us\": %.2f, \"p99_us\": %.2f, "
+                 "\"throughput_rps\": %.1f, \"server_threads\": %d}%s\n",
+                 row.mode.c_str(), row.connections, row.ops, row.errors, row.p50_us,
+                 row.p99_us, row.throughput_rps, row.server_threads,
+                 i + 1 < table.size() ? "," : "");
+  }
+  std::fprintf(json, "  ],\n");
+  std::fprintf(json, "  \"metrics\": %s\n",
+               smartsock::obs::MetricsRegistry::instance().snapshot().to_json().c_str());
+  std::fprintf(json, "}\n");
+  std::fclose(json);
+  std::printf("\nwrote BENCH_connections.json\n");
+
+  if (self_check) {
+    // Gate 1: every round trip on every row must have succeeded.
+    for (const RunResult& row : table) {
+      if (row.errors != 0 || row.ops == 0) {
+        std::fprintf(stderr, "SELF-CHECK FAILED: %s/%zu had %zu errors over %zu ops\n",
+                     row.mode.c_str(), row.connections, row.errors, row.ops);
+        return 1;
+      }
+    }
+    // Gate 2: the reactor at max scale must not regress past thread-per-conn
+    // at its comfortable base scale (25% + 250us grace absorbs scheduler
+    // noise in CI).
+    double budget = thread_base.p99_us * 1.25 + 250.0;
+    if (reactor_max.p99_us > budget) {
+      std::fprintf(stderr,
+                   "SELF-CHECK FAILED: reactor p99 %.1fus at %zu conns exceeds "
+                   "thread-per-conn %.1fus at %zu conns (budget %.1fus)\n",
+                   reactor_max.p99_us, max_count, thread_base.p99_us, base_count,
+                   budget);
+      return 1;
+    }
+    std::printf("self-check ok: reactor p99 %.1fus @ %zu conns vs thread %.1fus @ %zu\n",
+                reactor_max.p99_us, max_count, thread_base.p99_us, base_count);
+  }
+  return 0;
+}

@@ -1,9 +1,25 @@
 #include "apps/massd/file_server.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "util/logging.h"
 #include "util/strings.h"
 
 namespace smartsock::apps {
+
+namespace {
+
+// Stop generating file bytes once this much is already buffered on the
+// connection; on_drain refills. Keeps per-client memory bounded well below
+// the reactor's hard backpressure watermark even for 64 MB block requests.
+constexpr std::size_t kPumpHighWater = 64 * 1024;
+
+// A request line longer than this without a newline is malformed (same cap
+// as the old per-thread reader).
+constexpr std::size_t kMaxLine = 96;
+
+}  // namespace
 
 char synthetic_file_byte(std::uint64_t offset) {
   return static_cast<char>(offset % 251);
@@ -27,73 +43,160 @@ FileServer::FileServer(FileServerConfig config)
 
 FileServer::~FileServer() { stop(); }
 
+// One downloader connection. The state machine alternates between parsing
+// request lines out of the connection's input buffer and streaming the
+// active block into its output buffer; `driving` guards against re-entry
+// because Connection::send can synchronously drain and fire on_drain.
+struct FileServer::ClientState {
+  bool transfer_active = false;
+  std::uint64_t offset = 0;     // next file byte to generate
+  std::uint64_t remaining = 0;  // bytes left in the active block
+  bool driving = false;
+  net::TimerId idle_timer = 0;    // awaiting-request deadline
+  net::TimerId shaper_timer = 0;  // pending token-bucket refill wait
+};
+
+void FileServer::arm_idle_timer(net::Connection& client, ClientState& state) {
+  if (state.idle_timer != 0) reactor_->cancel_timer(state.idle_timer);
+  net::Connection* raw = &client;
+  state.idle_timer = reactor_->add_timer(config_.request_idle_timeout,
+                                         [raw] { raw->close_now(); });
+}
+
+// Streams the active block until it completes (true) or progress stalls on
+// buffered output or an empty token bucket (false; on_drain or the shaper
+// timer resumes).
+bool FileServer::pump(net::Connection& client, ClientState& state) {
+  while (state.remaining > 0) {
+    if (client.closing()) return false;
+    if (client.pending_output() >= kPumpHighWater) return false;
+    if (state.shaper_timer != 0) return false;  // refill wait already armed
+    std::size_t chunk = static_cast<std::size_t>(
+        std::min<std::uint64_t>(config_.send_chunk, state.remaining));
+    util::Duration retry{0};
+    if (!shaper_.try_acquire(chunk, &retry)) {
+      net::Connection* raw = &client;
+      state.shaper_timer = reactor_->add_timer(retry, [this, raw] {
+        auto held = std::static_pointer_cast<ClientState>(raw->user_data);
+        held->shaper_timer = 0;
+        on_client_data(*raw);  // resume the drive loop
+      });
+      return false;
+    }
+    client.send(synthetic_file_chunk(state.offset, chunk));
+    state.offset += chunk;
+    state.remaining -= chunk;
+    bytes_served_.fetch_add(chunk, std::memory_order_relaxed);
+  }
+  state.transfer_active = false;
+  arm_idle_timer(client, state);
+  return true;
+}
+
+void FileServer::on_client_data(net::Connection& client) {
+  auto state = std::static_pointer_cast<ClientState>(client.user_data);
+  if (state->driving) return;  // re-entered from send()'s synchronous drain
+  state->driving = true;
+  for (;;) {
+    if (client.closing()) break;
+    if (state->transfer_active) {
+      if (!pump(client, *state)) break;
+      continue;  // block finished: parse the next buffered request
+    }
+    std::string& in = client.input();
+    std::size_t newline = in.find('\n');
+    if (newline == std::string::npos) {
+      if (in.size() >= kMaxLine) {
+        client.close_now();  // endless line: drop, like the blocking reader
+      } else if (!in.empty() || state->idle_timer == 0) {
+        arm_idle_timer(client, *state);  // any progress resets the deadline
+      }
+      break;
+    }
+    if (newline >= kMaxLine) {
+      client.close_now();
+      break;
+    }
+    std::string line = in.substr(0, newline);
+    client.consume(newline + 1);
+    if (line == "BYE") {
+      client.close_after_flush();
+      break;
+    }
+    auto fields = util::split_whitespace(line);
+    if (fields.size() != 3 || fields[0] != "BLK") {
+      client.close_after_flush();
+      break;
+    }
+    auto offset = util::parse_uint(fields[1]);
+    auto length = util::parse_uint(fields[2]);
+    if (!offset || !length || *length > (64ull << 20)) {
+      client.close_after_flush();
+      break;
+    }
+    if (state->idle_timer != 0) {
+      reactor_->cancel_timer(state->idle_timer);
+      state->idle_timer = 0;
+    }
+    state->transfer_active = true;
+    state->offset = *offset;
+    state->remaining = *length;
+  }
+  state->driving = false;
+}
+
+void FileServer::on_client(net::TcpSocket socket) {
+  socket.set_no_delay(true);
+  net::ConnectionHandler handler;
+  handler.on_data = [this](net::Connection& client) { on_client_data(client); };
+  handler.on_drain = [this](net::Connection& client) { on_client_data(client); };
+  handler.on_close = [this](net::Connection& client, bool) {
+    auto state = std::static_pointer_cast<ClientState>(client.user_data);
+    if (state) {
+      if (state->idle_timer != 0) reactor_->cancel_timer(state->idle_timer);
+      if (state->shaper_timer != 0) reactor_->cancel_timer(state->shaper_timer);
+    }
+    clients_.erase(&client);
+  };
+  net::Connection* client = reactor_->add_connection(std::move(socket), handler);
+  if (client == nullptr) return;
+  clients_.insert(client);
+  auto state = std::make_shared<ClientState>();
+  client->user_data = state;
+  arm_idle_timer(*client, *state);
+}
+
 bool FileServer::start() {
-  if (!listener_.valid() || accept_thread_.joinable()) return false;
-  stop_requested_.store(false, std::memory_order_release);
-  accept_thread_ = std::thread([this] { run_loop(); });
+  if (!listener_.valid() || reactor_ != nullptr) return false;
+  if (config_.reactor != nullptr) {
+    reactor_ = config_.reactor;
+  } else {
+    own_reactor_ = std::make_unique<net::Reactor>();
+    reactor_ = own_reactor_.get();
+  }
+  listener_id_ = reactor_->add_listener(
+      &listener_, [this](net::TcpSocket socket) { on_client(std::move(socket)); });
+  if (own_reactor_ && !own_reactor_->start()) {
+    own_reactor_.reset();
+    reactor_ = nullptr;
+    return false;
+  }
   return true;
 }
 
 void FileServer::stop() {
-  stop_requested_.store(true, std::memory_order_release);
-  if (accept_thread_.joinable()) accept_thread_.join();
-  std::vector<std::thread> workers;
-  {
-    std::lock_guard<std::mutex> lock(threads_mu_);
-    workers.swap(connection_threads_);
-  }
-  for (std::thread& t : workers) {
-    if (t.joinable()) t.join();
-  }
-}
-
-void FileServer::run_loop() {
-  while (!stop_requested_.load(std::memory_order_acquire)) {
-    auto client = listener_.accept(std::chrono::milliseconds(50));
-    if (!client) continue;
-    std::lock_guard<std::mutex> lock(threads_mu_);
-    connection_threads_.emplace_back(
-        [this, sock = std::move(*client)]() mutable { serve_connection(std::move(sock)); });
-  }
-}
-
-void FileServer::serve_connection(net::TcpSocket socket) {
-  socket.set_receive_timeout(std::chrono::seconds(5));
-  socket.set_no_delay(true);
-  std::string line;
-  std::string ch;
-  while (!stop_requested_.load(std::memory_order_acquire)) {
-    line.clear();
-    bool got_line = false;
-    while (line.size() < 96) {
-      auto result = socket.receive_exact(ch, 1);
-      if (!result.ok()) return;
-      if (ch[0] == '\n') {
-        got_line = true;
-        break;
-      }
-      line += ch[0];
-    }
-    if (!got_line) return;
-    if (line == "BYE") return;
-
-    auto fields = util::split_whitespace(line);
-    if (fields.size() != 3 || fields[0] != "BLK") return;
-    auto offset = util::parse_uint(fields[1]);
-    auto length = util::parse_uint(fields[2]);
-    if (!offset || !length || *length > (64ull << 20)) return;
-
-    std::uint64_t sent = 0;
-    while (sent < *length && !stop_requested_.load(std::memory_order_acquire)) {
-      std::size_t chunk =
-          static_cast<std::size_t>(std::min<std::uint64_t>(config_.send_chunk, *length - sent));
-      shaper_.acquire(chunk);
-      std::string data = synthetic_file_chunk(*offset + sent, chunk);
-      if (!socket.send_all(data).ok()) return;
-      sent += chunk;
-      bytes_served_.fetch_add(chunk, std::memory_order_relaxed);
-    }
-  }
+  if (reactor_ == nullptr) return;
+  net::Reactor* reactor = reactor_;
+  if (own_reactor_) own_reactor_->stop();
+  reactor->run_on_loop([this] {
+    if (listener_id_ != 0) reactor_->remove_listener(listener_id_);
+    std::vector<net::Connection*> open(clients_.begin(), clients_.end());
+    for (net::Connection* client : open) client->close_now();
+  });
+  listener_id_ = 0;
+  own_reactor_.reset();
+  reactor_ = nullptr;
+  listener_.set_nonblocking(false);
 }
 
 }  // namespace smartsock::apps

@@ -8,14 +8,21 @@
 //
 // File content at offset i is byte (i % 251) — cheap to generate at any
 // offset and lets downloaders verify block integrity end to end.
+//
+// Since ISSUE 6 every client connection is multiplexed on one net::Reactor
+// (owned, or a shared per-daemon loop via config.reactor) instead of one
+// std::thread per connection: block data streams through the connection's
+// write buffer under the reactor's backpressure watermark, shaper waits are
+// loop timers instead of blocking sleeps, and the 5 s request idle timeout
+// is a per-connection timer.
 #pragma once
 
 #include <atomic>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include <memory>
+#include <unordered_set>
 
 #include "apps/massd/shaper.h"
+#include "net/reactor.h"
 #include "net/tcp_listener.h"
 
 namespace smartsock::apps {
@@ -29,6 +36,9 @@ struct FileServerConfig {
   double rate_bytes_per_sec = 0.0;  // 0 = unshaped
   double burst_bytes = 64 * 1024;
   std::size_t send_chunk = 8 * 1024;  // shaper granularity
+  util::Duration request_idle_timeout = std::chrono::seconds(5);
+  /// Shared per-daemon event loop; null = the server runs its own reactor.
+  net::Reactor* reactor = nullptr;
 };
 
 class FileServer {
@@ -52,18 +62,23 @@ class FileServer {
   bool valid() const { return listener_.valid(); }
 
  private:
-  void run_loop();
-  void serve_connection(net::TcpSocket socket);
+  struct ClientState;
+
+  void on_client(net::TcpSocket socket);         // loop thread
+  void on_client_data(net::Connection& client);  // loop thread
+  bool pump(net::Connection& client, ClientState& state);
+  void arm_idle_timer(net::Connection& client, ClientState& state);
 
   FileServerConfig config_;
   TokenBucket shaper_;
   net::TcpListener listener_;
   net::Endpoint endpoint_;
 
-  std::thread accept_thread_;
-  std::vector<std::thread> connection_threads_;
-  std::mutex threads_mu_;
-  std::atomic<bool> stop_requested_{false};
+  std::unique_ptr<net::Reactor> own_reactor_;
+  net::Reactor* reactor_ = nullptr;  // non-null while started
+  net::ListenerId listener_id_ = 0;
+  std::unordered_set<net::Connection*> clients_;  // loop-thread-only
+
   std::atomic<std::uint64_t> bytes_served_{0};
 };
 

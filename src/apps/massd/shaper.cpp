@@ -48,6 +48,22 @@ void TokenBucket::acquire(std::uint64_t bytes) {
   }
 }
 
+bool TokenBucket::try_acquire(std::uint64_t bytes, util::Duration* retry_after) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (rate_ <= 0.0) return true;  // unshaped
+  refill_locked(clock_->now());
+  double chunk = std::min(static_cast<double>(bytes), burst_);
+  if (tokens_ + 1e-6 >= chunk) {
+    tokens_ = std::max(0.0, tokens_ - chunk);
+    return true;
+  }
+  double deficit = chunk - tokens_;
+  *retry_after = std::clamp(util::from_seconds(deficit / rate_),
+                            util::Duration(std::chrono::microseconds(1)),
+                            util::from_millis(50.0));
+  return false;
+}
+
 void TokenBucket::set_rate(double rate_bytes_per_sec) {
   std::lock_guard<std::mutex> lock(mu_);
   refill_locked(clock_->now());

@@ -24,6 +24,12 @@ class TokenBucket {
   /// Blocks until `bytes` tokens are available, then consumes them.
   void acquire(std::uint64_t bytes);
 
+  /// Non-blocking acquire for the reactor send path (ISSUE 6): consumes the
+  /// tokens and returns true, or leaves them and returns the refill delay in
+  /// `retry_after` (floored/capped like acquire's sleep). `bytes` must fit
+  /// one burst; callers chunk at `send_chunk` which always does.
+  bool try_acquire(std::uint64_t bytes, util::Duration* retry_after);
+
   /// Changes the rate on the fly (the bench re-shapes between runs, like
   /// re-invoking rshaper).
   void set_rate(double rate_bytes_per_sec);

@@ -1,5 +1,7 @@
 #include "net/poller.h"
 
+#include <cerrno>
+
 #include <poll.h>
 
 namespace smartsock::net {
@@ -13,14 +15,34 @@ int poll_sockets(std::vector<PollEntry>& entries, util::Duration timeout) {
     if (entry.want_write) events |= POLLOUT;
     fds.push_back(pollfd{entry.fd, events, 0});
   }
-  int timeout_ms =
-      static_cast<int>(std::chrono::duration_cast<std::chrono::milliseconds>(timeout).count());
-  int ready = ::poll(fds.data(), fds.size(), timeout_ms);
-  if (ready < 0) return -1;
+
+  // Retry on EINTR with the remaining budget, so a signal delivered to the
+  // polling thread (profilers, timers) never surfaces as a spurious error.
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(timeout);
+  int ready;
+  for (;;) {
+    auto remaining = deadline - std::chrono::steady_clock::now();
+    if (remaining < std::chrono::steady_clock::duration::zero()) {
+      remaining = std::chrono::steady_clock::duration::zero();
+    }
+    int timeout_ms = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(remaining).count());
+    ready = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (ready >= 0) break;
+    if (errno != EINTR) return -1;
+    if (timeout_ms == 0) {  // budget exhausted mid-signal: report timeout
+      ready = 0;
+      break;
+    }
+  }
+
   for (std::size_t i = 0; i < entries.size(); ++i) {
     entries[i].readable = (fds[i].revents & POLLIN) != 0;
     entries[i].writable = (fds[i].revents & POLLOUT) != 0;
-    entries[i].hangup = (fds[i].revents & (POLLHUP | POLLERR)) != 0;
+    // POLLNVAL (fd closed behind the poller's back) counts as a hangup: the
+    // entry is dead and must be culled, not silently reported as idle.
+    entries[i].hangup = (fds[i].revents & (POLLHUP | POLLERR | POLLNVAL)) != 0;
   }
   return ready;
 }

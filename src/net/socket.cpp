@@ -1,5 +1,6 @@
 #include "net/socket.h"
 
+#include <fcntl.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
@@ -72,6 +73,14 @@ bool Socket::set_send_timeout(util::Duration timeout) {
   if (fd_ < 0) return false;
   timeval tv = to_timeval(timeout);
   return ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) == 0;
+}
+
+bool Socket::set_nonblocking(bool on) {
+  if (fd_ < 0) return false;
+  int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) return false;
+  int updated = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  return ::fcntl(fd_, F_SETFL, updated) == 0;
 }
 
 bool Socket::set_reuse_address(bool on) {

@@ -50,6 +50,9 @@ class Socket {
   /// Sets SO_REUSEADDR (used by restartable daemons).
   bool set_reuse_address(bool on);
 
+  /// Toggles O_NONBLOCK; reactor-owned sockets run non-blocking.
+  bool set_nonblocking(bool on);
+
   /// Attaches a traffic counter; every send/recv through subclasses is
   /// accounted to it. May be nullptr (no accounting).
   void set_traffic_counter(util::TrafficCounter* counter) { counter_ = counter; }

@@ -32,4 +32,13 @@ std::optional<TcpSocket> TcpListener::accept(util::Duration timeout) {
   return TcpSocket(client);
 }
 
+std::optional<TcpSocket> TcpListener::try_accept() {
+  int client;
+  do {
+    client = ::accept(fd_, nullptr, nullptr);
+  } while (client < 0 && errno == EINTR);
+  if (client < 0) return std::nullopt;
+  return TcpSocket(client);
+}
+
 }  // namespace smartsock::net

@@ -21,6 +21,10 @@ class TcpListener : public Socket {
   /// Accepts one connection, waiting at most `timeout`. nullopt on timeout
   /// or error.
   std::optional<TcpSocket> accept(util::Duration timeout);
+
+  /// Non-blocking accept: one pending connection or nullopt right away
+  /// (reactor accept path; pair with set_nonblocking(true)).
+  std::optional<TcpSocket> try_accept();
 };
 
 }  // namespace smartsock::net

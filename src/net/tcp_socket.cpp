@@ -75,6 +75,32 @@ IoResult TcpSocket::send_all(std::string_view data) {
   return IoResult{IoStatus::kOk, sent, 0};
 }
 
+IoResult TcpSocket::send_some(std::string_view data) {
+  std::size_t limit = data.size();
+  if (FaultInjector* fault = active_fault_injector()) {
+    if (fault->reset_send()) {
+      close();
+      return IoResult{IoStatus::kError, 0, ECONNRESET};
+    }
+    limit = fault->truncate_send(data.size());
+  }
+  ssize_t n;
+  do {
+    n = ::send(fd_, data.data(), limit, MSG_NOSIGNAL);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult{IoStatus::kTimeout, 0, errno};
+    return IoResult{IoStatus::kError, 0, errno};
+  }
+  if (limit < data.size() && static_cast<std::size_t>(n) == limit) {
+    // Injected partial write: the peer sees a half-written stream then RST.
+    close();
+    return IoResult{IoStatus::kError, static_cast<std::size_t>(n), EPIPE};
+  }
+  if (counter_) counter_->add_sent(static_cast<std::uint64_t>(n));
+  return IoResult{IoStatus::kOk, static_cast<std::size_t>(n), 0};
+}
+
 IoResult TcpSocket::receive_exact(std::string& out, std::size_t size) {
   if (FaultInjector* fault = active_fault_injector()) {
     if (fault->reset_recv()) {
@@ -106,8 +132,18 @@ IoResult TcpSocket::receive_exact(std::string& out, std::size_t size) {
 }
 
 IoResult TcpSocket::receive_some(std::string& out, std::size_t max_size) {
+  if (FaultInjector* fault = active_fault_injector()) {
+    if (fault->reset_recv()) {
+      close();
+      out.clear();
+      return IoResult{IoStatus::kError, 0, ECONNRESET};
+    }
+  }
   out.resize(max_size);
-  ssize_t n = ::recv(fd_, out.data(), max_size, 0);
+  ssize_t n;
+  do {
+    n = ::recv(fd_, out.data(), max_size, 0);
+  } while (n < 0 && errno == EINTR);
   if (n == 0) {
     out.clear();
     return IoResult{IoStatus::kClosed, 0, 0};

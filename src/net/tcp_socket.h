@@ -23,6 +23,10 @@ class TcpSocket : public Socket {
   /// Sends the entire buffer, looping over partial writes.
   IoResult send_all(std::string_view data);
 
+  /// Single send attempt (non-blocking sockets: kTimeout = EAGAIN, write
+  /// later). Routes through the fault injector like send_all.
+  IoResult send_some(std::string_view data);
+
   /// Receives exactly `size` bytes into `out` (resized), looping over partial
   /// reads. kClosed if the peer shut down mid-message.
   IoResult receive_exact(std::string& out, std::size_t size);

@@ -123,31 +123,113 @@ bool StatsServer::dump_now() {
   return true;
 }
 
+// --- reactor-hosted serving (ISSUE 6) -----------------------------------------
+//
+// One admin connection = one Connection object + two loop timers: the
+// command deadline (reply with whatever arrived, like the blocking path's
+// slow-drip bound) and the write deadline (a client that never reads cannot
+// pin the buffered reply forever).
+
+struct StatsServer::ClientState {
+  std::string command;
+  bool replied = false;
+  net::TimerId command_deadline = 0;
+  net::TimerId write_deadline = 0;
+};
+
+void StatsServer::reply(net::Connection& client, ClientState& state) {
+  if (state.replied) return;
+  state.replied = true;
+  if (state.command_deadline != 0) {
+    reactor_->cancel_timer(state.command_deadline);
+    state.command_deadline = 0;
+  }
+  client.send(render(state.command));
+  client.close_after_flush();
+  if (!client.closing() || client.pending_output() > 0) {
+    net::Connection* raw = &client;
+    state.write_deadline =
+        reactor_->add_timer(config_.io_timeout, [raw] { raw->close_now(); });
+  }
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void StatsServer::on_client_data(net::Connection& client) {
+  auto state = std::static_pointer_cast<ClientState>(client.user_data);
+  std::string& in = client.input();
+  std::size_t used = 0;
+  while (!state->replied && used < in.size() && state->command.size() < 64) {
+    char ch = in[used++];
+    if (ch == '\n') {
+      reply(client, *state);
+      break;
+    }
+    if (ch != '\r') state->command += ch;
+  }
+  client.consume(used);
+  if (!state->replied && state->command.size() >= 64) reply(client, *state);
+}
+
+void StatsServer::on_client(net::TcpSocket socket) {
+  net::ConnectionHandler handler;
+  handler.on_data = [this](net::Connection& client) { on_client_data(client); };
+  handler.on_close = [this](net::Connection& client, bool) {
+    auto state = std::static_pointer_cast<ClientState>(client.user_data);
+    if (state) {
+      if (state->command_deadline != 0) reactor_->cancel_timer(state->command_deadline);
+      if (state->write_deadline != 0) reactor_->cancel_timer(state->write_deadline);
+    }
+    clients_.erase(&client);
+  };
+  net::Connection* client = reactor_->add_connection(std::move(socket), handler);
+  if (client == nullptr) return;
+  clients_.insert(client);
+  auto state = std::make_shared<ClientState>();
+  client->user_data = state;
+  state->command_deadline = reactor_->add_timer(config_.command_timeout, [this, client] {
+    auto held = std::static_pointer_cast<ClientState>(client->user_data);
+    held->command_deadline = 0;
+    reply(*client, *held);  // deadline hit: answer whatever arrived so far
+  });
+}
+
 bool StatsServer::start() {
-  if (!listener_.valid() || thread_.joinable()) return false;
-  stop_requested_.store(false, std::memory_order_release);
-  thread_ = std::thread([this] { run_loop(); });
+  if (!listener_.valid() || reactor_ != nullptr) return false;
+  if (config_.reactor != nullptr) {
+    reactor_ = config_.reactor;
+  } else {
+    own_reactor_ = std::make_unique<net::Reactor>();
+    reactor_ = own_reactor_.get();
+  }
+  listener_id_ = reactor_->add_listener(
+      &listener_, [this](net::TcpSocket socket) { on_client(std::move(socket)); });
+  if (config_.dump_interval.count() > 0 && !config_.dump_path.empty()) {
+    dump_timer_ = reactor_->add_periodic(config_.dump_interval, [this] { dump_now(); });
+  }
+  if (own_reactor_ && !own_reactor_->start()) {
+    own_reactor_.reset();
+    reactor_ = nullptr;
+    return false;
+  }
   return true;
 }
 
 void StatsServer::stop() {
-  stop_requested_.store(true, std::memory_order_release);
-  if (thread_.joinable()) thread_.join();
-}
-
-void StatsServer::run_loop() {
-  bool dumping = config_.dump_interval.count() > 0 && !config_.dump_path.empty();
-  util::Duration last_dump = util::SteadyClock::instance().now();
-  while (!stop_requested_.load(std::memory_order_acquire)) {
-    serve_once(std::chrono::milliseconds(50));
-    if (dumping) {
-      util::Duration now = util::SteadyClock::instance().now();
-      if (now - last_dump >= config_.dump_interval) {
-        dump_now();
-        last_dump = now;
-      }
-    }
-  }
+  if (reactor_ == nullptr) return;
+  net::Reactor* reactor = reactor_;
+  if (own_reactor_) own_reactor_->stop();
+  reactor->run_on_loop([this] {
+    if (listener_id_ != 0) reactor_->remove_listener(listener_id_);
+    if (dump_timer_ != 0) reactor_->cancel_timer(dump_timer_);
+    std::vector<net::Connection*> open(clients_.begin(), clients_.end());
+    for (net::Connection* client : open) client->close_now();
+  });
+  listener_id_ = 0;
+  dump_timer_ = 0;
+  own_reactor_.reset();
+  reactor_ = nullptr;
+  // serve_once() (the blocking path) stays usable after stop().
+  listener_.set_nonblocking(false);
 }
 
 }  // namespace smartsock::obs

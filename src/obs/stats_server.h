@@ -1,5 +1,5 @@
 // Live stats / introspection endpoint (ISSUE 2 tentpole, part 3; flight
-// recorder commands added by ISSUE 4).
+// recorder commands added by ISSUE 4; reactor-hosted since ISSUE 6).
 //
 // Every daemon can serve its MetricsRegistry snapshot over a TCP admin port
 // (the NEOS-style administrative status interface). Protocol: the client
@@ -14,6 +14,12 @@
 //
 // `smartsock_stats` is the matching CLI.
 //
+// Since ISSUE 6 the served side runs on a net::Reactor: started servers
+// multiplex every admin client on one event loop (their own, or a shared
+// per-daemon loop via config.reactor) instead of serving connections one at
+// a time, and the command/write deadlines are loop timers. The blocking
+// serve_once() entry point is unchanged for polling/tests.
+//
 // Optionally the server also appends a compact JSON snapshot line to a file
 // every `dump_interval` (JSONL, one object per line) so the cluster harness
 // can post-mortem a run without having polled the port.
@@ -21,9 +27,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
-#include <thread>
+#include <unordered_set>
 
+#include "net/reactor.h"
 #include "net/tcp_listener.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
@@ -51,6 +59,8 @@ struct StatsServerConfig {
   SpanStore* spans = &SpanStore::instance();
   TimeSeriesRecorder* history = nullptr;
   HealthEngine* health = nullptr;
+  /// Shared per-daemon event loop; null = the server runs its own reactor.
+  net::Reactor* reactor = nullptr;
 };
 
 class StatsServer {
@@ -85,15 +95,23 @@ class StatsServer {
   }
 
  private:
-  void run_loop();
+  struct ClientState;
+
+  void on_client(net::TcpSocket socket);        // loop thread
+  void on_client_data(net::Connection& client);  // loop thread
+  void reply(net::Connection& client, ClientState& state);
 
   StatsServerConfig config_;
   MetricsRegistry* registry_;
   net::TcpListener listener_;
   net::Endpoint endpoint_;
 
-  std::thread thread_;
-  std::atomic<bool> stop_requested_{false};
+  std::unique_ptr<net::Reactor> own_reactor_;
+  net::Reactor* reactor_ = nullptr;  // non-null while started
+  net::ListenerId listener_id_ = 0;
+  net::TimerId dump_timer_ = 0;
+  std::unordered_set<net::Connection*> clients_;  // loop-thread-only
+
   std::atomic<std::uint64_t> requests_served_{0};
 };
 

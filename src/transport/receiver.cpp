@@ -1,5 +1,7 @@
 #include "transport/receiver.h"
 
+#include <functional>
+
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "obs/trace.h"
@@ -32,6 +34,209 @@ bool apply_upserts(std::string_view payload, Put put) {
 
 }  // namespace
 
+// One transfer's frame state machine. The blocking path feeds it whole
+// frames from read_frame; the reactor path feeds it frames cut out of the
+// connection's input buffer by try_parse_frame. Both end in finish(), which
+// seals the span and the counters exactly once.
+struct Receiver::IngestSession {
+  Receiver* owner;
+  std::function<bool(std::string)> send_reply;  // kDeltaAccept transport
+  std::string peer;
+  obs::Span span;
+  std::string trace_id;
+
+  std::size_t frames = 0;
+  bool applied = false;
+  // Delta-transfer state for this connection. An offer names the source;
+  // the commit at the end is what advances replica_states_ for it.
+  bool saw_offer = false;
+  bool saw_full_db = false;
+  bool saw_delta_frames = false;
+  bool committed = false;
+  std::uint64_t source_id = 0;
+  // A damaged stream — truncated frame, unknown type, oversized or
+  // undecodable payload — aborts the connection instead of masquerading as
+  // end-of-snapshot (the pre-ISSUE-3 behaviour silently dropped the rest of
+  // the transfer).
+  const char* damage = nullptr;
+  bool finished = false;
+
+  IngestSession(Receiver* owner, std::string trace, std::function<bool(std::string)> send,
+                std::string peer)
+      : owner(owner),
+        send_reply(std::move(send)),
+        peer(std::move(peer)),
+        span("receiver", "ingest", trace),
+        trace_id(std::move(trace)) {}
+
+  /// Applies one frame; false means the stream is damaged and the
+  /// connection must be aborted.
+  bool on_frame(const Frame& frame) {
+    if (!owner->config_.delta_enabled && frame.type > FrameType::kTraceContext) {
+      // Pre-delta behaviour: replication frames are outside the known range
+      // and desync the stream. Keeps this build usable as an "old receiver"
+      // in compatibility tests.
+      damage = to_string(FrameReadError::kBadType);
+      return false;
+    }
+    ++frames;
+    switch (frame.type) {
+      case FrameType::kTraceContext:
+        // The transmitter's trace id for this snapshot — adopt it so both
+        // halves of the transfer reconstruct as one trace.
+        trace_id = frame.payload;
+        span.set_trace_id(trace_id);
+        obs::TraceEvent(util::LogLevel::kDebug, "receiver", "snapshot_recv", trace_id)
+            .kv("peer", peer);
+        break;
+      case FrameType::kSysDb:
+        if (auto records = decode_records<ipc::SysRecord>(frame.payload)) {
+          owner->store_->replace_sys(*records);
+          applied = true;
+          saw_full_db = true;
+        } else {
+          damage = "undecodable sys records";
+        }
+        break;
+      case FrameType::kNetDb:
+        if (auto records = decode_records<ipc::NetRecord>(frame.payload)) {
+          owner->store_->replace_net(*records);
+          applied = true;
+          saw_full_db = true;
+        } else {
+          damage = "undecodable net records";
+        }
+        break;
+      case FrameType::kSecDb:
+        if (auto records = decode_records<ipc::SecRecord>(frame.payload)) {
+          owner->store_->replace_sec(*records);
+          applied = true;
+          saw_full_db = true;
+        } else {
+          damage = "undecodable sec records";
+        }
+        break;
+      case FrameType::kDeltaOffer: {
+        auto offer = decode_delta_offer(frame.payload);
+        if (!offer) {
+          damage = "undecodable delta offer";
+          break;
+        }
+        saw_offer = true;
+        source_id = offer->source_id;
+        DeltaState acked{};
+        {
+          std::lock_guard<std::mutex> lock(owner->replica_mu_);
+          auto it = owner->replica_states_.find(source_id);
+          if (it != owner->replica_states_.end()) acked = it->second;
+        }
+        if (!send_reply(encode_frame(FrameType::kDeltaAccept, encode_delta_state(acked)))) {
+          damage = "delta accept send failed";
+        }
+        break;
+      }
+      case FrameType::kSysTombstone:
+        saw_delta_frames = true;
+        if (!apply_tombstones<ipc::SysKey>(frame.payload, [this](const ipc::SysKey& k) {
+              owner->store_->erase_sys(k);
+            })) {
+          damage = "undecodable sys tombstones";
+        }
+        break;
+      case FrameType::kNetTombstone:
+        saw_delta_frames = true;
+        if (!apply_tombstones<ipc::NetKey>(frame.payload, [this](const ipc::NetKey& k) {
+              owner->store_->erase_net(k);
+            })) {
+          damage = "undecodable net tombstones";
+        }
+        break;
+      case FrameType::kSecTombstone:
+        saw_delta_frames = true;
+        if (!apply_tombstones<ipc::SecKey>(frame.payload, [this](const ipc::SecKey& k) {
+              owner->store_->erase_sec(k);
+            })) {
+          damage = "undecodable sec tombstones";
+        }
+        break;
+      case FrameType::kSysDelta:
+        saw_delta_frames = true;
+        if (!apply_upserts<ipc::SysRecord>(frame.payload, [this](const ipc::SysRecord& r) {
+              owner->store_->put_sys(r);
+            })) {
+          damage = "undecodable sys delta";
+        }
+        break;
+      case FrameType::kNetDelta:
+        saw_delta_frames = true;
+        if (!apply_upserts<ipc::NetRecord>(frame.payload, [this](const ipc::NetRecord& r) {
+              owner->store_->put_net(r);
+            })) {
+          damage = "undecodable net delta";
+        }
+        break;
+      case FrameType::kSecDelta:
+        saw_delta_frames = true;
+        if (!apply_upserts<ipc::SecRecord>(frame.payload, [this](const ipc::SecRecord& r) {
+              owner->store_->put_sec(r);
+            })) {
+          damage = "undecodable sec delta";
+        }
+        break;
+      case FrameType::kDeltaCommit: {
+        auto state = decode_delta_state(frame.payload);
+        if (!state || !saw_offer) {
+          damage = !state ? "undecodable delta commit" : "commit without offer";
+          break;
+        }
+        {
+          std::lock_guard<std::mutex> lock(owner->replica_mu_);
+          owner->replica_states_[source_id] = *state;
+        }
+        committed = true;
+        applied = true;
+        break;
+      }
+      case FrameType::kDeltaAccept:
+        damage = "unexpected delta accept";  // receiver-to-transmitter only
+        break;
+      case FrameType::kUpdateRequest:
+        break;  // not meaningful on this side
+    }
+    return damage == nullptr;
+  }
+
+  /// Seals the transfer: span tags, counters, warn log on damage. Safe to
+  /// call more than once; only the first call counts. Returns whether the
+  /// transfer applied anything (false for damaged streams).
+  bool finish() {
+    if (finished) return damage == nullptr && applied;
+    finished = true;
+    // An incremental transfer counts only once sealed by its commit; an
+    // empty delta (heartbeat with no changes) still counts — the replica
+    // provably caught up to the transmitter's version.
+    bool delta_applied = committed && !saw_full_db;
+    span.tag("frames", frames)
+        .tag("applied", applied)
+        .tag("delta", delta_applied)
+        .tag("delta_frames", saw_delta_frames)
+        .tag("damaged", damage != nullptr);
+    if (damage != nullptr) {
+      owner->malformed_frames_.fetch_add(1, std::memory_order_relaxed);
+      obs::MetricsRegistry::instance().counter("receiver_malformed_frames_total")->inc();
+      SMARTSOCK_LOG(kWarn, "receiver")
+          << "aborting ingest connection on damaged frame stream: " << damage;
+      return false;
+    }
+    if (delta_applied) {
+      owner->deltas_applied_.fetch_add(1, std::memory_order_relaxed);
+      owner->deltas_applied_counter_->inc();
+    }
+    if (applied) owner->snapshots_received_.fetch_add(1, std::memory_order_relaxed);
+    return applied;
+  }
+};
+
 Receiver::Receiver(ReceiverConfig config, ipc::StatusStore& store)
     : config_(std::move(config)),
       store_(&store),
@@ -53,182 +258,108 @@ bool Receiver::ingest(net::TcpSocket& socket, std::string trace_id) {
   socket.set_traffic_counter(traffic_);
   socket.set_receive_timeout(config_.io_timeout);
   socket.set_send_timeout(config_.io_timeout);
-  obs::Span span("receiver", "ingest", trace_id);
-  std::size_t frames = 0;
-  bool applied = false;
-  // Delta-transfer state for this connection. An offer names the source;
-  // the commit at the end is what advances replica_states_ for it.
-  bool saw_offer = false;
-  bool saw_full_db = false;
-  bool saw_delta_frames = false;
-  bool committed = false;
-  std::uint64_t source_id = 0;
+  IngestSession session(
+      this, std::move(trace_id),
+      [&socket](std::string bytes) { return socket.send_all(bytes).ok(); },
+      socket.peer_endpoint().to_string());
   // One connection carries up to three database frames; a clean EOF on a
-  // frame boundary ends it. A damaged stream — truncated frame, unknown
-  // type, oversized or undecodable payload — aborts the connection instead
-  // of masquerading as end-of-snapshot (the pre-ISSUE-3 behaviour silently
-  // dropped the rest of the transfer).
-  const char* damage = nullptr;
+  // frame boundary ends it.
   FrameReadError why = FrameReadError::kNone;
-  while (damage == nullptr) {
+  while (session.damage == nullptr) {
     auto frame = read_frame(socket, &why);
     if (!frame) {
-      if (why != FrameReadError::kEof) damage = to_string(why);
+      if (why != FrameReadError::kEof) session.damage = to_string(why);
       break;
     }
-    if (!config_.delta_enabled && frame->type > FrameType::kTraceContext) {
-      // Pre-delta behaviour: replication frames are outside the known range
-      // and desync the stream. Keeps this build usable as an "old receiver"
-      // in compatibility tests.
-      damage = to_string(FrameReadError::kBadType);
-      break;
-    }
-    ++frames;
-    switch (frame->type) {
-      case FrameType::kTraceContext:
-        // The transmitter's trace id for this snapshot — adopt it so both
-        // halves of the transfer reconstruct as one trace.
-        trace_id = frame->payload;
-        span.set_trace_id(trace_id);
-        obs::TraceEvent(util::LogLevel::kDebug, "receiver", "snapshot_recv", trace_id)
-            .kv("peer", socket.peer_endpoint().to_string());
-        break;
-      case FrameType::kSysDb:
-        if (auto records = decode_records<ipc::SysRecord>(frame->payload)) {
-          store_->replace_sys(*records);
-          applied = true;
-          saw_full_db = true;
-        } else {
-          damage = "undecodable sys records";
-        }
-        break;
-      case FrameType::kNetDb:
-        if (auto records = decode_records<ipc::NetRecord>(frame->payload)) {
-          store_->replace_net(*records);
-          applied = true;
-          saw_full_db = true;
-        } else {
-          damage = "undecodable net records";
-        }
-        break;
-      case FrameType::kSecDb:
-        if (auto records = decode_records<ipc::SecRecord>(frame->payload)) {
-          store_->replace_sec(*records);
-          applied = true;
-          saw_full_db = true;
-        } else {
-          damage = "undecodable sec records";
-        }
-        break;
-      case FrameType::kDeltaOffer: {
-        auto offer = decode_delta_offer(frame->payload);
-        if (!offer) {
-          damage = "undecodable delta offer";
-          break;
-        }
-        saw_offer = true;
-        source_id = offer->source_id;
-        DeltaState acked{};
-        {
-          std::lock_guard<std::mutex> lock(replica_mu_);
-          auto it = replica_states_.find(source_id);
-          if (it != replica_states_.end()) acked = it->second;
-        }
-        if (!socket.send_all(encode_frame(FrameType::kDeltaAccept,
-                                          encode_delta_state(acked)))
-                 .ok()) {
-          damage = "delta accept send failed";
-        }
-        break;
-      }
-      case FrameType::kSysTombstone:
-        saw_delta_frames = true;
-        if (!apply_tombstones<ipc::SysKey>(
-                frame->payload, [this](const ipc::SysKey& k) { store_->erase_sys(k); })) {
-          damage = "undecodable sys tombstones";
-        }
-        break;
-      case FrameType::kNetTombstone:
-        saw_delta_frames = true;
-        if (!apply_tombstones<ipc::NetKey>(
-                frame->payload, [this](const ipc::NetKey& k) { store_->erase_net(k); })) {
-          damage = "undecodable net tombstones";
-        }
-        break;
-      case FrameType::kSecTombstone:
-        saw_delta_frames = true;
-        if (!apply_tombstones<ipc::SecKey>(
-                frame->payload, [this](const ipc::SecKey& k) { store_->erase_sec(k); })) {
-          damage = "undecodable sec tombstones";
-        }
-        break;
-      case FrameType::kSysDelta:
-        saw_delta_frames = true;
-        if (!apply_upserts<ipc::SysRecord>(
-                frame->payload, [this](const ipc::SysRecord& r) { store_->put_sys(r); })) {
-          damage = "undecodable sys delta";
-        }
-        break;
-      case FrameType::kNetDelta:
-        saw_delta_frames = true;
-        if (!apply_upserts<ipc::NetRecord>(
-                frame->payload, [this](const ipc::NetRecord& r) { store_->put_net(r); })) {
-          damage = "undecodable net delta";
-        }
-        break;
-      case FrameType::kSecDelta:
-        saw_delta_frames = true;
-        if (!apply_upserts<ipc::SecRecord>(
-                frame->payload, [this](const ipc::SecRecord& r) { store_->put_sec(r); })) {
-          damage = "undecodable sec delta";
-        }
-        break;
-      case FrameType::kDeltaCommit: {
-        auto state = decode_delta_state(frame->payload);
-        if (!state || !saw_offer) {
-          damage = !state ? "undecodable delta commit" : "commit without offer";
-          break;
-        }
-        {
-          std::lock_guard<std::mutex> lock(replica_mu_);
-          replica_states_[source_id] = *state;
-        }
-        committed = true;
-        applied = true;
-        break;
-      }
-      case FrameType::kDeltaAccept:
-        damage = "unexpected delta accept";  // receiver-to-transmitter only
-        break;
-      case FrameType::kUpdateRequest:
-        break;  // not meaningful on this side
-    }
+    if (!session.on_frame(*frame)) break;
   }
-  // An incremental transfer counts only once sealed by its commit; an empty
-  // delta (heartbeat with no changes) still counts — the replica provably
-  // caught up to the transmitter's version.
-  bool delta_applied = committed && !saw_full_db;
-  span.tag("frames", frames)
-      .tag("applied", applied)
-      .tag("delta", delta_applied)
-      .tag("delta_frames", saw_delta_frames)
-      .tag("damaged", damage != nullptr);
-  if (damage != nullptr) {
-    malformed_frames_.fetch_add(1, std::memory_order_relaxed);
-    obs::MetricsRegistry::instance()
-        .counter("receiver_malformed_frames_total")
-        ->inc();
-    SMARTSOCK_LOG(kWarn, "receiver")
-        << "aborting ingest connection on damaged frame stream: " << damage;
+  bool applied = session.finish();
+  if (session.damage != nullptr) {
     socket.close();
     return false;
   }
-  if (delta_applied) {
-    deltas_applied_.fetch_add(1, std::memory_order_relaxed);
-    deltas_applied_counter_->inc();
-  }
-  if (applied) snapshots_received_.fetch_add(1, std::memory_order_relaxed);
   return applied;
+}
+
+// --- reactor-hosted serving (ISSUE 6) -----------------------------------------
+
+struct Receiver::ClientState {
+  std::unique_ptr<IngestSession> session;
+  net::TimerId idle_timer = 0;
+};
+
+void Receiver::arm_idle_timer(net::Connection& client, ClientState& state) {
+  if (state.idle_timer != 0) reactor_->cancel_timer(state.idle_timer);
+  net::Connection* raw = &client;
+  // Matches the blocking path's receive timeout: a transmitter that stalls
+  // mid-transfer is a truncated stream, not a clean end.
+  state.idle_timer = reactor_->add_timer(config_.io_timeout, [raw] {
+    auto held = std::static_pointer_cast<ClientState>(raw->user_data);
+    held->idle_timer = 0;
+    held->session->damage = to_string(FrameReadError::kTruncated);
+    held->session->finish();
+    raw->close_now();
+  });
+}
+
+void Receiver::on_client_data(net::Connection& client) {
+  auto state = std::static_pointer_cast<ClientState>(client.user_data);
+  arm_idle_timer(client, *state);  // any progress resets the deadline
+  Frame frame;
+  std::size_t consumed = 0;
+  FrameReadError why = FrameReadError::kNone;
+  while (!client.closing()) {
+    FrameParseStatus status = try_parse_frame(client.input(), &frame, &consumed, &why);
+    if (status == FrameParseStatus::kNeedMore) return;
+    if (status == FrameParseStatus::kBad) {
+      state->session->damage = to_string(why);
+      state->session->finish();
+      client.close_now();
+      return;
+    }
+    client.consume(consumed);
+    if (!state->session->on_frame(frame)) {
+      state->session->finish();
+      client.close_now();
+      return;
+    }
+  }
+}
+
+void Receiver::on_client(net::TcpSocket socket) {
+  socket.set_traffic_counter(traffic_);
+  net::ConnectionHandler handler;
+  handler.on_data = [this](net::Connection& client) { on_client_data(client); };
+  handler.on_close = [this](net::Connection& client, bool clean) {
+    auto state = std::static_pointer_cast<ClientState>(client.user_data);
+    if (state) {
+      if (state->idle_timer != 0) reactor_->cancel_timer(state->idle_timer);
+      if (state->session && !state->session->finished) {
+        if (!clean) {
+          state->session->damage = to_string(FrameReadError::kTruncated);
+        } else if (!client.input().empty()) {
+          // Clean close mid-frame: the tail of the stream never arrived.
+          state->session->damage = to_string(FrameReadError::kTruncated);
+        }
+        state->session->finish();
+      }
+    }
+    clients_.erase(&client);
+  };
+  net::Connection* client = reactor_->add_connection(std::move(socket), handler);
+  if (client == nullptr) return;
+  clients_.insert(client);
+  auto state = std::make_shared<ClientState>();
+  net::Connection* raw = client;
+  state->session = std::make_unique<IngestSession>(
+      this, std::string{},
+      [raw](std::string bytes) {
+        raw->send(bytes);
+        return true;  // buffered; a dead peer surfaces via on_close
+      },
+      client->socket().peer_endpoint().to_string());
+  client->user_data = state;
+  arm_idle_timer(*client, *state);
 }
 
 bool Receiver::accept_once(util::Duration timeout) {
@@ -270,21 +401,37 @@ bool Receiver::pull_from(const net::Endpoint& transmitter) {
 }
 
 bool Receiver::start() {
-  if (!listener_.valid() || thread_.joinable()) return false;
-  stop_requested_.store(false, std::memory_order_release);
-  thread_ = std::thread([this] { run_loop(); });
+  if (!listener_.valid() || reactor_ != nullptr) return false;
+  if (config_.reactor != nullptr) {
+    reactor_ = config_.reactor;
+  } else {
+    own_reactor_ = std::make_unique<net::Reactor>();
+    reactor_ = own_reactor_.get();
+  }
+  listener_id_ = reactor_->add_listener(
+      &listener_, [this](net::TcpSocket socket) { on_client(std::move(socket)); });
+  if (own_reactor_ && !own_reactor_->start()) {
+    own_reactor_.reset();
+    reactor_ = nullptr;
+    return false;
+  }
   return true;
 }
 
 void Receiver::stop() {
-  stop_requested_.store(true, std::memory_order_release);
-  if (thread_.joinable()) thread_.join();
-}
-
-void Receiver::run_loop() {
-  while (!stop_requested_.load(std::memory_order_acquire)) {
-    accept_once(std::chrono::milliseconds(50));
-  }
+  if (reactor_ == nullptr) return;
+  net::Reactor* reactor = reactor_;
+  if (own_reactor_) own_reactor_->stop();
+  reactor->run_on_loop([this] {
+    if (listener_id_ != 0) reactor_->remove_listener(listener_id_);
+    std::vector<net::Connection*> open(clients_.begin(), clients_.end());
+    for (net::Connection* client : open) client->close_now();
+  });
+  listener_id_ = 0;
+  own_reactor_.reset();
+  reactor_ = nullptr;
+  // accept_once() (the blocking path) stays usable after stop().
+  listener_.set_nonblocking(false);
 }
 
 }  // namespace smartsock::transport

@@ -12,15 +12,24 @@
 // Replica state advances only on kDeltaCommit, so a transfer cut short by
 // the network is simply re-covered by the next push (upserts and tombstone
 // deletes are idempotent).
+//
+// ISSUE 6: started receivers host their listener on a net::Reactor (their
+// own, or a shared per-daemon loop via config.reactor). Every pushing
+// transmitter becomes one Connection whose buffered input is fed through the
+// incremental frame parser, so many concurrent pushes interleave on one
+// loop thread instead of serializing behind a blocking accept loop. The
+// blocking accept_once()/pull_from() entry points are unchanged.
 #pragma once
 
 #include <atomic>
+#include <memory>
 #include <mutex>
-#include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "ipc/status_store.h"
+#include "net/reactor.h"
 #include "net/tcp_listener.h"
 #include "obs/metrics.h"
 #include "transport/record_codec.h"
@@ -43,6 +52,9 @@ struct ReceiverConfig {
   /// like a pre-ISSUE-5 receiver: any replication frame beyond the original
   /// five types aborts the connection as a damaged stream.
   bool delta_enabled = true;
+
+  /// Shared per-daemon event loop; null = the receiver runs its own reactor.
+  net::Reactor* reactor = nullptr;
 };
 
 class Receiver {
@@ -56,7 +68,7 @@ class Receiver {
   /// The TCP endpoint transmitters push to (resolved after bind).
   net::Endpoint endpoint() const { return endpoint_; }
 
-  /// Centralized mode: background accept loop.
+  /// Centralized mode: reactor-hosted accept loop.
   bool start();
   void stop();
 
@@ -84,12 +96,20 @@ class Receiver {
   bool valid() const { return listener_.valid(); }
 
  private:
-  void run_loop();
+  /// One transfer's frame state machine, shared by the blocking ingest loop
+  /// and the reactor's incremental parse path (defined in receiver.cpp).
+  struct IngestSession;
+  struct ClientState;
+
   bool ingest(net::TcpSocket& socket);
   /// `trace_id` seeds the ingest span for the pull path; the push path
   /// starts untraced and adopts the id from the kTraceContext frame.
   bool ingest(net::TcpSocket& socket, std::string trace_id);
   bool pull_once(const net::Endpoint& transmitter);
+
+  void on_client(net::TcpSocket socket);         // loop thread
+  void on_client_data(net::Connection& client);  // loop thread
+  void arm_idle_timer(net::Connection& client, ClientState& state);
 
   ReceiverConfig config_;
   ipc::StatusStore* store_;
@@ -109,8 +129,11 @@ class Receiver {
   std::mutex replica_mu_;
   std::unordered_map<std::uint64_t, DeltaState> replica_states_;
 
-  std::thread thread_;
-  std::atomic<bool> stop_requested_{false};
+  std::unique_ptr<net::Reactor> own_reactor_;
+  net::Reactor* reactor_ = nullptr;  // non-null while started
+  net::ListenerId listener_id_ = 0;
+  std::unordered_set<net::Connection*> clients_;  // loop-thread-only
+
   std::atomic<std::uint64_t> snapshots_received_{0};
   std::atomic<std::uint64_t> deltas_applied_{0};
   std::atomic<std::uint64_t> malformed_frames_{0};

@@ -126,4 +126,37 @@ std::optional<Frame> read_frame(net::TcpSocket& socket, FrameReadError* error) {
   return frame;
 }
 
+FrameParseStatus try_parse_frame(std::string_view buffer, Frame* frame,
+                                 std::size_t* consumed, FrameReadError* error) {
+  FrameReadError scratch = FrameReadError::kNone;
+  FrameReadError& why = error ? *error : scratch;
+  why = FrameReadError::kNone;
+  *consumed = 0;
+
+  if (buffer.size() < 8) return FrameParseStatus::kNeedMore;
+  std::uint32_t type_be = 0;
+  std::uint32_t size_be = 0;
+  std::memcpy(&type_be, buffer.data(), 4);
+  std::memcpy(&size_be, buffer.data() + 4, 4);
+  std::uint32_t type = ntohl(type_be);
+  std::uint32_t size = ntohl(size_be);
+
+  if (type < static_cast<std::uint32_t>(FrameType::kSysDb) ||
+      type > static_cast<std::uint32_t>(FrameType::kDeltaCommit)) {
+    why = FrameReadError::kBadType;
+    return FrameParseStatus::kBad;
+  }
+  if (size > kMaxPayload) {
+    why = FrameReadError::kOversized;
+    return FrameParseStatus::kBad;
+  }
+  if (buffer.size() < 8 + static_cast<std::size_t>(size)) {
+    return FrameParseStatus::kNeedMore;
+  }
+  frame->type = static_cast<FrameType>(type);
+  frame->payload.assign(buffer.data() + 8, size);
+  *consumed = 8 + static_cast<std::size_t>(size);
+  return FrameParseStatus::kFrame;
+}
+
 }  // namespace smartsock::transport

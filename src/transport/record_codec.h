@@ -74,6 +74,17 @@ std::string encode_frame(FrameType type, std::string_view payload);
 std::optional<Frame> read_frame(net::TcpSocket& socket,
                                 FrameReadError* error = nullptr);
 
+/// Incremental variant for reactor-buffered streams (ISSUE 6): parses one
+/// frame off the head of `buffer` without blocking.
+enum class FrameParseStatus {
+  kFrame,     // *frame filled; drop *consumed bytes from the buffer
+  kNeedMore,  // incomplete header/payload — wait for more bytes
+  kBad,       // damaged stream (error = kBadType/kOversized); abort
+};
+FrameParseStatus try_parse_frame(std::string_view buffer, Frame* frame,
+                                 std::size_t* consumed,
+                                 FrameReadError* error = nullptr);
+
 /// Handshake payloads travel as network-byte-order u64 fields, so they stay
 /// architecture-independent even though record payloads are not.
 struct DeltaOffer {

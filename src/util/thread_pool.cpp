@@ -35,6 +35,15 @@ void ThreadPool::worker_loop() {
   }
 }
 
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t, std::size_t)>& body) {
   if (count == 0) return;

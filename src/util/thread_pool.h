@@ -36,6 +36,10 @@ class ThreadPool {
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t, std::size_t)>& body);
 
+  /// Queues one fire-and-forget job (the reactor's offload path). Jobs
+  /// queued before destruction are drained before the workers exit.
+  void submit(std::function<void()> job);
+
  private:
   void worker_loop();
 

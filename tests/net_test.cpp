@@ -1,6 +1,9 @@
 // Unit tests for the socket substrate: endpoints, UDP, TCP, listener, poll.
 #include <gtest/gtest.h>
+#include <pthread.h>
 
+#include <atomic>
+#include <csignal>
 #include <thread>
 
 #include "net/endpoint.h"
@@ -231,6 +234,62 @@ TEST(PollerTest, TimesOutWithNothingReady) {
   entries[0].fd = a->fd();
   entries[0].want_read = true;
   EXPECT_EQ(poll_sockets(entries, 50ms), 0);
+  EXPECT_FALSE(entries[0].readable);
+}
+
+std::atomic<int> g_sigusr1_count{0};
+void count_sigusr1(int) { g_sigusr1_count.fetch_add(1, std::memory_order_relaxed); }
+
+TEST(PollerTest, RetriesAfterSignalInterruption) {
+  // A signal without SA_RESTART makes poll(2) fail with EINTR mid-wait;
+  // poll_sockets must resume with the remaining budget and still report a
+  // plain timeout, never a spurious error.
+  struct sigaction action {};
+  action.sa_handler = count_sigusr1;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // explicitly no SA_RESTART
+  struct sigaction previous {};
+  ASSERT_EQ(sigaction(SIGUSR1, &action, &previous), 0);
+
+  auto quiet = UdpSocket::bind(Endpoint::loopback(0));
+  ASSERT_TRUE(quiet);
+  std::vector<PollEntry> entries(1);
+  entries[0].fd = quiet->fd();
+  entries[0].want_read = true;
+
+  g_sigusr1_count.store(0);
+  pthread_t poller_thread = pthread_self();
+  std::thread interrupter([poller_thread] {
+    for (int i = 0; i < 4; ++i) {
+      std::this_thread::sleep_for(40ms);
+      pthread_kill(poller_thread, SIGUSR1);
+    }
+  });
+  auto start = std::chrono::steady_clock::now();
+  int ready = poll_sockets(entries, 250ms);
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  interrupter.join();
+  sigaction(SIGUSR1, &previous, nullptr);
+
+  EXPECT_EQ(ready, 0);  // timeout, not -1
+  EXPECT_FALSE(entries[0].readable);
+  EXPECT_GE(g_sigusr1_count.load(), 1);  // the wait really was interrupted
+  EXPECT_GE(elapsed, 200ms);             // and the full budget was honoured
+}
+
+TEST(PollerTest, ClosedFdSurfacesAsHangup) {
+  // An fd closed behind the poller's back comes home as POLLNVAL; callers
+  // must see a hangup so the dead entry gets culled instead of looking idle.
+  auto sock = UdpSocket::bind(Endpoint::loopback(0));
+  ASSERT_TRUE(sock);
+  int fd = sock->fd();
+  sock->close();
+  std::vector<PollEntry> entries(1);
+  entries[0].fd = fd;
+  entries[0].want_read = true;
+  int ready = poll_sockets(entries, 50ms);
+  EXPECT_GE(ready, 1);
+  EXPECT_TRUE(entries[0].hangup);
   EXPECT_FALSE(entries[0].readable);
 }
 

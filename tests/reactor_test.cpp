@@ -1,0 +1,694 @@
+// Deterministic tests for the reactor core (ISSUE 6).
+//
+// Timer-wheel behaviour runs against sim::VirtualClock with manual
+// run_once() steps, so every deadline decision is exact — no sleeps, no
+// tolerance windows. Connection behaviour uses real loopback sockets but
+// still single-threaded manual stepping: the test thread plays both the
+// loop (run_once) and the remote peer (blocking client socket), so each
+// assertion sees one well-defined interleaving.
+#include "net/reactor.h"
+
+#include <dirent.h>
+#include <sys/socket.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "net/tcp_listener.h"
+#include "net/tcp_socket.h"
+#include "obs/metrics.h"
+#include "sim/virtual_clock.h"
+#include "util/thread_pool.h"
+
+namespace smartsock::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+util::Duration ms(int n) { return std::chrono::milliseconds(n); }
+
+int count_open_fds() {
+  int count = 0;
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return -1;
+  while (::readdir(dir) != nullptr) ++count;
+  ::closedir(dir);
+  return count;
+}
+
+// --- timer wheel (virtual time) -----------------------------------------------
+
+class ReactorTimerTest : public ::testing::Test {
+ protected:
+  ReactorTimerTest() {
+    ReactorConfig config;
+    config.clock = &clock_;
+    reactor_ = std::make_unique<Reactor>(config);
+  }
+
+  /// One non-blocking loop step: dispatch + fire due timers.
+  void step() { reactor_->run_once(ms(0)); }
+
+  sim::VirtualClock clock_;
+  std::unique_ptr<Reactor> reactor_;
+};
+
+TEST_F(ReactorTimerTest, OneShotFiresAtDeadline) {
+  int fired = 0;
+  reactor_->add_timer(ms(10), [&] { ++fired; });
+  step();
+  EXPECT_EQ(fired, 0);
+  clock_.advance(ms(10));
+  step();
+  EXPECT_EQ(fired, 1);
+  clock_.advance(ms(100));
+  step();
+  EXPECT_EQ(fired, 1);  // one-shot stays one-shot
+}
+
+TEST_F(ReactorTimerTest, OneShotDoesNotFireEarly) {
+  int fired = 0;
+  reactor_->add_timer(ms(10), [&] { ++fired; });
+  clock_.advance(ms(9));
+  step();
+  EXPECT_EQ(fired, 0);
+  clock_.advance(ms(1));
+  step();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST_F(ReactorTimerTest, BatchFiresInDeadlineOrder) {
+  // The wheel hashes deadlines to slots; a batch collected out of slot order
+  // must still fire in time order.
+  std::vector<int> order;
+  reactor_->add_timer(ms(30), [&] { order.push_back(30); });
+  reactor_->add_timer(ms(10), [&] { order.push_back(10); });
+  reactor_->add_timer(ms(20), [&] { order.push_back(20); });
+  clock_.advance(ms(35));
+  step();
+  EXPECT_EQ(order, (std::vector<int>{10, 20, 30}));
+}
+
+TEST_F(ReactorTimerTest, SameDeadlineFiresInCreationOrder) {
+  std::vector<int> order;
+  TimerId first = reactor_->add_timer(ms(5), [&] { order.push_back(1); });
+  reactor_->add_timer(ms(5), [&] { order.push_back(2); });
+  EXPECT_NE(first, 0u);
+  clock_.advance(ms(5));
+  step();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST_F(ReactorTimerTest, CancelPreventsFire) {
+  int fired = 0;
+  TimerId id = reactor_->add_timer(ms(10), [&] { ++fired; });
+  EXPECT_TRUE(reactor_->cancel_timer(id));
+  EXPECT_FALSE(reactor_->cancel_timer(id));  // already gone
+  clock_.advance(ms(50));
+  step();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST_F(ReactorTimerTest, CallbackCanCancelLaterTimerInSameBatch) {
+  // Both timers are due in the same advance; the first one's callback
+  // cancels the second after it was already pulled off the wheel.
+  int fired = 0;
+  TimerId victim = 0;
+  reactor_->add_timer(ms(5), [&] { reactor_->cancel_timer(victim); });
+  victim = reactor_->add_timer(ms(6), [&] { ++fired; });
+  clock_.advance(ms(10));
+  step();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST_F(ReactorTimerTest, RearmPostponesDeadline) {
+  int fired = 0;
+  TimerId id = reactor_->add_timer(ms(10), [&] { ++fired; });
+  EXPECT_TRUE(reactor_->rearm_timer(id, ms(50)));
+  clock_.advance(ms(10));
+  step();
+  EXPECT_EQ(fired, 0);  // original deadline no longer applies
+  clock_.advance(ms(40));
+  step();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST_F(ReactorTimerTest, RearmAfterFireFails) {
+  TimerId id = reactor_->add_timer(ms(5), [] {});
+  clock_.advance(ms(5));
+  step();
+  EXPECT_FALSE(reactor_->rearm_timer(id, ms(5)));
+}
+
+TEST_F(ReactorTimerTest, PeriodicFiresEveryInterval) {
+  int fired = 0;
+  TimerId id = reactor_->add_periodic(ms(10), [&] { ++fired; });
+  for (int i = 0; i < 3; ++i) {
+    clock_.advance(ms(10));
+    step();
+  }
+  EXPECT_EQ(fired, 3);
+  EXPECT_TRUE(reactor_->cancel_timer(id));
+  clock_.advance(ms(30));
+  step();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST_F(ReactorTimerTest, PeriodicCallbackCanCancelItself) {
+  int fired = 0;
+  TimerId id = 0;
+  id = reactor_->add_periodic(ms(10), [&] {
+    ++fired;
+    reactor_->cancel_timer(id);
+  });
+  clock_.advance(ms(10));
+  step();
+  clock_.advance(ms(50));
+  step();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST_F(ReactorTimerTest, ZeroDelayFiresOnNextStep) {
+  int fired = 0;
+  reactor_->add_timer(ms(0), [&] { ++fired; });
+  step();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST_F(ReactorTimerTest, DelayLongerThanOneWheelLapFiresOnce) {
+  // 600ms at a 1ms tick wraps the 512-slot wheel; the entry must not fire
+  // when its slot first comes around.
+  int fired = 0;
+  reactor_->add_timer(ms(600), [&] { ++fired; });
+  clock_.advance(ms(100));
+  step();  // slot (600 % 512) has been swept by now
+  EXPECT_EQ(fired, 0);
+  clock_.advance(ms(499));
+  step();
+  EXPECT_EQ(fired, 0);
+  clock_.advance(ms(1));
+  step();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST_F(ReactorTimerTest, ActiveTimersTracksRegistry) {
+  TimerId a = reactor_->add_timer(ms(10), [] {});
+  reactor_->add_timer(ms(20), [] {});
+  TimerId c = reactor_->add_timer(ms(30), [] {});
+  EXPECT_EQ(reactor_->active_timers(), 3u);
+  reactor_->cancel_timer(a);
+  EXPECT_EQ(reactor_->active_timers(), 2u);
+  clock_.advance(ms(20));
+  step();  // b fired
+  EXPECT_EQ(reactor_->active_timers(), 1u);
+  reactor_->cancel_timer(c);
+  EXPECT_EQ(reactor_->active_timers(), 0u);
+}
+
+TEST_F(ReactorTimerTest, TimerFiresCounterCounts) {
+  obs::Counter* fires =
+      obs::MetricsRegistry::instance().counter("reactor_timer_fires_total");
+  std::uint64_t before = fires->value();
+  reactor_->add_timer(ms(1), [] {});
+  reactor_->add_timer(ms(2), [] {});
+  clock_.advance(ms(5));
+  step();
+  EXPECT_EQ(fires->value() - before, 2u);
+}
+
+// --- connections (manual stepping over real loopback sockets) -----------------
+
+struct TestPeer {
+  TcpListener listener;
+  TcpSocket client;  // blocking, driven by the test thread
+  Connection* server = nullptr;
+};
+
+/// Connects a blocking client to a fresh loopback listener and adopts the
+/// accepted side into the reactor. `small_buffers` pins SO_SNDBUF/SO_RCVBUF
+/// to that many bytes so tests can overflow the kernel's socket buffers
+/// with modest payloads (backpressure/partial-write paths).
+TestPeer make_peer(Reactor& reactor, ConnectionHandler handler, int small_buffers = 0) {
+  TestPeer peer;
+  auto listener = TcpListener::listen(Endpoint::loopback(0));
+  EXPECT_TRUE(listener.has_value());
+  peer.listener = std::move(*listener);
+  auto client = TcpSocket::connect(peer.listener.local_endpoint(), 1s);
+  EXPECT_TRUE(client.has_value());
+  peer.client = std::move(*client);
+  // Short timeout: the test thread alternates between client reads and
+  // run_once() loop steps, so a read that races ahead of the loop must fail
+  // fast and retry on the next round rather than stall the test.
+  peer.client.set_receive_timeout(100ms);
+  auto accepted = peer.listener.accept(1s);
+  EXPECT_TRUE(accepted.has_value());
+  if (small_buffers > 0) {
+    ::setsockopt(accepted->fd(), SOL_SOCKET, SO_SNDBUF, &small_buffers,
+                 sizeof(small_buffers));
+    ::setsockopt(peer.client.fd(), SOL_SOCKET, SO_RCVBUF, &small_buffers,
+                 sizeof(small_buffers));
+  }
+  peer.server = reactor.add_connection(std::move(*accepted), std::move(handler));
+  EXPECT_NE(peer.server, nullptr);
+  return peer;
+}
+
+/// Steps the loop until `done` returns true (bounded).
+template <typename Pred>
+bool pump_until(Reactor& reactor, Pred done, int max_rounds = 500) {
+  for (int i = 0; i < max_rounds; ++i) {
+    if (done()) return true;
+    reactor.run_once(ms(5));
+  }
+  return done();
+}
+
+TEST(ReactorConnectionTest, DeliversBytesToOnData) {
+  Reactor reactor;
+  std::string seen;
+  ConnectionHandler handler;
+  handler.on_data = [&](Connection& conn) {
+    seen += conn.input();
+    conn.consume(conn.input().size());
+  };
+  TestPeer peer = make_peer(reactor, handler);
+  ASSERT_TRUE(peer.client.send_all("hello reactor").ok());
+  EXPECT_TRUE(pump_until(reactor, [&] { return seen.size() == 13; }));
+  EXPECT_EQ(seen, "hello reactor");
+}
+
+TEST(ReactorConnectionTest, PartialConsumeKeepsRemainder) {
+  Reactor reactor;
+  std::string parsed;
+  ConnectionHandler handler;
+  handler.on_data = [&](Connection& conn) {
+    // Parse only up to the first space per wakeup; the rest must survive in
+    // input() for the next round.
+    std::size_t space = conn.input().find(' ');
+    if (space == std::string::npos) return;
+    parsed += conn.input().substr(0, space);
+    conn.consume(space + 1);
+  };
+  TestPeer peer = make_peer(reactor, handler);
+  ASSERT_TRUE(peer.client.send_all("alpha beta").ok());
+  EXPECT_TRUE(pump_until(reactor, [&] { return parsed == "alpha"; }));
+  ASSERT_NE(peer.server, nullptr);
+  EXPECT_EQ(peer.server->input(), "beta");
+}
+
+TEST(ReactorConnectionTest, EchoRoundTrip) {
+  Reactor reactor;
+  ConnectionHandler handler;
+  handler.on_data = [](Connection& conn) {
+    conn.send(conn.input());
+    conn.consume(conn.input().size());
+  };
+  TestPeer peer = make_peer(reactor, handler);
+  ASSERT_TRUE(peer.client.send_all("ping").ok());
+  std::string echoed;
+  EXPECT_TRUE(pump_until(reactor, [&] {
+    std::string chunk;
+    if (echoed.size() < 4 && peer.client.receive_some(chunk, 64).ok()) echoed += chunk;
+    return echoed.size() >= 4;
+  }));
+  EXPECT_EQ(echoed, "ping");
+}
+
+TEST(ReactorConnectionTest, PeerEofInvokesOnCloseClean) {
+  Reactor reactor;
+  bool closed = false;
+  bool clean_flag = false;
+  ConnectionHandler handler;
+  handler.on_data = [](Connection& conn) { conn.consume(conn.input().size()); };
+  handler.on_close = [&](Connection&, bool clean) {
+    closed = true;
+    clean_flag = clean;
+  };
+  TestPeer peer = make_peer(reactor, handler);
+  EXPECT_EQ(reactor.open_connections(), 1u);
+  peer.client.close();
+  EXPECT_TRUE(pump_until(reactor, [&] { return closed; }));
+  EXPECT_TRUE(clean_flag);
+  EXPECT_EQ(reactor.open_connections(), 0u);
+}
+
+TEST(ReactorConnectionTest, EofStillDeliversBufferedBytesFirst) {
+  Reactor reactor;
+  std::string seen;
+  std::vector<std::string> events;
+  ConnectionHandler handler;
+  handler.on_data = [&](Connection& conn) {
+    seen += conn.input();
+    conn.consume(conn.input().size());
+    events.push_back("data");
+  };
+  handler.on_close = [&](Connection&, bool) { events.push_back("close"); };
+  TestPeer peer = make_peer(reactor, handler);
+  ASSERT_TRUE(peer.client.send_all("last words").ok());
+  peer.client.close();
+  EXPECT_TRUE(pump_until(reactor, [&] { return !events.empty() && events.back() == "close"; }));
+  EXPECT_EQ(seen, "last words");
+  EXPECT_EQ(events.front(), "data");
+}
+
+TEST(ReactorConnectionTest, CloseNowReleasesImmediately) {
+  Reactor reactor;
+  int closes = 0;
+  ConnectionHandler handler;
+  handler.on_close = [&](Connection&, bool) { ++closes; };
+  TestPeer peer = make_peer(reactor, handler);
+  peer.server->close_now();
+  EXPECT_EQ(closes, 1);  // synchronous: on_close ran inside close_now
+  EXPECT_EQ(reactor.open_connections(), 0u);
+  reactor.run_once(ms(0));  // reap; must not double-close
+  EXPECT_EQ(closes, 1);
+}
+
+TEST(ReactorConnectionTest, CloseAfterFlushDeliversWholeTail) {
+  // 512 KB cannot fit in the pinned 32 KB kernel socket buffers, so
+  // close_after_flush must keep the connection alive until the client
+  // drained everything.
+  Reactor reactor;
+  bool closed = false;
+  ConnectionHandler handler;
+  handler.on_close = [&](Connection&, bool) { closed = true; };
+  TestPeer peer = make_peer(reactor, handler, /*small_buffers=*/32 * 1024);
+  const std::size_t total = 512 * 1024;
+  peer.server->send(std::string(total, 'x'));
+  peer.server->close_after_flush();
+  EXPECT_FALSE(closed);  // tail still buffered
+  std::size_t received = 0;
+  bool saw_eof = false;
+  EXPECT_TRUE(pump_until(reactor, [&] {
+    std::string chunk;
+    auto io = peer.client.receive_some(chunk, 64 * 1024);
+    if (io.ok()) received += io.bytes;
+    if (io.status == IoStatus::kClosed) saw_eof = true;
+    return saw_eof;
+  }));
+  EXPECT_EQ(received, total);
+  EXPECT_TRUE(closed);
+}
+
+TEST(ReactorConnectionTest, CloseAfterFlushWithEmptyBufferClosesNow) {
+  Reactor reactor;
+  bool closed = false;
+  ConnectionHandler handler;
+  handler.on_close = [&](Connection&, bool) { closed = true; };
+  TestPeer peer = make_peer(reactor, handler);
+  peer.server->close_after_flush();
+  EXPECT_TRUE(closed);
+  EXPECT_EQ(reactor.open_connections(), 0u);
+}
+
+TEST(ReactorConnectionTest, ReadWatermarkPausesUntilConsumed) {
+  ReactorConfig config;
+  config.input_limit = 1024;
+  config.read_chunk = 512;
+  Reactor reactor(config);
+  ConnectionHandler handler;  // no on_data: nothing consumes
+  TestPeer peer = make_peer(reactor, handler);
+  const std::size_t total = 16 * 1024;
+  ASSERT_TRUE(peer.client.send_all(std::string(total, 'y')).ok());
+  // Reading must stop at the watermark (limit plus at most one read chunk),
+  // no matter how many rounds run.
+  pump_until(reactor, [] { return false; }, 50);
+  std::size_t held = peer.server->input().size();
+  EXPECT_GE(held, config.input_limit);
+  EXPECT_LE(held, config.input_limit + config.read_chunk);
+  std::size_t after_more_rounds = held;
+  pump_until(reactor, [] { return false; }, 20);
+  EXPECT_EQ(peer.server->input().size(), after_more_rounds);
+  // Consuming reopens the tap; the rest of the stream arrives.
+  std::size_t drained = 0;
+  EXPECT_TRUE(pump_until(reactor, [&] {
+    std::size_t n = peer.server->input().size();
+    drained += n;
+    peer.server->consume(n);
+    return drained >= total;
+  }));
+  EXPECT_EQ(drained, total);
+}
+
+TEST(ReactorConnectionTest, WriteBackpressurePausesReadsAndCounts) {
+  ReactorConfig config;
+  config.output_high_watermark = 16 * 1024;
+  Reactor reactor(config);
+  obs::Counter* stalls =
+      obs::MetricsRegistry::instance().counter("reactor_backpressure_stalls_total");
+  std::uint64_t stalls_before = stalls->value();
+  bool drained = false;
+  ConnectionHandler handler;
+  handler.on_drain = [&](Connection&) { drained = true; };
+  TestPeer peer = make_peer(reactor, handler, /*small_buffers=*/32 * 1024);
+  // 1 MB into a client that is not reading: the kernel buffers fill, the
+  // remainder parks in the output buffer far above the watermark.
+  const std::size_t total = 1024 * 1024;
+  peer.server->send(std::string(total, 'z'));
+  EXPECT_GT(peer.server->pending_output(), 0u);
+  EXPECT_EQ(stalls->value() - stalls_before, 1u);
+  // The client finally reads; the loop drains the parked bytes and fires
+  // on_drain when the buffer empties.
+  std::size_t received = 0;
+  EXPECT_TRUE(pump_until(
+      reactor,
+      [&] {
+        std::string chunk;
+        if (received < total && peer.client.receive_some(chunk, 64 * 1024).ok()) {
+          received += chunk.size();
+        }
+        return drained && received >= total;
+      },
+      2000));
+  EXPECT_EQ(received, total);
+  EXPECT_EQ(peer.server->pending_output(), 0u);
+}
+
+TEST(ReactorConnectionTest, ListenerAcceptsMultipleClients) {
+  Reactor reactor;
+  obs::Counter* accepts =
+      obs::MetricsRegistry::instance().counter("reactor_accepts_total");
+  std::uint64_t accepts_before = accepts->value();
+  auto listener = TcpListener::listen(Endpoint::loopback(0));
+  ASSERT_TRUE(listener.has_value());
+  int connected = 0;
+  ConnectionHandler handler;
+  handler.on_data = [](Connection& conn) { conn.consume(conn.input().size()); };
+  ListenerId id = reactor.add_listener(&*listener, [&](TcpSocket socket) {
+    ++connected;
+    reactor.add_connection(std::move(socket), handler);
+  });
+  ASSERT_NE(id, 0u);
+  std::vector<TcpSocket> clients;
+  for (int i = 0; i < 3; ++i) {
+    auto client = TcpSocket::connect(listener->local_endpoint(), 1s);
+    ASSERT_TRUE(client.has_value());
+    clients.push_back(std::move(*client));
+  }
+  EXPECT_TRUE(pump_until(reactor, [&] { return connected == 3; }));
+  EXPECT_EQ(reactor.open_connections(), 3u);
+  EXPECT_EQ(accepts->value() - accepts_before, 3u);
+  reactor.close_all_connections();
+  EXPECT_EQ(reactor.open_connections(), 0u);
+}
+
+TEST(ReactorConnectionTest, RemoveListenerStopsAccepting) {
+  Reactor reactor;
+  auto listener = TcpListener::listen(Endpoint::loopback(0));
+  ASSERT_TRUE(listener.has_value());
+  int connected = 0;
+  ListenerId id = reactor.add_listener(
+      &*listener, [&](TcpSocket) { ++connected; });
+  reactor.remove_listener(id);
+  // The TCP handshake still succeeds against the backlog, but the reactor
+  // must never surface the connection.
+  auto client = TcpSocket::connect(listener->local_endpoint(), 1s);
+  ASSERT_TRUE(client.has_value());
+  pump_until(reactor, [] { return false; }, 20);
+  EXPECT_EQ(connected, 0);
+}
+
+TEST(ReactorConnectionTest, OpenConnectionsGaugeTracksLifecycle) {
+  obs::Gauge* gauge = obs::MetricsRegistry::instance().gauge("reactor_connections_open");
+  obs::Counter* closes = obs::MetricsRegistry::instance().counter("reactor_closes_total");
+  double gauge_before = gauge->value();
+  std::uint64_t closes_before = closes->value();
+  Reactor reactor;
+  ConnectionHandler handler;
+  TestPeer peer = make_peer(reactor, handler);
+  EXPECT_EQ(gauge->value() - gauge_before, 1.0);
+  peer.server->close_now();
+  EXPECT_EQ(gauge->value() - gauge_before, 0.0);
+  EXPECT_EQ(closes->value() - closes_before, 1u);
+}
+
+TEST(ReactorConnectionTest, ClosedConnectionsReleaseFds) {
+  Reactor reactor;
+  ConnectionHandler handler;
+  handler.on_data = [](Connection& conn) { conn.consume(conn.input().size()); };
+  int fds_before = count_open_fds();
+  ASSERT_GT(fds_before, 0);
+  for (int i = 0; i < 10; ++i) {
+    TestPeer peer = make_peer(reactor, handler);
+    peer.server->close_now();
+    peer.client.close();
+    peer.listener.close();
+    reactor.run_once(ms(0));
+  }
+  EXPECT_EQ(count_open_fds(), fds_before);
+}
+
+// --- poll(2) fallback ---------------------------------------------------------
+
+TEST(ReactorPollFallbackTest, EchoWorksWithoutEpoll) {
+  ReactorConfig config;
+  config.use_epoll = false;
+  Reactor reactor(config);
+  ConnectionHandler handler;
+  handler.on_data = [](Connection& conn) {
+    conn.send(conn.input());
+    conn.consume(conn.input().size());
+  };
+  TestPeer peer = make_peer(reactor, handler);
+  ASSERT_TRUE(peer.client.send_all("fallback").ok());
+  std::string echoed;
+  EXPECT_TRUE(pump_until(reactor, [&] {
+    std::string chunk;
+    if (echoed.size() < 8 && peer.client.receive_some(chunk, 64).ok()) echoed += chunk;
+    return echoed.size() >= 8;
+  }));
+  EXPECT_EQ(echoed, "fallback");
+}
+
+TEST(ReactorPollFallbackTest, TimersWorkWithoutEpoll) {
+  sim::VirtualClock clock;
+  ReactorConfig config;
+  config.clock = &clock;
+  config.use_epoll = false;
+  Reactor reactor(config);
+  std::vector<int> order;
+  reactor.add_timer(ms(20), [&] { order.push_back(20); });
+  reactor.add_timer(ms(10), [&] { order.push_back(10); });
+  clock.advance(ms(25));
+  reactor.run_once(ms(0));
+  EXPECT_EQ(order, (std::vector<int>{10, 20}));
+}
+
+// --- threaded mode: post / run_on_loop / offload / forwarding -----------------
+
+TEST(ReactorThreadingTest, PostRunsOnLoopThread) {
+  Reactor reactor;
+  ASSERT_TRUE(reactor.start());
+  std::mutex mu;
+  std::condition_variable cv;
+  bool ran = false;
+  bool on_loop = false;
+  reactor.post([&] {
+    std::lock_guard<std::mutex> lock(mu);
+    on_loop = reactor.in_loop_thread();
+    ran = true;
+    cv.notify_one();
+  });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, 2s, [&] { return ran; }));
+  }
+  EXPECT_TRUE(on_loop);
+  EXPECT_FALSE(reactor.in_loop_thread());  // the test thread is not the loop
+  reactor.stop();
+}
+
+TEST(ReactorThreadingTest, RunOnLoopBlocksUntilExecuted) {
+  Reactor reactor;
+  ASSERT_TRUE(reactor.start());
+  int value = 0;
+  reactor.run_on_loop([&] { value = 42; });
+  EXPECT_EQ(value, 42);  // visible immediately: the call waited
+  reactor.stop();
+}
+
+TEST(ReactorThreadingTest, OffloadRunsWorkOnPoolAndDoneOnLoop) {
+  util::ThreadPool pool(2);
+  ReactorConfig config;
+  config.pool = &pool;
+  Reactor reactor(config);
+  ASSERT_TRUE(reactor.start());
+  std::mutex mu;
+  std::condition_variable cv;
+  bool finished = false;
+  bool work_on_loop = true;
+  bool done_on_loop = false;
+  reactor.run_on_loop([&] {
+    reactor.offload(
+        [&] { work_on_loop = reactor.in_loop_thread(); },
+        [&] {
+          std::lock_guard<std::mutex> lock(mu);
+          done_on_loop = reactor.in_loop_thread();
+          finished = true;
+          cv.notify_one();
+        });
+  });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, 2s, [&] { return finished; }));
+  }
+  EXPECT_FALSE(work_on_loop);  // heavy work ran on the pool...
+  EXPECT_TRUE(done_on_loop);   // ...and the completion came home to the loop
+  reactor.stop();
+}
+
+TEST(ReactorThreadingTest, OffThreadTimerCallsForwardToLoop) {
+  Reactor reactor;
+  ASSERT_TRUE(reactor.start());
+  std::atomic<int> fired{0};
+  // add/cancel/rearm from the test thread must transparently forward.
+  TimerId id = reactor.add_timer(ms(5), [&] { fired.fetch_add(1); });
+  EXPECT_NE(id, 0u);
+  EXPECT_TRUE(reactor.rearm_timer(id, ms(5)));
+  for (int i = 0; i < 200 && fired.load() == 0; ++i) {
+    std::this_thread::sleep_for(ms(5));
+  }
+  EXPECT_EQ(fired.load(), 1);
+  TimerId cancelled = reactor.add_timer(std::chrono::seconds(10), [&] { fired.fetch_add(1); });
+  EXPECT_TRUE(reactor.cancel_timer(cancelled));
+  EXPECT_FALSE(reactor.cancel_timer(cancelled));
+  reactor.stop();
+  EXPECT_EQ(fired.load(), 1);
+}
+
+TEST(ReactorThreadingTest, StartedReactorServesConnectionsEndToEnd) {
+  Reactor reactor;
+  auto listener = TcpListener::listen(Endpoint::loopback(0));
+  ASSERT_TRUE(listener.has_value());
+  ConnectionHandler handler;
+  handler.on_data = [](Connection& conn) {
+    conn.send(conn.input());
+    conn.consume(conn.input().size());
+  };
+  reactor.add_listener(&*listener, [&](TcpSocket socket) {
+    reactor.add_connection(std::move(socket), handler);
+  });
+  ASSERT_TRUE(reactor.start());
+  auto client = TcpSocket::connect(listener->local_endpoint(), 1s);
+  ASSERT_TRUE(client.has_value());
+  client->set_receive_timeout(2s);
+  ASSERT_TRUE(client->send_all("through the loop thread").ok());
+  std::string reply;
+  while (reply.size() < 23) {
+    std::string chunk;
+    auto io = client->receive_some(chunk, 64);
+    if (!io.ok()) break;
+    reply += chunk;
+  }
+  EXPECT_EQ(reply, "through the loop thread");
+  reactor.stop();
+}
+
+}  // namespace
+}  // namespace smartsock::net

@@ -4,13 +4,17 @@
 // pipeline under injected faults lives in failure_test.cpp).
 #include <gtest/gtest.h>
 
+#include <dirent.h>
+
 #include <thread>
 
+#include "apps/massd/file_server.h"
 #include "core/smart_client.h"
 #include "core/wizard.h"
 #include "ipc/in_memory_store.h"
 #include "monitor/system_monitor.h"
 #include "net/fault.h"
+#include "obs/metrics.h"
 #include "obs/stats_server.h"
 #include "probe/status_report.h"
 #include "sim/virtual_clock.h"
@@ -665,6 +669,215 @@ TEST(ReceiverRetry, PullRetriesThroughConnectFaults) {
   ASSERT_TRUE(pulled);
   ASSERT_EQ(wizard_store.sys_records().size(), 1u);
   EXPECT_EQ(wizard_store.sys_records()[0].host_str(), "eventually");
+}
+
+// --- reactor-hosted daemons under injected faults -------------------------------
+//
+// The servers now multiplex every client on one event loop (ISSUE 6), so a
+// chaos run must show three things: the loop survives mid-connection resets
+// and truncations, every aborted connection is fully released (no fd leak,
+// accepts == closes), and a well-behaved client is still served afterwards.
+
+int count_open_fds() {
+  int count = 0;
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return -1;
+  while (::readdir(dir) != nullptr) ++count;
+  ::closedir(dir);
+  return count;
+}
+
+/// Polls `done` every 5ms until true or ~2s elapsed.
+template <typename Pred>
+bool settle(Pred done) {
+  for (int i = 0; i < 400; ++i) {
+    if (done()) return true;
+    std::this_thread::sleep_for(5ms);
+  }
+  return done();
+}
+
+TEST(ReactorChaos, StatsServerSurvivesInjectedResets) {
+  obs::StatsServerConfig config;
+  config.command_timeout = 100ms;
+  config.io_timeout = 300ms;
+  obs::StatsServer server(config);
+  ASSERT_TRUE(server.valid());
+  ASSERT_TRUE(server.start());
+
+  auto& registry = obs::MetricsRegistry::instance();
+  obs::Counter* accepts = registry.counter("reactor_accepts_total");
+  obs::Counter* closes = registry.counter("reactor_closes_total");
+  obs::Gauge* open_gauge = registry.gauge("reactor_connections_open");
+  double open_before = open_gauge->value();
+  std::uint64_t accepts_before = accepts->value();
+  int fds_before = count_open_fds();
+  ASSERT_GT(fds_before, 0);
+
+  {
+    net::FaultConfig faults;
+    faults.seed = 17;
+    faults.tcp_reset_send = 0.3;
+    faults.tcp_reset_recv = 0.2;
+    faults.tcp_truncate_send = 0.2;
+    net::FaultInjector injector(faults);
+    net::ScopedGlobalFaults scoped(injector);
+    for (int i = 0; i < 40; ++i) {
+      auto client = net::TcpSocket::connect(server.endpoint(), 500ms);
+      if (!client) continue;  // connect-path fault
+      client->set_receive_timeout(150ms);
+      if (!client->send_all("json\n").ok()) continue;
+      std::string chunk;
+      while (client->receive_some(chunk, 64 * 1024).ok()) {
+      }
+    }
+  }
+
+  // Every aborted connection must come back out of the loop: the open gauge
+  // returns to its baseline and each accept has a matching close.
+  EXPECT_TRUE(settle([&] { return open_gauge->value() <= open_before; }));
+  EXPECT_GT(accepts->value(), accepts_before);
+  EXPECT_TRUE(settle([&] {
+    return closes->value() - accepts_before == accepts->value() - accepts_before;
+  }));
+  EXPECT_TRUE(settle([&] { return count_open_fds() == fds_before; }));
+
+  // The loop is unharmed: a clean client is served immediately.
+  auto client = net::TcpSocket::connect(server.endpoint(), 1s);
+  ASSERT_TRUE(client);
+  client->set_receive_timeout(2s);
+  ASSERT_TRUE(client->send_all("text\n").ok());
+  std::string body, chunk;
+  while (client->receive_some(chunk, 64 * 1024).ok()) body += chunk;
+  EXPECT_FALSE(body.empty());
+  server.stop();
+}
+
+TEST(ReactorChaos, FileServerSurvivesInjectedResets) {
+  apps::FileServerConfig config;
+  config.request_idle_timeout = 300ms;
+  apps::FileServer server(config);
+  ASSERT_TRUE(server.valid());
+  ASSERT_TRUE(server.start());
+
+  auto& registry = obs::MetricsRegistry::instance();
+  obs::Counter* accepts = registry.counter("reactor_accepts_total");
+  obs::Counter* closes = registry.counter("reactor_closes_total");
+  obs::Gauge* open_gauge = registry.gauge("reactor_connections_open");
+  double open_before = open_gauge->value();
+  std::uint64_t accepts_before = accepts->value();
+  int fds_before = count_open_fds();
+  ASSERT_GT(fds_before, 0);
+
+  {
+    net::FaultConfig faults;
+    faults.seed = 29;
+    faults.tcp_reset_send = 0.2;
+    faults.tcp_reset_recv = 0.2;
+    faults.tcp_truncate_send = 0.3;
+    net::FaultInjector injector(faults);
+    net::ScopedGlobalFaults scoped(injector);
+    for (int i = 0; i < 30; ++i) {
+      auto client = net::TcpSocket::connect(server.endpoint(), 500ms);
+      if (!client) continue;
+      client->set_receive_timeout(150ms);
+      if (!client->send_all("BLK 0 8192\n").ok()) continue;
+      std::string chunk;
+      std::size_t got = 0;
+      while (got < 8192) {
+        auto io = client->receive_some(chunk, 8192);
+        if (!io.ok()) break;
+        got += io.bytes;
+      }
+    }
+  }
+
+  EXPECT_TRUE(settle([&] { return open_gauge->value() <= open_before; }));
+  EXPECT_GT(accepts->value(), accepts_before);
+  EXPECT_TRUE(settle([&] {
+    return closes->value() - accepts_before == accepts->value() - accepts_before;
+  }));
+  EXPECT_TRUE(settle([&] { return count_open_fds() == fds_before; }));
+
+  // A clean download still verifies end to end.
+  auto client = net::TcpSocket::connect(server.endpoint(), 1s);
+  ASSERT_TRUE(client);
+  client->set_receive_timeout(2s);
+  ASSERT_TRUE(client->send_all("BLK 100 512\nBYE\n").ok());
+  std::string block;
+  while (block.size() < 512) {
+    std::string chunk;
+    if (!client->receive_some(chunk, 1024).ok()) break;
+    block += chunk;
+  }
+  ASSERT_EQ(block.size(), 512u);
+  EXPECT_EQ(block, apps::synthetic_file_chunk(100, 512));
+  server.stop();
+}
+
+TEST(ReactorChaos, SlowDripClientDoesNotStallOtherStatsClients) {
+  // One event loop serves both: a dripper that never finishes its command
+  // line and a prompt client. The prompt client's reply must not wait for
+  // the dripper's command deadline — that was the whole point of replacing
+  // the serve-one-connection-at-a-time thread.
+  obs::StatsServerConfig config;
+  config.command_timeout = 500ms;
+  obs::StatsServer server(config);
+  ASSERT_TRUE(server.valid());
+  ASSERT_TRUE(server.start());
+
+  auto dripper = net::TcpSocket::connect(server.endpoint(), 1s);
+  ASSERT_TRUE(dripper);
+  std::atomic<bool> stop{false};
+  std::thread drip([&] {
+    while (!stop.load() && dripper->valid()) {
+      if (!dripper->send_all("j").ok()) break;
+      std::this_thread::sleep_for(10ms);
+    }
+  });
+
+  auto started = std::chrono::steady_clock::now();
+  auto client = net::TcpSocket::connect(server.endpoint(), 1s);
+  ASSERT_TRUE(client);
+  client->set_receive_timeout(2s);
+  ASSERT_TRUE(client->send_all("json\n").ok());
+  std::string body, chunk;
+  while (client->receive_some(chunk, 64 * 1024).ok()) body += chunk;
+  auto elapsed = std::chrono::steady_clock::now() - started;
+  EXPECT_NE(body.find("counters"), std::string::npos);
+  EXPECT_LT(elapsed, 400ms);  // served while the dripper was still dripping
+
+  stop.store(true);
+  drip.join();
+  server.stop();
+}
+
+TEST(ReactorChaos, ReceiverReleasesConnectionsTruncatedMidFrame) {
+  // Transmitters that die mid-frame must be counted as damaged streams and
+  // fully released by the loop.
+  ipc::InMemoryStatusStore store;
+  transport::ReceiverConfig config;
+  config.io_timeout = 300ms;
+  transport::Receiver receiver(config, store);
+  ASSERT_TRUE(receiver.valid());
+  ASSERT_TRUE(receiver.start());
+
+  auto& registry = obs::MetricsRegistry::instance();
+  obs::Gauge* open_gauge = registry.gauge("reactor_connections_open");
+  double open_before = open_gauge->value();
+  std::uint64_t malformed_before = receiver.malformed_frames();
+
+  for (int i = 0; i < 5; ++i) {
+    auto socket = net::TcpSocket::connect(receiver.endpoint(), 1s);
+    ASSERT_TRUE(socket);
+    // Half a frame header: promises a payload that never comes.
+    ASSERT_TRUE(socket->send_all(std::string("\x00\x00\x00\x01\x00\x00", 6)).ok());
+    socket->close();
+  }
+
+  EXPECT_TRUE(settle([&] { return receiver.malformed_frames() - malformed_before == 5; }));
+  EXPECT_TRUE(settle([&] { return open_gauge->value() <= open_before; }));
+  receiver.stop();
 }
 
 }  // namespace

@@ -57,6 +57,7 @@ struct FileServer::ClientState {
 };
 
 void FileServer::arm_idle_timer(net::Connection& client, ClientState& state) {
+  if (!client.alive()) return;  // on_close already cancelled the timers
   if (state.idle_timer != 0) reactor_->cancel_timer(state.idle_timer);
   net::Connection* raw = &client;
   state.idle_timer = reactor_->add_timer(config_.request_idle_timeout,
@@ -88,6 +89,10 @@ bool FileServer::pump(net::Connection& client, ClientState& state) {
     state.remaining -= chunk;
     bytes_served_.fetch_add(chunk, std::memory_order_relaxed);
   }
+  // The final send() can retire the connection on a hard error (on_close has
+  // run and cancelled the timers); arming the idle timer then would leave a
+  // callback holding a freed Connection*.
+  if (!client.alive()) return false;
   state.transfer_active = false;
   arm_idle_timer(client, state);
   return true;

@@ -222,17 +222,43 @@ void Reactor::run_on_loop(const std::function<void()>& fn) {
     fn();
     return;
   }
-  std::mutex mu;
-  std::condition_variable cv;
-  bool done = false;
-  post([&] {
+  // The loop may stop between the running() check above and the post below
+  // (its final drain can already be past our entry), so waiting forever on
+  // the loop is not an option. The waiter polls running(): once the loop is
+  // gone and nobody claimed the task yet, the caller runs it inline. The
+  // `claimed` flag makes execution exactly-once either way — a stale queue
+  // entry drained later (stop() or a restarted loop) sees it and backs off.
+  struct Waiter {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool claimed = false;
+    bool done = false;
+  };
+  auto waiter = std::make_shared<Waiter>();
+  post([waiter, &fn] {
+    {
+      std::lock_guard<std::mutex> lock(waiter->mu);
+      if (waiter->claimed) return;  // caller already ran it inline
+      waiter->claimed = true;
+    }
     fn();
-    std::lock_guard<std::mutex> lock(mu);
-    done = true;
-    cv.notify_one();
+    std::lock_guard<std::mutex> lock(waiter->mu);
+    waiter->done = true;
+    waiter->cv.notify_one();
   });
-  std::unique_lock<std::mutex> lock(mu);
-  cv.wait(lock, [&] { return done; });
+  std::unique_lock<std::mutex> lock(waiter->mu);
+  while (!waiter->done) {
+    if (waiter->cv.wait_for(lock, std::chrono::milliseconds(20),
+                            [&] { return waiter->done; })) {
+      break;
+    }
+    if (!running() && !waiter->claimed) {
+      waiter->claimed = true;
+      lock.unlock();
+      fn();
+      return;
+    }
+  }
 }
 
 void Reactor::run_posted() {
@@ -532,15 +558,20 @@ void Reactor::dispatch_fd(int fd, bool readable, bool writable, bool hangup) {
   auto listener_it = listener_fds_.find(fd);
   if (listener_it != listener_fds_.end()) {
     ListenerId id = listener_it->second;
-    TcpListener* listener = listeners_[id];
-    auto handler_it = accept_handlers_.find(id);
     while (true) {
-      auto accepted = listener->try_accept();
+      // An on_accept callback may remove_listener (or destroy the listener),
+      // so re-look everything up each lap; the handler is copied out because
+      // invoking a std::function the callback erases from the map is UB.
+      auto live_it = listeners_.find(id);
+      if (live_it == listeners_.end()) break;
+      auto accepted = live_it->second->try_accept();
       if (!accepted) break;
       accepts_->inc();
       accepted->set_nonblocking(true);
+      auto handler_it = accept_handlers_.find(id);
       if (handler_it != accept_handlers_.end() && handler_it->second) {
-        handler_it->second(std::move(*accepted));
+        auto handler = handler_it->second;
+        handler(std::move(*accepted));
       }
     }
     return;
@@ -636,6 +667,10 @@ void Reactor::stop() {
   wakeup();
   thread_.join();
   running_.store(false, std::memory_order_release);
+  // A racer that saw running()==true may have posted after the loop's final
+  // drain; run those here (no loop thread left, so inline is safe) instead
+  // of leaving them queued forever.
+  run_posted();
 }
 
 }  // namespace smartsock::net

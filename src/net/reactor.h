@@ -90,6 +90,12 @@ class Connection {
 
   std::size_t pending_output() const { return output_.size() - output_offset_; }
   bool closing() const { return close_after_flush_ || dead_; }
+  /// False once the connection was retired (on_close already fired; the
+  /// object only survives until the end of the loop iteration). Handlers
+  /// must check this before arming timers that capture the Connection* —
+  /// send() and close_after_flush() can retire the connection synchronously
+  /// on a hard write error, and nothing cancels a timer armed after that.
+  bool alive() const { return !dead_; }
 
   /// Arbitrary per-connection state for handlers.
   std::shared_ptr<void> user_data;

@@ -146,7 +146,11 @@ void StatsServer::reply(net::Connection& client, ClientState& state) {
   }
   client.send(render(state.command));
   client.close_after_flush();
-  if (!client.closing() || client.pending_output() > 0) {
+  // send()/close_after_flush() retire the connection synchronously on a hard
+  // write error (reset, injected fault) — on_close already ran, so a timer
+  // armed now would fire close_now() on a freed Connection. Only a still-live
+  // connection with an undrained tail needs the write deadline.
+  if (client.alive() && client.pending_output() > 0) {
     net::Connection* raw = &client;
     state.write_deadline =
         reactor_->add_timer(config_.io_timeout, [raw] { raw->close_now(); });

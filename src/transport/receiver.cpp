@@ -289,6 +289,7 @@ struct Receiver::ClientState {
 };
 
 void Receiver::arm_idle_timer(net::Connection& client, ClientState& state) {
+  if (!client.alive()) return;  // on_close already cancelled the timers
   if (state.idle_timer != 0) reactor_->cancel_timer(state.idle_timer);
   net::Connection* raw = &client;
   // Matches the blocking path's receive timeout: a transmitter that stalls
@@ -348,6 +349,10 @@ void Receiver::on_client(net::TcpSocket socket) {
   };
   net::Connection* client = reactor_->add_connection(std::move(socket), handler);
   if (client == nullptr) return;
+  // try_parse_frame only completes once the whole frame is buffered, so the
+  // input cap must admit the largest legal frame; the reactor default (1 MiB)
+  // would pause reading forever on a large snapshot.
+  client->set_input_limit(kMaxFramePayload + 8);
   clients_.insert(client);
   auto state = std::make_shared<ClientState>();
   net::Connection* raw = client;

@@ -4,10 +4,6 @@
 
 namespace smartsock::transport {
 
-namespace {
-constexpr std::size_t kMaxPayload = 16 * 1024 * 1024;
-}
-
 std::string encode_frame(FrameType type, std::string_view payload) {
   std::string out(8 + payload.size(), '\0');
   std::uint32_t type_be = htonl(static_cast<std::uint32_t>(type));
@@ -109,7 +105,7 @@ std::optional<Frame> read_frame(net::TcpSocket& socket, FrameReadError* error) {
     why = FrameReadError::kBadType;
     return std::nullopt;
   }
-  if (size > kMaxPayload) {
+  if (size > kMaxFramePayload) {
     why = FrameReadError::kOversized;
     return std::nullopt;
   }
@@ -146,7 +142,7 @@ FrameParseStatus try_parse_frame(std::string_view buffer, Frame* frame,
     why = FrameReadError::kBadType;
     return FrameParseStatus::kBad;
   }
-  if (size > kMaxPayload) {
+  if (size > kMaxFramePayload) {
     why = FrameReadError::kOversized;
     return FrameParseStatus::kBad;
   }

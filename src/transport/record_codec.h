@@ -50,6 +50,12 @@ struct Frame {
   std::string payload;
 };
 
+/// Sanity cap on a single frame's payload. Streams announcing more are
+/// treated as desynced (kOversized). Receivers buffering whole frames (the
+/// reactor ingest path) must allow at least kMaxFramePayload + 8 header
+/// bytes of input, or a legal frame can never finish parsing.
+inline constexpr std::size_t kMaxFramePayload = 16 * 1024 * 1024;
+
 /// Why read_frame returned nullopt. Clean EOF (the peer finished its
 /// snapshot and closed) is the only benign outcome; everything else means
 /// the stream is unusable from this point on and the connection should be

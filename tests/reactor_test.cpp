@@ -514,6 +514,30 @@ TEST(ReactorConnectionTest, RemoveListenerStopsAccepting) {
   EXPECT_EQ(connected, 0);
 }
 
+TEST(ReactorConnectionTest, AcceptCallbackCanRemoveItsOwnListener) {
+  // Two connections race into the backlog; the first accept's callback tears
+  // the listener registration down. The accept loop must re-check the
+  // registry each lap instead of reusing a stale listener pointer and
+  // handler iterator across the callback.
+  Reactor reactor;
+  auto listener = TcpListener::listen(Endpoint::loopback(0));
+  ASSERT_TRUE(listener.has_value());
+  int accepted = 0;
+  ListenerId id = 0;
+  id = reactor.add_listener(&*listener, [&](TcpSocket) {
+    ++accepted;
+    reactor.remove_listener(id);
+  });
+  ASSERT_NE(id, 0u);
+  auto first = TcpSocket::connect(listener->local_endpoint(), 1s);
+  auto second = TcpSocket::connect(listener->local_endpoint(), 1s);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_TRUE(pump_until(reactor, [&] { return accepted >= 1; }));
+  pump_until(reactor, [] { return false; }, 20);
+  EXPECT_EQ(accepted, 1);  // the second socket is never surfaced
+}
+
 TEST(ReactorConnectionTest, OpenConnectionsGaugeTracksLifecycle) {
   obs::Gauge* gauge = obs::MetricsRegistry::instance().gauge("reactor_connections_open");
   obs::Counter* closes = obs::MetricsRegistry::instance().counter("reactor_closes_total");
@@ -688,6 +712,26 @@ TEST(ReactorThreadingTest, StartedReactorServesConnectionsEndToEnd) {
   }
   EXPECT_EQ(reply, "through the loop thread");
   reactor.stop();
+}
+
+TEST(ReactorThreadingTest, StopNeverStrandsConcurrentRunOnLoop) {
+  // A caller can observe running()==true, post its task, and only then have
+  // the loop finish its final drain; every such task must still execute —
+  // on the loop, in stop()'s post-join drain, or inline on the caller —
+  // exactly once, never stranding the caller on its condition variable.
+  for (int round = 0; round < 25; ++round) {
+    Reactor reactor;
+    ASSERT_TRUE(reactor.start());
+    std::atomic<int> ran{0};
+    std::thread caller([&] {
+      for (int i = 0; i < 50; ++i) {
+        reactor.run_on_loop([&] { ran.fetch_add(1, std::memory_order_relaxed); });
+      }
+    });
+    reactor.stop();
+    caller.join();
+    EXPECT_EQ(ran.load(), 50);
+  }
 }
 
 }  // namespace

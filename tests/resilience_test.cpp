@@ -14,6 +14,7 @@
 #include "ipc/in_memory_store.h"
 #include "monitor/system_monitor.h"
 #include "net/fault.h"
+#include "net/reactor.h"
 #include "obs/metrics.h"
 #include "obs/stats_server.h"
 #include "probe/status_report.h"
@@ -849,6 +850,92 @@ TEST(ReactorChaos, SlowDripClientDoesNotStallOtherStatsClients) {
 
   stop.store(true);
   drip.join();
+  server.stop();
+}
+
+TEST(ReactorChaos, StatsServerReplyDeathLeavesNoDanglingTimer) {
+  // A hard send fault inside reply() retires the connection synchronously
+  // (on_close runs and cancels its timers). The write deadline must NOT be
+  // armed afterwards: a timer registered post-retirement holds a freed
+  // Connection* and fires close_now() on it. Manual stepping over a shared
+  // reactor with a virtual clock makes the ordering — and the leak check —
+  // deterministic.
+  sim::VirtualClock clock;
+  net::ReactorConfig reactor_config;
+  reactor_config.clock = &clock;
+  net::Reactor reactor(reactor_config);  // stepped by hand, no loop thread
+
+  obs::StatsServerConfig config;
+  config.command_timeout = 100ms;
+  config.io_timeout = 200ms;
+  config.reactor = &reactor;
+  obs::StatsServer server(config);
+  ASSERT_TRUE(server.valid());
+  ASSERT_TRUE(server.start());
+
+  auto client = net::TcpSocket::connect(server.endpoint(), 1s);
+  ASSERT_TRUE(client);
+  ASSERT_TRUE(client->send_all("json\n").ok());  // before faults arm
+
+  obs::Counter* closes = obs::MetricsRegistry::instance().counter("reactor_closes_total");
+  std::uint64_t closes_before = closes->value();
+  {
+    net::FaultConfig faults;
+    faults.seed = 7;
+    faults.tcp_reset_send = 1.0;  // the reply write always dies hard
+    net::FaultInjector injector(faults);
+    net::ScopedGlobalFaults scoped(injector);
+    for (int i = 0; i < 200 && closes->value() == closes_before; ++i) {
+      reactor.run_once(5ms);
+    }
+  }
+  EXPECT_EQ(closes->value() - closes_before, 1u);
+  // Every timer belonged to that connection, so the registry must be empty —
+  // a survivor is the dangling write deadline.
+  EXPECT_EQ(reactor.active_timers(), 0u);
+  // Firing past every per-connection deadline must be a no-op, not a
+  // use-after-free on the reaped Connection.
+  clock.advance(1s);
+  reactor.run_once(util::Duration::zero());
+  server.stop();
+}
+
+TEST(ReactorChaos, FileServerPumpDeathLeavesNoDanglingTimer) {
+  // Same shape as the stats-server case: when a block's final send() dies
+  // hard, pump() must not re-arm the idle timer on the retired connection.
+  sim::VirtualClock clock;
+  net::ReactorConfig reactor_config;
+  reactor_config.clock = &clock;
+  net::Reactor reactor(reactor_config);
+
+  apps::FileServerConfig config;
+  config.request_idle_timeout = 200ms;
+  config.reactor = &reactor;
+  apps::FileServer server(config);
+  ASSERT_TRUE(server.valid());
+  ASSERT_TRUE(server.start());
+
+  auto client = net::TcpSocket::connect(server.endpoint(), 1s);
+  ASSERT_TRUE(client);
+  // One send_chunk exactly, so the block's last send is the one that dies.
+  ASSERT_TRUE(client->send_all("BLK 0 8192\n").ok());
+
+  obs::Counter* closes = obs::MetricsRegistry::instance().counter("reactor_closes_total");
+  std::uint64_t closes_before = closes->value();
+  {
+    net::FaultConfig faults;
+    faults.seed = 11;
+    faults.tcp_reset_send = 1.0;
+    net::FaultInjector injector(faults);
+    net::ScopedGlobalFaults scoped(injector);
+    for (int i = 0; i < 200 && closes->value() == closes_before; ++i) {
+      reactor.run_once(5ms);
+    }
+  }
+  EXPECT_EQ(closes->value() - closes_before, 1u);
+  EXPECT_EQ(reactor.active_timers(), 0u);
+  clock.advance(1s);
+  reactor.run_once(util::Duration::zero());
   server.stop();
 }
 

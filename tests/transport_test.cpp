@@ -288,6 +288,36 @@ TEST(Transport, CentralizedReplaceRemovesGoneServers) {
   EXPECT_EQ(records[0].host_str(), "only");  // mirror, not merge
 }
 
+TEST(Transport, ReactorIngestAppliesSnapshotsLargerThanDefaultInputCap) {
+  // A frame only parses once it is fully buffered, so the reactor ingest
+  // path must raise the connection's input cap to the wire format's payload
+  // limit — with the reactor default (1 MiB) a larger snapshot would pause
+  // reading forever and idle-timeout as truncated, a silent regression
+  // against the blocking read_frame path.
+  ipc::InMemoryStatusStore monitor_store;
+  ipc::InMemoryStatusStore wizard_store;
+  const std::size_t kRecords = (2u << 20) / sizeof(ipc::SysRecord) + 1;
+  for (std::size_t i = 0; i < kRecords; ++i) {
+    monitor_store.put_sys(make_sys("host" + std::to_string(i), 0.5));
+  }
+
+  Receiver receiver(ReceiverConfig{}, wizard_store);
+  ASSERT_TRUE(receiver.valid());
+  ASSERT_TRUE(receiver.start());  // reactor-hosted ingestion
+
+  TransmitterConfig tx_config;
+  tx_config.receiver = receiver.endpoint();
+  Transmitter transmitter(tx_config, monitor_store);
+  EXPECT_TRUE(transmitter.transmit_once());
+
+  for (int i = 0; i < 500 && wizard_store.sys_records().size() < kRecords; ++i) {
+    std::this_thread::sleep_for(10ms);
+  }
+  receiver.stop();
+  EXPECT_EQ(wizard_store.sys_records().size(), kRecords);
+  EXPECT_EQ(receiver.malformed_frames(), 0u);
+}
+
 TEST(Transport, CentralizedBackgroundLoop) {
   ipc::InMemoryStatusStore monitor_store;
   ipc::InMemoryStatusStore wizard_store;

@@ -153,6 +153,7 @@ void FileServer::on_client_data(net::Connection& client) {
 void FileServer::on_client(net::TcpSocket socket) {
   socket.set_no_delay(true);
   net::ConnectionHandler handler;
+  handler.label = "massd_file_server";
   handler.on_data = [this](net::Connection& client) { on_client_data(client); };
   handler.on_drain = [this](net::Connection& client) { on_client_data(client); };
   handler.on_close = [this](net::Connection& client, bool) {
@@ -180,7 +181,8 @@ bool FileServer::start() {
     reactor_ = own_reactor_.get();
   }
   listener_id_ = reactor_->add_listener(
-      &listener_, [this](net::TcpSocket socket) { on_client(std::move(socket)); });
+      &listener_, [this](net::TcpSocket socket) { on_client(std::move(socket)); },
+      "massd_accept");
   if (own_reactor_ && !own_reactor_->start()) {
     own_reactor_.reset();
     reactor_ = nullptr;

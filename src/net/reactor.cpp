@@ -8,9 +8,51 @@
 #include <cerrno>
 
 #include "net/poller.h"
+#include "obs/blackbox.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace smartsock::net {
+
+namespace {
+
+std::int64_t steady_now_ns() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace
+
+// --- CallbackScope ------------------------------------------------------------
+
+/// Measures one callback's wall time into its site recorder and exposes the
+/// in-callback window to the watchdog via the seqlock heartbeat. The raw
+/// steady clock (never the injectable config clock) times both: a stalled
+/// loop under VirtualClock must still be detected in real time.
+class Reactor::CallbackScope {
+ public:
+  CallbackScope(Reactor* reactor, CallbackSite* site) : reactor_(reactor) {
+    if (reactor_->cb_depth_++ > 0) return;  // nested: outer scope measures
+    site_ = site;
+    start_ns_ = steady_now_ns();
+    reactor_->cb_label_.store(site_->label.c_str(), std::memory_order_relaxed);
+    reactor_->cb_start_ns_.store(start_ns_, std::memory_order_relaxed);
+    reactor_->cb_seq_.fetch_add(1, std::memory_order_release);  // odd: in callback
+  }
+
+  ~CallbackScope() {
+    if (--reactor_->cb_depth_ > 0) return;
+    reactor_->cb_seq_.fetch_add(1, std::memory_order_release);  // even: idle
+    site_->recorder->record_us(static_cast<double>(steady_now_ns() - start_ns_) / 1000.0);
+  }
+
+  CallbackScope(const CallbackScope&) = delete;
+  CallbackScope& operator=(const CallbackScope&) = delete;
+
+ private:
+  Reactor* reactor_;
+  CallbackSite* site_ = nullptr;
+  std::int64_t start_ns_ = 0;
+};
 
 // --- Connection ---------------------------------------------------------------
 
@@ -152,6 +194,12 @@ Reactor::Reactor(ReactorConfig config) : config_(config) {
   accepts_ = registry.counter("reactor_accepts_total");
   closes_ = registry.counter("reactor_closes_total");
   open_gauge_ = registry.gauge("reactor_connections_open");
+  loop_lag_ = registry.histogram("reactor_loop_lag_us");
+  watchdog_stalls_ = registry.counter("reactor_watchdog_stalls_total");
+  stalled_gauge_ = registry.gauge("reactor_watchdog_stalled");
+  posted_depth_gauge_ = registry.gauge("reactor_posted_queue_depth");
+  timers_gauge_ = registry.gauge("reactor_timers_active");
+  posted_site_ = intern_site("posted");
 
   int fds[2] = {-1, -1};
   if (::pipe(fds) == 0) {
@@ -182,9 +230,36 @@ Reactor::~Reactor() {
   listeners_.clear();
   listener_fds_.clear();
   accept_handlers_.clear();
+  accept_sites_.clear();
   if (epoll_fd_ >= 0) ::close(epoll_fd_);
   if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
   if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+  // Back out this reactor's contribution to the process-wide gauges.
+  timers_gauge_->add(static_cast<double>(-published_timers_));
+  std::lock_guard<std::mutex> lock(post_mu_);
+  if (!posted_.empty()) {
+    posted_depth_gauge_->add(-static_cast<double>(posted_.size()));
+    posted_.clear();
+  }
+}
+
+Reactor::CallbackSite* Reactor::intern_site(const std::string& label) {
+  auto& slot = sites_[label];
+  if (!slot) {
+    slot = std::make_unique<CallbackSite>();
+    slot->label = label;
+    slot->recorder = obs::MetricsRegistry::instance().histogram(
+        "reactor_callback_us{site=\"" + label + "\"}");
+  }
+  return slot.get();
+}
+
+void Reactor::publish_gauges() {
+  auto current = static_cast<std::int64_t>(timer_slots_.size());
+  if (current != published_timers_) {
+    timers_gauge_->add(static_cast<double>(current - published_timers_));
+    published_timers_ = current;
+  }
 }
 
 std::uint64_t Reactor::tick_of(util::Duration t) const {
@@ -214,6 +289,7 @@ void Reactor::post(std::function<void()> fn) {
     std::lock_guard<std::mutex> lock(post_mu_);
     posted_.push_back(std::move(fn));
   }
+  posted_depth_gauge_->add(1);
   wakeup();
 }
 
@@ -267,7 +343,11 @@ void Reactor::run_posted() {
     std::lock_guard<std::mutex> lock(post_mu_);
     batch.swap(posted_);
   }
-  for (auto& fn : batch) fn();
+  if (!batch.empty()) posted_depth_gauge_->add(-static_cast<double>(batch.size()));
+  for (auto& fn : batch) {
+    CallbackScope scope(this, posted_site_);
+    fn();
+  }
 }
 
 void Reactor::offload(std::function<void()> work, std::function<void()> done) {
@@ -291,26 +371,29 @@ void Reactor::schedule_insert(TimerEntry entry) {
   wheel_[slot].push_back(std::move(entry));
 }
 
-TimerId Reactor::add_timer(util::Duration delay, std::function<void()> fn) {
+TimerId Reactor::add_timer(util::Duration delay, std::function<void()> fn,
+                           std::string label) {
   if (running() && !in_loop_thread()) {
     TimerId id = 0;
-    run_on_loop([&] { id = add_timer(delay, std::move(fn)); });
+    run_on_loop([&] { id = add_timer(delay, std::move(fn), std::move(label)); });
     return id;
   }
   TimerEntry entry;
   entry.id = next_timer_id_++;
   entry.deadline = config_.clock->now() + delay;
   entry.fn = std::move(fn);
+  entry.site = intern_site(label.empty() ? "timer" : label);
   TimerId id = entry.id;
   schedule_insert(std::move(entry));
   if (running() && !in_loop_thread()) wakeup();
   return id;
 }
 
-TimerId Reactor::add_periodic(util::Duration interval, std::function<void()> fn) {
+TimerId Reactor::add_periodic(util::Duration interval, std::function<void()> fn,
+                              std::string label) {
   if (running() && !in_loop_thread()) {
     TimerId id = 0;
-    run_on_loop([&] { id = add_periodic(interval, std::move(fn)); });
+    run_on_loop([&] { id = add_periodic(interval, std::move(fn), std::move(label)); });
     return id;
   }
   if (interval <= util::Duration::zero()) interval = config_.timer_tick;
@@ -319,6 +402,7 @@ TimerId Reactor::add_periodic(util::Duration interval, std::function<void()> fn)
   entry.deadline = config_.clock->now() + interval;
   entry.interval = interval;
   entry.fn = std::move(fn);
+  entry.site = intern_site(label.empty() ? "timer" : label);
   TimerId id = entry.id;
   schedule_insert(std::move(entry));
   return id;
@@ -404,6 +488,10 @@ void Reactor::advance_timers() {
     if (it == timer_slots_.end()) continue;
     timer_slots_.erase(it);
     timer_fires_->inc();
+    // Loop lag: how late past its scheduled deadline this timer actually
+    // fired, on the config clock (deterministic under VirtualClock).
+    loop_lag_->record_us(
+        static_cast<double>((now - entry.deadline).count()) / 1000.0);
     if (entry.interval > util::Duration::zero()) {
       // Re-register before firing so the callback can cancel_timer(id).
       TimerEntry next = entry;
@@ -411,6 +499,7 @@ void Reactor::advance_timers() {
       if (next.deadline <= now) next.deadline = now + entry.interval;
       schedule_insert(std::move(next));
     }
+    CallbackScope scope(this, entry.site != nullptr ? entry.site : posted_site_);
     entry.fn();
   }
 }
@@ -461,10 +550,11 @@ void Reactor::forget_fd(int fd) {
 }
 
 ListenerId Reactor::add_listener(TcpListener* listener,
-                                 std::function<void(TcpSocket)> on_accept) {
+                                 std::function<void(TcpSocket)> on_accept,
+                                 std::string label) {
   if (running() && !in_loop_thread()) {
     ListenerId id = 0;
-    run_on_loop([&] { id = add_listener(listener, std::move(on_accept)); });
+    run_on_loop([&] { id = add_listener(listener, std::move(on_accept), std::move(label)); });
     return id;
   }
   if (listener == nullptr || !listener->valid()) return 0;
@@ -474,6 +564,7 @@ ListenerId Reactor::add_listener(TcpListener* listener,
   listeners_[id] = listener;
   listener_fds_[fd] = id;
   accept_handlers_[id] = std::move(on_accept);
+  accept_sites_[id] = intern_site(label.empty() ? "accept" : label);
   update_interest(fd, {true, false});
   return id;
 }
@@ -489,6 +580,7 @@ void Reactor::remove_listener(ListenerId id) {
   forget_fd(fd);
   listener_fds_.erase(fd);
   accept_handlers_.erase(id);
+  accept_sites_.erase(id);
   listeners_.erase(it);
 }
 
@@ -502,10 +594,12 @@ Connection* Reactor::add_connection(TcpSocket socket, ConnectionHandler handler)
   socket.set_nonblocking(true);
   int fd = socket.fd();
   std::uint64_t id = next_connection_id_++;
+  CallbackSite* site = intern_site(handler.label.empty() ? "connection" : handler.label);
   auto connection = std::unique_ptr<Connection>(
       new Connection(this, std::move(socket), std::move(handler), id));
   Connection* raw = connection.get();
   raw->registered_fd_ = fd;
+  raw->site_ = site;
   connections_[id] = std::move(connection);
   connection_fds_[fd] = raw;
   update_interest(fd, {true, false});
@@ -571,6 +665,9 @@ void Reactor::dispatch_fd(int fd, bool readable, bool writable, bool hangup) {
       auto handler_it = accept_handlers_.find(id);
       if (handler_it != accept_handlers_.end() && handler_it->second) {
         auto handler = handler_it->second;
+        auto site_it = accept_sites_.find(id);
+        CallbackScope scope(this,
+                            site_it != accept_sites_.end() ? site_it->second : posted_site_);
         handler(std::move(*accepted));
       }
     }
@@ -581,9 +678,13 @@ void Reactor::dispatch_fd(int fd, bool readable, bool writable, bool hangup) {
   Connection* connection = connection_it->second;
   // A hangup with no read interest still needs a read attempt to observe
   // EOF vs reset; handle_readable is safe in both cases.
-  if (readable || hangup) connection->handle_readable();
+  if (readable || hangup) {
+    CallbackScope scope(this, connection->site_);
+    connection->handle_readable();
+  }
   if (writable && connection_fds_.count(fd) > 0 &&
       connection_fds_[fd] == connection) {
+    CallbackScope scope(this, connection->site_);
     connection->handle_writable();
   }
 }
@@ -636,6 +737,7 @@ int Reactor::run_once(util::Duration max_wait) {
   advance_timers();
   reap_dead();
   iterations_->inc();
+  publish_gauges();
 
   loop_thread_id_.store(previous, std::memory_order_release);
   return events;
@@ -658,11 +760,13 @@ bool Reactor::start() {
   stop_requested_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
   thread_ = std::thread([this] { loop_thread_main(); });
+  start_watchdog();
   return true;
 }
 
 void Reactor::stop() {
   if (!thread_.joinable()) return;
+  stop_watchdog();
   stop_requested_.store(true, std::memory_order_release);
   wakeup();
   thread_.join();
@@ -671,6 +775,85 @@ void Reactor::stop() {
   // drain; run those here (no loop thread left, so inline is safe) instead
   // of leaving them queued forever.
   run_posted();
+}
+
+// --- stall watchdog (ISSUE 7) -------------------------------------------------
+
+void Reactor::start_watchdog() {
+  if (config_.watchdog_stall_threshold <= util::Duration::zero()) return;
+  if (watchdog_thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(watchdog_mu_);
+    watchdog_stop_ = false;
+  }
+  watchdog_thread_ = std::thread([this] { watchdog_main(); });
+}
+
+void Reactor::stop_watchdog() {
+  if (!watchdog_thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(watchdog_mu_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  watchdog_thread_.join();
+}
+
+void Reactor::watchdog_main() {
+  const std::int64_t threshold_ns = config_.watchdog_stall_threshold.count();
+  const std::int64_t fatal_ns = config_.watchdog_fatal_threshold.count();
+  util::Duration check = config_.watchdog_check_interval;
+  if (check <= util::Duration::zero()) check = std::chrono::milliseconds(100);
+  std::uint64_t reported_seq = 0;
+  bool flagged = false;
+
+  std::unique_lock<std::mutex> lock(watchdog_mu_);
+  while (!watchdog_stop_) {
+    watchdog_cv_.wait_for(lock, check, [this] { return watchdog_stop_; });
+    if (watchdog_stop_) break;
+
+    std::uint64_t seq = cb_seq_.load(std::memory_order_acquire);
+    if ((seq & 1) == 0) {  // loop idle between callbacks
+      if (flagged) {
+        stalled_gauge_->add(-1);
+        flagged = false;
+      }
+      continue;
+    }
+    std::int64_t start_ns = cb_start_ns_.load(std::memory_order_relaxed);
+    const char* label = cb_label_.load(std::memory_order_relaxed);
+    if (cb_seq_.load(std::memory_order_acquire) != seq) continue;  // finished mid-read
+    std::int64_t blocked_ns = steady_now_ns() - start_ns;
+    if (blocked_ns < threshold_ns) {
+      if (flagged) {  // previous stall ended; a new, fast callback is running
+        stalled_gauge_->add(-1);
+        flagged = false;
+      }
+      continue;
+    }
+    if (seq != reported_seq) {  // one report per stalled callback
+      reported_seq = seq;
+      watchdog_stalls_->inc();
+      if (!flagged) {
+        stalled_gauge_->add(1);
+        flagged = true;
+      }
+      obs::TraceEvent(util::LogLevel::kWarn, "reactor", "loop_stall", "")
+          .kv("handler", label != nullptr ? label : "unknown")
+          .kv("blocked_ms", static_cast<long long>(blocked_ns / 1000000));
+    }
+    if (fatal_ns > 0 && blocked_ns >= fatal_ns) {
+      std::string note = "watchdog_fatal handler=";
+      note += label != nullptr ? label : "unknown";
+      note += " blocked_ms=" + std::to_string(blocked_ns / 1000000);
+      obs::Blackbox::annotate(note);
+      lock.unlock();
+      // The blackbox's SIGABRT handler (when installed) writes the
+      // postmortem, annotation included, before the process dies.
+      std::abort();
+    }
+  }
+  if (flagged) stalled_gauge_->add(-1);
 }
 
 }  // namespace smartsock::net

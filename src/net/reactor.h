@@ -52,6 +52,18 @@ class Connection;
 using TimerId = std::uint64_t;
 using ListenerId = std::uint64_t;
 
+namespace detail {
+/// One named callback origin ("receiver_ingest", "posted", "timer", ...)
+/// with its wall-time recorder (reactor_callback_us{site="<label>"}).
+/// Interned per label by the Reactor; pointers are stable for the reactor's
+/// lifetime, so the watchdog can publish label.c_str() through an atomic
+/// without lifetime worries.
+struct ReactorCallbackSite {
+  std::string label;
+  obs::Histogram* recorder = nullptr;
+};
+}  // namespace detail
+
 /// Per-connection callbacks, all invoked on the loop thread.
 struct ConnectionHandler {
   /// New bytes were appended to input(); consume what you can parse.
@@ -62,6 +74,10 @@ struct ConnectionHandler {
   /// is false for hard errors (reset, injected faults, oversized input).
   /// The Connection object outlives this call but no other callback fires.
   std::function<void(Connection&, bool clean)> on_close;
+  /// Attribution label for loop telemetry (ISSUE 7): callback wall time is
+  /// recorded into reactor_callback_us{site="<label>"} and a stall watchdog
+  /// report names this site. Empty means the generic "connection" site.
+  std::string label;
 };
 
 /// One multiplexed TCP connection owned by a Reactor. Loop-thread-only.
@@ -129,6 +145,7 @@ class Connection {
   bool close_after_flush_ = false;
   bool saw_eof_ = false;
   bool dead_ = false;
+  detail::ReactorCallbackSite* site_ = nullptr;  // telemetry attribution
 };
 
 struct ReactorConfig {
@@ -148,6 +165,19 @@ struct ReactorConfig {
   std::size_t output_high_watermark = 256 * 1024;
   /// Destination for offload(); may be null (offload runs work inline).
   util::ThreadPool* pool = nullptr;
+  /// Stall watchdog (ISSUE 7): a monitor thread (started with start(); manual
+  /// run_once() stepping has no watchdog) checks every `watchdog_check_interval`
+  /// whether a single callback has been blocking the loop longer than
+  /// `watchdog_stall_threshold`. Each distinct stall increments
+  /// reactor_watchdog_stalls_total, raises the reactor_watchdog_stalled gauge
+  /// while it lasts, and emits one event=loop_stall trace line naming the
+  /// handler site. A zero stall threshold disables the watchdog.
+  util::Duration watchdog_stall_threshold = std::chrono::milliseconds(500);
+  util::Duration watchdog_check_interval = std::chrono::milliseconds(100);
+  /// When nonzero, a callback blocked past this becomes fatal: the watchdog
+  /// annotates the crash blackbox with the offending site and abort()s, so
+  /// the postmortem names the handler that wedged the daemon. 0 = never.
+  util::Duration watchdog_fatal_threshold{0};
 };
 
 class Reactor {
@@ -191,9 +221,13 @@ class Reactor {
 
   // --- timers (hashed wheel) ----------------------------------------------
 
-  TimerId add_timer(util::Duration delay, std::function<void()> fn);
+  /// `label` attributes the callback's wall time (and any watchdog report)
+  /// to a named site in reactor_callback_us{site="<label>"}.
+  TimerId add_timer(util::Duration delay, std::function<void()> fn,
+                    std::string label = "timer");
   /// First fires after `interval`, then every `interval` until cancelled.
-  TimerId add_periodic(util::Duration interval, std::function<void()> fn);
+  TimerId add_periodic(util::Duration interval, std::function<void()> fn,
+                       std::string label = "timer");
   /// True if the timer existed (not yet fired/cancelled).
   bool cancel_timer(TimerId id);
   /// Re-schedules an existing timer `delay` from now, keeping its callback
@@ -208,7 +242,8 @@ class Reactor {
   /// non-blocking and must outlive the registration. `on_accept` gets each
   /// accepted socket already switched to non-blocking mode.
   ListenerId add_listener(TcpListener* listener,
-                          std::function<void(TcpSocket)> on_accept);
+                          std::function<void(TcpSocket)> on_accept,
+                          std::string label = "accept");
   void remove_listener(ListenerId id);
 
   /// Adopts a connected socket into the loop (switched to non-blocking).
@@ -227,11 +262,19 @@ class Reactor {
 
   static constexpr std::size_t kWheelSlots = 512;
 
+  using CallbackSite = detail::ReactorCallbackSite;
+
+  /// RAII wall-time attribution + watchdog heartbeat around one callback.
+  /// Only the outermost scope on the loop thread measures (nested callbacks
+  /// — e.g. a timer fired from within on_data — fold into the outer site).
+  class CallbackScope;
+
   struct TimerEntry {
     TimerId id = 0;
     util::Duration deadline{0};
     util::Duration interval{0};  // zero = one-shot
     std::function<void()> fn;
+    CallbackSite* site = nullptr;
   };
 
   struct FdInterest {
@@ -253,6 +296,11 @@ class Reactor {
   void schedule_insert(TimerEntry entry);
   void reap_dead();
   void retire_connection(Connection* connection, bool clean);
+  CallbackSite* intern_site(const std::string& label);
+  void publish_gauges();
+  void start_watchdog();
+  void stop_watchdog();
+  void watchdog_main();
 
   std::uint64_t tick_of(util::Duration t) const;
 
@@ -266,6 +314,7 @@ class Reactor {
   std::unordered_map<ListenerId, TcpListener*> listeners_;  // borrowed
   std::unordered_map<int, ListenerId> listener_fds_;
   std::unordered_map<ListenerId, std::function<void(TcpSocket)>> accept_handlers_;
+  std::unordered_map<ListenerId, CallbackSite*> accept_sites_;
   std::unordered_map<int, Connection*> connection_fds_;
   std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> connections_;
   std::unordered_map<int, FdInterest> interest_;  // poll-fallback mirror
@@ -287,13 +336,40 @@ class Reactor {
   std::atomic<bool> running_{false};
   std::atomic<std::thread::id> loop_thread_id_{};
 
-  // Metrics (process-wide; several reactors aggregate into the same names).
+  // Metrics (process-wide; several reactors aggregate into the same names —
+  // gauges are therefore published as deltas, never set()).
   obs::Counter* iterations_ = nullptr;
   obs::Counter* timer_fires_ = nullptr;
   obs::Counter* stalls_ = nullptr;
   obs::Counter* accepts_ = nullptr;
   obs::Counter* closes_ = nullptr;
   obs::Gauge* open_gauge_ = nullptr;
+
+  // --- loop telemetry (ISSUE 7) -------------------------------------------
+  // Scheduled-vs-actual timer fire delta, on the config clock.
+  obs::Histogram* loop_lag_ = nullptr;
+  obs::Counter* watchdog_stalls_ = nullptr;
+  obs::Gauge* stalled_gauge_ = nullptr;
+  obs::Gauge* posted_depth_gauge_ = nullptr;
+  obs::Gauge* timers_gauge_ = nullptr;
+  std::int64_t published_timers_ = 0;  // loop-thread-only delta anchor
+
+  // Interned callback sites; values are stable for the reactor lifetime.
+  std::unordered_map<std::string, std::unique_ptr<CallbackSite>> sites_;
+  CallbackSite* posted_site_ = nullptr;
+
+  // Watchdog heartbeat, seqlock-style: cb_seq_ odd = the loop thread is
+  // inside a callback whose label/start the two payload atomics describe;
+  // readers re-check the seq after reading the payload.
+  std::atomic<std::uint64_t> cb_seq_{0};
+  std::atomic<std::int64_t> cb_start_ns_{0};  // raw steady_clock, not config clock
+  std::atomic<const char*> cb_label_{nullptr};
+  int cb_depth_ = 0;  // loop-thread-only nesting guard
+
+  std::thread watchdog_thread_;
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
 };
 
 }  // namespace smartsock::net

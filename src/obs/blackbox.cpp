@@ -1,0 +1,229 @@
+#include "obs/blackbox.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "util/crashfmt.h"
+#include "util/logging.h"
+
+namespace smartsock::obs {
+
+namespace {
+
+constexpr int kSignals[] = {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL};
+constexpr std::size_t kNumSignals = sizeof(kSignals) / sizeof(kSignals[0]);
+constexpr std::size_t kAltStackBytes = 64 * 1024;
+
+// All crash-path state lives in statics with trivial layout: the handler
+// reads them without construction or allocation.
+char g_daemon[64] = "";
+char g_path[512] = "";
+char g_note[256] = "";
+std::atomic<bool> g_installed{false};
+std::atomic<int> g_handling{0};
+std::atomic<SpanStore*> g_spans{nullptr};
+std::atomic<MetricsRegistry*> g_metrics{nullptr};
+struct sigaction g_old_actions[kNumSignals];
+alignas(16) char g_alt_stack[kAltStackBytes];
+bool g_alt_stack_installed = false;
+
+// The log ring outlives everything (attached to the process-wide Logger),
+// so it is allocated once and deliberately never freed.
+util::LogRing* g_ring = nullptr;
+
+const char* signal_name(int sig) {
+  switch (sig) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGABRT: return "SIGABRT";
+    case SIGBUS: return "SIGBUS";
+    case SIGFPE: return "SIGFPE";
+    case SIGILL: return "SIGILL";
+    case 0: return "none";
+    default: return "signal";
+  }
+}
+
+int slot_for(int sig) {
+  for (std::size_t i = 0; i < kNumSignals; ++i) {
+    if (kSignals[i] == sig) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void copy_bounded(char* dst, std::size_t cap, std::string_view src) {
+  std::size_t n = src.size() < cap - 1 ? src.size() : cap - 1;
+  std::memcpy(dst, src.data(), n);
+  dst[n] = '\0';
+}
+
+SpanStore* span_source() {
+  SpanStore* s = g_spans.load(std::memory_order_acquire);
+  return s ? s : &SpanStore::instance();
+}
+
+MetricsRegistry* metrics_source() {
+  MetricsRegistry* m = g_metrics.load(std::memory_order_acquire);
+  return m ? m : &MetricsRegistry::instance();
+}
+
+void write_postmortem(int fd, int sig, const void* fault_addr) {
+  {
+    util::CrashWriter w(fd);
+    w.str("=== smartsock postmortem ===\n");
+    w.str("daemon: ");
+    w.str(g_daemon);
+    w.put('\n');
+    w.str("pid: ");
+    w.u64(static_cast<std::uint64_t>(::getpid()));
+    w.put('\n');
+    w.str("signal: ");
+    w.str(signal_name(sig));
+    w.str(" (");
+    w.i64(sig);
+    w.str(")\n");
+    if (sig == SIGSEGV || sig == SIGBUS) {
+      w.str("fault_addr: ");
+      w.ptr(fault_addr);
+      w.put('\n');
+    }
+    // build_info() was force-initialized in install(); these are pure
+    // heap reads now.
+    const BuildInfo& build = build_info();
+    w.str("build: version=");
+    w.str(build.version);
+    w.str(" commit=");
+    w.str(build.commit);
+    w.str(" compiler=");
+    w.str(build.compiler);
+    w.put('\n');
+    w.str("uptime_s: ");
+    w.dbl(process_uptime_seconds());
+    w.put('\n');
+    if (g_note[0] != '\0') {
+      w.str("note: ");
+      w.str(g_note);
+      w.put('\n');
+    }
+    w.str("--- metrics ---\n");
+  }
+  metrics_source()->crash_dump(fd);
+  {
+    util::CrashWriter w(fd);
+    w.str("--- log tail ---\n");
+  }
+  if (g_ring != nullptr) g_ring->crash_dump(fd);
+  {
+    util::CrashWriter w(fd);
+    w.str("--- spans ---\n");
+  }
+  span_source()->crash_dump(fd);
+  {
+    util::CrashWriter w(fd);
+    w.str("=== end postmortem ===\n");
+  }
+}
+
+void dump_to_path(int sig, const void* fault_addr) {
+  int fd = ::open(g_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return;
+  write_postmortem(fd, sig, fault_addr);
+  ::close(fd);
+}
+
+void crash_handler(int sig, siginfo_t* info, void* /*ucontext*/) {
+  // Crashing while writing the postmortem must not recurse: the second
+  // entry goes straight to the previous disposition.
+  if (g_handling.exchange(1, std::memory_order_acq_rel) == 0) {
+    dump_to_path(sig, info != nullptr ? info->si_addr : nullptr);
+  }
+  int slot = slot_for(sig);
+  if (slot >= 0) {
+    ::sigaction(sig, &g_old_actions[slot], nullptr);
+  } else {
+    ::signal(sig, SIG_DFL);
+  }
+  // The signal is blocked while we are in its handler, so this re-raise is
+  // delivered — with the restored (usually default) action — on return.
+  ::raise(sig);
+}
+
+}  // namespace
+
+bool Blackbox::install(const std::string& daemon, const std::string& path) {
+  copy_bounded(g_daemon, sizeof(g_daemon), daemon);
+  const char* env = std::getenv("SMARTSOCK_BLACKBOX");
+  if (env != nullptr && env[0] != '\0') {
+    copy_bounded(g_path, sizeof(g_path), env);
+  } else if (!path.empty()) {
+    copy_bounded(g_path, sizeof(g_path), path);
+  } else {
+    copy_bounded(g_path, sizeof(g_path), daemon + ".postmortem");
+  }
+
+  // Force one-time initialization of everything the handler will read, so
+  // the crash path never runs a static initializer.
+  (void)build_info();
+  (void)process_uptime_seconds();
+  (void)span_source();
+  (void)metrics_source();
+  if (g_ring == nullptr) {
+    g_ring = new util::LogRing(128);
+    util::Logger::instance().attach_ring(g_ring);
+  }
+
+  if (g_installed.load(std::memory_order_acquire)) return true;
+
+  if (!g_alt_stack_installed) {
+    stack_t ss{};
+    ss.ss_sp = g_alt_stack;
+    ss.ss_size = kAltStackBytes;
+    ss.ss_flags = 0;
+    if (::sigaltstack(&ss, nullptr) == 0) g_alt_stack_installed = true;
+  }
+
+  struct sigaction action{};
+  action.sa_sigaction = &crash_handler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_SIGINFO | (g_alt_stack_installed ? SA_ONSTACK : 0);
+  bool ok = true;
+  for (std::size_t i = 0; i < kNumSignals; ++i) {
+    if (::sigaction(kSignals[i], &action, &g_old_actions[i]) != 0) ok = false;
+  }
+  g_handling.store(0, std::memory_order_release);
+  g_installed.store(ok, std::memory_order_release);
+  return ok;
+}
+
+void Blackbox::uninstall() {
+  if (!g_installed.exchange(false, std::memory_order_acq_rel)) return;
+  for (std::size_t i = 0; i < kNumSignals; ++i) {
+    ::sigaction(kSignals[i], &g_old_actions[i], nullptr);
+  }
+}
+
+bool Blackbox::installed() { return g_installed.load(std::memory_order_acquire); }
+
+const char* Blackbox::path() { return g_path; }
+
+void Blackbox::annotate(std::string_view note) {
+  copy_bounded(g_note, sizeof(g_note), note);
+}
+
+void Blackbox::dump_now(int sig) {
+  if (g_path[0] == '\0') return;
+  dump_to_path(sig, nullptr);
+}
+
+void Blackbox::set_sources(SpanStore* spans, MetricsRegistry* metrics) {
+  g_spans.store(spans, std::memory_order_release);
+  g_metrics.store(metrics, std::memory_order_release);
+}
+
+}  // namespace smartsock::obs

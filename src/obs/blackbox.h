@@ -1,0 +1,65 @@
+// Crash blackbox (ISSUE 7 tentpole, part 3).
+//
+// When a daemon dies of SIGSEGV/SIGABRT/SIGBUS the interesting state — the
+// last spans, the last log lines, the metric values — dies with it. The
+// blackbox is a flight-data recorder: install() hooks the fatal signals
+// (on an alternate stack) and, when one fires, writes a plain-text
+// postmortem file containing
+//
+//   - a header (daemon name, pid, signal, fault address, build provenance,
+//     uptime, an optional caller-set annotation),
+//   - a metrics snapshot (MetricsRegistry::crash_dump),
+//   - the log tail (a util::LogRing the blackbox attaches to the Logger),
+//   - the newest spans (SpanStore::crash_dump),
+//
+// then restores the previous signal disposition and re-raises, so cores and
+// exit codes behave exactly as without the blackbox.
+//
+// Everything on the crash path is best-effort async-signal-safe: no
+// allocation, write(2)/open(2) only, try_lock everywhere a lock is
+// unavoidable, a re-entrancy guard against crashing while crashing, and
+// bounded walks so corrupted state cannot wedge the handler.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace smartsock::obs {
+
+class SpanStore;
+class MetricsRegistry;
+
+class Blackbox {
+ public:
+  /// Installs the fatal-signal handlers and attaches the log ring. `daemon`
+  /// names the process in the postmortem header; the output path defaults to
+  /// "<daemon>.postmortem" in the working directory, overridable by `path`
+  /// or the SMARTSOCK_BLACKBOX environment variable (highest precedence).
+  /// Idempotent; a second install() just updates daemon/path. Returns false
+  /// only if a sigaction call failed.
+  static bool install(const std::string& daemon, const std::string& path = "");
+
+  /// Restores the pre-install signal dispositions (tests). The log ring
+  /// stays attached — it is process-lifetime by design.
+  static void uninstall();
+
+  static bool installed();
+
+  /// The resolved postmortem path ("" before install).
+  static const char* path();
+
+  /// Stores a short free-form note ("last_handler=receiver_ingest") emitted
+  /// in the postmortem header. Async-signal-safe, truncates past 255 bytes.
+  static void annotate(std::string_view note);
+
+  /// Writes the postmortem right now without dying (tests, and the reactor
+  /// watchdog's fatal mode before it aborts). `sig` labels the header; 0
+  /// means "not a signal".
+  static void dump_now(int sig = 0);
+
+  /// Redirects the spans/metrics sections at non-default stores (tests with
+  /// isolated registries). Null restores the process-wide singletons.
+  static void set_sources(SpanStore* spans, MetricsRegistry* metrics);
+};
+
+}  // namespace smartsock::obs

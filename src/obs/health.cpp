@@ -185,6 +185,34 @@ void HealthEngine::install_default_checks() {
     return Finding{};
   });
 
+  add_check("reactor", "loop-lag", [t](const Snapshot& snap) -> Finding {
+    const HistogramStats* lag = find_histogram(snap, "reactor_loop_lag_us");
+    if (lag == nullptr || lag->count == 0) return Finding{HealthLevel::kOk, "", false};
+    if (lag->p99_us > t.loop_lag_p99_degraded_us) {
+      return Finding{HealthLevel::kDegraded,
+                     "event-loop lag p99 " + fmt_double(lag->p99_us) + "us over " +
+                         fmt_double(t.loop_lag_p99_degraded_us) + "us budget"};
+    }
+    return Finding{};
+  });
+
+  add_check("reactor", "watchdog-stall", [this](const Snapshot& snap) -> Finding {
+    if (find_counter(snap, "reactor_watchdog_stalls_total") == nullptr) {
+      return Finding{HealthLevel::kOk, "", false};
+    }
+    std::uint64_t delta = counter_delta(snap, "reactor_watchdog_stalls_total");
+    const double* stalled = find_gauge(snap, "reactor_watchdog_stalled");
+    bool ongoing = stalled != nullptr && *stalled > 0;
+    if (delta > 0 || ongoing) {
+      std::string reason = ongoing
+                               ? "a callback is blocking the event loop right now"
+                               : std::to_string(delta) +
+                                     " event-loop stall(s) detected since last check";
+      return Finding{HealthLevel::kCritical, std::move(reason)};
+    }
+    return Finding{};
+  });
+
   add_check("net", "fault-injection", [this](const Snapshot& snap) -> Finding {
     // Any fault_*_total movement means the injector is actively dropping /
     // corrupting traffic — expected in chaos runs, never in production.

@@ -51,6 +51,10 @@ struct HealthThresholds {
   double latency_p99_critical_us = 1e6;    // ... over 1 s
   double record_age_degraded_s = 30;       // oldest sysdb record
   double record_age_critical_s = 120;
+  // ISSUE 7: event-loop responsiveness budget. Timers firing this far past
+  // their deadline mean every multiplexed connection is waiting behind
+  // something; 50 ms is half the loop's 100 ms idle poll cap.
+  double loop_lag_p99_degraded_us = 50e3;
 };
 
 class HealthEngine {

@@ -5,6 +5,15 @@
 #include <set>
 #include <sstream>
 
+#include "util/crashfmt.h"
+
+#ifndef SMARTSOCK_VERSION
+#define SMARTSOCK_VERSION "dev"
+#endif
+#ifndef SMARTSOCK_COMMIT
+#define SMARTSOCK_COMMIT "unknown"
+#endif
+
 namespace smartsock::obs {
 
 namespace {
@@ -14,6 +23,17 @@ std::uint64_t wall_now_us() {
                                         std::chrono::system_clock::now().time_since_epoch())
                                         .count());
 }
+
+/// Anchor for process_uptime_seconds(); initialized on first use, which the
+/// daemons hit during startup (metrics registration), so "uptime" tracks
+/// process age closely.
+std::chrono::steady_clock::time_point process_start() {
+  static const std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  return start;
+}
+
+const bool g_start_anchor = (process_start(), true);
 
 std::string fmt_double(double v) {
   char buffer[64];
@@ -30,6 +50,23 @@ std::pair<std::string_view, std::string_view> split_labels(std::string_view name
 }
 
 }  // namespace
+
+const BuildInfo& build_info() {
+  static const BuildInfo info{SMARTSOCK_VERSION, SMARTSOCK_COMMIT,
+#ifdef __VERSION__
+                              __VERSION__
+#else
+                              "unknown"
+#endif
+  };
+  return info;
+}
+
+double process_uptime_seconds() {
+  (void)g_start_anchor;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - process_start())
+      .count();
+}
 
 std::string json_escape(std::string_view text) {
   std::string out;
@@ -228,6 +265,8 @@ Snapshot MetricsRegistry::snapshot() const {
   Snapshot snap;
   snap.wall_us = wall_now_us();
   snap.rss_kb = util::current_rss_kb();
+  snap.build = build_info();
+  snap.uptime_seconds = process_uptime_seconds();
 
   std::vector<Collector> collectors;
   {
@@ -255,11 +294,56 @@ Snapshot MetricsRegistry::snapshot() const {
     collectors.reserve(collectors_.size());
     for (const auto& [id, fn] : collectors_) collectors.push_back(fn);
   }
+  // Process vitals ride along as ordinary gauges so every snapshot format
+  // (json/prom/text) picks them up without format-specific code.
+  snap.gauges.emplace_back("process_uptime_seconds", snap.uptime_seconds);
+  snap.gauges.emplace_back("process_rss_bytes",
+                           static_cast<double>(snap.rss_kb) * 1024.0);
   // Collectors and traffic merging run outside the lock: collectors may call
   // back into the registry, and neither touches registry structures.
   snap.traffic = traffic_usage(0.0);
   for (const Collector& fn : collectors) fn(snap);
   return snap;
+}
+
+void MetricsRegistry::crash_dump(int fd) const {
+  util::CrashWriter w(fd);
+  if (!mu_.try_lock()) {
+    // A registration (or the crashing thread itself) holds the lock; the
+    // maps may be mid-rebalance, so walking them is not safe.
+    w.str("metrics unavailable: registry lock held at crash time\n");
+    return;
+  }
+  // Bound the walk: a corrupted map must not wedge the crash handler.
+  std::size_t budget = 10000;
+  for (const auto& [name, counter] : counters_) {
+    if (budget-- == 0) break;
+    w.str(name);
+    w.put(' ');
+    w.u64(counter->value());
+    w.put('\n');
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    if (budget-- == 0) break;
+    w.str(name);
+    w.put(' ');
+    w.dbl(gauge->value());
+    w.put('\n');
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    if (budget-- == 0) break;
+    w.str(name);
+    w.str(" count=");
+    w.u64(histogram->count());
+    w.str(" mean_us=");
+    w.dbl(histogram->mean_us());
+    // Bucket-walk percentile, not the sketch — the sketch spinlock may be
+    // held by the thread that crashed.
+    w.str(" p99_us=");
+    w.dbl(histogram->percentile(99.0));
+    w.put('\n');
+  }
+  mu_.unlock();
 }
 
 void MetricsRegistry::reset_all() {
@@ -277,6 +361,10 @@ std::string Snapshot::to_json(bool pretty) const {
   out << "{" << nl;
   out << pad << "\"ts_us\": " << wall_us << "," << nl;
   out << pad << "\"rss_kb\": " << rss_kb << "," << nl;
+  out << pad << "\"build\": {\"version\": \"" << json_escape(build.version)
+      << "\", \"commit\": \"" << json_escape(build.commit) << "\", \"compiler\": \""
+      << json_escape(build.compiler) << "\"}," << nl;
+  out << pad << "\"uptime_seconds\": " << fmt_double(uptime_seconds) << "," << nl;
 
   out << pad << "\"counters\": {";
   for (std::size_t i = 0; i < counters.size(); ++i) {
@@ -350,15 +438,25 @@ std::string Snapshot::to_prometheus() const {
     auto [raw_base, labels] = split_labels(h.name);
     std::string base = prom_sanitize_name(raw_base);
     header.emit(base, "histogram", "Latency histogram (microseconds).");
+    // ISSUE 7 fix: histogram names may carry labels now (the reactor emits
+    // reactor_callback_us{site="..."}); merge them into every sample line,
+    // with `le` joined into the rewritten label block on _bucket lines.
+    std::string rewritten = prom_rewrite_labels(labels);
+    auto with_le = [&rewritten](const std::string& le) {
+      if (rewritten.empty()) return "{le=\"" + le + "\"}";
+      std::string out = rewritten;
+      out.insert(out.size() - 1, ",le=\"" + le + "\"");
+      return out;
+    };
     std::uint64_t cumulative = 0;
     for (const auto& [upper, count] : h.buckets) {
       cumulative += count;
-      out << base << "_bucket{le=\"" << fmt_double(upper) << "\"" << "} " << cumulative
-          << "\n";
+      out << base << "_bucket" << with_le(fmt_double(upper)) << " " << cumulative << "\n";
     }
-    out << base << "_bucket{le=\"+Inf\"} " << h.count << "\n";
-    out << base << "_sum " << fmt_double(h.mean_us * static_cast<double>(h.count)) << "\n";
-    out << base << "_count " << h.count << "\n";
+    out << base << "_bucket" << with_le("+Inf") << " " << h.count << "\n";
+    out << base << "_sum" << rewritten << " "
+        << fmt_double(h.mean_us * static_cast<double>(h.count)) << "\n";
+    out << base << "_count" << rewritten << " " << h.count << "\n";
     // The P² sketch tails ride along as sibling gauge families so scrapers
     // get p50/p90/p99 without bucket math.
     struct Tail { const char* suffix; double value; };
@@ -366,9 +464,8 @@ std::string Snapshot::to_prometheus() const {
                              Tail{"_p99", h.p99_us}}) {
       std::string family = base + tail.suffix;
       header.emit(family, "gauge", "Incremental P2 quantile estimate (microseconds).");
-      out << family << " " << fmt_double(tail.value) << "\n";
+      out << family << rewritten << " " << fmt_double(tail.value) << "\n";
     }
-    (void)labels;  // histogram names carry no labels today
   }
   if (!traffic.empty()) {
     for (const char* family :
@@ -391,12 +488,20 @@ std::string Snapshot::to_prometheus() const {
   }
   header.emit("smartsock_rss_kb", "gauge", "Resident set size of this process (KB).");
   out << "smartsock_rss_kb " << rss_kb << "\n";
+  header.emit("smartsock_build_info", "gauge",
+              "Build provenance carried in labels; value is always 1.");
+  out << "smartsock_build_info{version=\"" << prom_escape_label_value(build.version)
+      << "\",commit=\"" << prom_escape_label_value(build.commit) << "\",compiler=\""
+      << prom_escape_label_value(build.compiler) << "\"} 1\n";
   return out.str();
 }
 
 std::string Snapshot::to_text() const {
   std::ostringstream out;
   out << "snapshot ts_us=" << wall_us << " rss_kb=" << rss_kb << "\n";
+  out << "build version=" << build.version << " commit=" << build.commit
+      << " compiler=" << build.compiler << " uptime_s=" << fmt_double(uptime_seconds)
+      << "\n";
   if (!counters.empty()) {
     out << "\ncounters:\n";
     for (const auto& [name, value] : counters) {

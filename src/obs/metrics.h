@@ -55,6 +55,22 @@ class Gauge {
 /// latency recorder is exactly this shape, so the registry reuses it.
 using Histogram = util::LatencyRecorder;
 
+/// Compile-time provenance of this binary (ISSUE 7 satellite). Filled from
+/// the SMARTSOCK_VERSION / SMARTSOCK_COMMIT defines CMake stamps onto the
+/// metrics library plus the compiler's own __VERSION__.
+struct BuildInfo {
+  std::string version;
+  std::string commit;
+  std::string compiler;
+};
+
+/// The process-wide build identity (same object every call).
+const BuildInfo& build_info();
+
+/// Seconds since this process initialized the metrics layer (static-init
+/// steady clock; close enough to process start for dashboards).
+double process_uptime_seconds();
+
 struct HistogramStats {
   std::string name;
   std::uint64_t count = 0;
@@ -72,6 +88,8 @@ struct HistogramStats {
 struct Snapshot {
   std::uint64_t wall_us = 0;  // system clock, µs since the Unix epoch
   std::uint64_t rss_kb = 0;   // resident set size of this process
+  BuildInfo build;            // version/commit/compiler stamped at build time
+  double uptime_seconds = 0;  // process uptime at snapshot time
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   std::vector<std::pair<std::string, double>> gauges;
   std::vector<HistogramStats> histograms;
@@ -132,6 +150,12 @@ class MetricsRegistry {
 
   /// Zeroes every metric (bench phase boundaries). Registration survives.
   void reset_all();
+
+  /// Writes a "name value" text snapshot to `fd` for the crash blackbox.
+  /// Best-effort async-signal-safe: no allocation, registry mutex taken with
+  /// try_lock (skipping the dump if a registration holds it), histogram
+  /// tails from the wait-free bucket walk instead of the sketch spinlock.
+  void crash_dump(int fd) const;
 
  private:
   mutable std::mutex mu_;

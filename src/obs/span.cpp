@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include "obs/metrics.h"
+#include "util/crashfmt.h"
 
 namespace smartsock::obs {
 
@@ -78,6 +79,42 @@ void SpanStore::clear() {
     slot.span = SpanRecord{};
   }
   (void)total;
+}
+
+void SpanStore::crash_dump(int fd, std::size_t max_spans) const {
+  util::CrashWriter w(fd);
+  std::uint64_t total = head_.load(std::memory_order_acquire);
+  std::uint64_t start = total > capacity_ ? total - capacity_ : 0;
+  if (total - start > max_spans) start = total - max_spans;
+  for (std::uint64_t i = start; i < total; ++i) {
+    const Slot& slot = slots_[i % capacity_];
+    if (!slot.mu.try_lock()) continue;  // a writer (maybe the crasher) owns it
+    if (slot.claim == i + 1) {
+      const SpanRecord& span = slot.span;
+      // Only reads of existing string bytes — no copies, no allocation.
+      w.str(span.component);
+      w.put('/');
+      w.str(span.name);
+      w.str(" trace=");
+      w.str(span.trace_id.empty() ? std::string_view("-") : std::string_view(span.trace_id));
+      w.str(" span=");
+      w.u64(span.span_id);
+      w.str(" parent=");
+      w.u64(span.parent_id);
+      w.str(" start_us=");
+      w.u64(span.start_us);
+      w.str(" dur_us=");
+      w.u64(span.duration_us);
+      for (const auto& [key, value] : span.tags) {
+        w.put(' ');
+        w.str(key);
+        w.put('=');
+        w.str(value);
+      }
+      w.put('\n');
+    }
+    slot.mu.unlock();
+  }
 }
 
 std::string SpanStore::to_chrome_trace(const std::vector<SpanRecord>& spans) {

@@ -73,6 +73,12 @@ class SpanStore {
   /// Forgets every retained span (test/bench phase boundaries).
   void clear();
 
+  /// Writes up to `max_spans` of the newest retained spans to `fd`, one text
+  /// line per span, for the crash blackbox. Best-effort async-signal-safe:
+  /// no allocation, slots a writer holds (including one the crashing thread
+  /// itself interrupted) are skipped via try_lock.
+  void crash_dump(int fd, std::size_t max_spans = 64) const;
+
   /// Chrome trace_event JSON: {"traceEvents":[{"ph":"X",...}]}. Components
   /// map to synthetic tids so each hop gets its own timeline row.
   static std::string to_chrome_trace(const std::vector<SpanRecord>& spans);

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "obs/profiler.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -50,6 +51,55 @@ namespace {
 
 std::string error_body(std::string_view message) {
   return "{\"error\": \"" + json_escape(message) + "\"}\n";
+}
+
+// `profile <seconds> [cpu|wall] [trace]` (ISSUE 7). Shared between the
+// blocking render() path and the reactor path's async session in reply().
+struct ProfileArgs {
+  bool ok = false;
+  std::string error;
+  util::Duration duration{};
+  ProfilerConfig config;
+  bool trace = false;  // Chrome trace JSON instead of folded stacks
+};
+
+ProfileArgs parse_profile(const std::vector<std::string_view>& words) {
+  ProfileArgs args;
+  if (words.size() < 2) {
+    args.error = "usage: profile <seconds> [cpu|wall] [trace]";
+    return args;
+  }
+  auto seconds = util::parse_double(words[1]);
+  if (!seconds || *seconds <= 0 || *seconds > 30) {
+    args.error = "bad duration: expected 0 < seconds <= 30";
+    return args;
+  }
+  args.duration =
+      std::chrono::duration_cast<util::Duration>(std::chrono::duration<double>(*seconds));
+  for (std::size_t i = 2; i < words.size(); ++i) {
+    if (words[i] == "cpu") {
+      args.config.cpu_time = true;
+    } else if (words[i] == "wall") {
+      args.config.cpu_time = false;
+    } else if (words[i] == "trace") {
+      args.trace = true;
+    } else {
+      args.error = "unknown profile option: " + std::string(words[i]);
+      return args;
+    }
+  }
+  args.ok = true;
+  return args;
+}
+
+std::string profile_body(const ProfileReport& report, bool trace) {
+  // A zero-sample session (idle process under CPU-time sampling) would
+  // otherwise render as an empty reply, indistinguishable from a dead
+  // endpoint on the client side.
+  if (report.total_samples() == 0) {
+    return error_body("no samples captured (process idle during session?)");
+  }
+  return trace ? report.to_chrome_trace() : report.to_folded();
 }
 
 std::string spans_text(const SpanStore& store) {
@@ -108,6 +158,19 @@ std::string StatsServer::render(std::string_view command_line) {
     return SpanStore::to_chrome_trace(spans);
   }
 
+  if (verb == "profile") {
+    // Blocking entry point (serve_once / tests): the session runs inline and
+    // this thread sleeps for the duration. Started servers never get here —
+    // reply() intercepts the verb and runs the session off a loop timer.
+    ProfileArgs args = parse_profile(words);
+    if (!args.ok) return error_body(args.error);
+    if (Profiler::instance().running()) {
+      return error_body("profiler busy: a session is already running");
+    }
+    ProfileReport report = Profiler::instance().profile_for(args.duration, args.config);
+    return profile_body(report, args.trace);
+  }
+
   // "json", empty line, EOF and anything unrecognized keep the historical
   // default so old clients never break.
   return registry_->snapshot().to_json(/*pretty=*/true);
@@ -135,6 +198,12 @@ struct StatsServer::ClientState {
   bool replied = false;
   net::TimerId command_deadline = 0;
   net::TimerId write_deadline = 0;
+  // `profile` session state (ISSUE 7): the collection timer plus whether this
+  // client owns the process-wide profiler session (so on_close can stop an
+  // orphaned one when the client disconnects mid-profile).
+  net::TimerId profile_timer = 0;
+  bool profiling = false;
+  bool profile_trace = false;
 };
 
 void StatsServer::reply(net::Connection& client, ClientState& state) {
@@ -144,6 +213,51 @@ void StatsServer::reply(net::Connection& client, ClientState& state) {
     reactor_->cancel_timer(state.command_deadline);
     state.command_deadline = 0;
   }
+
+  // `profile` must not run through render() here: render() sleeps for the
+  // whole session, which would park the event loop (and trip our own
+  // watchdog). Start the sampler now, reply when a loop timer fires.
+  std::vector<std::string_view> words = util::split_whitespace(state.command);
+  if (!words.empty() && words[0] == "profile") {
+    ProfileArgs args = parse_profile(words);
+    if (args.ok) {
+      if (!Profiler::instance().start(args.config)) {
+        client.send(error_body("profiler busy: a session is already running"));
+      } else {
+        state.profiling = true;
+        state.profile_trace = args.trace;
+        net::Connection* raw = &client;
+        state.profile_timer = reactor_->add_timer(
+            args.duration,
+            [this, raw] {
+              auto held = std::static_pointer_cast<ClientState>(raw->user_data);
+              held->profile_timer = 0;
+              ProfileReport report = Profiler::instance().stop_and_collect();
+              held->profiling = false;
+              raw->send(profile_body(report, held->profile_trace));
+              raw->close_after_flush();
+              if (raw->alive() && raw->pending_output() > 0) {
+                held->write_deadline =
+                    reactor_->add_timer(config_.io_timeout, [raw] { raw->close_now(); });
+              }
+              requests_served_.fetch_add(1, std::memory_order_relaxed);
+            },
+            "stats_profile_collect");
+        return;  // reply comes from the collection timer
+      }
+    } else {
+      client.send(error_body(args.error));
+    }
+    client.close_after_flush();
+    if (client.alive() && client.pending_output() > 0) {
+      net::Connection* raw = &client;
+      state.write_deadline =
+          reactor_->add_timer(config_.io_timeout, [raw] { raw->close_now(); });
+    }
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
   client.send(render(state.command));
   client.close_after_flush();
   // send()/close_after_flush() retire the connection synchronously on a hard
@@ -176,12 +290,20 @@ void StatsServer::on_client_data(net::Connection& client) {
 
 void StatsServer::on_client(net::TcpSocket socket) {
   net::ConnectionHandler handler;
+  handler.label = "stats_admin";
   handler.on_data = [this](net::Connection& client) { on_client_data(client); };
   handler.on_close = [this](net::Connection& client, bool) {
     auto state = std::static_pointer_cast<ClientState>(client.user_data);
     if (state) {
       if (state->command_deadline != 0) reactor_->cancel_timer(state->command_deadline);
       if (state->write_deadline != 0) reactor_->cancel_timer(state->write_deadline);
+      if (state->profile_timer != 0) reactor_->cancel_timer(state->profile_timer);
+      // Client went away mid-profile: stop the session so the next request
+      // can start one, discarding the half-collected report.
+      if (state->profiling) {
+        Profiler::instance().stop_and_collect();
+        state->profiling = false;
+      }
     }
     clients_.erase(&client);
   };
@@ -206,9 +328,11 @@ bool StatsServer::start() {
     reactor_ = own_reactor_.get();
   }
   listener_id_ = reactor_->add_listener(
-      &listener_, [this](net::TcpSocket socket) { on_client(std::move(socket)); });
+      &listener_, [this](net::TcpSocket socket) { on_client(std::move(socket)); },
+      "stats_accept");
   if (config_.dump_interval.count() > 0 && !config_.dump_path.empty()) {
-    dump_timer_ = reactor_->add_periodic(config_.dump_interval, [this] { dump_now(); });
+    dump_timer_ = reactor_->add_periodic(config_.dump_interval, [this] { dump_now(); },
+                                         "stats_dump");
   }
   if (own_reactor_ && !own_reactor_->start()) {
     own_reactor_.reset();

@@ -11,6 +11,12 @@
 //   history <metric> [seconds]  windowed time series (needs config.history)
 //   spans                       span-ring summary, newest last
 //   trace [id]                  Chrome trace_event JSON, whole ring or one trace
+//   profile <seconds> [cpu|wall] [trace]
+//                               sampling-profiler session (ISSUE 7): folded
+//                               stacks (or Chrome trace JSON with `trace`);
+//                               bounded at 30 s, one session at a time. On
+//                               the reactor path the session runs off a loop
+//                               timer so the event loop keeps serving.
 //
 // `smartsock_stats` is the matching CLI.
 //

@@ -330,6 +330,7 @@ void Receiver::on_client_data(net::Connection& client) {
 void Receiver::on_client(net::TcpSocket socket) {
   socket.set_traffic_counter(traffic_);
   net::ConnectionHandler handler;
+  handler.label = "receiver_ingest";
   handler.on_data = [this](net::Connection& client) { on_client_data(client); };
   handler.on_close = [this](net::Connection& client, bool clean) {
     auto state = std::static_pointer_cast<ClientState>(client.user_data);
@@ -414,7 +415,8 @@ bool Receiver::start() {
     reactor_ = own_reactor_.get();
   }
   listener_id_ = reactor_->add_listener(
-      &listener_, [this](net::TcpSocket socket) { on_client(std::move(socket)); });
+      &listener_, [this](net::TcpSocket socket) { on_client(std::move(socket)); },
+      "receiver_accept");
   if (own_reactor_ && !own_reactor_->start()) {
     own_reactor_.reset();
     reactor_ = nullptr;

@@ -1,0 +1,115 @@
+// Async-signal-safe formatting (ISSUE 7, crash blackbox).
+//
+// The postmortem path runs inside SIGSEGV/SIGABRT handlers where printf,
+// iostreams and anything that may allocate are off the table. CrashWriter is
+// the lowest common denominator: a small stack buffer flushed with write(2),
+// plus hand-rolled integer/double/hex formatting. Every consumer of the
+// blackbox (logging ring, span ring, metrics registry) formats its crash
+// section through this writer, so no crash-path code touches the heap.
+#pragma once
+
+#include <unistd.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace smartsock::util {
+
+/// Buffered fd writer safe to use from a signal handler. Not thread-safe —
+/// the crash handler is the only writer by construction.
+class CrashWriter {
+ public:
+  explicit CrashWriter(int fd) : fd_(fd) {}
+  ~CrashWriter() { flush(); }
+
+  CrashWriter(const CrashWriter&) = delete;
+  CrashWriter& operator=(const CrashWriter&) = delete;
+
+  void flush() {
+    std::size_t off = 0;
+    while (off < len_) {
+      ssize_t n = ::write(fd_, buf_ + off, len_ - off);
+      if (n <= 0) break;  // best effort; nothing to do about a failing fd
+      off += static_cast<std::size_t>(n);
+    }
+    len_ = 0;
+  }
+
+  void put(char c) {
+    if (len_ >= sizeof(buf_)) flush();
+    buf_[len_++] = c;
+  }
+
+  void str(std::string_view s) {
+    for (char c : s) put(c == '\0' ? '?' : c);
+  }
+
+  void u64(std::uint64_t v) {
+    char digits[24];
+    std::size_t n = 0;
+    do {
+      digits[n++] = static_cast<char>('0' + v % 10);
+      v /= 10;
+    } while (v != 0);
+    while (n > 0) put(digits[--n]);
+  }
+
+  void i64(std::int64_t v) {
+    if (v < 0) {
+      put('-');
+      // Negate as unsigned so INT64_MIN does not overflow.
+      u64(~static_cast<std::uint64_t>(v) + 1);
+    } else {
+      u64(static_cast<std::uint64_t>(v));
+    }
+  }
+
+  /// Fixed-point with 3 fractional digits; enough for metric gauges. NaN and
+  /// infinities print as words, magnitudes past 2^63 saturate.
+  void dbl(double v) {
+    if (v != v) {
+      str("nan");
+      return;
+    }
+    if (v < 0) {
+      put('-');
+      v = -v;
+    }
+    if (v > 9.2e18) {
+      str("inf");
+      return;
+    }
+    auto whole = static_cast<std::uint64_t>(v);
+    auto milli = static_cast<std::uint64_t>((v - static_cast<double>(whole)) * 1000.0 + 0.5);
+    if (milli >= 1000) {
+      whole += 1;
+      milli -= 1000;
+    }
+    u64(whole);
+    put('.');
+    put(static_cast<char>('0' + milli / 100));
+    put(static_cast<char>('0' + milli / 10 % 10));
+    put(static_cast<char>('0' + milli % 10));
+  }
+
+  void hex(std::uint64_t v) {
+    str("0x");
+    char digits[16];
+    std::size_t n = 0;
+    do {
+      digits[n++] = "0123456789abcdef"[v & 0xf];
+      v >>= 4;
+    } while (v != 0);
+    while (n > 0) put(digits[--n]);
+  }
+
+  void ptr(const void* p) { hex(reinterpret_cast<std::uintptr_t>(p)); }
+
+ private:
+  int fd_;
+  char buf_[512];
+  std::size_t len_ = 0;
+};
+
+}  // namespace smartsock::util

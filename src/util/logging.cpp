@@ -3,8 +3,67 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdlib>
+#include <cstring>
+
+#include "util/crashfmt.h"
 
 namespace smartsock::util {
+
+// --- LogRing -----------------------------------------------------------------
+
+LogRing::LogRing(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity), slots_(new Slot[capacity_]) {}
+
+void LogRing::append(LogLevel level, std::string_view component, std::string_view message) {
+  std::uint64_t seq = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[seq % capacity_];
+  slot.ticket.store(2 * seq + 1, std::memory_order_release);  // writing
+
+  char* out = slot.text;
+  std::size_t len = 0;
+  auto emit = [&](std::string_view s) {
+    std::size_t n = std::min(s.size(), kLineBytes - len);
+    std::memcpy(out + len, s.data(), n);
+    len += n;
+  };
+  emit("[");
+  emit(log_level_tag(level));
+  emit("] ");
+  emit(component);
+  emit(": ");
+  emit(message);
+  slot.len = static_cast<std::uint16_t>(len);
+
+  slot.ticket.store(2 * seq + 2, std::memory_order_release);  // complete
+}
+
+std::vector<std::string> LogRing::snapshot() const {
+  std::uint64_t total = head_.load(std::memory_order_acquire);
+  std::uint64_t start = total > capacity_ ? total - capacity_ : 0;
+  std::vector<std::string> out;
+  out.reserve(static_cast<std::size_t>(total - start));
+  for (std::uint64_t i = start; i < total; ++i) {
+    const Slot& slot = slots_[i % capacity_];
+    std::uint64_t before = slot.ticket.load(std::memory_order_acquire);
+    if (before != 2 * i + 2) continue;  // unwritten, mid-write, or lapped
+    std::string line(slot.text, std::min<std::size_t>(slot.len, kLineBytes));
+    if (slot.ticket.load(std::memory_order_acquire) != before) continue;  // torn
+    out.push_back(std::move(line));
+  }
+  return out;
+}
+
+void LogRing::crash_dump(int fd) const {
+  CrashWriter w(fd);
+  std::uint64_t total = head_.load(std::memory_order_acquire);
+  std::uint64_t start = total > capacity_ ? total - capacity_ : 0;
+  for (std::uint64_t i = start; i < total; ++i) {
+    const Slot& slot = slots_[i % capacity_];
+    if (slot.ticket.load(std::memory_order_acquire) != 2 * i + 2) continue;
+    w.str(std::string_view(slot.text, std::min<std::size_t>(slot.len, kLineBytes)));
+    w.put('\n');
+  }
+}
 
 std::string_view log_level_tag(LogLevel level) {
   switch (level) {
@@ -69,9 +128,16 @@ void Logger::set_sink(Sink sink) {
   sink_ = std::move(sink);
 }
 
+void Logger::attach_ring(LogRing* ring) {
+  ring_.store(ring, std::memory_order_release);
+}
+
 void Logger::log(LogLevel level, std::string_view component, std::string_view message) {
   if (!enabled(level)) return;
   std::lock_guard<std::mutex> lock(mu_);
+  if (LogRing* ring = ring_.load(std::memory_order_acquire)) {
+    ring->append(level, component, message);
+  }
   if (sink_) {
     sink_(level, component, message);
     return;

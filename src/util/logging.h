@@ -4,15 +4,23 @@
 // logger keeps that observable without pulling in an external dependency.
 // Levels can be silenced globally, which the test suite uses to keep output
 // clean while still exercising the logging paths.
+//
+// ISSUE 7 adds the LogRing: a fixed-memory ring of the most recent formatted
+// lines that the crash blackbox can flush from a signal handler. A ring
+// attached to the Logger tees every emitted record (it does not replace the
+// sink), costing one memcpy per line and zero allocations after construction.
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace smartsock::util {
 
@@ -31,6 +39,48 @@ std::string_view log_level_tag(LogLevel level);
 /// Parses "trace"/"debug"/"info"/"warn"/"error"/"off" (case-insensitive).
 /// Returns kInfo for unknown strings.
 LogLevel parse_log_level(std::string_view text);
+
+/// Bounded ring of the last N formatted log lines, kept in pre-sized slots
+/// so the crash blackbox can recover them without allocating. Writers go
+/// through the Logger (which serializes them); crash_dump() reads the slots
+/// lock-free with a per-slot ticket so a line the crash interrupted mid-write
+/// is skipped instead of emitted torn.
+class LogRing {
+ public:
+  static constexpr std::size_t kLineBytes = 240;
+
+  explicit LogRing(std::size_t capacity = 128);
+
+  LogRing(const LogRing&) = delete;
+  LogRing& operator=(const LogRing&) = delete;
+
+  /// Formats and stores "[TAG ] component: message" (truncated to
+  /// kLineBytes). Thread-safe.
+  void append(LogLevel level, std::string_view component, std::string_view message);
+
+  /// The retained lines, oldest first (normal-path reader for tests/stats).
+  std::vector<std::string> snapshot() const;
+
+  /// Writes the retained lines to `fd`, oldest first, one per line.
+  /// Async-signal-safe; slots a writer holds are skipped.
+  void crash_dump(int fd) const;
+
+  std::size_t capacity() const { return capacity_; }
+  /// Lines ever appended (including overwritten ones).
+  std::uint64_t appended() const { return head_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Slot {
+    /// 0 = never written; odd = 2*seq+1 while writing; even = 2*seq+2 done.
+    std::atomic<std::uint64_t> ticket{0};
+    std::uint16_t len = 0;
+    char text[kLineBytes];
+  };
+
+  std::size_t capacity_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> head_{0};
+};
 
 /// Process-wide logger. Writes to stderr by default; level and sink are
 /// adjustable at runtime (tests inject a capturing sink).
@@ -55,6 +105,12 @@ class Logger {
   /// Replaces the output sink. A null sink restores the stderr default.
   void set_sink(Sink sink);
 
+  /// Attaches a ring that tees every emitted record (in addition to the
+  /// sink/stderr). Null detaches. The ring must outlive the attachment —
+  /// the blackbox uses a process-lifetime ring.
+  void attach_ring(LogRing* ring);
+  LogRing* ring() const { return ring_.load(std::memory_order_acquire); }
+
   /// Emits one record: "[<tag>] <component>: <message>\n". Thread-safe.
   void log(LogLevel level, std::string_view component, std::string_view message);
 
@@ -68,6 +124,7 @@ class Logger {
   mutable std::mutex mu_;
   std::atomic<int> level_;
   Sink sink_;  // null => stderr
+  std::atomic<LogRing*> ring_{nullptr};
 };
 
 /// Stream-style helper: LOG_AS(kInfo, "wizard") << "served " << n;

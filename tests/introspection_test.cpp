@@ -1,0 +1,764 @@
+// Deep runtime introspection tests (ISSUE 7): reactor loop telemetry (lag
+// histogram on a virtual clock, per-site callback attribution, queue/timer
+// gauges), the stall watchdog (detection, attribution, fatal-abort path),
+// the in-process sampling profiler (capture, folded output, overlap
+// rejection, the stats `profile` verb on both serving paths), the crash
+// blackbox (postmortem recovery from a SIGSEGV'd fork child), the log ring,
+// build_info/uptime satellites, Prometheus label merging, health rules for
+// loop lag and stalls, and the stats CLI exit-code contract.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <limits.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "net/reactor.h"
+#include "net/tcp_socket.h"
+#include "obs/blackbox.h"
+#include "obs/health.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/span.h"
+#include "obs/stats_server.h"
+#include "sim/virtual_clock.h"
+#include "util/clock.h"
+#include "util/logging.h"
+
+// Sanitizer detection: the fork/fatal-signal tests hand SIGSEGV/SIGABRT to
+// the blackbox, which collides with the sanitizers' own crash handling; the
+// profiler tests hammer SIGPROF, which TSan's interceptors dislike.
+#if defined(__SANITIZE_ADDRESS__)
+#define SMARTSOCK_ASAN 1
+#endif
+#if defined(__SANITIZE_THREAD__)
+#define SMARTSOCK_TSAN 1
+#endif
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define SMARTSOCK_ASAN 1
+#endif
+#if __has_feature(thread_sanitizer)
+#define SMARTSOCK_TSAN 1
+#endif
+#endif
+
+namespace smartsock {
+namespace {
+
+using namespace std::chrono_literals;
+
+util::Duration ms(std::int64_t n) { return std::chrono::milliseconds(n); }
+
+std::uint64_t histogram_count(const std::string& name) {
+  return obs::MetricsRegistry::instance().histogram(name)->count();
+}
+
+std::uint64_t counter_value(const std::string& name) {
+  return obs::MetricsRegistry::instance().counter(name)->value();
+}
+
+double gauge_value(const std::string& name) {
+  return obs::MetricsRegistry::instance().gauge(name)->value();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Every non-empty line must be "frame[;frame...] <count>" with a positive
+/// integer count — what flamegraph.pl / speedscope ingest.
+bool parse_folded(const std::string& body, std::uint64_t* total_out = nullptr) {
+  std::istringstream in(body);
+  std::string line;
+  std::uint64_t total = 0;
+  bool any = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::size_t space = line.rfind(' ');
+    if (space == std::string::npos || space == 0 || space + 1 >= line.size()) return false;
+    for (std::size_t i = space + 1; i < line.size(); ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(line[i]))) return false;
+    }
+    total += std::strtoull(line.c_str() + space + 1, nullptr, 10);
+    any = true;
+  }
+  if (total_out != nullptr) *total_out = total;
+  return any;
+}
+
+// --- log ring -----------------------------------------------------------------
+
+TEST(LogRing, KeepsNewestLinesInOrder) {
+  util::LogRing ring(4);
+  for (int i = 0; i < 10; ++i) {
+    ring.append(util::LogLevel::kInfo, "test", "line " + std::to_string(i));
+  }
+  EXPECT_EQ(ring.appended(), 10u);
+  std::vector<std::string> lines = ring.snapshot();
+  ASSERT_EQ(lines.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NE(lines[i].find("line " + std::to_string(6 + i)), std::string::npos)
+        << lines[i];
+    EXPECT_NE(lines[i].find("test"), std::string::npos) << lines[i];
+  }
+}
+
+TEST(LogRing, TruncatesOversizedLines) {
+  util::LogRing ring(2);
+  ring.append(util::LogLevel::kError, "big", std::string(1000, 'x'));
+  std::vector<std::string> lines = ring.snapshot();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_LE(lines[0].size(), util::LogRing::kLineBytes);
+  EXPECT_NE(lines[0].find("xxx"), std::string::npos);
+}
+
+TEST(LogRing, LoggerTeesIntoAttachedRing) {
+  util::LogRing ring(8);
+  util::Logger& logger = util::Logger::instance();
+  util::LogRing* previous = logger.ring();
+  logger.attach_ring(&ring);
+  // kError passes any level filter; a discarding sink keeps stderr clean.
+  logger.set_sink([](util::LogLevel, std::string_view, std::string_view) {});
+  SMARTSOCK_LOG(kError, "ringtest") << "teed line " << 42;
+  logger.set_sink(nullptr);
+  logger.attach_ring(previous);
+
+  std::vector<std::string> lines = ring.snapshot();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("ringtest"), std::string::npos) << lines[0];
+  EXPECT_NE(lines[0].find("teed line 42"), std::string::npos) << lines[0];
+}
+
+// --- build info / process gauges (satellite) ----------------------------------
+
+TEST(BuildInfo, PresentInSnapshotAndEveryFormat) {
+  const obs::BuildInfo& build = obs::build_info();
+  EXPECT_FALSE(build.version.empty());
+  EXPECT_FALSE(build.commit.empty());
+  EXPECT_FALSE(build.compiler.empty());
+
+  obs::Snapshot snap = obs::MetricsRegistry::instance().snapshot();
+  EXPECT_EQ(snap.build.version, build.version);
+  EXPECT_GT(snap.uptime_seconds, 0.0);
+
+  auto gauge_in = [&](const std::string& name) {
+    for (const auto& [key, value] : snap.gauges) {
+      if (key == name) return value;
+    }
+    return -1.0;
+  };
+  EXPECT_GT(gauge_in("process_uptime_seconds"), 0.0);
+  EXPECT_GT(gauge_in("process_rss_bytes"), 0.0);
+
+  std::string json = snap.to_json(true);
+  EXPECT_NE(json.find("\"build\""), std::string::npos);
+  EXPECT_NE(json.find(build.version), std::string::npos);
+
+  std::string prom = snap.to_prometheus();
+  EXPECT_NE(prom.find("smartsock_build_info{"), std::string::npos);
+  EXPECT_NE(prom.find("version=\"" + build.version + "\""), std::string::npos);
+
+  std::string text = snap.to_text();
+  EXPECT_NE(text.find(build.version), std::string::npos);
+}
+
+TEST(Prometheus, LabeledHistogramMergesLeWithSiteLabel) {
+  obs::MetricsRegistry registry;
+  registry.histogram("reactor_callback_us{site=\"merge_check\"}")->record_us(123.0);
+  std::string prom = registry.snapshot().to_prometheus();
+  // le must join the existing label set inside one brace pair, not nest.
+  EXPECT_NE(prom.find("reactor_callback_us_bucket{site=\"merge_check\",le=\""),
+            std::string::npos)
+      << prom;
+  EXPECT_EQ(prom.find("}{"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("reactor_callback_us_count{site=\"merge_check\"}"),
+            std::string::npos)
+      << prom;
+}
+
+// --- reactor loop telemetry ---------------------------------------------------
+
+TEST(ReactorTelemetry, LoopLagRecordedOnVirtualClock) {
+  std::uint64_t lag_before = histogram_count("reactor_loop_lag_us");
+
+  sim::VirtualClock clock;
+  net::ReactorConfig config;
+  config.clock = &clock;
+  net::Reactor reactor(config);
+
+  int fired = 0;
+  reactor.add_timer(ms(10), [&] { ++fired; }, "lag_probe_site");
+  reactor.run_once(ms(0));
+  EXPECT_EQ(fired, 0);
+
+  // The loop only looks at the wheel 30 ms after the deadline: 20 ms lag.
+  clock.advance(ms(30));
+  reactor.run_once(ms(0));
+  EXPECT_EQ(fired, 1);
+
+  EXPECT_GE(histogram_count("reactor_loop_lag_us"), lag_before + 1);
+  // A 20 ms lag lands in a bucket whose upper bound exceeds 10 ms.
+  auto buckets =
+      obs::MetricsRegistry::instance().histogram("reactor_loop_lag_us")->nonzero_buckets();
+  bool big_bucket = false;
+  for (const auto& [upper_us, count] : buckets) {
+    if (upper_us > 10e3 && count > 0) big_bucket = true;
+  }
+  EXPECT_TRUE(big_bucket);
+
+  // The fire was attributed to the labeled site.
+  EXPECT_EQ(histogram_count("reactor_callback_us{site=\"lag_probe_site\"}"), 1u);
+}
+
+TEST(ReactorTelemetry, GaugesTrackTimersAndPostedQueue) {
+  double timers_before = gauge_value("reactor_timers_active");
+  double posted_before = gauge_value("reactor_posted_queue_depth");
+  {
+    sim::VirtualClock clock;
+    net::ReactorConfig config;
+    config.clock = &clock;
+    net::Reactor reactor(config);
+
+    reactor.add_timer(ms(10), [] {}, "gauge_a");
+    reactor.add_timer(ms(20), [] {}, "gauge_b");
+    reactor.add_periodic(ms(30), [] {}, "gauge_c");
+    reactor.run_once(ms(0));  // publish_gauges
+    EXPECT_DOUBLE_EQ(gauge_value("reactor_timers_active"), timers_before + 3);
+
+    reactor.post([] {});
+    reactor.post([] {});
+    EXPECT_DOUBLE_EQ(gauge_value("reactor_posted_queue_depth"), posted_before + 2);
+    reactor.run_once(ms(0));  // drains the mailbox
+    EXPECT_DOUBLE_EQ(gauge_value("reactor_posted_queue_depth"), posted_before);
+
+    clock.advance(ms(10));
+    reactor.run_once(ms(0));  // one one-shot fired
+    EXPECT_DOUBLE_EQ(gauge_value("reactor_timers_active"), timers_before + 2);
+  }
+  // Destruction backs out this reactor's contribution.
+  EXPECT_DOUBLE_EQ(gauge_value("reactor_timers_active"), timers_before);
+  EXPECT_DOUBLE_EQ(gauge_value("reactor_posted_queue_depth"), posted_before);
+}
+
+TEST(ReactorTelemetry, ConnectionCallbacksAttributeToHandlerLabel) {
+  net::Reactor reactor;
+  ASSERT_TRUE(reactor.start());
+
+  auto listener = net::TcpListener::listen(net::Endpoint::loopback(0));
+  ASSERT_TRUE(listener);
+  std::atomic<int> got{0};
+  reactor.add_listener(
+      &*listener,
+      [&](net::TcpSocket socket) {
+        net::ConnectionHandler handler;
+        handler.label = "echo_site";
+        handler.on_data = [&](net::Connection& client) {
+          client.send(client.input());
+          client.consume(client.input().size());
+          got.fetch_add(1);
+        };
+        reactor.add_connection(std::move(socket), handler);
+      },
+      "echo_accept");
+
+  auto client = net::TcpSocket::connect(listener->local_endpoint(), 2s);
+  ASSERT_TRUE(client);
+  ASSERT_TRUE(client->send_all("ping").ok());
+  std::string reply;
+  client->set_receive_timeout(2s);
+  ASSERT_TRUE(client->receive_exact(reply, 4).ok());
+  EXPECT_EQ(reply, "ping");
+  reactor.stop();
+
+  EXPECT_GE(got.load(), 1);
+  EXPECT_GE(histogram_count("reactor_callback_us{site=\"echo_accept\"}"), 1u);
+  EXPECT_GE(histogram_count("reactor_callback_us{site=\"echo_site\"}"), 1u);
+}
+
+// --- stall watchdog -----------------------------------------------------------
+
+TEST(ReactorWatchdog, DetectsAndAttributesBlockedCallback) {
+  std::uint64_t stalls_before = counter_value("reactor_watchdog_stalls_total");
+
+  net::ReactorConfig config;
+  config.watchdog_stall_threshold = ms(50);
+  config.watchdog_check_interval = ms(10);
+  net::Reactor reactor(config);
+  ASSERT_TRUE(reactor.start());
+
+  std::atomic<bool> release{false};
+  reactor.add_timer(
+      ms(1),
+      [&] {
+        // Block the loop until the test saw the stall flagged (bounded).
+        auto deadline = std::chrono::steady_clock::now() + 2s;
+        while (!release.load() && std::chrono::steady_clock::now() < deadline) {
+          std::this_thread::sleep_for(5ms);
+        }
+      },
+      "wedged_handler");
+
+  // The gauge must rise while the callback is still blocking the loop.
+  bool flagged = false;
+  for (int i = 0; i < 200 && !flagged; ++i) {
+    flagged = gauge_value("reactor_watchdog_stalled") >= 1.0;
+    std::this_thread::sleep_for(10ms);
+  }
+  EXPECT_TRUE(flagged);
+  release.store(true);
+  reactor.stop();
+
+  EXPECT_GE(counter_value("reactor_watchdog_stalls_total"), stalls_before + 1);
+  EXPECT_DOUBLE_EQ(gauge_value("reactor_watchdog_stalled"), 0.0);
+  // The blocked callback's wall time was still attributed to its site.
+  EXPECT_GE(histogram_count("reactor_callback_us{site=\"wedged_handler\"}"), 1u);
+}
+
+TEST(ReactorWatchdog, FatalThresholdAbortsWithAttributedPostmortem) {
+#if defined(SMARTSOCK_ASAN) || defined(SMARTSOCK_TSAN)
+  GTEST_SKIP() << "fatal-signal path owned by the sanitizer runtime";
+#endif
+  std::string path = testing::TempDir() + "/watchdog_fatal.postmortem";
+  ::unlink(path.c_str());
+
+  pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: a wedged callback must get the daemon aborted by the watchdog,
+    // with the blackbox postmortem naming the handler.
+    std::freopen("/dev/null", "w", stderr);
+    obs::Blackbox::install("watchdog_child", path);
+    net::ReactorConfig config;
+    config.watchdog_stall_threshold = ms(30);
+    config.watchdog_check_interval = ms(10);
+    config.watchdog_fatal_threshold = ms(100);
+    net::Reactor reactor(config);
+    if (!reactor.start()) ::_exit(41);
+    reactor.add_timer(ms(1), [] { std::this_thread::sleep_for(10s); },
+                      "wedged_fatal_handler");
+    std::this_thread::sleep_for(8s);
+    ::_exit(42);  // watchdog failed to abort us
+  }
+
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status)) << "status=" << status;
+  EXPECT_EQ(WTERMSIG(status), SIGABRT);
+
+  std::string postmortem = read_file(path);
+  EXPECT_NE(postmortem.find("daemon: watchdog_child"), std::string::npos) << postmortem;
+  EXPECT_NE(postmortem.find("signal: SIGABRT"), std::string::npos) << postmortem;
+  EXPECT_NE(postmortem.find("watchdog_fatal handler=wedged_fatal_handler"),
+            std::string::npos)
+      << postmortem;
+  ::unlink(path.c_str());
+}
+
+// --- crash blackbox -----------------------------------------------------------
+
+TEST(Blackbox, DumpNowWritesAllSections) {
+  std::string path = testing::TempDir() + "/dump_now.postmortem";
+  ::unlink(path.c_str());
+  ASSERT_TRUE(obs::Blackbox::install("dump_now_test", path));
+  EXPECT_TRUE(obs::Blackbox::installed());
+  EXPECT_STREQ(obs::Blackbox::path(), path.c_str());
+
+  obs::MetricsRegistry::instance().counter("blackbox_dump_probe_total")->inc(7);
+  obs::Blackbox::annotate("probe_note=42");
+  obs::Blackbox::dump_now();
+  obs::Blackbox::uninstall();
+
+  std::string postmortem = read_file(path);
+  EXPECT_NE(postmortem.find("=== smartsock postmortem ==="), std::string::npos);
+  EXPECT_NE(postmortem.find("daemon: dump_now_test"), std::string::npos);
+  EXPECT_NE(postmortem.find("note: probe_note=42"), std::string::npos);
+  EXPECT_NE(postmortem.find("--- metrics ---"), std::string::npos);
+  EXPECT_NE(postmortem.find("blackbox_dump_probe_total 7"), std::string::npos)
+      << postmortem;
+  EXPECT_NE(postmortem.find("--- log tail ---"), std::string::npos);
+  EXPECT_NE(postmortem.find("--- spans ---"), std::string::npos);
+  EXPECT_NE(postmortem.find("=== end postmortem ==="), std::string::npos);
+  ::unlink(path.c_str());
+}
+
+TEST(Blackbox, PostmortemRecoversStateFromSegvChild) {
+#if defined(SMARTSOCK_ASAN) || defined(SMARTSOCK_TSAN)
+  GTEST_SKIP() << "fatal-signal path owned by the sanitizer runtime";
+#endif
+  std::string path = testing::TempDir() + "/segv_child.postmortem";
+  ::unlink(path.c_str());
+
+  pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    std::freopen("/dev/null", "w", stderr);
+    obs::Blackbox::install("segv_child", path);
+    // State the postmortem must recover: a metric, a log line, a span.
+    obs::MetricsRegistry::instance().counter("segv_probe_total")->inc(3);
+    util::Logger::instance().set_level(util::LogLevel::kInfo);
+    SMARTSOCK_LOG(kError, "segv_test") << "about to crash on purpose";
+    {
+      obs::Span span("segv_test", "doomed_work", "cafe0000cafe0000", 0,
+                     obs::SpanStore::instance());
+      span.tag("reason", "deliberate");
+    }
+    ::raise(SIGSEGV);
+    ::_exit(42);  // unreachable unless the signal was swallowed
+  }
+
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status)) << "status=" << status;
+  EXPECT_EQ(WTERMSIG(status), SIGSEGV);
+
+  std::string postmortem = read_file(path);
+  EXPECT_NE(postmortem.find("daemon: segv_child"), std::string::npos) << postmortem;
+  EXPECT_NE(postmortem.find("signal: SIGSEGV (11)"), std::string::npos) << postmortem;
+  EXPECT_NE(postmortem.find("build: version="), std::string::npos) << postmortem;
+  // Metrics section recovered the counter...
+  EXPECT_NE(postmortem.find("segv_probe_total 3"), std::string::npos) << postmortem;
+  // ...the log tail has the last line...
+  EXPECT_NE(postmortem.find("about to crash on purpose"), std::string::npos)
+      << postmortem;
+  // ...and the span ring has the doomed span with its tag.
+  EXPECT_NE(postmortem.find("segv_test/doomed_work"), std::string::npos) << postmortem;
+  EXPECT_NE(postmortem.find("reason=deliberate"), std::string::npos) << postmortem;
+  ::unlink(path.c_str());
+}
+
+// --- sampling profiler --------------------------------------------------------
+
+TEST(Profiler, CapturesBusyLoopAndFoldsStacks) {
+#if defined(SMARTSOCK_TSAN)
+  GTEST_SKIP() << "SIGPROF sampling under TSan interceptors";
+#endif
+  std::atomic<bool> stop{false};
+  std::thread burner([&] {
+    volatile double sink = 0;
+    while (!stop.load()) {
+      for (int i = 1; i < 5000; ++i) sink += 1.0 / i;
+    }
+  });
+
+  obs::ProfilerConfig config;
+  config.interval = util::from_millis(1);
+  config.cpu_time = true;
+  obs::ProfileReport report =
+      obs::Profiler::instance().profile_for(ms(400), config);
+  stop.store(true);
+  burner.join();
+
+  EXPECT_GE(report.captured, 20u) << "dropped=" << report.dropped;
+  ASSERT_FALSE(report.stacks.empty());
+  std::uint64_t total = 0;
+  EXPECT_TRUE(parse_folded(report.to_folded(), &total));
+  EXPECT_EQ(total, report.captured);
+  // Chrome trace export is valid non-empty JSON with slices.
+  std::string trace = report.to_chrome_trace();
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\""), std::string::npos);
+}
+
+TEST(Profiler, RejectsOverlappingSessions) {
+#if defined(SMARTSOCK_TSAN)
+  GTEST_SKIP() << "SIGPROF sampling under TSan interceptors";
+#endif
+  obs::ProfilerConfig config;
+  config.cpu_time = false;  // wall: samples arrive even while idle
+  ASSERT_TRUE(obs::Profiler::instance().start(config));
+  EXPECT_TRUE(obs::Profiler::instance().running());
+  EXPECT_FALSE(obs::Profiler::instance().start(config));
+  // A blocking session against a busy profiler reports zero samples.
+  obs::ProfileReport blocked = obs::Profiler::instance().profile_for(ms(50), config);
+  EXPECT_EQ(blocked.captured, 0u);
+  std::this_thread::sleep_for(50ms);
+  obs::ProfileReport report = obs::Profiler::instance().stop_and_collect();
+  EXPECT_FALSE(obs::Profiler::instance().running());
+  EXPECT_GE(report.captured, 1u);
+}
+
+// --- stats server `profile` verb ----------------------------------------------
+
+TEST(StatsProfileVerb, RenderValidatesArguments) {
+  obs::StatsServerConfig config;
+  obs::StatsServer server(config);
+  ASSERT_TRUE(server.valid());
+  EXPECT_NE(server.render("profile").find("\"error\""), std::string::npos);
+  EXPECT_NE(server.render("profile 0").find("\"error\""), std::string::npos);
+  EXPECT_NE(server.render("profile 31").find("\"error\""), std::string::npos);
+  EXPECT_NE(server.render("profile abc").find("\"error\""), std::string::npos);
+  EXPECT_NE(server.render("profile 1 bogus").find("\"error\""), std::string::npos);
+}
+
+TEST(StatsProfileVerb, BlockingRenderRunsBoundedSession) {
+#if defined(SMARTSOCK_TSAN)
+  GTEST_SKIP() << "SIGPROF sampling under TSan interceptors";
+#endif
+  obs::StatsServerConfig config;
+  obs::StatsServer server(config);
+  ASSERT_TRUE(server.valid());
+
+  auto start = std::chrono::steady_clock::now();
+  std::string body = server.render("profile 0.3 wall");
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, 250ms);
+  EXPECT_LT(elapsed, 5s);
+  ASSERT_EQ(body.find("\"error\""), std::string::npos) << body;
+  EXPECT_TRUE(parse_folded(body)) << body;
+
+  // While a session runs, render() refuses to start another.
+  obs::ProfilerConfig wall;
+  wall.cpu_time = false;
+  ASSERT_TRUE(obs::Profiler::instance().start(wall));
+  EXPECT_NE(server.render("profile 0.1").find("already running"), std::string::npos);
+  obs::Profiler::instance().stop_and_collect();
+}
+
+TEST(StatsProfileVerb, ReactorPathServesSessionAndRejectsOverlap) {
+#if defined(SMARTSOCK_TSAN)
+  GTEST_SKIP() << "SIGPROF sampling under TSan interceptors";
+#endif
+  obs::StatsServerConfig config;
+  obs::StatsServer server(config);
+  ASSERT_TRUE(server.valid());
+  ASSERT_TRUE(server.start());
+
+  auto fetch_after_send = [&](net::TcpSocket& socket) {
+    std::string body, chunk;
+    socket.set_receive_timeout(5s);
+    while (socket.receive_some(chunk, 64 * 1024).ok()) body += chunk;
+    return body;
+  };
+
+  // First client owns the session; the loop keeps serving during it.
+  auto first = net::TcpSocket::connect(server.endpoint(), 2s);
+  ASSERT_TRUE(first);
+  ASSERT_TRUE(first->send_all("profile 0.6 wall\n").ok());
+  std::this_thread::sleep_for(100ms);
+
+  // Overlap rejected immediately...
+  auto second = net::TcpSocket::connect(server.endpoint(), 2s);
+  ASSERT_TRUE(second);
+  ASSERT_TRUE(second->send_all("profile 0.2\n").ok());
+  std::string second_body = fetch_after_send(*second);
+  EXPECT_NE(second_body.find("already running"), std::string::npos) << second_body;
+
+  // ...and ordinary verbs answer while the session is still sampling.
+  auto third = net::TcpSocket::connect(server.endpoint(), 2s);
+  ASSERT_TRUE(third);
+  ASSERT_TRUE(third->send_all("text\n").ok());
+  EXPECT_FALSE(fetch_after_send(*third).empty());
+
+  std::string first_body = fetch_after_send(*first);
+  ASSERT_EQ(first_body.find("\"error\""), std::string::npos) << first_body;
+  EXPECT_TRUE(parse_folded(first_body)) << first_body;
+  server.stop();
+  EXPECT_FALSE(obs::Profiler::instance().running());
+}
+
+TEST(StatsProfileVerb, DisconnectedClientReleasesSession) {
+#if defined(SMARTSOCK_TSAN)
+  GTEST_SKIP() << "SIGPROF sampling under TSan interceptors";
+#endif
+  obs::StatsServerConfig config;
+  obs::StatsServer server(config);
+  ASSERT_TRUE(server.valid());
+  ASSERT_TRUE(server.start());
+  {
+    auto client = net::TcpSocket::connect(server.endpoint(), 2s);
+    ASSERT_TRUE(client);
+    ASSERT_TRUE(client->send_all("profile 10 wall\n").ok());
+    std::this_thread::sleep_for(100ms);
+    EXPECT_TRUE(obs::Profiler::instance().running());
+  }  // client hangs up mid-session
+  // on_close stops the orphaned session well before its 10 s deadline.
+  bool released = false;
+  for (int i = 0; i < 100 && !released; ++i) {
+    released = !obs::Profiler::instance().running();
+    std::this_thread::sleep_for(20ms);
+  }
+  EXPECT_TRUE(released);
+  server.stop();
+}
+
+// --- stats endpoint under concurrent clients (satellite) ----------------------
+
+TEST(StatsServerConcurrency, ManyWatchClientsGetCompleteReplies) {
+  obs::StatsServerConfig config;
+  obs::StatsServer server(config);
+  ASSERT_TRUE(server.valid());
+  ASSERT_TRUE(server.start());
+  std::uint64_t served_before = server.requests_served();
+
+  constexpr int kThreads = 6;
+  constexpr int kRounds = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      const char* commands[] = {"json\n", "text\n", "prom\n", "spans\n"};
+      for (int round = 0; round < kRounds; ++round) {
+        auto socket = net::TcpSocket::connect(server.endpoint(), 2s);
+        if (!socket) {
+          failures.fetch_add(1);
+          continue;
+        }
+        socket->set_receive_timeout(2s);
+        if (!socket->send_all(commands[(t + round) % 4]).ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        std::string body, chunk;
+        while (socket->receive_some(chunk, 64 * 1024).ok()) body += chunk;
+        if (body.empty()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+  server.stop();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(server.requests_served(), served_before + kThreads * kRounds);
+}
+
+// --- health rules (satellite) -------------------------------------------------
+
+TEST(HealthRules, LoopLagOverBudgetDegradesReactor) {
+  obs::MetricsRegistry registry;
+  obs::HealthEngine engine(registry);
+  obs::Histogram* lag = registry.histogram("reactor_loop_lag_us");
+  for (int i = 0; i < 100; ++i) lag->record_us(80e3);  // 80 ms >> 50 ms budget
+
+  obs::HealthReport report = engine.evaluate();
+  bool found = false;
+  for (const auto& subsystem : report.subsystems) {
+    if (subsystem.name != "reactor") continue;
+    found = true;
+    EXPECT_EQ(subsystem.level, obs::HealthLevel::kDegraded);
+    ASSERT_FALSE(subsystem.reasons.empty());
+    EXPECT_NE(subsystem.reasons[0].find("loop-lag"), std::string::npos);
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(report.overall, obs::HealthLevel::kDegraded);
+}
+
+TEST(HealthRules, WatchdogStallIsCritical) {
+  obs::MetricsRegistry registry;
+  obs::HealthEngine engine(registry);
+  obs::Counter* stalls = registry.counter("reactor_watchdog_stalls_total");
+  engine.evaluate();  // baseline pass
+
+  stalls->inc();
+  obs::HealthReport report = engine.evaluate();
+  EXPECT_EQ(report.overall, obs::HealthLevel::kCritical);
+
+  // No new stalls and no ongoing flag: recovers to ok.
+  report = engine.evaluate();
+  EXPECT_EQ(report.overall, obs::HealthLevel::kOk);
+
+  // An ongoing stall (gauge up) is critical even with a zero delta.
+  registry.gauge("reactor_watchdog_stalled")->set(1);
+  report = engine.evaluate();
+  EXPECT_EQ(report.overall, obs::HealthLevel::kCritical);
+}
+
+TEST(HealthRules, QuietReactorStaysSilent) {
+  obs::MetricsRegistry registry;
+  obs::HealthEngine engine(registry);
+  obs::HealthReport report = engine.evaluate();
+  for (const auto& subsystem : report.subsystems) {
+    EXPECT_NE(subsystem.name, "reactor");
+  }
+}
+
+// --- stats CLI exit-code contract (satellite fix) -----------------------------
+
+std::string tools_dir() {
+  char buf[PATH_MAX] = {};
+  ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  std::string exe(buf, n > 0 ? static_cast<std::size_t>(n) : 0);
+  return exe.substr(0, exe.rfind('/')) + "/../tools";
+}
+
+int run_command(const std::string& command, std::string& output) {
+  FILE* pipe = ::popen(command.c_str(), "r");
+  if (!pipe) return -1;
+  char buf[256] = {};
+  output.clear();
+  while (std::fgets(buf, sizeof(buf), pipe)) output += buf;
+  int status = ::pclose(pipe);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+TEST(StatsCliExitCodes, ServerErrorRepliesExitTwo) {
+  std::string cli = tools_dir() + "/smartsock-stats";
+  if (::access(cli.c_str(), X_OK) != 0) {
+    GTEST_SKIP() << "tool binaries not found next to tests";
+  }
+  // An endpoint with no history engine answers `history` with a JSON error;
+  // the CLI must surface that as a usage failure, not success.
+  obs::StatsServerConfig config;
+  obs::StatsServer server(config);
+  ASSERT_TRUE(server.valid());
+  ASSERT_TRUE(server.start());
+  std::string base = cli + " --connect 127.0.0.1:" +
+                     std::to_string(server.endpoint().port());
+
+  std::string output;
+  EXPECT_EQ(run_command(base + " --history some_metric 2>&1 >/dev/null", output), 2)
+      << output;
+  EXPECT_NE(output.find("server refused"), std::string::npos) << output;
+  EXPECT_NE(output.find("no time-series recorder"), std::string::npos) << output;
+
+  EXPECT_EQ(run_command(base + " --health 2>&1 >/dev/null", output), 2) << output;
+  EXPECT_NE(output.find("no health engine"), std::string::npos) << output;
+
+  // Known-good verbs still exit 0.
+  EXPECT_EQ(run_command(base + " --json 2>/dev/null", output), 0);
+  EXPECT_NE(output.find("counters"), std::string::npos) << output;
+
+  // Local flag validation for the new verb.
+  EXPECT_EQ(run_command(base + " --profile 0 2>&1 >/dev/null", output), 2) << output;
+  EXPECT_EQ(run_command(base + " --profile 99 2>&1 >/dev/null", output), 2) << output;
+  server.stop();
+}
+
+TEST(StatsCliExitCodes, ProfileVerbRoundTripsThroughCli) {
+#if defined(SMARTSOCK_TSAN)
+  GTEST_SKIP() << "SIGPROF sampling under TSan interceptors";
+#endif
+  std::string cli = tools_dir() + "/smartsock-stats";
+  if (::access(cli.c_str(), X_OK) != 0) {
+    GTEST_SKIP() << "tool binaries not found next to tests";
+  }
+  obs::StatsServerConfig config;
+  obs::StatsServer server(config);
+  ASSERT_TRUE(server.valid());
+  ASSERT_TRUE(server.start());
+
+  std::string output;
+  int status = run_command(cli + " --connect 127.0.0.1:" +
+                               std::to_string(server.endpoint().port()) +
+                               " --profile 0.3 --wall 2>&1",
+                           output);
+  server.stop();
+  EXPECT_EQ(status, 0) << output;
+  EXPECT_TRUE(parse_folded(output)) << output;
+}
+
+}  // namespace
+}  // namespace smartsock

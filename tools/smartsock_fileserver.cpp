@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "apps/massd/file_server.h"
+#include "obs/blackbox.h"
 #include "util/args.h"
 
 using namespace smartsock;
@@ -31,6 +32,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bad --listen endpoint\n");
     return 2;
   }
+  obs::Blackbox::install("smartsock_fileserver");
 
   apps::FileServerConfig config;
   config.bind = *listen;

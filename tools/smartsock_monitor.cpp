@@ -19,6 +19,7 @@
 #include "monitor/network_monitor.h"
 #include "monitor/security_monitor.h"
 #include "monitor/system_monitor.h"
+#include "obs/blackbox.h"
 #include "obs/stats_server.h"
 #include "transport/transmitter.h"
 #include "util/args.h"
@@ -45,6 +46,8 @@ int main(int argc, char** argv) {
                  "[--stats-dump file] [--stats-dump-interval seconds]\n");
     return args.has("help") ? 0 : 2;
   }
+
+  obs::Blackbox::install("smartsock_monitor");
 
   // --- store ---------------------------------------------------------------
   std::unique_ptr<ipc::StatusStore> store;

@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "net/endpoint.h"
+#include "obs/blackbox.h"
 #include "obs/stats_server.h"
 #include "probe/server_probe.h"
 #include "util/args.h"
@@ -34,6 +35,7 @@ int main(int argc, char** argv) {
                  "[--stats-dump-interval seconds]\n");
     return args.has("help") ? 0 : 2;
   }
+  obs::Blackbox::install("smartsock_probe");
   auto monitor = net::Endpoint::parse(args.get_or("monitor", ""));
   if (!monitor) {
     std::fprintf(stderr, "bad --monitor endpoint\n");

@@ -13,8 +13,14 @@
 //                   # "-" writes to stdout
 //   smartsock_stats --connect 10.0.0.9:1199 --health --watch 2
 //                   # live dashboard: redraw every 2 s (--count N to stop)
+//   smartsock_stats --connect 10.0.0.9:1199 --profile 2 > out.folded
+//                   # 2 s in-process CPU profile, folded stacks for
+//                   # flamegraph.pl / speedscope (--wall samples wall time;
+//                   # add --trace-dump file for Chrome trace JSON instead)
 //
-// Exit codes: 0 success, 1 endpoint unreachable / no reply, 2 usage error.
+// Exit codes: 0 success, 1 endpoint unreachable / no reply, 2 usage error —
+// including a server-side error reply ({"error": ...}), so an unsupported
+// verb or a busy profiler is distinguishable from success in scripts.
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -66,12 +72,25 @@ void print_body(const std::string& body) {
   if (body.back() != '\n') std::fputc('\n', stdout);
 }
 
+/// Server-side refusals arrive as a JSON error object. They count as usage
+/// errors (exit 2): the endpoint was reachable but the command was bad.
+bool is_error_reply(const std::string& body) {
+  return body.rfind("{\"error\"", 0) == 0;
+}
+
+int reject_error_reply(const std::string& body) {
+  std::fprintf(stderr, "smartsock_stats: server refused: %s", body.c_str());
+  if (body.empty() || body.back() != '\n') std::fputc('\n', stderr);
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   util::Args args(argc, argv,
                   {"connect", "json", "prom", "health", "history", "window", "spans",
-                   "trace-dump", "trace", "watch", "count", "timeout", "help"});
+                   "trace-dump", "trace", "profile", "wall", "watch", "count",
+                   "timeout", "help"});
   if (!args.ok() || args.has("help") || !args.has("connect")) {
     for (const std::string& flag : args.unknown()) {
       std::fprintf(stderr, "smartsock_stats: unknown flag --%s\n", flag.c_str());
@@ -80,7 +99,7 @@ int main(int argc, char** argv) {
                  "usage: smartsock_stats --connect ip:port\n"
                  "  [--json | --prom | --health | --history metric [--window s] |"
                  " --spans |\n"
-                 "   --trace-dump file | --trace id]\n"
+                 "   --trace-dump file | --trace id | --profile seconds [--wall]]\n"
                  "  [--watch [seconds]] [--count n] [--timeout seconds]\n");
     return args.has("help") ? 0 : 2;
   }
@@ -114,6 +133,28 @@ int main(int argc, char** argv) {
     }
   } else if (args.has("spans")) {
     command = "spans";
+  } else if (args.has("profile")) {
+    std::string seconds = args.get_or("profile", "");
+    double duration_s = args.get_double_or("profile", 0.0);
+    if (seconds.empty() || seconds == "true" || duration_s <= 0 || duration_s > 30) {
+      std::fprintf(stderr,
+                   "smartsock_stats: --profile needs a duration in (0, 30] seconds\n");
+      return 2;
+    }
+    command = "profile " + seconds;
+    if (args.has("wall")) command += " wall";
+    if (args.has("trace-dump")) {
+      dump_path = args.get_or("trace-dump", "");
+      if (dump_path.empty() || dump_path == "true") {
+        std::fprintf(stderr, "smartsock_stats: --trace-dump needs a file path (or -)\n");
+        return 2;
+      }
+      dump_to_file = true;
+      command += " trace";
+    }
+    // The reply only arrives once the sampling session ends; keep the socket
+    // read deadline open that much longer.
+    timeout += util::from_seconds(duration_s);
   } else if (args.has("trace-dump")) {
     dump_path = args.get_or("trace-dump", "");
     if (dump_path.empty() || dump_path == "true") {
@@ -132,6 +173,7 @@ int main(int argc, char** argv) {
   if (dump_to_file) {
     std::string body;
     if (!fetch(*endpoint, command, timeout, body)) return 1;
+    if (is_error_reply(body)) return reject_error_reply(body);
     if (dump_path == "-") {
       print_body(body);
       return 0;
@@ -151,6 +193,7 @@ int main(int argc, char** argv) {
   if (!args.has("watch")) {
     std::string body;
     if (!fetch(*endpoint, command, timeout, body)) return 1;
+    if (is_error_reply(body)) return reject_error_reply(body);
     print_body(body);
     return 0;
   }
@@ -164,6 +207,7 @@ int main(int argc, char** argv) {
   for (std::int64_t i = 0; rounds == 0 || i < rounds; ++i) {
     std::string body;
     if (!fetch(*endpoint, command, timeout, body)) return 1;
+    if (is_error_reply(body)) return reject_error_reply(body);
     // ANSI home+clear keeps the redraw flicker-free on real terminals and is
     // harmless noise in a pipe.
     std::fputs("\x1b[H\x1b[2J", stdout);

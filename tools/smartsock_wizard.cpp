@@ -19,6 +19,7 @@
 #include "core/wizard.h"
 #include "ipc/in_memory_store.h"
 #include "ipc/sysv_store.h"
+#include "obs/blackbox.h"
 #include "obs/stats_server.h"
 #include "util/args.h"
 #include "util/strings.h"
@@ -46,6 +47,10 @@ int main(int argc, char** argv) {
                  "[--stats-dump file] [--stats-dump-interval seconds]\n");
     return args.has("help") ? 0 : 2;
   }
+
+  // Crash blackbox (ISSUE 7): fatal signals dump spans + log tail + metrics
+  // to smartsock_wizard.postmortem (override with SMARTSOCK_BLACKBOX).
+  obs::Blackbox::install("smartsock_wizard");
 
   std::unique_ptr<ipc::StatusStore> store;
   if (args.has("sysv")) {

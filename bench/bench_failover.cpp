@@ -1,0 +1,209 @@
+// Wizard replica-set failover benchmark (ISSUE 8) — measures what the
+// client-side failover costs when a replica dies under load.
+//
+// One 3-replica cluster harness, one SmartClient driving a sequential query
+// storm. Three measured windows:
+//   * steady    — all 3 replicas alive;
+//   * kill      — the primary is torn down abruptly at the window's start,
+//                 so this window pays the failover (detection + retry);
+//   * recovered — the selector has settled on a survivor.
+//
+// Reported per window: QPS, query latency p50/p99, error count. The headline
+// numbers are the kill window's error rate (the zero-loss claim) and its QPS
+// dip relative to steady state.
+//
+// Emits BENCH_failover.json for the CI artifact trail. Flags:
+//   --smoke       short windows for CI
+//   --self-check  exit nonzero if any query in any window failed (the
+//                 failover window's error rate must be exactly zero)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/smart_client.h"
+#include "harness/cluster_harness.h"
+#include "obs/metrics.h"
+#include "sim/testbed.h"
+
+namespace {
+
+using namespace smartsock;
+using namespace std::chrono_literals;
+
+const char* kRequirement = "host_cpu_free > 0.1\n";
+
+struct WindowResult {
+  std::string name;
+  std::size_t queries = 0;
+  std::size_t errors = 0;
+  std::size_t stale = 0;
+  double seconds = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+
+  double qps() const { return seconds > 0 ? static_cast<double>(queries) / seconds : 0; }
+};
+
+/// Drives the query storm for `budget` seconds and collects per-query
+/// latency. Every query is counted; a reply with ok == false is an error —
+/// the failover machinery is supposed to absorb replica death invisibly.
+WindowResult run_window(const std::string& name, core::SmartClient& client,
+                        double budget_seconds) {
+  WindowResult window;
+  window.name = name;
+  std::vector<double> latencies_ms;
+  auto start = std::chrono::steady_clock::now();
+  double elapsed = 0;
+  while (elapsed < budget_seconds || window.queries < 5) {
+    auto t0 = std::chrono::steady_clock::now();
+    core::WizardReply reply = client.query(kRequirement, 2);
+    auto t1 = std::chrono::steady_clock::now();
+    latencies_ms.push_back(std::chrono::duration<double, std::milli>(t1 - t0).count());
+    ++window.queries;
+    if (!reply.ok) {
+      ++window.errors;
+      std::fprintf(stderr, "[%s] query %zu failed: %s\n", name.c_str(), window.queries,
+                   reply.error.c_str());
+    } else if (reply.stale) {
+      ++window.stale;
+    }
+    elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                  .count();
+  }
+  window.seconds = elapsed;
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  window.p50_ms = latencies_ms[latencies_ms.size() / 2];
+  window.p99_ms = latencies_ms[std::min(
+      latencies_ms.size() - 1, static_cast<std::size_t>(latencies_ms.size() * 0.99))];
+  return window;
+}
+
+void print_window(const WindowResult& w) {
+  smartsock::bench::print_row(
+      {w.name, smartsock::bench::fmt(w.qps(), 0), smartsock::bench::fmt(w.p50_ms),
+       smartsock::bench::fmt(w.p99_ms), std::to_string(w.errors),
+       std::to_string(w.stale), std::to_string(w.queries)},
+      {11, 8, 10, 10, 8, 7, 9});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool self_check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--self-check") == 0) self_check = true;
+  }
+
+  const double steady_s = smoke ? 1.0 : 4.0;
+  const double kill_s = smoke ? 1.5 : 4.0;
+  const double recovered_s = smoke ? 1.0 : 4.0;
+
+  harness::HarnessOptions options;
+  options.hosts = {*sim::find_paper_host("dalmatian"), *sim::find_paper_host("telesto"),
+                   *sim::find_paper_host("sagit")};
+  options.wizard_replicas = 3;
+  harness::ClusterHarness cluster(options);
+  if (!cluster.start()) {
+    std::fprintf(stderr, "cannot start 3-replica cluster harness\n");
+    return 1;
+  }
+  if (!cluster.wait_for_all_reports(std::chrono::seconds(10))) {
+    std::fprintf(stderr, "hosts never reported\n");
+    return 1;
+  }
+
+  core::SmartClientConfig config;
+  config.wizard = cluster.wizard_endpoint(0);
+  config.cluster = cluster.wizard_cluster();
+  config.seed = 1234;
+  config.reply_timeout = 300ms;
+  config.retries = 3;
+  config.retry.initial_backoff = 20ms;
+  core::SmartClient client(config);
+
+  smartsock::bench::print_title(
+      "wizard replica-set failover: 3 replicas, primary killed under load");
+  smartsock::bench::print_row(
+      {"window", "qps", "p50 ms", "p99 ms", "errors", "stale", "queries"},
+      {11, 8, 10, 10, 8, 7, 9});
+
+  WindowResult steady = run_window("steady", client, steady_s);
+  print_window(steady);
+
+  // The kill lands at the start of this window, so its numbers include the
+  // full failover: the timed-out attempt against the dead primary, the
+  // retry, and the selector demoting it for subsequent queries. Kill the
+  // replica the client is actually using — the selector may have settled on
+  // a secondary if the first (cold) query to the preferred endpoint was
+  // slow, and killing an idle replica would measure nothing.
+  std::size_t primary = client.selector().select();
+  if (!cluster.kill_wizard_replica(primary)) {
+    std::fprintf(stderr, "cannot kill primary replica %zu\n", primary);
+    return 1;
+  }
+  WindowResult kill = run_window("kill", client, kill_s);
+  print_window(kill);
+
+  WindowResult recovered = run_window("recovered", client, recovered_s);
+  print_window(recovered);
+
+  double qps_retained = steady.qps() > 0 ? kill.qps() / steady.qps() : 0;
+  smartsock::bench::print_note(
+      "failovers: " + std::to_string(client.failovers()) +
+      "; kill-window QPS retained: " + smartsock::bench::fmt(qps_retained * 100, 1) +
+      "% of steady state");
+
+  std::FILE* json = std::fopen("BENCH_failover.json", "w");
+  if (!json) {
+    std::fprintf(stderr, "cannot write BENCH_failover.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"bench\": \"failover\",\n  \"replicas\": 3,\n");
+  std::fprintf(json, "  \"smoke\": %s,\n  \"windows\": [\n", smoke ? "true" : "false");
+  const WindowResult* windows[] = {&steady, &kill, &recovered};
+  for (std::size_t i = 0; i < 3; ++i) {
+    const WindowResult& w = *windows[i];
+    std::fprintf(json,
+                 "    {\"window\": \"%s\", \"qps\": %.1f, \"p50_ms\": %.3f, "
+                 "\"p99_ms\": %.3f, \"errors\": %zu, \"stale\": %zu, "
+                 "\"queries\": %zu}%s\n",
+                 w.name.c_str(), w.qps(), w.p50_ms, w.p99_ms, w.errors, w.stale,
+                 w.queries, i + 1 < 3 ? "," : "");
+  }
+  std::fprintf(json, "  ],\n");
+  std::fprintf(json, "  \"failovers\": %llu,\n",
+               static_cast<unsigned long long>(client.failovers()));
+  std::fprintf(json, "  \"kill_window_qps_retained\": %.3f,\n", qps_retained);
+  std::fprintf(json, "  \"metrics\": %s\n",
+               obs::MetricsRegistry::instance().snapshot().to_json().c_str());
+  std::fprintf(json, "}\n");
+  std::fclose(json);
+  std::printf("\nwrote BENCH_failover.json\n");
+
+  cluster.stop();
+
+  if (self_check) {
+    // The zero-loss gate: killing one of three replicas must not fail a
+    // single query in any window — the failover absorbs it entirely.
+    std::size_t total_errors = steady.errors + kill.errors + recovered.errors;
+    if (total_errors != 0) {
+      std::fprintf(stderr, "SELF-CHECK FAILED: %zu failed queries (%zu in the kill window)\n",
+                   total_errors, kill.errors);
+      return 1;
+    }
+    if (client.failovers() == 0) {
+      std::fprintf(stderr, "SELF-CHECK FAILED: the kill never forced a failover\n");
+      return 1;
+    }
+    std::printf("self-check ok: 0 failed queries across %zu, %llu failovers\n",
+                steady.queries + kill.queries + recovered.queries,
+                static_cast<unsigned long long>(client.failovers()));
+  }
+  return 0;
+}

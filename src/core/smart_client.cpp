@@ -26,6 +26,14 @@ SmartClient::SmartClient(SmartClientConfig config)
     socket_.set_traffic_counter(
         obs::MetricsRegistry::instance().traffic("smart_client"));
   }
+  // Effective replica list: the cluster when configured, else the single
+  // wizard endpoint — one code path serves both shapes.
+  std::vector<net::Endpoint> endpoints = config_.cluster.wizards;
+  if (endpoints.empty()) endpoints.push_back(config_.wizard);
+  util::Clock& clock =
+      config_.clock != nullptr ? *config_.clock : util::SteadyClock::instance();
+  selector_ = std::make_unique<ReplicaSelector>(std::move(endpoints),
+                                                config_.selector, clock);
 }
 
 WizardReply SmartClient::query(const std::string& requirement, std::size_t count,
@@ -46,6 +54,7 @@ WizardReply SmartClient::query(const std::string& requirement, std::size_t count
   obs::Counter* retries_counter = registry.counter("client_query_retries_total");
   obs::Counter* failures_counter = registry.counter("client_query_failures_total");
   obs::Counter* stale_counter = registry.counter("client_stale_replies_total");
+  obs::Counter* failover_counter = registry.counter("client_wizard_failovers_total");
 
   UserRequest request;
   request.server_num = static_cast<std::uint16_t>(count);
@@ -53,63 +62,144 @@ WizardReply SmartClient::query(const std::string& requirement, std::size_t count
   request.trace_id = obs::mint_trace_id(rng_);
   request.detail = requirement;
 
-  // Flight-recorder span covering the whole query including resends; the
-  // wizard records its half under the same trace_id.
+  // Flight-recorder span covering the whole query including resends and
+  // failovers; the wizard records its half under the same trace_id.
   obs::Span span("smart_client", "query", request.trace_id);
-  span.tag("wizard", config_.wizard.to_string()).tag("requested", count);
+  span.tag("wizard", selector_->endpoint(0).to_string())
+      .tag("replicas", selector_->size())
+      .tag("requested", count);
 
   // Resends mint a fresh sequence number so a late duplicate reply to an
   // earlier attempt is unambiguous: any sequence in `sent` answers this
   // query (all attempts ask the same question), anything else is noise
-  // from a previous query and is discarded.
-  std::vector<std::uint32_t> sent;
-  util::Clock& clock = util::SteadyClock::instance();
+  // from a previous query and is discarded. Each entry remembers which
+  // replica it went to and when, so a late reply credits the replica that
+  // actually produced it, not the one currently being tried.
+  struct SentAttempt {
+    std::uint32_t sequence;
+    std::size_t replica;
+    util::Duration sent_at;
+  };
+  std::vector<SentAttempt> sent;
+  util::Clock& clock =
+      config_.clock != nullptr ? *config_.clock : util::SteadyClock::instance();
   // Backoff between resends: attempt count stays `retries + 1` (the
   // pre-policy contract); the policy contributes delay shape and budget.
+  // The budget is shared across the whole replica set — switching replicas
+  // spends from the same state instead of refilling it.
   util::RetryPolicy policy = config_.retry;
   policy.max_attempts = config_.retries + 1;
   util::RetryState retry(policy, rng_, clock);
 
+  // Hard failures (ECONNREFUSED & co.) skip straight to the next replica
+  // without burning a backoff step — the peer proved it is gone, waiting
+  // teaches nothing. Bounded at one free pass per replica so a fully
+  // refused cluster still exhausts the normal attempt budget.
+  int hard_skips_left = static_cast<int>(selector_->size());
+
+  std::size_t current = selector_->select();
+  // A reachable-but-lagging replica's answer, held back in case a fresher
+  // replica answers a later attempt; served through the stale-token path
+  // only when nothing better turns up.
+  std::optional<WizardReply> lagging;
+
+  // Switches the next attempt to the selector's current best replica and
+  // counts the move as a failover when it lands somewhere new.
+  auto fail_over = [&]() {
+    std::size_t next = selector_->select();
+    if (next != current) {
+      failover_counter->inc();
+      failovers_.fetch_add(1, std::memory_order_relaxed);
+      obs::TraceEvent(util::LogLevel::kDebug, "smart_client", "failover",
+                      request.trace_id)
+          .kv("from", selector_->endpoint(current).to_string())
+          .kv("to", selector_->endpoint(next).to_string());
+      current = next;
+    }
+  };
+
   for (int attempt = 0; /* exit via retry.backoff() */; ++attempt) {
+    const net::Endpoint target = selector_->endpoint(current);
     request.sequence = static_cast<std::uint32_t>(rng_.uniform_int(1, 0x7fffffff));
-    sent.push_back(request.sequence);
+    sent.push_back(SentAttempt{request.sequence, current, clock.now()});
     std::string wire = request.to_wire();
 
-    if (!socket_.send_to(wire, config_.wizard).ok()) {
-      failed.error = "cannot send request to wizard " + config_.wizard.to_string();
+    net::IoResult send_result = socket_.send_to(wire, target);
+    if (!send_result.ok()) {
+      bool hard = net::is_hard_peer_error(send_result.error);
+      selector_->record_failure(current, hard);
+      selector_->publish_health();
+      failed.error = "cannot send request to wizard " + target.to_string();
+      if (hard && hard_skips_left > 0) {
+        --hard_skips_left;
+        fail_over();
+        continue;  // no backoff: the peer is provably unreachable
+      }
       if (!retry.backoff()) break;
       retries_counter->inc();
+      fail_over();
       continue;
     }
     obs::TraceEvent(util::LogLevel::kDebug, "smart_client", "query_send", request.trace_id)
         .kv("seq", request.sequence)
-        .kv("wizard", config_.wizard.to_string())
+        .kv("wizard", target.to_string())
         .kv("requested", count)
         .kv("attempt", attempt);
+    bool hard_receive = false;
+    bool answered = false;
     util::Duration deadline = clock.now() + config_.reply_timeout;
     while (clock.now() < deadline) {
-      auto datagram = socket_.receive(deadline - clock.now());
-      if (!datagram) break;
+      net::IoResult receive_result;
+      auto datagram =
+          socket_.receive(deadline - clock.now(), 64 * 1024, &receive_result);
+      if (!datagram) {
+        // A hard receive error (ICMP unreachable surfaced on the socket)
+        // is as conclusive as a refused send: demote and move on.
+        hard_receive = receive_result.status == net::IoStatus::kError &&
+                       net::is_hard_peer_error(receive_result.error);
+        break;
+      }
       auto reply = WizardReply::from_wire(datagram->payload);
       if (!reply) continue;
-      bool ours = false;
-      for (std::uint32_t seq : sent) {
-        if (reply->sequence == seq) {
-          ours = true;
+      const SentAttempt* matched = nullptr;
+      for (const SentAttempt& entry : sent) {
+        if (reply->sequence == entry.sequence) {
+          matched = &entry;
           break;
         }
       }
-      if (!ours) continue;  // reply to some previous query
+      if (matched == nullptr) continue;  // reply to some previous query
       obs::TraceEvent(util::LogLevel::kDebug, "smart_client", "query_reply",
                       request.trace_id)
           .kv("seq", reply->sequence)
           .kv("ok", reply->ok)
           .kv("stale", reply->stale)
+          .kv("version", reply->version)
           .kv("servers", reply->servers.size());
       span.tag("ok", reply->ok)
           .tag("stale", reply->stale)
           .tag("servers", reply->servers.size())
           .tag("attempts", attempt + 1);
+      // The replica answered: it is alive regardless of what it said.
+      double latency_us =
+          std::chrono::duration<double, std::micro>(clock.now() - matched->sent_at)
+              .count();
+      selector_->record_success(matched->replica, latency_us);
+      selector_->publish_health();
+      answered = true;
+      if (reply->ok && reply->version != 0 &&
+          reply->version < last_seen_version_.load(std::memory_order_relaxed)) {
+        // Monotone snapshot pinning: this replica is behind a version this
+        // client has already been served. Hold the answer back and try for
+        // a fresher replica; if none turns up it is served through the
+        // stale-token path below rather than silently rewinding time.
+        lagging = *reply;
+        failed = *reply;
+        failed.ok = false;
+        failed.error = "wizard " + target.to_string() + " lags pinned version " +
+                       std::to_string(last_seen_version_.load(std::memory_order_relaxed));
+        break;  // out of the receive loop → retry path below
+      }
       if (reply->stale) {
         stale_counter->inc();
         if (config_.freshness == FreshnessMode::kStrictFresh) {
@@ -121,19 +211,50 @@ WizardReply SmartClient::query(const std::string& requirement, std::size_t count
           break;  // out of the receive loop → retry path below
         }
       }
+      if (reply->ok && reply->version != 0) {
+        // CAS-max: concurrent queries only ever ratchet the pin upward.
+        std::uint64_t seen = last_seen_version_.load(std::memory_order_relaxed);
+        while (seen < reply->version &&
+               !last_seen_version_.compare_exchange_weak(seen, reply->version,
+                                                         std::memory_order_relaxed)) {
+        }
+      }
       return *reply;
+    }
+    if (!answered) {
+      selector_->record_failure(current, hard_receive);
+      selector_->publish_health();
+      // Exhaustion reports the *last* error, so each attempt overwrites.
+      failed.error = hard_receive
+                         ? "wizard " + target.to_string() + " unreachable"
+                         : "no reply from wizard " + target.to_string();
+      if (hard_receive && hard_skips_left > 0) {
+        --hard_skips_left;
+        fail_over();
+        continue;  // no backoff
+      }
     }
     if (!retry.backoff()) break;
     retries_counter->inc();
+    fail_over();
+  }
+  if (lagging && config_.freshness == FreshnessMode::kBestEffort) {
+    // Only a lagging replica was reachable. Serve its answer through the
+    // stale path — flagged, never pinned — instead of failing the query.
+    WizardReply out = *lagging;
+    out.stale = true;
+    stale_counter->inc();
+    span.tag("ok", true).tag("lagging", true).tag("attempts", retry.attempts());
+    return out;
   }
   obs::TraceEvent(util::LogLevel::kDebug, "smart_client", "query_timeout", request.trace_id)
-      .kv("wizard", config_.wizard.to_string())
+      .kv("replicas", selector_->size())
       .kv("attempts", retry.attempts());
   span.tag("ok", false).tag("attempts", retry.attempts());
   failures_counter->inc();
-  failed.sequence = sent.empty() ? 0 : sent.back();
+  failed.sequence = sent.empty() ? 0 : sent.back().sequence;
   if (failed.error.empty()) {
-    failed.error = "no reply from wizard " + config_.wizard.to_string();
+    failed.error = "no reply from wizard " + selector_->endpoint(current).to_string();
   }
   return failed;
 }

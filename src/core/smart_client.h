@@ -14,12 +14,17 @@
 // gethostbyname/socket/connect loop per server (Fig 1.2's pain point).
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/wire.h"
+#include "core/wizard_cluster.h"
 #include "net/tcp_socket.h"
 #include "net/udp_socket.h"
+#include "util/clock.h"
 #include "util/retry.h"
 #include "util/rng.h"
 
@@ -34,15 +39,27 @@ enum class FreshnessMode {
 
 struct SmartClientConfig {
   net::Endpoint wizard;
+  /// Replica set (ISSUE 8): when non-empty, this ordered list replaces
+  /// `wizard` as the query targets and the client fails over between them
+  /// on a shared retry budget. Empty = single-wizard behaviour, unchanged.
+  WizardClusterConfig cluster{};
+  /// Health-scoring tunables for the replica selector (per-replica EWMA
+  /// latency, failure penalties, circuit breaker).
+  ReplicaSelectorConfig selector{};
   util::Duration reply_timeout = std::chrono::milliseconds(500);
   int retries = 2;                       // request resends on timeout
   util::Duration connect_timeout = std::chrono::milliseconds(500);
   std::uint64_t seed = 0;                // 0: seed from the system clock
   /// Backoff between resends (attempt count comes from `retries` + 1; the
   /// policy's own max_attempts is ignored so existing callers keep their
-  /// contract). budget, when set, caps the whole query wall-clock.
+  /// contract). budget, when set, caps the whole query wall-clock and is
+  /// shared across every replica — failing over does not refill it.
   util::RetryPolicy retry{};
   FreshnessMode freshness = FreshnessMode::kBestEffort;
+  /// Clock driving retry backoff and reply deadlines; null = the process
+  /// steady clock. Tests inject a sim::VirtualClock so budget-exhaustion
+  /// paths run without wall-clock sleeps.
+  util::Clock* clock = nullptr;
 };
 
 /// One connected server: identity plus the live socket.
@@ -88,10 +105,25 @@ class SmartClient {
 
   bool valid() const { return socket_.valid(); }
 
+  /// Replica-set introspection (ISSUE 8). The selector persists across
+  /// queries, so health scores and breaker state accumulate per client.
+  ReplicaSelector& selector() { return *selector_; }
+  /// Times this client switched to a different replica after a failure.
+  /// Mirrors the `client_wizard_failovers_total` registry counter.
+  std::uint64_t failovers() const { return failovers_.load(std::memory_order_relaxed); }
+  /// Highest reply version seen; replies older than this are rejected as
+  /// lagging (monotone snapshot pinning across failovers).
+  std::uint64_t last_seen_version() const {
+    return last_seen_version_.load(std::memory_order_relaxed);
+  }
+
  private:
   SmartClientConfig config_;
   net::UdpSocket socket_;
   util::Rng rng_;
+  std::unique_ptr<ReplicaSelector> selector_;
+  std::atomic<std::uint64_t> failovers_{0};
+  std::atomic<std::uint64_t> last_seen_version_{0};
 };
 
 }  // namespace smartsock::core

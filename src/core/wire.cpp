@@ -48,6 +48,7 @@ std::string WizardReply::to_wire() const {
   }
   out += "OK " + std::to_string(servers.size());
   if (stale) out += " stale";
+  if (version != 0) out += " v" + std::to_string(version);
   out += "\n";
   for (const ServerEntry& server : servers) {
     out += server.host + " " + server.address + "\n";
@@ -72,12 +73,22 @@ std::optional<WizardReply> WizardReply::from_wire(std::string_view wire) {
     reply.error = std::string(util::trim(wire.substr(err_pos + 3)));
     return reply;
   }
-  // 4 fields: the original format; 5: with the optional staleness marker.
-  if (fields[2] != "OK" || (fields.size() != 4 && fields.size() != 5)) return std::nullopt;
-  if (fields.size() == 5) {
-    if (fields[4] != "stale") return std::nullopt;
+  // 4 fields: the original format; up to 2 optional trailing tokens — the
+  // ISSUE 3 staleness marker and the ISSUE 8 snapshot-version stamp, in that
+  // order. Anything else is malformed.
+  if (fields[2] != "OK" || fields.size() < 4 || fields.size() > 6) return std::nullopt;
+  std::size_t next = 4;
+  if (next < fields.size() && fields[next] == "stale") {
     reply.stale = true;
+    ++next;
   }
+  if (next < fields.size() && fields[next].size() > 1 && fields[next][0] == 'v') {
+    auto version = util::parse_uint(fields[next].substr(1));
+    if (!version) return std::nullopt;
+    reply.version = *version;
+    ++next;
+  }
+  if (next != fields.size()) return std::nullopt;
   auto count = util::parse_uint(fields[3]);
   if (!count || *count > kMaxServersPerReply) return std::nullopt;
 

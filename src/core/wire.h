@@ -60,9 +60,16 @@ struct WizardReply {
   /// emitted when set, so a fresh reply is byte-identical to the old
   /// format and old peers simply never see the token.
   bool stale = false;
+  /// Replica set (ISSUE 8): the replicated-status version this answer was
+  /// computed from — the transmitter's committed (source) version, identical
+  /// across wizard replicas that applied the same push. Clients pin the max
+  /// version they have seen so a failover never silently rewinds time.
+  /// Optional on the wire — only emitted when nonzero, keeping replies from
+  /// unreplicated wizards byte-identical to the pre-cluster format.
+  std::uint64_t version = 0;
   std::vector<ServerEntry> servers;
 
-  /// "SREP <seq> OK <count>[ stale]\n<host> <addr>\n..."
+  /// "SREP <seq> OK <count>[ stale][ v<version>]\n<host> <addr>\n..."
   /// or "SREP <seq> ERR <msg>"
   std::string to_wire() const;
   static std::optional<WizardReply> from_wire(std::string_view wire);

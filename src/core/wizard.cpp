@@ -81,6 +81,13 @@ WizardReply Wizard::handle(const UserRequest& request, std::uint64_t parent_span
   bool stale_serve = false;
   auto finish = [&](WizardReply& out) -> WizardReply& {
     out.stale = stale_serve;
+    // Replica set (ISSUE 8): stamp the version clients pin across failovers.
+    // The receiver's committed source version is comparable across replicas;
+    // without one (no receiver, or no committed delta transfer yet) fall
+    // back to the local store counter, which is still monotone per wizard.
+    std::uint64_t replicated =
+        receiver_ != nullptr ? receiver_->replicated_version() : 0;
+    out.version = replicated != 0 ? replicated : store_->version();
     if (stale_serve) metrics_.stale_replies->inc();
     double micros = std::chrono::duration<double, std::micro>(
                         std::chrono::steady_clock::now() - started)

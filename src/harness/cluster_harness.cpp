@@ -14,6 +14,12 @@ ClusterHarness::ClusterHarness(HarnessOptions options) : options_(std::move(opti
       return "seg" + std::to_string(spec.segment);
     };
   }
+  // Replica slots (and their stores) exist from construction so
+  // wizard_store() is usable before start(); the daemons boot in start().
+  std::size_t replicas = std::max<std::size_t>(1, options_.wizard_replicas);
+  for (std::size_t i = 0; i < replicas; ++i) {
+    replicas_.push_back(std::make_unique<WizardReplica>());
+  }
 }
 
 ClusterHarness::~ClusterHarness() { stop(); }
@@ -109,25 +115,34 @@ bool ClusterHarness::start() {
         }});
   }
 
-  // --- transport + wizard (wizard machine) --------------------------------
-  transport::ReceiverConfig receiver_config;
-  receiver_ = std::make_unique<transport::Receiver>(receiver_config, wizard_store_);
-  if (!receiver_->valid()) return false;
+  // --- transport + wizard machines (one stack per replica) ---------------
+  for (auto& replica : replicas_) {
+    transport::ReceiverConfig receiver_config;
+    replica->receiver =
+        std::make_unique<transport::Receiver>(receiver_config, replica->store);
+    if (!replica->receiver->valid()) return false;
+  }
 
   transport::TransmitterConfig tx_config;
   tx_config.mode = options_.mode;
   tx_config.interval = options_.transfer_interval;
-  tx_config.receiver = receiver_->endpoint();
+  tx_config.receiver = replicas_[0]->receiver->endpoint();
+  for (auto& replica : replicas_) {
+    tx_config.receivers.push_back(replica->receiver->endpoint());
+  }
   transmitter_ = std::make_unique<transport::Transmitter>(tx_config, monitor_store_);
 
-  core::WizardConfig wizard_config;
-  wizard_config.mode = options_.mode;
-  wizard_config.local_group = options_.local_group;
-  wizard_ = std::make_unique<core::Wizard>(wizard_config, wizard_store_, receiver_.get());
-  if (!wizard_->valid()) return false;
-
-  if (options_.mode == transport::TransferMode::kDistributed) {
-    wizard_->add_transmitter(transmitter_->endpoint());
+  for (auto& replica : replicas_) {
+    core::WizardConfig wizard_config;
+    wizard_config.mode = options_.mode;
+    wizard_config.local_group = options_.local_group;
+    replica->wizard = std::make_unique<core::Wizard>(wizard_config, replica->store,
+                                                     replica->receiver.get());
+    if (!replica->wizard->valid()) return false;
+    replica->endpoint = replica->wizard->endpoint();
+    if (options_.mode == transport::TransferMode::kDistributed) {
+      replica->wizard->add_transmitter(transmitter_->endpoint());
+    }
   }
 
   // --- ignition -----------------------------------------------------------
@@ -143,12 +158,16 @@ bool ClusterHarness::start() {
   if (!network_monitor_->start()) return false;
 
   if (options_.mode == transport::TransferMode::kCentralized) {
-    if (!receiver_->start()) return false;
+    for (auto& replica : replicas_) {
+      if (!replica->receiver->start()) return false;
+    }
     if (!transmitter_->start()) return false;
   } else {
     if (!transmitter_->start()) return false;  // passive listener
   }
-  if (!wizard_->start()) return false;
+  for (auto& replica : replicas_) {
+    if (!replica->wizard->start()) return false;
+  }
 
   for (auto& host : hosts_) {
     if (!host->probe->start()) return false;
@@ -170,9 +189,13 @@ void ClusterHarness::stop() {
     if (host->worker) host->worker->stop();
     if (host->file_server) host->file_server->stop();
   }
-  if (wizard_) wizard_->stop();
+  for (auto& replica : replicas_) {
+    if (replica->wizard) replica->wizard->stop();
+  }
   if (transmitter_) transmitter_->stop();
-  if (receiver_) receiver_->stop();
+  for (auto& replica : replicas_) {
+    if (replica->receiver) replica->receiver->stop();
+  }
   if (network_monitor_) network_monitor_->stop();
   if (security_monitor_) security_monitor_->stop();
   if (system_monitor_) system_monitor_->stop();
@@ -197,14 +220,22 @@ bool ClusterHarness::wait_for_all_reports(util::Duration timeout) {
   util::Clock& clock = util::SteadyClock::instance();
   util::Duration deadline = clock.now() + timeout;
   while (clock.now() < deadline) {
-    if (wizard_store_.sys_records().size() >= hosts_.size() &&
-        !wizard_store_.net_records().empty() && !wizard_store_.sec_records().empty()) {
-      return true;
+    bool all = true;
+    for (const auto& replica : replicas_) {
+      if (replica->wizard == nullptr) continue;  // killed replicas don't gate
+      if (replica->store.sys_records().size() < hosts_.size() ||
+          replica->store.net_records().empty() || replica->store.sec_records().empty()) {
+        all = false;
+        break;
+      }
     }
+    if (all) return true;
     if (options_.mode == transport::TransferMode::kDistributed) {
       // Distributed mode only refreshes on wizard requests; pull explicitly
       // while waiting for steady state.
-      receiver_->pull_from(transmitter_->endpoint());
+      for (auto& replica : replicas_) {
+        if (replica->receiver) replica->receiver->pull_from(transmitter_->endpoint());
+      }
     }
     clock.sleep_for(std::chrono::milliseconds(20));
   }
@@ -212,7 +243,42 @@ bool ClusterHarness::wait_for_all_reports(util::Duration timeout) {
 }
 
 net::Endpoint ClusterHarness::wizard_endpoint() const {
-  return wizard_ ? wizard_->endpoint() : net::Endpoint();
+  return replicas_[0]->wizard ? replicas_[0]->wizard->endpoint()
+                              : replicas_[0]->endpoint;
+}
+
+net::Endpoint ClusterHarness::wizard_endpoint(std::size_t index) const {
+  return index < replicas_.size() ? replicas_[index]->endpoint : net::Endpoint();
+}
+
+std::vector<net::Endpoint> ClusterHarness::wizard_endpoints() const {
+  std::vector<net::Endpoint> out;
+  out.reserve(replicas_.size());
+  for (const auto& replica : replicas_) {
+    out.push_back(replica->endpoint);
+  }
+  return out;
+}
+
+core::WizardClusterConfig ClusterHarness::wizard_cluster() const {
+  core::WizardClusterConfig cluster;
+  cluster.wizards = wizard_endpoints();
+  return cluster;
+}
+
+bool ClusterHarness::kill_wizard_replica(std::size_t index) {
+  if (index >= replicas_.size() || replicas_[index]->wizard == nullptr) return false;
+  WizardReplica& replica = *replicas_[index];
+  // Abrupt teardown: sockets close and the endpoint goes dark, like a
+  // SIGKILLed wizard process. The slot (and its endpoint) survives so the
+  // transmitter keeps probing it and client cluster configs stay valid.
+  replica.wizard->stop();
+  replica.wizard.reset();
+  if (replica.receiver) {
+    replica.receiver->stop();
+    replica.receiver.reset();
+  }
+  return true;
 }
 
 HarnessHost* ClusterHarness::host(const std::string& name) {
@@ -233,7 +299,8 @@ std::vector<core::ServerEntry> ClusterHarness::all_servers() const {
 
 core::SmartClient ClusterHarness::make_client(std::uint64_t seed) const {
   core::SmartClientConfig config;
-  config.wizard = wizard_endpoint();
+  config.wizard = replicas_[0]->endpoint;
+  if (replicas_.size() > 1) config.cluster = wizard_cluster();
   config.seed = seed;
   config.reply_timeout = std::chrono::milliseconds(800);
   return core::SmartClient(config);
@@ -299,20 +366,34 @@ bool ClusterHarness::refresh_now(util::Duration timeout) {
   network_monitor_->measure_all_once();
   if (options_.mode == transport::TransferMode::kCentralized) {
     if (!transmitter_->transmit_once()) return false;
-    // transmit_once returns once the snapshot is *sent*; the receiver thread
-    // applies it asynchronously. Wait until the fresh records are visible in
-    // the wizard store before reporting success.
+    // transmit_once returns once the snapshot is *sent*; the receiver
+    // threads apply it asynchronously. Wait until the fresh records are
+    // visible in every live replica's wizard store before reporting success.
     for (;;) {
-      std::size_t fresh = 0;
-      for (const ipc::SysRecord& record : wizard_store_.sys_records()) {
-        if (record.updated_ns >= fired_at) ++fresh;
+      bool all = true;
+      for (const auto& replica : replicas_) {
+        if (replica->wizard == nullptr) continue;  // killed: will never apply
+        std::size_t fresh = 0;
+        for (const ipc::SysRecord& record : replica->store.sys_records()) {
+          if (record.updated_ns >= fired_at) ++fresh;
+        }
+        if (fresh < live) {
+          all = false;
+          break;
+        }
       }
-      if (fresh >= live) return true;
+      if (all) return true;
       if (clock.now() >= deadline) return false;
       clock.sleep_for(std::chrono::milliseconds(5));
     }
   }
-  return receiver_->pull_from(transmitter_->endpoint());
+  bool any = false;
+  for (auto& replica : replicas_) {
+    if (replica->receiver && replica->receiver->pull_from(transmitter_->endpoint())) {
+      any = true;
+    }
+  }
+  return any;
 }
 
 }  // namespace smartsock::harness

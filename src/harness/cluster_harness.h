@@ -54,6 +54,12 @@ struct HarnessOptions {
   /// Group the wizard treats as the client's location (netdb lookups).
   std::string local_group = "client";
 
+  /// Wizard replica set (ISSUE 8): how many wizard+receiver+store stacks to
+  /// boot. The transmitter fans every push out to all of them and
+  /// make_client() hands clients the full cluster. 1 = the classic
+  /// single-wizard testbed, unchanged.
+  std::size_t wizard_replicas = 1;
+
   /// Seeded randomness for the harness's random-selection baseline.
   std::uint64_t seed = 42;
 };
@@ -93,12 +99,36 @@ class ClusterHarness {
   net::Endpoint wizard_endpoint() const;
   HarnessHost* host(const std::string& name);
   std::vector<core::ServerEntry> all_servers() const;
+  /// Clients are handed the whole replica set (a single replica degenerates
+  /// to the classic one-wizard config).
   core::SmartClient make_client(std::uint64_t seed = 0) const;
-  ipc::StatusStore& wizard_store() { return wizard_store_; }
+  ipc::StatusStore& wizard_store() { return replicas_[0]->store; }
   ipc::StatusStore& monitor_store() { return monitor_store_; }
-  core::Wizard* wizard() { return wizard_.get(); }
+  core::Wizard* wizard() { return replicas_[0]->wizard.get(); }
   monitor::SystemMonitor* system_monitor() { return system_monitor_.get(); }
   const HarnessOptions& options() const { return options_; }
+
+  // --- wizard replica set (ISSUE 8) ---------------------------------------
+  std::size_t wizard_replica_count() const { return replicas_.size(); }
+  /// Endpoint of one replica's wizard; invalid after kill_wizard_replica().
+  net::Endpoint wizard_endpoint(std::size_t index) const;
+  /// All replica endpoints in boot order (killed replicas keep their old
+  /// endpoint so client cluster configs stay stable across a kill).
+  std::vector<net::Endpoint> wizard_endpoints() const;
+  core::WizardClusterConfig wizard_cluster() const;
+  ipc::StatusStore& wizard_store(std::size_t index) { return replicas_[index]->store; }
+  core::Wizard* wizard(std::size_t index) { return replicas_[index]->wizard.get(); }
+  transport::Receiver* receiver(std::size_t index) {
+    return replicas_[index]->receiver.get();
+  }
+  bool wizard_replica_alive(std::size_t index) const {
+    return index < replicas_.size() && replicas_[index]->wizard != nullptr;
+  }
+  /// In-process SIGKILL analogue: tears the replica's wizard and receiver
+  /// down abruptly (sockets close, endpoint goes dark) while the transmitter
+  /// keeps trying to push to it. Returns false for an unknown or
+  /// already-dead replica.
+  bool kill_wizard_replica(std::size_t index);
 
   // --- experiment knobs ---------------------------------------------------
   /// Applies a workload profile and fast-forwards the host's procfs so the
@@ -117,21 +147,29 @@ class ClusterHarness {
   bool refresh_now(util::Duration timeout = std::chrono::seconds(2));
 
  private:
+  /// One wizard replica: its own store, receiver, and wizard daemon. The
+  /// slot outlives a kill (store included) so endpoints and indices stay
+  /// stable; only the daemons are destroyed.
+  struct WizardReplica {
+    ipc::InMemoryStatusStore store;
+    std::unique_ptr<transport::Receiver> receiver;
+    std::unique_ptr<core::Wizard> wizard;
+    net::Endpoint endpoint;  // remembered across a kill
+  };
+
   void ticker_loop();
 
   HarnessOptions options_;
 
   std::vector<std::unique_ptr<HarnessHost>> hosts_;
   ipc::InMemoryStatusStore monitor_store_;
-  ipc::InMemoryStatusStore wizard_store_;
 
   std::unique_ptr<monitor::SystemMonitor> system_monitor_;
   std::unique_ptr<monitor::NetworkMonitor> network_monitor_;
   monitor::StaticSecuritySource* security_source_ = nullptr;  // owned by monitor
   std::unique_ptr<monitor::SecurityMonitor> security_monitor_;
   std::unique_ptr<transport::Transmitter> transmitter_;
-  std::unique_ptr<transport::Receiver> receiver_;
-  std::unique_ptr<core::Wizard> wizard_;
+  std::vector<std::unique_ptr<WizardReplica>> replicas_;
 
   // group -> (delay, bw) served by the network monitor's measure functions
   std::mutex metrics_mu_;

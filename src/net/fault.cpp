@@ -28,6 +28,7 @@ FaultConfig FaultConfig::from_config(const util::Config& config) {
   out.udp_corrupt = get_prob(config, "udp_corrupt");
   out.udp_delay_prob = get_prob(config, "udp_delay_prob");
   out.udp_delay = util::from_millis(config.get_double_or("udp_delay_ms", 5.0));
+  out.udp_refuse_send = get_prob(config, "udp_refuse_send");
   out.tcp_connect_fail = get_prob(config, "tcp_connect_fail");
   out.tcp_reset_send = get_prob(config, "tcp_reset_send");
   out.tcp_reset_recv = get_prob(config, "tcp_reset_recv");
@@ -50,14 +51,14 @@ std::optional<FaultConfig> FaultConfig::from_string(const std::string& text) {
 bool FaultConfig::any() const {
   return udp_drop_send > 0 || udp_drop_recv > 0 || udp_duplicate > 0 ||
          udp_truncate > 0 || udp_corrupt > 0 || udp_delay_prob > 0 ||
-         tcp_connect_fail > 0 || tcp_reset_send > 0 || tcp_reset_recv > 0 ||
-         tcp_truncate_send > 0;
+         udp_refuse_send > 0 || tcp_connect_fail > 0 || tcp_reset_send > 0 ||
+         tcp_reset_recv > 0 || tcp_truncate_send > 0;
 }
 
 std::uint64_t FaultStats::total() const {
   return udp_dropped_send + udp_dropped_recv + udp_duplicated + udp_truncated +
-         udp_corrupted + udp_delayed + tcp_connect_failed + tcp_reset_send +
-         tcp_reset_recv + tcp_truncated_send;
+         udp_corrupted + udp_delayed + udp_refused_send + tcp_connect_failed +
+         tcp_reset_send + tcp_reset_recv + tcp_truncated_send;
 }
 
 FaultInjector::FaultInjector(FaultConfig config, util::Clock* clock)
@@ -127,6 +128,32 @@ void FaultInjector::maybe_delay_udp() {
   }
 }
 
+bool FaultInjector::refuse_udp_send(const std::string& peer) {
+  {
+    std::lock_guard<std::mutex> lock(refuse_mu_);
+    for (const std::string& dead : refused_endpoints_) {
+      if (dead == peer) {
+        udp_refused_send_.fetch_add(1, std::memory_order_relaxed);
+        obs::MetricsRegistry::instance().counter("fault_udp_refused_send_total")->inc();
+        return true;
+      }
+    }
+  }
+  return roll(config_.udp_refuse_send, udp_refused_send_,
+              "fault_udp_refused_send_total");
+}
+
+void FaultInjector::set_udp_refuse_endpoint(const std::string& peer, bool on) {
+  std::lock_guard<std::mutex> lock(refuse_mu_);
+  for (auto it = refused_endpoints_.begin(); it != refused_endpoints_.end(); ++it) {
+    if (*it == peer) {
+      if (!on) refused_endpoints_.erase(it);
+      return;
+    }
+  }
+  if (on) refused_endpoints_.push_back(peer);
+}
+
 bool FaultInjector::fail_connect() {
   return roll(config_.tcp_connect_fail, tcp_connect_failed_,
               "fault_tcp_connect_failed_total");
@@ -159,6 +186,7 @@ FaultStats FaultInjector::stats() const {
   s.udp_truncated = udp_truncated_.load(std::memory_order_relaxed);
   s.udp_corrupted = udp_corrupted_.load(std::memory_order_relaxed);
   s.udp_delayed = udp_delayed_.load(std::memory_order_relaxed);
+  s.udp_refused_send = udp_refused_send_.load(std::memory_order_relaxed);
   s.tcp_connect_failed = tcp_connect_failed_.load(std::memory_order_relaxed);
   s.tcp_reset_send = tcp_reset_send_.load(std::memory_order_relaxed);
   s.tcp_reset_recv = tcp_reset_recv_.load(std::memory_order_relaxed);

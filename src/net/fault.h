@@ -25,6 +25,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "util/clock.h"
 #include "util/config.h"
@@ -44,6 +45,10 @@ struct FaultConfig {
   double udp_corrupt = 0.0;     // flip random bytes in the payload
   double udp_delay_prob = 0.0;  // sleep udp_delay before sending
   util::Duration udp_delay = std::chrono::milliseconds(5);
+
+  /// Hard UDP send failure: sendto() fails with ECONNREFUSED as if an ICMP
+  /// port-unreachable came back from a dead replica (ISSUE 8).
+  double udp_refuse_send = 0.0;
 
   // TCP stream faults.
   double tcp_connect_fail = 0.0;  // connect() refuses immediately
@@ -70,6 +75,7 @@ struct FaultStats {
   std::uint64_t udp_truncated = 0;
   std::uint64_t udp_corrupted = 0;
   std::uint64_t udp_delayed = 0;
+  std::uint64_t udp_refused_send = 0;
   std::uint64_t tcp_connect_failed = 0;
   std::uint64_t tcp_reset_send = 0;
   std::uint64_t tcp_reset_recv = 0;
@@ -91,6 +97,15 @@ class FaultInjector {
   bool mutate_udp(std::string& payload);
   /// Sleeps the configured delay on the injector's clock when it fires.
   void maybe_delay_udp();
+  /// Whether a send to `peer` ("ip:port") must fail hard with ECONNREFUSED —
+  /// either the peer is on the kill list (replica-kill chaos, ISSUE 8) or
+  /// the udp_refuse_send probability fires.
+  bool refuse_udp_send(const std::string& peer);
+
+  /// Replica-kill hook: while `on`, every UDP send to `peer` fails with
+  /// ECONNREFUSED — the deterministic stand-in for an ICMP port-unreachable
+  /// from a SIGKILLed wizard. Thread-safe; toggled live mid-storm.
+  void set_udp_refuse_endpoint(const std::string& peer, bool on);
 
   bool fail_connect();
   bool reset_send();
@@ -124,7 +139,11 @@ class FaultInjector {
   std::atomic<std::uint64_t> udp_truncated_{0};
   std::atomic<std::uint64_t> udp_corrupted_{0};
   std::atomic<std::uint64_t> udp_delayed_{0};
+  std::atomic<std::uint64_t> udp_refused_send_{0};
   std::atomic<std::uint64_t> tcp_connect_failed_{0};
+
+  std::mutex refuse_mu_;
+  std::vector<std::string> refused_endpoints_;
   std::atomic<std::uint64_t> tcp_reset_send_{0};
   std::atomic<std::uint64_t> tcp_reset_recv_{0};
   std::atomic<std::uint64_t> tcp_truncated_send_{0};

@@ -2,6 +2,8 @@
 
 #include <fcntl.h>
 #include <sys/socket.h>
+
+#include <cerrno>
 #include <sys/time.h>
 #include <unistd.h>
 
@@ -30,6 +32,20 @@ Socket& Socket::operator=(Socket&& other) noexcept {
 
 FaultInjector* Socket::active_fault_injector() const {
   return fault_ != nullptr ? fault_ : FaultInjector::global();
+}
+
+bool is_hard_peer_error(int error) {
+  switch (error) {
+    case ECONNREFUSED:
+    case ECONNRESET:
+    case EHOSTUNREACH:
+    case EHOSTDOWN:
+    case ENETUNREACH:
+    case ENETDOWN:
+      return true;
+    default:
+      return false;
+  }
 }
 
 void Socket::close() {

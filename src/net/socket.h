@@ -87,4 +87,12 @@ struct IoResult {
   bool ok() const { return status == IoStatus::kOk; }
 };
 
+/// Whether `error` (an errno from a UDP send/receive) proves the peer is
+/// unreachable right now — ECONNREFUSED from an ICMP port-unreachable, or a
+/// host/network-unreachable route error. A retry against the same endpoint
+/// cannot succeed until the peer comes back, so failover-aware callers
+/// (ISSUE 8) demote the replica immediately instead of burning a backoff
+/// step. Timeouts and transient errors (EAGAIN, ENOBUFS...) return false.
+bool is_hard_peer_error(int error);
+
 }  // namespace smartsock::net

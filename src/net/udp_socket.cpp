@@ -35,6 +35,11 @@ IoResult UdpSocket::send_to(std::string_view payload, const Endpoint& peer) {
   bool duplicate = false;
   std::string mutated;  // storage when the injector rewrites the payload
   if (FaultInjector* fault = active_fault_injector()) {
+    if (fault->refuse_udp_send(peer.to_string())) {
+      // The replica-kill hook: fail exactly like an ICMP port-unreachable
+      // bounced off a dead peer.
+      return IoResult{IoStatus::kError, 0, ECONNREFUSED};
+    }
     if (fault->drop_udp_send()) {
       // Swallowed by the "network": the caller sees a normal send.
       return IoResult{IoStatus::kOk, payload.size(), 0};
@@ -90,10 +95,12 @@ IoResult UdpSocket::try_receive_from(std::string& payload, Endpoint& peer,
   return receive_impl(MSG_DONTWAIT, payload, peer, max_size);
 }
 
-std::optional<Datagram> UdpSocket::receive(util::Duration timeout, std::size_t max_size) {
+std::optional<Datagram> UdpSocket::receive(util::Duration timeout, std::size_t max_size,
+                                           IoResult* result_out) {
   set_receive_timeout(timeout);
   Datagram dg;
   IoResult result = receive_from(dg.payload, dg.peer, max_size);
+  if (result_out) *result_out = result;
   if (!result.ok()) return std::nullopt;
   return dg;
 }

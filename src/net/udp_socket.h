@@ -42,8 +42,12 @@ class UdpSocket : public Socket {
   IoResult try_receive_from(std::string& payload, Endpoint& peer,
                             std::size_t max_size = 64 * 1024);
 
-  /// Convenience: receive with timeout applied for just this call.
-  std::optional<Datagram> receive(util::Duration timeout, std::size_t max_size = 64 * 1024);
+  /// Convenience: receive with timeout applied for just this call. When
+  /// `result_out` is non-null it carries the full IoResult — status and
+  /// errno — so failover-aware callers (ISSUE 8) can tell a hard peer error
+  /// (ECONNREFUSED from a dead replica) from an ordinary timeout.
+  std::optional<Datagram> receive(util::Duration timeout, std::size_t max_size = 64 * 1024,
+                                  IoResult* result_out = nullptr);
 
  private:
   IoResult receive_impl(int flags, std::string& payload, Endpoint& peer,

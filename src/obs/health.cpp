@@ -119,6 +119,29 @@ void HealthEngine::install_default_checks() {
     return Finding{};
   });
 
+  add_check("transport", "replica-set", [](const Snapshot& snap) -> Finding {
+    // Replica-set degradation (ISSUE 8): every wizard replica the
+    // transmitter cannot reach is a replica answering queries from an
+    // ageing snapshot. All replicas down = the whole feed is dark.
+    const double* configured = find_gauge(snap, "transmitter_replicas_configured");
+    const double* healthy = find_gauge(snap, "transmitter_replicas_healthy");
+    if (configured == nullptr || healthy == nullptr || *configured <= 1.0) {
+      // Single-receiver deployments are covered by the push-breaker check.
+      return Finding{HealthLevel::kOk, "", false};
+    }
+    if (*healthy <= 0.0) {
+      return Finding{HealthLevel::kCritical,
+                     "no wizard replica reachable (0 of " + fmt_double(*configured) +
+                         " receivers taking pushes)"};
+    }
+    if (*healthy < *configured) {
+      return Finding{HealthLevel::kDegraded,
+                     fmt_double(*healthy) + " of " + fmt_double(*configured) +
+                         " wizard replicas taking pushes"};
+    }
+    return Finding{};
+  });
+
   add_check("transport", "malformed-frames", [this](const Snapshot& snap) -> Finding {
     if (find_counter(snap, "receiver_malformed_frames_total") == nullptr) {
       return Finding{HealthLevel::kOk, "", false};

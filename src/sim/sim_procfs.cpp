@@ -28,8 +28,36 @@ SimProcFs::SimProcFs(std::string hostname, double bogomips, std::uint64_t memory
   cpu_idle_ = 100;
 }
 
+SimProcFs::SimProcFs(SimProcFs&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.mutex_);
+  hostname_ = std::move(other.hostname_);
+  bogomips_ = other.bogomips_;
+  memory_total_ = other.memory_total_;
+  activity_ = other.activity_;
+  load1_ = other.load1_;
+  load5_ = other.load5_;
+  load15_ = other.load15_;
+  cpu_user_ = other.cpu_user_;
+  cpu_nice_ = other.cpu_nice_;
+  cpu_system_ = other.cpu_system_;
+  cpu_idle_ = other.cpu_idle_;
+  disk_rreq_ = other.disk_rreq_;
+  disk_wreq_ = other.disk_wreq_;
+  disk_rblocks_ = other.disk_rblocks_;
+  disk_wblocks_ = other.disk_wblocks_;
+  net_rbytes_ = other.net_rbytes_;
+  net_rpackets_ = other.net_rpackets_;
+  net_tbytes_ = other.net_tbytes_;
+  net_tpackets_ = other.net_tpackets_;
+  cpu_frac_busy_ = other.cpu_frac_busy_;
+  cpu_frac_idle_ = other.cpu_frac_idle_;
+  disk_frac_r_ = other.disk_frac_r_;
+  disk_frac_w_ = other.disk_frac_w_;
+}
+
 void SimProcFs::tick(double dt_seconds) {
   if (dt_seconds <= 0.0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
 
   load1_ = relax(load1_, activity_.offered_load, dt_seconds, 60.0);
   load5_ = relax(load5_, activity_.offered_load, dt_seconds, 300.0);
@@ -70,12 +98,14 @@ void SimProcFs::tick(double dt_seconds) {
 }
 
 std::string SimProcFs::render_loadavg() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   int running = 1 + static_cast<int>(load1_ + 0.5);
   return format_line("%.2f %.2f %.2f %d/%d %d\n", load1_, load5_, load15_, running,
                      80 + running, 4242);
 }
 
 std::string SimProcFs::render_stat() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::string out;
   out += format_line("cpu  %llu %llu %llu %llu\n",
                      static_cast<unsigned long long>(cpu_user_),
@@ -99,6 +129,7 @@ std::string SimProcFs::render_stat() const {
 }
 
 std::string SimProcFs::render_meminfo() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::uint64_t used = std::min(activity_.memory_used_bytes, memory_total_);
   std::uint64_t free = memory_total_ - used;
   // The 2.4-era byte table the thesis reads (Table 4.1 shows this layout),
@@ -117,6 +148,7 @@ std::string SimProcFs::render_meminfo() const {
 }
 
 std::string SimProcFs::render_netdev() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::string out;
   out += "Inter-|   Receive                                                |  Transmit\n";
   out +=

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 namespace smartsock::sim {
@@ -34,12 +35,27 @@ class SimProcFs {
  public:
   SimProcFs(std::string hostname, double bogomips, std::uint64_t memory_total_bytes);
 
+  // Movable despite the mutex (SimHost lives in vectors): the source is
+  // locked while its state is copied out; the mutex itself is not moved.
+  SimProcFs(SimProcFs&& other) noexcept;
+  SimProcFs& operator=(SimProcFs&&) = delete;
+  SimProcFs(const SimProcFs&) = delete;
+  SimProcFs& operator=(const SimProcFs&) = delete;
+
   /// Advances all counters by dt seconds of the configured activity.
+  /// Thread-safe against concurrent renders and setters: the harness ticks
+  /// from its own thread while each host's probe renders the procfs text.
   void tick(double dt_seconds);
 
   /// Replaces the activity profile (takes effect from the next tick).
-  void set_activity(const HostActivity& activity) { activity_ = activity; }
-  const HostActivity& activity() const { return activity_; }
+  void set_activity(const HostActivity& activity) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    activity_ = activity;
+  }
+  HostActivity activity() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return activity_;
+  }
 
   // --- procfs renderings -------------------------------------------------
   std::string render_loadavg() const;   // /proc/loadavg
@@ -51,18 +67,28 @@ class SimProcFs {
   // --- direct state access (for tests and the workload generator) --------
   const std::string& hostname() const { return hostname_; }
   double bogomips() const { return bogomips_; }
-  double load1() const { return load1_; }
-  double load5() const { return load5_; }
-  double load15() const { return load15_; }
+  double load1() const { return locked(load1_); }
+  double load5() const { return locked(load5_); }
+  double load15() const { return locked(load15_); }
   std::uint64_t memory_total() const { return memory_total_; }
-  std::uint64_t memory_used() const { return activity_.memory_used_bytes; }
-  std::uint64_t cpu_user_jiffies() const { return cpu_user_; }
-  std::uint64_t cpu_idle_jiffies() const { return cpu_idle_; }
+  std::uint64_t memory_used() const { return locked(activity_.memory_used_bytes); }
+  std::uint64_t cpu_user_jiffies() const { return locked(cpu_user_); }
+  std::uint64_t cpu_idle_jiffies() const { return locked(cpu_idle_); }
 
  private:
-  std::string hostname_;
-  double bogomips_;
-  std::uint64_t memory_total_;
+  template <typename T>
+  T locked(const T& value) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return value;
+  }
+
+  std::string hostname_;   // immutable after construction, no lock
+  double bogomips_;        // immutable after construction, no lock
+  std::uint64_t memory_total_;  // immutable after construction, no lock
+
+  // Guards everything below: tick() advances from the harness ticker thread
+  // while probe threads render and tests read the scalars.
+  mutable std::mutex mutex_;
 
   HostActivity activity_;
 

@@ -193,6 +193,16 @@ struct Receiver::IngestSession {
           std::lock_guard<std::mutex> lock(owner->replica_mu_);
           owner->replica_states_[source_id] = *state;
         }
+        // Monotonic CAS-max: concurrent pushes from multiple transmitters
+        // must never move the published replicated version backwards.
+        {
+          std::uint64_t seen =
+              owner->replicated_version_.load(std::memory_order_relaxed);
+          while (seen < state->version &&
+                 !owner->replicated_version_.compare_exchange_weak(
+                     seen, state->version, std::memory_order_relaxed)) {
+          }
+        }
         committed = true;
         applied = true;
         break;

@@ -83,6 +83,15 @@ class Receiver {
   std::uint64_t snapshots_received() const {
     return snapshots_received_.load(std::memory_order_relaxed);
   }
+  /// Highest source (monitor-store) version committed by any transmitter's
+  /// kDeltaCommit so far. Unlike the local store's write counter, this value
+  /// is identical across every wizard replica that applied the same push —
+  /// it is what replies stamp for the client's monotone-version pinning
+  /// (ISSUE 8). Zero until the first committed transfer (legacy full
+  /// snapshots carry no commit frame).
+  std::uint64_t replicated_version() const {
+    return replicated_version_.load(std::memory_order_relaxed);
+  }
   /// Committed incremental transfers (subset of snapshots_received).
   std::uint64_t deltas_applied() const {
     return deltas_applied_.load(std::memory_order_relaxed);
@@ -137,6 +146,7 @@ class Receiver {
   std::atomic<std::uint64_t> snapshots_received_{0};
   std::atomic<std::uint64_t> deltas_applied_{0};
   std::atomic<std::uint64_t> malformed_frames_{0};
+  std::atomic<std::uint64_t> replicated_version_{0};
 };
 
 }  // namespace smartsock::transport

@@ -40,13 +40,21 @@ Transmitter::Transmitter(TransmitterConfig config, const ipc::StatusStore& store
     : config_(std::move(config)),
       store_(&store),
       traffic_(obs::MetricsRegistry::instance().traffic("transmitter")),
-      rng_(config_.retry_seed),
-      breaker_(config_.breaker) {
+      rng_(config_.retry_seed) {
   obs::MetricsRegistry& registry = obs::MetricsRegistry::instance();
   delta_pushes_counter_ = registry.counter("transmitter_delta_pushes_total");
   full_pushes_counter_ = registry.counter("transmitter_full_pushes_total");
   bytes_sent_counter_ = registry.counter("transmitter_bytes_sent_total");
   source_id_ = config_.source_id != 0 ? config_.source_id : rng_.engine()();
+  // Effective replica set: the configured list, else the single receiver —
+  // one code path serves both shapes (ISSUE 8).
+  std::vector<net::Endpoint> targets = config_.receivers;
+  if (targets.empty()) targets.push_back(config_.receiver);
+  replicas_.reserve(targets.size());
+  for (const net::Endpoint& target : targets) {
+    replicas_.push_back(std::make_unique<ReplicaLink>(target, config_.breaker));
+  }
+  publish_replica_gauges();
   if (config_.mode == TransferMode::kDistributed) {
     if (auto listener = net::TcpListener::listen(config_.bind)) {
       listener_ = std::move(*listener);
@@ -100,7 +108,8 @@ bool Transmitter::send_snapshot(net::TcpSocket& socket, std::string trace_id) {
 }
 
 Transmitter::Negotiated Transmitter::push_negotiated(net::TcpSocket& socket,
-                                                     const ipc::Snapshot& snap) {
+                                                     const ipc::Snapshot& snap,
+                                                     ReplicaLink& link) {
   socket.set_traffic_counter(traffic_);
   socket.set_send_timeout(config_.io_timeout);
   socket.set_receive_timeout(config_.io_timeout);
@@ -121,7 +130,7 @@ Transmitter::Negotiated Transmitter::push_negotiated(net::TcpSocket& socket,
   }
   auto acked = decode_delta_state(reply->payload);
   if (!acked) return Negotiated::kNoAccept;
-  last_acked_ = *acked;
+  link.last_acked = *acked;
 
   bool delta = acked->epoch == snap.epoch && snap.can_delta_from(acked->version);
   if (delta) {
@@ -185,58 +194,80 @@ Transmitter::Negotiated Transmitter::push_negotiated(net::TcpSocket& socket,
   return Negotiated::kOk;
 }
 
-void Transmitter::record_push_outcome(bool ok) {
+void Transmitter::record_push_outcome(ReplicaLink& link, bool ok) {
   if (ok) {
-    breaker_.record_success();
+    link.breaker.record_success();
   } else {
-    breaker_.record_failure();
+    link.breaker.record_failure();
   }
+  link.healthy.store(ok, std::memory_order_relaxed);
   obs::MetricsRegistry& registry = obs::MetricsRegistry::instance();
-  registry.gauge("transmitter_breaker_state")
-      ->set(static_cast<double>(static_cast<int>(breaker_.state())));
-  std::uint64_t trips = breaker_.trips();
-  std::uint64_t seen = breaker_trips_seen_.load(std::memory_order_relaxed);
-  while (seen < trips && !breaker_trips_seen_.compare_exchange_weak(
+  // The unlabelled breaker-state gauge keeps tracking the first (primary)
+  // replica so pre-cluster dashboards stay meaningful.
+  if (&link == replicas_[0].get()) {
+    registry.gauge("transmitter_breaker_state")
+        ->set(static_cast<double>(static_cast<int>(link.breaker.state())));
+  }
+  std::uint64_t trips = link.breaker.trips();
+  std::uint64_t seen = link.breaker_trips_seen.load(std::memory_order_relaxed);
+  while (seen < trips && !link.breaker_trips_seen.compare_exchange_weak(
                              seen, trips, std::memory_order_relaxed)) {
   }
   if (seen < trips) {
     registry.counter("transmitter_breaker_trips_total")->inc(trips - seen);
     SMARTSOCK_LOG(kWarn, "transmitter")
-        << "circuit breaker opened after " << breaker_.consecutive_failures()
-        << " consecutive push failures to " << config_.receiver.to_string();
+        << "circuit breaker opened after " << link.breaker.consecutive_failures()
+        << " consecutive push failures to " << link.endpoint.to_string();
   }
+  publish_replica_gauges();
 }
 
-bool Transmitter::push_cycle() {
+std::size_t Transmitter::replicas_healthy() const {
+  std::size_t healthy = 0;
+  for (const auto& link : replicas_) {
+    if (link->healthy.load(std::memory_order_relaxed)) ++healthy;
+  }
+  return healthy;
+}
+
+void Transmitter::publish_replica_gauges() {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::instance();
+  registry.gauge("transmitter_replicas_configured")
+      ->set(static_cast<double>(replicas_.size()));
+  registry.gauge("transmitter_replicas_healthy")
+      ->set(static_cast<double>(replicas_healthy()));
+}
+
+bool Transmitter::push_cycle(ReplicaLink& link) {
   ipc::SnapshotPtr snap = store_->snapshot();
   bool try_delta = config_.delta_enabled && snap->delta_capable;
-  if (try_delta && peer_legacy_.load(std::memory_order_relaxed)) {
-    if (++pushes_since_reprobe_ >= config_.legacy_reprobe_pushes) {
-      pushes_since_reprobe_ = 0;
-      peer_legacy_.store(false, std::memory_order_relaxed);
+  if (try_delta && link.legacy.load(std::memory_order_relaxed)) {
+    if (++link.pushes_since_reprobe >= config_.legacy_reprobe_pushes) {
+      link.pushes_since_reprobe = 0;
+      link.legacy.store(false, std::memory_order_relaxed);
     } else {
       try_delta = false;
     }
   }
 
-  auto socket = net::TcpSocket::connect(config_.receiver, config_.io_timeout);
+  auto socket = net::TcpSocket::connect(link.endpoint, config_.io_timeout);
   if (!socket) {
     SMARTSOCK_LOG(kWarn, "transmitter")
-        << "cannot reach receiver " << config_.receiver.to_string();
+        << "cannot reach receiver " << link.endpoint.to_string();
     return false;
   }
   if (try_delta) {
-    Negotiated outcome = push_negotiated(*socket, *snap);
+    Negotiated outcome = push_negotiated(*socket, *snap, link);
     if (outcome == Negotiated::kOk) return true;
     if (outcome == Negotiated::kIoError) return false;
     // No answer to the offer: assume a pre-delta receiver and retry this
     // cycle with the byte-compatible full-snapshot stream.
-    peer_legacy_.store(true, std::memory_order_relaxed);
-    pushes_since_reprobe_ = 0;
+    link.legacy.store(true, std::memory_order_relaxed);
+    link.pushes_since_reprobe = 0;
     SMARTSOCK_LOG(kInfo, "transmitter")
-        << "receiver " << config_.receiver.to_string()
+        << "receiver " << link.endpoint.to_string()
         << " did not answer delta offer — falling back to full snapshots";
-    socket = net::TcpSocket::connect(config_.receiver, config_.io_timeout);
+    socket = net::TcpSocket::connect(link.endpoint, config_.io_timeout);
     if (!socket) return false;
   }
   return send_snapshot(*socket);
@@ -244,9 +275,13 @@ bool Transmitter::push_cycle() {
 
 bool Transmitter::transmit_once() {
   std::lock_guard<std::mutex> lock(push_mu_);
-  bool ok = push_cycle();
-  record_push_outcome(ok);
-  return ok;
+  bool any = false;
+  for (auto& link : replicas_) {
+    bool ok = push_cycle(*link);
+    record_push_outcome(*link, ok);
+    any = any || ok;
+  }
+  return any;
 }
 
 bool Transmitter::start() {
@@ -271,16 +306,25 @@ void Transmitter::run_push_loop() {
   obs::Counter* retries =
       obs::MetricsRegistry::instance().counter("transmitter_push_retries_total");
   while (!stop_requested_.load(std::memory_order_acquire)) {
-    // The breaker gates the whole cycle: while open, the push is skipped
-    // entirely until the cooldown elapses, at which point allow() lets one
-    // probe through (half-open).
-    if (breaker_.allow()) {
+    // Each replica's breaker gates its own push: while open, that replica
+    // is skipped until the cooldown elapses, at which point allow() lets
+    // one probe through (half-open). The others keep receiving pushes — a
+    // dead replica never stalls the healthy ones.
+    for (auto& link : replicas_) {
+      if (stop_requested_.load(std::memory_order_acquire)) break;
+      if (!link->breaker.allow()) continue;
       util::RetryState retry(config_.push_retry, rng_, clock);
-      while (!transmit_once() &&
-             !stop_requested_.load(std::memory_order_acquire)) {
+      for (;;) {
+        bool ok;
+        {
+          std::lock_guard<std::mutex> lock(push_mu_);
+          ok = push_cycle(*link);
+          record_push_outcome(*link, ok);
+        }
+        if (ok || stop_requested_.load(std::memory_order_acquire)) break;
         // A trip mid-cycle ends the retry loop early — the breaker has
-        // decided the receiver is down; hammering on defeats its purpose.
-        if (breaker_.state() == util::CircuitBreaker::State::kOpen) break;
+        // decided this receiver is down; hammering on defeats its purpose.
+        if (link->breaker.state() == util::CircuitBreaker::State::kOpen) break;
         if (!retry.backoff()) break;
         retries->inc();
       }

@@ -18,11 +18,20 @@
 // epoch change, or past the tombstone log's horizon. A receiver that never
 // answers the offer (pre-delta build) is remembered as legacy and served
 // byte-compatible full snapshots.
+//
+// ISSUE 8: centralized pushes fan out to a *replica set* of receivers —
+// every wizard replica's receiver is offered the same delta protocol, each
+// behind its own circuit breaker and its own legacy/ack bookkeeping, so one
+// dead replica costs a breaker cooldown instead of stalling the others. The
+// `transmitter_replicas_healthy` gauge tracks how many replicas the last
+// push round reached.
 #pragma once
 
 #include <atomic>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "ipc/status_store.h"
 #include "net/tcp_listener.h"
@@ -39,6 +48,10 @@ enum class TransferMode { kCentralized, kDistributed };
 struct TransmitterConfig {
   TransferMode mode = TransferMode::kCentralized;
   net::Endpoint receiver;                           // centralized: push target
+  /// Replica set (ISSUE 8): when non-empty, centralized pushes fan out to
+  /// every endpoint here and `receiver` is ignored. Empty = single-receiver
+  /// behaviour, unchanged.
+  std::vector<net::Endpoint> receivers;
   net::Endpoint bind = net::Endpoint::loopback(0);  // distributed: listen here
   util::Duration interval = std::chrono::seconds(2);
   util::Duration io_timeout = std::chrono::seconds(2);
@@ -72,7 +85,10 @@ class Transmitter {
   Transmitter(const Transmitter&) = delete;
   Transmitter& operator=(const Transmitter&) = delete;
 
-  /// Centralized: one push to the receiver. Returns true on success.
+  /// Centralized: one push round to every configured receiver, bypassing
+  /// the breaker gates (a forced push is an explicit probe). Returns true
+  /// when at least one replica took the push — the single-receiver contract
+  /// unchanged, and the cluster analogue of "the status data got through".
   bool transmit_once();
 
   /// Distributed: the endpoint wizards pull from (resolved after bind).
@@ -93,35 +109,73 @@ class Transmitter {
   std::uint64_t full_pushes() const {
     return full_pushes_.load(std::memory_order_relaxed);
   }
-  /// Whether the peer is currently believed to predate the delta protocol.
-  bool peer_legacy() const { return peer_legacy_.load(std::memory_order_relaxed); }
+  /// Whether the first replica's peer is currently believed to predate the
+  /// delta protocol (single-receiver compatibility accessor).
+  bool peer_legacy() const { return replicas_[0]->legacy.load(std::memory_order_relaxed); }
+  bool peer_legacy(std::size_t index) const {
+    return replicas_[index]->legacy.load(std::memory_order_relaxed);
+  }
   /// Total payload bytes shipped by pushes/pulls (mirrors the
   /// `transmitter_bytes_sent_total` registry counter per instance).
   std::uint64_t bytes_sent() const {
     return bytes_sent_.load(std::memory_order_relaxed);
   }
 
-  /// The push-path circuit breaker (centralized mode). transmit_once()
-  /// bypasses its gate — a forced push is an explicit probe — but records
-  /// its outcome, so manual pushes participate in opening/closing it.
-  const util::CircuitBreaker& breaker() const { return breaker_; }
+  /// The first replica's push-path circuit breaker (single-receiver
+  /// compatibility accessor). transmit_once() bypasses the breaker gates —
+  /// a forced push is an explicit probe — but records outcomes, so manual
+  /// pushes participate in opening/closing them.
+  const util::CircuitBreaker& breaker() const { return replicas_[0]->breaker; }
+  const util::CircuitBreaker& breaker(std::size_t index) const {
+    return replicas_[index]->breaker;
+  }
+
+  /// Replica-set introspection (ISSUE 8).
+  std::size_t replica_count() const { return replicas_.size(); }
+  const net::Endpoint& replica_endpoint(std::size_t index) const {
+    return replicas_[index]->endpoint;
+  }
+  /// Replicas whose most recent push succeeded (optimistically all of them
+  /// before the first round). Mirrors the `transmitter_replicas_healthy`
+  /// gauge.
+  std::size_t replicas_healthy() const;
 
  private:
   enum class Negotiated { kOk, kIoError, kNoAccept };
 
+  /// Per-receiver replication state: each wizard replica's receiver keeps
+  /// its own breaker, legacy flag, reprobe countdown, and last-acked
+  /// version. Mutable fields are guarded by push_mu_; `legacy` and
+  /// `healthy` are mirrored in atomics for the lock-free accessors.
+  struct ReplicaLink {
+    ReplicaLink(const net::Endpoint& target, const util::CircuitBreakerConfig& breaker_config)
+        : endpoint(target), breaker(breaker_config) {}
+    net::Endpoint endpoint;
+    util::CircuitBreaker breaker;
+    std::atomic<bool> legacy{false};
+    std::atomic<bool> healthy{true};
+    int pushes_since_reprobe = 0;
+    DeltaState last_acked{};
+    /// Trips already exported to the registry counter (monotonic CAS-max,
+    /// so the push loop and manual transmit_once() never double-count).
+    std::atomic<std::uint64_t> breaker_trips_seen{0};
+  };
+
   void run_push_loop();
   void run_serve_loop();
-  /// One centralized push: handshake + delta when possible, full-snapshot
-  /// fallback otherwise. Takes push_mu_.
-  bool push_cycle();
+  /// One centralized push to one replica: handshake + delta when possible,
+  /// full-snapshot fallback otherwise. Caller holds push_mu_.
+  bool push_cycle(ReplicaLink& link);
   /// Delta handshake + negotiated transfer on a connected socket.
   /// kNoAccept = the peer never answered the offer (legacy receiver).
-  Negotiated push_negotiated(net::TcpSocket& socket, const ipc::Snapshot& snap);
+  Negotiated push_negotiated(net::TcpSocket& socket, const ipc::Snapshot& snap,
+                             ReplicaLink& link);
   /// Sends a kTraceContext frame carrying `trace_id` (minted from rng_ when
   /// empty — the pull path passes the wizard's id through) and then the
   /// three full database frames. Byte-compatible with pre-delta receivers.
   bool send_snapshot(net::TcpSocket& socket, std::string trace_id = {});
-  void record_push_outcome(bool ok);
+  void record_push_outcome(ReplicaLink& link, bool ok);
+  void publish_replica_gauges();
   void account_push(bool delta, std::size_t bytes);
 
   TransmitterConfig config_;
@@ -137,18 +191,11 @@ class Transmitter {
 
   util::Rng rng_;
   std::uint64_t source_id_ = 0;
-  util::CircuitBreaker breaker_;
-  /// Trips already exported to the registry counter (monotonic CAS-max, so
-  /// the push loop and manual transmit_once() callers never double-count).
-  std::atomic<std::uint64_t> breaker_trips_seen_{0};
 
-  // Per-receiver replication state (centralized mode pushes to exactly one
-  // peer). Guarded by push_mu_ with peer_legacy_ mirrored in an atomic for
-  // the lock-free accessor.
   std::mutex push_mu_;
-  std::atomic<bool> peer_legacy_{false};
-  int pushes_since_reprobe_ = 0;
-  DeltaState last_acked_{};
+  // ReplicaLink owns a breaker (which owns a mutex), so links live behind
+  // unique_ptr. Never empty: a default config yields one link to `receiver`.
+  std::vector<std::unique_ptr<ReplicaLink>> replicas_;
 
   std::thread thread_;
   std::atomic<bool> stop_requested_{false};

@@ -32,7 +32,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> names;
 
   if (args.has("direct")) {
-    for (std::string_view spec : util::split(args.get_or("direct", ""), ',')) {
+    std::string direct_list = args.get_or("direct", "");
+    for (std::string_view spec : util::split(direct_list, ',')) {
       auto endpoint = net::Endpoint::parse(spec);
       if (!endpoint) {
         std::fprintf(stderr, "bad server '%.*s'\n", (int)spec.size(), spec.data());

@@ -93,8 +93,10 @@ int main(int argc, char** argv) {
   net_config.interval = util::from_seconds(interval_s);
   monitor::NetworkMonitor network_monitor(net_config, *store);
   // Args currently keeps the last value per flag; accept a comma-separated
-  // list too: --target "g1=1.2.3.4:7,g2=5.6.7.8:7".
-  for (std::string_view spec : util::split(args.get_or("target", ""), ',')) {
+  // list too: --target "g1=1.2.3.4:7,g2=5.6.7.8:7". The list must outlive
+  // the loop — split() returns views into it.
+  std::string target_list = args.get_or("target", "");
+  for (std::string_view spec : util::split(target_list, ',')) {
     std::size_t eq = spec.find('=');
     if (eq == std::string_view::npos) continue;
     std::string group(spec.substr(0, eq));
@@ -119,12 +121,24 @@ int main(int argc, char** argv) {
   // useful against old receivers or for measuring the delta win.
   tx_config.delta_enabled = !args.has("no-delta");
   if (tx_config.mode == transport::TransferMode::kCentralized) {
-    auto receiver = net::Endpoint::parse(args.get_or("receiver", ""));
-    if (!receiver) {
-      std::fprintf(stderr, "centralized mode requires --receiver ip:port\n");
+    // Replica sets (ISSUE 8): --receiver takes a comma-separated list and
+    // the transmitter fans every push out to all of them, one breaker each.
+    std::string receiver_list = args.get_or("receiver", "");
+    for (std::string_view spec : util::split(receiver_list, ',')) {
+      auto receiver = net::Endpoint::parse(util::trim(spec));
+      if (!receiver) {
+        std::fprintf(stderr, "bad --receiver endpoint '%.*s'\n", (int)spec.size(),
+                     spec.data());
+        return 2;
+      }
+      tx_config.receivers.push_back(*receiver);
+    }
+    if (tx_config.receivers.empty()) {
+      std::fprintf(stderr,
+                   "centralized mode requires --receiver ip:port[,ip:port...]\n");
       return 2;
     }
-    tx_config.receiver = *receiver;
+    tx_config.receiver = tx_config.receivers[0];
   } else {
     tx_config.bind = net::Endpoint::parse(args.get_or("receiver", "127.0.0.1:1110"))
                          .value_or(net::Endpoint::loopback(1110));

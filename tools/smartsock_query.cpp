@@ -6,29 +6,59 @@
 //
 //   smartsock_query --wizard 10.0.0.9:1120 --servers 3 requirement.req
 //   echo 'host_cpu_free > 0.9' | smartsock_query --wizard 10.0.0.9:1120
+//
+// Replica sets (ISSUE 8): --wizards a:p,b:p,... (or the SMARTSOCK_WIZARDS
+// environment variable) hands the client the whole cluster; it health-scores
+// the replicas and fails over between them on one shared retry budget.
 #include <cstdio>
 #include <iostream>
 #include <sstream>
 
 #include "core/smart_client.h"
+#include "core/wizard_cluster.h"
 #include "lang/requirement.h"
 #include "util/args.h"
 
 using namespace smartsock;
 
 int main(int argc, char** argv) {
-  util::Args args(argc, argv, {"wizard", "servers", "strict", "connect", "help"});
-  if (!args.ok() || args.has("help") || !args.has("wizard")) {
+  util::Args args(argc, argv, {"wizard", "wizards", "servers", "strict", "connect", "help"});
+  // The replica list comes from --wizards, falling back to SMARTSOCK_WIZARDS;
+  // either one makes --wizard optional.
+  core::WizardClusterConfig cluster;
+  bool bad_wizards = false;
+  if (args.has("wizards")) {
+    auto parsed = core::WizardClusterConfig::parse(args.get_or("wizards", ""));
+    if (parsed) {
+      cluster = *parsed;
+    } else {
+      bad_wizards = true;
+    }
+  } else {
+    cluster = core::WizardClusterConfig::from_env();
+  }
+  if (!args.ok() || args.has("help") || (!args.has("wizard") && cluster.empty())) {
+    if (bad_wizards) std::fprintf(stderr, "bad --wizards list\n");
     std::fprintf(stderr,
-                 "usage: smartsock_query --wizard ip:port [--servers N] [--strict] "
-                 "[--connect] [requirement-file]\n"
-                 "reads the requirement from the file or stdin\n");
+                 "usage: smartsock_query --wizard ip:port | --wizards ip:port,ip:port,... "
+                 "[--servers N] [--strict] [--connect] [requirement-file]\n"
+                 "reads the requirement from the file or stdin; with no --wizard(s) the\n"
+                 "SMARTSOCK_WIZARDS environment variable supplies the replica list\n");
     return args.has("help") ? 0 : 2;
   }
-  auto wizard = net::Endpoint::parse(args.get_or("wizard", ""));
-  if (!wizard) {
-    std::fprintf(stderr, "bad --wizard endpoint\n");
+  if (bad_wizards) {
+    std::fprintf(stderr, "bad --wizards list\n");
     return 2;
+  }
+  std::optional<net::Endpoint> wizard;
+  if (args.has("wizard")) {
+    wizard = net::Endpoint::parse(args.get_or("wizard", ""));
+    if (!wizard) {
+      std::fprintf(stderr, "bad --wizard endpoint\n");
+      return 2;
+    }
+  } else {
+    wizard = cluster.wizards[0];
   }
 
   std::string requirement;
@@ -48,6 +78,7 @@ int main(int argc, char** argv) {
 
   core::SmartClientConfig config;
   config.wizard = *wizard;
+  config.cluster = cluster;
   core::SmartClient client(config);
 
   std::size_t count = static_cast<std::size_t>(args.get_int_or("servers", 3));

@@ -105,7 +105,8 @@ int main(int argc, char** argv) {
     std::printf("receiver accepting pushes on %s\n",
                 receiver.endpoint().to_string().c_str());
   } else {
-    for (std::string_view spec : util::split(args.get_or("transmitter", ""), ',')) {
+    std::string transmitter_list = args.get_or("transmitter", "");
+    for (std::string_view spec : util::split(transmitter_list, ',')) {
       auto endpoint = net::Endpoint::parse(spec);
       if (endpoint) {
         wizard.add_transmitter(*endpoint);

@@ -64,7 +64,7 @@ WizardReply SmartClient::query(const std::string& requirement, std::size_t count
 
   // Flight-recorder span covering the whole query including resends and
   // failovers; the wizard records its half under the same trace_id.
-  obs::Span span("smart_client", "query", request.trace_id);
+  obs::Span span("smart_client", "query", request.trace_id, 0, *config_.spans);
   span.tag("wizard", selector_->endpoint(0).to_string())
       .tag("replicas", selector_->size())
       .tag("requested", count);

@@ -23,6 +23,7 @@
 #include "core/wire.h"
 #include "core/wizard_cluster.h"
 #include "net/tcp_socket.h"
+#include "obs/span.h"
 #include "net/udp_socket.h"
 #include "util/clock.h"
 #include "util/retry.h"
@@ -60,6 +61,10 @@ struct SmartClientConfig {
   /// steady clock. Tests inject a sim::VirtualClock so budget-exhaustion
   /// paths run without wall-clock sleeps.
   util::Clock* clock = nullptr;
+  /// Span ring query spans record into (ISSUE 9): the fleet trace-stitching
+  /// tests host client and wizard in one process and need each "process
+  /// lane" to own an isolated ring. Default: the process-wide store.
+  obs::SpanStore* spans = &obs::SpanStore::instance();
 };
 
 /// One connected server: identity plus the live socket.

@@ -99,7 +99,7 @@ WizardReply Wizard::handle(const UserRequest& request, std::uint64_t parent_span
   // Flight-recorder span for the serve path; the match phase nests a child
   // span below so the cache fast paths and the matcher separate on the
   // timeline.
-  obs::Span handle_span("wizard", "handle", request.trace_id, parent_span);
+  obs::Span handle_span("wizard", "handle", request.trace_id, parent_span, *config_.spans);
   handle_span.tag("seq", request.sequence).tag("requested", request.server_num);
 
   WizardReply reply;
@@ -178,7 +178,8 @@ WizardReply Wizard::handle(const UserRequest& request, std::uint64_t parent_span
   auto match_started = std::chrono::steady_clock::now();
   MatchResult result;
   {
-    obs::Span match_span("wizard", "match", request.trace_id, handle_span.id());
+    obs::Span match_span("wizard", "match", request.trace_id, handle_span.id(),
+                         *config_.spans);
     match_span.tag("candidates", input.sys.size()).tag("requested", request.server_num);
     result = matcher_.match(*compiled.requirement, input, request.server_num);
     match_span.tag("selected", result.selected.size());
@@ -229,7 +230,7 @@ bool Wizard::poll_once(util::Duration timeout) {
       .kv("seq", request->sequence)
       .kv("peer", datagram->peer.to_string())
       .kv("requested", request->server_num);
-  obs::Span request_span("wizard", "request", request->trace_id);
+  obs::Span request_span("wizard", "request", request->trace_id, 0, *config_.spans);
   request_span.tag("seq", request->sequence).tag("peer", datagram->peer.to_string());
   WizardReply reply = handle(*request, request_span.id());
   std::string wire = reply.to_wire();

@@ -27,6 +27,7 @@
 #include "lang/requirement_cache.h"
 #include "net/udp_socket.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "transport/receiver.h"
 #include "transport/transmitter.h"
 #include "util/counters.h"
@@ -52,6 +53,11 @@ struct WizardConfig {
   /// but marks replies with the `stale` wire flag and raises the
   /// `wizard_degraded` gauge. Zero (the default) disables the check.
   util::Duration staleness_bound{0};
+
+  /// Span ring request/handle/match spans record into (ISSUE 9): lets the
+  /// fleet harness give each in-process replica its own ring, mirroring
+  /// one-ring-per-daemon production. Default: the process-wide store.
+  obs::SpanStore* spans = &obs::SpanStore::instance();
 };
 
 class Wizard {

@@ -136,6 +136,12 @@ bool ClusterHarness::start() {
     core::WizardConfig wizard_config;
     wizard_config.mode = options_.mode;
     wizard_config.local_group = options_.local_group;
+    if (options_.stats_servers) {
+      // Each replica gets its own span ring + stats endpoint (ISSUE 9), so
+      // the fleet aggregator sees N distinct "processes" on loopback.
+      replica->spans = std::make_unique<obs::SpanStore>();
+      wizard_config.spans = replica->spans.get();
+    }
     replica->wizard = std::make_unique<core::Wizard>(wizard_config, replica->store,
                                                      replica->receiver.get());
     if (!replica->wizard->valid()) return false;
@@ -143,6 +149,20 @@ bool ClusterHarness::start() {
     if (options_.mode == transport::TransferMode::kDistributed) {
       replica->wizard->add_transmitter(transmitter_->endpoint());
     }
+    if (options_.stats_servers) {
+      obs::StatsServerConfig stats_config;
+      stats_config.spans = replica->spans.get();
+      replica->stats = std::make_unique<obs::StatsServer>(stats_config);
+      if (!replica->stats->valid() || !replica->stats->start()) return false;
+      replica->stats_endpoint = replica->stats->endpoint();
+    }
+  }
+  if (options_.stats_servers) {
+    client_spans_ = std::make_unique<obs::SpanStore>();
+    obs::StatsServerConfig stats_config;
+    stats_config.spans = client_spans_.get();
+    client_stats_ = std::make_unique<obs::StatsServer>(stats_config);
+    if (!client_stats_->valid() || !client_stats_->start()) return false;
   }
 
   // --- ignition -----------------------------------------------------------
@@ -195,7 +215,9 @@ void ClusterHarness::stop() {
   if (transmitter_) transmitter_->stop();
   for (auto& replica : replicas_) {
     if (replica->receiver) replica->receiver->stop();
+    if (replica->stats) replica->stats->stop();
   }
+  if (client_stats_) client_stats_->stop();
   if (network_monitor_) network_monitor_->stop();
   if (security_monitor_) security_monitor_->stop();
   if (system_monitor_) system_monitor_->stop();
@@ -278,7 +300,31 @@ bool ClusterHarness::kill_wizard_replica(std::size_t index) {
     replica.receiver->stop();
     replica.receiver.reset();
   }
+  if (replica.stats) {
+    // The "process" died, so its admin port dies with it; the fleet
+    // aggregator must see the endpoint go dark, not a live server over a
+    // dead wizard.
+    replica.stats->stop();
+    replica.stats.reset();
+  }
   return true;
+}
+
+std::vector<net::Endpoint> ClusterHarness::fleet_endpoints() const {
+  std::vector<net::Endpoint> out;
+  for (const auto& replica : replicas_) {
+    if (replica->stats) out.push_back(replica->stats_endpoint);
+  }
+  if (client_stats_) out.push_back(client_stats_->endpoint());
+  return out;
+}
+
+net::Endpoint ClusterHarness::replica_stats_endpoint(std::size_t index) const {
+  return index < replicas_.size() ? replicas_[index]->stats_endpoint : net::Endpoint();
+}
+
+net::Endpoint ClusterHarness::client_stats_endpoint() const {
+  return client_stats_ ? client_stats_->endpoint() : net::Endpoint();
 }
 
 HarnessHost* ClusterHarness::host(const std::string& name) {
@@ -303,6 +349,9 @@ core::SmartClient ClusterHarness::make_client(std::uint64_t seed) const {
   if (replicas_.size() > 1) config.cluster = wizard_cluster();
   config.seed = seed;
   config.reply_timeout = std::chrono::milliseconds(800);
+  // Fleet mode: the client's spans land in the client-side lane's ring so
+  // the aggregator can stitch them against the wizard lanes.
+  if (client_spans_) config.spans = client_spans_.get();
   return core::SmartClient(config);
 }
 

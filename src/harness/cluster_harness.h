@@ -28,6 +28,8 @@
 #include "monitor/network_monitor.h"
 #include "monitor/security_monitor.h"
 #include "monitor/system_monitor.h"
+#include "obs/span.h"
+#include "obs/stats_server.h"
 #include "probe/server_probe.h"
 #include "sim/testbed.h"
 #include "transport/receiver.h"
@@ -59,6 +61,12 @@ struct HarnessOptions {
   /// make_client() hands clients the full cluster. 1 = the classic
   /// single-wizard testbed, unchanged.
   std::size_t wizard_replicas = 1;
+
+  /// Fleet observability (ISSUE 9): give every wizard replica its own span
+  /// ring + TCP stats endpoint, plus one client-side ring/endpoint, so the
+  /// FleetAggregator can scrape the in-process "fleet" exactly like real
+  /// daemons and stitch one query's spans across process lanes.
+  bool stats_servers = false;
 
   /// Seeded randomness for the harness's random-selection baseline.
   std::uint64_t seed = 42;
@@ -126,9 +134,23 @@ class ClusterHarness {
   }
   /// In-process SIGKILL analogue: tears the replica's wizard and receiver
   /// down abruptly (sockets close, endpoint goes dark) while the transmitter
-  /// keeps trying to push to it. Returns false for an unknown or
-  /// already-dead replica.
+  /// keeps trying to push to it — and, with stats_servers, its stats
+  /// endpoint goes dark too, like the whole process died. Returns false for
+  /// an unknown or already-dead replica.
   bool kill_wizard_replica(std::size_t index);
+
+  // --- fleet observability (ISSUE 9) --------------------------------------
+  /// Every scrapeable endpoint: each live-booted replica's stats port plus
+  /// the client-side one. Empty unless options.stats_servers.
+  std::vector<net::Endpoint> fleet_endpoints() const;
+  /// One replica's stats endpoint (keeps its pre-kill value after a kill,
+  /// like wizard_endpoint).
+  net::Endpoint replica_stats_endpoint(std::size_t index) const;
+  net::Endpoint client_stats_endpoint() const;
+  obs::SpanStore* replica_spans(std::size_t index) {
+    return index < replicas_.size() ? replicas_[index]->spans.get() : nullptr;
+  }
+  obs::SpanStore* client_spans() { return client_spans_.get(); }
 
   // --- experiment knobs ---------------------------------------------------
   /// Applies a workload profile and fast-forwards the host's procfs so the
@@ -155,6 +177,11 @@ class ClusterHarness {
     std::unique_ptr<transport::Receiver> receiver;
     std::unique_ptr<core::Wizard> wizard;
     net::Endpoint endpoint;  // remembered across a kill
+    /// Fleet observability (ISSUE 9, options.stats_servers): the replica's
+    /// own span ring and admin endpoint, mirroring one-per-process daemons.
+    std::unique_ptr<obs::SpanStore> spans;
+    std::unique_ptr<obs::StatsServer> stats;
+    net::Endpoint stats_endpoint;  // remembered across a kill
   };
 
   void ticker_loop();
@@ -170,6 +197,11 @@ class ClusterHarness {
   std::unique_ptr<monitor::SecurityMonitor> security_monitor_;
   std::unique_ptr<transport::Transmitter> transmitter_;
   std::vector<std::unique_ptr<WizardReplica>> replicas_;
+
+  // Client-side lane (ISSUE 9): clients made while stats_servers is on
+  // record their query spans here, served by their own stats endpoint.
+  std::unique_ptr<obs::SpanStore> client_spans_;
+  std::unique_ptr<obs::StatsServer> client_stats_;
 
   // group -> (delay, bw) served by the network monitor's measure functions
   std::mutex metrics_mu_;

@@ -1,0 +1,92 @@
+#include "net/scrape_client.h"
+
+#include <chrono>
+#include <memory>
+#include <utility>
+
+namespace smartsock::net {
+
+namespace {
+
+/// Shared between the connection handler and the deadline timer. The
+/// connection's user_data keeps it alive until on_close delivered.
+struct FetchState {
+  std::function<void(ScrapeResult)> done;
+  util::Duration started{0};
+  TimerId deadline = 0;
+  bool timed_out = false;
+  bool delivered = false;
+};
+
+}  // namespace
+
+void ScrapeClient::fetch(Reactor& reactor, const Endpoint& endpoint, std::string command,
+                         util::Duration timeout, std::function<void(ScrapeResult)> done) {
+  auto state = std::make_shared<FetchState>();
+  state->done = std::move(done);
+  state->started = reactor.clock().now();
+
+  auto fail = [&state](std::string error) {
+    state->delivered = true;
+    ScrapeResult result;
+    result.ok = false;
+    result.error = std::move(error);
+    state->done(result);
+  };
+
+  auto socket = TcpSocket::connect_nonblocking(endpoint);
+  if (!socket) {
+    fail("connect failed");
+    return;
+  }
+
+  ConnectionHandler handler;
+  handler.label = "scrape";
+  // Bytes just accumulate in input() until the peer closes; nothing to
+  // parse incrementally.
+  handler.on_close = [state, &reactor](Connection& client, bool clean) {
+    if (state->deadline != 0) reactor.cancel_timer(state->deadline);
+    if (state->delivered) return;
+    state->delivered = true;
+    ScrapeResult result;
+    auto elapsed = reactor.clock().now() - state->started;
+    result.latency_us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count());
+    // close_now() from the deadline timer retires the connection as a
+    // *clean* close, so the flag — not `clean` — identifies a timeout.
+    if (state->timed_out) {
+      result.error = "timeout";
+    } else if (!clean) {
+      result.error = "reset";
+    } else {
+      result.ok = true;
+      result.body = std::move(client.input());
+    }
+    state->done(result);
+  };
+
+  Connection* client = reactor.add_connection(std::move(*socket), std::move(handler));
+  if (client == nullptr || !client->alive()) {
+    // add_connection retired it synchronously (hard error); on_close
+    // already delivered in that case, so only report if it never fired.
+    if (!state->delivered) fail("connect failed");
+    return;
+  }
+  client->user_data = state;
+  client->set_input_limit(kMaxBody);
+  command.push_back('\n');
+  client->send(command);
+  if (!client->alive() || state->delivered) return;
+
+  state->deadline = reactor.add_timer(
+      timeout,
+      [state, client] {
+        state->deadline = 0;
+        if (state->delivered || !client->alive()) return;
+        state->timed_out = true;
+        client->close_now();  // on_close delivers the timeout result
+      },
+      "scrape_deadline");
+}
+
+}  // namespace smartsock::net

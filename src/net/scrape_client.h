@@ -1,0 +1,50 @@
+// Async one-shot stats scrape (ISSUE 9).
+//
+// The stats protocol is deliberately simple — connect, write one command
+// line, read until the server closes — and until now only blocking clients
+// (smartsock-stats, tests) spoke it. The fleet aggregator needs the same
+// exchange against N daemons concurrently from a reactor loop without ever
+// blocking it, so this wraps the exchange as a reactor Connection: a
+// non-blocking connect is handed to the loop, the command is queued behind
+// the handshake, bytes accumulate until the peer's close delivers the body,
+// and a wheel timer bounds the whole attempt. One fetch = one connection =
+// one callback, always exactly once, always on the loop thread.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/endpoint.h"
+#include "net/reactor.h"
+#include "util/clock.h"
+
+namespace smartsock::net {
+
+struct ScrapeResult {
+  bool ok = false;
+  /// Failure reason when !ok: "connect failed", "timeout", "reset".
+  std::string error;
+  /// The server's full reply (everything until its close) when ok.
+  std::string body;
+  /// Connect-to-close wall time on the reactor's clock (so deterministic
+  /// under sim::VirtualClock).
+  std::uint64_t latency_us = 0;
+};
+
+class ScrapeClient {
+ public:
+  /// Replies a scrape servers can reasonably produce; a peer streaming more
+  /// than this is treated as misbehaving and the fetch fails.
+  static constexpr std::size_t kMaxBody = 8 * 1024 * 1024;
+
+  /// Starts one fetch of `command` against `endpoint`'s stats port and
+  /// invokes `done` exactly once with the outcome. Must be called on
+  /// `reactor`'s loop thread (or while the reactor is not running, the
+  /// deterministic run_once() test mode). `done` runs on the loop thread;
+  /// it may start new fetches but must not block.
+  static void fetch(Reactor& reactor, const Endpoint& endpoint, std::string command,
+                    util::Duration timeout, std::function<void(ScrapeResult)> done);
+};
+
+}  // namespace smartsock::net

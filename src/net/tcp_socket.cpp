@@ -47,6 +47,23 @@ std::optional<TcpSocket> TcpSocket::connect(const Endpoint& peer, util::Duration
   return sock;
 }
 
+std::optional<TcpSocket> TcpSocket::connect_nonblocking(const Endpoint& peer) {
+  if (FaultInjector* fault = FaultInjector::global()) {
+    if (fault->fail_connect()) return std::nullopt;
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::nullopt;
+  TcpSocket sock(fd);
+
+  sockaddr_in addr{};
+  if (!peer.to_sockaddr(addr)) return std::nullopt;
+  if (!sock.set_nonblocking(true)) return std::nullopt;
+
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) return std::nullopt;
+  return sock;
+}
+
 IoResult TcpSocket::send_all(std::string_view data) {
   std::size_t limit = data.size();
   if (FaultInjector* fault = active_fault_injector()) {

@@ -20,6 +20,13 @@ class TcpSocket : public Socket {
   /// Blocking connect with timeout. Returns nullopt on failure/timeout.
   static std::optional<TcpSocket> connect(const Endpoint& peer, util::Duration timeout);
 
+  /// Starts a non-blocking connect and returns the in-progress socket
+  /// immediately (ISSUE 9 scrape client): the caller hands it to a reactor,
+  /// which sees POLLOUT when the handshake resolves — a refused/unroutable
+  /// peer surfaces as an unclean close, not a hang. Only socket creation
+  /// failures (or an injected connect fault) return nullopt.
+  static std::optional<TcpSocket> connect_nonblocking(const Endpoint& peer);
+
   /// Sends the entire buffer, looping over partial writes.
   IoResult send_all(std::string_view data);
 

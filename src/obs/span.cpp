@@ -154,6 +154,68 @@ std::string SpanStore::to_chrome_trace(const std::vector<SpanRecord>& spans) {
   return out.str();
 }
 
+std::string SpanStore::to_json(const std::vector<SpanRecord>& spans) {
+  std::ostringstream out;
+  out << "{\"spans\": [";
+  bool first = true;
+  for (const SpanRecord& span : spans) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n{\"trace_id\": \"" << json_escape(span.trace_id)
+        << "\", \"span_id\": " << span.span_id << ", \"parent_id\": " << span.parent_id
+        << ", \"component\": \"" << json_escape(span.component) << "\", \"name\": \""
+        << json_escape(span.name) << "\", \"start_us\": " << span.start_us
+        << ", \"duration_us\": " << span.duration_us << ", \"tags\": {";
+    bool first_tag = true;
+    for (const auto& [key, value] : span.tags) {
+      if (!first_tag) out << ", ";
+      first_tag = false;
+      out << "\"" << json_escape(key) << "\": \"" << json_escape(value) << "\"";
+    }
+    out << "}}";
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
+std::string SpanStore::to_stitched_chrome_trace(const std::vector<InstanceSpans>& lanes) {
+  std::ostringstream out;
+  out << "{\"traceEvents\": [";
+  bool first = true;
+  long pid = 0;
+  for (const InstanceSpans& lane : lanes) {
+    ++pid;  // synthetic: one process lane per scraped instance, in order
+    if (!first) out << ",";
+    first = false;
+    out << "\n{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": " << pid
+        << ", \"tid\": 0, \"args\": {\"name\": \"" << json_escape(lane.instance) << "\"}}";
+    std::map<std::string, int> tids;
+    for (const SpanRecord& span : lane.spans) {
+      tids.emplace(span.component, static_cast<int>(tids.size()) + 1);
+    }
+    for (const auto& [component, tid] : tids) {
+      out << ",\n{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": " << pid
+          << ", \"tid\": " << tid << ", \"args\": {\"name\": \"" << json_escape(component)
+          << "\"}}";
+    }
+    for (const SpanRecord& span : lane.spans) {
+      out << ",\n{\"ph\": \"X\", \"name\": \"" << json_escape(span.name) << "\", \"cat\": \""
+          << json_escape(span.component) << "\", \"ts\": " << span.start_us
+          << ", \"dur\": " << span.duration_us << ", \"pid\": " << pid
+          << ", \"tid\": " << tids[span.component] << ", \"args\": {";
+      out << "\"trace_id\": \"" << json_escape(span.trace_id) << "\", \"span_id\": \""
+          << span.span_id << "\", \"parent_id\": \"" << span.parent_id << "\", \"instance\": \""
+          << json_escape(lane.instance) << "\"";
+      for (const auto& [key, value] : span.tags) {
+        out << ", \"" << json_escape(key) << "\": \"" << json_escape(value) << "\"";
+      }
+      out << "}}";
+    }
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
 Span::Span(std::string_view component, std::string_view name, std::string_view trace_id,
            std::uint64_t parent_id, SpanStore& store)
     : store_(&store), start_ns_(steady_now_ns()) {

@@ -83,6 +83,27 @@ class SpanStore {
   /// map to synthetic tids so each hop gets its own timeline row.
   static std::string to_chrome_trace(const std::vector<SpanRecord>& spans);
 
+  /// Machine-readable span export (ISSUE 9): {"spans": [{...}, ...]},
+  /// oldest first — the `spans json` stats verb the fleet aggregator
+  /// scrapes, carrying every SpanRecord field (unlike the human-oriented
+  /// `spans` text summary).
+  static std::string to_json(const std::vector<SpanRecord>& spans);
+
+  /// One scraped daemon's spans for stitching, labeled by its identity
+  /// (stats endpoint "host:port", or a role name in tests).
+  struct InstanceSpans {
+    std::string instance;
+    std::vector<SpanRecord> spans;
+  };
+
+  /// Cross-process Chrome trace (ISSUE 9 tentpole): each instance becomes
+  /// its own named process lane (synthetic pid in lane order + process_name
+  /// metadata), components its thread rows within the lane — so a
+  /// client→wizard→transmitter→receiver query whose hops live in different
+  /// daemons' rings renders end-to-end on one timeline, grouped by the
+  /// trace_id that already crossed the wire.
+  static std::string to_stitched_chrome_trace(const std::vector<InstanceSpans>& lanes);
+
  private:
   struct Slot {
     mutable std::mutex mu;

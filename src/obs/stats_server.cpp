@@ -124,6 +124,13 @@ std::string StatsServer::render(std::string_view command_line) {
   std::vector<std::string_view> words = util::split_whitespace(command_line);
   std::string_view verb = words.empty() ? std::string_view{} : words[0];
 
+  // Host-supplied verbs first (ISSUE 9): the hook may extend or shadow.
+  if (config_.command_hook) {
+    if (std::optional<std::string> body = config_.command_hook(command_line)) {
+      return *body;
+    }
+  }
+
   if (verb == "prom") return registry_->snapshot().to_prometheus();
   if (verb == "text") return registry_->snapshot().to_text();
 
@@ -148,6 +155,11 @@ std::string StatsServer::render(std::string_view command_line) {
 
   if (verb == "spans") {
     if (config_.spans == nullptr) return error_body("no span store on this endpoint");
+    // `spans json` (ISSUE 9) is the machine-readable variant the fleet
+    // aggregator scrapes; bare `spans` keeps the human summary.
+    if (words.size() > 1 && words[1] == "json") {
+      return SpanStore::to_json(config_.spans->snapshot());
+    }
     return spans_text(*config_.spans);
   }
 

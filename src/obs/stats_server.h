@@ -9,7 +9,7 @@
 //   json | prom | text          metrics snapshot (empty line/EOF = json)
 //   health [text]               HealthEngine report (needs config.health)
 //   history <metric> [seconds]  windowed time series (needs config.history)
-//   spans                       span-ring summary, newest last
+//   spans [json]                span-ring summary (json: full records)
 //   trace [id]                  Chrome trace_event JSON, whole ring or one trace
 //   profile <seconds> [cpu|wall] [trace]
 //                               sampling-profiler session (ISSUE 7): folded
@@ -33,7 +33,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_set>
 
@@ -67,6 +69,13 @@ struct StatsServerConfig {
   HealthEngine* health = nullptr;
   /// Shared per-daemon event loop; null = the server runs its own reactor.
   net::Reactor* reactor = nullptr;
+  /// Extra verbs (ISSUE 9): consulted before the built-in dispatch; a
+  /// returned body answers the command, nullopt falls through. Lets the
+  /// fleet aggregator serve stitched traces and fleet status through a
+  /// stock server without this class knowing about fleets. Runs on
+  /// whichever thread serves the command (the loop thread for started
+  /// servers) — must not block.
+  std::function<std::optional<std::string>(std::string_view command_line)> command_hook;
 };
 
 class StatsServer {

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "util/merge.h"
+
 namespace smartsock::obs {
 
 namespace {
@@ -81,11 +83,33 @@ TimeSeriesRecorder::History TimeSeriesRecorder::history(const std::string& metri
 
   // Fold points into fixed-width windows aligned to the sample clock's
   // epoch, oldest first. Points arrive time-ordered, so one pass suffices.
+  //
+  // Histogram windows: each point carries the recorder's cumulative count
+  // plus its quantiles at sample time, so the window's quantiles are the
+  // count-weighted merge of its points (weight = new samples since the
+  // previous point, ISSUE 9 satellite) — a window that saw one burst and
+  // then idled reports the burst's tail, not whatever the last idle sample
+  // happened to repeat. A window with no new samples keeps the newest
+  // point's values as before.
   Window* current = nullptr;
   const Point* first_in_window = nullptr;
+  std::vector<util::LatencySummary> in_window;
+  double prev_count = 0;  // cumulative count of the previous histogram point
+  auto finalize_histogram = [&](Window& window) {
+    util::LatencySummary merged = util::merge_latency_summaries(in_window);
+    if (merged.count > 0) {
+      window.p50 = merged.p50_us;
+      window.p90 = merged.p90_us;
+      window.p99 = merged.p99_us;
+    }
+    in_window.clear();
+  };
   for (const Point& point : series.points) {
     std::uint64_t start = point.ts_us - point.ts_us % window_us;
     if (current == nullptr || start != current->start_us) {
+      if (current != nullptr && series.kind == Kind::kHistogram) {
+        finalize_histogram(*current);
+      }
       out.windows.push_back(Window{});
       current = &out.windows.back();
       current->start_us = start;
@@ -100,11 +124,25 @@ TimeSeriesRecorder::History TimeSeriesRecorder::history(const std::string& metri
     current->p50 = point.p50;
     current->p90 = point.p90;
     current->p99 = point.p99;
+    if (series.kind == Kind::kHistogram) {
+      // Clamp at 0: a restarted recorder's cumulative count rewinds.
+      double delta = std::max(0.0, point.value - prev_count);
+      prev_count = point.value;
+      util::LatencySummary summary;
+      summary.count = static_cast<std::uint64_t>(delta);
+      summary.p50_us = point.p50;
+      summary.p90_us = point.p90;
+      summary.p99_us = point.p99;
+      in_window.push_back(summary);
+    }
     if (series.kind == Kind::kCounter && point.ts_us > first_in_window->ts_us) {
       double elapsed_s =
           static_cast<double>(point.ts_us - first_in_window->ts_us) / 1e6;
       current->rate_per_sec = (point.value - first_in_window->value) / elapsed_s;
     }
+  }
+  if (current != nullptr && series.kind == Kind::kHistogram) {
+    finalize_histogram(*current);
   }
   return out;
 }

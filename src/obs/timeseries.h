@@ -49,7 +49,10 @@ class TimeSeriesRecorder {
     std::size_t samples = 0;
     double min = 0, max = 0, last = 0;
     double rate_per_sec = 0;           // counters: delta / elapsed in-window
-    double p50 = 0, p90 = 0, p99 = 0;  // histograms: newest sample in-window
+    /// Histograms: count-weighted merge of the window's samples (weight =
+    /// new recordings since the previous sample; util::merge_latency_
+    /// summaries); falls back to the newest sample when nothing new landed.
+    double p50 = 0, p90 = 0, p99 = 0;
   };
 
   struct History {

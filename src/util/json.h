@@ -1,0 +1,63 @@
+// Minimal JSON document parser (ISSUE 9).
+//
+// The fleet aggregator scrapes other daemons' stats endpoints and has to
+// understand the JSON they reply with. The repo writes JSON in half a dozen
+// places but until now never read it, so this is the first (and only)
+// parser: a small recursive-descent DOM over std::string/vector — no
+// streaming, no SAX, no external dependency. Scope is deliberately limited
+// to what RFC 8259 documents our own emitters produce: objects keep member
+// order (vector of pairs, first match wins on lookup), numbers come back as
+// double (snapshot counters fit in the 2^53 exact-integer range), and a
+// depth cap keeps adversarial nesting from overflowing the stack.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace smartsock::util {
+
+/// One parsed JSON value. A discriminated union over the seven RFC types
+/// (null, true/false folded into kBool).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  /// Members in document order; duplicate keys are retained (find returns
+  /// the first).
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  Array array;
+  Object object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// First member with this key, or null if absent / not an object.
+  const JsonValue* find(std::string_view key) const;
+
+  /// number value of member `key`, or `fallback` when absent or non-numeric.
+  double number_or(std::string_view key, double fallback) const;
+  /// string value of member `key`, or `fallback` when absent or non-string.
+  std::string string_or(std::string_view key, std::string_view fallback) const;
+  /// number as uint64 (clamped at 0; fractional part truncated).
+  std::uint64_t uint_or(std::string_view key, std::uint64_t fallback) const;
+};
+
+/// Parses one complete JSON document. Returns nullopt on any syntax error,
+/// trailing garbage after the document, or nesting deeper than 64 levels.
+std::optional<JsonValue> json_parse(std::string_view text);
+
+}  // namespace smartsock::util

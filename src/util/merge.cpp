@@ -1,0 +1,35 @@
+#include "util/merge.h"
+
+#include <algorithm>
+#include <map>
+
+namespace smartsock::util {
+
+LatencySummary merge_latency_summaries(const std::vector<LatencySummary>& inputs) {
+  LatencySummary out;
+  // Bucket bounds are doubles computed from the same geometric table in
+  // every producer, so exact == matching is safe; an ordered map keeps the
+  // merged bucket list sorted without a second pass.
+  std::map<double, std::uint64_t> buckets;
+  double weighted_mean = 0, weighted_p50 = 0, weighted_p90 = 0, weighted_p99 = 0;
+  for (const LatencySummary& input : inputs) {
+    if (input.count == 0) continue;
+    const double weight = static_cast<double>(input.count);
+    out.count += input.count;
+    weighted_mean += weight * input.mean_us;
+    weighted_p50 += weight * input.p50_us;
+    weighted_p90 += weight * input.p90_us;
+    weighted_p99 += weight * input.p99_us;
+    for (const auto& [bound, n] : input.buckets) buckets[bound] += n;
+  }
+  if (out.count == 0) return out;
+  const double total = static_cast<double>(out.count);
+  out.mean_us = weighted_mean / total;
+  out.p50_us = weighted_p50 / total;
+  out.p90_us = weighted_p90 / total;
+  out.p99_us = weighted_p99 / total;
+  out.buckets.assign(buckets.begin(), buckets.end());
+  return out;
+}
+
+}  // namespace smartsock::util

@@ -1,0 +1,41 @@
+// Latency-summary merging (ISSUE 9 satellite).
+//
+// Both the fleet aggregator (merging N daemons' histogram snapshots into
+// one fleet-wide series) and the time-series history rollup (folding many
+// in-window samples into one window) need the same operation: combine
+// several {count, mean, p50/p90/p99, buckets} summaries into one. Exact
+// quantile merging would need the raw samples, which none of the producers
+// retain — so this is the standard approximation: bucket counts sum exactly
+// (the geometric bucket bounds are identical across every LatencyRecorder),
+// and mean/quantiles are count-weighted averages. That keeps the merge
+// associative and order-independent, never invents a value outside the
+// input range, and degrades gracefully: merging one summary is the
+// identity, merging equal distributions is exact.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace smartsock::util {
+
+/// One histogram/quantile summary, shaped after obs::HistogramStats but
+/// kept in util/ so both obs/ layers (metrics below net, fleet above) and
+/// future callers can share it without an include cycle.
+struct LatencySummary {
+  std::uint64_t count = 0;
+  double mean_us = 0;
+  double p50_us = 0;
+  double p90_us = 0;
+  double p99_us = 0;
+  /// (exclusive upper bound in µs, count) per non-empty bucket.
+  std::vector<std::pair<double, std::uint64_t>> buckets;
+};
+
+/// Merges summaries into one: counts and buckets sum (buckets matched by
+/// upper bound, result sorted ascending), mean and quantiles are weighted
+/// by each input's count. Inputs with count == 0 contribute nothing; when
+/// every input is empty the result is an all-zero summary.
+LatencySummary merge_latency_summaries(const std::vector<LatencySummary>& inputs);
+
+}  // namespace smartsock::util

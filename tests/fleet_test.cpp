@@ -1,0 +1,683 @@
+// Fleet observability plane tests (ISSUE 9).
+//
+// Sweep scheduling, per-endpoint timeouts and breakers all run against
+// sim::VirtualClock with manual run_once() steps on the aggregator's
+// reactor, so every deadline decision is exact; the scraped daemons are
+// real StatsServers on loopback (their own loops, real clock) — readiness
+// arrives in real time while the pump steps the aggregator loop, and no
+// assertion depends on wall-clock timing.
+#include "obs/fleet.h"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "harness/cluster_harness.h"
+#include "net/scrape_client.h"
+#include "net/tcp_listener.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/stats_server.h"
+#include "sim/virtual_clock.h"
+#include "util/json.h"
+#include "util/merge.h"
+
+namespace smartsock::obs {
+namespace {
+
+using namespace std::chrono_literals;
+
+util::Duration ms(int n) { return std::chrono::milliseconds(n); }
+
+/// Steps `reactor` until `done()` holds. The deadline is a real-time escape
+/// hatch for broken builds, not part of the test semantics.
+bool pump_until(net::Reactor& reactor, const std::function<bool()>& done,
+                int max_ms = 10000) {
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(max_ms);
+  while (!done()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    reactor.run_once(ms(2));
+  }
+  return true;
+}
+
+double find_gauge_or(const Snapshot& snap, const std::string& name, double fallback) {
+  for (const auto& [gauge, value] : snap.gauges) {
+    if (gauge == name) return value;
+  }
+  return fallback;
+}
+
+std::uint64_t find_counter_or(const Snapshot& snap, const std::string& name,
+                              std::uint64_t fallback) {
+  for (const auto& [counter, value] : snap.counters) {
+    if (counter == name) return value;
+  }
+  return fallback;
+}
+
+// --- endpoint list / label grammar -------------------------------------------
+
+TEST(ParseEndpointList, AcceptsCommasSemicolonsAndWhitespace) {
+  auto list = parse_endpoint_list("127.0.0.1:1, 127.0.0.2:2 ;127.0.0.3:3,");
+  ASSERT_TRUE(list);
+  ASSERT_EQ(list->size(), 3u);
+  EXPECT_EQ((*list)[0].to_string(), "127.0.0.1:1");
+  EXPECT_EQ((*list)[1].to_string(), "127.0.0.2:2");
+  EXPECT_EQ((*list)[2].to_string(), "127.0.0.3:3");
+}
+
+TEST(ParseEndpointList, RejectsMalformedEntries) {
+  std::string error;
+  EXPECT_FALSE(parse_endpoint_list("127.0.0.1:1,not-an-endpoint", &error));
+  EXPECT_NE(error.find("bad endpoint"), std::string::npos) << error;
+}
+
+TEST(ParseEndpointList, RejectsDuplicates) {
+  std::string error;
+  EXPECT_FALSE(parse_endpoint_list("127.0.0.1:9,127.0.0.1:9", &error));
+  EXPECT_NE(error.find("duplicate"), std::string::npos) << error;
+}
+
+TEST(ParseEndpointList, RejectsEmptyList) {
+  std::string error;
+  EXPECT_FALSE(parse_endpoint_list("", &error));
+  EXPECT_FALSE(parse_endpoint_list(" , ;", &error));
+  EXPECT_NE(error.find("empty"), std::string::npos) << error;
+}
+
+TEST(WithInstanceLabel, AppendsToPlainName) {
+  EXPECT_EQ(with_instance_label("queue_depth", "127.0.0.1:9"),
+            "queue_depth{instance=\"127.0.0.1:9\"}");
+}
+
+TEST(WithInstanceLabel, ComposesWithExistingLabels) {
+  EXPECT_EQ(with_instance_label("queue_depth{site=\"a\"}", "h:1"),
+            "queue_depth{site=\"a\",instance=\"h:1\"}");
+}
+
+// --- util::json (first consumer is the aggregator; test it here) --------------
+
+TEST(JsonParse, ParsesScalarsAndNesting) {
+  auto doc = util::json_parse(
+      R"({"a": 1.5, "b": "text", "c": true, "d": null, "e": [1, 2], "f": {"g": 3}})");
+  ASSERT_TRUE(doc);
+  EXPECT_DOUBLE_EQ(doc->number_or("a", 0), 1.5);
+  EXPECT_EQ(doc->string_or("b", ""), "text");
+  ASSERT_NE(doc->find("c"), nullptr);
+  EXPECT_TRUE(doc->find("c")->boolean);
+  EXPECT_TRUE(doc->find("d")->is_null());
+  ASSERT_TRUE(doc->find("e")->is_array());
+  EXPECT_EQ(doc->find("e")->array.size(), 2u);
+  EXPECT_DOUBLE_EQ(doc->find("f")->number_or("g", 0), 3);
+}
+
+TEST(JsonParse, DecodesEscapesAndUnicode) {
+  auto doc = util::json_parse(R"({"k": "a\"b\\c\nAé"})");
+  ASSERT_TRUE(doc);
+  EXPECT_EQ(doc->string_or("k", ""), "a\"b\\c\nA\xc3\xa9");
+}
+
+TEST(JsonParse, RejectsGarbage) {
+  EXPECT_FALSE(util::json_parse(""));
+  EXPECT_FALSE(util::json_parse("{"));
+  EXPECT_FALSE(util::json_parse("{\"a\": }"));
+  EXPECT_FALSE(util::json_parse("{} trailing"));
+  EXPECT_FALSE(util::json_parse("{'a': 1}"));
+}
+
+TEST(JsonParse, RoundTripsASnapshot) {
+  MetricsRegistry registry;
+  registry.counter("hits_total")->inc();
+  registry.gauge("depth")->set(4.5);
+  registry.histogram("lat_us")->record_us(120);
+  auto doc = util::json_parse(registry.snapshot().to_json());
+  ASSERT_TRUE(doc);
+  const util::JsonValue* counters = doc->find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_DOUBLE_EQ(counters->number_or("hits_total", 0), 1);
+  const util::JsonValue* histograms = doc->find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const util::JsonValue* lat = histograms->find("lat_us");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->uint_or("count", 0), 1u);
+}
+
+// --- util::merge_latency_summaries --------------------------------------------
+
+TEST(MergeLatencySummaries, EmptyInputsYieldZeros) {
+  util::LatencySummary merged = util::merge_latency_summaries({});
+  EXPECT_EQ(merged.count, 0u);
+  EXPECT_DOUBLE_EQ(merged.p99_us, 0);
+  util::LatencySummary empty;
+  merged = util::merge_latency_summaries({empty, empty});
+  EXPECT_EQ(merged.count, 0u);
+}
+
+TEST(MergeLatencySummaries, SingleInputPassesThrough) {
+  util::LatencySummary one;
+  one.count = 10;
+  one.mean_us = 5;
+  one.p50_us = 4;
+  one.p90_us = 8;
+  one.p99_us = 9;
+  one.buckets = {{10.0, 10}};
+  util::LatencySummary merged = util::merge_latency_summaries({one});
+  EXPECT_EQ(merged.count, 10u);
+  EXPECT_DOUBLE_EQ(merged.mean_us, 5);
+  EXPECT_DOUBLE_EQ(merged.p99_us, 9);
+  ASSERT_EQ(merged.buckets.size(), 1u);
+  EXPECT_EQ(merged.buckets[0].second, 10u);
+}
+
+TEST(MergeLatencySummaries, QuantilesAreCountWeighted) {
+  util::LatencySummary big, small;
+  big.count = 90;
+  big.mean_us = 10;
+  big.p50_us = 10;
+  big.p90_us = 10;
+  big.p99_us = 10;
+  small.count = 10;
+  small.mean_us = 110;
+  small.p50_us = 110;
+  small.p90_us = 110;
+  small.p99_us = 110;
+  util::LatencySummary merged = util::merge_latency_summaries({big, small});
+  EXPECT_EQ(merged.count, 100u);
+  EXPECT_DOUBLE_EQ(merged.mean_us, 0.9 * 10 + 0.1 * 110);
+  EXPECT_DOUBLE_EQ(merged.p50_us, 0.9 * 10 + 0.1 * 110);
+  // A zero-count input must not dilute the weights.
+  util::LatencySummary empty;
+  util::LatencySummary same = util::merge_latency_summaries({big, small, empty});
+  EXPECT_DOUBLE_EQ(same.p50_us, merged.p50_us);
+}
+
+TEST(MergeLatencySummaries, BucketCountsSumByUpperBound) {
+  util::LatencySummary a, b;
+  a.count = 3;
+  a.buckets = {{10.0, 1}, {100.0, 2}};
+  b.count = 5;
+  b.buckets = {{100.0, 4}, {1000.0, 1}};
+  util::LatencySummary merged = util::merge_latency_summaries({a, b});
+  ASSERT_EQ(merged.buckets.size(), 3u);
+  EXPECT_DOUBLE_EQ(merged.buckets[0].first, 10.0);
+  EXPECT_EQ(merged.buckets[0].second, 1u);
+  EXPECT_DOUBLE_EQ(merged.buckets[1].first, 100.0);
+  EXPECT_EQ(merged.buckets[1].second, 6u);
+  EXPECT_DOUBLE_EQ(merged.buckets[2].first, 1000.0);
+  EXPECT_EQ(merged.buckets[2].second, 1u);
+}
+
+// --- aggregator over real scraped daemons --------------------------------------
+
+/// One scrapeable "daemon": an isolated registry behind a real StatsServer
+/// (its own reactor + real clock, like a real daemon's admin port).
+struct FakeDaemon {
+  MetricsRegistry registry;
+  SpanStore spans;
+  std::unique_ptr<StatsServer> server;
+
+  explicit FakeDaemon(net::Endpoint bind = net::Endpoint::loopback(0)) {
+    StatsServerConfig config;
+    config.bind = bind;
+    config.spans = &spans;
+    server = std::make_unique<StatsServer>(config, registry);
+  }
+  bool start() { return server->valid() && server->start(); }
+  net::Endpoint endpoint() const { return server->endpoint(); }
+  /// Process-death analogue: destroys the server, listener fd included, so
+  /// later connects are refused (stop() alone would leave the listening
+  /// socket open and the kernel backlog still accepting).
+  void kill() { server.reset(); }
+};
+
+class FleetAggregatorTest : public ::testing::Test {
+ protected:
+  FleetAggregatorTest() {
+    net::ReactorConfig config;
+    config.clock = &clock_;
+    reactor_ = std::make_unique<net::Reactor>(config);
+  }
+
+  /// Builds the aggregator over `endpoints` and kicks the first sweep.
+  void boot(std::vector<net::Endpoint> endpoints, FleetConfig config = {}) {
+    config.endpoints = std::move(endpoints);
+    aggregator_ = std::make_unique<FleetAggregator>(config, *reactor_, merged_);
+    aggregator_->start();
+  }
+
+  bool wait_sweeps(std::uint64_t n) {
+    return pump_until(*reactor_, [&] { return aggregator_->sweeps_completed() >= n; });
+  }
+
+  sim::VirtualClock clock_;
+  std::unique_ptr<net::Reactor> reactor_;
+  MetricsRegistry merged_;
+  std::unique_ptr<FleetAggregator> aggregator_;
+};
+
+TEST_F(FleetAggregatorTest, MergesCountersGaugesAndHistograms) {
+  FakeDaemon a, b;
+  ASSERT_TRUE(a.start());
+  ASSERT_TRUE(b.start());
+  a.registry.counter("hits_total")->inc(5);
+  b.registry.counter("hits_total")->inc(7);
+  a.registry.gauge("depth")->set(2);
+  b.registry.gauge("depth")->set(3);
+  for (int i = 0; i < 10; ++i) a.registry.histogram("lat_us")->record_us(10);
+  for (int i = 0; i < 10; ++i) b.registry.histogram("lat_us")->record_us(1000);
+
+  boot({a.endpoint(), b.endpoint()});
+  ASSERT_TRUE(wait_sweeps(1));
+
+  Snapshot snap = merged_.snapshot();
+  EXPECT_EQ(find_counter_or(snap, "hits_total", 0), 12u);
+  // Gauges stay per-instance; no unlabeled merged gauge exists.
+  EXPECT_DOUBLE_EQ(
+      find_gauge_or(snap, with_instance_label("depth", a.endpoint().to_string()), -1), 2);
+  EXPECT_DOUBLE_EQ(
+      find_gauge_or(snap, with_instance_label("depth", b.endpoint().to_string()), -1), 3);
+  EXPECT_DOUBLE_EQ(find_gauge_or(snap, "depth", -1), -1);
+  EXPECT_DOUBLE_EQ(find_gauge_or(snap, "fleet_instances_configured", -1), 2);
+  EXPECT_DOUBLE_EQ(find_gauge_or(snap, "fleet_instances_reachable", -1), 2);
+
+  const HistogramStats* merged_hist = nullptr;
+  for (const HistogramStats& h : snap.histograms) {
+    if (h.name == "lat_us") merged_hist = &h;
+  }
+  ASSERT_NE(merged_hist, nullptr);
+  EXPECT_EQ(merged_hist->count, 20u);
+  // Count-weighted: half the samples at ~10 µs, half at ~1000 µs.
+  EXPECT_GT(merged_hist->p50_us, 10);
+  EXPECT_LT(merged_hist->p50_us, 1000);
+}
+
+TEST_F(FleetAggregatorTest, PeriodicSweepsFollowTheVirtualClock) {
+  FakeDaemon a;
+  ASSERT_TRUE(a.start());
+  FleetConfig config;
+  config.scrape_interval = 1s;
+  config.scrape_spans = false;
+  boot({a.endpoint()}, config);
+  ASSERT_TRUE(wait_sweeps(1));  // the posted immediate sweep
+  std::uint64_t after_first = aggregator_->sweeps_completed();
+
+  // No virtual time, no new sweep no matter how often the loop spins.
+  for (int i = 0; i < 20; ++i) reactor_->run_once(ms(0));
+  EXPECT_EQ(aggregator_->sweeps_completed(), after_first);
+
+  clock_.advance(1s);
+  ASSERT_TRUE(wait_sweeps(after_first + 1));
+  clock_.advance(1s);
+  ASSERT_TRUE(wait_sweeps(after_first + 2));
+}
+
+TEST_F(FleetAggregatorTest, CounterStaysMonotoneAcrossDaemonRestart) {
+  auto first = std::make_unique<FakeDaemon>();
+  ASSERT_TRUE(first->start());
+  net::Endpoint port = first->endpoint();
+  first->registry.counter("requests_total")->inc(100);
+
+  FleetConfig config;
+  config.scrape_spans = false;
+  boot({port}, config);
+  ASSERT_TRUE(wait_sweeps(1));
+  EXPECT_EQ(find_counter_or(merged_.snapshot(), "requests_total", 0), 100u);
+
+  // Restart: a fresh process on the same port, counter rewound to 30.
+  first.reset();
+  FakeDaemon second(port);
+  ASSERT_TRUE(second.start());
+  second.registry.counter("requests_total")->inc(30);
+
+  aggregator_->sweep_now();
+  ASSERT_TRUE(wait_sweeps(2));
+  Snapshot snap = merged_.snapshot();
+  // Reset detected: pre-restart total folded into the base, series monotone.
+  EXPECT_EQ(find_counter_or(snap, "requests_total", 0), 130u);
+  EXPECT_EQ(find_counter_or(
+                snap, with_instance_label("fleet_counter_resets_total", port.to_string()),
+                0),
+            1u);
+
+  // And it keeps counting up from there.
+  second.registry.counter("requests_total")->inc(5);
+  aggregator_->sweep_now();
+  ASSERT_TRUE(wait_sweeps(3));
+  EXPECT_EQ(find_counter_or(merged_.snapshot(), "requests_total", 0), 135u);
+}
+
+TEST_F(FleetAggregatorTest, WedgedEndpointTimesOutWithoutStallingTheSweep) {
+  // A listener that never serves: connects complete from the kernel backlog
+  // but no reply ever arrives — the classic wedged daemon.
+  auto wedged = net::TcpListener::listen(net::Endpoint::loopback(0));
+  ASSERT_TRUE(wedged);
+  FakeDaemon healthy;
+  ASSERT_TRUE(healthy.start());
+  healthy.registry.counter("hits_total")->inc(3);
+
+  FleetConfig config;
+  config.scrape_timeout = ms(200);
+  config.scrape_spans = false;
+  boot({wedged->local_endpoint(), healthy.endpoint()}, config);
+
+  // The healthy endpoint's fetch completes; the sweep still waits on the
+  // wedged one until its per-endpoint deadline fires on the virtual clock.
+  ASSERT_TRUE(pump_until(*reactor_, [&] {
+    return find_counter_or(merged_.snapshot(), "hits_total", 0) == 3;
+  }));
+  EXPECT_EQ(aggregator_->sweeps_completed(), 0u);
+
+  clock_.advance(ms(200));
+  ASSERT_TRUE(wait_sweeps(1));
+  auto status = util::json_parse(aggregator_->status_json());
+  ASSERT_TRUE(status);
+  const util::JsonValue* instances = status->find("instances");
+  ASSERT_TRUE(instances && instances->is_array());
+  ASSERT_EQ(instances->array.size(), 2u);
+  EXPECT_EQ(instances->array[0].string_or("error", ""), "timeout");
+  EXPECT_EQ(instances->array[1].string_or("error", "none"), "none");
+}
+
+TEST_F(FleetAggregatorTest, BreakerSkipsARepeatedlyDeadEndpoint) {
+  // Nothing listens on this port (listener closed right away).
+  net::Endpoint dead;
+  {
+    auto listener = net::TcpListener::listen(net::Endpoint::loopback(0));
+    ASSERT_TRUE(listener);
+    dead = listener->local_endpoint();
+  }
+  FleetConfig config;
+  config.scrape_interval = 1s;
+  config.scrape_spans = false;
+  config.breaker.failures_to_open = 2;
+  config.breaker.cooldown = 10s;  // longer than the test's virtual time
+  boot({dead}, config);
+
+  ASSERT_TRUE(wait_sweeps(1));
+  clock_.advance(1s);
+  ASSERT_TRUE(wait_sweeps(2));  // second failure opens the breaker
+  clock_.advance(1s);
+  ASSERT_TRUE(wait_sweeps(3));  // breaker open: skipped, not re-probed
+  auto status = util::json_parse(aggregator_->status_json());
+  ASSERT_TRUE(status);
+  const util::JsonValue* instances = status->find("instances");
+  ASSERT_TRUE(instances && instances->is_array());
+  EXPECT_EQ(instances->array[0].string_or("error", ""), "breaker open");
+  // Scrapes stopped at 2: the skipped sweep did not burn a connection.
+  EXPECT_EQ(instances->array[0].uint_or("scrapes_total", 99), 2u);
+  EXPECT_DOUBLE_EQ(find_gauge_or(merged_.snapshot(), "fleet_instances_reachable", -1), 0);
+}
+
+TEST_F(FleetAggregatorTest, HealthRollsUpReachability) {
+  FakeDaemon a, b;
+  ASSERT_TRUE(a.start());
+  ASSERT_TRUE(b.start());
+  FleetConfig config;
+  config.scrape_interval = 1s;  // stale_after derives 3 s
+  config.scrape_spans = false;
+  boot({a.endpoint(), b.endpoint()}, config);
+  HealthEngine health(merged_);
+  aggregator_->install_health_rules(health);
+
+  ASSERT_TRUE(wait_sweeps(1));
+  EXPECT_EQ(health.evaluate().overall, HealthLevel::kOk);
+
+  // Kill one daemon; its last good scrape ages past stale_after.
+  std::string b_label = b.endpoint().to_string();
+  b.kill();
+  for (int i = 0; i < 4; ++i) {
+    clock_.advance(1s);
+    ASSERT_TRUE(wait_sweeps(aggregator_->sweeps_completed() + 1));
+  }
+  HealthReport degraded = health.evaluate();
+  EXPECT_EQ(degraded.overall, HealthLevel::kDegraded);
+  bool found_reason = false;
+  for (const auto& subsystem : degraded.subsystems) {
+    if (subsystem.name != "fleet") continue;
+    for (const std::string& reason : subsystem.reasons) {
+      if (reason.find(b_label) != std::string::npos) found_reason = true;
+    }
+  }
+  EXPECT_TRUE(found_reason) << degraded.to_text();
+
+  // Kill the other one too: the whole fleet is dark.
+  a.kill();
+  for (int i = 0; i < 4; ++i) {
+    clock_.advance(1s);
+    ASSERT_TRUE(wait_sweeps(aggregator_->sweeps_completed() + 1));
+  }
+  EXPECT_EQ(health.evaluate().overall, HealthLevel::kCritical);
+}
+
+// --- Prometheus conformance of the merged exposition ---------------------------
+
+TEST_F(FleetAggregatorTest, MergedPromHasInstanceLabelsAndNoDuplicateSeries) {
+  FakeDaemon a, b;
+  ASSERT_TRUE(a.start());
+  ASSERT_TRUE(b.start());
+  // A label value that needs escaping, to prove instance injection composes
+  // with the registry's raw-label convention end to end (JSON scrape
+  // included): the raw value a"b carries a literal quote (the registry's
+  // raw convention: a quote only terminates before `,` or `}`).
+  a.registry.gauge("queue_depth{site=\"a\"b\"}")->set(1);
+  b.registry.gauge("queue_depth{site=\"a\"b\"}")->set(2);
+  a.registry.counter("hits_total")->inc(4);
+  b.registry.counter("hits_total")->inc(6);
+  a.registry.histogram("lat_us")->record_us(50);
+
+  boot({a.endpoint(), b.endpoint()});
+  ASSERT_TRUE(wait_sweeps(1));
+
+  std::string prom = merged_.snapshot().to_prometheus();
+  // The labeled gauge survives per-instance with both labels, escaped.
+  std::string expect_a = "queue_depth{site=\"a\\\"b\",instance=\"" +
+                         a.endpoint().to_string() + "\"} 1";
+  std::string expect_b = "queue_depth{site=\"a\\\"b\",instance=\"" +
+                         b.endpoint().to_string() + "\"} 2";
+  EXPECT_NE(prom.find(expect_a), std::string::npos) << prom;
+  EXPECT_NE(prom.find(expect_b), std::string::npos) << prom;
+  // Counters merge into one unlabeled series.
+  EXPECT_NE(prom.find("hits_total 10\n"), std::string::npos) << prom;
+
+  // Conformance: every sample line unique, # TYPE per family exactly once.
+  std::set<std::string> series;
+  std::set<std::string> families;
+  std::istringstream lines(prom);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      EXPECT_TRUE(families.insert(line).second) << "duplicate family: " << line;
+      continue;
+    }
+    if (line[0] == '#') continue;
+    std::string name = line.substr(0, line.rfind(' '));
+    EXPECT_TRUE(series.insert(name).second) << "duplicate series: " << name;
+  }
+}
+
+// --- trace stitching / statsd verbs --------------------------------------------
+
+TEST_F(FleetAggregatorTest, StitchesOneTraceAcrossInstanceLanes) {
+  FakeDaemon a, b;
+  ASSERT_TRUE(a.start());
+  ASSERT_TRUE(b.start());
+  // The same trace crosses both daemons (what the wire does for real).
+  {
+    Span client("smart_client", "query", "deadbeefcafef00d", 0, a.spans);
+    Span server("wizard", "handle", "deadbeefcafef00d", client.id(), b.spans);
+  }
+  { Span unrelated("wizard", "handle", "1111111111111111", 0, b.spans); }
+
+  boot({a.endpoint(), b.endpoint()});
+  ASSERT_TRUE(wait_sweeps(1));
+
+  auto lanes = aggregator_->find_trace("deadbeefcafef00d");
+  ASSERT_EQ(lanes.size(), 2u);
+  EXPECT_EQ(lanes[0].instance, a.endpoint().to_string());
+  ASSERT_EQ(lanes[0].spans.size(), 1u);
+  EXPECT_EQ(lanes[0].spans[0].name, "query");
+  ASSERT_EQ(lanes[1].spans.size(), 1u);
+  EXPECT_EQ(lanes[1].spans[0].name, "handle");
+
+  // The stitched Chrome trace: one named process lane per instance, the
+  // trace id on both X events, distinct pids.
+  auto doc = util::json_parse(aggregator_->stitched_trace("deadbeefcafef00d"));
+  ASSERT_TRUE(doc);
+  const util::JsonValue* events = doc->find("traceEvents");
+  ASSERT_TRUE(events && events->is_array());
+  std::set<double> pids;
+  std::size_t named_lanes = 0;
+  for (const util::JsonValue& event : events->array) {
+    std::string phase = event.string_or("ph", "");
+    if (phase == "M" && event.string_or("name", "") == "process_name") ++named_lanes;
+    if (phase != "X") continue;
+    const util::JsonValue* args = event.find("args");
+    ASSERT_NE(args, nullptr);
+    EXPECT_EQ(args->string_or("trace_id", ""), "deadbeefcafef00d");
+    pids.insert(event.number_or("pid", -1));
+  }
+  EXPECT_EQ(named_lanes, 2u);
+  EXPECT_EQ(pids.size(), 2u);
+}
+
+TEST_F(FleetAggregatorTest, ServesFleetVerbsThroughAStockStatsServer) {
+  FakeDaemon a;
+  ASSERT_TRUE(a.start());
+  a.registry.counter("hits_total")->inc(2);
+  { Span span("wizard", "handle", "feedfacefeedface", 0, a.spans); }
+
+  boot({a.endpoint()});
+  ASSERT_TRUE(wait_sweeps(1));
+
+  // The statsd wiring: a stock server over the merged registry, fleet verbs
+  // via the command hook.
+  StatsServerConfig config;
+  config.command_hook = [this](std::string_view line) {
+    return aggregator_->handle_command(line);
+  };
+  StatsServer statsd(config, merged_);
+
+  EXPECT_NE(statsd.render("json").find("\"hits_total\": 2"), std::string::npos);
+  EXPECT_NE(statsd.render("prom").find("fleet_instances_reachable 1"),
+            std::string::npos);
+  auto fleet = util::json_parse(statsd.render("fleet"));
+  ASSERT_TRUE(fleet);
+  EXPECT_EQ(fleet->uint_or("reachable", 0), 1u);
+  EXPECT_NE(statsd.render("trace feedfacefeedface").find("\"traceEvents\""),
+            std::string::npos);
+  EXPECT_NE(statsd.render("spans").find(a.endpoint().to_string()), std::string::npos);
+  // Verbs the hook declines fall through to the stock dispatch, whose
+  // historical default for unrecognized input is the json snapshot.
+  EXPECT_NE(statsd.render("no-such-verb").find("\"counters\""), std::string::npos);
+}
+
+// --- scrape client --------------------------------------------------------------
+
+TEST(ScrapeClientTest, FetchesABodyAndReportsConnectFailures) {
+  FakeDaemon daemon;
+  ASSERT_TRUE(daemon.start());
+  daemon.registry.counter("hits_total")->inc();
+  net::Endpoint dead;
+  {
+    auto listener = net::TcpListener::listen(net::Endpoint::loopback(0));
+    ASSERT_TRUE(listener);
+    dead = listener->local_endpoint();
+  }
+
+  net::Reactor reactor;
+  std::optional<net::ScrapeResult> good, bad;
+  net::ScrapeClient::fetch(reactor, daemon.endpoint(), "json", 2s,
+                           [&](net::ScrapeResult r) { good = r; });
+  net::ScrapeClient::fetch(reactor, dead, "json", 2s,
+                           [&](net::ScrapeResult r) { bad = r; });
+  ASSERT_TRUE(pump_until(reactor, [&] { return good.has_value() && bad.has_value(); }));
+  EXPECT_TRUE(good->ok);
+  EXPECT_NE(good->body.find("hits_total"), std::string::npos);
+  EXPECT_FALSE(bad->ok);
+  EXPECT_FALSE(bad->error.empty());
+}
+
+// --- acceptance: the harness fleet, end to end ----------------------------------
+
+TEST(FleetAcceptance, StitchedTraceCrossesProcessLanesAndKillFlipsHealth) {
+  harness::HarnessOptions options;
+  options.hosts = {*sim::find_paper_host("dalmatian"), *sim::find_paper_host("telesto"),
+                   *sim::find_paper_host("sagit")};
+  options.wizard_replicas = 3;
+  options.stats_servers = true;
+  harness::ClusterHarness harness(options);
+  ASSERT_TRUE(harness.start());
+  ASSERT_TRUE(harness.wait_for_all_reports(5s));
+
+  // One real query: its trace id crosses the wire into whichever wizard
+  // replica served it.
+  core::SmartClient client = harness.make_client(7);
+  core::WizardReply reply = client.query("host_cpu_free > 0.1", 1);
+  ASSERT_TRUE(reply.ok) << reply.error;
+
+  std::string trace_id;
+  for (const SpanRecord& span : harness.client_spans()->snapshot()) {
+    if (span.component == "smart_client" && span.name == "query") trace_id = span.trace_id;
+  }
+  ASSERT_FALSE(trace_id.empty());
+
+  // The aggregator scrapes the whole in-process fleet: 3 replicas + client.
+  sim::VirtualClock clock;
+  net::ReactorConfig reactor_config;
+  reactor_config.clock = &clock;
+  net::Reactor reactor(reactor_config);
+  MetricsRegistry merged;
+  FleetConfig fleet_config;
+  fleet_config.endpoints = harness.fleet_endpoints();
+  fleet_config.scrape_interval = 1s;
+  ASSERT_EQ(fleet_config.endpoints.size(), 4u);
+  FleetAggregator aggregator(fleet_config, reactor, merged);
+  HealthEngine health(merged);
+  aggregator.install_health_rules(health);
+  aggregator.start();
+  ASSERT_TRUE(pump_until(reactor, [&] { return aggregator.sweeps_completed() >= 1; }));
+
+  EXPECT_DOUBLE_EQ(find_gauge_or(merged.snapshot(), "fleet_instances_reachable", -1), 4);
+  EXPECT_EQ(health.evaluate().overall, HealthLevel::kOk);
+
+  // The acceptance bar: one Chrome trace, same trace id, >= 2 distinct
+  // process lanes (client + the serving wizard).
+  auto doc = util::json_parse(aggregator.stitched_trace(trace_id));
+  ASSERT_TRUE(doc);
+  const util::JsonValue* events = doc->find("traceEvents");
+  ASSERT_TRUE(events && events->is_array());
+  std::set<double> pids;
+  std::set<std::string> components;
+  for (const util::JsonValue& event : events->array) {
+    if (event.string_or("ph", "") != "X") continue;
+    const util::JsonValue* args = event.find("args");
+    ASSERT_NE(args, nullptr);
+    EXPECT_EQ(args->string_or("trace_id", ""), trace_id);
+    pids.insert(event.number_or("pid", -1));
+    std::string cat = event.string_or("cat", "");
+    if (!cat.empty()) components.insert(cat);
+  }
+  EXPECT_GE(pids.size(), 2u) << aggregator.stitched_trace(trace_id);
+
+  // Kill one replica: its stats endpoint goes dark with the process, and
+  // once its last scrape ages out the fleet health flips ok -> degraded.
+  ASSERT_TRUE(harness.kill_wizard_replica(0));
+  for (int i = 0; i < 4; ++i) {
+    clock.advance(1s);
+    std::uint64_t target = aggregator.sweeps_completed() + 1;
+    ASSERT_TRUE(pump_until(reactor, [&] { return aggregator.sweeps_completed() >= target; }));
+  }
+  EXPECT_DOUBLE_EQ(find_gauge_or(merged.snapshot(), "fleet_instances_reachable", -1), 3);
+  HealthReport report = health.evaluate();
+  EXPECT_EQ(report.overall, HealthLevel::kDegraded) << report.to_text();
+
+  harness.stop();
+}
+
+}  // namespace
+}  // namespace smartsock::obs

@@ -5,51 +5,75 @@
 //   smartsock_stats --connect 10.0.0.9:1199 --json     # JSON for scripts
 //   smartsock_stats --connect 10.0.0.9:1199 --prom     # Prometheus exposition
 //   smartsock_stats --connect 10.0.0.9:1199 --health   # SLO verdicts
-//   smartsock_stats --connect 10.0.0.9:1199 --history wizard_query_latency_us \
-//                   --window 5                          # windowed time series
+//   smartsock_stats --connect 10.0.0.9:1199 --window 5
+//                   --history wizard_query_latency_us   # windowed time series
 //   smartsock_stats --connect 10.0.0.9:1199 --spans    # span-ring listing
 //   smartsock_stats --connect 10.0.0.9:1199 --trace-dump trace.json
 //                   # Chrome trace_event JSON (open in chrome://tracing);
 //                   # "-" writes to stdout
 //   smartsock_stats --connect 10.0.0.9:1199 --health --watch 2
-//                   # live dashboard: redraw every 2 s (--count N to stop)
+//                   # live dashboard: redraw every 2 s (--count N to stop).
+//                   # A daemon restart no longer ends the watch: the last
+//                   # good snapshot stays up marked STALE while the CLI
+//                   # reconnects with doubling backoff.
 //   smartsock_stats --connect 10.0.0.9:1199 --profile 2 > out.folded
 //                   # 2 s in-process CPU profile, folded stacks for
 //                   # flamegraph.pl / speedscope (--wall samples wall time;
 //                   # add --trace-dump file for Chrome trace JSON instead)
+//   smartsock_stats --cluster 10.0.0.9:1199,10.0.0.10:1199
+//                   # fleet mode (ISSUE 9): polls every instance's health,
+//                   # prints a per-instance table and rolls the cluster up —
+//                   # exit 0 ok, 1 degraded (any instance degraded or down),
+//                   # 2 critical (any instance critical, or all down).
+//                   # --cluster with no list reads $SMARTSOCK_FLEET.
+//                   # Combine with --watch for a live fleet dashboard.
+//   smartsock_stats --connect 10.0.0.9:1199 --fleet
+//                   # a statsd daemon's per-instance scrape table
 //
 // Exit codes: 0 success, 1 endpoint unreachable / no reply, 2 usage error —
 // including a server-side error reply ({"error": ...}), so an unsupported
 // verb or a busy profiler is distinguishable from success in scripts.
+// Cluster mode repurposes them as severity: 0 ok, 1 degraded, 2 critical.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "net/tcp_socket.h"
+#include "obs/fleet.h"
 #include "util/args.h"
 #include "util/clock.h"
+#include "util/json.h"
 
 using namespace smartsock;
 
 namespace {
 
-/// One request/response exchange with the stats endpoint. Returns false and
-/// prints a one-line diagnostic to stderr on any failure.
+/// One request/response exchange with the stats endpoint. Returns false on
+/// any failure; prints a one-line diagnostic to stderr unless `quiet`
+/// (cluster mode reports failures in its table instead).
 bool fetch(const net::Endpoint& endpoint, const std::string& command,
-           util::Duration timeout, std::string& body) {
+           util::Duration timeout, std::string& body, bool quiet = false) {
   auto socket = net::TcpSocket::connect(endpoint, timeout);
   if (!socket) {
-    std::fprintf(stderr,
-                 "smartsock_stats: cannot connect to stats endpoint %s "
-                 "(refused or timed out)\n",
-                 endpoint.to_string().c_str());
+    if (!quiet) {
+      std::fprintf(stderr,
+                   "smartsock_stats: cannot connect to stats endpoint %s "
+                   "(refused or timed out)\n",
+                   endpoint.to_string().c_str());
+    }
     return false;
   }
   socket->set_send_timeout(timeout);
   socket->set_receive_timeout(timeout);
   if (!socket->send_all(command + "\n").ok()) {
-    std::fprintf(stderr, "smartsock_stats: cannot send command to %s\n",
-                 endpoint.to_string().c_str());
+    if (!quiet) {
+      std::fprintf(stderr, "smartsock_stats: cannot send command to %s\n",
+                   endpoint.to_string().c_str());
+    }
     return false;
   }
   body.clear();
@@ -60,8 +84,10 @@ bool fetch(const net::Endpoint& endpoint, const std::string& command,
     body += chunk;
   }
   if (body.empty()) {
-    std::fprintf(stderr, "smartsock_stats: no reply from %s (is --stats-port up?)\n",
-                 endpoint.to_string().c_str());
+    if (!quiet) {
+      std::fprintf(stderr, "smartsock_stats: no reply from %s (is --stats-port up?)\n",
+                   endpoint.to_string().c_str());
+    }
     return false;
   }
   return true;
@@ -84,32 +110,153 @@ int reject_error_reply(const std::string& body) {
   return 2;
 }
 
+// --- cluster mode (ISSUE 9) ------------------------------------------------
+
+/// One fleet member's latest poll result.
+struct InstanceRow {
+  net::Endpoint endpoint;
+  bool up = false;
+  int level = 0;                   // HealthLevel as int; meaningful when up
+  std::string health = "unknown";  // ok|degraded|critical|n/a
+  double latency_ms = 0;
+  std::uint64_t failures = 0;  // consecutive failed polls (watch mode)
+};
+
+/// Polls one instance's `health` verb. Unreachable → up=false. A reachable
+/// daemon without a HealthEngine replies {"error": ...}; that still counts
+/// as up with health "n/a" — reachability and verdicts are separate facts.
+void poll_instance(InstanceRow& row, util::Duration timeout) {
+  std::string body;
+  util::Stopwatch watch(util::SteadyClock::instance());
+  if (!fetch(row.endpoint, "health", timeout, body, /*quiet=*/true)) {
+    row.up = false;
+    ++row.failures;
+    return;
+  }
+  row.up = true;
+  row.failures = 0;
+  row.latency_ms = watch.elapsed_seconds() * 1e3;
+  if (is_error_reply(body)) {
+    row.level = 0;
+    row.health = "n/a";
+    return;
+  }
+  auto parsed = util::json_parse(body);
+  std::string overall = parsed ? parsed->string_or("overall", "n/a") : "n/a";
+  row.health = overall;
+  row.level = overall == "critical" ? 2 : overall == "degraded" ? 1 : 0;
+}
+
+/// Worst level across the fleet, with the aggregator's reachability rules:
+/// any instance down → at least degraded, all down → critical.
+int cluster_rollup(const std::vector<InstanceRow>& rows) {
+  int level = 0;
+  std::size_t down = 0;
+  for (const InstanceRow& row : rows) {
+    if (!row.up) {
+      ++down;
+    } else {
+      level = std::max(level, row.level);
+    }
+  }
+  if (down == rows.size()) return 2;
+  if (down > 0) level = std::max(level, 1);
+  return level;
+}
+
+void print_cluster_table(const std::vector<InstanceRow>& rows, int rollup) {
+  const char* names[] = {"ok", "degraded", "critical"};
+  std::size_t up = 0;
+  for (const InstanceRow& row : rows) up += row.up ? 1 : 0;
+  std::printf("cluster: %s (%zu/%zu instances reachable)\n", names[rollup], up,
+              rows.size());
+  std::printf("  %-24s %-6s %-10s %s\n", "INSTANCE", "STATE", "HEALTH", "LATENCY");
+  for (const InstanceRow& row : rows) {
+    if (row.up) {
+      std::printf("  %-24s %-6s %-10s %.1fms\n", row.endpoint.to_string().c_str(),
+                  "up", row.health.c_str(), row.latency_ms);
+    } else if (row.failures > 1) {
+      std::printf("  %-24s %-6s %-10s (%llu failed polls)\n",
+                  row.endpoint.to_string().c_str(), "down", "-",
+                  static_cast<unsigned long long>(row.failures));
+    } else {
+      std::printf("  %-24s %-6s %-10s\n", row.endpoint.to_string().c_str(), "down",
+                  "-");
+    }
+  }
+}
+
+int run_cluster(const std::vector<net::Endpoint>& endpoints, util::Duration timeout,
+                bool watch, double interval_s, std::int64_t rounds) {
+  std::vector<InstanceRow> rows;
+  rows.reserve(endpoints.size());
+  for (const net::Endpoint& endpoint : endpoints) rows.push_back({endpoint});
+
+  int rollup = 2;
+  for (std::int64_t i = 0; !watch || rounds == 0 || i < rounds; ++i) {
+    for (InstanceRow& row : rows) poll_instance(row, timeout);
+    rollup = cluster_rollup(rows);
+    if (watch) std::fputs("\x1b[H\x1b[2J", stdout);
+    print_cluster_table(rows, rollup);
+    std::fflush(stdout);
+    if (!watch) break;
+    if (rounds == 0 || i + 1 < rounds) {
+      std::this_thread::sleep_for(util::from_seconds(interval_s));
+    }
+  }
+  return rollup;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   util::Args args(argc, argv,
-                  {"connect", "json", "prom", "health", "history", "window", "spans",
-                   "trace-dump", "trace", "profile", "wall", "watch", "count",
-                   "timeout", "help"});
-  if (!args.ok() || args.has("help") || !args.has("connect")) {
+                  {"connect", "cluster", "json", "prom", "health", "history", "window",
+                   "spans", "fleet", "trace-dump", "trace", "profile", "wall", "watch",
+                   "count", "timeout", "help"});
+  bool cluster_mode = args.has("cluster");
+  if (!args.ok() || args.has("help") || (!args.has("connect") && !cluster_mode)) {
     for (const std::string& flag : args.unknown()) {
       std::fprintf(stderr, "smartsock_stats: unknown flag --%s\n", flag.c_str());
     }
     std::fprintf(stderr,
                  "usage: smartsock_stats --connect ip:port\n"
                  "  [--json | --prom | --health | --history metric [--window s] |"
-                 " --spans |\n"
+                 " --spans | --fleet |\n"
                  "   --trace-dump file | --trace id | --profile seconds [--wall]]\n"
-                 "  [--watch [seconds]] [--count n] [--timeout seconds]\n");
+                 "  [--watch [seconds]] [--count n] [--timeout seconds]\n"
+                 "or:    smartsock_stats --cluster ip:port,... [--watch [seconds]]"
+                 " [--count n]\n"
+                 "  (--cluster with no list reads $SMARTSOCK_FLEET;"
+                 " exit = 0 ok / 1 degraded / 2 critical)\n");
     return args.has("help") ? 0 : 2;
   }
+  util::Duration timeout = util::from_seconds(args.get_double_or("timeout", 2.0));
+  double interval_s = args.get_double_or("watch", 2.0);
+  if (interval_s <= 0) interval_s = 2.0;
+  std::int64_t rounds = args.get_int_or("count", 0);  // 0 = forever
+
+  if (cluster_mode) {
+    std::string list = args.get_or("cluster", "");
+    if (list.empty() || list == "true") {
+      const char* env = std::getenv("SMARTSOCK_FLEET");
+      list = env != nullptr ? env : "";
+    }
+    std::string error;
+    auto endpoints = obs::parse_endpoint_list(list, &error);
+    if (!endpoints) {
+      std::fprintf(stderr, "smartsock_stats: bad --cluster list: %s\n", error.c_str());
+      return 2;
+    }
+    return run_cluster(*endpoints, timeout, args.has("watch"), interval_s, rounds);
+  }
+
   auto endpoint = net::Endpoint::parse(args.get_or("connect", ""));
   if (!endpoint) {
     std::fprintf(stderr, "smartsock_stats: bad --connect endpoint '%s'\n",
                  args.get_or("connect", "").c_str());
     return 2;
   }
-  util::Duration timeout = util::from_seconds(args.get_double_or("timeout", 2.0));
 
   // Which command line the server sees.
   std::string command = "text";
@@ -121,6 +268,8 @@ int main(int argc, char** argv) {
     command = "prom";
   } else if (args.has("health")) {
     command = "health text";
+  } else if (args.has("fleet")) {
+    command = "fleet";
   } else if (args.has("history")) {
     std::string metric = args.get_or("history", "");
     if (metric.empty() || metric == "true") {
@@ -199,25 +348,48 @@ int main(int argc, char** argv) {
   }
 
   // Watch mode: redraw on an interval until interrupted (or --count rounds,
-  // for scripting). A failed fetch ends the watch with exit 1 so a daemon
-  // dying mid-watch is visible to the caller.
-  double interval_s = args.get_double_or("watch", 2.0);
-  if (interval_s <= 0) interval_s = 2.0;
-  std::int64_t rounds = args.get_int_or("count", 0);  // 0 = forever
+  // for scripting). A daemon restart does not end the watch (ISSUE 9
+  // satellite): on a failed fetch the last good snapshot stays on screen
+  // marked STALE and the CLI retries with doubling backoff (capped at 5 s,
+  // reset by the next success). Failed rounds still count toward --count,
+  // and the exit code reports the final round — a watch that ends while the
+  // endpoint is dark exits 1, so scripts see the failure.
+  constexpr double kMaxBackoffSeconds = 5.0;
+  std::string last_good;
+  double stale_seconds = 0;
+  double backoff_s = interval_s;
+  bool last_ok = false;
   for (std::int64_t i = 0; rounds == 0 || i < rounds; ++i) {
     std::string body;
-    if (!fetch(*endpoint, command, timeout, body)) return 1;
-    if (is_error_reply(body)) return reject_error_reply(body);
+    last_ok = fetch(*endpoint, command, timeout, body, /*quiet=*/i > 0);
+    if (last_ok) {
+      if (is_error_reply(body)) return reject_error_reply(body);
+      last_good = body;
+      stale_seconds = 0;
+      backoff_s = interval_s;
+    }
     // ANSI home+clear keeps the redraw flicker-free on real terminals and is
     // harmless noise in a pipe.
     std::fputs("\x1b[H\x1b[2J", stdout);
-    std::fprintf(stdout, "-- %s @ %s (every %.1fs, ctrl-c to stop) --\n",
-                 command.c_str(), endpoint->to_string().c_str(), interval_s);
-    print_body(body);
+    if (last_ok) {
+      std::fprintf(stdout, "-- %s @ %s (every %.1fs, ctrl-c to stop) --\n",
+                   command.c_str(), endpoint->to_string().c_str(), interval_s);
+    } else {
+      std::fprintf(stdout,
+                   "-- %s @ %s STALE %.1fs (unreachable, retrying in %.1fs) --\n",
+                   command.c_str(), endpoint->to_string().c_str(), stale_seconds,
+                   backoff_s);
+    }
+    if (!last_good.empty()) print_body(last_good);
     std::fflush(stdout);
     if (rounds == 0 || i + 1 < rounds) {
-      std::this_thread::sleep_for(util::from_seconds(interval_s));
+      double sleep_s = last_ok ? interval_s : backoff_s;
+      std::this_thread::sleep_for(util::from_seconds(sleep_s));
+      if (!last_ok) {
+        stale_seconds += sleep_s;
+        backoff_s = std::min(backoff_s * 2, kMaxBackoffSeconds);
+      }
     }
   }
-  return 0;
+  return last_ok ? 0 : 1;
 }

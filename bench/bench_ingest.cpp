@@ -1,0 +1,364 @@
+// Sharded-ingest benchmark (ISSUE 10) — measures what the SO_REUSEPORT
+// shard groups + recvmmsg batching buy on the two UDP data planes:
+//
+//   * Phase A: monitor ingest — N sender sockets blast probe reports at a
+//     SystemMonitor running 1/2/4 ingest shards; reports/sec ingested is
+//     the figure of merit. The kernel spreads senders across shards by
+//     4-tuple hash, each shard drains into its own ShardedStatusStore
+//     partition, so adding shards adds ingest lanes end to end.
+//   * Phase B: wizard serving — closed-loop clients (one socket each, so
+//     reuseport steers each client to one shard) issue requests against a
+//     preloaded store; replies/sec is the figure of merit.
+//
+// Emits BENCH_ingest.json for the CI artifact trail. Flags:
+//   --smoke       small run (shards {1,2}, short budgets) for CI
+//   --self-check  exit nonzero unless scaling holds for the core count:
+//                   >=4 cpus, full run:  4-shard ingest >= 2.5x 1-shard
+//                   >=2 cpus:            best multi-shard >= 0.95x 1-shard
+//                   1 cpu:               sanity only (all phases made
+//                                        progress, shard groups fully bound)
+//
+// The scaling gates are conditional on std::thread::hardware_concurrency()
+// because shards can only scale with real cores under them; the JSON
+// records `cpus` so readers can judge the numbers.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/wire.h"
+#include "core/wizard.h"
+#include "ipc/sharded_store.h"
+#include "monitor/system_monitor.h"
+#include "net/udp_socket.h"
+#include "obs/metrics.h"
+#include "probe/status_report.h"
+#include "util/clock.h"
+
+namespace {
+
+using namespace smartsock;
+
+const char* kRequirement =
+    "host_system_load1 < 4\n"
+    "host_memory_free >= 100\n";
+
+probe::StatusReport make_report(std::size_t sender, std::size_t k) {
+  probe::StatusReport report;
+  report.host = "bench" + std::to_string(sender) + "-" + std::to_string(k);
+  report.address = "10." + std::to_string(sender) + "." + std::to_string(k / 256) +
+                   "." + std::to_string(k % 256) + ":5000";
+  report.group = "g" + std::to_string(k % 4);
+  report.load1 = 0.5;
+  report.cpu_idle = 0.9;
+  report.mem_total_mb = 1024;
+  report.mem_free_mb = 512;
+  return report;
+}
+
+struct IngestRow {
+  std::size_t shards = 0;
+  std::size_t bound_shards = 0;
+  double reports_per_sec = 0;
+  std::uint64_t ingested = 0;
+  std::uint64_t sent = 0;
+  std::uint64_t kernel_drops = 0;
+};
+
+/// Phase A: `senders` sockets blast prebuilt reports at a sharded monitor
+/// for `budget_seconds`; returns ingested reports/sec.
+IngestRow measure_monitor(std::size_t shards, std::size_t senders,
+                          std::size_t hosts_per_sender, double budget_seconds) {
+  ipc::ShardedStatusStore store(shards);
+
+  monitor::SystemMonitorConfig config;
+  config.probe_interval = std::chrono::seconds(60);  // no mid-run expiry
+  config.accept_tcp = false;
+  config.ingest_shards = shards;
+  config.rcvbuf_bytes = 1 << 21;
+  monitor::SystemMonitor monitor(config, store);
+  if (!monitor.valid() || !monitor.start()) {
+    std::fprintf(stderr, "cannot start monitor with %zu shards\n", shards);
+    std::exit(1);
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> sent{0};
+  std::vector<std::thread> threads;
+  threads.reserve(senders);
+  for (std::size_t s = 0; s < senders; ++s) {
+    threads.emplace_back([&, s] {
+      auto sock = net::UdpSocket::bind(net::Endpoint::loopback(0));
+      if (!sock) return;
+      // One wire batch covering every host this sender owns; reuseport
+      // pins this socket to one shard, so each shard sees a disjoint
+      // slice of the fleet.
+      std::vector<net::Datagram> batch(hosts_per_sender);
+      for (std::size_t k = 0; k < hosts_per_sender; ++k) {
+        batch[k].payload = make_report(s, k).to_wire();
+        batch[k].peer = monitor.endpoint();
+      }
+      std::uint64_t local = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        local += sock->send_batch(batch);
+        // Yield so ingest threads get cycles on small machines; senders
+        // otherwise monopolize the cores they share with the shards.
+        std::this_thread::yield();
+      }
+      sent.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+
+  auto t0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::duration<double>(budget_seconds));
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  // Let the shards drain what is already queued before reading the count.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  IngestRow row;
+  row.shards = shards;
+  row.bound_shards = monitor.ingest_shards();
+  row.ingested = monitor.reports_received();
+  row.sent = sent.load();
+  row.reports_per_sec = static_cast<double>(row.ingested) / elapsed;
+  for (std::size_t i = 0; i < monitor.ingest_shards(); ++i)
+    row.kernel_drops += monitor.shard_kernel_drops(i);
+  monitor.stop();
+  return row;
+}
+
+struct ServeRow {
+  std::size_t shards = 0;
+  std::size_t bound_shards = 0;
+  double replies_per_sec = 0;
+  std::uint64_t replies = 0;
+  std::uint64_t timeouts = 0;
+};
+
+/// Phase B: closed-loop clients against a sharded wizard over a preloaded
+/// store; returns replies/sec.
+ServeRow measure_wizard(std::size_t shards, std::size_t clients,
+                        std::size_t records, double budget_seconds) {
+  ipc::ShardedStatusStore store(shards);
+  std::vector<ipc::SysRecord> sys(records);
+  for (std::size_t i = 0; i < records; ++i) {
+    ipc::SysRecord record;
+    std::string host = "host" + std::to_string(i);
+    ipc::copy_fixed(record.host, ipc::kHostNameLen, host);
+    ipc::copy_fixed(record.address, ipc::kAddressLen,
+                    "10.1." + std::to_string(i / 256) + "." + std::to_string(i % 256) +
+                        ":5000");
+    ipc::copy_fixed(record.group, ipc::kGroupLen, "g0");
+    record.load1 = 0.5;
+    record.cpu_idle = 0.9;
+    record.mem_total_mb = 1024;
+    record.mem_free_mb = 512;
+    record.updated_ns = 1;
+    sys[i] = record;
+  }
+  store.replace_sys(sys);
+
+  core::WizardConfig config;
+  config.ingest_shards = shards;
+  config.rcvbuf_bytes = 1 << 21;
+  core::Wizard wizard(config, store);
+  if (!wizard.valid() || !wizard.start()) {
+    std::fprintf(stderr, "cannot start wizard with %zu shards\n", shards);
+    std::exit(1);
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> replies{0};
+  std::atomic<std::uint64_t> timeouts{0};
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      auto sock = net::UdpSocket::bind(net::Endpoint::loopback(0));
+      if (!sock) return;
+      sock->set_receive_timeout(std::chrono::milliseconds(250));
+      core::UserRequest request;
+      request.server_num = 10;
+      request.detail = kRequirement;
+      std::uint32_t seq = static_cast<std::uint32_t>(c) << 20;
+      std::uint64_t ok = 0, lost = 0;
+      std::string payload;
+      net::Endpoint peer;
+      while (!stop.load(std::memory_order_relaxed)) {
+        request.sequence = ++seq;
+        sock->send_to(request.to_wire(), wizard.endpoint());
+        if (sock->receive_from(payload, peer).ok() &&
+            core::WizardReply::from_wire(payload))
+          ++ok;
+        else
+          ++lost;
+      }
+      replies.fetch_add(ok, std::memory_order_relaxed);
+      timeouts.fetch_add(lost, std::memory_order_relaxed);
+    });
+  }
+
+  auto t0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::duration<double>(budget_seconds));
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  ServeRow row;
+  row.shards = shards;
+  row.bound_shards = wizard.ingest_shards();
+  row.replies = replies.load();
+  row.timeouts = timeouts.load();
+  row.replies_per_sec = static_cast<double>(row.replies) / elapsed;
+  wizard.stop();
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool self_check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--self-check") == 0) self_check = true;
+  }
+
+  const unsigned cpus = std::max(1u, std::thread::hardware_concurrency());
+  const std::vector<std::size_t> shard_counts =
+      smoke ? std::vector<std::size_t>{1, 2} : std::vector<std::size_t>{1, 2, 4};
+  const std::size_t senders = smoke ? 4 : 8;
+  const std::size_t hosts_per_sender = 64;
+  const std::size_t records = smoke ? 256 : 512;
+  const double budget = smoke ? 0.4 : 1.5;
+
+  smartsock::bench::print_title("sharded UDP ingest: reuseport groups + mmsg batching (" +
+                                std::to_string(cpus) + " cpus)");
+
+  smartsock::bench::print_row({"phase", "shards", "rate/s", "done", "lost/drops"},
+                              {10, 8, 14, 12, 12});
+  std::vector<IngestRow> ingest;
+  for (std::size_t shards : shard_counts) {
+    IngestRow row = measure_monitor(shards, senders, hosts_per_sender, budget);
+    smartsock::bench::print_row(
+        {"monitor", std::to_string(row.shards), smartsock::bench::fmt(row.reports_per_sec, 0),
+         std::to_string(row.ingested), std::to_string(row.kernel_drops)},
+        {10, 8, 14, 12, 12});
+    ingest.push_back(row);
+  }
+  std::vector<ServeRow> serve;
+  for (std::size_t shards : shard_counts) {
+    ServeRow row = measure_wizard(shards, senders, records, budget);
+    smartsock::bench::print_row(
+        {"wizard", std::to_string(row.shards), smartsock::bench::fmt(row.replies_per_sec, 0),
+         std::to_string(row.replies), std::to_string(row.timeouts)},
+        {10, 8, 14, 12, 12});
+    serve.push_back(row);
+  }
+  smartsock::bench::print_note(
+      "scaling vs 1 shard: monitor " +
+      smartsock::bench::fmt(ingest.back().reports_per_sec /
+                                std::max(1.0, ingest.front().reports_per_sec)) +
+      "x, wizard " +
+      smartsock::bench::fmt(serve.back().replies_per_sec /
+                                std::max(1.0, serve.front().replies_per_sec)) +
+      "x at " + std::to_string(ingest.back().shards) + " shards");
+
+  std::FILE* json = std::fopen("BENCH_ingest.json", "w");
+  if (!json) {
+    std::fprintf(stderr, "cannot write BENCH_ingest.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"bench\": \"ingest\",\n  \"cpus\": %u,\n  \"smoke\": %s,\n",
+               cpus, smoke ? "true" : "false");
+  std::fprintf(json, "  \"senders\": %zu,\n  \"monitor\": [\n", senders);
+  for (std::size_t i = 0; i < ingest.size(); ++i) {
+    const IngestRow& r = ingest[i];
+    std::fprintf(json,
+                 "    {\"shards\": %zu, \"bound_shards\": %zu, \"reports_per_sec\": "
+                 "%.1f, \"ingested\": %llu, \"sent\": %llu, \"kernel_drops\": %llu}%s\n",
+                 r.shards, r.bound_shards, r.reports_per_sec,
+                 static_cast<unsigned long long>(r.ingested),
+                 static_cast<unsigned long long>(r.sent),
+                 static_cast<unsigned long long>(r.kernel_drops),
+                 i + 1 < ingest.size() ? "," : "");
+  }
+  std::fprintf(json, "  ],\n  \"wizard\": [\n");
+  for (std::size_t i = 0; i < serve.size(); ++i) {
+    const ServeRow& r = serve[i];
+    std::fprintf(json,
+                 "    {\"shards\": %zu, \"bound_shards\": %zu, \"replies_per_sec\": "
+                 "%.1f, \"replies\": %llu, \"timeouts\": %llu}%s\n",
+                 r.shards, r.bound_shards, r.replies_per_sec,
+                 static_cast<unsigned long long>(r.replies),
+                 static_cast<unsigned long long>(r.timeouts),
+                 i + 1 < serve.size() ? "," : "");
+  }
+  std::fprintf(json, "  ],\n");
+  std::fprintf(json, "  \"metrics\": %s\n",
+               obs::MetricsRegistry::instance().snapshot().to_json().c_str());
+  std::fprintf(json, "}\n");
+  std::fclose(json);
+  std::printf("\nwrote BENCH_ingest.json\n");
+
+  if (self_check) {
+    // Sanity gates hold on any machine: every configuration made progress
+    // and every requested shard actually joined the reuseport group.
+    for (const IngestRow& r : ingest) {
+      if (r.ingested == 0 || r.bound_shards != r.shards) {
+        std::fprintf(stderr,
+                     "SELF-CHECK FAILED: monitor %zu-shard run ingested %llu with "
+                     "%zu/%zu shards bound\n",
+                     r.shards, static_cast<unsigned long long>(r.ingested),
+                     r.bound_shards, r.shards);
+        return 1;
+      }
+    }
+    for (const ServeRow& r : serve) {
+      if (r.replies == 0 || r.bound_shards != r.shards) {
+        std::fprintf(stderr,
+                     "SELF-CHECK FAILED: wizard %zu-shard run answered %llu with "
+                     "%zu/%zu shards bound\n",
+                     r.shards, static_cast<unsigned long long>(r.replies),
+                     r.bound_shards, r.shards);
+        return 1;
+      }
+    }
+    // Scaling gates need real cores under the shards.
+    double base = std::max(1.0, ingest.front().reports_per_sec);
+    double best = 0;
+    for (const IngestRow& r : ingest) best = std::max(best, r.reports_per_sec);
+    if (!smoke && cpus >= 4) {
+      const IngestRow& four = ingest.back();
+      if (four.reports_per_sec < 2.5 * base) {
+        std::fprintf(stderr,
+                     "SELF-CHECK FAILED: 4-shard ingest %.0f/s < 2.5x 1-shard %.0f/s "
+                     "on %u cpus\n",
+                     four.reports_per_sec, base, cpus);
+        return 1;
+      }
+    } else if (cpus >= 2) {
+      // Smoke (or few-core) gate: sharding must not cost throughput.
+      if (best < 0.95 * base) {
+        std::fprintf(stderr,
+                     "SELF-CHECK FAILED: best multi-shard ingest %.0f/s < 0.95x "
+                     "1-shard %.0f/s on %u cpus\n",
+                     best, base, cpus);
+        return 1;
+      }
+    } else {
+      std::printf("1 cpu: scaling gates skipped (sanity checks only)\n");
+    }
+    std::printf("self-check ok on %u cpus\n", cpus);
+  }
+  return 0;
+}

@@ -1,0 +1,243 @@
+#include "ipc/sharded_store.h"
+
+#include <cstring>
+
+namespace smartsock::ipc {
+namespace {
+
+constexpr std::uint64_t kFnvBasis = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+// FNV-1a over the key's used bytes. Keys are fixed-width NUL-padded char
+// arrays compared with strncmp, so hashing stops at the first NUL to stay
+// consistent with key equality.
+std::uint64_t fnv1a(const char* s, std::size_t max_len, std::uint64_t h) {
+  for (std::size_t i = 0; i < max_len && s[i] != '\0'; ++i) {
+    h ^= static_cast<unsigned char>(s[i]);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+ShardedStatusStore::ShardedStatusStore(std::size_t shards, std::size_t tombstone_cap) {
+  if (shards == 0) shards = 1;
+  partitions_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    partitions_.push_back(std::make_unique<InMemoryStatusStore>(tombstone_cap));
+  }
+}
+
+std::size_t ShardedStatusStore::shard_of_sys(const char* address) const {
+  return fnv1a(address, kAddressLen, kFnvBasis) % partitions_.size();
+}
+
+std::size_t ShardedStatusStore::shard_of_net(const char* from_group,
+                                             const char* to_group) const {
+  std::uint64_t h = fnv1a(from_group, kGroupLen, kFnvBasis);
+  h = fnv1a(to_group, kGroupLen, h * kFnvPrime + 1);
+  return h % partitions_.size();
+}
+
+std::size_t ShardedStatusStore::shard_of_sec(const char* host) const {
+  return fnv1a(host, kHostNameLen, kFnvBasis) % partitions_.size();
+}
+
+bool ShardedStatusStore::put_sys(const SysRecord& record) {
+  bool changed = partitions_[shard_of_sys(record.address)]->put_sys(record);
+  if (!single()) bump_version();
+  return changed;
+}
+
+bool ShardedStatusStore::put_net(const NetRecord& record) {
+  bool changed = partitions_[shard_of_net(record.from_group, record.to_group)]->put_net(record);
+  if (!single()) bump_version();
+  return changed;
+}
+
+bool ShardedStatusStore::put_sec(const SecRecord& record) {
+  bool changed = partitions_[shard_of_sec(record.host)]->put_sec(record);
+  if (!single()) bump_version();
+  return changed;
+}
+
+std::vector<SysRecord> ShardedStatusStore::sys_records() const {
+  if (single()) return partitions_[0]->sys_records();
+  std::vector<SysRecord> all;
+  for (const auto& partition : partitions_) {
+    auto records = partition->sys_records();
+    all.insert(all.end(), records.begin(), records.end());
+  }
+  return all;
+}
+
+std::vector<NetRecord> ShardedStatusStore::net_records() const {
+  if (single()) return partitions_[0]->net_records();
+  std::vector<NetRecord> all;
+  for (const auto& partition : partitions_) {
+    auto records = partition->net_records();
+    all.insert(all.end(), records.begin(), records.end());
+  }
+  return all;
+}
+
+std::vector<SecRecord> ShardedStatusStore::sec_records() const {
+  if (single()) return partitions_[0]->sec_records();
+  std::vector<SecRecord> all;
+  for (const auto& partition : partitions_) {
+    auto records = partition->sec_records();
+    all.insert(all.end(), records.begin(), records.end());
+  }
+  return all;
+}
+
+void ShardedStatusStore::replace_sys(const std::vector<SysRecord>& records) {
+  if (single()) {
+    partitions_[0]->replace_sys(records);
+    return;
+  }
+  // Bulk ops hold the merge lock so a concurrent merged capture sees either
+  // every partition pre-replace or every partition post-replace, never a mix
+  // (the "no torn epochs" rule).
+  std::lock_guard<std::mutex> lock(merge_mu_);
+  std::vector<std::vector<SysRecord>> buckets(partitions_.size());
+  for (const SysRecord& record : records) {
+    buckets[shard_of_sys(record.address)].push_back(record);
+  }
+  for (std::size_t i = 0; i < partitions_.size(); ++i) {
+    partitions_[i]->replace_sys(buckets[i]);
+  }
+  bump_version();
+}
+
+void ShardedStatusStore::replace_net(const std::vector<NetRecord>& records) {
+  if (single()) {
+    partitions_[0]->replace_net(records);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(merge_mu_);
+  std::vector<std::vector<NetRecord>> buckets(partitions_.size());
+  for (const NetRecord& record : records) {
+    buckets[shard_of_net(record.from_group, record.to_group)].push_back(record);
+  }
+  for (std::size_t i = 0; i < partitions_.size(); ++i) {
+    partitions_[i]->replace_net(buckets[i]);
+  }
+  bump_version();
+}
+
+void ShardedStatusStore::replace_sec(const std::vector<SecRecord>& records) {
+  if (single()) {
+    partitions_[0]->replace_sec(records);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(merge_mu_);
+  std::vector<std::vector<SecRecord>> buckets(partitions_.size());
+  for (const SecRecord& record : records) {
+    buckets[shard_of_sec(record.host)].push_back(record);
+  }
+  for (std::size_t i = 0; i < partitions_.size(); ++i) {
+    partitions_[i]->replace_sec(buckets[i]);
+  }
+  bump_version();
+}
+
+bool ShardedStatusStore::erase_sys(const SysKey& key) {
+  bool erased = partitions_[shard_of_sys(key.address)]->erase_sys(key);
+  if (!single() && erased) bump_version();
+  return erased;
+}
+
+bool ShardedStatusStore::erase_net(const NetKey& key) {
+  bool erased = partitions_[shard_of_net(key.from_group, key.to_group)]->erase_net(key);
+  if (!single() && erased) bump_version();
+  return erased;
+}
+
+bool ShardedStatusStore::erase_sec(const SecKey& key) {
+  bool erased = partitions_[shard_of_sec(key.host)]->erase_sec(key);
+  if (!single() && erased) bump_version();
+  return erased;
+}
+
+std::size_t ShardedStatusStore::expire_sys_older_than(std::uint64_t cutoff_ns) {
+  if (single()) return partitions_[0]->expire_sys_older_than(cutoff_ns);
+  std::size_t removed = 0;
+  for (const auto& partition : partitions_) {
+    removed += partition->expire_sys_older_than(cutoff_ns);
+  }
+  if (removed > 0) bump_version();
+  return removed;
+}
+
+void ShardedStatusStore::clear() {
+  if (single()) {
+    partitions_[0]->clear();
+    return;
+  }
+  std::lock_guard<std::mutex> lock(merge_mu_);
+  for (const auto& partition : partitions_) partition->clear();
+  bump_version();
+}
+
+std::uint64_t ShardedStatusStore::version() const {
+  if (single()) return partitions_[0]->version();
+  return version_.load(std::memory_order_acquire);
+}
+
+std::uint64_t ShardedStatusStore::newest_sys_update_ns() const {
+  if (single()) return partitions_[0]->newest_sys_update_ns();
+  std::uint64_t newest = 0;
+  for (const auto& partition : partitions_) {
+    newest = std::max(newest, partition->newest_sys_update_ns());
+  }
+  return newest;
+}
+
+SnapshotPtr ShardedStatusStore::snapshot() const {
+  if (single()) return partitions_[0]->snapshot();  // full delta support
+  std::lock_guard<std::mutex> lock(merge_mu_);
+  std::uint64_t v = version_.load(std::memory_order_acquire);
+  if (cache_valid_ && cached_version_ == v) return cached_merged_;
+  cached_merged_ = build_merged_locked(v);
+  // Stamp with the version read *before* the capture: every mutation that
+  // completed before v is in some partition (commit precedes bump), so the
+  // merged view covers at least version v — it may also contain newer
+  // concurrent writes, which only makes the stamp conservative. A writer
+  // racing the capture bumps version_ past v and invalidates this cache.
+  cached_version_ = v;
+  cache_valid_ = true;
+  return cached_merged_;
+}
+
+SnapshotPtr ShardedStatusStore::build_merged_locked(std::uint64_t version) const {
+  auto merged = std::make_shared<Snapshot>();
+  merged->version = version;
+  merged->delta_capable = false;  // per-record versions don't compare across partitions
+  merged->delta_floor = 0;
+  std::vector<SnapshotPtr> views;
+  views.reserve(partitions_.size());
+  std::size_t sys_total = 0, net_total = 0, sec_total = 0;
+  for (const auto& partition : partitions_) {
+    SnapshotPtr view = partition->snapshot();
+    merged->epoch += view->epoch;
+    merged->newest_sys_update_ns =
+        std::max(merged->newest_sys_update_ns, view->newest_sys_update_ns);
+    sys_total += view->sys.size();
+    net_total += view->net.size();
+    sec_total += view->sec.size();
+    views.push_back(std::move(view));
+  }
+  merged->sys.reserve(sys_total);
+  merged->net.reserve(net_total);
+  merged->sec.reserve(sec_total);
+  for (const SnapshotPtr& view : views) {
+    merged->sys.insert(merged->sys.end(), view->sys.begin(), view->sys.end());
+    merged->net.insert(merged->net.end(), view->net.begin(), view->net.end());
+    merged->sec.insert(merged->sec.end(), view->sec.begin(), view->sec.end());
+  }
+  return merged;
+}
+
+}  // namespace smartsock::ipc

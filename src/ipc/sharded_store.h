@@ -1,0 +1,99 @@
+// Key-hash partitioned status store (ROADMAP item 2).
+//
+// One InMemoryStatusStore partition per ingest shard, so N reuseport ingest
+// threads upsert concurrently without sharing a mutex, plus an
+// epoch-consistent merged view for readers built on the same COW SnapshotPtr
+// machinery: per-partition snapshots are captured together under the merge
+// lock, concatenated once, cached, and handed out by pointer until the next
+// mutation — the wizard match path still takes exactly one SnapshotPtr and
+// copies no record vectors.
+//
+// Partitioning is by key hash (FNV-1a over the record key), NOT by receiving
+// shard: SO_REUSEPORT steers datagrams by the sender's 4-tuple, so a
+// restarted probe (new source port) can land on a different ingest shard —
+// routing by key keeps each record's home partition stable and upserts
+// in-place wherever the report arrives.
+//
+// Consistency contract:
+//  * put/erase route to one partition; the partition commits first, then the
+//    store-wide version bumps — so a version observed by a reader always
+//    covers every mutation that completed before it (the wizard reply-cache
+//    rule: version may over-count, never miss a change).
+//  * replace_*/clear/capture serialize on the merge lock, so a merged
+//    snapshot can never observe half of a bulk operation (no torn epochs);
+//    the merged epoch is the sum of partition epochs.
+//  * The merged view reports delta_capable = false (per-record versions are
+//    per-partition counters and cannot be compared across partitions), so
+//    the transmitter falls back to full pushes. A single-shard store
+//    delegates straight to its one partition and keeps full delta support —
+//    the default configuration is byte-for-byte today's semantics.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "ipc/in_memory_store.h"
+
+namespace smartsock::ipc {
+
+class ShardedStatusStore final : public StatusStore {
+ public:
+  /// `shards` partitions (at least one); `tombstone_cap` is forwarded to
+  /// each partition (only meaningful for shards == 1, where delta support
+  /// survives).
+  explicit ShardedStatusStore(std::size_t shards, std::size_t tombstone_cap = 4096);
+
+  std::size_t shards() const { return partitions_.size(); }
+
+  /// The partition a key routes to — ingest shards use this to tag per-shard
+  /// metrics; tests use it to prove routing stability.
+  std::size_t shard_of_sys(const char* address) const;
+  std::size_t shard_of_net(const char* from_group, const char* to_group) const;
+  std::size_t shard_of_sec(const char* host) const;
+
+  /// Direct partition access (tests, per-shard introspection).
+  StatusStore& partition(std::size_t index) { return *partitions_[index]; }
+  const StatusStore& partition(std::size_t index) const { return *partitions_[index]; }
+
+  bool put_sys(const SysRecord& record) override;
+  bool put_net(const NetRecord& record) override;
+  bool put_sec(const SecRecord& record) override;
+
+  std::vector<SysRecord> sys_records() const override;
+  std::vector<NetRecord> net_records() const override;
+  std::vector<SecRecord> sec_records() const override;
+
+  void replace_sys(const std::vector<SysRecord>& records) override;
+  void replace_net(const std::vector<NetRecord>& records) override;
+  void replace_sec(const std::vector<SecRecord>& records) override;
+
+  bool erase_sys(const SysKey& key) override;
+  bool erase_net(const NetKey& key) override;
+  bool erase_sec(const SecKey& key) override;
+
+  std::size_t expire_sys_older_than(std::uint64_t cutoff_ns) override;
+  void clear() override;
+  std::uint64_t version() const override;
+  SnapshotPtr snapshot() const override;
+  std::uint64_t newest_sys_update_ns() const override;
+
+ private:
+  bool single() const { return partitions_.size() == 1; }
+  /// Commits happen in the partition first; the store-wide bump comes after,
+  /// so version() never runs ahead of visible data.
+  void bump_version() { version_.fetch_add(1, std::memory_order_release); }
+  SnapshotPtr build_merged_locked(std::uint64_t version) const;
+
+  std::vector<std::unique_ptr<InMemoryStatusStore>> partitions_;
+  std::atomic<std::uint64_t> version_{0};
+
+  /// Guards bulk operations (replace/clear) and the merged-snapshot cache.
+  mutable std::mutex merge_mu_;
+  mutable SnapshotPtr cached_merged_;
+  mutable std::uint64_t cached_version_ = 0;
+  mutable bool cache_valid_ = false;
+};
+
+}  // namespace smartsock::ipc

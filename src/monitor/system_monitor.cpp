@@ -2,8 +2,17 @@
 
 #include "util/counters.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace smartsock::monitor {
+namespace {
+
+// Receive-slot size for batched ingest; a wire report is a few hundred
+// bytes, so 2 KB leaves ample headroom (oversized datagrams are truncated
+// and rejected as malformed).
+constexpr std::size_t kMaxReportBytes = 2048;
+
+}  // namespace
 
 ipc::SysRecord to_sys_record(const probe::StatusReport& report, std::uint64_t now_ns) {
   ipc::SysRecord record;
@@ -35,11 +44,31 @@ ipc::SysRecord to_sys_record(const probe::StatusReport& report, std::uint64_t no
 
 SystemMonitor::SystemMonitor(SystemMonitorConfig config, ipc::StatusStore& store)
     : config_(std::move(config)), store_(&store) {
-  if (auto sock = net::UdpSocket::bind(config_.bind)) {
+  if (config_.ingest_shards == 0) config_.ingest_shards = 1;
+  net::UdpBindOptions bind_options;
+  bind_options.reuse_port = config_.ingest_shards > 1;
+  bind_options.rcvbuf_bytes = config_.rcvbuf_bytes;
+  bind_options.track_kernel_drops = true;
+  if (auto sock = net::UdpSocket::bind(config_.bind, bind_options)) {
     socket_ = std::move(*sock);
     socket_.set_traffic_counter(
         obs::MetricsRegistry::instance().traffic("system_monitor"));
     endpoint_ = socket_.local_endpoint();
+  }
+  // The rest of the reuseport group binds to the *resolved* endpoint, so an
+  // ephemeral shard-0 port is shared by every shard. A failed member bind
+  // degrades to fewer shards rather than failing the monitor.
+  for (std::size_t i = 1; socket_.valid() && i < config_.ingest_shards; ++i) {
+    auto member = net::UdpSocket::bind(endpoint_, bind_options);
+    if (!member) {
+      SMARTSOCK_LOG(kWarn, "system_monitor")
+          << "reuseport shard " << i << " failed to bind " << endpoint_.to_string()
+          << "; running with " << i << " ingest shard(s)";
+      break;
+    }
+    member->set_traffic_counter(
+        obs::MetricsRegistry::instance().traffic("system_monitor"));
+    extra_sockets_.push_back(std::move(*member));
   }
 
   obs::MetricsRegistry& registry = obs::MetricsRegistry::instance();
@@ -51,7 +80,19 @@ SystemMonitor::SystemMonitor(SystemMonitorConfig config, ipc::StatusStore& store
       registry.counter("sysmon_quarantined_reports_dropped_total");
   batches_counter_ = registry.counter("sysmon_report_batches_total");
   quarantined_hosts_gauge_ = registry.gauge("sysmon_quarantined_hosts");
-  last_batch_gauge_ = registry.gauge("sysmon_last_batch_size");
+  last_batch_received_gauge_ = registry.gauge("sysmon_last_batch_received");
+  last_batch_ingested_gauge_ = registry.gauge("sysmon_last_batch_ingested");
+  rcvbuf_dropped_counter_ = registry.counter("udp_rcvbuf_dropped_total");
+  shard_states_.resize(ingest_shards());
+  for (std::size_t i = 0; i < shard_states_.size(); ++i) {
+    std::string shard_label = "{shard=\"" + std::to_string(i) + "\"}";
+    shard_states_[i].datagrams = registry.counter("sysmon_shard_datagrams_total" + shard_label);
+    shard_states_[i].batches = registry.counter("sysmon_shard_batches_total" + shard_label);
+    // Daemon-qualified: the wizard publishes its own per-shard series under
+    // the same metric name.
+    shard_states_[i].rcvbuf_dropped = registry.counter(
+        "udp_rcvbuf_dropped_total{daemon=\"sysmon\",shard=\"" + std::to_string(i) + "\"}");
+  }
   // Per-server staleness: a gauge per sysdb record with the age of its last
   // report, so an operator sees a silent probe *before* the expiry sweep
   // drops the server. Unregistered in the destructor — the collector reads
@@ -194,23 +235,44 @@ bool SystemMonitor::poll_once(util::Duration timeout) {
 
 std::size_t SystemMonitor::poll_batch(util::Duration timeout) {
   if (!socket_.valid()) return 0;
-  std::size_t ingested = 0;
-  std::size_t received = 0;
-  net::Endpoint peer;
-  // First datagram waits (SO_RCVTIMEO); the rest of the batch is whatever
-  // the kernel already queued, drained without further blocking.
   socket_.set_receive_timeout(timeout);
-  if (!socket_.receive_from(batch_buffer_, peer).ok()) return 0;
+  return drain_shard(0);
+}
+
+std::size_t SystemMonitor::drain_shard(std::size_t shard) {
+  net::UdpSocket& sock = shard_socket(shard);
+  ShardState& state = shard_states_[shard];
   std::size_t cap = config_.max_batch > 0 ? config_.max_batch : 1;
-  while (true) {
-    ++received;
-    if (ingest_payload(batch_buffer_, peer)) ++ingested;
-    if (received >= cap) break;
-    if (!socket_.try_receive_from(batch_buffer_, peer).ok()) break;
+  // One recvmmsg: the first datagram waits under SO_RCVTIMEO, the rest of
+  // the batch is whatever the kernel already queued (MSG_WAITFORONE).
+  std::size_t received = sock.receive_batch(state.batch, cap, kMaxReportBytes);
+  if (received == 0) return 0;
+  std::size_t ingested = 0;
+  for (std::size_t i = 0; i < received; ++i) {
+    if (ingest_payload(state.batch[i].payload, state.batch[i].peer)) ++ingested;
   }
   batches_counter_->inc();
-  last_batch_gauge_->set(static_cast<double>(received));
+  state.batches->inc();
+  state.datagrams->inc(received);
+  last_batch_received_gauge_->set(static_cast<double>(received));
+  last_batch_ingested_gauge_->set(static_cast<double>(ingested));
+  // Publish the kernel's receive-queue overflow count (SO_RXQ_OVFL) as a
+  // delta, per shard and combined — the health engine rates the combined
+  // counter to flag sustained overflow.
+  std::uint64_t drops = sock.kernel_drops();
+  if (drops > state.drops_published) {
+    std::uint64_t delta = drops - state.drops_published;
+    state.drops_published = drops;
+    state.rcvbuf_dropped->inc(delta);
+    rcvbuf_dropped_counter_->inc(delta);
+  }
   return ingested;
+}
+
+std::uint64_t SystemMonitor::shard_kernel_drops(std::size_t shard) const {
+  if (shard >= ingest_shards()) return 0;
+  const net::UdpSocket& sock = shard == 0 ? socket_ : extra_sockets_[shard - 1];
+  return sock.kernel_drops();
 }
 
 bool SystemMonitor::poll_tcp_once(util::Duration timeout) {
@@ -274,12 +336,25 @@ std::size_t SystemMonitor::sweep_stale() {
 bool SystemMonitor::start() {
   if (!socket_.valid() || thread_.joinable()) return false;
   stop_requested_.store(false, std::memory_order_release);
-  thread_ = std::thread([this] { run_loop(); });
+  if (ingest_shards() > 1) {
+    // Shard group: one drain thread per reuseport socket, plus a
+    // housekeeping thread for the TCP side and the staleness sweep.
+    for (std::size_t i = 0; i < ingest_shards(); ++i) {
+      ingest_threads_.emplace_back([this, i] { ingest_loop(i); });
+    }
+    thread_ = std::thread([this] { housekeeping_loop(); });
+  } else {
+    thread_ = std::thread([this] { run_loop(); });
+  }
   return true;
 }
 
 void SystemMonitor::stop() {
   stop_requested_.store(true, std::memory_order_release);
+  for (std::thread& t : ingest_threads_) {
+    if (t.joinable()) t.join();
+  }
+  ingest_threads_.clear();
   if (thread_.joinable()) thread_.join();
 }
 
@@ -290,6 +365,31 @@ void SystemMonitor::run_loop() {
     poll_batch(std::chrono::milliseconds(40));
     if (tcp_listener_.valid()) {
       poll_tcp_once(std::chrono::milliseconds(5));
+    }
+    util::Duration now = util::SteadyClock::instance().now();
+    if (now - last_sweep >= sweep_every) {
+      sweep_stale();
+      last_sweep = now;
+    }
+  }
+}
+
+void SystemMonitor::ingest_loop(std::size_t shard) {
+  if (config_.pin_shards) util::pin_current_thread(shard);
+  shard_socket(shard).set_receive_timeout(std::chrono::milliseconds(40));
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    drain_shard(shard);
+  }
+}
+
+void SystemMonitor::housekeeping_loop() {
+  util::Duration sweep_every = config_.probe_interval;
+  util::Duration last_sweep = util::SteadyClock::instance().now();
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    if (tcp_listener_.valid()) {
+      poll_tcp_once(std::chrono::milliseconds(5));
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
     }
     util::Duration now = util::SteadyClock::instance().now();
     if (now - last_sweep >= sweep_every) {

@@ -37,6 +37,22 @@ struct SystemMonitorConfig {
   /// under sustained load.
   std::size_t max_batch = 256;
 
+  /// Ingest shard group (ROADMAP item 2): the monitor binds this many
+  /// SO_REUSEPORT UDP sockets to the same port, each drained by its own
+  /// thread with recvmmsg batching, and the kernel spreads probes across
+  /// them by sender 4-tuple. 1 (the default) keeps today's single-socket,
+  /// single-thread path exactly.
+  std::size_t ingest_shards = 1;
+
+  /// Pin ingest shard i to CPU (i mod cores) — per-CPU ingest à la the
+  /// tcp_smp exemplar. Best-effort; ignored where affinity is unsupported.
+  bool pin_shards = true;
+
+  /// SO_RCVBUF for every ingest socket; 0 keeps the kernel default. Bursts
+  /// beyond the buffer are kernel drops, surfaced (via SO_RXQ_OVFL) as
+  /// udp_rcvbuf_dropped_total per shard.
+  int rcvbuf_bytes = 0;
+
   /// Flap quarantine (ISSUE 3): a host that expires and rejoins
   /// `flap_threshold` times within `flap_window` is quarantined — its
   /// reports are dropped — for `quarantine_backoff`, doubling per
@@ -108,8 +124,23 @@ class SystemMonitor {
   bool is_quarantined(const std::string& address) const;
   bool valid() const { return socket_.valid(); }
 
+  /// Sockets actually bound into the reuseport group (≤ config.ingest_shards
+  /// when a group bind failed and the monitor degraded to fewer shards).
+  std::size_t ingest_shards() const { return 1 + extra_sockets_.size(); }
+
+  /// Kernel receive-queue drops observed on shard `shard` so far.
+  std::uint64_t shard_kernel_drops(std::size_t shard) const;
+
  private:
   void run_loop();
+  void housekeeping_loop();
+  void ingest_loop(std::size_t shard);
+  net::UdpSocket& shard_socket(std::size_t shard) {
+    return shard == 0 ? socket_ : extra_sockets_[shard - 1];
+  }
+  /// One blocking-then-drain batch on shard `shard` (SO_RCVTIMEO applies to
+  /// the wait for the first datagram). Returns reports ingested.
+  std::size_t drain_shard(std::size_t shard);
   /// Flap accounting on ingest; false = drop the report (quarantined).
   bool admit_report(const std::string& address);
   /// Parse + admit + store one received report payload.
@@ -117,10 +148,11 @@ class SystemMonitor {
 
   SystemMonitorConfig config_;
   ipc::StatusStore* store_;
-  net::UdpSocket socket_;
+  net::UdpSocket socket_;  // ingest shard 0
   net::Endpoint endpoint_;
   net::TcpListener tcp_listener_;
   net::Endpoint tcp_endpoint_;
+  std::vector<net::UdpSocket> extra_sockets_;  // ingest shards 1..N-1
 
   // Per-host flap bookkeeping, keyed by server address. `expired` is set by
   // the sweep when the host drops out; the next admitted report turns it
@@ -136,6 +168,7 @@ class SystemMonitor {
   std::unordered_map<std::string, HostFlapState> flap_states_;
 
   std::thread thread_;
+  std::vector<std::thread> ingest_threads_;
   std::atomic<bool> stop_requested_{false};
   std::atomic<std::uint64_t> reports_received_{0};
   std::atomic<std::uint64_t> reports_rejected_{0};
@@ -152,11 +185,23 @@ class SystemMonitor {
   obs::Counter* quarantine_dropped_counter_ = nullptr;
   obs::Counter* batches_counter_ = nullptr;
   obs::Gauge* quarantined_hosts_gauge_ = nullptr;
-  obs::Gauge* last_batch_gauge_ = nullptr;
+  // Last-batch gauges, split (ISSUE 10): datagrams the kernel delivered vs
+  // reports that actually landed in the store — malformed or quarantined
+  // traffic no longer overcounts ingest.
+  obs::Gauge* last_batch_received_gauge_ = nullptr;
+  obs::Gauge* last_batch_ingested_gauge_ = nullptr;
+  obs::Counter* rcvbuf_dropped_counter_ = nullptr;  // all shards combined
   std::uint64_t collector_id_ = 0;
-  // Reused across poll_batch() iterations so draining a burst does not
-  // allocate a fresh 64 KB buffer per datagram.
-  std::string batch_buffer_;
+
+  // Per-shard ingest accounting (sysmon_shard_*{shard="i"}).
+  struct ShardState {
+    std::vector<net::Datagram> batch;  // reused receive buffers
+    obs::Counter* datagrams = nullptr;
+    obs::Counter* batches = nullptr;
+    obs::Counter* rcvbuf_dropped = nullptr;
+    std::uint64_t drops_published = 0;
+  };
+  std::vector<ShardState> shard_states_;
 };
 
 }  // namespace smartsock::monitor

@@ -142,6 +142,25 @@ void HealthEngine::install_default_checks() {
     return Finding{};
   });
 
+  add_check("ingest", "rcvbuf-overflow", [this](const Snapshot& snap) -> Finding {
+    // Kernel-level UDP loss (ISSUE 10): the ingest shards publish the
+    // SO_RXQ_OVFL drop counter as udp_rcvbuf_dropped_total. Any growth
+    // between checks means the receive queue is currently overflowing —
+    // reports/requests are being lost before user space ever sees them.
+    // Remedy: a bigger --rcvbuf or more ingest shards.
+    if (find_counter(snap, "udp_rcvbuf_dropped_total") == nullptr) {
+      return Finding{HealthLevel::kOk, "", false};
+    }
+    std::uint64_t delta = counter_delta(snap, "udp_rcvbuf_dropped_total");
+    if (delta > 0) {
+      return Finding{HealthLevel::kDegraded,
+                     std::to_string(delta) +
+                         " datagram(s) dropped on ingest receive queues since last "
+                         "check (SO_RCVBUF overflow — raise --rcvbuf or add shards)"};
+    }
+    return Finding{};
+  });
+
   add_check("transport", "malformed-frames", [this](const Snapshot& snap) -> Finding {
     if (find_counter(snap, "receiver_malformed_frames_total") == nullptr) {
       return Finding{HealthLevel::kOk, "", false};
